@@ -1,0 +1,189 @@
+// Ablations for DESIGN.md's called-out design choices:
+//   (a) QP sharing factor K (paper Sec. 6.1: 1 <= K <= 4 performs best),
+//   (b) the optimized two-crossing syscall path vs naive syscalls
+//       (paper Sec. 5.2: ~0.17 us vs ~0.9 us of boundary overhead),
+//   (c) the global physical MR vs per-region virtual MRs under MR-count
+//       pressure (the RNIC-indirection removal of Sec. 4.1).
+#include <thread>
+
+#include "bench/benchlib.h"
+#include "bench/rpc_common.h"
+#include "src/common/rng.h"
+#include "src/common/timing.h"
+#include "src/lite/lite_cluster.h"
+
+namespace {
+
+double WriteTputWithK(int k) {
+  lt::SimParams p;
+  p.node_phys_mem_bytes = 48ull << 20;
+  p.lite_qp_sharing_factor = k;
+  lite::LiteCluster cluster(2, p);
+  {
+    auto setup = cluster.CreateClient(0, true);
+    lite::MallocOptions on1;
+    on1.nodes = {1};
+    (void)setup->Malloc(256 << 10, "abl_k", on1);
+  }
+  constexpr int kThreads = 8;
+  constexpr int kOps = 400;
+  std::vector<uint64_t> ends(kThreads);
+  uint64_t t0 = lt::NowNs();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      lt::SyncClockTo(t0);
+      auto client = cluster.CreateClient(0, true);
+      auto lh = *client->Map("abl_k");
+      char buf[1024] = {1};
+      for (int i = 0; i < kOps; ++i) {
+        (void)client->Write(lh, (i % 64) * 1024, buf, sizeof(buf));
+      }
+      ends[t] = lt::NowNs();
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  uint64_t end = t0;
+  for (uint64_t e : ends) {
+    end = std::max(end, e);
+  }
+  lt::SyncClockTo(end);
+  return static_cast<double>(kThreads * kOps) * 1000.0 / static_cast<double>(end - t0);
+}
+
+double RpcLatencyUs(bool naive) {
+  lt::SimParams p;
+  p.node_phys_mem_bytes = 48ull << 20;
+  lite::LiteCluster cluster(2, p);
+  benchrpc::LiteSizeServer server(&cluster, 1, 44, 2);
+  auto client = cluster.CreateClient(0, /*kernel_level=*/false);
+  client->set_naive_syscalls(naive);
+  uint8_t in[8] = {0};
+  uint32_t reply = 8;
+  std::memcpy(in, &reply, 4);
+  uint8_t out[64];
+  uint32_t out_len;
+  (void)client->Rpc(1, 44, in, 8, out, sizeof(out), &out_len);
+  constexpr int kReps = 100;
+  uint64_t t0 = lt::NowNs();
+  for (int i = 0; i < kReps; ++i) {
+    (void)client->Rpc(1, 44, in, 8, out, sizeof(out), &out_len);
+  }
+  return static_cast<double>(lt::NowNs() - t0) / kReps / 1000.0;
+}
+
+// 64B writes against N regions: LITE's single physical MR vs registering N
+// virtual MRs on the RNIC (what LITE would cost WITHOUT the global-MR
+// technique).
+double RegionWriteUs(size_t regions, bool physical) {
+  lt::SimParams p;
+  p.node_phys_mem_bytes = 128ull << 20;
+  lt::Cluster cluster(2, p);
+  lt::Process* client = cluster.node(0)->CreateProcess();
+  lt::Process* server = cluster.node(1)->CreateProcess();
+  std::vector<std::pair<uint32_t, uint64_t>> targets;  // {rkey, addr}
+  if (physical) {
+    auto mr = *cluster.node(1)->rnic().RegisterMrPhysical(0, 64ull << 20, lt::kMrAll);
+    for (size_t i = 0; i < regions; ++i) {
+      targets.emplace_back(mr.lkey, (i * 4096) % (64ull << 20));
+    }
+  } else {
+    lt::VirtAddr heap = *server->page_table().AllocVirt(std::min<uint64_t>(regions, 16384) * 4096);
+    for (size_t i = 0; i < regions; ++i) {
+      auto mr = *server->verbs().RegisterMr(heap + (i % 16384) * 4096, 4096, lt::kMrAll);
+      targets.emplace_back(mr.rkey, mr.addr);
+    }
+  }
+  auto local = *client->page_table().AllocVirt(4096);
+  auto lmr = *client->verbs().RegisterMr(local, 4096, lt::kMrAll);
+  lt::Qp* q0 = client->verbs().CreateQp(lt::QpType::kRc, client->verbs().CreateCq(),
+                                        client->verbs().CreateCq());
+  lt::Qp* q1 = server->verbs().CreateQp(lt::QpType::kRc, server->verbs().CreateCq(),
+                                        server->verbs().CreateCq());
+  q0->Connect(1, q1->qpn());
+  q1->Connect(0, q0->qpn());
+  lt::Rng rng(5);
+  constexpr int kReps = 800;
+  uint64_t t0 = lt::NowNs();
+  for (int i = 0; i < kReps; ++i) {
+    auto [rkey, addr] = targets[rng.NextBounded(targets.size())];
+    lt::WorkRequest wr;
+    wr.opcode = lt::WrOpcode::kWrite;
+    wr.lkey = lmr.lkey;
+    wr.local_addr = local;
+    wr.length = 64;
+    wr.rkey = rkey;
+    wr.remote_addr = addr;
+    (void)client->verbs().ExecSync(q0, wr);
+  }
+  return static_cast<double>(lt::NowNs() - t0) / kReps / 1000.0;
+}
+
+}  // namespace
+
+int main() {
+  {
+    benchlib::Series tput{"writes_per_us", {}};
+    std::vector<std::string> xs;
+    for (int k : {1, 2, 4, 8}) {
+      xs.push_back("K=" + std::to_string(k));
+      tput.values.push_back(WriteTputWithK(k));
+    }
+    benchlib::PrintFigure("Ablation (a): QP sharing factor K (8 threads, 1KB writes)", "K",
+                          "requests/us", xs, {tput});
+  }
+  {
+    benchlib::Series lat{"rpc_latency_us", {}};
+    lat.values.push_back(RpcLatencyUs(false));
+    lat.values.push_back(RpcLatencyUs(true));
+    benchlib::PrintFigure("Ablation (b): optimized crossings vs naive syscalls", "mode",
+                          "RPC latency (us)", {"optimized", "naive_syscalls"}, {lat});
+  }
+  {
+    benchlib::Series physical{"global_physical_MR", {}};
+    benchlib::Series virt{"per-region_virtual_MRs", {}};
+    std::vector<std::string> xs;
+    for (size_t regions : {100u, 1000u, 10000u}) {
+      xs.push_back(std::to_string(regions));
+      physical.values.push_back(RegionWriteUs(regions, true));
+      virt.values.push_back(RegionWriteUs(regions, false));
+    }
+    benchlib::PrintFigure("Ablation (c): physical global MR vs virtual MRs (64B writes)",
+                          "regions", "latency (us)", xs, {physical, virt});
+  }
+  {
+    // Paper Sec. 7.1: LT_memset executes at the node storing the LMR; the
+    // alternative — LT_write a buffer full of the value — ships the whole
+    // pattern over the wire and loses as the LMR grows.
+    lt::SimParams p;
+    p.node_phys_mem_bytes = 64ull << 20;
+    lite::LiteCluster cluster(2, p);
+    auto client = cluster.CreateClient(0, true);
+    lite::MallocOptions on1;
+    on1.nodes = {1};
+    benchlib::Series command{"LT_memset_(command)", {}};
+    benchlib::Series via_write{"memset_via_LT_write", {}};
+    std::vector<std::string> xs;
+    for (uint64_t size : {4096ull, 65536ull, 1048576ull}) {
+      xs.push_back(benchlib::HumanBytes(size));
+      auto lh = *client->Malloc(size, "abl_memset_" + std::to_string(size), on1);
+      constexpr int kReps = 30;
+      uint64_t t0 = lt::NowNs();
+      for (int i = 0; i < kReps; ++i) {
+        (void)client->Memset(lh, 0, 0x55, size);
+      }
+      command.values.push_back(static_cast<double>(lt::NowNs() - t0) / kReps / 1000.0);
+      std::vector<uint8_t> pattern(size, 0x55);
+      t0 = lt::NowNs();
+      for (int i = 0; i < kReps; ++i) {
+        (void)client->Write(lh, 0, pattern.data(), size);
+      }
+      via_write.values.push_back(static_cast<double>(lt::NowNs() - t0) / kReps / 1000.0);
+    }
+    benchlib::PrintFigure("Ablation (d): LT_memset command vs memset-via-LT_write (Sec 7.1)",
+                          "size", "latency (us)", xs, {command, via_write});
+  }
+  return 0;
+}

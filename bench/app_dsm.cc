@@ -1,0 +1,78 @@
+// Paper Sec. 8.4: LITE-DSM operation latencies on 4 nodes — random and
+// sequential 4 KB reads, and the acquire/commit (release) costs of a sync
+// covering 10 dirty pages.
+#include "bench/benchlib.h"
+#include "src/apps/dsm.h"
+#include "src/common/rng.h"
+#include "src/common/timing.h"
+#include "src/lite/lite_cluster.h"
+
+int main() {
+  lt::SimParams p;
+  p.node_phys_mem_bytes = 96ull << 20;
+  lite::LiteCluster cluster(4, p);
+  std::vector<lt::NodeId> nodes = {0, 1, 2, 3};
+  constexpr uint64_t kPages = 512;
+  std::vector<std::unique_ptr<liteapp::LiteDsm>> dsms;
+  for (lt::NodeId n : nodes) {
+    dsms.push_back(std::make_unique<liteapp::LiteDsm>(&cluster, n, nodes, kPages, 0));
+  }
+  for (auto& d : dsms) {
+    if (!d->Start().ok()) {
+      std::printf("DSM start failed\n");
+      return 1;
+    }
+  }
+  constexpr uint32_t kPageSize = liteapp::LiteDsm::kPageSize;
+  std::vector<uint8_t> buf(kPageSize);
+  lt::Rng rng(77);
+  constexpr int kReps = 300;
+
+  // Cold random 4KB reads (reads mostly hit remote homes; node 0's cache is
+  // cleared by re-reading distinct pages).
+  uint64_t t0 = lt::NowNs();
+  for (int i = 0; i < kReps; ++i) {
+    uint64_t page = rng.NextBounded(kPages - 1);
+    (void)dsms[0]->Read(page * kPageSize, buf.data(), kPageSize);
+  }
+  double random_us = static_cast<double>(lt::NowNs() - t0) / kReps / 1000.0;
+
+  // Sequential reads (after the random pass many pages are cached).
+  t0 = lt::NowNs();
+  for (int i = 0; i < kReps; ++i) {
+    (void)dsms[0]->Read((static_cast<uint64_t>(i) % (kPages - 1)) * kPageSize, buf.data(),
+                        kPageSize);
+  }
+  double seq_us = static_cast<double>(lt::NowNs() - t0) / kReps / 1000.0;
+
+  // Sync: acquire 10 pages, dirty them, release (paper: begin + commit).
+  constexpr int kSyncReps = 50;
+  constexpr uint32_t kSyncBytes = 10 * kPageSize;
+  uint64_t acquire_total = 0;
+  uint64_t release_total = 0;
+  // Another node caches the range so release must invalidate.
+  (void)dsms[1]->Read(0, buf.data(), kPageSize);
+  for (int i = 0; i < kSyncReps; ++i) {
+    t0 = lt::NowNs();
+    (void)dsms[0]->Acquire(0, kSyncBytes);
+    acquire_total += lt::NowNs() - t0;
+    for (int page = 0; page < 10; ++page) {
+      (void)dsms[0]->Write(static_cast<uint64_t>(page) * kPageSize, buf.data(), kPageSize);
+    }
+    t0 = lt::NowNs();
+    (void)dsms[0]->Release(0, kSyncBytes);
+    release_total += lt::NowNs() - t0;
+  }
+
+  benchlib::PrintFigure(
+      "LITE-DSM latencies (4 nodes, 4KB pages; paper Sec 8.4)", "operation", "latency (us)",
+      {"random_4K_read", "sequential_4K_read", "sync_begin_10pg", "sync_commit_10pg"},
+      {benchlib::Series{
+          "latency_us",
+          {random_us, seq_us, static_cast<double>(acquire_total) / kSyncReps / 1000.0,
+           static_cast<double>(release_total) / kSyncReps / 1000.0}}});
+  for (auto& d : dsms) {
+    d->Stop();
+  }
+  return 0;
+}

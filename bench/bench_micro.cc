@@ -1,0 +1,155 @@
+// google-benchmark microbenchmarks of LITE's core primitives. All simulated
+// costs live on the virtual clock, so every benchmark uses manual timing and
+// reports virtual-time per operation.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/common/timing.h"
+#include "src/lite/lite_cluster.h"
+
+namespace {
+
+struct MicroEnv {
+  MicroEnv() : cluster(2, Params()) {
+    client = cluster.CreateClient(0, /*kernel_level=*/true);
+    lite::MallocOptions on1;
+    on1.nodes = {1};
+    lh = *client->Malloc(1 << 20, "micro_target", on1);
+    lock = *client->CreateLock("micro_lock");
+  }
+  static lt::SimParams Params() {
+    lt::SimParams p;
+    p.node_phys_mem_bytes = 64ull << 20;
+    return p;
+  }
+  lite::LiteCluster cluster;
+  std::unique_ptr<lite::LiteClient> client;
+  lite::Lh lh;
+  lite::LockId lock;
+};
+
+MicroEnv* Env() {
+  static MicroEnv* env = new MicroEnv();
+  return env;
+}
+
+void BM_LiteWrite(benchmark::State& state) {
+  auto* env = Env();
+  std::vector<uint8_t> buf(state.range(0), 0x2e);
+  for (auto _ : state) {
+    uint64_t t0 = lt::NowNs();
+    benchmark::DoNotOptimize(
+        env->client->Write(env->lh, 0, buf.data(), buf.size()));
+    state.SetIterationTime(static_cast<double>(lt::NowNs() - t0) / 1e9);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_LiteWrite)->Arg(64)->Arg(4096)->Arg(65536)->UseManualTime();
+
+void BM_LiteRead(benchmark::State& state) {
+  auto* env = Env();
+  std::vector<uint8_t> buf(state.range(0));
+  for (auto _ : state) {
+    uint64_t t0 = lt::NowNs();
+    benchmark::DoNotOptimize(env->client->Read(env->lh, 0, buf.data(), buf.size()));
+    state.SetIterationTime(static_cast<double>(lt::NowNs() - t0) / 1e9);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_LiteRead)->Arg(64)->Arg(4096)->Arg(65536)->UseManualTime();
+
+void BM_LiteFetchAdd(benchmark::State& state) {
+  auto* env = Env();
+  for (auto _ : state) {
+    uint64_t t0 = lt::NowNs();
+    benchmark::DoNotOptimize(env->client->FetchAdd(env->lh, 0, 1));
+    state.SetIterationTime(static_cast<double>(lt::NowNs() - t0) / 1e9);
+  }
+}
+BENCHMARK(BM_LiteFetchAdd)->UseManualTime();
+
+void BM_LiteLockUnlock(benchmark::State& state) {
+  auto* env = Env();
+  for (auto _ : state) {
+    uint64_t t0 = lt::NowNs();
+    (void)env->client->Lock(env->lock);
+    (void)env->client->Unlock(env->lock);
+    state.SetIterationTime(static_cast<double>(lt::NowNs() - t0) / 1e9);
+  }
+}
+BENCHMARK(BM_LiteLockUnlock)->UseManualTime();
+
+void BM_LiteMapUnmap(benchmark::State& state) {
+  auto* env = Env();
+  for (auto _ : state) {
+    uint64_t t0 = lt::NowNs();
+    auto lh = env->client->Map("micro_target");
+    (void)env->client->Unmap(*lh);
+    state.SetIterationTime(static_cast<double>(lt::NowNs() - t0) / 1e9);
+  }
+}
+BENCHMARK(BM_LiteMapUnmap)->UseManualTime();
+
+
+void BM_LiteRpc(benchmark::State& state) {
+  static lite::LiteCluster* cluster = new lite::LiteCluster(2, MicroEnv::Params());
+  static auto* server_client = cluster->CreateClient(1, true).release();
+  static std::atomic<bool>* stop = new std::atomic<bool>(false);
+  static std::thread* server = new std::thread([] {
+    (void)server_client->RegisterRpc(60);
+    while (!stop->load()) {
+      auto inc = server_client->RecvRpc(60, 50'000'000);
+      if (inc.ok()) {
+        (void)server_client->ReplyRpc(inc->token, inc->data.data(),
+                                      static_cast<uint32_t>(inc->data.size()));
+      }
+    }
+  });
+  (void)server;
+  static auto* client = cluster->CreateClient(0, true).release();
+  std::vector<uint8_t> in(state.range(0), 0x3c);
+  std::vector<uint8_t> out(state.range(0) + 64);
+  uint32_t out_len;
+  for (auto _ : state) {
+    uint64_t t0 = lt::NowNs();
+    benchmark::DoNotOptimize(client->Rpc(1, 60, in.data(), static_cast<uint32_t>(in.size()),
+                                         out.data(), static_cast<uint32_t>(out.size()),
+                                         &out_len));
+    state.SetIterationTime(static_cast<double>(lt::NowNs() - t0) / 1e9);
+  }
+}
+BENCHMARK(BM_LiteRpc)->Arg(8)->Arg(512)->Arg(4096)->UseManualTime();
+
+void BM_LiteBarrierPair(benchmark::State& state) {
+  auto* env = Env();
+  static std::atomic<uint64_t> round{0};
+  // Partner thread mirrors our barrier arrivals.
+  std::atomic<bool> stop{false};
+  std::thread partner([&] {
+    auto client = env->cluster.CreateClient(1, true);
+    uint64_t r = 0;
+    while (!stop.load()) {
+      if (round.load() > r) {
+        (void)client->Barrier("micro_b" + std::to_string(r), 2);
+        ++r;
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  });
+  for (auto _ : state) {
+    uint64_t r = round.fetch_add(1);
+    uint64_t t0 = lt::NowNs();
+    (void)env->client->Barrier("micro_b" + std::to_string(r), 2);
+    state.SetIterationTime(static_cast<double>(lt::NowNs() - t0) / 1e9);
+  }
+  stop.store(true);
+  partner.join();
+}
+BENCHMARK(BM_LiteBarrierPair)->UseManualTime()->Iterations(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Shared output helpers for the figure-reproduction benches: every binary
+// prints the series of one paper figure in a uniform, greppable table format.
+#ifndef BENCH_BENCHLIB_H_
+#define BENCH_BENCHLIB_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace benchlib {
+
+struct Series {
+  std::string name;
+  std::vector<double> values;  // One per x position.
+};
+
+// Prints:
+//   == <title> ==
+//   <xlabel>  <series...>
+//   <x0>      <v> <v> ...
+inline void PrintFigure(const std::string& title, const std::string& xlabel,
+                        const std::string& ylabel, const std::vector<std::string>& xs,
+                        const std::vector<Series>& series) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("# y-axis: %s\n", ylabel.c_str());
+  std::printf("%-16s", xlabel.c_str());
+  for (const Series& s : series) {
+    std::printf(" %16s", s.name.c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < xs.size(); ++i) {
+    std::printf("%-16s", xs[i].c_str());
+    for (const Series& s : series) {
+      if (i < s.values.size()) {
+        std::printf(" %16.3f", s.values[i]);
+      } else {
+        std::printf(" %16s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+inline std::string HumanBytes(uint64_t bytes) {
+  if (bytes >= (1ull << 20)) {
+    return std::to_string(bytes >> 20) + "MB";
+  }
+  if (bytes >= 1024) {
+    return std::to_string(bytes >> 10) + "KB";
+  }
+  return std::to_string(bytes) + "B";
+}
+
+}  // namespace benchlib
+
+#endif  // BENCH_BENCHLIB_H_

@@ -1,0 +1,111 @@
+// Paper Fig. 6: write latency vs request size for TCP/IP (IPoIB), LITE
+// user-level, LITE kernel-level, and native Verbs.
+#include <thread>
+
+#include "bench/benchlib.h"
+#include "src/common/timing.h"
+#include "src/lite/lite_cluster.h"
+#include "src/node/node.h"
+
+namespace {
+
+constexpr int kReps = 300;
+
+double VerbsWriteUs(lt::Cluster* cluster, uint32_t size) {
+  static lt::Process* client = nullptr;
+  static lt::Process* server = nullptr;
+  static lt::Qp* q0 = nullptr;
+  static lt::VerbsMr lmr, rmr;
+  static lt::VirtAddr local = 0, remote = 0;
+  if (client == nullptr) {
+    client = cluster->node(0)->CreateProcess();
+    server = cluster->node(1)->CreateProcess();
+    local = *client->page_table().AllocVirt(64 << 10);
+    remote = *server->page_table().AllocVirt(64 << 10);
+    lmr = *client->verbs().RegisterMr(local, 64 << 10, lt::kMrAll);
+    rmr = *server->verbs().RegisterMr(remote, 64 << 10, lt::kMrAll);
+    q0 = client->verbs().CreateQp(lt::QpType::kRc, client->verbs().CreateCq(),
+                                  client->verbs().CreateCq());
+    lt::Qp* q1 = server->verbs().CreateQp(lt::QpType::kRc, server->verbs().CreateCq(),
+                                          server->verbs().CreateCq());
+    q0->Connect(1, q1->qpn());
+    q1->Connect(0, q0->qpn());
+  }
+  uint64_t t0 = lt::NowNs();
+  for (int i = 0; i < kReps; ++i) {
+    lt::WorkRequest wr;
+    wr.opcode = lt::WrOpcode::kWrite;
+    wr.lkey = lmr.lkey;
+    wr.local_addr = local;
+    wr.length = size;
+    wr.rkey = rmr.rkey;
+    wr.remote_addr = remote;
+    (void)client->verbs().ExecSync(q0, wr);
+  }
+  return static_cast<double>(lt::NowNs() - t0) / kReps / 1000.0;
+}
+
+double LiteWriteUs(lite::LiteCluster* cluster, lite::LiteClient* client, lite::Lh lh,
+                   uint32_t size) {
+  std::vector<uint8_t> buf(size, 0x11);
+  uint64_t t0 = lt::NowNs();
+  for (int i = 0; i < kReps; ++i) {
+    (void)client->Write(lh, 0, buf.data(), size);
+  }
+  return static_cast<double>(lt::NowNs() - t0) / kReps / 1000.0;
+}
+
+// TCP one-way latency measured as echo RTT / 2 (the qperf convention).
+double TcpOneWayUs(lt::Cluster* cluster, uint32_t size) {
+  auto pair = lt::TcpStack::ConnectPair(&cluster->node(0)->tcp(), &cluster->node(1)->tcp());
+  std::thread echo([&] {
+    std::vector<uint8_t> buf(size);
+    for (int i = 0; i < kReps; ++i) {
+      if (!pair.second->RecvExact(buf.data(), size).ok()) {
+        return;
+      }
+      (void)pair.second->Send(buf.data(), size);
+    }
+  });
+  std::vector<uint8_t> buf(size, 0x22);
+  uint64_t t0 = lt::NowNs();
+  for (int i = 0; i < kReps; ++i) {
+    (void)pair.first->Send(buf.data(), size);
+    (void)pair.first->RecvExact(buf.data(), size);
+  }
+  double rtt_us = static_cast<double>(lt::NowNs() - t0) / kReps / 1000.0;
+  echo.join();
+  return rtt_us / 2.0;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<uint32_t> sizes = {8, 64, 512, 4096, 32768};
+  lt::SimParams p;
+  p.node_phys_mem_bytes = 64ull << 20;
+  lt::Cluster verbs_cluster(2, p);
+  lite::LiteCluster lite_cluster(2, p);
+
+  auto user = lite_cluster.CreateClient(0, /*kernel_level=*/false);
+  auto kernel = lite_cluster.CreateClient(0, /*kernel_level=*/true);
+  lite::MallocOptions on1;
+  on1.nodes = {1};
+  auto lh = user->Malloc(64 << 10, "fig6_target", on1);
+
+  benchlib::Series tcp{"TCP/IP", {}};
+  benchlib::Series lite_user{"LITE_write", {}};
+  benchlib::Series lite_kernel{"LITE_write_KL", {}};
+  benchlib::Series verbs{"Verbs_write", {}};
+  std::vector<std::string> xs;
+  for (uint32_t size : sizes) {
+    xs.push_back(benchlib::HumanBytes(size));
+    tcp.values.push_back(TcpOneWayUs(&verbs_cluster, size));
+    lite_user.values.push_back(LiteWriteUs(&lite_cluster, user.get(), *lh, size));
+    lite_kernel.values.push_back(LiteWriteUs(&lite_cluster, kernel.get(), *lh, size));
+    verbs.values.push_back(VerbsWriteUs(&verbs_cluster, size));
+  }
+  benchlib::PrintFigure("Fig 6: write latency vs size", "size", "latency (us)", xs,
+                        {tcp, lite_user, lite_kernel, verbs});
+  return 0;
+}

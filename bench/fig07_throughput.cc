@@ -1,0 +1,161 @@
+// Paper Fig. 7: write throughput (GB/s) vs request size, with 1 and 8
+// request-issuing threads: LITE, native Verbs, RDMA-CM, and TCP/IP.
+// RDMA ops run blocking (as in the paper); qperf's TCP bandwidth test runs
+// non-blocking/streaming.
+#include <thread>
+
+#include "bench/benchlib.h"
+#include "src/common/timing.h"
+#include "src/lite/lite_cluster.h"
+#include "src/node/node.h"
+
+namespace {
+
+constexpr uint64_t kBytesPerThread = 48ull << 20;
+
+// RDMA-CM adds a thin connection-management wrapper over Verbs; the paper
+// measures it slightly behind raw Verbs. Model: fixed per-op overhead.
+constexpr uint64_t kRdmaCmOverheadNs = 120;
+
+double VerbsTputGBs(lt::Cluster* cluster, uint32_t size, int threads, bool rdma_cm) {
+  std::vector<uint64_t> ends(threads);
+  uint64_t t0 = lt::NowNs();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      lt::SyncClockTo(t0);
+      lt::Process* client = cluster->node(0)->CreateProcess();
+      lt::Process* server = cluster->node(1)->CreateProcess();
+      auto local = *client->page_table().AllocVirt(size);
+      auto remote = *server->page_table().AllocVirt(size);
+      auto lmr = *client->verbs().RegisterMr(local, size, lt::kMrAll);
+      auto rmr = *server->verbs().RegisterMr(remote, size, lt::kMrAll);
+      lt::Qp* q0 = client->verbs().CreateQp(lt::QpType::kRc, client->verbs().CreateCq(),
+                                            client->verbs().CreateCq());
+      lt::Qp* q1 = server->verbs().CreateQp(lt::QpType::kRc, server->verbs().CreateCq(),
+                                            server->verbs().CreateCq());
+      q0->Connect(1, q1->qpn());
+      q1->Connect(0, q0->qpn());
+      const uint64_t ops = kBytesPerThread / size;
+      for (uint64_t i = 0; i < ops; ++i) {
+        if (rdma_cm) {
+          lt::SpinFor(kRdmaCmOverheadNs);
+        }
+        lt::WorkRequest wr;
+        wr.opcode = lt::WrOpcode::kWrite;
+        wr.lkey = lmr.lkey;
+        wr.local_addr = local;
+        wr.length = size;
+        wr.rkey = rmr.rkey;
+        wr.remote_addr = remote;
+        (void)client->verbs().ExecSync(q0, wr);
+      }
+      ends[t] = lt::NowNs();
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  uint64_t end = t0;
+  for (uint64_t e : ends) {
+    end = std::max(end, e);
+  }
+  lt::SyncClockTo(end);
+  uint64_t total = kBytesPerThread / size * size * static_cast<uint64_t>(threads);
+  return static_cast<double>(total) / static_cast<double>(end - t0);
+}
+
+double LiteTputGBs(lite::LiteCluster* cluster, uint32_t size, int threads) {
+  static int run = 0;
+  std::string name = "f7_" + std::to_string(run++);
+  {
+    auto owner = cluster->CreateClient(0, true);
+    lite::MallocOptions on1;
+    on1.nodes = {1};
+    (void)owner->Malloc(std::max<uint64_t>(size, 4096) * 2, name, on1);
+  }
+  std::vector<uint64_t> ends(threads);
+  uint64_t t0 = lt::NowNs();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      lt::SyncClockTo(t0);
+      auto client = cluster->CreateClient(0);
+      auto lh = *client->Map(name);
+      std::vector<uint8_t> buf(size, 0x5c);
+      const uint64_t ops = kBytesPerThread / size;
+      for (uint64_t i = 0; i < ops; ++i) {
+        (void)client->Write(lh, 0, buf.data(), size);
+      }
+      ends[t] = lt::NowNs();
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  uint64_t end = t0;
+  for (uint64_t e : ends) {
+    end = std::max(end, e);
+  }
+  lt::SyncClockTo(end);
+  uint64_t total = kBytesPerThread / size * size * static_cast<uint64_t>(threads);
+  return static_cast<double>(total) / static_cast<double>(end - t0);
+}
+
+double TcpTputGBs(lt::Cluster* cluster, uint32_t size) {
+  auto pair = lt::TcpStack::ConnectPair(&cluster->node(0)->tcp(), &cluster->node(1)->tcp());
+  const uint64_t total = kBytesPerThread;
+  std::vector<uint8_t> chunk(size, 1);
+  uint64_t end_recv = 0;
+  std::thread receiver([&] {
+    std::vector<uint8_t> sink(size);
+    for (uint64_t got = 0; got < total; got += size) {
+      if (!pair.second->RecvExact(sink.data(), size).ok()) {
+        return;
+      }
+    }
+    end_recv = lt::NowNs();
+  });
+  uint64_t t0 = lt::NowNs();
+  for (uint64_t sent = 0; sent < total; sent += size) {
+    (void)pair.first->StreamSend(chunk.data(), size);  // qperf: non-blocking.
+  }
+  receiver.join();
+  lt::SyncClockTo(end_recv);
+  return static_cast<double>(total) / static_cast<double>(end_recv - t0);
+}
+
+}  // namespace
+
+int main() {
+  std::vector<uint32_t> sizes = {1024, 4096, 16384, 65536};
+  lt::SimParams p;
+  p.node_phys_mem_bytes = 96ull << 20;
+  benchlib::Series lite8{"LITE-8", {}};
+  benchlib::Series verbs8{"Verbs-8", {}};
+  benchlib::Series cm8{"RDMA-CM-8", {}};
+  benchlib::Series lite1{"LITE-1", {}};
+  benchlib::Series verbs1{"Verbs-1", {}};
+  benchlib::Series cm1{"RDMA-CM-1", {}};
+  benchlib::Series tcp{"TCP/IP", {}};
+  std::vector<std::string> xs;
+  for (uint32_t size : sizes) {
+    xs.push_back(benchlib::HumanBytes(size));
+    {
+      lite::LiteCluster lite_cluster(2, p);
+      lite8.values.push_back(LiteTputGBs(&lite_cluster, size, 8));
+      lite1.values.push_back(LiteTputGBs(&lite_cluster, size, 1));
+    }
+    {
+      lt::Cluster cluster(2, p);
+      verbs8.values.push_back(VerbsTputGBs(&cluster, size, 8, false));
+      verbs1.values.push_back(VerbsTputGBs(&cluster, size, 1, false));
+      cm8.values.push_back(VerbsTputGBs(&cluster, size, 8, true));
+      cm1.values.push_back(VerbsTputGBs(&cluster, size, 1, true));
+      tcp.values.push_back(TcpTputGBs(&cluster, size));
+    }
+  }
+  benchlib::PrintFigure("Fig 7: write throughput vs size (1 and 8 threads)", "size", "GB/s", xs,
+                        {lite8, verbs8, cm8, lite1, verbs1, cm1, tcp});
+  return 0;
+}

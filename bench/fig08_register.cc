@@ -1,0 +1,70 @@
+// Paper Fig. 8: (de)registration / (un)mapping latency vs region size.
+// Native MR registration pins every page; LT_map is a constant-cost
+// metadata operation (the LMR here is local, per the paper's caption).
+#include "bench/benchlib.h"
+#include "src/common/timing.h"
+#include "src/lite/lite_cluster.h"
+#include "src/node/node.h"
+
+namespace {
+
+constexpr int kReps = 40;
+
+}  // namespace
+
+int main() {
+  std::vector<uint64_t> sizes = {1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20};
+  lt::SimParams p;
+  p.node_phys_mem_bytes = 128ull << 20;
+
+  benchlib::Series verbs_reg{"Verbs_register", {}};
+  benchlib::Series verbs_dereg{"Verbs_deregister", {}};
+  benchlib::Series lite_map{"LITE_map", {}};
+  benchlib::Series lite_unmap{"LITE_unmap", {}};
+  std::vector<std::string> xs;
+
+  for (uint64_t size : sizes) {
+    xs.push_back(benchlib::HumanBytes(size));
+    // ---- Native Verbs ----
+    {
+      lt::Cluster cluster(1, p);
+      lt::Process* proc = cluster.node(0)->CreateProcess();
+      uint64_t reg_total = 0;
+      uint64_t dereg_total = 0;
+      for (int i = 0; i < kReps; ++i) {
+        auto va = *proc->page_table().AllocVirt(size);
+        uint64_t t0 = lt::NowNs();
+        auto mr = *proc->verbs().RegisterMr(va, size, lt::kMrAll);
+        reg_total += lt::NowNs() - t0;
+        t0 = lt::NowNs();
+        (void)proc->verbs().DeregisterMr(mr);
+        dereg_total += lt::NowNs() - t0;
+        (void)proc->page_table().FreeVirt(va);
+      }
+      verbs_reg.values.push_back(static_cast<double>(reg_total) / kReps / 1000.0);
+      verbs_dereg.values.push_back(static_cast<double>(dereg_total) / kReps / 1000.0);
+    }
+    // ---- LITE map/unmap of a local LMR ----
+    {
+      lite::LiteCluster cluster(2, p);
+      auto owner = cluster.CreateClient(0, true);
+      std::string name = "f8_" + std::to_string(size);
+      (void)owner->Malloc(size, name);
+      uint64_t map_total = 0;
+      uint64_t unmap_total = 0;
+      for (int i = 0; i < kReps; ++i) {
+        uint64_t t0 = lt::NowNs();
+        auto lh = *owner->Map(name);
+        map_total += lt::NowNs() - t0;
+        t0 = lt::NowNs();
+        (void)owner->Unmap(lh);
+        unmap_total += lt::NowNs() - t0;
+      }
+      lite_map.values.push_back(static_cast<double>(map_total) / kReps / 1000.0);
+      lite_unmap.values.push_back(static_cast<double>(unmap_total) / kReps / 1000.0);
+    }
+  }
+  benchlib::PrintFigure("Fig 8: (de)registration latency vs size", "size", "latency (us)", xs,
+                        {verbs_reg, verbs_dereg, lite_unmap, lite_map});
+  return 0;
+}

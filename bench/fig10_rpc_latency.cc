@@ -1,0 +1,123 @@
+// Paper Fig. 10: RPC latency vs return size (8 B input): LITE user-level,
+// LITE kernel-level, two native RDMA writes (the FaRM lower bound), HERD,
+// and FaSST.
+#include "bench/benchlib.h"
+#include "bench/rpc_common.h"
+#include "src/baselines/fasst_rpc.h"
+#include "src/baselines/herd_rpc.h"
+#include "src/common/timing.h"
+
+namespace {
+
+constexpr int kReps = 200;
+
+double LiteRpcUs(lite::LiteClient* client, uint32_t reply_len) {
+  uint8_t in[8] = {0};
+  std::memcpy(in, &reply_len, 4);
+  std::vector<uint8_t> out(reply_len + 64);
+  uint32_t out_len;
+  // Warm.
+  (void)client->Rpc(1, 40, in, 8, out.data(), static_cast<uint32_t>(out.size()), &out_len);
+  uint64_t t0 = lt::NowNs();
+  for (int i = 0; i < kReps; ++i) {
+    (void)client->Rpc(1, 40, in, 8, out.data(), static_cast<uint32_t>(out.size()), &out_len);
+  }
+  return static_cast<double>(lt::NowNs() - t0) / kReps / 1000.0;
+}
+
+double TwoVerbsWritesUs(lt::Cluster* cluster, uint32_t reply_len) {
+  static lt::Process* client = nullptr;
+  static lt::Process* server = nullptr;
+  static lt::Qp *q0 = nullptr, *q1 = nullptr;
+  static lt::VerbsMr lmr0, rmr1;
+  static lt::VirtAddr buf0 = 0, buf1 = 0;
+  if (client == nullptr) {
+    client = cluster->node(0)->CreateProcess();
+    server = cluster->node(1)->CreateProcess();
+    buf0 = *client->page_table().AllocVirt(16 << 10);
+    buf1 = *server->page_table().AllocVirt(16 << 10);
+    lmr0 = *client->verbs().RegisterMr(buf0, 16 << 10, lt::kMrAll);
+    rmr1 = *server->verbs().RegisterMr(buf1, 16 << 10, lt::kMrAll);
+    q0 = client->verbs().CreateQp(lt::QpType::kRc, client->verbs().CreateCq(),
+                                  client->verbs().CreateCq());
+    q1 = server->verbs().CreateQp(lt::QpType::kRc, server->verbs().CreateCq(),
+                                  server->verbs().CreateCq());
+    q0->Connect(1, q1->qpn());
+    q1->Connect(0, q0->qpn());
+  }
+  uint64_t t0 = lt::NowNs();
+  for (int i = 0; i < kReps; ++i) {
+    lt::WorkRequest req;
+    req.opcode = lt::WrOpcode::kWrite;
+    req.lkey = lmr0.lkey;
+    req.local_addr = buf0;
+    req.length = 8;
+    req.rkey = rmr1.rkey;
+    req.remote_addr = buf1;
+    (void)client->verbs().ExecSync(q0, req);
+    lt::WorkRequest resp;
+    resp.opcode = lt::WrOpcode::kWrite;
+    resp.lkey = rmr1.lkey;
+    resp.local_addr = buf1;
+    resp.length = reply_len;
+    resp.rkey = lmr0.rkey;
+    resp.remote_addr = buf0;
+    (void)server->verbs().ExecSync(q1, resp);
+  }
+  return static_cast<double>(lt::NowNs() - t0) / kReps / 1000.0;
+}
+
+template <typename Client>
+double BaselineRpcUs(Client* client, uint32_t reply_len) {
+  uint8_t in[8] = {0};
+  std::memcpy(in, &reply_len, 4);
+  std::vector<uint8_t> out(reply_len + 64);
+  uint32_t out_len;
+  (void)client->Call(in, 8, out.data(), static_cast<uint32_t>(out.size()), &out_len);
+  uint64_t t0 = lt::NowNs();
+  for (int i = 0; i < kReps; ++i) {
+    (void)client->Call(in, 8, out.data(), static_cast<uint32_t>(out.size()), &out_len);
+  }
+  return static_cast<double>(lt::NowNs() - t0) / kReps / 1000.0;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<uint32_t> sizes = {8, 64, 512, 4096};
+  lt::SimParams p;
+  p.node_phys_mem_bytes = 64ull << 20;
+
+  lite::LiteCluster lite_cluster(2, p);
+  benchrpc::LiteSizeServer lite_server(&lite_cluster, 1, 40, 2);
+  auto lite_user = lite_cluster.CreateClient(0, false);
+  auto lite_kernel = lite_cluster.CreateClient(0, true);
+
+  lt::Cluster base_cluster(2, p);
+  liteapp::HerdServer herd(&base_cluster, 1, 16 << 10, benchrpc::SizeHandler());
+  auto herd_client = *herd.AttachClient(0);
+  herd.Start(1);
+  liteapp::FasstServer fasst(&base_cluster, 1, 16 << 10, benchrpc::SizeHandler());
+  auto fasst_client = *fasst.AttachClient(0);
+  fasst.Start();
+
+  benchlib::Series s_user{"LITE_RPC", {}};
+  benchlib::Series s_kernel{"LITE_RPC_KL", {}};
+  benchlib::Series s_2w{"2_Verbs_writes", {}};
+  benchlib::Series s_herd{"HERD", {}};
+  benchlib::Series s_fasst{"FaSST", {}};
+  std::vector<std::string> xs;
+  for (uint32_t size : sizes) {
+    xs.push_back(benchlib::HumanBytes(size));
+    s_user.values.push_back(LiteRpcUs(lite_user.get(), size));
+    s_kernel.values.push_back(LiteRpcUs(lite_kernel.get(), size));
+    s_2w.values.push_back(TwoVerbsWritesUs(&base_cluster, size));
+    s_herd.values.push_back(BaselineRpcUs(herd_client, size));
+    s_fasst.values.push_back(BaselineRpcUs(fasst_client, size));
+  }
+  herd.Stop();
+  fasst.Stop();
+  benchlib::PrintFigure("Fig 10: RPC latency vs return size (8B input)", "return_size",
+                        "latency (us)", xs, {s_user, s_kernel, s_2w, s_herd, s_fasst});
+  return 0;
+}

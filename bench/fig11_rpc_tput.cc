@@ -1,0 +1,132 @@
+// Paper Fig. 11: RPC throughput (GB/s of reply payload) vs return size,
+// with 1 and 16 concurrent clients: LITE, HERD, FaSST. FaSST's single
+// inline dispatcher caps its 16-client throughput; LITE's user-thread
+// execution model scales with server workers.
+#include <functional>
+#include <thread>
+
+#include "bench/benchlib.h"
+#include "bench/rpc_common.h"
+#include "src/baselines/fasst_rpc.h"
+#include "src/baselines/herd_rpc.h"
+#include "src/common/timing.h"
+
+namespace {
+
+constexpr int kCallsPerClient = 400;
+
+// Runs `clients` concurrent callers; returns GB/s of reply payload.
+double RunClients(int clients, uint32_t reply_len,
+                  const std::function<void(int, uint32_t)>& call_n_times_fn) {
+  std::vector<uint64_t> ends(clients);
+  uint64_t t0 = lt::NowNs();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      lt::SyncClockTo(t0);
+      call_n_times_fn(c, reply_len);
+      ends[c] = lt::NowNs();
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  uint64_t end = t0;
+  for (uint64_t e : ends) {
+    end = std::max(end, e);
+  }
+  lt::SyncClockTo(end);
+  double total_bytes = static_cast<double>(reply_len) * kCallsPerClient * clients;
+  return total_bytes / static_cast<double>(end - t0);
+}
+
+}  // namespace
+
+int main() {
+  std::vector<uint32_t> sizes = {64, 512, 1024, 2048, 4096};
+  lt::SimParams p;
+  p.node_phys_mem_bytes = 96ull << 20;
+
+  benchlib::Series lite16{"LITE-16", {}};
+  benchlib::Series herd16{"HERD-16", {}};
+  benchlib::Series fasst16{"FaSST-16", {}};
+  benchlib::Series lite1{"LITE-1", {}};
+  benchlib::Series herd1{"HERD-1", {}};
+  benchlib::Series fasst1{"FaSST-1", {}};
+  std::vector<std::string> xs;
+
+  for (uint32_t size : sizes) {
+    xs.push_back(benchlib::HumanBytes(size));
+
+    // ---- LITE: 3 client nodes, 4 server worker threads. ----
+    {
+      lite::LiteCluster cluster(4, p);
+      benchrpc::LiteSizeServer server(&cluster, 0, 41, 4);
+      auto lite_call = [&](int c, uint32_t reply) {
+        auto client = cluster.CreateClient(1 + static_cast<lt::NodeId>(c) % 3);
+        uint8_t in[8] = {0};
+        std::memcpy(in, &reply, 4);
+        std::vector<uint8_t> out(reply + 64);
+        uint32_t out_len;
+        for (int i = 0; i < kCallsPerClient; ++i) {
+          (void)client->Rpc(0, 41, in, 8, out.data(), static_cast<uint32_t>(out.size()),
+                            &out_len);
+        }
+      };
+      lite16.values.push_back(RunClients(16, size, lite_call));
+      lite1.values.push_back(RunClients(1, size, lite_call));
+    }
+
+    // ---- HERD: per-client regions, 4 polling server threads. ----
+    {
+      lt::Cluster cluster(4, p);
+      liteapp::HerdServer server(&cluster, 0, 16 << 10, benchrpc::SizeHandler());
+      std::vector<liteapp::HerdClient*> herd_clients;
+      for (int c = 0; c < 16; ++c) {
+        herd_clients.push_back(*server.AttachClient(1 + static_cast<lt::NodeId>(c) % 3));
+      }
+      server.Start(4);
+      auto herd_call = [&](int c, uint32_t reply) {
+        uint8_t in[8] = {0};
+        std::memcpy(in, &reply, 4);
+        std::vector<uint8_t> out(reply + 64);
+        uint32_t out_len;
+        for (int i = 0; i < kCallsPerClient; ++i) {
+          (void)herd_clients[c]->Call(in, 8, out.data(), static_cast<uint32_t>(out.size()),
+                                      &out_len);
+        }
+      };
+      herd16.values.push_back(RunClients(16, size, herd_call));
+      herd1.values.push_back(RunClients(1, size, herd_call));
+      server.Stop();
+    }
+
+    // ---- FaSST: one master dispatcher thread (its design). ----
+    {
+      lt::Cluster cluster(4, p);
+      liteapp::FasstServer server(&cluster, 0, 16 << 10, benchrpc::SizeHandler());
+      std::vector<liteapp::FasstClient*> fasst_clients;
+      for (int c = 0; c < 16; ++c) {
+        fasst_clients.push_back(*server.AttachClient(1 + static_cast<lt::NodeId>(c) % 3));
+      }
+      server.Start();
+      auto fasst_call = [&](int c, uint32_t reply) {
+        uint8_t in[8] = {0};
+        std::memcpy(in, &reply, 4);
+        std::vector<uint8_t> out(reply + 64);
+        uint32_t out_len;
+        for (int i = 0; i < kCallsPerClient; ++i) {
+          (void)fasst_clients[c]->Call(in, 8, out.data(), static_cast<uint32_t>(out.size()),
+                                       &out_len);
+        }
+      };
+      fasst16.values.push_back(RunClients(16, size, fasst_call));
+      fasst1.values.push_back(RunClients(1, size, fasst_call));
+      server.Stop();
+    }
+  }
+  benchlib::PrintFigure("Fig 11: RPC throughput vs return size (16 and 1 clients, 8B input)",
+                        "return_size", "GB/s", xs,
+                        {lite16, herd16, fasst16, herd1, fasst1, lite1});
+  return 0;
+}

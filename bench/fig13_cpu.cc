@@ -1,0 +1,100 @@
+// Paper Fig. 13: average CPU time per RPC request under the Facebook
+// distribution, as the inter-arrival time is amplified 1x..8x. HERD and
+// FaSST busy-poll through idle gaps, so their per-request CPU grows with the
+// gap; LITE's adaptive spin-then-sleep threads stay cheap.
+#include "bench/benchlib.h"
+#include "bench/rpc_common.h"
+#include "src/apps/workloads.h"
+#include "src/baselines/fasst_rpc.h"
+#include "src/baselines/herd_rpc.h"
+#include "src/common/timing.h"
+
+namespace {
+
+constexpr int kRequests = 1500;
+
+// Issues kRequests with Facebook-shaped sizes and inter-arrival gaps; calls
+// `call(in, in_len, reply_len)` for each.
+template <typename CallFn>
+void DriveWorkload(double amplification, const CallFn& call) {
+  liteapp::FacebookKvSampler sampler(7);
+  std::vector<uint8_t> in(4096);
+  for (int i = 0; i < kRequests; ++i) {
+    uint32_t key = std::min<uint32_t>(sampler.NextKeySize(), 4092);
+    uint32_t value = std::min<uint32_t>(sampler.NextValueSize(), 8 << 10);
+    std::memcpy(in.data(), &value, 4);
+    call(in.data(), key + 4, value);
+    lt::IdleFor(sampler.NextInterArrivalNs(amplification));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::vector<double> factors = {1, 2, 4, 8};
+  lt::SimParams p;
+  p.node_phys_mem_bytes = 64ull << 20;
+
+  benchlib::Series herd{"HERD", {}};
+  benchlib::Series fasst{"FaSST", {}};
+  benchlib::Series lite{"LITE", {}};
+  std::vector<std::string> xs;
+
+  for (double factor : factors) {
+    xs.push_back(std::to_string(static_cast<int>(factor)) + "x");
+
+    // ---- LITE: server worker CPU + the shared poll thread's CPU. ----
+    {
+      lite::LiteCluster cluster(2, p);
+      uint64_t poll0 = cluster.instance(1)->poll_thread_cpu_ns();
+      uint64_t server_cpu;
+      {
+        benchrpc::LiteSizeServer server(&cluster, 1, 42, 2);
+        auto client = cluster.CreateClient(0);
+        std::vector<uint8_t> out(16 << 10);
+        uint32_t out_len;
+        DriveWorkload(factor, [&](const uint8_t* in, uint32_t in_len, uint32_t) {
+          (void)client->Rpc(1, 42, in, in_len, out.data(), static_cast<uint32_t>(out.size()),
+                            &out_len);
+        });
+        server_cpu = server.server_cpu_ns();
+      }
+      uint64_t total = server_cpu + (cluster.instance(1)->poll_thread_cpu_ns() - poll0);
+      lite.values.push_back(static_cast<double>(total) / kRequests / 1000.0);
+    }
+
+    // ---- HERD: busy-polls client regions. ----
+    {
+      lt::Cluster cluster(2, p);
+      liteapp::HerdServer server(&cluster, 1, 16 << 10, benchrpc::SizeHandler());
+      auto client = *server.AttachClient(0);
+      server.Start(1);
+      std::vector<uint8_t> out(16 << 10);
+      uint32_t out_len;
+      DriveWorkload(factor, [&](const uint8_t* in, uint32_t in_len, uint32_t) {
+        (void)client->Call(in, in_len, out.data(), static_cast<uint32_t>(out.size()), &out_len);
+      });
+      server.Stop();
+      herd.values.push_back(static_cast<double>(server.server_cpu_ns()) / kRequests / 1000.0);
+    }
+
+    // ---- FaSST: master thread busy-polls the recv CQ. ----
+    {
+      lt::Cluster cluster(2, p);
+      liteapp::FasstServer server(&cluster, 1, 16 << 10, benchrpc::SizeHandler());
+      auto client = *server.AttachClient(0);
+      server.Start();
+      std::vector<uint8_t> out(16 << 10);
+      uint32_t out_len;
+      DriveWorkload(factor, [&](const uint8_t* in, uint32_t in_len, uint32_t) {
+        (void)client->Call(in, in_len, out.data(), static_cast<uint32_t>(out.size()), &out_len);
+      });
+      server.Stop();
+      fasst.values.push_back(static_cast<double>(server.server_cpu_ns()) / kRequests / 1000.0);
+    }
+  }
+  benchlib::PrintFigure(
+      "Fig 13: server CPU time per request vs inter-arrival amplification (Facebook KV)",
+      "amplification", "CPU us/request", xs, {herd, fasst, lite});
+  return 0;
+}

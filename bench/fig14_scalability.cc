@@ -1,0 +1,137 @@
+// Paper Fig. 14: aggregate LT_write and LT_RPC throughput as the cluster
+// grows from 2 to 8 nodes (8 threads per node; 64 B writes; 64 B -> 8 B
+// RPCs). LITE's shared QP pool (K x N QPs) keeps scaling linear.
+#include <thread>
+
+#include "bench/benchlib.h"
+#include "bench/rpc_common.h"
+#include "src/common/rng.h"
+#include "src/common/timing.h"
+#include "src/lite/lite_cluster.h"
+
+namespace {
+
+constexpr int kThreadsPerNode = 8;
+constexpr int kOpsPerThread = 300;
+
+double WriteTputReqPerUs(size_t nodes) {
+  lt::SimParams p;
+  p.node_phys_mem_bytes = 48ull << 20;
+  lite::LiteCluster cluster(nodes, p);
+  // One target LMR per node.
+  {
+    auto setup = cluster.CreateClient(0, true);
+    for (size_t n = 0; n < nodes; ++n) {
+      lite::MallocOptions mo;
+      mo.nodes = {static_cast<lt::NodeId>(n)};
+      (void)setup->Malloc(64 << 10, "f14w_" + std::to_string(n), mo);
+    }
+  }
+  const size_t total_threads = nodes * kThreadsPerNode;
+  std::vector<uint64_t> ends(total_threads);
+  uint64_t t0 = lt::NowNs();
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < total_threads; ++t) {
+    threads.emplace_back([&, t] {
+      lt::SyncClockTo(t0);
+      lt::NodeId my_node = static_cast<lt::NodeId>(t % nodes);
+      auto client = cluster.CreateClient(my_node);
+      std::vector<lite::Lh> lhs;
+      for (size_t n = 0; n < nodes; ++n) {
+        lhs.push_back(*client->Map("f14w_" + std::to_string(n)));
+      }
+      char buf[64] = {3};
+      lt::Rng rng(t * 31 + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        size_t target = rng.NextBounded(nodes - 1);
+        if (target >= my_node) {
+          ++target;  // Always remote.
+        }
+        (void)client->Write(lhs[target], rng.NextBounded(64) * 64, buf, sizeof(buf));
+      }
+      ends[t] = lt::NowNs();
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  uint64_t end = t0;
+  for (uint64_t e : ends) {
+    end = std::max(end, e);
+  }
+  lt::SyncClockTo(end);
+  return static_cast<double>(total_threads * kOpsPerThread) * 1000.0 /
+         static_cast<double>(end - t0);
+}
+
+double RpcTputReqPerUs(size_t nodes) {
+  lt::SimParams p;
+  p.node_phys_mem_bytes = 48ull << 20;
+  lite::LiteCluster cluster(nodes, p);
+  std::vector<std::unique_ptr<benchrpc::LiteSizeServer>> servers;
+  for (size_t n = 0; n < nodes; ++n) {
+    servers.push_back(std::make_unique<benchrpc::LiteSizeServer>(
+        &cluster, static_cast<lt::NodeId>(n), 43, 2));
+  }
+  const size_t total_threads = nodes * kThreadsPerNode;
+  std::vector<uint64_t> ends(total_threads);
+  uint64_t t0 = lt::NowNs();
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < total_threads; ++t) {
+    threads.emplace_back([&, t] {
+      lt::SyncClockTo(t0);
+      lt::NodeId my_node = static_cast<lt::NodeId>(t % nodes);
+      auto client = cluster.CreateClient(my_node);
+      uint8_t in[64] = {0};
+      uint32_t reply = 8;
+      std::memcpy(in, &reply, 4);
+      uint8_t out[64];
+      uint32_t out_len;
+      lt::Rng rng(t * 17 + 5);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        size_t target = rng.NextBounded(nodes - 1);
+        if (target >= my_node) {
+          ++target;
+        }
+        (void)client->Rpc(static_cast<lt::NodeId>(target), 43, in, sizeof(in), out, sizeof(out),
+                          &out_len);
+      }
+      ends[t] = lt::NowNs();
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  uint64_t end = t0;
+  for (uint64_t e : ends) {
+    end = std::max(end, e);
+  }
+  lt::SyncClockTo(end);
+  return static_cast<double>(total_threads * kOpsPerThread) * 1000.0 /
+         static_cast<double>(end - t0);
+}
+
+}  // namespace
+
+int main() {
+  std::vector<size_t> cluster_sizes = {2, 4, 6, 8};
+  benchlib::Series writes{"LITE_write", {}};
+  benchlib::Series rpcs{"LITE_RPC", {}};
+  std::vector<std::string> xs;
+  for (size_t n : cluster_sizes) {
+    xs.push_back(std::to_string(n));
+    writes.values.push_back(WriteTputReqPerUs(n));
+    rpcs.values.push_back(RpcTputReqPerUs(n));
+  }
+  benchlib::PrintFigure(
+      "Fig 14: aggregate throughput vs cluster size (8 threads/node, 64B ops)", "nodes",
+      "requests/us", xs, {writes, rpcs});
+  // Paper Sec. 6.1 QP accounting: K x N QPs per node.
+  std::printf("\n# QP accounting (Sec 6.1): K=2 sharing factor\n");
+  std::printf("%-8s %12s %18s %14s\n", "nodes", "LITE(KxN)", "native(2xNxT)", "FaRM(2NT/q,q=4)");
+  for (size_t n : cluster_sizes) {
+    std::printf("%-8zu %12zu %18zu %14zu\n", n, 2 * (n - 1), 2 * (n - 1) * 8,
+                2 * (n - 1) * 8 / 4);
+  }
+  return 0;
+}

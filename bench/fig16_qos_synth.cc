@@ -1,0 +1,155 @@
+// Paper Fig. 16: QoS under a synthetic mix — low-priority writers start at
+// t=0; high-priority writers join later; 8 of them pause and return. The
+// timeline shows total and high-priority-only bandwidth for SW-Pri, HW-Sep,
+// and no QoS. (Scaled to ~1/10 the paper's duration; identical structure.)
+#include <atomic>
+#include <thread>
+
+#include "bench/benchlib.h"
+#include "src/common/timing.h"
+#include "src/lite/lite_cluster.h"
+
+namespace {
+
+constexpr uint64_t kBucketNs = 25'000'000;  // 25 ms timeline buckets.
+constexpr int kBuckets = 24;
+constexpr int kLowThreads = 20;
+constexpr int kHighThreads = 20;
+constexpr int kLowOps = 12000;
+constexpr int kHighOps1 = 3000;
+constexpr int kHighOps2 = 1500;
+constexpr uint64_t kHighJoinNs = 100'000'000;   // High-pri joins at t=0.1s
+constexpr uint64_t kHighPauseNs = 100'000'000;  // (paper: t=2s, 1/20 scale).
+
+struct Timeline {
+  std::atomic<uint64_t> total[kBuckets] = {};
+  std::atomic<uint64_t> high[kBuckets] = {};
+
+  void Record(uint64_t t_rel_ns, uint64_t bytes, bool is_high) {
+    size_t bucket = std::min<size_t>(t_rel_ns / kBucketNs, kBuckets - 1);
+    total[bucket].fetch_add(bytes, std::memory_order_relaxed);
+    if (is_high) {
+      high[bucket].fetch_add(bytes, std::memory_order_relaxed);
+    }
+  }
+};
+
+void RunPolicy(lite::QosPolicy policy, Timeline* timeline) {
+  lt::SimParams p;
+  p.node_phys_mem_bytes = 64ull << 20;
+  p.lite_qp_sharing_factor = 4;
+  lite::LiteCluster cluster(5, p);
+  for (size_t n = 0; n < cluster.size(); ++n) {
+    cluster.instance(n)->qos().SetPolicy(policy);
+  }
+  // Targets on nodes 1..4 (the paper writes to four nodes).
+  {
+    auto setup = cluster.CreateClient(0, true);
+    for (lt::NodeId n = 1; n <= 4; ++n) {
+      lite::MallocOptions mo;
+      mo.nodes = {n};
+      (void)setup->Malloc(256 << 10, "f16_" + std::to_string(n), mo);
+    }
+  }
+  const uint64_t t0 = lt::NowNs();
+  std::vector<std::thread> threads;
+  std::vector<uint64_t> ends(kLowThreads + kHighThreads, t0);
+
+  for (int t = 0; t < kLowThreads; ++t) {
+    threads.emplace_back([&, t] {
+      lt::SyncClockTo(t0);
+      auto client = cluster.CreateClient(0, true);
+      client->set_priority(lite::Priority::kLow);
+      lt::NodeId target = 1 + static_cast<lt::NodeId>(t % 4);
+      auto lh = *client->Map("f16_" + std::to_string(target));
+      uint32_t size = (t % 2 == 0) ? 4096 : 8192;
+      std::vector<uint8_t> buf(size, 1);
+      bool is_read = t >= kLowThreads / 2;
+      for (int i = 0; i < kLowOps; ++i) {
+        if (is_read) {
+          (void)client->Read(lh, 0, buf.data(), size);
+        } else {
+          (void)client->Write(lh, 0, buf.data(), size);
+        }
+        timeline->Record(lt::NowNs() - t0, size, false);
+      }
+      ends[t] = lt::NowNs();
+    });
+  }
+  for (int t = 0; t < kHighThreads; ++t) {
+    threads.emplace_back([&, t] {
+      lt::SyncClockTo(t0);
+      lt::IdleFor(kHighJoinNs);  // High-priority jobs join after 2 (scaled) s.
+      auto client = cluster.CreateClient(0, true);
+      client->set_priority(lite::Priority::kHigh);
+      lt::NodeId target = 1 + static_cast<lt::NodeId>(t % 4);
+      auto lh = *client->Map("f16_" + std::to_string(target));
+      constexpr uint32_t size = 4096;
+      std::vector<uint8_t> buf(size, 2);
+      bool is_read = t >= kHighThreads / 2;
+      auto burst = [&](int ops) {
+        for (int i = 0; i < ops; ++i) {
+          if (is_read) {
+            (void)client->Read(lh, 0, buf.data(), size);
+          } else {
+            (void)client->Write(lh, 0, buf.data(), size);
+          }
+          timeline->Record(lt::NowNs() - t0, size, true);
+        }
+      };
+      burst(kHighOps1);
+      if (t < 8) {  // 8 threads sleep, then run a second burst (paper).
+        lt::IdleFor(kHighPauseNs);
+        burst(kHighOps2);
+      }
+      ends[kLowThreads + t] = lt::NowNs();
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  uint64_t end = t0;
+  for (uint64_t e : ends) {
+    end = std::max(end, e);
+  }
+  lt::SyncClockTo(end);
+}
+
+const char* PolicyName(lite::QosPolicy policy) {
+  switch (policy) {
+    case lite::QosPolicy::kSwPri:
+      return "SW-Pri";
+    case lite::QosPolicy::kHwSep:
+      return "HW-Sep";
+    default:
+      return "NoQoS";
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::vector<std::string> xs;
+  for (int b = 0; b < kBuckets; ++b) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.3fs", b * 0.025);
+    xs.push_back(label);
+  }
+  std::vector<benchlib::Series> series;
+  for (lite::QosPolicy policy :
+       {lite::QosPolicy::kSwPri, lite::QosPolicy::kHwSep, lite::QosPolicy::kNone}) {
+    Timeline timeline;
+    RunPolicy(policy, &timeline);
+    benchlib::Series total{std::string(PolicyName(policy)) + "-Total", {}};
+    benchlib::Series high{std::string(PolicyName(policy)) + "-High", {}};
+    for (int b = 0; b < kBuckets; ++b) {
+      total.values.push_back(static_cast<double>(timeline.total[b].load()) / kBucketNs);
+      high.values.push_back(static_cast<double>(timeline.high[b].load()) / kBucketNs);
+    }
+    series.push_back(total);
+    series.push_back(high);
+  }
+  benchlib::PrintFigure("Fig 16: QoS timeline, synthetic mix (GB/s per 25ms bucket; 1/20 of paper time scale)", "time",
+                        "GB/s", xs, series);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Paper Fig. 17: latency of LITE's extended memory-like operations
+// (LT_malloc, LT_memset, LT_memcpy remote + local, LT_memmove) vs size,
+// with native Verbs write for reference.
+#include "bench/benchlib.h"
+#include "src/common/timing.h"
+#include "src/lite/lite_cluster.h"
+#include "src/node/node.h"
+
+namespace {
+
+constexpr int kReps = 50;
+
+}  // namespace
+
+int main() {
+  std::vector<uint64_t> sizes = {1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20};
+  lt::SimParams p;
+  p.node_phys_mem_bytes = 256ull << 20;
+  lite::LiteCluster cluster(3, p);
+  auto client = cluster.CreateClient(0, true);
+
+  benchlib::Series verbs_write{"Verbs_write", {}};
+  benchlib::Series memcpy_remote{"LT_memcpy", {}};
+  benchlib::Series memcpy_local{"LT_memcpy_local", {}};
+  benchlib::Series memset_series{"LT_memset", {}};
+  benchlib::Series malloc_series{"LT_malloc", {}};
+  std::vector<std::string> xs;
+
+  // Reference Verbs path.
+  lt::Process* vclient = cluster.node(0)->CreateProcess();
+  lt::Process* vserver = cluster.node(1)->CreateProcess();
+  auto vlocal = *vclient->page_table().AllocVirt(1 << 20);
+  auto vremote = *vserver->page_table().AllocVirt(1 << 20);
+  auto vlmr = *vclient->verbs().RegisterMr(vlocal, 1 << 20, lt::kMrAll);
+  auto vrmr = *vserver->verbs().RegisterMr(vremote, 1 << 20, lt::kMrAll);
+  lt::Qp* vq0 = vclient->verbs().CreateQp(lt::QpType::kRc, vclient->verbs().CreateCq(),
+                                          vclient->verbs().CreateCq());
+  lt::Qp* vq1 = vserver->verbs().CreateQp(lt::QpType::kRc, vserver->verbs().CreateCq(),
+                                          vserver->verbs().CreateCq());
+  vq0->Connect(1, vq1->qpn());
+  vq1->Connect(0, vq0->qpn());
+
+  int tag = 0;
+  for (uint64_t size : sizes) {
+    xs.push_back(benchlib::HumanBytes(size));
+
+    // Source and destinations: src on node 1, remote dst on node 2, local
+    // (to the src node) dst on node 1.
+    lite::MallocOptions on1;
+    on1.nodes = {1};
+    lite::MallocOptions on2;
+    on2.nodes = {2};
+    auto src = *client->Malloc(size, "f17src_" + std::to_string(size), on1);
+    auto dst_remote = *client->Malloc(size, "f17dr_" + std::to_string(size), on2);
+    auto dst_local = *client->Malloc(size, "f17dl_" + std::to_string(size), on1);
+
+    uint64_t t0 = lt::NowNs();
+    for (int i = 0; i < kReps; ++i) {
+      lt::WorkRequest wr;
+      wr.opcode = lt::WrOpcode::kWrite;
+      wr.lkey = vlmr.lkey;
+      wr.local_addr = vlocal;
+      wr.length = size;
+      wr.rkey = vrmr.rkey;
+      wr.remote_addr = vremote;
+      (void)vclient->verbs().ExecSync(vq0, wr);
+    }
+    verbs_write.values.push_back(static_cast<double>(lt::NowNs() - t0) / kReps / 1000.0);
+
+    t0 = lt::NowNs();
+    for (int i = 0; i < kReps; ++i) {
+      (void)client->Memcpy(dst_remote, 0, src, 0, size);
+    }
+    memcpy_remote.values.push_back(static_cast<double>(lt::NowNs() - t0) / kReps / 1000.0);
+
+    t0 = lt::NowNs();
+    for (int i = 0; i < kReps; ++i) {
+      (void)client->Memcpy(dst_local, 0, src, 0, size);
+    }
+    memcpy_local.values.push_back(static_cast<double>(lt::NowNs() - t0) / kReps / 1000.0);
+
+    t0 = lt::NowNs();
+    for (int i = 0; i < kReps; ++i) {
+      (void)client->Memset(src, 0, 0x44, size);
+    }
+    memset_series.values.push_back(static_cast<double>(lt::NowNs() - t0) / kReps / 1000.0);
+
+    t0 = lt::NowNs();
+    std::vector<lite::Lh> allocated;
+    for (int i = 0; i < kReps; ++i) {
+      allocated.push_back(
+          *client->Malloc(size, "f17m_" + std::to_string(tag++), on1));
+    }
+    malloc_series.values.push_back(static_cast<double>(lt::NowNs() - t0) / kReps / 1000.0);
+    for (lite::Lh lh : allocated) {
+      (void)client->Free(lh);
+    }
+  }
+  benchlib::PrintFigure(
+      "Fig 17: memory-like operation latency vs size (LT_memmove == LT_memcpy)", "size",
+      "latency (us)", xs,
+      {verbs_write, memcpy_remote, memcpy_local, memset_series, malloc_series});
+  return 0;
+}

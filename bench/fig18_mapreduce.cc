@@ -1,0 +1,50 @@
+// Paper Fig. 18: WordCount runtime — Phoenix (single node), LITE-MR on
+// 2/4/8 worker nodes, and the Hadoop-like TCP baseline, all with the same
+// total thread count per configuration.
+#include "bench/benchlib.h"
+#include "src/apps/mapreduce.h"
+#include "src/apps/workloads.h"
+#include "src/common/timing.h"
+#include "src/lite/lite_cluster.h"
+
+int main() {
+  const std::string corpus = liteapp::GenerateCorpus(6 << 20, 30000, 11);
+  lt::SimParams p;
+  p.node_phys_mem_bytes = 96ull << 20;
+
+  std::vector<std::string> xs = {"Phoenix", "2-node", "4-node", "8-node"};
+  benchlib::Series map_s{"Map_s", {}};
+  benchlib::Series reduce_s{"Reduce_s", {}};
+  benchlib::Series merge_s{"Merge_s", {}};
+  benchlib::Series lite_total{"LITE-MR_total_s", {}};
+  benchlib::Series hadoop_total{"Hadoop_total_s", {}};
+
+  constexpr int kTotalThreads = 8;
+
+  auto phoenix = liteapp::PhoenixWordCount(corpus, kTotalThreads);
+  map_s.values.push_back(phoenix.map_ns / 1e9);
+  reduce_s.values.push_back(phoenix.reduce_ns / 1e9);
+  merge_s.values.push_back(phoenix.merge_ns / 1e9);
+  lite_total.values.push_back(phoenix.total_ns / 1e9);
+  hadoop_total.values.push_back(0);
+
+  for (uint32_t workers : {2u, 4u, 8u}) {
+    int threads_per_worker = kTotalThreads / static_cast<int>(workers);
+    {
+      lite::LiteCluster cluster(workers + 1, p);
+      auto r = liteapp::LiteMrWordCount(&cluster, corpus, workers, threads_per_worker);
+      map_s.values.push_back(r.map_ns / 1e9);
+      reduce_s.values.push_back(r.reduce_ns / 1e9);
+      merge_s.values.push_back(r.merge_ns / 1e9);
+      lite_total.values.push_back(r.total_ns / 1e9);
+    }
+    {
+      lt::Cluster cluster(workers + 1, p);
+      auto r = liteapp::HadoopWordCount(&cluster, corpus, workers, threads_per_worker);
+      hadoop_total.values.push_back(r.total_ns / 1e9);
+    }
+  }
+  benchlib::PrintFigure("Fig 18: MapReduce WordCount runtime (8 total threads)", "config",
+                        "seconds", xs, {map_s, reduce_s, merge_s, lite_total, hadoop_total});
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Paper Fig. 19: PageRank runtime on 4 and 7 nodes — LITE-Graph,
+// LITE-Graph-DSM, the Grappa-like DSM engine, and the PowerGraph-like
+// IPoIB engine (4 compute threads per node, as in the paper).
+#include "bench/benchlib.h"
+#include "src/apps/dsm.h"
+#include "src/apps/graph.h"
+#include "src/apps/workloads.h"
+
+int main() {
+  // Scaled stand-in for the Twitter graph (see DESIGN.md substitutions).
+  liteapp::SyntheticGraph graph = liteapp::GeneratePowerLawGraph(120000, 1'200'000, 0.8);
+  liteapp::PageRankOptions options;
+  options.iterations = 10;
+  options.threads_per_node = 4;
+
+  lt::SimParams p;
+  p.node_phys_mem_bytes = 96ull << 20;
+
+  benchlib::Series lite{"LITE-Graph", {}};
+  benchlib::Series lite_dsm{"LITE-Graph-DSM", {}};
+  benchlib::Series grappa{"Grappa", {}};
+  benchlib::Series powergraph{"PowerGraph", {}};
+  std::vector<std::string> xs;
+
+  for (uint32_t nodes : {4u, 7u}) {
+    xs.push_back(std::to_string(nodes) + "-node");
+    {
+      lite::LiteCluster cluster(nodes, p);
+      lite.values.push_back(
+          liteapp::LiteGraphPageRank(&cluster, graph, nodes, options).total_ns / 1e9);
+    }
+    {
+      lite::LiteCluster cluster(nodes, p);
+      lite_dsm.values.push_back(
+          liteapp::LiteGraphDsmPageRank(&cluster, graph, nodes, options).total_ns / 1e9);
+    }
+    {
+      lt::Cluster cluster(nodes, p);
+      grappa.values.push_back(
+          liteapp::GrappaPageRank(&cluster, graph, nodes, options).total_ns / 1e9);
+      powergraph.values.push_back(
+          liteapp::PowerGraphPageRank(&cluster, graph, nodes, options).total_ns / 1e9);
+    }
+  }
+  benchlib::PrintFigure("Fig 19: PageRank runtime (10 iterations, 4 threads/node)", "config",
+                        "seconds", xs, {lite, lite_dsm, grappa, powergraph});
+  return 0;
+}

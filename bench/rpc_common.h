@@ -1,0 +1,85 @@
+// Shared helpers for the RPC figure benches (Figs. 10-13): servers that
+// reply with a caller-requested number of bytes, for LITE and each baseline.
+#ifndef BENCH_RPC_COMMON_H_
+#define BENCH_RPC_COMMON_H_
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/baselines/base_util.h"
+#include "src/common/timing.h"
+#include "src/lite/lite_cluster.h"
+
+namespace benchrpc {
+
+// Request payload: first 4 bytes = desired reply length; rest is filler.
+inline uint32_t WantedLen(const uint8_t* in, uint32_t in_len) {
+  uint32_t want = 0;
+  if (in_len >= 4) {
+    std::memcpy(&want, in, 4);
+  }
+  return want;
+}
+
+inline liteapp::RpcHandler SizeHandler() {
+  return [](const uint8_t* in, uint32_t in_len, uint8_t* out, uint32_t out_max) -> uint32_t {
+    uint32_t want = std::min(WantedLen(in, in_len), out_max);
+    std::memset(out, 0x6b, want);
+    return want;
+  };
+}
+
+// LITE-side size server: `threads` worker threads on `node` (the paper lets
+// user threads execute RPC functions, unlike FaSST's inline dispatcher).
+class LiteSizeServer {
+ public:
+  LiteSizeServer(lite::LiteCluster* cluster, lt::NodeId node, lite::RpcFuncId func,
+                 int threads = 2, bool kernel_level = true)
+      : func_(func) {
+    for (int i = 0; i < threads; ++i) {
+      clients_.push_back(cluster->CreateClient(node, kernel_level));
+    }
+    (void)clients_[0]->RegisterRpc(func_);
+    for (auto& client : clients_) {
+      threads_.emplace_back([this, c = client.get()] { Serve(c); });
+    }
+  }
+
+  ~LiteSizeServer() {
+    stopping_.store(true);
+    for (auto& t : threads_) {
+      t.join();
+    }
+  }
+
+  uint64_t server_cpu_ns() const { return cpu_ns_.load(); }
+
+ private:
+  void Serve(lite::LiteClient* client) {
+    std::vector<uint8_t> reply(16384, 0x6b);
+    while (!stopping_.load()) {
+      uint64_t c0 = lt::ThreadCpuNs();
+      auto inc = client->RecvRpc(func_, 50'000'000);
+      if (inc.ok()) {
+        uint32_t want = std::min<uint32_t>(WantedLen(inc->data.data(),
+                                                     static_cast<uint32_t>(inc->data.size())),
+                                           static_cast<uint32_t>(reply.size()));
+        (void)client->ReplyRpc(inc->token, reply.data(), want);
+      }
+      cpu_ns_.fetch_add(lt::ThreadCpuNs() - c0);
+    }
+  }
+
+  const lite::RpcFuncId func_;
+  std::vector<std::unique_ptr<lite::LiteClient>> clients_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> cpu_ns_{0};
+};
+
+}  // namespace benchrpc
+
+#endif  // BENCH_RPC_COMMON_H_

@@ -1,0 +1,120 @@
+// LITE-DSM: the paper's kernel-level distributed shared memory (Sec. 8.4).
+//
+// Page-based, multiple-reader/single-writer, release consistency, home-based
+// (HLRC): page p's home is nodes[p mod N]. Remote page reads are pure
+// one-sided LT_read (no home-node CPU on the read path); cacher registration
+// rides an asynchronous no-reply RPC off the critical path. Acquire/Release
+// run a home-node protocol over LT_RPC, and release-time invalidations fan
+// out with the multicast RPC extension the paper added for exactly this use
+// (Sec. 8.4).
+//
+// The real system intercepts kernel page faults; as a user-space
+// reproduction we expose explicit Read/Write/Acquire/Release calls that
+// perform the same protocol steps with the same communication pattern (see
+// DESIGN.md substitutions).
+#ifndef SRC_APPS_DSM_H_
+#define SRC_APPS_DSM_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/apps/graph.h"
+#include "src/lite/lite_cluster.h"
+
+namespace liteapp {
+
+using lite::LiteClient;
+using lt::Status;
+using lt::StatusOr;
+
+class LiteDsm {
+ public:
+  static constexpr uint32_t kPageSize = 4096;
+  static constexpr lite::RpcFuncId kDsmFunc = 50;
+
+  // Collective construction: every participating node builds one LiteDsm
+  // with the same `nodes` list and `total_pages`; `instance_id` separates
+  // independent DSM deployments on one cluster. Node nodes[0] allocates the
+  // backing LMRs.
+  LiteDsm(lite::LiteCluster* cluster, lt::NodeId self, std::vector<lt::NodeId> nodes,
+          uint64_t total_pages, uint32_t instance_id = 0);
+  ~LiteDsm();
+
+  // Must be called on all instances after construction (wires handles and
+  // starts the per-node protocol service thread).
+  Status Start();
+  void Stop();
+
+  uint64_t total_bytes() const { return total_pages_ * kPageSize; }
+
+  // Data path. Reads hit the local page cache or fetch the page from home
+  // with one LT_read. Writes require holding the page via Acquire.
+  Status Read(uint64_t gaddr, void* buf, uint32_t len);
+  Status Write(uint64_t gaddr, const void* buf, uint32_t len);
+
+  // Release consistency: Acquire gains exclusive write ownership of the
+  // pages covering [gaddr, gaddr+len) and fetches fresh copies; Release
+  // pushes dirty pages home and invalidates remote cached copies.
+  Status Acquire(uint64_t gaddr, uint32_t len);
+  Status Release(uint64_t gaddr, uint32_t len);
+
+  // Stats.
+  uint64_t cache_hits() const { return cache_hits_.load(); }
+  uint64_t cache_misses() const { return cache_misses_.load(); }
+
+ private:
+  struct CachedPage {
+    std::vector<uint8_t> data;
+    bool dirty = false;
+    bool writable = false;
+  };
+
+  // Home-side state for pages homed here.
+  struct HomePage {
+    lt::NodeId writer = lt::kInvalidNode;
+    std::vector<std::pair<lite::ReplyToken, lt::NodeId>> wait_queue;
+    std::unordered_set<lt::NodeId> cachers;
+  };
+
+  lt::NodeId HomeOf(uint64_t page) const { return nodes_[page % nodes_.size()]; }
+  uint64_t HomeOffset(uint64_t page) const { return (page / nodes_.size()) * kPageSize; }
+  std::string BackingName(lt::NodeId node) const;
+
+  Status FetchPage(uint64_t page, CachedPage* out);
+  void ServiceLoop();
+
+  lite::LiteCluster* const cluster_;
+  const lt::NodeId self_;
+  const std::vector<lt::NodeId> nodes_;
+  const uint64_t total_pages_;
+  const uint32_t instance_id_;
+
+  std::unique_ptr<LiteClient> client_;  // Kernel-level (it IS the kernel).
+  std::unordered_map<lt::NodeId, lite::Lh> backing_;  // Home LMR handles.
+
+  std::mutex cache_mu_;
+  std::unordered_map<uint64_t, CachedPage> cache_;
+
+  std::mutex home_mu_;
+  std::unordered_map<uint64_t, HomePage> home_pages_;
+
+  std::thread service_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+};
+
+// LITE-Graph-DSM (paper Sec. 8.4): the LITE-Graph engine on top of LiteDsm —
+// ranks live in the DSM space and are accessed with plain reads/writes plus
+// acquire/release, instead of LITE memory APIs.
+PageRankResult LiteGraphDsmPageRank(lite::LiteCluster* cluster, const SyntheticGraph& graph,
+                                    uint32_t num_nodes, const PageRankOptions& options);
+
+}  // namespace liteapp
+
+#endif  // SRC_APPS_DSM_H_

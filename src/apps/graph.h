@@ -1,0 +1,53 @@
+// Graph engines for the paper's Fig. 19 comparison (PageRank on a power-law
+// graph):
+//   * LiteGraphPageRank   — LITE-Graph (paper Sec. 8.3): vertex-centric GAS
+//     with delta caching; global rank data in LMRs, bulk LT_read of remote
+//     partitions, LT_lock-protected scatter, LT_barrier between steps.
+//   * PowerGraphPageRank  — PowerGraph-like baseline: the same GAS engine
+//     exchanging per-vertex updates in small batches over IPoIB TCP (each
+//     batch pays the full socket/TCP/IPoIB stack), as the real system's
+//     fine-grained mirror updates do.
+//   * GrappaPageRank      — Grappa-like baseline: a latency-tolerant DSM
+//     engine that aggregates remote updates into one large message per peer
+//     per step over its custom stack (cheaper than PowerGraph's many small
+//     messages, still costlier than one-sided RDMA reads).
+#ifndef SRC_APPS_GRAPH_H_
+#define SRC_APPS_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/apps/workloads.h"
+#include "src/lite/lite_cluster.h"
+#include "src/node/node.h"
+
+namespace liteapp {
+
+struct PageRankResult {
+  std::vector<double> ranks;
+  uint64_t total_ns = 0;
+  uint32_t iterations = 0;
+};
+
+struct PageRankOptions {
+  uint32_t iterations = 10;
+  double damping = 0.85;
+  double delta_epsilon = 1e-9;  // Delta-caching threshold (paper Sec. 8.3).
+  int threads_per_node = 4;
+};
+
+PageRankResult LiteGraphPageRank(lite::LiteCluster* cluster, const SyntheticGraph& graph,
+                                 uint32_t num_nodes, const PageRankOptions& options);
+
+PageRankResult PowerGraphPageRank(lt::Cluster* cluster, const SyntheticGraph& graph,
+                                  uint32_t num_nodes, const PageRankOptions& options);
+
+PageRankResult GrappaPageRank(lt::Cluster* cluster, const SyntheticGraph& graph,
+                              uint32_t num_nodes, const PageRankOptions& options);
+
+// Single-node reference (for correctness checks).
+std::vector<double> ReferencePageRank(const SyntheticGraph& graph, const PageRankOptions& options);
+
+}  // namespace liteapp
+
+#endif  // SRC_APPS_GRAPH_H_

@@ -1,0 +1,300 @@
+#include "src/apps/kv_store.h"
+
+#include <cstring>
+
+#include "src/lite/wire.h"
+
+namespace liteapp {
+namespace {
+
+enum KvOp : uint8_t { kPut = 0, kGet = 1, kDelete = 2, kResolve = 3 };
+
+constexpr uint64_t kValueLogBytes = 8ull << 20;
+
+// In-log record header preceding each value. `version` is zeroed when the
+// record is superseded so one-sided readers detect staleness.
+struct RecordHeader {
+  uint64_t version;
+  uint32_t len;
+  uint32_t pad;
+};
+
+uint64_t AlignRecord(uint64_t n) { return (n + 63) & ~63ull; }
+
+}  // namespace
+
+LiteKvServer::LiteKvServer(lite::LiteCluster* cluster, lt::NodeId node, int server_threads)
+    : cluster_(cluster), node_(node), server_threads_(server_threads) {
+  client_ = cluster_->CreateClient(node_, /*kernel_level=*/false);
+}
+
+LiteKvServer::~LiteKvServer() { Stop(); }
+
+void LiteKvServer::Start() {
+  stopping_.store(false);
+  (void)client_->RegisterRpc(kKvFunc);
+  auto log = client_->Malloc(kValueLogBytes, value_log_name());
+  if (log.ok()) {
+    value_log_ = *log;
+    value_log_size_ = kValueLogBytes;
+  }
+  for (int i = 0; i < server_threads_; ++i) {
+    threads_.emplace_back([this] { ServeLoop(); });
+  }
+}
+
+void LiteKvServer::Stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  for (std::thread& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  threads_.clear();
+}
+
+size_t LiteKvServer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.size();
+}
+
+void LiteKvServer::ServeLoop() {
+  std::vector<uint8_t> reply;
+  while (!stopping_.load()) {
+    auto inc = client_->RecvRpc(kKvFunc, 100'000'000);
+    if (!inc.ok()) {
+      continue;
+    }
+    lite::WireReader r(inc->data.data(), inc->data.size());
+    uint8_t op = 0;
+    std::string key;
+    if (!r.Get(&op) || !r.GetString(&key)) {
+      uint8_t err = 0xff;
+      (void)client_->ReplyRpc(inc->token, &err, 1);
+      continue;
+    }
+    switch (op) {
+      case kPut: {
+        std::vector<uint8_t> value;
+        r.GetBytes(&value);
+        uint64_t stale_offset = 0;
+        bool had_old = false;
+        uint64_t record_offset = 0;
+        uint64_t version = 0;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          table_[key] = value;
+          // Append to the value log for the one-sided read path.
+          uint64_t need = AlignRecord(sizeof(RecordHeader) + value.size());
+          if (value_log_ != lite::kInvalidLh && value_log_tail_ + need <= value_log_size_) {
+            auto it = value_index_.find(key);
+            if (it != value_index_.end()) {
+              had_old = true;
+              stale_offset = it->second.offset;
+            }
+            record_offset = value_log_tail_;
+            value_log_tail_ += need;
+            version = next_version_++;
+            value_index_[key] = ValueLocation{record_offset, static_cast<uint32_t>(value.size()),
+                                              version};
+          }
+        }
+        if (version != 0) {
+          RecordHeader hdr{version, static_cast<uint32_t>(value.size()), 0};
+          std::vector<uint8_t> record(sizeof(hdr) + value.size());
+          std::memcpy(record.data(), &hdr, sizeof(hdr));
+          std::memcpy(record.data() + sizeof(hdr), value.data(), value.size());
+          (void)client_->Write(value_log_, record_offset, record.data(), record.size());
+          if (had_old) {
+            // Invalidate the superseded record so cached one-sided readers
+            // notice and re-resolve.
+            uint64_t zero = 0;
+            (void)client_->Write(value_log_, stale_offset, &zero, sizeof(zero));
+          }
+        }
+        uint8_t ok = 1;
+        (void)client_->ReplyRpc(inc->token, &ok, 1);
+        break;
+      }
+      case kGet: {
+        reply.clear();
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          auto it = table_.find(key);
+          if (it != table_.end()) {
+            reply.assign(1, 1);
+            reply.insert(reply.end(), it->second.begin(), it->second.end());
+          } else {
+            reply.assign(1, 0);
+          }
+        }
+        (void)client_->ReplyRpc(inc->token, reply.data(), static_cast<uint32_t>(reply.size()));
+        break;
+      }
+      case kDelete: {
+        uint8_t found = 0;
+        uint64_t stale_offset = 0;
+        bool had_record = false;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          found = table_.erase(key) > 0 ? 1 : 0;
+          auto it = value_index_.find(key);
+          if (it != value_index_.end()) {
+            had_record = true;
+            stale_offset = it->second.offset;
+            value_index_.erase(it);
+          }
+        }
+        if (had_record) {
+          uint64_t zero = 0;
+          (void)client_->Write(value_log_, stale_offset, &zero, sizeof(zero));
+        }
+        (void)client_->ReplyRpc(inc->token, &found, 1);
+        break;
+      }
+      case kResolve: {
+        lite::WireWriter w;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          auto it = value_index_.find(key);
+          if (it == value_index_.end()) {
+            w.Put<uint8_t>(0);
+          } else {
+            w.Put<uint8_t>(1);
+            w.Put<uint64_t>(it->second.offset);
+            w.Put<uint32_t>(it->second.len);
+            w.Put<uint64_t>(it->second.version);
+          }
+        }
+        (void)client_->ReplyRpc(inc->token, w.bytes().data(),
+                                static_cast<uint32_t>(w.bytes().size()));
+        break;
+      }
+      default: {
+        uint8_t err = 0xff;
+        (void)client_->ReplyRpc(inc->token, &err, 1);
+      }
+    }
+  }
+}
+
+LiteKvClient::LiteKvClient(lite::LiteCluster* cluster, lt::NodeId node, lt::NodeId server_node)
+    : client_(cluster->CreateClient(node)), server_node_(server_node) {}
+
+Status LiteKvClient::Put(const std::string& key, const void* value, uint32_t len) {
+  lite::WireWriter w;
+  w.Put<uint8_t>(kPut);
+  w.PutString(key);
+  w.PutBytes(value, len);
+  uint8_t ok = 0;
+  uint32_t out_len = 0;
+  LT_RETURN_IF_ERROR(client_->Rpc(server_node_, LiteKvServer::kKvFunc, w.bytes().data(),
+                                  static_cast<uint32_t>(w.bytes().size()), &ok, 1, &out_len));
+  if (ok != 1) {
+    return Status::Internal("KV put rejected");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<uint8_t>> LiteKvClient::Get(const std::string& key) {
+  lite::WireWriter w;
+  w.Put<uint8_t>(kGet);
+  w.PutString(key);
+  std::vector<uint8_t> reply(client_->instance()->params().lite_reply_slot_bytes);
+  uint32_t out_len = 0;
+  LT_RETURN_IF_ERROR(client_->Rpc(server_node_, LiteKvServer::kKvFunc, w.bytes().data(),
+                                  static_cast<uint32_t>(w.bytes().size()), reply.data(),
+                                  static_cast<uint32_t>(reply.size()), &out_len));
+  if (out_len == 0 || reply[0] == 0) {
+    return Status::NotFound("key not present");
+  }
+  return std::vector<uint8_t>(reply.begin() + 1, reply.begin() + out_len);
+}
+
+Status LiteKvClient::Delete(const std::string& key) {
+  lite::WireWriter w;
+  w.Put<uint8_t>(kDelete);
+  w.PutString(key);
+  uint8_t found = 0;
+  uint32_t out_len = 0;
+  LT_RETURN_IF_ERROR(client_->Rpc(server_node_, LiteKvServer::kKvFunc, w.bytes().data(),
+                                  static_cast<uint32_t>(w.bytes().size()), &found, 1, &out_len));
+  if (found == 0) {
+    return Status::NotFound("key not present");
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    location_cache_.erase(key);
+  }
+  return Status::Ok();
+}
+
+lt::StatusOr<LiteKvClient::CachedLocation> LiteKvClient::ResolveLocation(const std::string& key) {
+  lite::WireWriter w;
+  w.Put<uint8_t>(kResolve);
+  w.PutString(key);
+  uint8_t reply[32];
+  uint32_t out_len = 0;
+  LT_RETURN_IF_ERROR(client_->Rpc(server_node_, LiteKvServer::kKvFunc, w.bytes().data(),
+                                  static_cast<uint32_t>(w.bytes().size()), reply, sizeof(reply),
+                                  &out_len));
+  lite::WireReader r(reply, out_len);
+  uint8_t found = 0;
+  if (!r.Get(&found) || found == 0) {
+    return Status::NotFound("key not present");
+  }
+  CachedLocation loc{};
+  if (!r.Get(&loc.offset) || !r.Get(&loc.len) || !r.Get(&loc.version)) {
+    return Status::Internal("malformed resolve reply");
+  }
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  location_cache_[key] = loc;
+  return loc;
+}
+
+StatusOr<std::vector<uint8_t>> LiteKvClient::GetDirect(const std::string& key) {
+  // Lazily map the server's value log.
+  if (value_log_ == lite::kInvalidLh) {
+    auto lh = client_->Map("kv_vlog_" + std::to_string(server_node_), lite::kPermRead);
+    if (!lh.ok()) {
+      return lh.status();
+    }
+    value_log_ = *lh;
+  }
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    CachedLocation loc;
+    bool cached = false;
+    {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      auto it = location_cache_.find(key);
+      if (it != location_cache_.end()) {
+        loc = it->second;
+        cached = true;
+      }
+    }
+    if (!cached) {
+      auto resolved = ResolveLocation(key);
+      if (!resolved.ok()) {
+        return resolved.status();
+      }
+      loc = *resolved;
+    }
+    // ONE one-sided read fetches header + value; the version check detects
+    // records superseded since the location was cached.
+    std::vector<uint8_t> record(sizeof(RecordHeader) + loc.len);
+    LT_RETURN_IF_ERROR(client_->Read(value_log_, loc.offset, record.data(), record.size()));
+    RecordHeader hdr;
+    std::memcpy(&hdr, record.data(), sizeof(hdr));
+    if (hdr.version == loc.version && hdr.len == loc.len) {
+      return std::vector<uint8_t>(record.begin() + sizeof(RecordHeader), record.end());
+    }
+    // Stale: drop the cached location and resolve afresh (once).
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    location_cache_.erase(key);
+  }
+  return Status::Unavailable("value moved repeatedly; retry");
+}
+
+}  // namespace liteapp

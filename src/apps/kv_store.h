@@ -1,0 +1,108 @@
+// A small distributed key-value store built on LITE (used by the examples
+// and the Facebook-workload benchmarks).
+//
+// Two GET paths, mirroring the design space the paper's Sec. 2.4 discusses
+// (Memcached/Masstree would need thousands-to-millions of native MRs; LITE
+// needs none):
+//   * Get():       classic RPC GET — one LT_RPC round trip.
+//   * GetDirect(): one-sided GET — values live in a value-log LMR; the
+//     client resolves (offset, length) once via RPC, caches the location,
+//     and afterwards reads the value with a single LT_read, CPU-free at the
+//     server (the Pilaf/FaRM-style read path, built in ~10 lines on LITE).
+#ifndef SRC_APPS_KV_STORE_H_
+#define SRC_APPS_KV_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/lite/lite_cluster.h"
+
+namespace liteapp {
+
+using lite::LiteClient;
+using lt::Status;
+using lt::StatusOr;
+
+class LiteKvServer {
+ public:
+  static constexpr lite::RpcFuncId kKvFunc = 30;
+
+  LiteKvServer(lite::LiteCluster* cluster, lt::NodeId node, int server_threads = 2);
+  ~LiteKvServer();
+
+  void Start();
+  void Stop();
+
+  lt::NodeId node() const { return node_; }
+  size_t size() const;
+
+  // Name of the value-log LMR clients map for one-sided GETs.
+  std::string value_log_name() const { return "kv_vlog_" + std::to_string(node_); }
+
+ private:
+  struct ValueLocation {
+    uint64_t offset = 0;
+    uint32_t len = 0;
+    uint64_t version = 0;
+  };
+
+  void ServeLoop();
+
+  lite::LiteCluster* const cluster_;
+  const lt::NodeId node_;
+  const int server_threads_;
+  std::unique_ptr<LiteClient> client_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::vector<uint8_t>> table_;
+
+  // One-sided read path: values appended to a value-log LMR; the index maps
+  // key -> (offset, len, version). Version lets clients detect staleness.
+  lite::Lh value_log_ = lite::kInvalidLh;
+  uint64_t value_log_size_ = 0;
+  uint64_t value_log_tail_ = 0;
+  std::unordered_map<std::string, ValueLocation> value_index_;
+  uint64_t next_version_ = 1;
+
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stopping_{false};
+};
+
+class LiteKvClient {
+ public:
+  LiteKvClient(lite::LiteCluster* cluster, lt::NodeId node, lt::NodeId server_node);
+
+  Status Put(const std::string& key, const void* value, uint32_t len);
+  StatusOr<std::vector<uint8_t>> Get(const std::string& key);
+  Status Delete(const std::string& key);
+
+  // One-sided GET: resolves and caches the value's location in the server's
+  // value log, then fetches it with a single LT_read (no server CPU). A
+  // version check in the inlined record header detects stale locations, in
+  // which case the location is re-resolved once.
+  StatusOr<std::vector<uint8_t>> GetDirect(const std::string& key);
+
+ private:
+  struct CachedLocation {
+    uint64_t offset;
+    uint32_t len;
+    uint64_t version;
+  };
+
+  lt::StatusOr<CachedLocation> ResolveLocation(const std::string& key);
+
+  std::unique_ptr<LiteClient> client_;
+  const lt::NodeId server_node_;
+  lite::Lh value_log_ = lite::kInvalidLh;
+  std::unordered_map<std::string, CachedLocation> location_cache_;
+  std::mutex cache_mu_;
+};
+
+}  // namespace liteapp
+
+#endif  // SRC_APPS_KV_STORE_H_

@@ -1,0 +1,130 @@
+#include "src/apps/lite_log.h"
+
+#include <cstring>
+
+namespace liteapp {
+namespace {
+
+constexpr uint64_t kReservePtr = 0;
+constexpr uint64_t kCommitCount = 8;
+constexpr uint64_t kCleanedPtr = 16;
+constexpr uint64_t kCleanerLock = 24;
+constexpr uint64_t kMetaBytes = 32;
+
+// Per-entry header inside the log.
+struct EntryHeader {
+  uint32_t magic = 0x10c0ffee;
+  uint32_t len = 0;
+};
+
+std::string MetaName(const std::string& name) { return name + "__meta"; }
+
+}  // namespace
+
+StatusOr<LiteLog> LiteLog::Create(LiteClient* client, const std::string& name,
+                                  uint64_t log_bytes) {
+  auto log = client->Malloc(log_bytes, name);
+  if (!log.ok()) {
+    return log.status();
+  }
+  auto meta = client->Malloc(kMetaBytes, MetaName(name));
+  if (!meta.ok()) {
+    return meta.status();
+  }
+  uint64_t zeros[4] = {0, 0, 0, 0};
+  LT_RETURN_IF_ERROR(client->Write(*meta, 0, zeros, sizeof(zeros)));
+  return LiteLog(client, *log, *meta, log_bytes);
+}
+
+StatusOr<LiteLog> LiteLog::Open(LiteClient* client, const std::string& name) {
+  auto log = client->Map(name);
+  if (!log.ok()) {
+    return log.status();
+  }
+  auto meta = client->Map(MetaName(name));
+  if (!meta.ok()) {
+    return meta.status();
+  }
+  auto size = client->instance()->LmrSize(*log);
+  if (!size.ok()) {
+    return size.status();
+  }
+  return LiteLog(client, *log, *meta, *size);
+}
+
+Status LiteLog::Commit(const std::vector<LogEntry>& entries) {
+  // Buffer the transaction locally, then reserve once and write once
+  // (paper: "writes to the log are buffered at a local node until commit").
+  uint64_t total = 0;
+  for (const LogEntry& e : entries) {
+    total += sizeof(EntryHeader) + e.len;
+  }
+  if (total == 0 || total > log_bytes_) {
+    return Status::InvalidArgument("empty or oversized transaction");
+  }
+  std::vector<uint8_t> staged(total);
+  uint64_t off = 0;
+  for (const LogEntry& e : entries) {
+    EntryHeader hdr;
+    hdr.len = e.len;
+    std::memcpy(staged.data() + off, &hdr, sizeof(hdr));
+    std::memcpy(staged.data() + off + sizeof(hdr), e.data, e.len);
+    off += sizeof(hdr) + e.len;
+  }
+
+  // Reserve consecutive log space with one one-sided fetch-add.
+  auto reserved = client_->FetchAdd(meta_, kReservePtr, total);
+  if (!reserved.ok()) {
+    return reserved.status();
+  }
+  uint64_t pos = *reserved % log_bytes_;
+
+  // Write the transaction bytes (possibly wrapping once).
+  uint64_t first = std::min(total, log_bytes_ - pos);
+  LT_RETURN_IF_ERROR(client_->Write(log_, pos, staged.data(), first));
+  if (first < total) {
+    LT_RETURN_IF_ERROR(client_->Write(log_, 0, staged.data() + first, total - first));
+  }
+  // Mark the transaction committed.
+  return client_->FetchAdd(meta_, kCommitCount, 1).status();
+}
+
+StatusOr<uint64_t> LiteLog::Clean() {
+  // Grab the cleaner role with one-sided test-and-set.
+  auto got = client_->TestSet(meta_, kCleanerLock, 0, 1);
+  if (!got.ok()) {
+    return got.status();
+  }
+  if (*got != 0) {
+    return static_cast<uint64_t>(0);  // Another cleaner is active.
+  }
+  uint64_t reclaimed = 0;
+  uint64_t reserve = 0;
+  uint64_t cleaned = 0;
+  Status st = client_->Read(meta_, kReservePtr, &reserve, 8);
+  if (st.ok()) {
+    st = client_->Read(meta_, kCleanedPtr, &cleaned, 8);
+  }
+  if (st.ok() && reserve > cleaned) {
+    reclaimed = reserve - cleaned;
+    st = client_->FetchAdd(meta_, kCleanedPtr, reclaimed).status();
+  }
+  // Release the cleaner lock.
+  (void)client_->TestSet(meta_, kCleanerLock, 1, 0);
+  if (!st.ok()) {
+    return st;
+  }
+  return reclaimed;
+}
+
+Status LiteLog::ReadAt(uint64_t pos, void* buf, uint64_t len) {
+  return client_->Read(log_, pos % log_bytes_, buf, len);
+}
+
+StatusOr<uint64_t> LiteLog::CommittedCount() {
+  uint64_t count = 0;
+  LT_RETURN_IF_ERROR(client_->Read(meta_, kCommitCount, &count, 8));
+  return count;
+}
+
+}  // namespace liteapp

@@ -1,0 +1,70 @@
+// LITE-Log: the paper's distributed atomic logging system (Sec. 8.1).
+//
+// The "one-sided concept pushed to an extreme": the global log and its
+// metadata live in LMRs; writers commit transactions entirely with one-sided
+// operations (LT_fetch-add to reserve space, LT_write to fill it), and the
+// cleaner advances the cleaned pointer with LT_read / LT_fetch-add /
+// LT_test-set — no code ever runs at the node hosting the log.
+//
+// Metadata LMR layout (all 8-byte words):
+//   [0]  reserve pointer (next free byte, monotonically increasing)
+//   [8]  committed transaction count
+//   [16] cleaned pointer (log space below this is reclaimable)
+//   [24] cleaner lock word (test-and-set)
+#ifndef SRC_APPS_LITE_LOG_H_
+#define SRC_APPS_LITE_LOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/lite/client.h"
+
+namespace liteapp {
+
+using lite::Lh;
+using lite::LiteClient;
+using lt::Status;
+using lt::StatusOr;
+
+struct LogEntry {
+  const void* data = nullptr;
+  uint32_t len = 0;
+};
+
+class LiteLog {
+ public:
+  // Allocator role: creates the global log (on the allocator's node) under
+  // `name`; any node can then Open it.
+  static StatusOr<LiteLog> Create(LiteClient* client, const std::string& name,
+                                  uint64_t log_bytes);
+  static StatusOr<LiteLog> Open(LiteClient* client, const std::string& name);
+
+  // Atomically commits a transaction of one or more entries: one fetch-add
+  // to reserve the space, one LT_write per entry run.
+  Status Commit(const std::vector<LogEntry>& entries);
+
+  // Cleaner: reclaims everything below the reserve pointer. Returns bytes
+  // reclaimed. Safe to run concurrently (guarded by the cleaner lock word).
+  StatusOr<uint64_t> Clean();
+
+  // Reads `len` log bytes starting at absolute offset `pos` (for recovery /
+  // verification).
+  Status ReadAt(uint64_t pos, void* buf, uint64_t len);
+
+  uint64_t log_bytes() const { return log_bytes_; }
+  StatusOr<uint64_t> CommittedCount();
+
+ private:
+  LiteLog(LiteClient* client, Lh log, Lh meta, uint64_t log_bytes)
+      : client_(client), log_(log), meta_(meta), log_bytes_(log_bytes) {}
+
+  LiteClient* client_ = nullptr;
+  Lh log_ = lite::kInvalidLh;
+  Lh meta_ = lite::kInvalidLh;
+  uint64_t log_bytes_ = 0;
+};
+
+}  // namespace liteapp
+
+#endif  // SRC_APPS_LITE_LOG_H_

@@ -1,0 +1,65 @@
+// MapReduce systems for the paper's Fig. 18 comparison:
+//   * PhoenixWordCount  — single-node multi-threaded MapReduce (the Phoenix
+//     system LITE-MR was ported from; paper Sec. 8.2),
+//   * LiteMrWordCount   — LITE-MR: Phoenix's phases distributed across
+//     worker nodes, network via LT_read + LT_RPC + LT_barrier,
+//   * HadoopWordCount   — a Hadoop-like baseline: the same phases over the
+//     IPoIB TCP stack with per-task scheduling and intermediate-file
+//     materialization overheads.
+//
+// All three run the same WordCount workload and report per-phase virtual
+// runtimes.
+#ifndef SRC_APPS_MAPREDUCE_H_
+#define SRC_APPS_MAPREDUCE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/lite/lite_cluster.h"
+#include "src/node/node.h"
+
+namespace liteapp {
+
+using WordCounts = std::unordered_map<std::string, uint64_t>;
+
+// ---- WordCount core (shared by all three systems) ----
+WordCounts CountWords(const char* text, size_t len);
+void MergeCounts(WordCounts* into, const WordCounts& from);
+std::vector<uint8_t> SerializeCounts(const WordCounts& counts);
+WordCounts DeserializeCounts(const uint8_t* data, size_t len);
+uint32_t PartitionOf(const std::string& word, uint32_t num_partitions);
+
+// Splits [0, len) into word-aligned pieces (never cuts a word in half).
+std::vector<std::pair<size_t, size_t>> SplitCorpus(const char* text, size_t len, size_t pieces);
+
+struct MrResult {
+  WordCounts counts;
+  uint64_t map_ns = 0;
+  uint64_t reduce_ns = 0;
+  uint64_t merge_ns = 0;
+  uint64_t total_ns = 0;
+};
+
+// Phoenix: all phases on one node with `threads` threads.
+MrResult PhoenixWordCount(const std::string& corpus, int threads);
+
+// LITE-MR: master on node 0, workers on nodes 1..num_workers. Each worker
+// runs `threads_per_worker` mapper/reducer threads.
+MrResult LiteMrWordCount(lite::LiteCluster* cluster, const std::string& corpus,
+                         uint32_t num_workers, int threads_per_worker);
+
+struct HadoopCosts {
+  uint64_t task_schedule_ns = 35'000'000;  // Task launch/track (JVM + heartbeat).
+  double disk_bytes_per_ns = 0.12;         // Intermediate materialization.
+  uint64_t job_setup_ns = 150'000'000;     // Job submission + staging.
+};
+
+// Hadoop-like: same phases, TCP transport, per-task overheads.
+MrResult HadoopWordCount(lt::Cluster* cluster, const std::string& corpus, uint32_t num_workers,
+                         int threads_per_worker, const HadoopCosts& costs = HadoopCosts());
+
+}  // namespace liteapp
+
+#endif  // SRC_APPS_MAPREDUCE_H_

@@ -1,0 +1,88 @@
+#include "src/apps/workloads.h"
+
+#include <cmath>
+
+namespace liteapp {
+
+std::string GenerateCorpus(uint64_t bytes, uint64_t vocabulary, uint64_t seed) {
+  lt::ZipfSampler zipf(vocabulary, 1.0, seed);
+  lt::Rng rng(seed * 31 + 7);
+  std::string out;
+  out.reserve(bytes + 16);
+  while (out.size() < bytes) {
+    uint64_t word_id = zipf.Next();
+    // Deterministic word spelling: base-26 encoding with length variation.
+    uint64_t v = word_id + 1;
+    while (v > 0) {
+      out.push_back(static_cast<char>('a' + v % 26));
+      v /= 26;
+    }
+    // Occasional longer words for realistic length distribution.
+    if (rng.NextBounded(8) == 0) {
+      out.append("ing");
+    }
+    out.push_back(' ');
+  }
+  return out;
+}
+
+SyntheticGraph GeneratePowerLawGraph(uint32_t vertices, uint64_t edges, double theta,
+                                     uint64_t seed) {
+  SyntheticGraph g;
+  g.num_vertices = vertices;
+  g.src.reserve(edges);
+  g.dst.reserve(edges);
+  lt::Rng rng(seed);
+  lt::ZipfSampler zipf(vertices, theta, seed * 17 + 3);
+  for (uint64_t i = 0; i < edges; ++i) {
+    uint32_t s = static_cast<uint32_t>(rng.NextBounded(vertices));
+    uint32_t d = static_cast<uint32_t>(zipf.Next());  // Popular destinations.
+    if (s == d) {
+      d = (d + 1) % vertices;
+    }
+    g.src.push_back(s);
+    g.dst.push_back(d);
+  }
+  return g;
+}
+
+FacebookKvSampler::FacebookKvSampler(uint64_t seed) : rng_(seed) {}
+
+uint32_t FacebookKvSampler::NextKeySize() {
+  // Keys cluster at 16-40 bytes with a small tail (ETC pool shape).
+  double u = rng_.NextDouble();
+  if (u < 0.55) {
+    return 16 + static_cast<uint32_t>(rng_.NextBounded(8));
+  }
+  if (u < 0.9) {
+    return 24 + static_cast<uint32_t>(rng_.NextBounded(16));
+  }
+  return 40 + static_cast<uint32_t>(rng_.NextBounded(88));
+}
+
+uint32_t FacebookKvSampler::NextValueSize() {
+  // Values: mass at a few hundred bytes, heavy tail up to ~1 MB (truncated
+  // to 512 KB here to fit simulated memory pools).
+  double u = rng_.NextDouble();
+  if (u < 0.4) {
+    return 2 + static_cast<uint32_t>(rng_.NextBounded(100));
+  }
+  if (u < 0.8) {
+    return 100 + static_cast<uint32_t>(rng_.NextBounded(900));
+  }
+  if (u < 0.97) {
+    return 1000 + static_cast<uint32_t>(rng_.NextBounded(9000));
+  }
+  // Pareto-ish tail.
+  double tail = std::pow(1.0 - rng_.NextDouble(), -1.5);
+  uint64_t size = static_cast<uint64_t>(10000.0 * tail);
+  return static_cast<uint32_t>(std::min<uint64_t>(size, 512 * 1024));
+}
+
+uint64_t FacebookKvSampler::NextInterArrivalNs(double amplification) {
+  // Mean ~70 us with exponential bursts (scaled from the trace's shape).
+  double gap = rng_.NextExponential(70'000.0);
+  return static_cast<uint64_t>(gap * amplification);
+}
+
+}  // namespace liteapp

@@ -1,0 +1,51 @@
+// Synthetic workload generators standing in for the paper's proprietary or
+// oversized datasets (see DESIGN.md substitution table):
+//   * a Zipf-frequency text corpus (for the Wikimedia WordCount of Fig. 18),
+//   * a power-law directed graph (for the Twitter graph of Fig. 19),
+//   * a Facebook-KV-like sampler for key/value sizes and inter-arrival times
+//     (Atikoglu et al. shapes, used by Figs. 12 and 13).
+#ifndef SRC_APPS_WORKLOADS_H_
+#define SRC_APPS_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace liteapp {
+
+// Generates ~`bytes` of space-separated words whose frequencies follow a
+// Zipf distribution over `vocabulary` distinct words.
+std::string GenerateCorpus(uint64_t bytes, uint64_t vocabulary = 20000, uint64_t seed = 42);
+
+// Directed graph in CSR-ish edge-list form with power-law in-degree
+// (Zipf-distributed edge destinations), like social graphs.
+struct SyntheticGraph {
+  uint32_t num_vertices = 0;
+  std::vector<uint32_t> src;
+  std::vector<uint32_t> dst;
+};
+SyntheticGraph GeneratePowerLawGraph(uint32_t vertices, uint64_t edges, double theta = 0.8,
+                                     uint64_t seed = 7);
+
+// Facebook key-value store workload shapes (Atikoglu et al., SIGMETRICS'12):
+// small keys (16-40 B, clustered), values with a heavy tail, and bursty
+// inter-arrival times approximated by a generalized-Pareto-like sampler.
+class FacebookKvSampler {
+ public:
+  explicit FacebookKvSampler(uint64_t seed = 99);
+
+  uint32_t NextKeySize();
+  uint32_t NextValueSize();
+  // Inter-arrival gap in ns, scaled by `amplification` (paper Fig. 13 varies
+  // the amplification factor 1x..8x).
+  uint64_t NextInterArrivalNs(double amplification = 1.0);
+
+ private:
+  lt::Rng rng_;
+};
+
+}  // namespace liteapp
+
+#endif  // SRC_APPS_WORKLOADS_H_

@@ -1,0 +1,53 @@
+// FaRM-style message passing (Dragojevic et al., per paper Sec. 5.3): the
+// sender RDMA-writes each message into a ring buffer at the receiver, and a
+// receiver thread busy-polls the ring memory for new messages. An RPC on top
+// of FaRM costs two such one-sided writes (request + response) — the
+// "2 Verbs writes" line of paper Fig. 10.
+#ifndef SRC_BASELINES_FARM_MSG_H_
+#define SRC_BASELINES_FARM_MSG_H_
+
+#include <mutex>
+#include <vector>
+
+#include "src/baselines/base_util.h"
+#include "src/common/sync_util.h"
+
+namespace liteapp {
+
+// One-directional message channel from `sender` to `receiver`.
+class FarmMsgChannel {
+ public:
+  FarmMsgChannel(lt::Cluster* cluster, NodeId sender, NodeId receiver, uint32_t ring_bytes);
+
+  // Sender side: one RDMA write carrying [len | payload].
+  Status Send(const void* data, uint32_t len);
+
+  // Receiver side: blocks for the next message; models the FaRM receiver
+  // thread busy-polling the ring memory (burns CPU for the waiting gap).
+  StatusOr<std::vector<uint8_t>> Recv(uint64_t timeout_ns = 2'000'000'000);
+
+ private:
+  lt::Cluster* const cluster_;
+  const uint32_t ring_bytes_;
+  Process* sproc_;
+  Process* rproc_;
+  RegisteredBuf ring_;     // At the receiver.
+  RegisteredBuf staging_;  // At the sender.
+  lt::Qp* qp_ = nullptr;
+
+  std::mutex send_mu_;
+  uint64_t tail_ = 0;
+
+  // Rendezvous standing in for the receiver's memory polling: carries the
+  // ring offset, length and virtual arrival time of each delivered message.
+  struct Arrival {
+    uint64_t offset;
+    uint32_t len;
+    uint64_t vtime;
+  };
+  lt::BlockingQueue<Arrival> arrivals_;
+};
+
+}  // namespace liteapp
+
+#endif  // SRC_BASELINES_FARM_MSG_H_

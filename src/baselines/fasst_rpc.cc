@@ -1,0 +1,158 @@
+#include "src/baselines/fasst_rpc.h"
+
+#include <cstring>
+
+#include "src/common/timing.h"
+
+namespace liteapp {
+namespace {
+
+constexpr uint64_t kCallTimeoutNs = 2'000'000'000;
+constexpr uint64_t kServerIdleWaitNs = 50'000'000;
+// FaSST's master coroutine: per-request dispatch/switch overhead of running
+// the handler inline in the polling loop.
+constexpr uint64_t kCoroutineDispatchNs = 400;
+
+}  // namespace
+
+FasstServer::FasstServer(lt::Cluster* cluster, NodeId node, uint32_t msg_bytes,
+                         RpcHandler handler)
+    : cluster_(cluster), node_(node), msg_bytes_(msg_bytes), handler_(std::move(handler)) {
+  proc_ = cluster_->node(node_)->CreateProcess();
+  recv_cq_ = proc_->verbs().CreateCq();
+  ud_qp_ = proc_->verbs().CreateQp(lt::QpType::kUd, proc_->verbs().CreateCq(), recv_cq_);
+  recv_slots_.reserve(kRecvSlots);
+  for (size_t i = 0; i < kRecvSlots; ++i) {
+    auto buf = AllocRegistered(proc_, msg_bytes_, lt::kMrAll);
+    recv_slots_.push_back(*buf);
+    PostRecvSlot(i);
+  }
+  auto staging = AllocRegistered(proc_, msg_bytes_, lt::kMrAll);
+  resp_staging_ = *staging;
+}
+
+FasstServer::~FasstServer() { Stop(); }
+
+uint32_t FasstServer::server_qpn() const { return ud_qp_->qpn(); }
+
+void FasstServer::PostRecvSlot(size_t slot) {
+  lt::Rqe rqe;
+  rqe.wr_id = slot;
+  rqe.lkey = recv_slots_[slot].mr.lkey;
+  rqe.addr = recv_slots_[slot].addr;
+  rqe.length = msg_bytes_;
+  (void)ud_qp_->PostRecv(rqe);
+}
+
+StatusOr<FasstClient*> FasstServer::AttachClient(NodeId client_node) {
+  auto client = std::unique_ptr<FasstClient>(new FasstClient());
+  client->server_ = this;
+  client->proc_ = cluster_->node(client_node)->CreateProcess();
+  auto send_buf = AllocRegistered(client->proc_, msg_bytes_, lt::kMrAll);
+  if (!send_buf.ok()) {
+    return send_buf.status();
+  }
+  client->send_buf_ = *send_buf;
+  auto recv_buf = AllocRegistered(client->proc_, msg_bytes_, lt::kMrAll);
+  if (!recv_buf.ok()) {
+    return recv_buf.status();
+  }
+  client->recv_buf_ = *recv_buf;
+  client->recv_cq_ = client->proc_->verbs().CreateCq();
+  client->ud_qp_ = client->proc_->verbs().CreateQp(lt::QpType::kUd,
+                                                   client->proc_->verbs().CreateCq(),
+                                                   client->recv_cq_);
+  FasstClient* out = client.get();
+  clients_.push_back(std::move(client));
+  return out;
+}
+
+void FasstServer::Start() {
+  stopping_.store(false);
+  thread_ = std::thread([this] { ServerLoop(); });
+}
+
+void FasstServer::Stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  recv_cq_->Shutdown();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void FasstServer::ServerLoop() {
+  std::vector<uint8_t> in(msg_bytes_);
+  std::vector<uint8_t> out(msg_bytes_);
+  while (!stopping_.load()) {
+    uint64_t cpu0 = lt::ThreadCpuNs();
+    // FaSST's master coroutine busy-polls the receive CQ.
+    auto c = recv_cq_->WaitPoll(kServerIdleWaitNs, lt::WaitMode::kBusyPoll);
+    if (!c.has_value() || stopping_.load()) {
+      cpu_.Add(lt::ThreadCpuNs() - cpu0);
+      continue;
+    }
+    size_t slot = static_cast<size_t>(c->wr_id);
+    lt::SpinFor(kCoroutineDispatchNs);
+    (void)ReadVirt(proc_, recv_slots_[slot].addr, in.data(), c->byte_len);
+    // The handler executes INLINE in the polling thread (FaSST's design).
+    uint32_t out_len = handler_(in.data(), c->byte_len, out.data(), msg_bytes_);
+    (void)WriteVirt(proc_, resp_staging_.addr, out.data(), out_len);
+
+    lt::WorkRequest wr;
+    wr.opcode = lt::WrOpcode::kSend;
+    wr.lkey = resp_staging_.mr.lkey;
+    wr.local_addr = resp_staging_.addr;
+    wr.length = out_len;
+    wr.ud_dst_node = c->src_node;
+    wr.ud_dst_qpn = c->src_qpn;
+    wr.signaled = false;
+    (void)proc_->verbs().PostSend(ud_qp_, wr);
+
+    PostRecvSlot(slot);
+    cpu_.Add(lt::ThreadCpuNs() - cpu0);
+  }
+}
+
+Status FasstClient::Call(const void* in, uint32_t in_len, void* out, uint32_t out_max,
+                         uint32_t* out_len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_len > server_->msg_bytes_) {
+    return Status::InvalidArgument("request larger than FaSST message size");
+  }
+  lt::Rqe rqe;
+  rqe.wr_id = 1;
+  rqe.lkey = recv_buf_.mr.lkey;
+  rqe.addr = recv_buf_.addr;
+  rqe.length = server_->msg_bytes_;
+  (void)ud_qp_->PostRecv(rqe);
+
+  (void)WriteVirt(proc_, send_buf_.addr, in, in_len);
+  lt::WorkRequest wr;
+  wr.opcode = lt::WrOpcode::kSend;
+  wr.lkey = send_buf_.mr.lkey;
+  wr.local_addr = send_buf_.addr;
+  wr.length = in_len;
+  wr.ud_dst_node = server_->node_;
+  wr.ud_dst_qpn = server_->ud_qp_->qpn();
+  wr.signaled = false;
+  LT_RETURN_IF_ERROR(proc_->verbs().PostSend(ud_qp_, wr));
+
+  while (true) {
+    auto c = recv_cq_->WaitPoll(kCallTimeoutNs, lt::WaitMode::kBusyPoll);
+    if (!c.has_value()) {
+      return Status::Timeout("no FaSST response");
+    }
+    if (c->opcode == lt::WcOpcode::kRecv) {
+      uint32_t len = std::min(c->byte_len, out_max);
+      LT_RETURN_IF_ERROR(ReadVirt(proc_, recv_buf_.addr, out, len));
+      if (out_len != nullptr) {
+        *out_len = c->byte_len;
+      }
+      return Status::Ok();
+    }
+  }
+}
+
+}  // namespace liteapp

@@ -1,0 +1,80 @@
+// FaSST-style RPC (Kalia et al., re-implemented per paper Sec. 5.3):
+// request and response are both unreliable-datagram (UD) sends. One master
+// server thread busy-polls the receive CQ AND executes the handler inline —
+// the single-dispatcher design the paper calls out as a throughput
+// bottleneck (Fig. 11) and a safety concern. UD supports no one-sided ops,
+// so everything is two-sided.
+#ifndef SRC_BASELINES_FASST_RPC_H_
+#define SRC_BASELINES_FASST_RPC_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/baselines/base_util.h"
+#include "src/common/cpu_meter.h"
+
+namespace liteapp {
+
+class FasstServer;
+
+class FasstClient {
+ public:
+  Status Call(const void* in, uint32_t in_len, void* out, uint32_t out_max, uint32_t* out_len);
+
+ private:
+  friend class FasstServer;
+  FasstClient() = default;
+
+  FasstServer* server_ = nullptr;
+  Process* proc_ = nullptr;
+  RegisteredBuf send_buf_;
+  RegisteredBuf recv_buf_;
+  lt::Qp* ud_qp_ = nullptr;
+  lt::Cq* recv_cq_ = nullptr;
+  std::mutex mu_;
+};
+
+class FasstServer {
+ public:
+  FasstServer(lt::Cluster* cluster, NodeId node, uint32_t msg_bytes, RpcHandler handler);
+  ~FasstServer();
+
+  StatusOr<FasstClient*> AttachClient(NodeId client_node);
+
+  void Start();  // One master thread, per FaSST's design.
+  void Stop();
+
+  uint64_t server_cpu_ns() const { return cpu_.TotalCpuNs(); }
+  uint32_t server_qpn() const;
+  NodeId node() const { return node_; }
+
+ private:
+  friend class FasstClient;
+
+  void ServerLoop();
+  void PostRecvSlot(size_t slot);
+
+  static constexpr size_t kRecvSlots = 64;
+
+  lt::Cluster* const cluster_;
+  const NodeId node_;
+  const uint32_t msg_bytes_;
+  const RpcHandler handler_;
+  Process* proc_ = nullptr;
+  lt::Qp* ud_qp_ = nullptr;
+  lt::Cq* recv_cq_ = nullptr;
+  std::vector<RegisteredBuf> recv_slots_;
+  RegisteredBuf resp_staging_;
+
+  std::vector<std::unique_ptr<FasstClient>> clients_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  lt::CpuMeter cpu_;
+};
+
+}  // namespace liteapp
+
+#endif  // SRC_BASELINES_FASST_RPC_H_

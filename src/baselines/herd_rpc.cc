@@ -1,0 +1,195 @@
+#include "src/baselines/herd_rpc.h"
+
+#include <cstring>
+
+#include "src/common/timing.h"
+
+namespace liteapp {
+namespace {
+
+constexpr uint64_t kRegionScanNs = 25;  // Cost to check one region's flag.
+constexpr uint64_t kCallTimeoutNs = 2'000'000'000;
+
+// Request region layout: [u32 ready | u32 len | payload].
+struct HerdHeader {
+  uint32_t ready;
+  uint32_t len;
+};
+
+}  // namespace
+
+HerdServer::HerdServer(lt::Cluster* cluster, NodeId node, uint32_t region_bytes,
+                       RpcHandler handler)
+    : cluster_(cluster), node_(node), region_bytes_(region_bytes), handler_(std::move(handler)) {
+  proc_ = cluster_->node(node_)->CreateProcess();
+  ud_send_qp_ = proc_->verbs().CreateQp(lt::QpType::kUd, proc_->verbs().CreateCq(),
+                                        proc_->verbs().CreateCq());
+}
+
+HerdServer::~HerdServer() { Stop(); }
+
+StatusOr<HerdClient*> HerdServer::AttachClient(NodeId client_node) {
+  auto port = std::make_unique<ClientPort>();
+  port->client_node = client_node;
+
+  auto region = AllocRegistered(proc_, region_bytes_, lt::kMrAll);
+  if (!region.ok()) {
+    return region.status();
+  }
+  port->region = *region;
+  auto resp = AllocRegistered(proc_, region_bytes_, lt::kMrAll);
+  if (!resp.ok()) {
+    return resp.status();
+  }
+  port->resp_staging = *resp;
+
+  auto client = std::unique_ptr<HerdClient>(new HerdClient());
+  client->server_ = this;
+  client->proc_ = cluster_->node(client_node)->CreateProcess();
+  client->index_ = ports_.size();
+
+  auto staging = AllocRegistered(client->proc_, region_bytes_, lt::kMrAll);
+  if (!staging.ok()) {
+    return staging.status();
+  }
+  client->req_staging_ = *staging;
+  auto resp_buf = AllocRegistered(client->proc_, region_bytes_, lt::kMrAll);
+  if (!resp_buf.ok()) {
+    return resp_buf.status();
+  }
+  client->resp_buf_ = *resp_buf;
+
+  // RC QP pair for the request write (client -> server region).
+  lt::Qp* cqp = client->proc_->verbs().CreateQp(lt::QpType::kRc,
+                                                client->proc_->verbs().CreateCq(),
+                                                client->proc_->verbs().CreateCq());
+  lt::Qp* sqp =
+      proc_->verbs().CreateQp(lt::QpType::kRc, proc_->verbs().CreateCq(),
+                              proc_->verbs().CreateCq());
+  cqp->Connect(node_, sqp->qpn());
+  sqp->Connect(client_node, cqp->qpn());
+  client->write_qp_ = cqp;
+
+  // UD QP at the client for responses.
+  client->ud_recv_cq_ = client->proc_->verbs().CreateCq();
+  client->ud_qp_ = client->proc_->verbs().CreateQp(lt::QpType::kUd,
+                                                   client->proc_->verbs().CreateCq(),
+                                                   client->ud_recv_cq_);
+  port->client_ud_qpn = client->ud_qp_->qpn();
+
+  HerdClient* out = client.get();
+  port->client = std::move(client);
+  ports_.push_back(std::move(port));
+  return out;
+}
+
+void HerdServer::Start(int num_threads) {
+  stopping_.store(false);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { ServerLoop(); });
+  }
+}
+
+void HerdServer::Stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  incoming_.Close();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  threads_.clear();
+}
+
+void HerdServer::ServerLoop() {
+  std::vector<uint8_t> in(region_bytes_);
+  std::vector<uint8_t> out(region_bytes_);
+  while (true) {
+    uint64_t cpu0 = lt::ThreadCpuNs();
+    auto item = incoming_.Pop();
+    if (!item.has_value()) {
+      return;
+    }
+    auto [port_idx, vtime] = *item;
+    // HERD busy-polls every client region: burn CPU for the whole waiting
+    // gap plus the scan over all regions.
+    lt::SyncToBusy(vtime);
+    lt::SpinFor(kRegionScanNs * std::max<size_t>(1, ports_.size()));
+
+    ClientPort& port = *ports_[port_idx];
+    HerdHeader hdr;
+    (void)ReadVirt(proc_, port.region.addr, &hdr, sizeof(hdr));
+    if (hdr.ready == 0 || hdr.len > region_bytes_ - sizeof(hdr)) {
+      cpu_.Add(lt::ThreadCpuNs() - cpu0);
+      continue;
+    }
+    (void)ReadVirt(proc_, port.region.addr + sizeof(hdr), in.data(), hdr.len);
+
+    uint32_t out_len = handler_(in.data(), hdr.len, out.data(), region_bytes_ - sizeof(uint32_t));
+
+    // Response: one UD send.
+    (void)WriteVirt(proc_, port.resp_staging.addr, out.data(), out_len);
+    lt::WorkRequest wr;
+    wr.opcode = lt::WrOpcode::kSend;
+    wr.lkey = port.resp_staging.mr.lkey;
+    wr.local_addr = port.resp_staging.addr;
+    wr.length = out_len;
+    wr.ud_dst_node = port.client_node;
+    wr.ud_dst_qpn = port.client_ud_qpn;
+    wr.signaled = false;
+    (void)proc_->verbs().PostSend(ud_send_qp_, wr);
+    cpu_.Add(lt::ThreadCpuNs() - cpu0);
+  }
+}
+
+Status HerdClient::Call(const void* in, uint32_t in_len, void* out, uint32_t out_max,
+                        uint32_t* out_len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_len > server_->region_bytes_ - sizeof(HerdHeader)) {
+    return Status::InvalidArgument("request larger than HERD region");
+  }
+  // Pre-post the UD receive for the response.
+  lt::Rqe rqe;
+  rqe.wr_id = 1;
+  rqe.lkey = resp_buf_.mr.lkey;
+  rqe.addr = resp_buf_.addr;
+  rqe.length = server_->region_bytes_;
+  (void)ud_qp_->PostRecv(rqe);
+
+  // Stage [hdr | payload] and RDMA-write it into our region at the server.
+  HerdHeader hdr{1, in_len};
+  (void)WriteVirt(proc_, req_staging_.addr, &hdr, sizeof(hdr));
+  (void)WriteVirt(proc_, req_staging_.addr + sizeof(hdr), in, in_len);
+
+  lt::WorkRequest wr;
+  wr.opcode = lt::WrOpcode::kWrite;
+  wr.lkey = req_staging_.mr.lkey;
+  wr.local_addr = req_staging_.addr;
+  wr.length = sizeof(hdr) + in_len;
+  wr.rkey = server_->ports_[index_]->region.mr.rkey;
+  wr.remote_addr = server_->ports_[index_]->region.addr;
+  LT_RETURN_IF_ERROR(proc_->verbs().ExecSync(write_qp_, wr));
+
+  // Out-of-band rendezvous standing in for the server's region busy-poll.
+  server_->incoming_.Push({index_, lt::NowNs()});
+
+  // Client busy-polls its UD receive CQ for the response.
+  while (true) {
+    auto c = ud_recv_cq_->WaitPoll(kCallTimeoutNs, lt::WaitMode::kBusyPoll);
+    if (!c.has_value()) {
+      return Status::Timeout("no HERD response");
+    }
+    if (c->opcode == lt::WcOpcode::kRecv) {
+      uint32_t len = std::min(c->byte_len, out_max);
+      LT_RETURN_IF_ERROR(ReadVirt(proc_, resp_buf_.addr, out, len));
+      if (out_len != nullptr) {
+        *out_len = c->byte_len;
+      }
+      return Status::Ok();
+    }
+  }
+}
+
+}  // namespace liteapp

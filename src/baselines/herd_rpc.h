@@ -1,0 +1,92 @@
+// HERD-style RPC (Kalia et al., re-implemented per paper Sec. 5.3):
+//   request:  one-sided RDMA write into a per-client region at the server,
+//   response: one UD send back to the client,
+//   server:   threads BUSY-POLL every client's request region in memory.
+//
+// The busy-polled-region discovery is modeled with an out-of-band rendezvous
+// queue carrying the request's virtual arrival time: the server thread
+// really blocks on the queue, then charges busy-poll CPU for the entire gap
+// (SyncToBusy) plus a per-scan cost proportional to the number of client
+// regions it must check — reproducing HERD's low latency but high CPU
+// (paper Figs. 10, 13) and its poor fit for many clients.
+#ifndef SRC_BASELINES_HERD_RPC_H_
+#define SRC_BASELINES_HERD_RPC_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/baselines/base_util.h"
+#include "src/common/cpu_meter.h"
+#include "src/common/sync_util.h"
+
+namespace liteapp {
+
+class HerdServer;
+
+class HerdClient {
+ public:
+  // Created via HerdServer::AttachClient.
+  Status Call(const void* in, uint32_t in_len, void* out, uint32_t out_max, uint32_t* out_len);
+
+ private:
+  friend class HerdServer;
+  HerdClient() = default;
+
+  HerdServer* server_ = nullptr;
+  Process* proc_ = nullptr;
+  size_t index_ = 0;
+  RegisteredBuf req_staging_;   // Client-side staging for the RDMA write.
+  RegisteredBuf resp_buf_;      // UD receive buffer (re-posted per call).
+  lt::Qp* write_qp_ = nullptr;  // RC QP client->server for the request write.
+  lt::Qp* ud_qp_ = nullptr;     // UD QP receiving the response.
+  lt::Cq* ud_recv_cq_ = nullptr;
+  std::mutex mu_;               // One outstanding call per client.
+};
+
+class HerdServer {
+ public:
+  // `region_bytes` is the per-client request region size.
+  HerdServer(lt::Cluster* cluster, NodeId node, uint32_t region_bytes, RpcHandler handler);
+  ~HerdServer();
+
+  // Registers a client on `client_node`; wires QPs (setup phase, no cost).
+  StatusOr<HerdClient*> AttachClient(NodeId client_node);
+
+  void Start(int num_threads);
+  void Stop();
+
+  uint64_t server_cpu_ns() const { return cpu_.TotalCpuNs(); }
+  NodeId node() const { return node_; }
+
+ private:
+  friend class HerdClient;
+
+  struct ClientPort {
+    std::unique_ptr<HerdClient> client;
+    RegisteredBuf region;        // Server-side request region (busy-polled).
+    RegisteredBuf resp_staging;  // Server-side response staging.
+    NodeId client_node = lt::kInvalidNode;
+    uint32_t client_ud_qpn = 0;
+  };
+
+  void ServerLoop();
+
+  lt::Cluster* const cluster_;
+  const NodeId node_;
+  const uint32_t region_bytes_;
+  const RpcHandler handler_;
+  Process* proc_ = nullptr;
+  lt::Qp* ud_send_qp_ = nullptr;
+
+  std::vector<std::unique_ptr<ClientPort>> ports_;
+  lt::BlockingQueue<std::pair<size_t, uint64_t>> incoming_;  // {port, vtime}
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stopping_{false};
+  lt::CpuMeter cpu_;
+};
+
+}  // namespace liteapp
+
+#endif  // SRC_BASELINES_HERD_RPC_H_

@@ -1,0 +1,11 @@
+#include "src/common/cpu_meter.h"
+
+#include "src/common/timing.h"
+
+namespace lt {
+
+ScopedCpuSample::ScopedCpuSample(CpuMeter* meter) : meter_(meter), start_cpu_ns_(ThreadCpuNs()) {}
+
+ScopedCpuSample::~ScopedCpuSample() { meter_->Add(ThreadCpuNs() - start_cpu_ns_); }
+
+}  // namespace lt

@@ -1,0 +1,37 @@
+// Aggregates virtual CPU time across the threads participating in an
+// experiment (paper Fig. 13). Threads sample lt::ThreadCpuNs() before and
+// after the measured region and report the delta here; service threads
+// (pollers) expose running counters that harnesses snapshot the same way.
+#ifndef SRC_COMMON_CPU_METER_H_
+#define SRC_COMMON_CPU_METER_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace lt {
+
+class CpuMeter {
+ public:
+  void Add(uint64_t cpu_ns) { total_.fetch_add(cpu_ns, std::memory_order_relaxed); }
+  uint64_t TotalCpuNs() const { return total_.load(std::memory_order_relaxed); }
+  void Reset() { total_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> total_{0};
+};
+
+// RAII helper: measures the calling thread's virtual CPU over a scope and
+// adds it to a meter on destruction.
+class ScopedCpuSample {
+ public:
+  explicit ScopedCpuSample(CpuMeter* meter);
+  ~ScopedCpuSample();
+
+ private:
+  CpuMeter* const meter_;
+  uint64_t start_cpu_ns_;
+};
+
+}  // namespace lt
+
+#endif  // SRC_COMMON_CPU_METER_H_

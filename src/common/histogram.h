@@ -1,0 +1,80 @@
+// Latency histogram + running statistics used by the benchmark harnesses.
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lt {
+
+// Reservoir-free exact histogram: records every sample. Fine for the sample
+// counts our benches use (<= a few million).
+class Histogram {
+ public:
+  void Add(double v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  void AddUnlocked(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  size_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_.size();
+  }
+
+  double Mean() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    double sum = 0.0;
+    for (double v : samples_) {
+      sum += v;
+    }
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  // p in [0, 100].
+  double Percentile(double p) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  double Min() const { return Percentile(0); }
+  double Median() const { return Percentile(50); }
+  double Max() const { return Percentile(100); }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace lt
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

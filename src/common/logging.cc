@@ -1,0 +1,49 @@
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace lt {
+namespace {
+
+std::atomic<int> g_log_level = []() {
+  const char* env = std::getenv("LT_LOG_LEVEL");
+  if (env != nullptr) {
+    return std::atoi(env);
+  }
+  return static_cast<int>(LogLevel::kWarning);
+}();
+
+std::mutex g_log_mu;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message) {
+  const char* base = std::strrchr(file, '/');
+  base = (base != nullptr) ? base + 1 : file;
+  std::lock_guard<std::mutex> lock(g_log_mu);
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line, message.c_str());
+}
+
+}  // namespace lt

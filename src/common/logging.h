@@ -1,0 +1,46 @@
+// Minimal leveled logging. Defaults to WARNING+ so benchmarks stay quiet;
+// set LT_LOG_LEVEL (0=debug .. 3=error) or call SetLogLevel to change.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace lt {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace lt
+
+#define LT_LOG(level)                                                            \
+  if (static_cast<int>(::lt::LogLevel::level) >= static_cast<int>(::lt::GetLogLevel())) \
+  ::lt::LogLine(::lt::LogLevel::level, __FILE__, __LINE__)
+
+#define LT_LOG_DEBUG LT_LOG(kDebug)
+#define LT_LOG_INFO LT_LOG(kInfo)
+#define LT_LOG_WARNING LT_LOG(kWarning)
+#define LT_LOG_ERROR LT_LOG(kError)
+
+#endif  // SRC_COMMON_LOGGING_H_

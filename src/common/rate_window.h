@@ -1,0 +1,80 @@
+// Windowed capacity reservation for virtual-time resources (fabric ports,
+// NIC processing engines, TCP rate caps).
+//
+// A naive monotonic busy_until pointer cannot BACKFILL: once one thread
+// reserves at a late virtual time, an (in real time) later-arriving thread
+// with an *earlier* virtual timestamp would queue behind it even though the
+// resource was idle at its time. Under bursty host scheduling that
+// artificially serializes concurrent virtual work. RateWindow instead
+// accounts capacity in fixed windows of virtual time: each window holds
+// kWindowNs of service capacity, reservations consume capacity starting at
+// their own virtual time, and unrelated earlier windows remain available.
+//
+//   * Light load: Reserve(earliest, cost) returns earliest + cost (exact).
+//   * Saturation: the reservation spills into subsequent windows, modeling
+//     queueing with ~kWindowNs granularity.
+#ifndef SRC_COMMON_RATE_WINDOW_H_
+#define SRC_COMMON_RATE_WINDOW_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+namespace lt {
+
+class RateWindow {
+ public:
+  // Reserves `cost_ns` of service capacity starting no earlier than
+  // `earliest_ns` (virtual time); returns the absolute finish time. Windows
+  // account consumed capacity only (position within a window is approximated
+  // at window granularity).
+  uint64_t Reserve(uint64_t earliest_ns, uint64_t cost_ns) {
+    if (cost_ns == 0) {
+      return earliest_ns;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t w = earliest_ns / kWindowNs;
+    uint64_t remaining = cost_ns;
+    uint64_t last_consume_point = earliest_ns;
+    while (remaining > 0) {
+      uint64_t& used = used_[w];
+      if (used < kWindowNs) {
+        uint64_t take = std::min(kWindowNs - used, remaining);
+        used += take;
+        remaining -= take;
+        last_consume_point = w * kWindowNs + used;
+      }
+      if (remaining > 0) {
+        ++w;
+      }
+    }
+    max_window_ = std::max(max_window_, w);
+    if (used_.size() > kGcThreshold) {
+      Gc();
+    }
+    return std::max(earliest_ns + cost_ns, last_consume_point);
+  }
+
+ private:
+  void Gc() {
+    // Drop windows far behind the frontier; reservations that far in the
+    // past no longer occur (clocks only move forward on each thread).
+    uint64_t horizon = max_window_ > kGcKeepWindows ? max_window_ - kGcKeepWindows : 0;
+    for (auto it = used_.begin(); it != used_.end();) {
+      it = it->first < horizon ? used_.erase(it) : std::next(it);
+    }
+  }
+
+  static constexpr uint64_t kWindowNs = 8192;
+  static constexpr size_t kGcThreshold = 1 << 16;
+  static constexpr uint64_t kGcKeepWindows = 1 << 15;
+
+  std::mutex mu_;
+  std::unordered_map<uint64_t, uint64_t> used_;
+  uint64_t max_window_ = 0;
+};
+
+}  // namespace lt
+
+#endif  // SRC_COMMON_RATE_WINDOW_H_

@@ -1,0 +1,88 @@
+// Fast deterministic random number generation plus the samplers the paper's
+// workloads need (uniform, Zipf-skewed popularity, exponential inter-arrival).
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace lt {
+
+// SplitMix64 — tiny, high-quality, seedable PRNG (public-domain algorithm).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    assert(bound > 0);
+    return Next() % bound;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  // Exponentially distributed value with the given mean.
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    if (u >= 1.0) {
+      u = 0.9999999999;
+    }
+    return -mean * std::log(1.0 - u);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Zipf-distributed sampler over [0, n). Uses the standard rejection-inversion
+// style approximation via precomputed harmonic table for modest n, which is
+// exact and fast enough for workload generation.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta, uint64_t seed = 1) : rng_(seed) {
+    assert(n > 0);
+    cdf_.reserve(n);
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+      cdf_.push_back(sum);
+    }
+    for (double& v : cdf_) {
+      v /= sum;
+    }
+  }
+
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    // Binary search the CDF.
+    size_t lo = 0;
+    size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace lt
+
+#endif  // SRC_COMMON_RNG_H_

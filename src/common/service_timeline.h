@@ -1,0 +1,56 @@
+// Per-service-thread virtual timeline.
+//
+// A service thread (RPC poll thread, worker, application server thread)
+// handles a stream of independent requests whose virtual arrival times need
+// not match the real-time order they are observed in. If the thread's
+// monotonic clock simply synced forward on each event, one future-timestamped
+// request would "poison" the clock and every earlier-timestamped request
+// observed afterwards would be served late. BeginService instead REWINDS the
+// thread's clock to each request's own service start, while a windowed
+// capacity account (RateWindow) still enforces the thread's serial service
+// rate where requests genuinely overlap in virtual time.
+#ifndef SRC_COMMON_SERVICE_TIMELINE_H_
+#define SRC_COMMON_SERVICE_TIMELINE_H_
+
+#include <cstdint>
+
+#include "src/common/rate_window.h"
+#include "src/common/timing.h"
+
+namespace lt {
+
+class ServiceTimeline {
+ public:
+  // Positions the calling thread's clock at the service start for an event
+  // that became ready at `event_vtime`, reserving `est_cost_ns` of this
+  // thread's serial capacity. If the thread had been idle past its spin
+  // budget, charges a wakeup.
+  void BeginService(uint64_t event_vtime, uint64_t est_cost_ns, uint64_t spin_budget_ns,
+                    uint64_t wakeup_cost_ns) {
+    uint64_t start = serial_.Reserve(event_vtime, est_cost_ns);
+    uint64_t prev = NowNs();
+    SetServiceClock(start);
+    if (start > prev) {
+      // The thread waited for this event: adaptive spin then sleep.
+      if (start - prev > spin_budget_ns) {
+        ChargeCpu(spin_budget_ns);  // Spun the budget, then slept...
+        SpinFor(wakeup_cost_ns);    // ...and pays the wakeup.
+      } else {
+        ChargeCpu(start - prev);  // Spun the whole (short) gap.
+      }
+    }
+  }
+
+  // The thread-local timeline shared by all service roles of one thread.
+  static ServiceTimeline& ForThisThread() {
+    thread_local ServiceTimeline timeline;
+    return timeline;
+  }
+
+ private:
+  RateWindow serial_;
+};
+
+}  // namespace lt
+
+#endif  // SRC_COMMON_SERVICE_TIMELINE_H_

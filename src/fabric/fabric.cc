@@ -1,0 +1,46 @@
+#include "src/fabric/fabric.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/timing.h"
+
+namespace lt {
+
+uint64_t FabricPort::Reserve(uint64_t earliest_ns, uint64_t bytes) {
+  const double rate = fabric_->params().nic_line_rate_bytes_per_ns;
+  const uint64_t ser_ns = static_cast<uint64_t>(static_cast<double>(bytes) / rate);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  return capacity_.Reserve(earliest_ns, ser_ns);
+}
+
+FabricPort* Fabric::Attach(NodeId node) {
+  std::lock_guard<SpinLock> lock(attach_mu_);
+  assert(node == ports_.size() && "nodes must attach in id order");
+  ports_.push_back(std::make_unique<FabricPort>(this, node));
+  return ports_.back().get();
+}
+
+uint64_t Fabric::TransferFinishNs(NodeId src, NodeId dst, uint64_t bytes, uint64_t earliest_ns) {
+  double drop_p = drop_probability_.load(std::memory_order_relaxed);
+  if (drop_p > 0.0) {
+    std::lock_guard<SpinLock> lock(drop_mu_);
+    if (drop_rng_.NextDouble() < drop_p) {
+      return kDropped;
+    }
+  }
+
+  uint64_t finish = earliest_ns;
+  if (src != dst) {
+    // Serialize on the sender's TX then the receiver's RX (store-and-forward
+    // through one switch hop collapses to the max of the two for same-rate
+    // ports; reserving sequentially models cut-through with port contention).
+    finish = ports_[src]->Reserve(earliest_ns, bytes);
+    finish = ports_[dst]->Reserve(finish, bytes);
+    finish += params_.wire_latency_ns;
+  }
+  finish += extra_delay_ns_.load(std::memory_order_relaxed);
+  return finish;
+}
+
+}  // namespace lt

@@ -1,0 +1,148 @@
+#include "src/lite/client.h"
+
+namespace lite {
+
+void LiteClient::EnterKernel() {
+  if (kernel_level_) {
+    return;
+  }
+  if (naive_syscalls_) {
+    // Unoptimized path: full trap in and out, plus the extra crossings of the
+    // separate recv/reply syscalls (~0.9 us total per RPC, paper Sec. 5.2).
+    instance_->node()->os().Syscall();
+    instance_->node()->os().CrossUserKernel();
+    return;
+  }
+  // Optimized path: one user->kernel crossing; the return is hidden behind
+  // the shared user/kernel page the LITE library spins on.
+  instance_->node()->os().CrossUserKernel();
+}
+
+StatusOr<Lh> LiteClient::Malloc(uint64_t size, const std::string& name,
+                                const MallocOptions& options) {
+  EnterKernel();
+  return instance_->Malloc(size, name, options);
+}
+
+Status LiteClient::Free(Lh lh) {
+  EnterKernel();
+  return instance_->Free(lh);
+}
+
+StatusOr<Lh> LiteClient::Map(const std::string& name, uint32_t want_perm) {
+  EnterKernel();
+  return instance_->Map(name, want_perm);
+}
+
+Status LiteClient::Unmap(Lh lh) {
+  EnterKernel();
+  return instance_->Unmap(lh);
+}
+
+Status LiteClient::Read(Lh lh, uint64_t offset, void* buf, uint64_t len) {
+  EnterKernel();
+  return instance_->Read(lh, offset, buf, len, priority_);
+}
+
+Status LiteClient::Write(Lh lh, uint64_t offset, const void* buf, uint64_t len) {
+  EnterKernel();
+  return instance_->Write(lh, offset, buf, len, priority_);
+}
+
+Status LiteClient::Memset(Lh lh, uint64_t offset, uint8_t value, uint64_t len) {
+  EnterKernel();
+  return instance_->Memset(lh, offset, value, len);
+}
+
+Status LiteClient::Memcpy(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len) {
+  EnterKernel();
+  return instance_->Memcpy(dst, dst_off, src, src_off, len);
+}
+
+Status LiteClient::Memmove(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len) {
+  EnterKernel();
+  return instance_->Memmove(dst, dst_off, src, src_off, len);
+}
+
+Status LiteClient::RegisterRpc(RpcFuncId func) {
+  EnterKernel();
+  return instance_->RegisterRpc(func);
+}
+
+Status LiteClient::Rpc(NodeId server, RpcFuncId func, const void* in, uint32_t in_len, void* out,
+                       uint32_t out_max, uint32_t* out_len) {
+  EnterKernel();
+  return instance_->Rpc(server, func, in, in_len, out, out_max, out_len, priority_);
+}
+
+Status LiteClient::MulticastRpc(const std::vector<NodeId>& servers, RpcFuncId func, const void* in,
+                                uint32_t in_len, std::vector<std::vector<uint8_t>>* replies) {
+  EnterKernel();
+  return instance_->MulticastRpc(servers, func, in, in_len, replies);
+}
+
+StatusOr<RpcIncoming> LiteClient::RecvRpc(RpcFuncId func, uint64_t timeout_ns) {
+  EnterKernel();
+  return instance_->RecvRpc(func, timeout_ns);
+}
+
+Status LiteClient::ReplyRpc(const ReplyToken& token, const void* data, uint32_t len) {
+  EnterKernel();
+  return instance_->ReplyRpc(token, data, len);
+}
+
+StatusOr<RpcIncoming> LiteClient::ReplyAndRecv(const ReplyToken& token, const void* data,
+                                               uint32_t len, RpcFuncId func, uint64_t timeout_ns) {
+  // The combined API exists precisely to pay ONE boundary crossing for both
+  // the reply and the next receive (paper Sec. 5.2).
+  EnterKernel();
+  return instance_->ReplyAndRecv(token, data, len, func, timeout_ns);
+}
+
+Status LiteClient::SendMsg(NodeId dst, const void* data, uint32_t len) {
+  EnterKernel();
+  return instance_->SendMsg(dst, data, len, priority_);
+}
+
+StatusOr<MsgIncoming> LiteClient::RecvMsg(uint64_t timeout_ns) {
+  EnterKernel();
+  return instance_->RecvMsg(timeout_ns);
+}
+
+StatusOr<uint64_t> LiteClient::FetchAdd(Lh lh, uint64_t offset, uint64_t delta) {
+  EnterKernel();
+  return instance_->FetchAdd(lh, offset, delta);
+}
+
+StatusOr<uint64_t> LiteClient::TestSet(Lh lh, uint64_t offset, uint64_t expected,
+                                       uint64_t desired) {
+  EnterKernel();
+  return instance_->TestSet(lh, offset, expected, desired);
+}
+
+StatusOr<LockId> LiteClient::CreateLock(const std::string& name) {
+  EnterKernel();
+  return instance_->CreateLock(name);
+}
+
+StatusOr<LockId> LiteClient::OpenLock(const std::string& name) {
+  EnterKernel();
+  return instance_->OpenLock(name);
+}
+
+Status LiteClient::Lock(const LockId& lock) {
+  EnterKernel();
+  return instance_->Lock(lock);
+}
+
+Status LiteClient::Unlock(const LockId& lock) {
+  EnterKernel();
+  return instance_->Unlock(lock);
+}
+
+Status LiteClient::Barrier(const std::string& name, uint32_t expected) {
+  EnterKernel();
+  return instance_->Barrier(name, expected);
+}
+
+}  // namespace lite

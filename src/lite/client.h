@@ -1,0 +1,80 @@
+// LiteClient — the handle an application holds on LITE.
+//
+// Kernel-level applications (paper's LITE-DSM) construct it with
+// kernel_level=true and pay no boundary costs. User-level applications pay
+// one user->kernel crossing per API entry; returns are hidden behind the
+// shared-page completion flag (paper Sec. 5.2), so a full RPC costs exactly
+// two crossings (~0.17 us). A "naive syscalls" mode reproduces the
+// unoptimized ~0.9 us path for the ablation benchmark.
+#ifndef SRC_LITE_CLIENT_H_
+#define SRC_LITE_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lite/instance.h"
+
+namespace lite {
+
+class LiteClient {
+ public:
+  LiteClient(LiteInstance* instance, bool kernel_level = false)
+      : instance_(instance), kernel_level_(kernel_level) {}
+
+  LiteInstance* instance() const { return instance_; }
+  NodeId node_id() const { return instance_->node_id(); }
+  bool kernel_level() const { return kernel_level_; }
+
+  void set_priority(Priority pri) { priority_ = pri; }
+  Priority priority() const { return priority_; }
+
+  // Ablation: charge full syscalls (enter+exit) on every boundary instead of
+  // LITE's optimized single-crossing + shared-page return.
+  void set_naive_syscalls(bool naive) { naive_syscalls_ = naive; }
+
+  // ---- Memory (Table 1) ----
+  StatusOr<Lh> Malloc(uint64_t size, const std::string& name, const MallocOptions& options = {});
+  Status Free(Lh lh);
+  StatusOr<Lh> Map(const std::string& name, uint32_t want_perm = kPermRead | kPermWrite);
+  Status Unmap(Lh lh);
+  Status Read(Lh lh, uint64_t offset, void* buf, uint64_t len);
+  Status Write(Lh lh, uint64_t offset, const void* buf, uint64_t len);
+  Status Memset(Lh lh, uint64_t offset, uint8_t value, uint64_t len);
+  Status Memcpy(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len);
+  Status Memmove(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len);
+
+  // ---- RPC / messaging (Table 1) ----
+  Status RegisterRpc(RpcFuncId func);
+  Status Rpc(NodeId server, RpcFuncId func, const void* in, uint32_t in_len, void* out,
+             uint32_t out_max, uint32_t* out_len);
+  Status MulticastRpc(const std::vector<NodeId>& servers, RpcFuncId func, const void* in,
+                      uint32_t in_len, std::vector<std::vector<uint8_t>>* replies);
+  StatusOr<RpcIncoming> RecvRpc(RpcFuncId func, uint64_t timeout_ns = ~0ull);
+  Status ReplyRpc(const ReplyToken& token, const void* data, uint32_t len);
+  StatusOr<RpcIncoming> ReplyAndRecv(const ReplyToken& token, const void* data, uint32_t len,
+                                     RpcFuncId func, uint64_t timeout_ns = ~0ull);
+  Status SendMsg(NodeId dst, const void* data, uint32_t len);
+  StatusOr<MsgIncoming> RecvMsg(uint64_t timeout_ns = ~0ull);
+
+  // ---- Synchronization (Table 1) ----
+  StatusOr<uint64_t> FetchAdd(Lh lh, uint64_t offset, uint64_t delta);
+  StatusOr<uint64_t> TestSet(Lh lh, uint64_t offset, uint64_t expected, uint64_t desired);
+  StatusOr<LockId> CreateLock(const std::string& name);
+  StatusOr<LockId> OpenLock(const std::string& name);
+  Status Lock(const LockId& lock);
+  Status Unlock(const LockId& lock);
+  Status Barrier(const std::string& name, uint32_t expected);
+
+ private:
+  // Charges the cost of entering the kernel for one LITE call.
+  void EnterKernel();
+
+  LiteInstance* const instance_;
+  const bool kernel_level_;
+  bool naive_syscalls_ = false;
+  Priority priority_ = Priority::kHigh;
+};
+
+}  // namespace lite
+
+#endif  // SRC_LITE_CLIENT_H_

@@ -1,0 +1,587 @@
+// Internal control functions served by each LITE instance's worker threads:
+// the name service (on the manager node), remote chunk allocation, LMR
+// map/unmap/free/move/permissions, remote memory commands, and the lock /
+// barrier services. Every handler replies [u32 status code | payload].
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/common/timing.h"
+#include "src/lite/instance.h"
+#include "src/lite/wire.h"
+
+namespace lite {
+namespace {
+
+void ReplyStatus(LiteInstance* self, const ReplyToken& token, lt::StatusCode code) {
+  uint32_t wire_code = static_cast<uint32_t>(code);
+  (void)self->ReplyRpc(token, &wire_code, sizeof(wire_code));
+}
+
+void ReplyOkPayload(LiteInstance* self, const ReplyToken& token, const WireWriter& payload) {
+  const auto& bytes = payload.bytes();
+  std::vector<uint8_t> out(sizeof(uint32_t) + bytes.size());
+  uint32_t code = static_cast<uint32_t>(lt::StatusCode::kOk);
+  std::memcpy(out.data(), &code, sizeof(code));
+  std::memcpy(out.data() + sizeof(code), bytes.data(), bytes.size());
+  (void)self->ReplyRpc(token, out.data(), static_cast<uint32_t>(out.size()));
+}
+
+}  // namespace
+
+void LiteInstance::RegisterInternalHandlers() {
+  // ------------------------------------------------ name service (manager)
+  internal_handlers_[kFnRegisterName] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    std::string name;
+    NodeId master = kInvalidNode;
+    if (!r.GetString(&name) || !r.Get(&master)) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(self->names_mu_);
+    if (self->names_.count(name) != 0) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kAlreadyExists);
+      return;
+    }
+    self->names_[name] = master;
+    ReplyStatus(self, inc.token, lt::StatusCode::kOk);
+  };
+
+  internal_handlers_[kFnLookupName] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    std::string name;
+    if (!r.GetString(&name)) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+      return;
+    }
+    NodeId master = kInvalidNode;
+    {
+      std::lock_guard<std::mutex> lock(self->names_mu_);
+      auto it = self->names_.find(name);
+      if (it == self->names_.end()) {
+        ReplyStatus(self, inc.token, lt::StatusCode::kNotFound);
+        return;
+      }
+      master = it->second;
+    }
+    WireWriter payload;
+    payload.Put<NodeId>(master);
+    ReplyOkPayload(self, inc.token, payload);
+  };
+
+  internal_handlers_[kFnUnregisterName] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    std::string name;
+    if (r.GetString(&name)) {
+      std::lock_guard<std::mutex> lock(self->names_mu_);
+      self->names_.erase(name);
+    }
+    ReplyStatus(self, inc.token, lt::StatusCode::kOk);
+  };
+
+  // ------------------------------------------------- remote chunk service
+  internal_handlers_[kFnAllocChunks] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    uint64_t size = 0;
+    if (!r.Get(&size)) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+      return;
+    }
+    auto chunks = self->AllocLocalChunks(size);
+    if (!chunks.ok()) {
+      ReplyStatus(self, inc.token, chunks.status().code());
+      return;
+    }
+    WireWriter payload;
+    payload.PutChunks(*chunks);
+    ReplyOkPayload(self, inc.token, payload);
+  };
+
+  internal_handlers_[kFnFreeChunks] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    std::vector<LmrChunk> chunks;
+    if (!r.GetChunks(&chunks)) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+      return;
+    }
+    self->FreeLocalChunks(chunks);
+    ReplyStatus(self, inc.token, lt::StatusCode::kOk);
+  };
+
+  // ----------------------------------------------------- LMR map / unmap
+  internal_handlers_[kFnMapLmr] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    std::string name;
+    uint32_t want = 0;
+    NodeId requester = kInvalidNode;
+    if (!r.GetString(&name) || !r.Get(&want) || !r.Get(&requester)) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+      return;
+    }
+    WireWriter payload;
+    {
+      std::lock_guard<std::mutex> lock(self->meta_mu_);
+      auto it = self->metas_.find(name);
+      if (it == self->metas_.end()) {
+        ReplyStatus(self, inc.token, lt::StatusCode::kNotFound);
+        return;
+      }
+      LmrMeta& meta = it->second;
+      uint32_t granted = meta.default_perm;
+      auto perm_it = meta.node_perm.find(requester);
+      if (perm_it != meta.node_perm.end()) {
+        granted = perm_it->second;
+      }
+      if ((granted & want) != want) {
+        ReplyStatus(self, inc.token, lt::StatusCode::kPermissionDenied);
+        return;
+      }
+      meta.mapped_nodes.insert(requester);
+      payload.Put<uint32_t>(want);
+      payload.Put<uint64_t>(meta.size);
+      payload.PutChunks(meta.chunks);
+    }
+    ReplyOkPayload(self, inc.token, payload);
+  };
+
+  internal_handlers_[kFnUnmapLmr] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    std::string name;
+    NodeId requester = kInvalidNode;
+    if (r.GetString(&name) && r.Get(&requester)) {
+      std::lock_guard<std::mutex> lock(self->meta_mu_);
+      auto it = self->metas_.find(name);
+      if (it != self->metas_.end()) {
+        it->second.mapped_nodes.erase(requester);
+      }
+    }
+    ReplyStatus(self, inc.token, lt::StatusCode::kOk);  // No-reply in practice.
+  };
+
+  // -------------------------------------- LMR free / invalidate / update
+  internal_handlers_[kFnMasterFree] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    std::string name;
+    NodeId requester = kInvalidNode;
+    if (!r.GetString(&name) || !r.Get(&requester)) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+      return;
+    }
+    LmrMeta meta;
+    {
+      std::lock_guard<std::mutex> lock(self->meta_mu_);
+      auto it = self->metas_.find(name);
+      if (it == self->metas_.end()) {
+        ReplyStatus(self, inc.token, lt::StatusCode::kNotFound);
+        return;
+      }
+      if (it->second.masters.count(requester) == 0) {
+        ReplyStatus(self, inc.token, lt::StatusCode::kPermissionDenied);
+        return;
+      }
+      meta = it->second;
+      self->metas_.erase(it);
+    }
+    // Invalidate every node that mapped the LMR (paper Sec. 4.1: "when the
+    // master ... frees the LMR, LITE at these nodes will be notified").
+    WireWriter inval;
+    inval.PutString(name);
+    for (NodeId mapped : meta.mapped_nodes) {
+      if (mapped == self->node_id()) {
+        std::lock_guard<std::mutex> lock(self->lh_mu_);
+        for (auto it = self->lh_table_.begin(); it != self->lh_table_.end();) {
+          it = it->second.name == name ? self->lh_table_.erase(it) : std::next(it);
+        }
+      } else {
+        (void)self->RpcSendNoReply(mapped, kFnLmrInvalidate, inval.bytes().data(),
+                                   static_cast<uint32_t>(inval.bytes().size()));
+      }
+    }
+    // Free the storage.
+    std::map<NodeId, std::vector<LmrChunk>> by_node;
+    for (const LmrChunk& c : meta.chunks) {
+      by_node[c.node].push_back(c);
+    }
+    for (const auto& [target, chunks] : by_node) {
+      if (target == self->node_id()) {
+        self->FreeLocalChunks(chunks);
+      } else {
+        WireWriter w;
+        w.PutChunks(chunks);
+        (void)self->InternalRpc(target, kFnFreeChunks, w.bytes(), nullptr);
+      }
+    }
+    // Release the name.
+    WireWriter unreg;
+    unreg.PutString(name);
+    (void)self->InternalRpc(self->manager_node_, kFnUnregisterName, unreg.bytes(), nullptr);
+    ReplyStatus(self, inc.token, lt::StatusCode::kOk);
+  };
+
+  internal_handlers_[kFnLmrInvalidate] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    std::string name;
+    if (r.GetString(&name)) {
+      std::lock_guard<std::mutex> lock(self->lh_mu_);
+      for (auto it = self->lh_table_.begin(); it != self->lh_table_.end();) {
+        it = it->second.name == name ? self->lh_table_.erase(it) : std::next(it);
+      }
+    }
+  };
+
+  internal_handlers_[kFnLmrUpdate] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    std::string name;
+    std::vector<LmrChunk> chunks;
+    if (r.GetString(&name) && r.GetChunks(&chunks)) {
+      std::lock_guard<std::mutex> lock(self->lh_mu_);
+      for (auto& [lh, entry] : self->lh_table_) {
+        if (entry.name == name) {
+          entry.chunks = chunks;
+        }
+      }
+    }
+  };
+
+  // ------------------------------------------------ master-role services
+  internal_handlers_[kFnSetPermission] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    std::string name;
+    NodeId grantee = kInvalidNode;
+    uint32_t perm = 0;
+    NodeId requester = kInvalidNode;
+    if (!r.GetString(&name) || !r.Get(&grantee) || !r.Get(&perm) || !r.Get(&requester)) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(self->meta_mu_);
+    auto it = self->metas_.find(name);
+    if (it == self->metas_.end()) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kNotFound);
+      return;
+    }
+    if (it->second.masters.count(requester) == 0) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kPermissionDenied);
+      return;
+    }
+    it->second.node_perm[grantee] = perm;
+    ReplyStatus(self, inc.token, lt::StatusCode::kOk);
+  };
+
+  internal_handlers_[kFnMasterGrant] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    std::string name;
+    NodeId new_master = kInvalidNode;
+    NodeId requester = kInvalidNode;
+    if (!r.GetString(&name) || !r.Get(&new_master) || !r.Get(&requester)) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(self->meta_mu_);
+    auto it = self->metas_.find(name);
+    if (it == self->metas_.end()) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kNotFound);
+      return;
+    }
+    if (it->second.masters.count(requester) == 0) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kPermissionDenied);
+      return;
+    }
+    it->second.masters.insert(new_master);
+    it->second.node_perm[new_master] = kPermRead | kPermWrite | kPermMaster;
+    ReplyStatus(self, inc.token, lt::StatusCode::kOk);
+  };
+
+  internal_handlers_[kFnMasterMove] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    std::string name;
+    NodeId new_node = kInvalidNode;
+    NodeId requester = kInvalidNode;
+    if (!r.GetString(&name) || !r.Get(&new_node) || !r.Get(&requester)) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+      return;
+    }
+    LmrMeta meta;
+    {
+      std::lock_guard<std::mutex> lock(self->meta_mu_);
+      auto it = self->metas_.find(name);
+      if (it == self->metas_.end()) {
+        ReplyStatus(self, inc.token, lt::StatusCode::kNotFound);
+        return;
+      }
+      if (it->second.masters.count(requester) == 0) {
+        ReplyStatus(self, inc.token, lt::StatusCode::kPermissionDenied);
+        return;
+      }
+      meta = it->second;
+    }
+
+    // Allocate the new placement.
+    std::vector<LmrChunk> new_chunks;
+    if (new_node == self->node_id()) {
+      auto local = self->AllocLocalChunks(meta.size);
+      if (!local.ok()) {
+        ReplyStatus(self, inc.token, local.status().code());
+        return;
+      }
+      new_chunks = *local;
+    } else {
+      WireWriter w;
+      w.Put<uint64_t>(meta.size);
+      std::vector<uint8_t> out;
+      Status st = self->InternalRpc(new_node, kFnAllocChunks, w.bytes(), &out);
+      if (!st.ok()) {
+        ReplyStatus(self, inc.token, st.code());
+        return;
+      }
+      WireReader rr(out.data(), out.size());
+      if (!rr.GetChunks(&new_chunks)) {
+        ReplyStatus(self, inc.token, lt::StatusCode::kInternal);
+        return;
+      }
+    }
+
+    // Copy the data across via one-sided ops through a bounce buffer.
+    auto old_pieces = SliceChunks(meta.chunks, 0, meta.size);
+    auto new_pieces = SliceChunks(new_chunks, 0, meta.size);
+    std::vector<uint8_t> bounce(meta.size);
+    for (const ChunkPiece& p : old_pieces) {
+      (void)self->OneSidedRead(p.node, p.addr, bounce.data() + p.user_off, p.len,
+                               Priority::kHigh);
+    }
+    for (const ChunkPiece& p : new_pieces) {
+      (void)self->OneSidedWrite(p.node, p.addr, bounce.data() + p.user_off, p.len,
+                                Priority::kHigh, /*signaled=*/true);
+    }
+
+    // Install the new chunks, free the old, fan out updates.
+    std::set<NodeId> mapped;
+    {
+      std::lock_guard<std::mutex> lock(self->meta_mu_);
+      auto it = self->metas_.find(name);
+      if (it != self->metas_.end()) {
+        it->second.chunks = new_chunks;
+        mapped = it->second.mapped_nodes;
+      }
+    }
+    WireWriter update;
+    update.PutString(name);
+    update.PutChunks(new_chunks);
+    for (NodeId node : mapped) {
+      if (node == self->node_id()) {
+        std::lock_guard<std::mutex> lock(self->lh_mu_);
+        for (auto& [lh, entry] : self->lh_table_) {
+          if (entry.name == name) {
+            entry.chunks = new_chunks;
+          }
+        }
+      } else {
+        (void)self->RpcSendNoReply(node, kFnLmrUpdate, update.bytes().data(),
+                                   static_cast<uint32_t>(update.bytes().size()));
+      }
+    }
+    std::map<NodeId, std::vector<LmrChunk>> by_node;
+    for (const LmrChunk& c : meta.chunks) {
+      by_node[c.node].push_back(c);
+    }
+    for (const auto& [target, chunks] : by_node) {
+      if (target == self->node_id()) {
+        self->FreeLocalChunks(chunks);
+      } else {
+        WireWriter w;
+        w.PutChunks(chunks);
+        (void)self->InternalRpc(target, kFnFreeChunks, w.bytes(), nullptr);
+      }
+    }
+    ReplyStatus(self, inc.token, lt::StatusCode::kOk);
+  };
+
+  // ------------------------------------------------- remote memory ops
+  internal_handlers_[kFnMemOp] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    uint8_t op = 0;
+    if (!r.Get(&op)) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+      return;
+    }
+    const auto& p = self->params();
+    if (op == 0) {  // memset on local ranges
+      uint8_t value = 0;
+      uint32_t count = 0;
+      if (!r.Get(&value) || !r.Get(&count)) {
+        ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+        return;
+      }
+      for (uint32_t i = 0; i < count; ++i) {
+        PhysAddr addr = 0;
+        uint64_t len = 0;
+        if (!r.Get(&addr) || !r.Get(&len)) {
+          ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+          return;
+        }
+        lt::SpinFor(p.local_op_base_ns + static_cast<uint64_t>(static_cast<double>(len) /
+                                                               p.local_copy_bytes_per_ns));
+        std::memset(self->node()->mem().Data(addr, len), value, len);
+      }
+      ReplyStatus(self, inc.token, lt::StatusCode::kOk);
+      return;
+    }
+    if (op == 1) {  // memcpy: local source -> local or remote destination
+      uint32_t count = 0;
+      if (!r.Get(&count)) {
+        ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+        return;
+      }
+      for (uint32_t i = 0; i < count; ++i) {
+        PhysAddr src_addr = 0;
+        NodeId dst_node = kInvalidNode;
+        PhysAddr dst_addr = 0;
+        uint64_t len = 0;
+        if (!r.Get(&src_addr) || !r.Get(&dst_node) || !r.Get(&dst_addr) || !r.Get(&len)) {
+          ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+          return;
+        }
+        if (dst_node == self->node_id()) {
+          lt::SpinFor(p.local_op_base_ns + static_cast<uint64_t>(static_cast<double>(len) /
+                                                                 p.local_copy_bytes_per_ns));
+          std::memmove(self->node()->mem().Data(dst_addr, len),
+                       self->node()->mem().Data(src_addr, len), len);
+        } else {
+          Status st = self->OneSidedWrite(dst_node, dst_addr,
+                                          self->node()->mem().Data(src_addr, len), len,
+                                          Priority::kHigh, /*signaled=*/true);
+          if (!st.ok()) {
+            ReplyStatus(self, inc.token, st.code());
+            return;
+          }
+        }
+      }
+      ReplyStatus(self, inc.token, lt::StatusCode::kOk);
+      return;
+    }
+    ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+  };
+
+  // --------------------------------------------------- lock FIFO service
+  internal_handlers_[kFnLockWait] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    PhysAddr addr = 0;
+    if (!r.Get(&addr)) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+      return;
+    }
+    bool grant_now = false;
+    {
+      std::lock_guard<std::mutex> lock(self->locks_mu_);
+      LockQueue& q = self->lock_queues_[addr];
+      if (q.grants_pending > 0) {
+        --q.grants_pending;
+        grant_now = true;
+      } else {
+        q.waiters.push_back(inc.token);
+      }
+    }
+    if (grant_now) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kOk);
+    }
+  };
+
+  internal_handlers_[kFnLockGrant] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    PhysAddr addr = 0;
+    if (!r.Get(&addr)) {
+      return;
+    }
+    ReplyToken waiter;
+    bool have_waiter = false;
+    {
+      std::lock_guard<std::mutex> lock(self->locks_mu_);
+      LockQueue& q = self->lock_queues_[addr];
+      if (!q.waiters.empty()) {
+        waiter = q.waiters.front();
+        q.waiters.pop_front();
+        have_waiter = true;
+      } else {
+        ++q.grants_pending;
+      }
+    }
+    if (have_waiter) {
+      // Grant no earlier than either the waiter's request or this release.
+      lt::SyncClockTo(waiter.arrival_vtime_ns);
+      ReplyStatus(self, waiter, lt::StatusCode::kOk);  // The reply IS the grant.
+    }
+  };
+
+  // -------------------------------------------------------- barrier
+  internal_handlers_[kFnBarrier] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    std::string name;
+    uint32_t expected = 0;
+    if (!r.GetString(&name) || !r.Get(&expected) || expected == 0) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+      return;
+    }
+    std::vector<ReplyToken> to_release;
+    {
+      std::lock_guard<std::mutex> lock(self->barriers_mu_);
+      BarrierState& b = self->barriers_[name];
+      b.expected = expected;
+      b.arrived.push_back(inc.token);
+      if (b.arrived.size() >= b.expected) {
+        to_release = std::move(b.arrived);
+        self->barriers_.erase(name);
+      }
+    }
+    // The barrier releases at the latest arrival's virtual time, regardless
+    // of the real-time order the arrivals were processed in.
+    uint64_t release_vtime = 0;
+    for (const ReplyToken& token : to_release) {
+      release_vtime = std::max(release_vtime, token.arrival_vtime_ns);
+    }
+    lt::SyncClockTo(release_vtime);
+    for (const ReplyToken& token : to_release) {
+      ReplyStatus(self, token, lt::StatusCode::kOk);
+    }
+  };
+
+  // ---------------------------------------- manager recovery (Sec. 3.3)
+  internal_handlers_[kFnListNames] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireWriter payload;
+    {
+      std::lock_guard<std::mutex> lock(self->meta_mu_);
+      payload.Put<uint32_t>(static_cast<uint32_t>(self->metas_.size()));
+      for (const auto& [name, meta] : self->metas_) {
+        payload.PutString(name);
+      }
+    }
+    ReplyOkPayload(self, inc.token, payload);
+  };
+
+  // -------------------------------------------------------- echo (tests)
+  internal_handlers_[kFnEcho] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireWriter payload;
+    payload.PutBytes(inc.data.data(), inc.data.size());
+    ReplyOkPayload(self, inc.token, payload);
+  };
+
+  internal_handlers_[kFnRingSetup] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    RpcFuncId ring_id = 0;
+    PhysAddr mirror = 0;
+    if (!r.Get(&ring_id) || !r.Get(&mirror)) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+      return;
+    }
+    ServerRing* ring = self->SetupServerRing(inc.token.client_node, ring_id, mirror);
+    if (ring == nullptr) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kResourceExhausted);
+      return;
+    }
+    WireWriter payload;
+    payload.Put<LmrChunk>(ring->ring);
+    payload.Put<uint64_t>(ring->ring_size);
+    ReplyOkPayload(self, inc.token, payload);
+  };
+}
+
+}  // namespace lite

@@ -1,0 +1,465 @@
+// LiteInstance core: construction, cluster wiring, service threads, and the
+// one-sided operation engine every higher-level facility builds on.
+#include "src/lite/instance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/common/timing.h"
+#include "src/lite/wire.h"
+
+namespace lite {
+
+using lt::Completion;
+using lt::NowNs;
+using lt::Qp;
+using lt::SpinFor;
+using lt::WaitMode;
+using lt::WcOpcode;
+using lt::WorkRequest;
+using lt::WrOpcode;
+
+namespace {
+
+constexpr uint64_t kMirrorSlabBytes = 64 << 10;  // 8K head mirrors.
+
+}  // namespace
+
+LiteInstance::LiteInstance(lt::Node* node, NodeId manager_node)
+    : node_(node), manager_node_(manager_node), qos_(node->params()) {
+  // The single physical-address MR covering all of this node's memory: one
+  // MPT entry on the RNIC, no MTT/PTE pressure at all (paper Sec. 4.1).
+  auto mr = rnic().RegisterMrPhysical(0, node_->mem().size_bytes(), lt::kMrAll);
+  assert(mr.ok());
+  global_lkey_ = mr->lkey;
+  global_rkey_ = mr->lkey;
+
+  // The one shared receive CQ all pool QPs deliver into (paper Sec. 5.1).
+  recv_cq_ = rnic().CreateCq();
+
+  // Reply-slot slab.
+  const auto& p = params();
+  auto slab = node_->mem().AllocContiguous(p.lite_reply_slots * p.lite_reply_slot_bytes);
+  assert(slab.ok());
+  reply_slab_ = *slab;
+  reply_slots_.reserve(p.lite_reply_slots);
+  for (size_t i = 0; i < p.lite_reply_slots; ++i) {
+    auto slot = std::make_unique<ReplySlot>();
+    slot->buf_phys = reply_slab_ + i * p.lite_reply_slot_bytes;
+    slot->buf_max = static_cast<uint32_t>(p.lite_reply_slot_bytes);
+    reply_slots_.push_back(std::move(slot));
+    free_slots_.push_back(static_cast<uint32_t>(i));
+  }
+
+  // Head-mirror slab.
+  auto mirrors = node_->mem().AllocContiguous(kMirrorSlabBytes);
+  assert(mirrors.ok());
+  mirror_slab_ = *mirrors;
+  mirror_cap_ = kMirrorSlabBytes / 8;
+
+  // lh values are per-node capabilities; embedding the node id guarantees a
+  // handle leaked to another node can never alias a valid local one.
+  next_lh_.store((static_cast<uint64_t>(node_->id()) << 32) + 1);
+
+  RegisterInternalHandlers();
+}
+
+LiteInstance::~LiteInstance() { Stop(); }
+
+void LiteInstance::ConnectPeer(LiteInstance* peer) {
+  NodeId id = peer->node_id();
+  if (peers_.size() <= id) {
+    peers_.resize(id + 1, nullptr);
+    peer_global_rkey_.resize(id + 1, 0);
+  }
+  peers_[id] = peer;
+  peer_global_rkey_[id] = peer->global_rkey();
+}
+
+void LiteInstance::CreateQueuePairs() {
+  const int k = std::max(1, params().lite_qp_sharing_factor);
+  qp_pool_.resize(peers_.size());
+  qp_mu_.resize(peers_.size());
+  for (NodeId dst = 0; dst < peers_.size(); ++dst) {
+    if (peers_[dst] == nullptr || dst == node_id()) {
+      continue;
+    }
+    for (int i = 0; i < k; ++i) {
+      lt::Cq* send_cq = rnic().CreateCq();
+      qp_pool_[dst].push_back(rnic().CreateQp(lt::QpType::kRc, send_cq, recv_cq_));
+      qp_mu_[dst].push_back(std::make_unique<std::mutex>());
+    }
+  }
+}
+
+lt::Qp* LiteInstance::PoolQp(NodeId dst, int k) {
+  if (dst >= qp_pool_.size() || static_cast<size_t>(k) >= qp_pool_[dst].size()) {
+    return nullptr;
+  }
+  return qp_pool_[dst][k];
+}
+
+void LiteInstance::BootstrapControlChannel(LiteInstance* server) {
+  auto mirror = AllocMirror();
+  assert(mirror.ok());
+  ServerRing* ring = server->SetupServerRing(node_id(), kControlRingId, *mirror);
+  assert(ring != nullptr);
+
+  auto channel = std::make_unique<RpcChannel>();
+  channel->server = server->node_id();
+  channel->func = kControlRingId;
+  channel->ring = {LmrChunk{server->node_id(), ring->ring.addr, ring->ring.size}};
+  channel->ring_size = ring->ring_size;
+  channel->head_mirror = *mirror;
+  std::lock_guard<std::mutex> lock(channels_mu_);
+  channels_[{server->node_id(), kControlRingId}] = std::move(channel);
+}
+
+void LiteInstance::Start() {
+  stopping_.store(false);
+  threads_.emplace_back([this] { PollLoop(); });
+  threads_.emplace_back([this] { HeadWriterLoop(); });
+  threads_.emplace_back([this] { InternalWorkerLoop(); });
+  threads_.emplace_back([this] { InternalWorkerLoop(); });
+}
+
+void LiteInstance::Stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  if (recv_cq_ != nullptr) {
+    recv_cq_->Shutdown();
+  }
+  internal_queue_.Close();
+  head_updates_.Close();
+  msg_queue_.Close();
+  {
+    std::lock_guard<std::mutex> lock(funcs_mu_);
+    for (auto& [func, queue] : app_queues_) {
+      queue->Close();
+    }
+  }
+  for (std::thread& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  threads_.clear();
+}
+
+LiteInstance* LiteInstance::Peer(NodeId node) const {
+  if (node >= peers_.size()) {
+    return nullptr;
+  }
+  return peers_[node];
+}
+
+// ------------------------------------------------------------ QP selection
+
+int LiteInstance::PickQpIndex(NodeId dst, Priority pri) {
+  if (dst >= qp_pool_.size() || qp_pool_[dst].empty()) {
+    return -1;
+  }
+  const int k = static_cast<int>(qp_pool_[dst].size());
+  auto [lo, hi] = qos_.QpRange(pri, k);
+  if (hi <= lo) {
+    lo = 0;
+    hi = k;
+  }
+  // Cheap per-thread spreading across the allowed slots.
+  static thread_local uint32_t t_counter = 0;
+  return lo + static_cast<int>(t_counter++ % static_cast<uint32_t>(hi - lo));
+}
+
+// ------------------------------------------------------- one-sided engine
+
+void LiteInstance::LocalCopyIn(PhysAddr dst, const void* src, uint64_t len) {
+  const auto& p = params();
+  SpinFor(p.local_op_base_ns +
+          static_cast<uint64_t>(static_cast<double>(len) / p.local_copy_bytes_per_ns));
+  std::memcpy(node_->mem().Data(dst, len), src, len);
+}
+
+void LiteInstance::LocalCopyOut(void* dst, PhysAddr src, uint64_t len) {
+  const auto& p = params();
+  SpinFor(p.local_op_base_ns +
+          static_cast<uint64_t>(static_cast<double>(len) / p.local_copy_bytes_per_ns));
+  std::memcpy(dst, node_->mem().Data(src, len), len);
+}
+
+Status LiteInstance::OneSidedWrite(NodeId dst, PhysAddr dst_addr, const void* src, uint64_t len,
+                                   Priority pri, bool signaled) {
+  qos_.Admit(pri, len);
+  if (dst == node_id()) {
+    LocalCopyIn(dst_addr, src, len);
+    return Status::Ok();
+  }
+  int idx = PickQpIndex(dst, pri);
+  if (idx < 0) {
+    return Status::Unavailable("no QP to destination node");
+  }
+  Qp* qp = qp_pool_[dst][idx];
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kWrite;
+  wr.host_local = const_cast<void*>(src);
+  wr.length = len;
+  wr.rkey = peer_global_rkey_[dst];
+  wr.remote_addr = dst_addr;
+  wr.signaled = signaled;
+  wr.wr_id = signaled ? next_wr_id_.fetch_add(1) : 0;
+
+  const uint64_t start = NowNs();
+  {
+    // The QP lock covers only the post; waiting happens outside so threads
+    // sharing a pool QP overlap their in-flight ops (the whole point of the
+    // shared pool, Sec. 6.1).
+    std::lock_guard<std::mutex> lock(*qp_mu_[dst][idx]);
+    LT_RETURN_IF_ERROR(rnic().PostSend(qp, wr));
+  }
+  if (!signaled) {
+    return Status::Ok();
+  }
+  auto c = qp->send_cq()->WaitPollFor(wr.wr_id, params().lite_rpc_timeout_ns,
+                                      WaitMode::kBusyPoll);
+  if (!c.has_value()) {
+    return Status::Timeout("one-sided write completion timeout");
+  }
+  if (pri == Priority::kHigh && c->status.ok()) {
+    qos_.RecordHighPriRtt(NowNs() - start);
+  }
+  return c->status;
+}
+
+Status LiteInstance::OneSidedWriteImm(NodeId dst, PhysAddr dst_addr, const void* src, uint64_t len,
+                                      uint32_t imm, Priority pri) {
+  qos_.Admit(pri, len);
+  if (dst == node_id()) {
+    // Loopback: copy locally and deliver the IMM to our own receive CQ so the
+    // poll thread handles it uniformly.
+    if (len > 0) {
+      LocalCopyIn(dst_addr, src, len);
+    }
+    Completion c;
+    c.opcode = WcOpcode::kRecvImm;
+    c.has_imm = true;
+    c.imm = imm;
+    c.byte_len = static_cast<uint32_t>(len);
+    c.src_node = node_id();
+    c.ready_at_ns = NowNs() + params().rnic_completion_ns;
+    recv_cq_->Push(std::move(c));
+    return Status::Ok();
+  }
+  int idx = PickQpIndex(dst, pri);
+  if (idx < 0) {
+    return Status::Unavailable("no QP to destination node");
+  }
+  Qp* qp = qp_pool_[dst][idx];
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kWriteImm;
+  wr.host_local = const_cast<void*>(src);
+  wr.length = len;
+  wr.rkey = peer_global_rkey_[dst];
+  wr.remote_addr = dst_addr;
+  wr.imm = imm;
+  wr.signaled = false;  // Failures detected by reply timeout (paper Sec. 5.1).
+  std::lock_guard<std::mutex> lock(*qp_mu_[dst][idx]);
+  return rnic().PostSend(qp, wr);
+}
+
+Status LiteInstance::OneSidedRead(NodeId src_node, PhysAddr src_addr, void* dst, uint64_t len,
+                                  Priority pri) {
+  qos_.Admit(pri, len);
+  if (src_node == node_id()) {
+    LocalCopyOut(dst, src_addr, len);
+    return Status::Ok();
+  }
+  int idx = PickQpIndex(src_node, pri);
+  if (idx < 0) {
+    return Status::Unavailable("no QP to source node");
+  }
+  Qp* qp = qp_pool_[src_node][idx];
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kRead;
+  wr.host_local = dst;
+  wr.length = len;
+  wr.rkey = peer_global_rkey_[src_node];
+  wr.remote_addr = src_addr;
+  wr.signaled = true;
+  wr.wr_id = next_wr_id_.fetch_add(1);
+
+  const uint64_t start = NowNs();
+  {
+    std::lock_guard<std::mutex> lock(*qp_mu_[src_node][idx]);
+    LT_RETURN_IF_ERROR(rnic().PostSend(qp, wr));
+  }
+  auto c = qp->send_cq()->WaitPollFor(wr.wr_id, params().lite_rpc_timeout_ns,
+                                      WaitMode::kBusyPoll);
+  if (!c.has_value()) {
+    return Status::Timeout("one-sided read completion timeout");
+  }
+  if (pri == Priority::kHigh && c->status.ok()) {
+    qos_.RecordHighPriRtt(NowNs() - start);
+  }
+  return c->status;
+}
+
+StatusOr<uint64_t> LiteInstance::RemoteAtomic(NodeId dst, PhysAddr addr, bool is_cas,
+                                              uint64_t compare_add, uint64_t swap) {
+  if (addr % 8 != 0) {
+    return Status::InvalidArgument("atomic target not 8-byte aligned");
+  }
+  qos_.Admit(Priority::kHigh, 8);
+  if (dst == node_id()) {
+    SpinFor(params().local_op_base_ns + params().rnic_atomic_extra_ns / 2);
+    uint8_t* p = node_->mem().Data(addr, 8);
+    // Serialize against remote atomics through the same responder path.
+    uint64_t old_value;
+    if (is_cas) {
+      uint64_t expected = compare_add;
+      __atomic_compare_exchange_n(reinterpret_cast<uint64_t*>(p), &expected, swap, false,
+                                  __ATOMIC_SEQ_CST, __ATOMIC_SEQ_CST);
+      old_value = expected;
+    } else {
+      old_value = __atomic_fetch_add(reinterpret_cast<uint64_t*>(p), compare_add, __ATOMIC_SEQ_CST);
+    }
+    return old_value;
+  }
+  int idx = PickQpIndex(dst, Priority::kHigh);
+  if (idx < 0) {
+    return Status::Unavailable("no QP to destination node");
+  }
+  Qp* qp = qp_pool_[dst][idx];
+  uint64_t old_value = 0;
+  WorkRequest wr;
+  wr.opcode = is_cas ? WrOpcode::kCmpSwap : WrOpcode::kFetchAdd;
+  wr.rkey = peer_global_rkey_[dst];
+  wr.remote_addr = addr;
+  wr.compare_add = compare_add;
+  wr.swap = swap;
+  wr.atomic_result = &old_value;
+  wr.signaled = true;
+  wr.wr_id = next_wr_id_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(*qp_mu_[dst][idx]);
+    LT_RETURN_IF_ERROR(rnic().PostSend(qp, wr));
+  }
+  auto c = qp->send_cq()->WaitPollFor(wr.wr_id, params().lite_rpc_timeout_ns,
+                                      WaitMode::kBusyPoll);
+  if (!c.has_value()) {
+    return Status::Timeout("atomic completion timeout");
+  }
+  if (!c->status.ok()) {
+    return c->status;
+  }
+  return old_value;
+}
+
+// ------------------------------------------------------------ lh plumbing
+
+Lh LiteInstance::InsertLh(LhEntry entry) {
+  Lh lh = next_lh_.fetch_add(1);
+  std::lock_guard<std::mutex> lock(lh_mu_);
+  lh_table_[lh] = std::move(entry);
+  return lh;
+}
+
+StatusOr<LiteInstance::LhEntry> LiteInstance::GetLh(Lh lh) const {
+  std::lock_guard<std::mutex> lock(lh_mu_);
+  auto it = lh_table_.find(lh);
+  if (it == lh_table_.end()) {
+    return Status::NotFound("unknown or invalidated lh");
+  }
+  return it->second;
+}
+
+Status LiteInstance::CheckAccess(const LhEntry& e, uint64_t offset, uint64_t len,
+                                 uint32_t need) const {
+  if ((e.perm & need) != need) {
+    return Status::PermissionDenied("lh lacks required permission");
+  }
+  if (offset + len > e.size || offset + len < offset) {
+    return Status::OutOfRange("access outside LMR bounds");
+  }
+  return Status::Ok();
+}
+
+std::vector<LiteInstance::ChunkPiece> LiteInstance::SliceChunks(
+    const std::vector<LmrChunk>& chunks, uint64_t offset, uint64_t len) {
+  std::vector<ChunkPiece> pieces;
+  uint64_t chunk_start = 0;
+  uint64_t user_off = 0;
+  for (const LmrChunk& c : chunks) {
+    uint64_t chunk_end = chunk_start + c.size;
+    uint64_t lo = std::max(offset, chunk_start);
+    uint64_t hi = std::min(offset + len, chunk_end);
+    if (lo < hi) {
+      pieces.push_back(ChunkPiece{c.node, c.addr + (lo - chunk_start), user_off, hi - lo});
+      user_off += hi - lo;
+    }
+    chunk_start = chunk_end;
+    if (chunk_start >= offset + len) {
+      break;
+    }
+  }
+  return pieces;
+}
+
+StatusOr<std::vector<LmrChunk>> LiteInstance::AllocLocalChunks(uint64_t size) {
+  std::vector<LmrChunk> chunks;
+  uint64_t remaining = size;
+  while (remaining > 0) {
+    uint64_t want = std::min<uint64_t>(remaining, params().lite_max_chunk_bytes);
+    auto addr = node_->mem().AllocContiguous(want);
+    // Under fragmentation, fall back to smaller physically-consecutive
+    // pieces (the flexibility the LMR indirection buys, paper Sec. 4.1).
+    while (!addr.ok() && want > params().page_size) {
+      want /= 2;
+      addr = node_->mem().AllocContiguous(want);
+    }
+    if (!addr.ok()) {
+      FreeLocalChunks(chunks);
+      return Status::ResourceExhausted("node out of physical memory for LMR");
+    }
+    chunks.push_back(LmrChunk{node_id(), *addr, want});
+    remaining -= std::min(want, remaining);
+  }
+  return chunks;
+}
+
+void LiteInstance::FreeLocalChunks(const std::vector<LmrChunk>& chunks) {
+  for (const LmrChunk& c : chunks) {
+    if (c.node == node_id()) {
+      (void)node_->mem().Free(c.addr);
+    }
+  }
+}
+
+// ------------------------------------------------------------- accounting
+
+size_t LiteInstance::qp_pool_size() const {
+  size_t n = 0;
+  for (const auto& per_dst : qp_pool_) {
+    n += per_dst.size();
+  }
+  return n;
+}
+
+size_t LiteInstance::lh_count() const {
+  std::lock_guard<std::mutex> lock(lh_mu_);
+  return lh_table_.size();
+}
+
+uint64_t LiteInstance::rpc_ring_bytes_in_use() const {
+  uint64_t total = 0;
+  // rings_mu_ is not const-friendly here; snapshot under lock.
+  auto* self = const_cast<LiteInstance*>(this);
+  std::lock_guard<std::mutex> lock(self->rings_mu_);
+  for (const auto& [key, ring] : self->rings_) {
+    total += ring->ring_size;
+  }
+  return total;
+}
+
+}  // namespace lite

@@ -1,0 +1,441 @@
+// LiteInstance — one per node; the reproduction of the paper's loadable
+// kernel module.
+//
+// Owns:
+//   * the global physical MR covering the node's entire physical memory
+//     (one MPT entry on the RNIC, zero MTT pressure — paper Sec. 4.1),
+//   * the shared QP pool: K QPs per remote node, shared by every application
+//     on the node (paper Sec. 6.1),
+//   * the single shared receive-CQ polling thread (paper Sec. 5.1),
+//   * the LMR registry (for LMRs mastered here), the local lh handle table,
+//   * the RPC stack (per-(client-node, function) server rings, reply slots,
+//     background head-writer thread),
+//   * the synchronization services (lock FIFO queues, barriers),
+//   * the QoS manager.
+//
+// Kernel-level applications call LiteInstance methods directly; user-level
+// applications go through LiteClient, which adds the user/kernel crossing
+// costs (paper Sec. 5.2).
+#ifndef SRC_LITE_INSTANCE_H_
+#define SRC_LITE_INSTANCE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/cpu_meter.h"
+#include "src/common/status.h"
+#include "src/common/sync_util.h"
+#include "src/lite/qos.h"
+#include "src/lite/types.h"
+#include "src/node/node.h"
+
+namespace lite {
+
+using lt::BlockingQueue;
+using lt::Status;
+using lt::StatusOr;
+
+class LiteInstance;
+
+// Serialized internal control-RPC payload (see wire.h).
+using WireWriterBytes = std::vector<uint8_t>;
+
+// Token identifying one received-but-not-yet-replied RPC call; LT_replyRPC
+// may be invoked later and from any thread (deferred replies power the lock
+// and barrier services).
+struct ReplyToken {
+  NodeId client_node = kInvalidNode;
+  PhysAddr reply_phys = 0;
+  uint32_t reply_max = 0;
+  uint32_t reply_slot = 0;
+  // Virtual arrival time of the call; deferred replies (lock grants,
+  // barrier releases) must not be issued on an earlier timeline.
+  uint64_t arrival_vtime_ns = 0;
+  bool valid() const { return client_node != kInvalidNode; }
+};
+
+// One received RPC call, as handed to LT_recvRPC.
+struct RpcIncoming {
+  std::vector<uint8_t> data;
+  ReplyToken token;
+  uint64_t arrival_vtime_ns = 0;
+};
+
+// One received LT_send message.
+struct MsgIncoming {
+  std::vector<uint8_t> data;
+  NodeId src = kInvalidNode;
+  uint64_t arrival_vtime_ns = 0;
+};
+
+// Options for LT_malloc.
+struct MallocOptions {
+  // Nodes to place the LMR on; chunks are distributed round-robin. Empty
+  // means "this node".
+  std::vector<NodeId> nodes;
+  uint32_t default_perm = kPermRead | kPermWrite;
+};
+
+// Identifies a distributed lock (an 8-byte word in an internal LMR at its
+// owner node, paper Sec. 7.2).
+struct LockId {
+  NodeId owner = kInvalidNode;
+  PhysAddr addr = 0;
+  bool valid() const { return owner != kInvalidNode; }
+};
+
+class LiteInstance {
+ public:
+  LiteInstance(lt::Node* node, NodeId manager_node);
+  ~LiteInstance();
+
+  LiteInstance(const LiteInstance&) = delete;
+  LiteInstance& operator=(const LiteInstance&) = delete;
+
+  NodeId node_id() const { return node_->id(); }
+  lt::Node* node() const { return node_; }
+  const lt::SimParams& params() const { return node_->params(); }
+  uint32_t global_rkey() const { return global_rkey_; }
+
+  // ---- Cluster wiring (LiteCluster calls these during setup) ----
+  void ConnectPeer(LiteInstance* peer);  // Records peer + its global rkey.
+  void CreateQueuePairs();               // Creates the shared QP pool.
+  lt::Qp* PoolQp(NodeId dst, int k);     // Pool access for pairwise connect.
+  // Sets up the control ring this node uses to talk to `server` (bootstrap;
+  // no simulated cost — runs before the cluster "boots").
+  void BootstrapControlChannel(LiteInstance* server);
+  void Start();  // Launches service threads.
+  void Stop();
+
+  // ================= Memory API (paper Table 1) =================
+  // LT_malloc: allocates an LMR, names it, makes the caller its master.
+  StatusOr<Lh> Malloc(uint64_t size, const std::string& name, const MallocOptions& options = {});
+  // LT_free: master-only; frees storage and invalidates all mappings.
+  Status Free(Lh lh);
+  // LT_map: acquires an lh for a named LMR from its master.
+  StatusOr<Lh> Map(const std::string& name, uint32_t want_perm = kPermRead | kPermWrite);
+  // LT_unmap: drops a mapping.
+  Status Unmap(Lh lh);
+  // Size of the LMR behind a handle.
+  StatusOr<uint64_t> LmrSize(Lh lh) const;
+  // Chunk placement behind a handle (introspection for apps/tests).
+  StatusOr<std::vector<LmrChunk>> LmrChunks(Lh lh) const;
+  // LT_read / LT_write: one-sided data access; return when data is
+  // read/written (no separate completion polling — paper Sec. 4.2).
+  Status Read(Lh lh, uint64_t offset, void* buf, uint64_t len, Priority pri = Priority::kHigh);
+  Status Write(Lh lh, uint64_t offset, const void* buf, uint64_t len,
+               Priority pri = Priority::kHigh);
+  // LT_memset / LT_memcpy / LT_memmove: executed at the node holding the
+  // source/target LMR to minimize network traffic (paper Sec. 7.1).
+  Status Memset(Lh lh, uint64_t offset, uint8_t value, uint64_t len);
+  Status Memcpy(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len);
+  Status Memmove(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len);
+
+  // ---- Master-role management (paper Sec. 4.1) ----
+  Status SetPermission(const std::string& name, NodeId grantee, uint32_t perm);
+  Status MoveLmr(const std::string& name, NodeId new_node);
+  Status GrantMaster(const std::string& name, NodeId new_master);
+
+  // ---- Cluster-manager recovery (paper Sec. 3.3) ----
+  // Rebuilds the name service from every node's LMR metadata registry; the
+  // manager's state is fully reconstructible after a failure restart. Only
+  // meaningful on the manager node.
+  Status RebuildNameService();
+  // Test hook: wipes the name service to simulate a manager restart.
+  void ClearNameServiceForTest();
+
+  // ================= RPC / messaging API =================
+  // LT_regRPC: registers an RPC function id served on this node.
+  Status RegisterRpc(RpcFuncId func);
+  // LT_RPC: calls (server_node, func); blocks for the reply.
+  Status Rpc(NodeId server_node, RpcFuncId func, const void* in, uint32_t in_len, void* out,
+             uint32_t out_max, uint32_t* out_len, Priority pri = Priority::kHigh);
+  // Async split of LT_RPC used by multicast: send now, wait later.
+  StatusOr<uint32_t> RpcSend(NodeId server_node, RpcFuncId func, const void* in, uint32_t in_len,
+                             uint32_t out_max, Priority pri = Priority::kHigh);
+  Status RpcWait(uint32_t slot, void* out, uint32_t out_max, uint32_t* out_len,
+                 uint64_t timeout_ns = 0);  // 0 = params default.
+  // Fire-and-forget call (no reply slot, no wait).
+  Status RpcSendNoReply(NodeId server_node, RpcFuncId func, const void* in, uint32_t in_len,
+                        Priority pri = Priority::kHigh);
+  // LT_multicastRPC (extension, paper Sec. 8.4): same call to many servers.
+  Status MulticastRpc(const std::vector<NodeId>& servers, RpcFuncId func, const void* in,
+                      uint32_t in_len, std::vector<std::vector<uint8_t>>* replies);
+  // LT_recvRPC: receives the next call for `func` (blocking).
+  StatusOr<RpcIncoming> RecvRpc(RpcFuncId func, uint64_t timeout_ns = ~0ull);
+  // LT_replyRPC: replies to a received call.
+  Status ReplyRpc(const ReplyToken& token, const void* data, uint32_t len);
+  // Combined reply+receive (paper Sec. 5.2 optional API).
+  StatusOr<RpcIncoming> ReplyAndRecv(const ReplyToken& token, const void* data, uint32_t len,
+                                     RpcFuncId func, uint64_t timeout_ns = ~0ull);
+  // LT_send / message receive.
+  Status SendMsg(NodeId dst, const void* data, uint32_t len, Priority pri = Priority::kHigh);
+  StatusOr<MsgIncoming> RecvMsg(uint64_t timeout_ns = ~0ull);
+
+  // ================= Synchronization API =================
+  // LT_fetch-add / LT_test-set on 8-byte LMR words.
+  StatusOr<uint64_t> FetchAdd(Lh lh, uint64_t offset, uint64_t delta);
+  StatusOr<uint64_t> TestSet(Lh lh, uint64_t offset, uint64_t expected, uint64_t desired);
+  // Distributed locks (paper Sec. 7.2): fetch-add fast path, FIFO wait queue
+  // at the lock's owner node on contention.
+  StatusOr<LockId> CreateLock(const std::string& name);
+  StatusOr<LockId> OpenLock(const std::string& name);
+  Status Lock(const LockId& lock);
+  Status Unlock(const LockId& lock);
+  // LT_barrier: blocks until `expected` participants arrive (service at the
+  // cluster manager node).
+  Status Barrier(const std::string& name, uint32_t expected);
+
+  // ================= QoS =================
+  QosManager& qos() { return qos_; }
+
+  // Chunk math: maps [offset, offset+len) of an LMR onto per-chunk pieces
+  // (public for the memory-op pairing helpers and tests).
+  struct ChunkPiece {
+    NodeId node;
+    PhysAddr addr;
+    uint64_t user_off;  // Offset within the user buffer.
+    uint64_t len;
+  };
+  static std::vector<ChunkPiece> SliceChunks(const std::vector<LmrChunk>& chunks, uint64_t offset,
+                                             uint64_t len);
+
+  // ---- Introspection (tests / benches) ----
+  size_t qp_pool_size() const;
+  uint64_t poll_thread_cpu_ns() const { return poll_cpu_.TotalCpuNs(); }
+  lt::CpuMeter& service_cpu_meter() { return poll_cpu_; }
+  size_t lh_count() const;
+  uint64_t rpc_ring_bytes_in_use() const;
+
+ private:
+  friend class LiteClient;
+
+  // ---------------- internal structures ----------------
+  struct LmrMeta {
+    std::string name;
+    uint64_t size = 0;
+    std::vector<LmrChunk> chunks;
+    uint32_t default_perm = kPermRead | kPermWrite;
+    std::map<NodeId, uint32_t> node_perm;
+    std::set<NodeId> mapped_nodes;
+    std::set<NodeId> masters;
+  };
+
+  struct LhEntry {
+    std::string name;
+    NodeId master_node = kInvalidNode;
+    uint64_t size = 0;
+    uint32_t perm = 0;
+    std::vector<LmrChunk> chunks;
+  };
+
+  // Client side of one RPC channel: ring placement at the server plus the
+  // local tail and the head mirror the server's background thread updates.
+  struct RpcChannel {
+    NodeId server = kInvalidNode;
+    RpcFuncId func = 0;
+    std::vector<LmrChunk> ring;  // Single chunk in practice.
+    uint64_t ring_size = 0;
+    uint64_t tail = 0;           // Absolute byte offset (monotonic).
+    PhysAddr head_mirror = 0;    // Local 8-byte word; server writes head here.
+    std::mutex mu;               // Serializes reserve+post (preserves order).
+  };
+
+  // Server side of one RPC channel.
+  struct ServerRing {
+    NodeId client = kInvalidNode;
+    RpcFuncId func = 0;
+    LmrChunk ring;
+    uint64_t ring_size = 0;
+    uint64_t head = 0;           // Absolute byte offset (monotonic).
+    PhysAddr client_head_mirror = 0;
+    std::atomic<uint64_t> head_to_publish{0};
+  };
+
+  // Client-side reply rendezvous.
+  struct ReplySlot {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::atomic<int> state{0};  // 0 free, 1 waiting, 2 ready, 3 error
+    uint32_t reply_len = 0;
+    uint64_t ready_vtime_ns = 0;
+    PhysAddr buf_phys = 0;
+    uint32_t buf_max = 0;
+  };
+
+  struct LockQueue {
+    std::deque<ReplyToken> waiters;
+    uint32_t grants_pending = 0;
+  };
+
+  struct BarrierState {
+    uint32_t expected = 0;
+    std::vector<ReplyToken> arrived;
+  };
+
+  // Header written at the ring tail ahead of the RPC payload.
+  struct RpcReqHeader {
+    uint32_t magic = 0x4c495445;  // "LITE"
+    uint32_t input_len = 0;
+    PhysAddr reply_phys = 0;
+    uint32_t reply_max = 0;
+    uint32_t reply_slot = 0;
+    NodeId client_node = kInvalidNode;
+    uint32_t entry_len = 0;   // Total aligned entry size in the ring.
+    uint64_t tail_after = 0;  // Absolute head position once consumed.
+  };
+
+  using InternalHandler =
+      std::function<void(LiteInstance*, const RpcIncoming&)>;
+
+  // ---------------- internals ----------------
+  lt::Rnic& rnic() const { return node_->rnic(); }
+  LiteInstance* Peer(NodeId node) const;
+
+  // QP selection honoring the QoS policy; returns a pool index for `dst`, or
+  // -1 if no QP exists.
+  int PickQpIndex(NodeId dst, Priority pri);
+
+  // One-sided ops on raw chunk targets (the engine under Read/Write/atomics
+  // and the RPC stack).
+  Status OneSidedWrite(NodeId dst, PhysAddr dst_addr, const void* src, uint64_t len, Priority pri,
+                       bool signaled);
+  Status OneSidedWriteImm(NodeId dst, PhysAddr dst_addr, const void* src, uint64_t len,
+                          uint32_t imm, Priority pri);
+  Status OneSidedRead(NodeId src_node, PhysAddr src_addr, void* dst, uint64_t len, Priority pri);
+  StatusOr<uint64_t> RemoteAtomic(NodeId dst, PhysAddr addr, bool is_cas, uint64_t compare_add,
+                                  uint64_t swap);
+
+  // Local fast path for chunks that live on this node.
+  void LocalCopyIn(PhysAddr dst, const void* src, uint64_t len);
+  void LocalCopyOut(void* dst, PhysAddr src, uint64_t len);
+
+  // lh bookkeeping.
+  Lh InsertLh(LhEntry entry);
+  StatusOr<LhEntry> GetLh(Lh lh) const;
+  Status CheckAccess(const LhEntry& e, uint64_t offset, uint64_t len, uint32_t need) const;
+
+  // Chunk allocation (local service for kFnAllocChunks and local mallocs).
+  StatusOr<std::vector<LmrChunk>> AllocLocalChunks(uint64_t size);
+  void FreeLocalChunks(const std::vector<LmrChunk>& chunks);
+
+  // RPC plumbing. Channels/rings are keyed by ring id: application functions
+  // get their own ring (as in the paper); internal functions and messaging
+  // share one control ring per client node.
+  static RpcFuncId RingIdFor(RpcFuncId func) {
+    return func <= kMaxAppFuncId ? func : kControlRingId;
+  }
+  StatusOr<RpcChannel*> GetChannel(NodeId server, RpcFuncId ring_id);
+  ServerRing* SetupServerRing(NodeId client, RpcFuncId ring_id, PhysAddr client_head_mirror);
+  StatusOr<PhysAddr> AllocMirror();
+  StatusOr<uint32_t> AcquireReplySlot(uint32_t out_max);
+  void ReleaseReplySlot(uint32_t slot);
+  Status PostRpcRequest(RpcChannel* channel, RpcFuncId func, const void* in, uint32_t in_len,
+                        PhysAddr reply_phys, uint32_t reply_max, uint32_t reply_slot,
+                        Priority pri);
+  BlockingQueue<RpcIncoming>* EnsureAppQueue(RpcFuncId func);
+  void PollLoop();
+  void HeadWriterLoop();
+  void InternalWorkerLoop();
+  void HandleRequestImm(NodeId src, uint32_t imm, uint64_t vtime);
+  void HandleReplyImm(uint32_t imm, uint32_t byte_len, uint64_t vtime);
+
+  // Internal control-function implementations.
+  void RegisterInternalHandlers();
+  Status InternalRpc(NodeId server, RpcFuncId func, const WireWriterBytes& in,
+                     std::vector<uint8_t>* out, uint64_t timeout_ns = 0);
+
+  // Name service (lives at manager_node_).
+  StatusOr<NodeId> LookupMasterNode(const std::string& name);
+
+  // ---------------- data ----------------
+  lt::Node* const node_;
+  const NodeId manager_node_;
+
+  uint32_t global_lkey_ = 0;
+  uint32_t global_rkey_ = 0;
+  std::vector<LiteInstance*> peers_;       // Indexed by node id (self included).
+  std::vector<uint32_t> peer_global_rkey_;
+
+  // Shared QP pool: qp_pool_[dst][k], k in [0, K). One mutex per QP
+  // serializes synchronous users (the QP send queue is ordered anyway).
+  std::vector<std::vector<lt::Qp*>> qp_pool_;
+  std::vector<std::vector<std::unique_ptr<std::mutex>>> qp_mu_;
+  lt::Cq* recv_cq_ = nullptr;
+
+  // LMR registry for LMRs whose metadata lives here (creator node).
+  mutable std::mutex meta_mu_;
+  std::unordered_map<std::string, LmrMeta> metas_;
+
+  // Name service (populated only on the manager node).
+  std::mutex names_mu_;
+  std::unordered_map<std::string, NodeId> names_;
+
+  // Local handle table.
+  mutable std::mutex lh_mu_;
+  std::unordered_map<Lh, LhEntry> lh_table_;
+  std::atomic<uint64_t> next_lh_{1};
+  std::atomic<uint64_t> next_wr_id_{1};
+
+  // RPC: client channels, server rings, reply slots.
+  std::mutex channels_mu_;
+  std::map<std::pair<NodeId, RpcFuncId>, std::unique_ptr<RpcChannel>> channels_;
+  std::mutex rings_mu_;
+  std::map<std::pair<NodeId, RpcFuncId>, std::unique_ptr<ServerRing>> rings_;
+  std::vector<std::unique_ptr<ReplySlot>> reply_slots_;
+  std::mutex slot_mu_;
+  std::condition_variable slot_cv_;
+  std::vector<uint32_t> free_slots_;
+  PhysAddr reply_slab_ = 0;
+
+  // Head-mirror slab: 8-byte words handed out bump-style.
+  std::mutex mirror_mu_;
+  PhysAddr mirror_slab_ = 0;
+  uint64_t mirror_next_ = 0;
+  uint64_t mirror_cap_ = 0;
+
+  // Registered application RPC functions.
+  std::mutex funcs_mu_;
+  std::unordered_map<RpcFuncId, std::unique_ptr<BlockingQueue<RpcIncoming>>> app_queues_;
+
+  // Internal control functions.
+  std::unordered_map<RpcFuncId, InternalHandler> internal_handlers_;
+  BlockingQueue<std::pair<RpcFuncId, RpcIncoming>> internal_queue_;
+
+  // Messaging.
+  BlockingQueue<MsgIncoming> msg_queue_;
+
+  // Head updates published by the background thread (paper Fig. 9, step f).
+  // Items carry the virtual time of the triggering dispatch so the writer
+  // thread's clock tracks event time.
+  BlockingQueue<std::pair<ServerRing*, uint64_t>> head_updates_;
+
+  // Lock + barrier services.
+  std::mutex locks_mu_;
+  std::unordered_map<PhysAddr, LockQueue> lock_queues_;
+  std::mutex barriers_mu_;
+  std::unordered_map<std::string, BarrierState> barriers_;
+
+  // QoS.
+  QosManager qos_;
+
+  // Service threads.
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stopping_{false};
+  lt::CpuMeter poll_cpu_;
+};
+
+}  // namespace lite
+
+#endif  // SRC_LITE_INSTANCE_H_

@@ -1,0 +1,54 @@
+#include "src/lite/lite_cluster.h"
+
+namespace lite {
+
+LiteCluster::LiteCluster(size_t node_count, const lt::SimParams& params)
+    : cluster_(node_count, params) {
+  const NodeId manager = 0;
+  instances_.reserve(node_count);
+  for (size_t i = 0; i < node_count; ++i) {
+    instances_.push_back(std::make_unique<LiteInstance>(cluster_.node(i), manager));
+  }
+  // Peer discovery + global-rkey exchange.
+  for (auto& a : instances_) {
+    for (auto& b : instances_) {
+      a->ConnectPeer(b.get());
+    }
+  }
+  // Shared QP pools: K QPs per (ordered) node pair, pairwise-connected.
+  for (auto& inst : instances_) {
+    inst->CreateQueuePairs();
+  }
+  const int k = std::max(1, params.lite_qp_sharing_factor);
+  for (NodeId i = 0; i < node_count; ++i) {
+    for (NodeId j = i + 1; j < node_count; ++j) {
+      for (int q = 0; q < k; ++q) {
+        lt::Qp* a = instances_[i]->PoolQp(j, q);
+        lt::Qp* b = instances_[j]->PoolQp(i, q);
+        a->Connect(j, b->qpn());
+        b->Connect(i, a->qpn());
+      }
+    }
+  }
+  // Control rings (every ordered pair, including self for loopback RPCs).
+  for (auto& client : instances_) {
+    for (auto& server : instances_) {
+      client->BootstrapControlChannel(server.get());
+    }
+  }
+  for (auto& inst : instances_) {
+    inst->Start();
+  }
+}
+
+LiteCluster::~LiteCluster() {
+  for (auto& inst : instances_) {
+    inst->Stop();
+  }
+}
+
+std::unique_ptr<LiteClient> LiteCluster::CreateClient(NodeId node, bool kernel_level) {
+  return std::make_unique<LiteClient>(instances_[node].get(), kernel_level);
+}
+
+}  // namespace lite

@@ -1,0 +1,38 @@
+// LiteCluster — N simulated machines, each running one LITE instance, wired
+// to one fabric: the equivalent of the paper's testbed (10 machines, 40 Gbps
+// InfiniBand). Construction performs the LT_join/cluster-manager setup phase
+// with no simulated cost (the paper's management library runs out-of-band).
+#ifndef SRC_LITE_LITE_CLUSTER_H_
+#define SRC_LITE_LITE_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/lite/client.h"
+#include "src/lite/instance.h"
+#include "src/node/node.h"
+
+namespace lite {
+
+class LiteCluster {
+ public:
+  explicit LiteCluster(size_t node_count, const lt::SimParams& params = lt::SimParams());
+  ~LiteCluster();
+
+  size_t size() const { return instances_.size(); }
+  LiteInstance* instance(NodeId id) { return instances_[id].get(); }
+  lt::Cluster& cluster() { return cluster_; }
+  lt::Node* node(NodeId id) { return cluster_.node(id); }
+  const lt::SimParams& params() const { return cluster_.params(); }
+
+  // Creates an application client on `node` (user-level by default).
+  std::unique_ptr<LiteClient> CreateClient(NodeId node, bool kernel_level = false);
+
+ private:
+  lt::Cluster cluster_;
+  std::vector<std::unique_ptr<LiteInstance>> instances_;
+};
+
+}  // namespace lite
+
+#endif  // SRC_LITE_LITE_CLUSTER_H_

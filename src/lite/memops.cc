@@ -1,0 +1,568 @@
+// LITE memory API: LT_malloc/free/map/unmap, LT_read/write, and the
+// memory-like extended operations LT_memset/memcpy/memmove (paper Secs. 4, 7.1),
+// plus the master-role management operations (paper Sec. 4.1).
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/common/timing.h"
+#include "src/lite/instance.h"
+#include "src/lite/wire.h"
+
+namespace lite {
+
+using lt::SpinFor;
+
+namespace {
+
+std::string LockName(const std::string& name) { return "__lock_" + name; }
+
+}  // namespace
+
+// -------------------------------------------------------------- LT_malloc
+
+StatusOr<Lh> LiteInstance::Malloc(uint64_t size, const std::string& name,
+                                  const MallocOptions& options) {
+  if (size == 0 || name.empty()) {
+    return Status::InvalidArgument("LT_malloc needs a size and a name");
+  }
+  SpinFor(params().lite_malloc_local_ns);
+
+  std::vector<NodeId> nodes = options.nodes;
+  if (nodes.empty()) {
+    nodes.push_back(node_id());
+  }
+
+  // Split into chunks of at most lite_max_chunk_bytes, placed round-robin
+  // across the requested nodes (paper Sec. 4.1: an LMR "can even spread
+  // across different machines").
+  std::vector<LmrChunk> chunks;
+  uint64_t remaining = size;
+  size_t piece = 0;
+  Status failure = Status::Ok();
+  while (remaining > 0) {
+    uint64_t want = std::min<uint64_t>(remaining, params().lite_max_chunk_bytes);
+    NodeId target = nodes[piece % nodes.size()];
+    if (target == node_id()) {
+      auto local = AllocLocalChunks(want);
+      if (!local.ok()) {
+        failure = local.status();
+        break;
+      }
+      for (const LmrChunk& c : *local) {
+        chunks.push_back(c);
+      }
+    } else {
+      WireWriter w;
+      w.Put<uint64_t>(want);
+      std::vector<uint8_t> out;
+      Status st = InternalRpc(target, kFnAllocChunks, w.bytes(), &out);
+      if (!st.ok()) {
+        failure = st;
+        break;
+      }
+      WireReader r(out.data(), out.size());
+      std::vector<LmrChunk> got;
+      if (!r.GetChunks(&got)) {
+        failure = Status::Internal("malformed alloc-chunks reply");
+        break;
+      }
+      for (const LmrChunk& c : got) {
+        chunks.push_back(c);
+      }
+    }
+    remaining -= want;
+    ++piece;
+  }
+
+  auto rollback = [&] {
+    for (const LmrChunk& c : chunks) {
+      if (c.node == node_id()) {
+        FreeLocalChunks({c});
+      } else {
+        WireWriter w;
+        w.PutChunks({c});
+        (void)InternalRpc(c.node, kFnFreeChunks, w.bytes(), nullptr);
+      }
+    }
+  };
+  if (!failure.ok()) {
+    rollback();
+    return failure;
+  }
+
+  // Register the name with the cluster manager.
+  {
+    WireWriter w;
+    w.PutString(name);
+    w.Put<NodeId>(node_id());
+    Status st = InternalRpc(manager_node_, kFnRegisterName, w.bytes(), nullptr);
+    if (!st.ok()) {
+      rollback();
+      return st;
+    }
+  }
+
+  // The creator becomes the LMR's (first) master; metadata lives here.
+  {
+    LmrMeta meta;
+    meta.name = name;
+    meta.size = size;
+    meta.chunks = chunks;
+    meta.default_perm = options.default_perm;
+    meta.masters.insert(node_id());
+    meta.mapped_nodes.insert(node_id());
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    metas_[name] = std::move(meta);
+  }
+
+  LhEntry entry;
+  entry.name = name;
+  entry.master_node = node_id();
+  entry.size = size;
+  entry.perm = kPermRead | kPermWrite | kPermMaster;
+  entry.chunks = std::move(chunks);
+  return InsertLh(std::move(entry));
+}
+
+// ---------------------------------------------------------------- LT_free
+
+Status LiteInstance::Free(Lh lh) {
+  auto entry = GetLh(lh);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  if ((entry->perm & kPermMaster) == 0) {
+    return Status::PermissionDenied("LT_free requires the master role");
+  }
+  WireWriter w;
+  w.PutString(entry->name);
+  w.Put<NodeId>(node_id());
+  LT_RETURN_IF_ERROR(InternalRpc(entry->master_node, kFnMasterFree, w.bytes(), nullptr));
+  // Drop our own handles for the name (the invalidate notification is
+  // asynchronous and idempotent).
+  std::lock_guard<std::mutex> lock(lh_mu_);
+  for (auto it = lh_table_.begin(); it != lh_table_.end();) {
+    if (it->second.name == entry->name) {
+      it = lh_table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::Ok();
+}
+
+// ----------------------------------------------------------------- LT_map
+
+Status LiteInstance::RebuildNameService() {
+  if (node_id() != manager_node_) {
+    return Status::FailedPrecondition("name service lives on the manager node");
+  }
+  std::unordered_map<std::string, NodeId> rebuilt;
+  for (NodeId peer = 0; peer < peers_.size(); ++peer) {
+    if (peers_[peer] == nullptr) {
+      continue;
+    }
+    std::vector<uint8_t> out;
+    WireWriter empty;
+    LT_RETURN_IF_ERROR(InternalRpc(peer, kFnListNames, empty.bytes(), &out));
+    WireReader r(out.data(), out.size());
+    uint32_t count = 0;
+    if (!r.Get(&count)) {
+      return Status::Internal("malformed name-list reply");
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+      std::string name;
+      if (!r.GetString(&name)) {
+        return Status::Internal("malformed name-list entry");
+      }
+      rebuilt[name] = peer;  // Metadata lives where the LMR was created.
+    }
+  }
+  std::lock_guard<std::mutex> lock(names_mu_);
+  names_ = std::move(rebuilt);
+  return Status::Ok();
+}
+
+void LiteInstance::ClearNameServiceForTest() {
+  std::lock_guard<std::mutex> lock(names_mu_);
+  names_.clear();
+}
+
+StatusOr<NodeId> LiteInstance::LookupMasterNode(const std::string& name) {
+  WireWriter w;
+  w.PutString(name);
+  std::vector<uint8_t> out;
+  LT_RETURN_IF_ERROR(InternalRpc(manager_node_, kFnLookupName, w.bytes(), &out));
+  WireReader r(out.data(), out.size());
+  NodeId master = kInvalidNode;
+  if (!r.Get(&master)) {
+    return Status::Internal("malformed name-lookup reply");
+  }
+  return master;
+}
+
+StatusOr<Lh> LiteInstance::Map(const std::string& name, uint32_t want_perm) {
+  SpinFor(params().lite_map_check_ns);
+  auto master = LookupMasterNode(name);
+  if (!master.ok()) {
+    return master.status();
+  }
+  WireWriter w;
+  w.PutString(name);
+  w.Put<uint32_t>(want_perm);
+  w.Put<NodeId>(node_id());
+  std::vector<uint8_t> out;
+  LT_RETURN_IF_ERROR(InternalRpc(*master, kFnMapLmr, w.bytes(), &out));
+  WireReader r(out.data(), out.size());
+  uint32_t perm = 0;
+  uint64_t size = 0;
+  std::vector<LmrChunk> chunks;
+  if (!r.Get(&perm) || !r.Get(&size) || !r.GetChunks(&chunks)) {
+    return Status::Internal("malformed map reply");
+  }
+  LhEntry entry;
+  entry.name = name;
+  entry.master_node = *master;
+  entry.size = size;
+  entry.perm = perm;
+  entry.chunks = std::move(chunks);
+  return InsertLh(std::move(entry));
+}
+
+StatusOr<uint64_t> LiteInstance::LmrSize(Lh lh) const {
+  auto entry = GetLh(lh);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  return entry->size;
+}
+
+StatusOr<std::vector<LmrChunk>> LiteInstance::LmrChunks(Lh lh) const {
+  auto entry = GetLh(lh);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  return entry->chunks;
+}
+
+Status LiteInstance::Unmap(Lh lh) {
+  auto entry = GetLh(lh);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(lh_mu_);
+    lh_table_.erase(lh);
+  }
+  WireWriter w;
+  w.PutString(entry->name);
+  w.Put<NodeId>(node_id());
+  return RpcSendNoReply(entry->master_node, kFnUnmapLmr, w.bytes().data(),
+                        static_cast<uint32_t>(w.bytes().size()));
+}
+
+// ------------------------------------------------------ LT_read / LT_write
+
+Status LiteInstance::Read(Lh lh, uint64_t offset, void* buf, uint64_t len, Priority pri) {
+  if (len == 0) {
+    return Status::Ok();
+  }
+  SpinFor(params().lite_map_check_ns);
+  auto entry = GetLh(lh);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  LT_RETURN_IF_ERROR(CheckAccess(*entry, offset, len, kPermRead));
+  for (const ChunkPiece& piece : SliceChunks(entry->chunks, offset, len)) {
+    LT_RETURN_IF_ERROR(OneSidedRead(piece.node, piece.addr,
+                                    static_cast<uint8_t*>(buf) + piece.user_off, piece.len, pri));
+  }
+  return Status::Ok();
+}
+
+Status LiteInstance::Write(Lh lh, uint64_t offset, const void* buf, uint64_t len, Priority pri) {
+  if (len == 0) {
+    return Status::Ok();
+  }
+  SpinFor(params().lite_map_check_ns);
+  auto entry = GetLh(lh);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  LT_RETURN_IF_ERROR(CheckAccess(*entry, offset, len, kPermWrite));
+  for (const ChunkPiece& piece : SliceChunks(entry->chunks, offset, len)) {
+    LT_RETURN_IF_ERROR(OneSidedWrite(piece.node, piece.addr,
+                                     static_cast<const uint8_t*>(buf) + piece.user_off, piece.len,
+                                     pri, /*signaled=*/true));
+  }
+  return Status::Ok();
+}
+
+// ------------------------------------------- LT_memset / memcpy / memmove
+
+Status LiteInstance::Memset(Lh lh, uint64_t offset, uint8_t value, uint64_t len) {
+  if (len == 0) {
+    return Status::Ok();
+  }
+  SpinFor(params().lite_map_check_ns);
+  auto entry = GetLh(lh);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  LT_RETURN_IF_ERROR(CheckAccess(*entry, offset, len, kPermWrite));
+
+  // Send one command per involved node; each node memsets its own pieces
+  // locally (cheaper than shipping the pattern over the wire, Sec. 7.1).
+  auto pieces = SliceChunks(entry->chunks, offset, len);
+  std::map<NodeId, std::vector<ChunkPiece>> by_node;
+  for (const ChunkPiece& p : pieces) {
+    by_node[p.node].push_back(p);
+  }
+  for (const auto& [target, group] : by_node) {
+    WireWriter w;
+    w.Put<uint8_t>(0);  // op 0 = memset
+    w.Put<uint8_t>(value);
+    w.Put<uint32_t>(static_cast<uint32_t>(group.size()));
+    for (const ChunkPiece& p : group) {
+      w.Put<PhysAddr>(p.addr);
+      w.Put<uint64_t>(p.len);
+    }
+    LT_RETURN_IF_ERROR(InternalRpc(target, kFnMemOp, w.bytes(), nullptr));
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// Pairs up source and destination piece lists (both ordered by user offset
+// and covering the same total length) into copy segments.
+struct CopySegment {
+  NodeId src_node;
+  PhysAddr src_addr;
+  NodeId dst_node;
+  PhysAddr dst_addr;
+  uint64_t len;
+};
+
+std::vector<CopySegment> PairPieces(const std::vector<LiteInstance::ChunkPiece>& src,
+                                    const std::vector<LiteInstance::ChunkPiece>& dst) {
+  std::vector<CopySegment> out;
+  size_t si = 0;
+  size_t di = 0;
+  uint64_t soff = 0;
+  uint64_t doff = 0;
+  while (si < src.size() && di < dst.size()) {
+    uint64_t take = std::min(src[si].len - soff, dst[di].len - doff);
+    out.push_back(CopySegment{src[si].node, src[si].addr + soff, dst[di].node,
+                              dst[di].addr + doff, take});
+    soff += take;
+    doff += take;
+    if (soff == src[si].len) {
+      ++si;
+      soff = 0;
+    }
+    if (doff == dst[di].len) {
+      ++di;
+      doff = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status LiteInstance::Memcpy(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len) {
+  if (len == 0) {
+    return Status::Ok();
+  }
+  SpinFor(params().lite_map_check_ns);
+  auto src_entry = GetLh(src);
+  if (!src_entry.ok()) {
+    return src_entry.status();
+  }
+  auto dst_entry = GetLh(dst);
+  if (!dst_entry.ok()) {
+    return dst_entry.status();
+  }
+  LT_RETURN_IF_ERROR(CheckAccess(*src_entry, src_off, len, kPermRead));
+  LT_RETURN_IF_ERROR(CheckAccess(*dst_entry, dst_off, len, kPermWrite));
+
+  auto segments = PairPieces(SliceChunks(src_entry->chunks, src_off, len),
+                             SliceChunks(dst_entry->chunks, dst_off, len));
+  // One LT_RPC to each node storing source data; that node either memcpys
+  // locally or LT_writes to the destination node (paper Sec. 7.1).
+  std::map<NodeId, std::vector<CopySegment>> by_src;
+  for (const CopySegment& seg : segments) {
+    by_src[seg.src_node].push_back(seg);
+  }
+  for (const auto& [target, group] : by_src) {
+    WireWriter w;
+    w.Put<uint8_t>(1);  // op 1 = memcpy
+    w.Put<uint32_t>(static_cast<uint32_t>(group.size()));
+    for (const CopySegment& seg : group) {
+      w.Put<PhysAddr>(seg.src_addr);
+      w.Put<NodeId>(seg.dst_node);
+      w.Put<PhysAddr>(seg.dst_addr);
+      w.Put<uint64_t>(seg.len);
+    }
+    LT_RETURN_IF_ERROR(InternalRpc(target, kFnMemOp, w.bytes(), nullptr));
+  }
+  return Status::Ok();
+}
+
+Status LiteInstance::Memmove(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len) {
+  // Same engine as LT_memcpy; node-local segments use memmove semantics.
+  return Memcpy(dst, dst_off, src, src_off, len);
+}
+
+// ------------------------------------------------- master-role management
+
+Status LiteInstance::SetPermission(const std::string& name, NodeId grantee, uint32_t perm) {
+  auto master = LookupMasterNode(name);
+  if (!master.ok()) {
+    return master.status();
+  }
+  WireWriter w;
+  w.PutString(name);
+  w.Put<NodeId>(grantee);
+  w.Put<uint32_t>(perm);
+  w.Put<NodeId>(node_id());
+  return InternalRpc(*master, kFnSetPermission, w.bytes(), nullptr);
+}
+
+Status LiteInstance::MoveLmr(const std::string& name, NodeId new_node) {
+  auto master = LookupMasterNode(name);
+  if (!master.ok()) {
+    return master.status();
+  }
+  WireWriter w;
+  w.PutString(name);
+  w.Put<NodeId>(new_node);
+  w.Put<NodeId>(node_id());
+  return InternalRpc(*master, kFnMasterMove, w.bytes(), nullptr,
+                     /*timeout_ns=*/30'000'000'000ull);
+}
+
+Status LiteInstance::GrantMaster(const std::string& name, NodeId new_master) {
+  auto master = LookupMasterNode(name);
+  if (!master.ok()) {
+    return master.status();
+  }
+  WireWriter w;
+  w.PutString(name);
+  w.Put<NodeId>(new_master);
+  w.Put<NodeId>(node_id());
+  return InternalRpc(*master, kFnMasterGrant, w.bytes(), nullptr);
+}
+
+// --------------------------------------------------------------- atomics
+
+StatusOr<uint64_t> LiteInstance::FetchAdd(Lh lh, uint64_t offset, uint64_t delta) {
+  SpinFor(params().lite_map_check_ns);
+  auto entry = GetLh(lh);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  LT_RETURN_IF_ERROR(CheckAccess(*entry, offset, 8, kPermWrite));
+  auto pieces = SliceChunks(entry->chunks, offset, 8);
+  if (pieces.size() != 1) {
+    return Status::InvalidArgument("atomic target straddles LMR chunks");
+  }
+  return RemoteAtomic(pieces[0].node, pieces[0].addr, /*is_cas=*/false, delta, 0);
+}
+
+StatusOr<uint64_t> LiteInstance::TestSet(Lh lh, uint64_t offset, uint64_t expected,
+                                         uint64_t desired) {
+  SpinFor(params().lite_map_check_ns);
+  auto entry = GetLh(lh);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  LT_RETURN_IF_ERROR(CheckAccess(*entry, offset, 8, kPermWrite));
+  auto pieces = SliceChunks(entry->chunks, offset, 8);
+  if (pieces.size() != 1) {
+    return Status::InvalidArgument("atomic target straddles LMR chunks");
+  }
+  return RemoteAtomic(pieces[0].node, pieces[0].addr, /*is_cas=*/true, expected, desired);
+}
+
+// ------------------------------------------------------- distributed locks
+
+StatusOr<LockId> LiteInstance::CreateLock(const std::string& name) {
+  auto lh = Malloc(8, LockName(name));
+  if (!lh.ok()) {
+    return lh.status();
+  }
+  uint64_t zero = 0;
+  LT_RETURN_IF_ERROR(Write(*lh, 0, &zero, sizeof(zero)));
+  auto entry = GetLh(*lh);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  return LockId{entry->chunks[0].node, entry->chunks[0].addr};
+}
+
+StatusOr<LockId> LiteInstance::OpenLock(const std::string& name) {
+  auto lh = Map(LockName(name));
+  if (!lh.ok()) {
+    return lh.status();
+  }
+  auto entry = GetLh(*lh);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  return LockId{entry->chunks[0].node, entry->chunks[0].addr};
+}
+
+Status LiteInstance::Lock(const LockId& lock) {
+  if (!lock.valid()) {
+    return Status::InvalidArgument("invalid lock id");
+  }
+  // Fast path: one LT_fetch-add acquires an uncontended lock (paper Sec. 7.2).
+  auto old_value = RemoteAtomic(lock.owner, lock.addr, /*is_cas=*/false, 1, 0);
+  if (!old_value.ok()) {
+    return old_value.status();
+  }
+  if (*old_value == 0) {
+    return Status::Ok();
+  }
+  // Contended: join the FIFO wait queue at the lock's owner; the reply to
+  // this RPC *is* the grant.
+  WireWriter w;
+  w.Put<PhysAddr>(lock.addr);
+  return InternalRpc(lock.owner, kFnLockWait, w.bytes(), nullptr,
+                     /*timeout_ns=*/60'000'000'000ull);
+}
+
+Status LiteInstance::Unlock(const LockId& lock) {
+  if (!lock.valid()) {
+    return Status::InvalidArgument("invalid lock id");
+  }
+  auto old_value =
+      RemoteAtomic(lock.owner, lock.addr, /*is_cas=*/false, static_cast<uint64_t>(-1), 0);
+  if (!old_value.ok()) {
+    return old_value.status();
+  }
+  if (*old_value == 0) {
+    return Status::FailedPrecondition("unlock of a free lock");
+  }
+  if (*old_value > 1) {
+    // Waiters exist: tell the owner to grant the next one (fire-and-forget;
+    // only one waiter is woken, minimizing network traffic, Sec. 7.2).
+    WireWriter w;
+    w.Put<PhysAddr>(lock.addr);
+    return RpcSendNoReply(lock.owner, kFnLockGrant, w.bytes().data(),
+                          static_cast<uint32_t>(w.bytes().size()));
+  }
+  return Status::Ok();
+}
+
+Status LiteInstance::Barrier(const std::string& name, uint32_t expected) {
+  WireWriter w;
+  w.PutString(name);
+  w.Put<uint32_t>(expected);
+  return InternalRpc(manager_node_, kFnBarrier, w.bytes(), nullptr,
+                     /*timeout_ns=*/120'000'000'000ull);
+}
+
+}  // namespace lite

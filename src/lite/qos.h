@@ -1,0 +1,73 @@
+// QoS for shared LITE resources (paper Sec. 6.2).
+//
+// Two mechanisms evaluated in the paper:
+//   * HW-Sep: hardware resource isolation — disjoint subsets of the shared
+//     QP pool are reserved per priority, so low-priority traffic can never
+//     occupy high-priority queues (but reserved capacity idles when unused).
+//   * SW-Pri: software sender-side flow control — low-priority requests are
+//     rate-limited when (1) high-priority load is high or (3) high-priority
+//     RTTs inflate; when high-priority traffic is light (2), low-priority
+//     runs at full rate.
+#ifndef SRC_LITE_QOS_H_
+#define SRC_LITE_QOS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "src/common/rate_window.h"
+#include "src/lite/types.h"
+#include "src/sim/params.h"
+
+namespace lite {
+
+class QosManager {
+ public:
+  explicit QosManager(const lt::SimParams& params) : params_(params) {}
+
+  void SetPolicy(QosPolicy policy) { policy_.store(policy, std::memory_order_relaxed); }
+  QosPolicy policy() const { return policy_.load(std::memory_order_relaxed); }
+
+  // Called before each one-sided op. Under SW-Pri this may delay (in virtual
+  // time) low-priority requests.
+  void Admit(Priority pri, uint64_t bytes);
+
+  // Called after each high-priority op completes, with its measured RTT.
+  void RecordHighPriRtt(uint64_t rtt_ns);
+
+  // HW-Sep: the half-open QP-pool slot range [lo, hi) priority `pri` may use
+  // out of a pool of `k` QPs per destination.
+  std::pair<int, int> QpRange(Priority pri, int k) const;
+
+  // Introspection.
+  uint64_t low_pri_delay_total_ns() const {
+    return low_delay_total_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Rolling high-priority load in bytes within the current window.
+  void AccountHighBytes(uint64_t bytes, uint64_t now);
+  bool HighPriActive(uint64_t now) const;
+
+  static constexpr uint64_t kWindowNs = 50'000'000;  // 50 ms monitoring window.
+  static constexpr double kLowPriRestrictedRate = 0.15;  // bytes/ns when limited.
+  static constexpr double kRttInflation = 1.5;
+
+  const lt::SimParams& params_;
+  std::atomic<QosPolicy> policy_{QosPolicy::kNone};
+
+  std::atomic<uint64_t> window_start_ns_{0};
+  std::atomic<uint64_t> window_hi_bytes_{0};
+  std::atomic<uint64_t> last_window_hi_bytes_{0};
+
+  std::atomic<uint64_t> rtt_ewma_ns_{0};
+  std::atomic<uint64_t> rtt_floor_ns_{0};
+
+  lt::RateWindow low_rate_;  // Low-priority rate limiter (windowed).
+  std::atomic<uint64_t> limited_until_ns_{0};
+  std::atomic<uint64_t> low_delay_total_ns_{0};
+};
+
+}  // namespace lite
+
+#endif  // SRC_LITE_QOS_H_

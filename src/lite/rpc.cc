@@ -1,0 +1,572 @@
+// LITE RPC stack (paper Sec. 5).
+//
+// Request path: the client reserves space in the per-(client, function) ring
+// at the server, writes [header | input] there with one RDMA write-imm whose
+// 32-bit immediate encodes (function id, ring offset), and waits on a reply
+// slot. The server's single shared polling thread decodes the IMM, moves the
+// payload out of the ring, hands it to the registered function's queue, and
+// a background thread pushes the advanced ring head back to the client's
+// head mirror with a one-sided write (paper Fig. 9). The reply is a second
+// write-imm into the client's reply slot. Request writes are unsignaled:
+// failures surface as reply timeouts (paper Sec. 5.1).
+#include <cstring>
+#include <thread>
+
+#include "src/common/logging.h"
+#include "src/common/service_timeline.h"
+#include "src/common/timing.h"
+#include "src/lite/instance.h"
+#include "src/lite/wire.h"
+
+namespace lite {
+
+using lt::NowNs;
+using lt::SpinFor;
+using lt::WaitMode;
+using lt::WcOpcode;
+
+namespace {
+
+constexpr uint64_t kServiceWaitNs = 50'000'000;   // Poll-loop wakeup cadence.
+constexpr uint64_t kRingFullRetryNs = 2'000;      // Virtual charge per retry.
+constexpr uint64_t kLongTimeoutCapNs = 3'600ull * 1'000'000'000;
+
+uint64_t Align64(uint64_t v) { return (v + 63) & ~63ull; }
+
+}  // namespace
+
+// Adaptive spin-then-sleep arrival at an event (paper Sec. 5.2): sync to the
+// event's virtual time; if the gap exceeded the spin budget the thread had
+// gone to sleep, so it additionally pays a wakeup.
+void SyncAdaptiveWithWakeup(uint64_t event_vtime, const lt::SimParams& p) {
+  const uint64_t gap = event_vtime > lt::NowNs() ? event_vtime - lt::NowNs() : 0;
+  lt::SyncToAdaptive(event_vtime, p.lite_adaptive_spin_ns);
+  if (gap > p.lite_adaptive_spin_ns) {
+    lt::SpinFor(p.thread_wakeup_ns);
+  }
+}
+
+// ----------------------------------------------------------- channel setup
+
+StatusOr<PhysAddr> LiteInstance::AllocMirror() {
+  std::lock_guard<std::mutex> lock(mirror_mu_);
+  if (mirror_next_ >= mirror_cap_) {
+    return Status::ResourceExhausted("head-mirror slab exhausted");
+  }
+  return mirror_slab_ + 8 * mirror_next_++;
+}
+
+LiteInstance::ServerRing* LiteInstance::SetupServerRing(NodeId client, RpcFuncId ring_id,
+                                                        PhysAddr client_head_mirror) {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  auto key = std::make_pair(client, ring_id);
+  auto it = rings_.find(key);
+  if (it != rings_.end()) {
+    return it->second.get();
+  }
+  auto chunks = AllocLocalChunks(params().lite_rpc_ring_bytes);
+  if (!chunks.ok() || chunks->size() != 1) {
+    LT_LOG_ERROR << "node " << node_id() << ": cannot allocate RPC ring";
+    return nullptr;
+  }
+  auto ring = std::make_unique<ServerRing>();
+  ring->client = client;
+  ring->func = ring_id;
+  ring->ring = (*chunks)[0];
+  ring->ring_size = ring->ring.size;
+  ring->client_head_mirror = client_head_mirror;
+  ServerRing* out = ring.get();
+  rings_[key] = std::move(ring);
+  return out;
+}
+
+StatusOr<LiteInstance::RpcChannel*> LiteInstance::GetChannel(NodeId server, RpcFuncId ring_id) {
+  {
+    std::lock_guard<std::mutex> lock(channels_mu_);
+    auto it = channels_.find({server, ring_id});
+    if (it != channels_.end()) {
+      return it->second.get();
+    }
+  }
+  if (ring_id == kControlRingId) {
+    return Status::Internal("control channel missing (cluster not bootstrapped)");
+  }
+  // First bind to this (server, function): ask the server to allocate the
+  // ring (paper Sec. 5.1, "LITE allocates a new internal LMR at the RPC
+  // server node").
+  auto mirror = AllocMirror();
+  if (!mirror.ok()) {
+    return mirror.status();
+  }
+  WireWriter w;
+  w.Put<RpcFuncId>(ring_id);
+  w.Put<PhysAddr>(*mirror);
+  std::vector<uint8_t> out;
+  LT_RETURN_IF_ERROR(InternalRpc(server, kFnRingSetup, w.bytes(), &out));
+  WireReader r(out.data(), out.size());
+  LmrChunk chunk;
+  uint64_t ring_size = 0;
+  if (!r.Get(&chunk) || !r.Get(&ring_size)) {
+    return Status::Internal("malformed ring-setup reply");
+  }
+  auto channel = std::make_unique<RpcChannel>();
+  channel->server = server;
+  channel->func = ring_id;
+  channel->ring = {chunk};
+  channel->ring_size = ring_size;
+  channel->head_mirror = *mirror;
+
+  std::lock_guard<std::mutex> lock(channels_mu_);
+  auto [it, inserted] = channels_.emplace(std::make_pair(server, ring_id), std::move(channel));
+  return it->second.get();
+}
+
+// ------------------------------------------------------------- reply slots
+
+StatusOr<uint32_t> LiteInstance::AcquireReplySlot(uint32_t out_max) {
+  if (out_max > params().lite_reply_slot_bytes) {
+    return Status::InvalidArgument("RPC reply larger than reply-slot size");
+  }
+  std::unique_lock<std::mutex> lock(slot_mu_);
+  if (!slot_cv_.wait_for(lock, std::chrono::seconds(10), [this] { return !free_slots_.empty(); })) {
+    return Status::ResourceExhausted("no free RPC reply slots");
+  }
+  uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  reply_slots_[slot]->state.store(1, std::memory_order_release);
+  return slot;
+}
+
+void LiteInstance::ReleaseReplySlot(uint32_t slot) {
+  {
+    std::lock_guard<std::mutex> lock(slot_mu_);
+    reply_slots_[slot]->state.store(0, std::memory_order_release);
+    free_slots_.push_back(slot);
+  }
+  slot_cv_.notify_one();
+}
+
+// ------------------------------------------------------------ client path
+
+Status LiteInstance::PostRpcRequest(RpcChannel* channel, RpcFuncId func, const void* in,
+                                    uint32_t in_len, PhysAddr reply_phys, uint32_t reply_max,
+                                    uint32_t reply_slot, Priority pri) {
+  const uint64_t entry_len = Align64(sizeof(RpcReqHeader) + in_len);
+  if (entry_len > channel->ring_size) {
+    return Status::InvalidArgument("RPC input larger than server ring");
+  }
+
+  std::lock_guard<std::mutex> lock(channel->mu);
+  const uint64_t real_deadline = lt::RealNowNs() + params().lite_rpc_timeout_ns;
+  uint64_t off;
+  while (true) {
+    uint64_t head;
+    std::memcpy(&head, node_->mem().Data(channel->head_mirror, 8), 8);
+    off = channel->tail % channel->ring_size;
+    uint64_t pad = (off + entry_len > channel->ring_size) ? (channel->ring_size - off) : 0;
+    if (channel->tail + pad + entry_len <= head + channel->ring_size) {
+      channel->tail += pad;
+      off = channel->tail % channel->ring_size;
+      break;
+    }
+    // Ring full: wait for the server's background head updates.
+    if (lt::RealNowNs() > real_deadline) {
+      return Status::ResourceExhausted("RPC ring full (server not draining)");
+    }
+    lt::IdleFor(kRingFullRetryNs);
+    std::this_thread::sleep_for(std::chrono::microseconds(2));
+  }
+
+  RpcReqHeader hdr;
+  hdr.input_len = in_len;
+  hdr.reply_phys = reply_phys;
+  hdr.reply_max = reply_max;
+  hdr.reply_slot = reply_slot;
+  hdr.client_node = node_id();
+  hdr.entry_len = static_cast<uint32_t>(entry_len);
+  hdr.tail_after = channel->tail + entry_len;
+
+  std::vector<uint8_t> staging(sizeof(RpcReqHeader) + in_len);
+  std::memcpy(staging.data(), &hdr, sizeof(hdr));
+  if (in_len > 0) {
+    std::memcpy(staging.data() + sizeof(hdr), in, in_len);
+  }
+
+  const LmrChunk& ring = channel->ring[0];
+  Status st = OneSidedWriteImm(channel->server, ring.addr + off, staging.data(), staging.size(),
+                               EncodeImm(func, static_cast<uint32_t>(off / kRingOffsetUnit)), pri);
+  if (st.ok()) {
+    channel->tail += entry_len;
+  }
+  return st;
+}
+
+StatusOr<uint32_t> LiteInstance::RpcSend(NodeId server_node, RpcFuncId func, const void* in,
+                                         uint32_t in_len, uint32_t out_max, Priority pri) {
+  auto channel = GetChannel(server_node, RingIdFor(func));
+  if (!channel.ok()) {
+    return channel.status();
+  }
+  auto slot = AcquireReplySlot(out_max);
+  if (!slot.ok()) {
+    return slot.status();
+  }
+  // The reply may use the whole slot; if it exceeds the caller's buffer the
+  // copy-out truncates and reports OutOfRange (the data still arrived).
+  ReplySlot& s = *reply_slots_[*slot];
+  Status st = PostRpcRequest(*channel, func, in, in_len, s.buf_phys, s.buf_max, *slot, pri);
+  if (!st.ok()) {
+    ReleaseReplySlot(*slot);
+    return st;
+  }
+  return *slot;
+}
+
+Status LiteInstance::RpcSendNoReply(NodeId server_node, RpcFuncId func, const void* in,
+                                    uint32_t in_len, Priority pri) {
+  auto channel = GetChannel(server_node, RingIdFor(func));
+  if (!channel.ok()) {
+    return channel.status();
+  }
+  return PostRpcRequest(*channel, func, in, in_len, /*reply_phys=*/0, /*reply_max=*/0,
+                        kNoReplySlot, pri);
+}
+
+Status LiteInstance::RpcWait(uint32_t slot, void* out, uint32_t out_max, uint32_t* out_len,
+                             uint64_t timeout_ns) {
+  if (timeout_ns == 0) {
+    timeout_ns = params().lite_rpc_timeout_ns;
+  }
+  timeout_ns = std::min(timeout_ns, kLongTimeoutCapNs);
+  ReplySlot& s = *reply_slots_[slot];
+  uint32_t len;
+  uint64_t ready_vtime;
+  {
+    std::unique_lock<std::mutex> lock(s.mu);
+    if (!s.cv.wait_for(lock, std::chrono::nanoseconds(timeout_ns),
+                       [&s] { return s.state.load(std::memory_order_acquire) >= 2; })) {
+      // Timed out: leave the slot as a zombie; a late reply frees it.
+      s.state.store(4, std::memory_order_release);
+      lt::IdleFor(timeout_ns);
+      return Status::Timeout("no RPC reply before timeout");
+    }
+    len = s.reply_len;
+    ready_vtime = s.ready_vtime_ns;
+  }
+  // The LITE library's adaptive wait: busy-check the shared state briefly,
+  // then sleep (paper Sec. 5.2).
+  SyncAdaptiveWithWakeup(ready_vtime, params());
+
+  uint32_t copy_len = std::min(len, out_max);
+  if (copy_len > 0 && out != nullptr) {
+    LocalCopyOut(out, s.buf_phys, copy_len);
+  }
+  if (out_len != nullptr) {
+    *out_len = len;
+  }
+  ReleaseReplySlot(slot);
+  if (len > out_max) {
+    return Status::OutOfRange("reply truncated: larger than caller buffer");
+  }
+  return Status::Ok();
+}
+
+Status LiteInstance::Rpc(NodeId server_node, RpcFuncId func, const void* in, uint32_t in_len,
+                         void* out, uint32_t out_max, uint32_t* out_len, Priority pri) {
+  auto slot = RpcSend(server_node, func, in, in_len, out_max, pri);
+  if (!slot.ok()) {
+    return slot.status();
+  }
+  return RpcWait(*slot, out, out_max, out_len);
+}
+
+Status LiteInstance::MulticastRpc(const std::vector<NodeId>& servers, RpcFuncId func,
+                                  const void* in, uint32_t in_len,
+                                  std::vector<std::vector<uint8_t>>* replies) {
+  // Pipelined multicast (paper Sec. 8.4): post all requests, then collect all
+  // replies; total latency ~= one RPC round trip.
+  std::vector<uint32_t> slots;
+  slots.reserve(servers.size());
+  const uint32_t out_max = static_cast<uint32_t>(params().lite_reply_slot_bytes);
+  Status first_error = Status::Ok();
+  for (NodeId server : servers) {
+    auto slot = RpcSend(server, func, in, in_len, out_max);
+    if (!slot.ok()) {
+      first_error = slot.status();
+      break;
+    }
+    slots.push_back(*slot);
+  }
+  if (replies != nullptr) {
+    replies->clear();
+  }
+  for (uint32_t slot : slots) {
+    std::vector<uint8_t> buf(out_max);
+    uint32_t len = 0;
+    Status st = RpcWait(slot, buf.data(), out_max, &len);
+    if (!st.ok() && first_error.ok()) {
+      first_error = st;
+    }
+    buf.resize(len);
+    if (replies != nullptr) {
+      replies->push_back(std::move(buf));
+    }
+  }
+  return first_error;
+}
+
+Status LiteInstance::InternalRpc(NodeId server, RpcFuncId func, const WireWriterBytes& in,
+                                 std::vector<uint8_t>* out, uint64_t timeout_ns) {
+  std::vector<uint8_t> raw(params().lite_reply_slot_bytes);
+  uint32_t raw_len = 0;
+  auto slot = RpcSend(server, func, in.data(), static_cast<uint32_t>(in.size()),
+                      static_cast<uint32_t>(raw.size()));
+  if (!slot.ok()) {
+    return slot.status();
+  }
+  LT_RETURN_IF_ERROR(RpcWait(*slot, raw.data(), static_cast<uint32_t>(raw.size()), &raw_len,
+                             timeout_ns));
+  if (raw_len < sizeof(uint32_t)) {
+    return Status::Internal("malformed internal RPC reply");
+  }
+  uint32_t code;
+  std::memcpy(&code, raw.data(), sizeof(code));
+  if (code != static_cast<uint32_t>(lt::StatusCode::kOk)) {
+    return Status(static_cast<lt::StatusCode>(code), "remote LITE error");
+  }
+  if (out != nullptr) {
+    out->assign(raw.begin() + sizeof(uint32_t), raw.begin() + raw_len);
+  }
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------ server path
+
+Status LiteInstance::RegisterRpc(RpcFuncId func) {
+  if (func > kMaxAppFuncId) {
+    return Status::InvalidArgument("application RPC ids must be <= 999");
+  }
+  EnsureAppQueue(func);
+  return Status::Ok();
+}
+
+BlockingQueue<RpcIncoming>* LiteInstance::EnsureAppQueue(RpcFuncId func) {
+  std::lock_guard<std::mutex> lock(funcs_mu_);
+  auto it = app_queues_.find(func);
+  if (it == app_queues_.end()) {
+    it = app_queues_.emplace(func, std::make_unique<BlockingQueue<RpcIncoming>>()).first;
+  }
+  return it->second.get();
+}
+
+StatusOr<RpcIncoming> LiteInstance::RecvRpc(RpcFuncId func, uint64_t timeout_ns) {
+  BlockingQueue<RpcIncoming>* queue = EnsureAppQueue(func);
+  std::optional<RpcIncoming> inc;
+  if (timeout_ns == ~0ull) {
+    inc = queue->Pop();
+  } else {
+    inc = queue->PopFor(std::chrono::nanoseconds(std::min(timeout_ns, kLongTimeoutCapNs)));
+  }
+  if (!inc.has_value()) {
+    if (stopping_.load()) {
+      return Status::Unavailable("LITE instance stopping");
+    }
+    return Status::Timeout("no RPC request before timeout");
+  }
+  // Serve this request on its own timeline (adaptive spin-then-sleep wait).
+  lt::ServiceTimeline::ForThisThread().BeginService(inc->arrival_vtime_ns, 1000,
+                                                    params().lite_adaptive_spin_ns,
+                                                    params().thread_wakeup_ns);
+  return *inc;
+}
+
+Status LiteInstance::ReplyRpc(const ReplyToken& token, const void* data, uint32_t len) {
+  if (!token.valid() || token.reply_slot == kNoReplySlot || token.reply_phys == 0) {
+    return Status::Ok();  // Fire-and-forget call: nothing to reply to.
+  }
+  if (len > token.reply_max) {
+    return Status::InvalidArgument("RPC reply exceeds caller's buffer");
+  }
+  return OneSidedWriteImm(token.client_node, token.reply_phys, data, len,
+                          EncodeImm(kReplyFuncId, token.reply_slot), Priority::kHigh);
+}
+
+StatusOr<RpcIncoming> LiteInstance::ReplyAndRecv(const ReplyToken& token, const void* data,
+                                                 uint32_t len, RpcFuncId func,
+                                                 uint64_t timeout_ns) {
+  LT_RETURN_IF_ERROR(ReplyRpc(token, data, len));
+  return RecvRpc(func, timeout_ns);
+}
+
+// -------------------------------------------------------------- messaging
+
+Status LiteInstance::SendMsg(NodeId dst, const void* data, uint32_t len, Priority pri) {
+  auto channel = GetChannel(dst, kControlRingId);
+  if (!channel.ok()) {
+    return channel.status();
+  }
+  return PostRpcRequest(*channel, kMsgFuncId, data, len, /*reply_phys=*/0, /*reply_max=*/0,
+                        kNoReplySlot, pri);
+}
+
+StatusOr<MsgIncoming> LiteInstance::RecvMsg(uint64_t timeout_ns) {
+  std::optional<MsgIncoming> msg;
+  if (timeout_ns == ~0ull) {
+    msg = msg_queue_.Pop();
+  } else {
+    msg = msg_queue_.PopFor(std::chrono::nanoseconds(std::min(timeout_ns, kLongTimeoutCapNs)));
+  }
+  if (!msg.has_value()) {
+    if (stopping_.load()) {
+      return Status::Unavailable("LITE instance stopping");
+    }
+    return Status::Timeout("no message before timeout");
+  }
+  lt::ServiceTimeline::ForThisThread().BeginService(msg->arrival_vtime_ns, 500,
+                                                    params().lite_adaptive_spin_ns,
+                                                    params().thread_wakeup_ns);
+  return *msg;
+}
+
+// ----------------------------------------------------------- service loops
+
+void LiteInstance::PollLoop() {
+  // The poll thread serves every event on the event's own timeline (clock
+  // rewound per event; its serial dispatch capacity is still enforced).
+  lt::ServiceTimeline timeline;
+  while (!stopping_.load()) {
+    uint64_t cpu0 = lt::ThreadCpuNs();
+    auto c = recv_cq_->WaitPoll(kServiceWaitNs, WaitMode::kSleep, 0);
+    if (stopping_.load()) {
+      break;
+    }
+    if (c.has_value() && c->opcode == WcOpcode::kRecvImm && c->has_imm) {
+      timeline.BeginService(c->ready_at_ns, params().lite_rpc_dispatch_ns,
+                            params().lite_adaptive_spin_ns, params().thread_wakeup_ns);
+      if (ImmFunc(c->imm) == kReplyFuncId) {
+        HandleReplyImm(c->imm, c->byte_len, lt::NowNs());
+      } else {
+        HandleRequestImm(c->src_node, c->imm, lt::NowNs());
+      }
+    }
+    poll_cpu_.Add(lt::ThreadCpuNs() - cpu0);
+  }
+}
+
+void LiteInstance::HandleReplyImm(uint32_t imm, uint32_t byte_len, uint64_t vtime) {
+  uint32_t slot = ImmPayload(imm);
+  if (slot >= reply_slots_.size()) {
+    LT_LOG_WARNING << "node " << node_id() << ": reply IMM names bad slot " << slot;
+    return;
+  }
+  ReplySlot& s = *reply_slots_[slot];
+  bool was_zombie = false;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.state.load(std::memory_order_acquire) == 4) {
+      was_zombie = true;
+    } else {
+      s.reply_len = byte_len;
+      s.ready_vtime_ns = vtime;
+      s.state.store(2, std::memory_order_release);
+    }
+  }
+  if (was_zombie) {
+    ReleaseReplySlot(slot);  // Late reply after caller timed out.
+  } else {
+    s.cv.notify_one();
+  }
+}
+
+void LiteInstance::HandleRequestImm(NodeId src, uint32_t imm, uint64_t vtime) {
+  const RpcFuncId func = ImmFunc(imm);
+  const uint64_t offset = static_cast<uint64_t>(ImmPayload(imm)) * kRingOffsetUnit;
+
+  ServerRing* ring = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    auto it = rings_.find({src, RingIdFor(func)});
+    if (it != rings_.end()) {
+      ring = it->second.get();
+    }
+  }
+  if (ring == nullptr) {
+    LT_LOG_WARNING << "node " << node_id() << ": request IMM for unknown ring (src=" << src
+                   << " func=" << func << ")";
+    return;
+  }
+
+  SpinFor(params().lite_rpc_dispatch_ns);
+
+  RpcReqHeader hdr;
+  std::memcpy(&hdr, node_->mem().Data(ring->ring.addr + offset, sizeof(hdr)), sizeof(hdr));
+  if (hdr.magic != 0x4c495445 || hdr.input_len > ring->ring_size) {
+    LT_LOG_WARNING << "node " << node_id() << ": corrupt RPC header in ring";
+    return;
+  }
+
+  // The single data move of the receive path (paper Sec. 5.2): ring -> user.
+  RpcIncoming inc;
+  inc.data.resize(hdr.input_len);
+  if (hdr.input_len > 0) {
+    LocalCopyOut(inc.data.data(), ring->ring.addr + offset + sizeof(hdr), hdr.input_len);
+  }
+  inc.token.client_node = hdr.client_node;
+  inc.token.reply_phys = hdr.reply_phys;
+  inc.token.reply_max = hdr.reply_max;
+  inc.token.reply_slot = hdr.reply_slot;
+  inc.arrival_vtime_ns = NowNs();
+  inc.token.arrival_vtime_ns = inc.arrival_vtime_ns;
+
+  // Release the ring space and let the background thread tell the client.
+  ring->head = std::max(ring->head, hdr.tail_after);
+  ring->head_to_publish.store(ring->head, std::memory_order_release);
+  head_updates_.Push({ring, NowNs()});
+
+  if (func <= kMaxAppFuncId) {
+    EnsureAppQueue(func)->Push(std::move(inc));
+  } else if (func == kMsgFuncId) {
+    MsgIncoming msg;
+    msg.data = std::move(inc.data);
+    msg.src = src;
+    msg.arrival_vtime_ns = inc.arrival_vtime_ns;
+    msg_queue_.Push(std::move(msg));
+  } else {
+    internal_queue_.Push({func, std::move(inc)});
+  }
+}
+
+void LiteInstance::HeadWriterLoop() {
+  while (true) {
+    auto item = head_updates_.Pop();
+    if (!item.has_value()) {
+      return;  // Queue closed.
+    }
+    auto [ring, vtime] = *item;
+    lt::SetServiceClock(vtime);  // Publish on the triggering event's timeline.
+    uint64_t head = ring->head_to_publish.load(std::memory_order_acquire);
+    (void)OneSidedWrite(ring->client, ring->client_head_mirror, &head, sizeof(head),
+                        Priority::kHigh, /*signaled=*/false);
+  }
+}
+
+void LiteInstance::InternalWorkerLoop() {
+  lt::ServiceTimeline timeline;
+  while (true) {
+    auto item = internal_queue_.Pop();
+    if (!item.has_value()) {
+      return;  // Queue closed.
+    }
+    auto& [func, inc] = *item;
+    timeline.BeginService(inc.arrival_vtime_ns, 1500, params().lite_adaptive_spin_ns,
+                          params().thread_wakeup_ns);
+    auto it = internal_handlers_.find(func);
+    if (it == internal_handlers_.end()) {
+      LT_LOG_WARNING << "node " << node_id() << ": no handler for internal func " << func;
+      continue;
+    }
+    it->second(this, inc);
+  }
+}
+
+}  // namespace lite

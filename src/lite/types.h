@@ -1,0 +1,104 @@
+// Public types of the LITE abstraction (paper Secs. 3-5).
+//
+// The central entity is the LITE memory region (LMR), addressed only through
+// an opaque local handle `Lh` — a capability encapsulating both address
+// mapping and permission (paper Sec. 4.1). lh values are meaningless outside
+// the LITE instance that issued them.
+#ifndef SRC_LITE_TYPES_H_
+#define SRC_LITE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mem/addr.h"
+
+namespace lite {
+
+using lt::kInvalidNode;
+using lt::NodeId;
+using lt::PhysAddr;
+
+// Opaque LMR handle. 0 is never a valid handle.
+using Lh = uint64_t;
+constexpr Lh kInvalidLh = 0;
+
+// Permissions a master can grant on an LMR (paper Sec. 4.1). Master implies
+// the right to move/free the LMR and to grant permissions.
+enum LmrPerm : uint32_t {
+  kPermRead = 1u << 0,
+  kPermWrite = 1u << 1,
+  kPermMaster = 1u << 2,
+};
+
+// Request priority classes for QoS (paper Sec. 6.2).
+enum class Priority : uint8_t { kHigh = 0, kLow = 1 };
+
+// QoS policies evaluated in the paper: none, hardware separation of QPs
+// (HW-Sep), software priority-based rate control (SW-Pri).
+enum class QosPolicy : uint8_t { kNone = 0, kHwSep = 1, kSwPri = 2 };
+
+// One physically-consecutive piece of an LMR. Large LMRs are split into
+// chunks (paper Sec. 4.1, "spread large LMRs into smaller physically-
+// consecutive memory regions"); chunks may live on different nodes.
+struct LmrChunk {
+  NodeId node = kInvalidNode;
+  PhysAddr addr = lt::kInvalidPhysAddr;
+  uint64_t size = 0;
+};
+
+// RPC function identifier. Application functions use ids 0..999; LITE
+// reserves 1000+ for its internal control functions.
+using RpcFuncId = uint32_t;
+
+constexpr RpcFuncId kMaxAppFuncId = 999;
+
+// Reserved internal function ids (served by LITE's worker threads).
+constexpr RpcFuncId kFnRegisterName = 1000;
+constexpr RpcFuncId kFnLookupName = 1001;
+constexpr RpcFuncId kFnUnregisterName = 1002;
+constexpr RpcFuncId kFnAllocChunks = 1003;
+constexpr RpcFuncId kFnFreeChunks = 1004;
+constexpr RpcFuncId kFnMapLmr = 1005;
+constexpr RpcFuncId kFnUnmapLmr = 1006;
+constexpr RpcFuncId kFnLmrInvalidate = 1007;
+constexpr RpcFuncId kFnMemOp = 1008;
+constexpr RpcFuncId kFnLockWait = 1009;
+constexpr RpcFuncId kFnLockGrant = 1010;
+constexpr RpcFuncId kFnBarrier = 1011;
+constexpr RpcFuncId kFnLmrUpdate = 1012;
+constexpr RpcFuncId kFnSetPermission = 1013;
+constexpr RpcFuncId kFnRingSetup = 1014;
+constexpr RpcFuncId kFnMasterFree = 1015;
+constexpr RpcFuncId kFnMasterMove = 1016;
+constexpr RpcFuncId kFnMasterGrant = 1017;
+constexpr RpcFuncId kFnListNames = 1018;  // Manager recovery (Sec. 3.3).
+constexpr RpcFuncId kFnEcho = 1019;  // Internal liveness check / tests.
+
+// All internal control functions and messaging share one server ring per
+// client node (application functions get their own ring, as in the paper).
+constexpr RpcFuncId kControlRingId = 1020;
+
+// Sentinel "no reply expected" slot (fire-and-forget internal calls).
+constexpr uint32_t kNoReplySlot = (1u << 22) - 1;
+
+// IMM-value markers (the 32-bit immediate is split 10 bits function id / 22
+// bits payload, paper Sec. 5.1).
+constexpr RpcFuncId kMsgFuncId = 1021;    // LT_send messaging channel.
+constexpr RpcFuncId kReplyFuncId = 1023;  // RPC reply; payload = reply slot.
+constexpr uint32_t kImmFuncBits = 10;
+constexpr uint32_t kImmPayloadBits = 22;
+constexpr uint32_t kImmPayloadMask = (1u << kImmPayloadBits) - 1;
+
+inline uint32_t EncodeImm(RpcFuncId func, uint32_t payload) {
+  return (func << kImmPayloadBits) | (payload & kImmPayloadMask);
+}
+inline RpcFuncId ImmFunc(uint32_t imm) { return imm >> kImmPayloadBits; }
+inline uint32_t ImmPayload(uint32_t imm) { return imm & kImmPayloadMask; }
+
+// Ring entries are offset-addressed in 64-byte units inside the IMM payload.
+constexpr uint32_t kRingOffsetUnit = 64;
+
+}  // namespace lite
+
+#endif  // SRC_LITE_TYPES_H_

@@ -1,0 +1,117 @@
+// Tiny POD serializer for LITE's internal control RPCs.
+#ifndef SRC_LITE_WIRE_H_
+#define SRC_LITE_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/lite/types.h"
+
+namespace lite {
+
+class WireWriter {
+ public:
+  template <typename T>
+  void Put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    size_t off = buf_.size();
+    buf_.resize(off + sizeof(T));
+    std::memcpy(buf_.data() + off, &v, sizeof(T));
+  }
+
+  void PutString(const std::string& s) {
+    Put<uint32_t>(static_cast<uint32_t>(s.size()));
+    size_t off = buf_.size();
+    buf_.resize(off + s.size());
+    std::memcpy(buf_.data() + off, s.data(), s.size());
+  }
+
+  void PutBytes(const void* data, size_t len) {
+    Put<uint32_t>(static_cast<uint32_t>(len));
+    size_t off = buf_.size();
+    buf_.resize(off + len);
+    std::memcpy(buf_.data() + off, data, len);
+  }
+
+  void PutChunks(const std::vector<LmrChunk>& chunks) {
+    Put<uint32_t>(static_cast<uint32_t>(chunks.size()));
+    for (const LmrChunk& c : chunks) {
+      Put(c);
+    }
+  }
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class WireReader {
+ public:
+  WireReader(const void* data, size_t len)
+      : data_(static_cast<const uint8_t*>(data)), len_(len) {}
+
+  template <typename T>
+  bool Get(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > len_) {
+      return false;
+    }
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool GetString(std::string* out) {
+    uint32_t n = 0;
+    if (!Get(&n) || pos_ + n > len_) {
+      return false;
+    }
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+  bool GetBytes(std::vector<uint8_t>* out) {
+    uint32_t n = 0;
+    if (!Get(&n) || pos_ + n > len_) {
+      return false;
+    }
+    out->assign(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return true;
+  }
+
+  bool GetChunks(std::vector<LmrChunk>* out) {
+    uint32_t n = 0;
+    if (!Get(&n)) {
+      return false;
+    }
+    out->clear();
+    out->reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      LmrChunk c;
+      if (!Get(&c)) {
+        return false;
+      }
+      out->push_back(c);
+    }
+    return true;
+  }
+
+  size_t remaining() const { return len_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace lite
+
+#endif  // SRC_LITE_WIRE_H_

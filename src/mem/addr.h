@@ -1,0 +1,30 @@
+// Address types for the simulated machines.
+//
+// A PhysAddr is a byte offset into one node's physical memory pool. A
+// VirtAddr is a byte address in one simulated process's virtual address
+// space, translated by that process's PageTable. NodeId identifies a machine
+// in the cluster.
+#ifndef SRC_MEM_ADDR_H_
+#define SRC_MEM_ADDR_H_
+
+#include <cstdint>
+
+namespace lt {
+
+using NodeId = uint32_t;
+using PhysAddr = uint64_t;
+using VirtAddr = uint64_t;
+
+constexpr NodeId kInvalidNode = 0xffffffffu;
+constexpr PhysAddr kInvalidPhysAddr = ~0ull;
+
+// A physically-consecutive byte range on one node.
+struct PhysRange {
+  NodeId node = kInvalidNode;
+  PhysAddr addr = kInvalidPhysAddr;
+  uint64_t size = 0;
+};
+
+}  // namespace lt
+
+#endif  // SRC_MEM_ADDR_H_

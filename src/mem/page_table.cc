@@ -1,0 +1,115 @@
+#include "src/mem/page_table.h"
+
+#include <algorithm>
+
+namespace lt {
+
+PageTable::~PageTable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [vpage, ppage] : vpage_to_ppage_) {
+    (void)phys_->Free(ppage);
+  }
+}
+
+StatusOr<VirtAddr> PageTable::AllocVirt(uint64_t bytes) {
+  if (bytes == 0) {
+    return Status::InvalidArgument("zero-byte virtual allocation");
+  }
+  const size_t page = phys_->page_size();
+  uint64_t pages = (bytes + page - 1) / page;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t start_vpage = next_vpage_;
+  std::vector<PhysAddr> backing;
+  backing.reserve(pages);
+  for (uint64_t i = 0; i < pages; ++i) {
+    auto ppage = phys_->AllocContiguous(page);
+    if (!ppage.ok()) {
+      for (PhysAddr pa : backing) {
+        (void)phys_->Free(pa);
+      }
+      return ppage.status();
+    }
+    backing.push_back(*ppage);
+  }
+  for (uint64_t i = 0; i < pages; ++i) {
+    vpage_to_ppage_[start_vpage + i] = backing[i];
+  }
+  alloc_pages_[start_vpage] = pages;
+  next_vpage_ += pages + 1;  // Guard page between allocations.
+  return static_cast<VirtAddr>(start_vpage * page);
+}
+
+Status PageTable::FreeVirt(VirtAddr addr) {
+  const size_t page = phys_->page_size();
+  if (addr % page != 0) {
+    return Status::InvalidArgument("free of non-page-aligned virtual address");
+  }
+  uint64_t start_vpage = addr / page;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = alloc_pages_.find(start_vpage);
+  if (it == alloc_pages_.end()) {
+    return Status::NotFound("virtual range not allocated");
+  }
+  for (uint64_t i = 0; i < it->second; ++i) {
+    auto map_it = vpage_to_ppage_.find(start_vpage + i);
+    if (map_it != vpage_to_ppage_.end()) {
+      (void)phys_->Free(map_it->second);
+      vpage_to_ppage_.erase(map_it);
+    }
+  }
+  alloc_pages_.erase(it);
+  return Status::Ok();
+}
+
+StatusOr<PhysAddr> PageTable::Translate(VirtAddr addr) const {
+  const size_t page = phys_->page_size();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = vpage_to_ppage_.find(addr / page);
+  if (it == vpage_to_ppage_.end()) {
+    return Status::NotFound("virtual address not mapped");
+  }
+  return static_cast<PhysAddr>(it->second + addr % page);
+}
+
+StatusOr<std::vector<PhysRange>> PageTable::TranslateRange(NodeId node, VirtAddr addr,
+                                                           uint64_t len) const {
+  if (len == 0) {
+    return Status::InvalidArgument("zero-length range");
+  }
+  const size_t page = phys_->page_size();
+  std::vector<PhysRange> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t cursor = addr;
+  uint64_t remaining = len;
+  while (remaining > 0) {
+    uint64_t in_page = page - cursor % page;
+    uint64_t take = std::min<uint64_t>(in_page, remaining);
+    auto it = vpage_to_ppage_.find(cursor / page);
+    if (it == vpage_to_ppage_.end()) {
+      return Status::NotFound("virtual range not fully mapped");
+    }
+    PhysAddr pa = it->second + cursor % page;
+    // Merge with previous fragment when physically adjacent.
+    if (!out.empty() && out.back().addr + out.back().size == pa) {
+      out.back().size += take;
+    } else {
+      out.push_back(PhysRange{node, pa, take});
+    }
+    cursor += take;
+    remaining -= take;
+  }
+  return out;
+}
+
+uint64_t PageTable::PagesSpanned(VirtAddr addr, uint64_t len) const {
+  const size_t page = phys_->page_size();
+  if (len == 0) {
+    return 0;
+  }
+  uint64_t first = addr / page;
+  uint64_t last = (addr + len - 1) / page;
+  return last - first + 1;
+}
+
+}  // namespace lt

@@ -1,0 +1,62 @@
+// Per-process page table for the simulated machines.
+//
+// Native RDMA registers memory regions by *virtual* address: the region is
+// virtually contiguous but its pages are physically scattered, which is
+// exactly why a real RNIC must cache PTEs (MTT entries) per page. This class
+// reproduces that property: AllocVirt maps each virtual page to an
+// independently-allocated physical page.
+#ifndef SRC_MEM_PAGE_TABLE_H_
+#define SRC_MEM_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/mem/addr.h"
+#include "src/mem/phys_mem.h"
+
+namespace lt {
+
+class PageTable {
+ public:
+  explicit PageTable(PhysMem* phys) : phys_(phys) {}
+  ~PageTable();
+
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+
+  // Allocates `bytes` of virtual memory (rounded up to pages); each virtual
+  // page is backed by its own physical page, deliberately not contiguous.
+  StatusOr<VirtAddr> AllocVirt(uint64_t bytes);
+
+  // Releases a virtual allocation made with AllocVirt.
+  Status FreeVirt(VirtAddr addr);
+
+  // Translates one virtual address to (physical page base + offset). Fails if
+  // unmapped.
+  StatusOr<PhysAddr> Translate(VirtAddr addr) const;
+
+  // Translates a virtual range into its per-page physical fragments.
+  StatusOr<std::vector<PhysRange>> TranslateRange(NodeId node, VirtAddr addr,
+                                                  uint64_t len) const;
+
+  // Number of distinct pages spanned by [addr, addr+len).
+  uint64_t PagesSpanned(VirtAddr addr, uint64_t len) const;
+
+  size_t page_size() const { return phys_->page_size(); }
+  PhysMem* phys() const { return phys_; }
+
+ private:
+  PhysMem* const phys_;
+
+  mutable std::mutex mu_;
+  uint64_t next_vpage_ = 0x1000;  // Leave low VA space unmapped (null guard).
+  std::unordered_map<uint64_t, PhysAddr> vpage_to_ppage_;
+  std::unordered_map<uint64_t, uint64_t> alloc_pages_;  // start vpage -> count
+};
+
+}  // namespace lt
+
+#endif  // SRC_MEM_PAGE_TABLE_H_

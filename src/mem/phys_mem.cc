@@ -1,0 +1,97 @@
+#include "src/mem/phys_mem.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace lt {
+
+PhysMem::PhysMem(uint64_t size_bytes, size_t page_size)
+    : size_(size_bytes - (size_bytes % page_size)),
+      page_size_(page_size),
+      data_(new uint8_t[size_]) {
+  assert(size_ > 0);
+  std::memset(data_.get(), 0, size_);
+  free_runs_[0] = size_ / page_size_;
+}
+
+StatusOr<PhysAddr> PhysMem::AllocContiguous(uint64_t bytes) {
+  if (bytes == 0) {
+    return Status::InvalidArgument("zero-byte allocation");
+  }
+  uint64_t pages = (bytes + page_size_ - 1) / page_size_;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = free_runs_.begin(); it != free_runs_.end(); ++it) {
+    if (it->second >= pages) {
+      uint64_t start_page = it->first;
+      uint64_t run = it->second;
+      free_runs_.erase(it);
+      if (run > pages) {
+        free_runs_[start_page + pages] = run - pages;
+      }
+      allocations_[start_page] = pages;
+      return static_cast<PhysAddr>(start_page * page_size_);
+    }
+  }
+  return Status::ResourceExhausted("no contiguous physical range of requested size");
+}
+
+Status PhysMem::Free(PhysAddr addr) {
+  if (addr % page_size_ != 0) {
+    return Status::InvalidArgument("free of non-page-aligned physical address");
+  }
+  uint64_t start_page = addr / page_size_;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = allocations_.find(start_page);
+  if (it == allocations_.end()) {
+    return Status::NotFound("physical range not allocated");
+  }
+  uint64_t pages = it->second;
+  allocations_.erase(it);
+
+  // Insert and coalesce with neighbors.
+  auto inserted = free_runs_.emplace(start_page, pages).first;
+  if (inserted != free_runs_.begin()) {
+    auto prev = std::prev(inserted);
+    if (prev->first + prev->second == inserted->first) {
+      prev->second += inserted->second;
+      free_runs_.erase(inserted);
+      inserted = prev;
+    }
+  }
+  auto next = std::next(inserted);
+  if (next != free_runs_.end() && inserted->first + inserted->second == next->first) {
+    inserted->second += next->second;
+    free_runs_.erase(next);
+  }
+  return Status::Ok();
+}
+
+uint8_t* PhysMem::Data(PhysAddr addr, uint64_t len) {
+  assert(addr + len <= size_ && "physical access out of range");
+  return data_.get() + addr;
+}
+
+const uint8_t* PhysMem::Data(PhysAddr addr, uint64_t len) const {
+  assert(addr + len <= size_ && "physical access out of range");
+  return data_.get() + addr;
+}
+
+uint64_t PhysMem::allocated_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [start, pages] : allocations_) {
+    total += pages * page_size_;
+  }
+  return total;
+}
+
+uint64_t PhysMem::free_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [start, pages] : free_runs_) {
+    total += pages * page_size_;
+  }
+  return total;
+}
+
+}  // namespace lt

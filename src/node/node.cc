@@ -1,0 +1,33 @@
+#include "src/node/node.h"
+
+namespace lt {
+
+Process::Process(Node* node)
+    : node_(node),
+      page_table_(&node->mem()),
+      verbs_(&node->rnic(), &node->os(), &page_table_) {}
+
+Node::Node(NodeId id, const SimParams& params, Fabric* fabric, RnicDirectory* directory)
+    : id_(id),
+      params_(params),
+      mem_(params.node_phys_mem_bytes, params.page_size),
+      os_(params),
+      port_(fabric->Attach(id)),
+      rnic_(id, params_, &mem_, port_, directory),
+      tcp_(id, params_, fabric) {}
+
+Process* Node::CreateProcess() {
+  std::lock_guard<std::mutex> lock(process_mu_);
+  processes_.push_back(std::make_unique<Process>(this));
+  return processes_.back().get();
+}
+
+Cluster::Cluster(size_t node_count, const SimParams& params) : params_(params), fabric_(params_) {
+  nodes_.reserve(node_count);
+  for (size_t i = 0; i < node_count; ++i) {
+    nodes_.push_back(
+        std::make_unique<Node>(static_cast<NodeId>(i), params_, &fabric_, &directory_));
+  }
+}
+
+}  // namespace lt

@@ -1,0 +1,89 @@
+// Node: one simulated machine (physical memory + OS + RNIC + TCP stack), and
+// Process: one simulated application process on a node (its own virtual
+// address space and Verbs context). Cluster wires N nodes to one fabric —
+// the equivalent of the paper's 10-machine InfiniBand testbed.
+#ifndef SRC_NODE_NODE_H_
+#define SRC_NODE_NODE_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/fabric/fabric.h"
+#include "src/mem/page_table.h"
+#include "src/mem/phys_mem.h"
+#include "src/oss/os_kernel.h"
+#include "src/rnic/rnic.h"
+#include "src/sim/params.h"
+#include "src/tcpip/tcp_stack.h"
+#include "src/verbs/verbs.h"
+
+namespace lt {
+
+class Node;
+
+class Process {
+ public:
+  explicit Process(Node* node);
+
+  PageTable& page_table() { return page_table_; }
+  VerbsContext& verbs() { return verbs_; }
+  Node* node() const { return node_; }
+
+ private:
+  Node* const node_;
+  PageTable page_table_;
+  VerbsContext verbs_;
+};
+
+class Node {
+ public:
+  Node(NodeId id, const SimParams& params, Fabric* fabric, RnicDirectory* directory);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  const SimParams& params() const { return params_; }
+  PhysMem& mem() { return mem_; }
+  OsKernel& os() { return os_; }
+  Rnic& rnic() { return rnic_; }
+  TcpStack& tcp() { return tcp_; }
+  FabricPort* port() const { return port_; }
+
+  // Creates a new simulated process on this node (owned by the node).
+  Process* CreateProcess();
+
+ private:
+  const NodeId id_;
+  const SimParams& params_;
+  PhysMem mem_;
+  OsKernel os_;
+  FabricPort* const port_;
+  Rnic rnic_;
+  TcpStack tcp_;
+
+  std::mutex process_mu_;
+  std::vector<std::unique_ptr<Process>> processes_;
+};
+
+class Cluster {
+ public:
+  Cluster(size_t node_count, const SimParams& params);
+
+  size_t size() const { return nodes_.size(); }
+  Node* node(NodeId id) { return nodes_[id].get(); }
+  Fabric& fabric() { return fabric_; }
+  RnicDirectory& directory() { return directory_; }
+  const SimParams& params() const { return params_; }
+
+ private:
+  const SimParams params_;
+  Fabric fabric_;
+  RnicDirectory directory_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace lt
+
+#endif  // SRC_NODE_NODE_H_

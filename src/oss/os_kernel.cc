@@ -1,0 +1,23 @@
+#include "src/oss/os_kernel.h"
+
+#include "src/common/timing.h"
+
+namespace lt {
+
+void OsKernel::Syscall() {
+  syscalls_.fetch_add(1, std::memory_order_relaxed);
+  SpinFor(params_.syscall_overhead_ns + 2 * params_.user_kernel_cross_ns);
+}
+
+void OsKernel::CrossUserKernel() {
+  crossings_.fetch_add(1, std::memory_order_relaxed);
+  SpinFor(params_.user_kernel_cross_ns);
+}
+
+void OsKernel::PinPages(uint64_t pages) { SpinFor(pages * params_.pin_page_ns); }
+
+void OsKernel::UnpinPages(uint64_t pages) { SpinFor(pages * params_.unpin_page_ns); }
+
+void OsKernel::ChargeThreadWakeup() { SpinFor(params_.thread_wakeup_ns); }
+
+}  // namespace lt

@@ -1,0 +1,47 @@
+// Per-node OS cost model.
+//
+// The paper's kernel-level indirection argument hinges on precise accounting
+// of user/kernel boundary costs: a classic syscall (trap in + out), a single
+// user->kernel crossing (the optimized LITE RPC path pays exactly two, see
+// paper Sec. 5.2), page pinning during MR registration (Fig. 8), and waking a
+// sleeping thread. This class charges those costs on the calling thread.
+#ifndef SRC_OSS_OS_KERNEL_H_
+#define SRC_OSS_OS_KERNEL_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/sim/params.h"
+
+namespace lt {
+
+class OsKernel {
+ public:
+  explicit OsKernel(const SimParams& params) : params_(params) {}
+
+  // Full syscall: enter + exit. Used by the naive (unoptimized) paths.
+  void Syscall();
+
+  // One user/kernel boundary crossing (half of a syscall's transition cost).
+  void CrossUserKernel();
+
+  // Memory pinning during MR registration (get_user_pages + IOMMU setup).
+  void PinPages(uint64_t pages);
+  void UnpinPages(uint64_t pages);
+
+  // Cost of waking a sleeping thread (futex wake + scheduler latency).
+  void ChargeThreadWakeup();
+
+  uint64_t syscall_count() const { return syscalls_.load(std::memory_order_relaxed); }
+  uint64_t crossing_count() const { return crossings_.load(std::memory_order_relaxed); }
+  const SimParams& params() const { return params_; }
+
+ private:
+  const SimParams params_;
+  std::atomic<uint64_t> syscalls_{0};
+  std::atomic<uint64_t> crossings_{0};
+};
+
+}  // namespace lt
+
+#endif  // SRC_OSS_OS_KERNEL_H_

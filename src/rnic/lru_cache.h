@@ -1,0 +1,72 @@
+// Fixed-capacity LRU set used to model the RNIC's on-chip SRAM caches
+// (MPT entries for MR keys, MTT entries for PTEs, QP contexts).
+//
+// Touch(key) returns true on hit; on miss the key is inserted, evicting the
+// least-recently-used entry when at capacity. Thread-safe (the RNIC engine is
+// driven concurrently by every issuing thread).
+#ifndef SRC_RNIC_LRU_CACHE_H_
+#define SRC_RNIC_LRU_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/common/sync_util.h"
+
+namespace lt {
+
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  // Returns true if `key` was cached (and refreshes it); on miss, inserts it.
+  bool Touch(uint64_t key) {
+    std::lock_guard<SpinLock> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      order_.splice(order_.begin(), order_, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (order_.size() >= capacity_) {
+      index_.erase(order_.back());
+      order_.pop_back();
+    }
+    order_.push_front(key);
+    index_[key] = order_.begin();
+    return false;
+  }
+
+  // Removes a key if present (MR deregistration, QP teardown).
+  void Erase(uint64_t key) {
+    std::lock_guard<SpinLock> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      order_.erase(it->second);
+      index_.erase(it);
+    }
+  }
+
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+  size_t size() const {
+    std::lock_guard<SpinLock> lock(mu_);
+    return order_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable SpinLock mu_;
+  std::list<uint64_t> order_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace lt
+
+#endif  // SRC_RNIC_LRU_CACHE_H_

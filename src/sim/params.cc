@@ -1,0 +1,36 @@
+#include "src/sim/params.h"
+
+namespace lt {
+
+SimParams SimParams::FastForTests() {
+  SimParams p;
+  p.node_phys_mem_bytes = 32ull << 20;
+  p.wire_latency_ns = 0;
+  p.rnic_post_ns = 0;
+  p.rnic_process_ns = 0;
+  p.rnic_completion_ns = 0;
+  p.rnic_ack_ns = 0;
+  p.rnic_atomic_extra_ns = 0;
+  p.mpt_miss_ns = 0;
+  p.mtt_miss_ns = 0;
+  p.qpc_miss_ns = 0;
+  p.user_kernel_cross_ns = 0;
+  p.syscall_overhead_ns = 0;
+  p.pin_page_ns = 0;
+  p.unpin_page_ns = 0;
+  p.mr_register_base_ns = 0;
+  p.mr_deregister_base_ns = 0;
+  p.thread_wakeup_ns = 0;
+  p.lite_map_check_ns = 0;
+  p.lite_rpc_dispatch_ns = 0;
+  p.lite_malloc_local_ns = 0;
+  p.lite_rpc_ring_bytes = 128 << 10;
+  p.lite_rpc_timeout_ns = 2'000'000'000;
+  p.lite_reply_slots = 128;
+  p.local_op_base_ns = 0;
+  p.tcp_send_stack_ns = 0;
+  p.tcp_recv_stack_ns = 0;
+  return p;
+}
+
+}  // namespace lt

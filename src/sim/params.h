@@ -1,0 +1,96 @@
+// SimParams: every calibrated cost in the simulated substrate, in one place.
+//
+// The defaults are calibrated so the microbenchmark *shapes and magnitudes*
+// match the paper's testbed (40 Gbps ConnectX-3, Xeon E5-2620, Linux 3.11):
+//   - native Verbs 64 B write RTT ~= 1.3 us (paper Fig. 6)
+//   - RNIC MR-key (MPT) cache holds ~128 entries: latency cliff past ~100 MRs
+//     (paper Fig. 4)
+//   - RNIC PTE (MTT) cache covers ~4 MB: throughput cliff past 4 MB MR size
+//     (paper Fig. 5)
+//   - user/kernel crossings 0.17 us for the optimized two-crossing RPC path
+//     (paper Sec. 5.2/5.3)
+//   - MR registration dominated by per-page pinning (paper Fig. 8)
+//   - TCP-over-IB (IPoIB) ~25 us latency / <= ~1.8 GB/s (paper Figs. 6, 7)
+//
+// All times in nanoseconds, sizes in bytes.
+#ifndef SRC_SIM_PARAMS_H_
+#define SRC_SIM_PARAMS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lt {
+
+struct SimParams {
+  // ---- Memory / paging ----
+  size_t page_size = 4096;
+  size_t node_phys_mem_bytes = 96ull << 20;  // Physical memory pool per node.
+
+  // ---- Fabric (per-hop wire + switch) ----
+  uint64_t wire_latency_ns = 300;          // Propagation + one switch hop, one way.
+  double nic_line_rate_bytes_per_ns = 4.6; // ~40 Gbps minus framing overhead.
+
+  // ---- RNIC engine costs ----
+  uint64_t rnic_post_ns = 200;       // WQE build + doorbell (host side).
+  uint64_t rnic_process_ns = 150;    // NIC packet processing, per side.
+  uint64_t rnic_completion_ns = 120; // CQE generation + host poll cost.
+  uint64_t rnic_ack_ns = 250;        // RC ACK turn-around at the responder NIC.
+  uint64_t rnic_atomic_extra_ns = 300;  // PCIe read-modify-write for atomics.
+  size_t ud_grh_bytes = 40;          // Global routing header overhead for UD.
+
+  // ---- RNIC on-chip SRAM (the scalability bottleneck the paper attacks) ----
+  size_t mpt_cache_entries = 128;    // MR protection-table entries cached.
+  uint64_t mpt_miss_ns = 950;        // Fetch MPT entry from host memory.
+  size_t mtt_cache_pages = 1024;     // Cached PTEs: 1024 * 4 KB = 4 MB coverage.
+  uint64_t mtt_miss_ns = 700;        // Fetch one PTE from host memory.
+  size_t qpc_cache_entries = 256;    // QP contexts cached on-NIC.
+  uint64_t qpc_miss_ns = 500;        // Fetch QP context from host memory.
+
+  // ---- OS / kernel costs ----
+  uint64_t user_kernel_cross_ns = 85;   // One crossing; optimized RPC pays two.
+  uint64_t syscall_overhead_ns = 150;   // Classic trap entry+exit bookkeeping.
+  uint64_t pin_page_ns = 800;           // get_user_pages per page (registration).
+  uint64_t unpin_page_ns = 300;         // Per page on deregistration.
+  uint64_t mr_register_base_ns = 2500;  // Fixed driver/firmware cost per MR.
+  uint64_t mr_deregister_base_ns = 1800;
+  uint64_t thread_wakeup_ns = 1200;     // Condvar/futex wake of a sleeping thread.
+
+  // ---- LITE software stack ----
+  uint64_t lite_map_check_ns = 90;    // lh lookup + permission check + addr map.
+  uint64_t lite_rpc_dispatch_ns = 180;  // Poll-thread IMM decode + hand-off.
+  uint64_t lite_malloc_local_ns = 1500;  // Local LMR allocation bookkeeping.
+  size_t lite_max_chunk_bytes = 4ull << 20;  // Physically-consecutive chunk cap.
+  size_t lite_rpc_ring_bytes = 1ull << 20;   // Per-(client,function) server ring
+                                             // (paper used 16 MB; scaled to the
+                                             // smaller simulated memory pools).
+  uint64_t lite_rpc_timeout_ns = 2'000'000'000;  // RPC failure-detection timeout.
+  uint64_t lite_adaptive_spin_ns = 6'000;  // Busy-check budget before sleeping.
+  int lite_qp_sharing_factor = 2;     // K in "K x N QPs per node" (Sec. 6.1).
+  size_t lite_reply_slots = 256;      // Concurrent outstanding RPCs per node.
+  size_t lite_reply_slot_bytes = 16384;  // Max RPC reply size per slot.
+  double local_copy_bytes_per_ns = 12.0;  // Same-node memcpy bandwidth.
+  uint64_t local_op_base_ns = 60;         // Fixed cost of a local LITE copy.
+
+  // ---- TCP/IP over IB (IPoIB) ----
+  uint64_t tcp_send_stack_ns = 9000;   // Socket + TCP/IP + IPoIB tx path.
+  uint64_t tcp_recv_stack_ns = 9000;   // rx path incl. interrupt + copy.
+  double tcp_rate_bytes_per_ns = 1.7;  // ~13.6 Gb/s effective, per paper Fig. 7.
+  size_t tcp_mtu_bytes = 65520;        // IPoIB connected-mode MTU.
+
+  // ---- Failure injection (tests only; zero by default) ----
+  double fabric_drop_probability = 0.0;
+  uint64_t fabric_extra_delay_ns = 0;
+
+  // Convenience: wire transfer time for a payload at line rate.
+  uint64_t WireBytesNs(size_t bytes) const {
+    return static_cast<uint64_t>(static_cast<double>(bytes) / nic_line_rate_bytes_per_ns);
+  }
+
+  // Scaled-down parameter set for unit tests: tiny delays so tests run fast,
+  // but all mechanisms (caches, rings, crossings) still exercised.
+  static SimParams FastForTests();
+};
+
+}  // namespace lt
+
+#endif  // SRC_SIM_PARAMS_H_

@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/common/timing.h"
+#include "src/lite/lite_cluster.h"
+
+namespace lite {
+namespace {
+
+using lt::StatusCode;
+
+class LiteMemoryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lt::SimParams p = lt::SimParams::FastForTests();
+    cluster_ = std::make_unique<LiteCluster>(3, p);
+    c0_ = cluster_->CreateClient(0);
+    c1_ = cluster_->CreateClient(1);
+    c2_ = cluster_->CreateClient(2);
+  }
+  std::unique_ptr<LiteCluster> cluster_;
+  std::unique_ptr<LiteClient> c0_, c1_, c2_;
+};
+
+TEST_F(LiteMemoryTest, MallocWriteReadLocal) {
+  auto lh = c0_->Malloc(4096, "local_buf");
+  ASSERT_TRUE(lh.ok());
+  const char msg[] = "local round trip";
+  ASSERT_TRUE(c0_->Write(*lh, 64, msg, sizeof(msg)).ok());
+  char out[sizeof(msg)] = {0};
+  ASSERT_TRUE(c0_->Read(*lh, 64, out, sizeof(out)).ok());
+  EXPECT_STREQ(out, msg);
+}
+
+TEST_F(LiteMemoryTest, MapFromAnotherNodeSeesData) {
+  auto lh = c0_->Malloc(4096, "shared_buf");
+  const char msg[] = "cross node";
+  ASSERT_TRUE(c0_->Write(*lh, 0, msg, sizeof(msg)).ok());
+  auto mapped = c1_->Map("shared_buf");
+  ASSERT_TRUE(mapped.ok());
+  char out[sizeof(msg)] = {0};
+  ASSERT_TRUE(c1_->Read(*mapped, 0, out, sizeof(out)).ok());
+  EXPECT_STREQ(out, msg);
+}
+
+TEST_F(LiteMemoryTest, LhIsLocalToIssuingNode) {
+  auto lh = c0_->Malloc(4096, "lh_locality");
+  ASSERT_TRUE(lh.ok());
+  // Using node 0's lh value from node 1 must fail: lhs are per-process
+  // capabilities (paper Sec. 4.1)... unless node 1 happens to have its own
+  // entry under the same numeric id. Map on c1 produces a distinct handle.
+  auto mapped = c1_->Map("lh_locality");
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_NE(*mapped, *lh);
+}
+
+TEST_F(LiteMemoryTest, MapUnknownNameFails) {
+  auto lh = c1_->Map("no_such_lmr");
+  EXPECT_FALSE(lh.ok());
+  EXPECT_EQ(lh.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(LiteMemoryTest, DuplicateNameRejected) {
+  ASSERT_TRUE(c0_->Malloc(4096, "dup_name").ok());
+  auto again = c1_->Malloc(4096, "dup_name");
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(LiteMemoryTest, ReadOutOfBoundsFails) {
+  auto lh = c0_->Malloc(4096, "bounds");
+  char out[64];
+  EXPECT_EQ(c0_->Read(*lh, 4090, out, 64).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(LiteMemoryTest, InvalidLhFails) {
+  char out[8];
+  EXPECT_EQ(c0_->Read(12345, 0, out, 8).code(), StatusCode::kNotFound);
+}
+
+TEST_F(LiteMemoryTest, PermissionGrantRespected) {
+  auto lh = c0_->Malloc(4096, "ro_region");
+  ASSERT_TRUE(lh.ok());
+  ASSERT_TRUE(c0_->instance()->SetPermission("ro_region", 1, kPermRead).ok());
+  // Node 1 can map read-only but not read-write.
+  auto rw = c1_->Map("ro_region", kPermRead | kPermWrite);
+  EXPECT_EQ(rw.status().code(), StatusCode::kPermissionDenied);
+  auto ro = c1_->Map("ro_region", kPermRead);
+  ASSERT_TRUE(ro.ok());
+  char out[8];
+  EXPECT_TRUE(c1_->Read(*ro, 0, out, 8).ok());
+  EXPECT_EQ(c1_->Write(*ro, 0, out, 8).code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(LiteMemoryTest, FreeRequiresMaster) {
+  auto lh = c0_->Malloc(4096, "master_only");
+  auto mapped = c1_->Map("master_only");
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(c1_->Free(*mapped).code(), StatusCode::kPermissionDenied);
+  EXPECT_TRUE(c0_->Free(*lh).ok());
+}
+
+TEST_F(LiteMemoryTest, FreeInvalidatesMappedHandles) {
+  auto lh = c0_->Malloc(4096, "to_free");
+  auto mapped = c1_->Map("to_free");
+  ASSERT_TRUE(mapped.ok());
+  ASSERT_TRUE(c0_->Free(*lh).ok());
+  // Give the asynchronous invalidation a moment to land.
+  char out[8];
+  lt::Status st = lt::Status::Ok();
+  for (int i = 0; i < 100; ++i) {
+    st = c1_->Read(*mapped, 0, out, 8);
+    if (!st.ok()) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  // The name is free for reuse.
+  EXPECT_TRUE(c2_->Malloc(4096, "to_free").ok());
+}
+
+TEST_F(LiteMemoryTest, UnmapDropsOnlyLocalHandle) {
+  auto lh = c0_->Malloc(4096, "unmap_me");
+  auto m1 = c1_->Map("unmap_me");
+  auto m2 = c2_->Map("unmap_me");
+  ASSERT_TRUE(c1_->Unmap(*m1).ok());
+  char out[8];
+  EXPECT_FALSE(c1_->Read(*m1, 0, out, 8).ok());
+  EXPECT_TRUE(c2_->Read(*m2, 0, out, 8).ok());
+  (void)lh;
+}
+
+TEST_F(LiteMemoryTest, RemotePlacementViaOptions) {
+  MallocOptions options;
+  options.nodes = {2};
+  auto lh = c0_->Malloc(8192, "on_node2", options);
+  ASSERT_TRUE(lh.ok());
+  auto chunks = c0_->instance()->LmrChunks(*lh);
+  ASSERT_TRUE(chunks.ok());
+  for (const auto& chunk : *chunks) {
+    EXPECT_EQ(chunk.node, 2u);
+  }
+  const char msg[] = "remote placement";
+  ASSERT_TRUE(c0_->Write(*lh, 0, msg, sizeof(msg)).ok());
+  char out[sizeof(msg)] = {0};
+  ASSERT_TRUE(c0_->Read(*lh, 0, out, sizeof(out)).ok());
+  EXPECT_STREQ(out, msg);
+}
+
+TEST_F(LiteMemoryTest, SpreadAcrossNodes) {
+  // An LMR larger than one chunk, spread over two nodes (paper Sec. 4.1).
+  MallocOptions options;
+  options.nodes = {1, 2};
+  const uint64_t size = 6ull << 20;  // > lite_max_chunk_bytes.
+  auto lh = c0_->Malloc(size, "striped", options);
+  ASSERT_TRUE(lh.ok());
+  auto chunks = c0_->instance()->LmrChunks(*lh);
+  ASSERT_TRUE(chunks.ok());
+  std::set<lt::NodeId> nodes;
+  for (const auto& chunk : *chunks) {
+    nodes.insert(chunk.node);
+  }
+  EXPECT_EQ(nodes.size(), 2u);
+  // Writes crossing the chunk boundary still round-trip.
+  std::vector<uint8_t> pattern(1 << 20);
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<uint8_t>(i * 7);
+  }
+  uint64_t boundary = (4ull << 20) - (pattern.size() / 2);
+  ASSERT_TRUE(c0_->Write(*lh, boundary, pattern.data(), pattern.size()).ok());
+  std::vector<uint8_t> out(pattern.size());
+  ASSERT_TRUE(c0_->Read(*lh, boundary, out.data(), out.size()).ok());
+  EXPECT_EQ(out, pattern);
+}
+
+TEST_F(LiteMemoryTest, MemsetFillsRange) {
+  auto lh = c0_->Malloc(4096, "memset_target");
+  ASSERT_TRUE(c0_->Memset(*lh, 100, 0x5a, 200).ok());
+  std::vector<uint8_t> out(200);
+  ASSERT_TRUE(c0_->Read(*lh, 100, out.data(), out.size()).ok());
+  for (uint8_t b : out) {
+    EXPECT_EQ(b, 0x5a);
+  }
+}
+
+TEST_F(LiteMemoryTest, MemsetOnRemoteLmr) {
+  MallocOptions options;
+  options.nodes = {2};
+  auto lh = c0_->Malloc(4096, "memset_remote", options);
+  ASSERT_TRUE(c0_->Memset(*lh, 0, 0x33, 4096).ok());
+  uint8_t out[16];
+  ASSERT_TRUE(c1_->Map("memset_remote").ok());
+  ASSERT_TRUE(c0_->Read(*lh, 2048, out, 16).ok());
+  for (uint8_t b : out) {
+    EXPECT_EQ(b, 0x33);
+  }
+}
+
+TEST_F(LiteMemoryTest, MemcpyBetweenLmrsSameNode) {
+  auto src = c0_->Malloc(4096, "cpy_src");
+  auto dst = c0_->Malloc(4096, "cpy_dst");
+  const char msg[] = "copy me around";
+  ASSERT_TRUE(c0_->Write(*src, 10, msg, sizeof(msg)).ok());
+  ASSERT_TRUE(c0_->Memcpy(*dst, 20, *src, 10, sizeof(msg)).ok());
+  char out[sizeof(msg)] = {0};
+  ASSERT_TRUE(c0_->Read(*dst, 20, out, sizeof(out)).ok());
+  EXPECT_STREQ(out, msg);
+}
+
+TEST_F(LiteMemoryTest, MemcpyAcrossNodes) {
+  MallocOptions on1;
+  on1.nodes = {1};
+  MallocOptions on2;
+  on2.nodes = {2};
+  auto src = c0_->Malloc(4096, "xcpy_src", on1);
+  auto dst = c0_->Malloc(4096, "xcpy_dst", on2);
+  const char msg[] = "node1 to node2";
+  ASSERT_TRUE(c0_->Write(*src, 0, msg, sizeof(msg)).ok());
+  ASSERT_TRUE(c0_->Memcpy(*dst, 0, *src, 0, sizeof(msg)).ok());
+  char out[sizeof(msg)] = {0};
+  ASSERT_TRUE(c0_->Read(*dst, 0, out, sizeof(out)).ok());
+  EXPECT_STREQ(out, msg);
+}
+
+TEST_F(LiteMemoryTest, MemmoveMatchesMemcpySemantics) {
+  auto a = c0_->Malloc(4096, "mv_a");
+  auto b = c0_->Malloc(4096, "mv_b");
+  uint32_t value = 0xfeedface;
+  ASSERT_TRUE(c0_->Write(*a, 0, &value, 4).ok());
+  ASSERT_TRUE(c0_->Memmove(*b, 0, *a, 0, 4).ok());
+  uint32_t out = 0;
+  ASSERT_TRUE(c0_->Read(*b, 0, &out, 4).ok());
+  EXPECT_EQ(out, value);
+}
+
+TEST_F(LiteMemoryTest, MoveLmrPreservesContentAndRemapsHandles) {
+  auto lh = c0_->Malloc(8192, "movable");
+  std::vector<uint8_t> pattern(8192);
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<uint8_t>(i % 251);
+  }
+  ASSERT_TRUE(c0_->Write(*lh, 0, pattern.data(), pattern.size()).ok());
+  auto mapped = c1_->Map("movable");
+  ASSERT_TRUE(mapped.ok());
+
+  ASSERT_TRUE(c0_->instance()->MoveLmr("movable", 2).ok());
+  auto chunks = c0_->instance()->LmrChunks(*lh);
+  ASSERT_TRUE(chunks.ok());
+  for (const auto& chunk : *chunks) {
+    EXPECT_EQ(chunk.node, 2u);
+  }
+  // Both the master's and the mapper's handles still see the data.
+  std::vector<uint8_t> out(8192);
+  ASSERT_TRUE(c0_->Read(*lh, 0, out.data(), out.size()).ok());
+  EXPECT_EQ(out, pattern);
+  // The mapper's update arrives asynchronously.
+  for (int i = 0; i < 100; ++i) {
+    auto mapped_chunks = c1_->instance()->LmrChunks(*mapped);
+    if (mapped_chunks.ok() && (*mapped_chunks)[0].node == 2u) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::fill(out.begin(), out.end(), 0);
+  ASSERT_TRUE(c1_->Read(*mapped, 0, out.data(), out.size()).ok());
+  EXPECT_EQ(out, pattern);
+}
+
+TEST_F(LiteMemoryTest, GrantMasterAllowsFreeFromGrantee) {
+  auto lh = c0_->Malloc(4096, "granted");
+  ASSERT_TRUE(c0_->instance()->GrantMaster("granted", 1).ok());
+  auto mapped = c1_->Map("granted", kPermRead | kPermWrite | kPermMaster);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_TRUE(c1_->Free(*mapped).ok());
+  (void)lh;
+}
+
+TEST_F(LiteMemoryTest, ZeroSizeMallocRejected) {
+  EXPECT_FALSE(c0_->Malloc(0, "zero").ok());
+  EXPECT_FALSE(c0_->Malloc(16, "").ok());
+}
+
+TEST_F(LiteMemoryTest, LmrSizeReported) {
+  auto lh = c0_->Malloc(12345, "sized");
+  auto size = c0_->instance()->LmrSize(*lh);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 12345u);
+}
+
+TEST_F(LiteMemoryTest, OutOfMemoryRollsBack) {
+  // Ask for far more than the pool holds; name must not be registered.
+  auto lh = c0_->Malloc(1ull << 40, "huge");
+  EXPECT_FALSE(lh.ok());
+  EXPECT_EQ(c1_->Map("huge").status().code(), StatusCode::kNotFound);
+}
+
+
+TEST_F(LiteMemoryTest, ManagerNameServiceIsReconstructible) {
+  // Paper Sec. 3.3: the cluster manager's state "can be easily reconstructed
+  // upon failure restart". Create LMRs on several nodes, wipe the name
+  // service (simulated manager restart), rebuild, and verify LT_map works.
+  ASSERT_TRUE(c0_->Malloc(4096, "recover_a").ok());
+  ASSERT_TRUE(c1_->Malloc(4096, "recover_b").ok());
+  ASSERT_TRUE(c2_->Malloc(4096, "recover_c").ok());
+
+  cluster_->instance(0)->ClearNameServiceForTest();
+  EXPECT_FALSE(c2_->Map("recover_a").ok());  // Lost.
+
+  ASSERT_TRUE(cluster_->instance(0)->RebuildNameService().ok());
+  EXPECT_TRUE(c2_->Map("recover_a").ok());
+  EXPECT_TRUE(c0_->Map("recover_b").ok());
+  EXPECT_TRUE(c1_->Map("recover_c").ok());
+}
+
+TEST_F(LiteMemoryTest, RebuildOnlyOnManagerNode) {
+  EXPECT_EQ(cluster_->instance(1)->RebuildNameService().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// Parameterized IO sizes through the LITE data path.
+class LiteIoSizeTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    lt::SimParams p = lt::SimParams::FastForTests();
+    cluster_ = std::make_unique<LiteCluster>(2, p);
+    c0_ = cluster_->CreateClient(0);
+  }
+  std::unique_ptr<LiteCluster> cluster_;
+  std::unique_ptr<LiteClient> c0_;
+};
+
+TEST_P(LiteIoSizeTest, RemoteRoundTrip) {
+  uint64_t size = GetParam();
+  MallocOptions options;
+  options.nodes = {1};
+  auto lh = c0_->Malloc(size + 64, "io_" + std::to_string(size), options);
+  ASSERT_TRUE(lh.ok());
+  std::vector<uint8_t> pattern(size);
+  for (size_t i = 0; i < size; ++i) {
+    pattern[i] = static_cast<uint8_t>((i * 31) ^ (i >> 8));
+  }
+  ASSERT_TRUE(c0_->Write(*lh, 32, pattern.data(), size).ok());
+  std::vector<uint8_t> out(size);
+  ASSERT_TRUE(c0_->Read(*lh, 32, out.data(), size).ok());
+  EXPECT_EQ(out, pattern);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LiteIoSizeTest,
+                         ::testing::Values(1, 8, 64, 4096, 65536, 1 << 20));
+
+}  // namespace
+}  // namespace lite

@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "src/common/timing.h"
+#include "src/lite/lite_cluster.h"
+
+namespace lite {
+namespace {
+
+using lt::StatusCode;
+
+// Simple echo server running on a node until stopped.
+class EchoServer {
+ public:
+  EchoServer(LiteCluster* cluster, lt::NodeId node, RpcFuncId func, bool use_reply_and_recv = false)
+      : client_(cluster->CreateClient(node, /*kernel_level=*/true)), func_(func) {
+    (void)client_->RegisterRpc(func_);
+    thread_ = std::thread([this, use_reply_and_recv] { Run(use_reply_and_recv); });
+  }
+
+  ~EchoServer() {
+    stopping_.store(true);
+    thread_.join();
+  }
+
+  int served() const { return served_.load(); }
+
+ private:
+  void Run(bool use_reply_and_recv) {
+    ReplyToken pending;
+    std::vector<uint8_t> pending_data;
+    while (!stopping_.load()) {
+      lt::StatusOr<RpcIncoming> inc = lt::Status::Unavailable("");
+      if (use_reply_and_recv && pending.valid()) {
+        inc = client_->ReplyAndRecv(pending, pending_data.data(),
+                                    static_cast<uint32_t>(pending_data.size()), func_,
+                                    50'000'000);
+        pending = ReplyToken{};
+      } else {
+        inc = client_->RecvRpc(func_, 50'000'000);
+      }
+      if (!inc.ok()) {
+        continue;
+      }
+      served_.fetch_add(1);
+      // Echo with a marker prefix.
+      std::vector<uint8_t> reply;
+      reply.push_back(0xee);
+      reply.insert(reply.end(), inc->data.begin(), inc->data.end());
+      if (use_reply_and_recv) {
+        pending = inc->token;
+        pending_data = std::move(reply);
+      } else {
+        (void)client_->ReplyRpc(inc->token, reply.data(), static_cast<uint32_t>(reply.size()));
+      }
+    }
+    if (pending.valid()) {
+      (void)client_->ReplyRpc(pending, pending_data.data(),
+                              static_cast<uint32_t>(pending_data.size()));
+    }
+  }
+
+  std::unique_ptr<LiteClient> client_;
+  const RpcFuncId func_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> served_{0};
+};
+
+class LiteRpcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lt::SimParams p = lt::SimParams::FastForTests();
+    cluster_ = std::make_unique<LiteCluster>(3, p);
+    c0_ = cluster_->CreateClient(0);
+  }
+  std::unique_ptr<LiteCluster> cluster_;
+  std::unique_ptr<LiteClient> c0_;
+};
+
+TEST_F(LiteRpcTest, BasicCallAndReply) {
+  EchoServer server(cluster_.get(), 1, 7);
+  char out[64];
+  uint32_t out_len = 0;
+  ASSERT_TRUE(c0_->Rpc(1, 7, "ping", 4, out, sizeof(out), &out_len).ok());
+  ASSERT_EQ(out_len, 5u);
+  EXPECT_EQ(static_cast<uint8_t>(out[0]), 0xee);
+  EXPECT_EQ(std::memcmp(out + 1, "ping", 4), 0);
+}
+
+TEST_F(LiteRpcTest, EmptyInputAllowed) {
+  EchoServer server(cluster_.get(), 1, 8);
+  char out[8];
+  uint32_t out_len = 0;
+  ASSERT_TRUE(c0_->Rpc(1, 8, nullptr, 0, out, sizeof(out), &out_len).ok());
+  EXPECT_EQ(out_len, 1u);
+}
+
+TEST_F(LiteRpcTest, SelfCallViaLoopback) {
+  EchoServer server(cluster_.get(), 0, 9);
+  char out[16];
+  uint32_t out_len = 0;
+  ASSERT_TRUE(c0_->Rpc(0, 9, "self", 4, out, sizeof(out), &out_len).ok());
+  EXPECT_EQ(out_len, 5u);
+}
+
+TEST_F(LiteRpcTest, ManySequentialCallsRecycleRing) {
+  EchoServer server(cluster_.get(), 1, 10);
+  // Enough traffic to wrap the (test-sized) ring several times.
+  std::vector<uint8_t> payload(3000, 0x42);
+  char out[4096];
+  uint32_t out_len = 0;
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(c0_->Rpc(1, 10, payload.data(), static_cast<uint32_t>(payload.size()), out,
+                         sizeof(out), &out_len)
+                    .ok())
+        << "call " << i;
+    ASSERT_EQ(out_len, payload.size() + 1);
+  }
+  EXPECT_EQ(server.served(), 300);
+}
+
+TEST_F(LiteRpcTest, ConcurrentClientsOneServer) {
+  EchoServer server(cluster_.get(), 2, 11);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = cluster_->CreateClient(t % 2);
+      char out[64];
+      uint32_t out_len = 0;
+      for (int i = 0; i < 50; ++i) {
+        std::string msg = "t" + std::to_string(t) + "_" + std::to_string(i);
+        auto st = client->Rpc(2, 11, msg.data(), static_cast<uint32_t>(msg.size()), out,
+                              sizeof(out), &out_len);
+        if (!st.ok() || out_len != msg.size() + 1 ||
+            std::memcmp(out + 1, msg.data(), msg.size()) != 0) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.served(), 200);
+}
+
+TEST_F(LiteRpcTest, ReplyAndRecvCombinedApi) {
+  EchoServer server(cluster_.get(), 1, 12, /*use_reply_and_recv=*/true);
+  char out[64];
+  uint32_t out_len = 0;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(c0_->Rpc(1, 12, "combo", 5, out, sizeof(out), &out_len).ok());
+    EXPECT_EQ(out_len, 6u);
+  }
+}
+
+TEST_F(LiteRpcTest, MulticastCollectsAllReplies) {
+  EchoServer s1(cluster_.get(), 1, 13);
+  EchoServer s2(cluster_.get(), 2, 13);
+  std::vector<std::vector<uint8_t>> replies;
+  ASSERT_TRUE(c0_->MulticastRpc({1, 2}, 13, "mc", 2, &replies).ok());
+  ASSERT_EQ(replies.size(), 2u);
+  for (const auto& r : replies) {
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_EQ(r[0], 0xee);
+    EXPECT_EQ(std::memcmp(r.data() + 1, "mc", 2), 0);
+  }
+}
+
+TEST_F(LiteRpcTest, AppFuncIdRangeEnforced) {
+  EXPECT_FALSE(c0_->RegisterRpc(1000).ok());
+  EXPECT_TRUE(c0_->RegisterRpc(999).ok());
+}
+
+TEST_F(LiteRpcTest, OversizedInputRejected) {
+  EchoServer server(cluster_.get(), 1, 14);
+  std::vector<uint8_t> huge(cluster_->params().lite_rpc_ring_bytes + 1);
+  char out[8];
+  uint32_t out_len;
+  auto st = c0_->Rpc(1, 14, huge.data(), static_cast<uint32_t>(huge.size()), out, sizeof(out),
+                     &out_len);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(LiteRpcTest, ReplyLargerThanBufferTruncates) {
+  EchoServer server(cluster_.get(), 1, 15);
+  char out[4];
+  uint32_t out_len = 0;
+  auto st = c0_->Rpc(1, 15, "0123456789", 10, out, sizeof(out), &out_len);
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(out_len, 11u);  // Full length reported.
+}
+
+TEST_F(LiteRpcTest, UnservedFunctionTimesOut) {
+  // No server registered anywhere for func 20; request lands in the queue
+  // and no reply ever comes.
+  lt::SimParams p = lt::SimParams::FastForTests();
+  p.lite_rpc_timeout_ns = 50'000'000;  // 50 ms.
+  LiteCluster small(2, p);
+  auto client = small.CreateClient(0);
+  char out[8];
+  uint32_t out_len;
+  auto st = client->Rpc(1, 20, "x", 1, out, sizeof(out), &out_len);
+  EXPECT_EQ(st.code(), StatusCode::kTimeout);
+}
+
+TEST_F(LiteRpcTest, SendMsgAndRecvMsg) {
+  auto c1 = cluster_->CreateClient(1);
+  ASSERT_TRUE(c0_->SendMsg(1, "hello msg", 9).ok());
+  auto msg = c1->RecvMsg(1'000'000'000);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->src, 0u);
+  ASSERT_EQ(msg->data.size(), 9u);
+  EXPECT_EQ(std::memcmp(msg->data.data(), "hello msg", 9), 0);
+}
+
+TEST_F(LiteRpcTest, MessagesArriveInOrderPerSender) {
+  auto c1 = cluster_->CreateClient(1);
+  for (uint32_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(c0_->SendMsg(1, &i, sizeof(i)).ok());
+  }
+  for (uint32_t i = 0; i < 50; ++i) {
+    auto msg = c1->RecvMsg(1'000'000'000);
+    ASSERT_TRUE(msg.ok());
+    uint32_t got = 0;
+    std::memcpy(&got, msg->data.data(), 4);
+    EXPECT_EQ(got, i);
+  }
+}
+
+TEST_F(LiteRpcTest, RecvMsgTimesOutWhenIdle) {
+  auto c1 = cluster_->CreateClient(1);
+  auto msg = c1->RecvMsg(10'000'000);
+  EXPECT_EQ(msg.status().code(), StatusCode::kTimeout);
+}
+
+// Parameterized reply sizes through the full RPC path.
+class LiteRpcSizeTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  void SetUp() override {
+    lt::SimParams p = lt::SimParams::FastForTests();
+    cluster_ = std::make_unique<LiteCluster>(2, p);
+    c0_ = cluster_->CreateClient(0);
+  }
+  std::unique_ptr<LiteCluster> cluster_;
+  std::unique_ptr<LiteClient> c0_;
+};
+
+TEST_P(LiteRpcSizeTest, EchoRoundTrip) {
+  uint32_t size = GetParam();
+  EchoServer server(cluster_.get(), 1, 21);
+  std::vector<uint8_t> in(size);
+  for (uint32_t i = 0; i < size; ++i) {
+    in[i] = static_cast<uint8_t>(i * 131 + 13);
+  }
+  std::vector<uint8_t> out(size + 1);
+  uint32_t out_len = 0;
+  ASSERT_TRUE(c0_->Rpc(1, 21, in.data(), size, out.data(), static_cast<uint32_t>(out.size()),
+                       &out_len)
+                  .ok());
+  ASSERT_EQ(out_len, size + 1);
+  EXPECT_EQ(std::memcmp(out.data() + 1, in.data(), size), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LiteRpcSizeTest,
+                         ::testing::Values(1, 8, 64, 512, 4096, 8192));
+
+// Latency sanity with full-cost parameters (paper Fig. 10 band).
+TEST(LiteRpcLatencyTest, KernelLevelRpcInCalibratedBand) {
+  lt::SimParams p;
+  p.node_phys_mem_bytes = 48ull << 20;
+  LiteCluster cluster(2, p);
+  auto client = cluster.CreateClient(0, /*kernel_level=*/true);
+  EchoServer server(&cluster, 1, 22);
+  char out[64];
+  uint32_t out_len;
+  // Warm the channel.
+  ASSERT_TRUE(client->Rpc(1, 22, "warm", 4, out, sizeof(out), &out_len).ok());
+  uint64_t t0 = lt::NowNs();
+  const int kCalls = 20;
+  for (int i = 0; i < kCalls; ++i) {
+    ASSERT_TRUE(client->Rpc(1, 22, "12345678", 8, out, sizeof(out), &out_len).ok());
+  }
+  uint64_t per_call = (lt::NowNs() - t0) / kCalls;
+  // Paper Fig. 10: LITE RPC ~4-7 us for small messages.
+  EXPECT_GE(per_call, 2000u);
+  EXPECT_LE(per_call, 12000u);
+}
+
+TEST(LiteRpcLatencyTest, UserLevelAddsCrossingCosts) {
+  lt::SimParams p;
+  p.node_phys_mem_bytes = 48ull << 20;
+  LiteCluster cluster(2, p);
+  EchoServer server(&cluster, 1, 23);
+  char out[64];
+  uint32_t out_len;
+
+  // Kernel-level callers never cross the user/kernel boundary.
+  auto kernel_client = cluster.CreateClient(0, /*kernel_level=*/true);
+  uint64_t crossings0 = cluster.node(0)->os().crossing_count();
+  ASSERT_TRUE(kernel_client->Rpc(1, 23, "x", 1, out, sizeof(out), &out_len).ok());
+  EXPECT_EQ(cluster.node(0)->os().crossing_count(), crossings0);
+
+  // User-level callers pay exactly one crossing per API entry; the return
+  // rides the shared page (paper Sec. 5.2).
+  auto user_client = cluster.CreateClient(0, /*kernel_level=*/false);
+  crossings0 = cluster.node(0)->os().crossing_count();
+  ASSERT_TRUE(user_client->Rpc(1, 23, "x", 1, out, sizeof(out), &out_len).ok());
+  EXPECT_EQ(cluster.node(0)->os().crossing_count(), crossings0 + 1);
+}
+
+TEST(LiteRpcLatencyTest, NaiveSyscallModeCostsMore) {
+  lt::SimParams p;
+  p.node_phys_mem_bytes = 48ull << 20;
+  LiteCluster cluster(2, p);
+  EchoServer server(&cluster, 1, 24);
+  char out[64];
+  uint32_t out_len;
+  auto naive = cluster.CreateClient(0, /*kernel_level=*/false);
+  naive->set_naive_syscalls(true);
+  uint64_t syscalls0 = cluster.node(0)->os().syscall_count();
+  ASSERT_TRUE(naive->Rpc(1, 24, "x", 1, out, sizeof(out), &out_len).ok());
+  EXPECT_GT(cluster.node(0)->os().syscall_count(), syscalls0);
+}
+
+}  // namespace
+}  // namespace lite

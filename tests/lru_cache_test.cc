@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "src/rnic/lru_cache.h"
+
+namespace lt {
+namespace {
+
+TEST(LruCacheTest, MissThenHit) {
+  LruCache cache(4);
+  EXPECT_FALSE(cache.Touch(1));
+  EXPECT_TRUE(cache.Touch(1));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache cache(3);
+  cache.Touch(1);
+  cache.Touch(2);
+  cache.Touch(3);
+  cache.Touch(1);  // 2 is now LRU.
+  cache.Touch(4);  // Evicts 2.
+  EXPECT_TRUE(cache.Touch(1));
+  EXPECT_TRUE(cache.Touch(3));
+  EXPECT_TRUE(cache.Touch(4));
+  EXPECT_FALSE(cache.Touch(2));
+}
+
+TEST(LruCacheTest, CapacityBounded) {
+  LruCache cache(8);
+  for (uint64_t k = 0; k < 100; ++k) {
+    cache.Touch(k);
+  }
+  EXPECT_EQ(cache.size(), 8u);
+}
+
+TEST(LruCacheTest, EraseRemovesEntry) {
+  LruCache cache(4);
+  cache.Touch(7);
+  cache.Erase(7);
+  EXPECT_FALSE(cache.Touch(7));
+  cache.Erase(999);  // Erasing a missing key is a no-op.
+}
+
+TEST(LruCacheTest, WorkingSetWithinCapacityAlwaysHits) {
+  LruCache cache(16);
+  for (int round = 0; round < 10; ++round) {
+    for (uint64_t k = 0; k < 16; ++k) {
+      cache.Touch(k);
+    }
+  }
+  EXPECT_EQ(cache.misses(), 16u);       // Only the first pass.
+  EXPECT_EQ(cache.hits(), 9u * 16u);
+}
+
+TEST(LruCacheTest, WorkingSetBeyondCapacityAlwaysMissesRoundRobin) {
+  LruCache cache(16);
+  for (int round = 0; round < 5; ++round) {
+    for (uint64_t k = 0; k < 17; ++k) {  // One more than capacity.
+      cache.Touch(k);
+    }
+  }
+  EXPECT_EQ(cache.hits(), 0u);  // Classic LRU worst case.
+}
+
+}  // namespace
+}  // namespace lt

@@ -1,0 +1,567 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/common/timing.h"
+#include "src/node/node.h"
+
+namespace lt {
+namespace {
+
+// Test fixture: two nodes with physical MRs covering low memory, plus a
+// connected RC QP pair.
+class RnicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimParams p = SimParams::FastForTests();
+    cluster_ = std::make_unique<Cluster>(2, p);
+    r0_ = &cluster_->node(0)->rnic();
+    r1_ = &cluster_->node(1)->rnic();
+    mr0_ = *r0_->RegisterMrPhysical(0, 1 << 20, kMrAll);
+    mr1_ = *r1_->RegisterMrPhysical(0, 1 << 20, kMrAll);
+    scq0_ = r0_->CreateCq();
+    rcq0_ = r0_->CreateCq();
+    scq1_ = r1_->CreateCq();
+    rcq1_ = r1_->CreateCq();
+    qp0_ = r0_->CreateQp(QpType::kRc, scq0_, rcq0_);
+    qp1_ = r1_->CreateQp(QpType::kRc, scq1_, rcq1_);
+    qp0_->Connect(1, qp1_->qpn());
+    qp1_->Connect(0, qp0_->qpn());
+  }
+
+  Status ExecSync(Qp* qp, WorkRequest wr) {
+    static std::atomic<uint64_t> next_id{1000};
+    wr.wr_id = next_id.fetch_add(1);
+    wr.signaled = true;
+    Status st = qp->rnic()->PostSend(qp, wr);
+    if (!st.ok()) {
+      return st;
+    }
+    while (true) {
+      auto c = qp->send_cq()->WaitPoll(1'000'000'000, WaitMode::kBusyPoll);
+      if (!c.has_value()) {
+        return Status::Timeout("no completion");
+      }
+      if (c->wr_id == wr.wr_id) {
+        return c->status;
+      }
+    }
+  }
+
+  uint8_t* Mem0(PhysAddr a, uint64_t n) { return cluster_->node(0)->mem().Data(a, n); }
+  uint8_t* Mem1(PhysAddr a, uint64_t n) { return cluster_->node(1)->mem().Data(a, n); }
+
+  std::unique_ptr<Cluster> cluster_;
+  Rnic* r0_;
+  Rnic* r1_;
+  MrEntry mr0_, mr1_;
+  Cq *scq0_, *rcq0_, *scq1_, *rcq1_;
+  Qp *qp0_, *qp1_;
+};
+
+TEST_F(RnicTest, WriteMovesData) {
+  char buf[32] = "one-sided write";
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kWrite;
+  wr.host_local = buf;
+  wr.length = sizeof(buf);
+  wr.rkey = mr1_.lkey;
+  wr.remote_addr = 8192;
+  ASSERT_TRUE(ExecSync(qp0_, wr).ok());
+  EXPECT_EQ(std::memcmp(Mem1(8192, sizeof(buf)), buf, sizeof(buf)), 0);
+}
+
+TEST_F(RnicTest, ReadFetchesData) {
+  std::memcpy(Mem1(4096, 10), "remotedata", 10);
+  char out[10] = {0};
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kRead;
+  wr.host_local = out;
+  wr.length = 10;
+  wr.rkey = mr1_.lkey;
+  wr.remote_addr = 4096;
+  ASSERT_TRUE(ExecSync(qp0_, wr).ok());
+  EXPECT_EQ(std::memcmp(out, "remotedata", 10), 0);
+}
+
+TEST_F(RnicTest, WriteOutOfBoundsFails) {
+  char buf[64];
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kWrite;
+  wr.host_local = buf;
+  wr.length = sizeof(buf);
+  wr.rkey = mr1_.lkey;
+  wr.remote_addr = (1 << 20) - 10;  // Crosses the MR end.
+  EXPECT_EQ(ExecSync(qp0_, wr).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(RnicTest, UnknownRkeyFails) {
+  char buf[8];
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kWrite;
+  wr.host_local = buf;
+  wr.length = sizeof(buf);
+  wr.rkey = 0xdeadu;
+  wr.remote_addr = 0;
+  EXPECT_EQ(ExecSync(qp0_, wr).code(), StatusCode::kNotFound);
+}
+
+TEST_F(RnicTest, PermissionEnforced) {
+  auto read_only = *r1_->RegisterMrPhysical(0, 4096, kMrRead);
+  char buf[8] = "x";
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kWrite;
+  wr.host_local = buf;
+  wr.length = 8;
+  wr.rkey = read_only.lkey;
+  wr.remote_addr = 0;
+  EXPECT_EQ(ExecSync(qp0_, wr).code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(RnicTest, WriteImmDeliversImmediate) {
+  char buf[16] = "imm payload";
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kWriteImm;
+  wr.host_local = buf;
+  wr.length = sizeof(buf);
+  wr.rkey = mr1_.lkey;
+  wr.remote_addr = 0;
+  wr.imm = 0xabcd1234;
+  ASSERT_TRUE(ExecSync(qp0_, wr).ok());
+  auto c = rcq1_->WaitPoll(1'000'000'000, WaitMode::kBusyPoll);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->opcode, WcOpcode::kRecvImm);
+  EXPECT_TRUE(c->has_imm);
+  EXPECT_EQ(c->imm, 0xabcd1234u);
+  EXPECT_EQ(c->byte_len, sizeof(buf));
+  EXPECT_EQ(c->src_node, 0u);
+}
+
+TEST_F(RnicTest, ZeroLengthWriteImmWorks) {
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kWriteImm;
+  wr.length = 0;
+  wr.imm = 7;
+  ASSERT_TRUE(ExecSync(qp0_, wr).ok());
+  auto c = rcq1_->WaitPoll(1'000'000'000, WaitMode::kBusyPoll);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->imm, 7u);
+}
+
+TEST_F(RnicTest, SendRecvTwoSided) {
+  // Receiver posts a buffer first.
+  Rqe rqe;
+  rqe.wr_id = 55;
+  rqe.lkey = mr1_.lkey;
+  rqe.addr = 16384;
+  rqe.length = 64;
+  ASSERT_TRUE(qp1_->PostRecv(rqe).ok());
+
+  char buf[20] = "two-sided message";
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kSend;
+  wr.host_local = buf;
+  wr.length = sizeof(buf);
+  ASSERT_TRUE(ExecSync(qp0_, wr).ok());
+
+  auto c = rcq1_->WaitPoll(1'000'000'000, WaitMode::kBusyPoll);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->opcode, WcOpcode::kRecv);
+  EXPECT_EQ(c->wr_id, 55u);
+  EXPECT_EQ(c->byte_len, sizeof(buf));
+  EXPECT_EQ(std::memcmp(Mem1(16384, sizeof(buf)), buf, sizeof(buf)), 0);
+}
+
+TEST_F(RnicTest, SendIntoTooSmallBufferFails) {
+  Rqe rqe;
+  rqe.wr_id = 1;
+  rqe.lkey = mr1_.lkey;
+  rqe.addr = 0;
+  rqe.length = 4;
+  ASSERT_TRUE(qp1_->PostRecv(rqe).ok());
+  char buf[64] = {0};
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kSend;
+  wr.host_local = buf;
+  wr.length = sizeof(buf);
+  EXPECT_EQ(ExecSync(qp0_, wr).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RnicTest, UdSendByDestination) {
+  Cq* ud_rcq = r1_->CreateCq();
+  Qp* ud1 = r1_->CreateQp(QpType::kUd, r1_->CreateCq(), ud_rcq);
+  Qp* ud0 = r0_->CreateQp(QpType::kUd, r0_->CreateCq(), r0_->CreateCq());
+  Rqe rqe;
+  rqe.wr_id = 9;
+  rqe.lkey = mr1_.lkey;
+  rqe.addr = 32768;
+  rqe.length = 128;
+  ASSERT_TRUE(ud1->PostRecv(rqe).ok());
+
+  char buf[8] = "UD!";
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kSend;
+  wr.host_local = buf;
+  wr.length = sizeof(buf);
+  wr.ud_dst_node = 1;
+  wr.ud_dst_qpn = ud1->qpn();
+  ASSERT_TRUE(ExecSync(ud0, wr).ok());
+  auto c = ud_rcq->WaitPoll(1'000'000'000, WaitMode::kBusyPoll);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(std::memcmp(Mem1(32768, 3), "UD!", 3), 0);
+}
+
+TEST_F(RnicTest, UdRejectsOneSided) {
+  Qp* ud0 = r0_->CreateQp(QpType::kUd, r0_->CreateCq(), r0_->CreateCq());
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kWrite;
+  wr.length = 0;
+  EXPECT_FALSE(r0_->PostSend(ud0, wr).ok());
+}
+
+TEST_F(RnicTest, DisconnectedRcFails) {
+  Qp* lonely = r0_->CreateQp(QpType::kRc, r0_->CreateCq(), r0_->CreateCq());
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kWrite;
+  wr.length = 0;
+  EXPECT_EQ(r0_->PostSend(lonely, wr).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RnicTest, FetchAddReturnsOldValue) {
+  uint64_t initial = 41;
+  std::memcpy(Mem1(0, 8), &initial, 8);
+  uint64_t old_value = 0;
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kFetchAdd;
+  wr.rkey = mr1_.lkey;
+  wr.remote_addr = 0;
+  wr.compare_add = 1;
+  wr.atomic_result = &old_value;
+  ASSERT_TRUE(ExecSync(qp0_, wr).ok());
+  EXPECT_EQ(old_value, 41u);
+  uint64_t now_value = 0;
+  std::memcpy(&now_value, Mem1(0, 8), 8);
+  EXPECT_EQ(now_value, 42u);
+}
+
+TEST_F(RnicTest, CmpSwapSwapsOnlyOnMatch) {
+  uint64_t initial = 7;
+  std::memcpy(Mem1(64, 8), &initial, 8);
+  uint64_t old_value = 0;
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kCmpSwap;
+  wr.rkey = mr1_.lkey;
+  wr.remote_addr = 64;
+  wr.compare_add = 7;
+  wr.swap = 100;
+  wr.atomic_result = &old_value;
+  ASSERT_TRUE(ExecSync(qp0_, wr).ok());
+  EXPECT_EQ(old_value, 7u);
+  uint64_t now_value = 0;
+  std::memcpy(&now_value, Mem1(64, 8), 8);
+  EXPECT_EQ(now_value, 100u);
+
+  // Mismatch: no swap, returns current.
+  wr.compare_add = 7;
+  wr.swap = 200;
+  ASSERT_TRUE(ExecSync(qp0_, wr).ok());
+  EXPECT_EQ(old_value, 100u);
+  std::memcpy(&now_value, Mem1(64, 8), 8);
+  EXPECT_EQ(now_value, 100u);
+}
+
+TEST_F(RnicTest, MisalignedAtomicFails) {
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kFetchAdd;
+  wr.rkey = mr1_.lkey;
+  wr.remote_addr = 3;
+  wr.compare_add = 1;
+  EXPECT_EQ(ExecSync(qp0_, wr).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RnicTest, UnsignaledSuppressesCompletion) {
+  char buf[8] = "x";
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kWrite;
+  wr.host_local = buf;
+  wr.length = 8;
+  wr.rkey = mr1_.lkey;
+  wr.remote_addr = 0;
+  wr.signaled = false;
+  ASSERT_TRUE(r0_->PostSend(qp0_, wr).ok());
+  EXPECT_FALSE(scq0_->WaitPoll(5'000'000, WaitMode::kSleep).has_value());
+}
+
+TEST_F(RnicTest, ErrorCompletionDeliveredEvenIfUnsignaled) {
+  char buf[8];
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kWrite;
+  wr.host_local = buf;
+  wr.length = 8;
+  wr.rkey = 0xbad;
+  wr.remote_addr = 0;
+  wr.signaled = false;
+  ASSERT_TRUE(r0_->PostSend(qp0_, wr).ok());
+  auto c = scq0_->WaitPoll(1'000'000'000, WaitMode::kBusyPoll);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_FALSE(c->status.ok());
+}
+
+TEST_F(RnicTest, MrDeregistrationInvalidatesKey) {
+  auto mr = *r1_->RegisterMrPhysical(0, 4096, kMrAll);
+  ASSERT_TRUE(r1_->DeregisterMr(mr.lkey).ok());
+  char buf[8];
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kWrite;
+  wr.host_local = buf;
+  wr.length = 8;
+  wr.rkey = mr.lkey;
+  wr.remote_addr = 0;
+  EXPECT_EQ(ExecSync(qp0_, wr).code(), StatusCode::kNotFound);
+}
+
+TEST_F(RnicTest, VirtualMrTranslatesThroughPageTable) {
+  Process* proc = cluster_->node(1)->CreateProcess();
+  auto va = proc->page_table().AllocVirt(8192);
+  auto mr = r1_->RegisterMrVirtual(&proc->page_table(), *va, 8192, kMrAll);
+  ASSERT_TRUE(mr.ok());
+  char buf[32] = "through the page table";
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kWrite;
+  wr.host_local = buf;
+  wr.length = sizeof(buf);
+  wr.rkey = mr->lkey;
+  wr.remote_addr = *va + 4090;  // Crosses a page boundary.
+  ASSERT_TRUE(ExecSync(qp0_, wr).ok());
+  auto pa1 = proc->page_table().Translate(*va + 4090);
+  EXPECT_EQ(std::memcmp(Mem1(*pa1, 6), buf, 6), 0);
+  auto pa2 = proc->page_table().Translate(*va + 4096);
+  EXPECT_EQ(std::memcmp(Mem1(*pa2, sizeof(buf) - 6), buf + 6, sizeof(buf) - 6), 0);
+}
+
+TEST_F(RnicTest, VirtualMrUnmappedRangeRejected) {
+  Process* proc = cluster_->node(1)->CreateProcess();
+  auto mr = r1_->RegisterMrVirtual(&proc->page_table(), 0xdead000, 4096, kMrAll);
+  EXPECT_FALSE(mr.ok());
+}
+
+TEST_F(RnicTest, MrCountTracksRegistrations) {
+  size_t before = r0_->MrCount();
+  auto mr = *r0_->RegisterMrPhysical(0, 4096, kMrAll);
+  EXPECT_EQ(r0_->MrCount(), before + 1);
+  ASSERT_TRUE(r0_->DeregisterMr(mr.lkey).ok());
+  EXPECT_EQ(r0_->MrCount(), before);
+}
+
+// ---- On-NIC SRAM cache behavior: the paper's scalability mechanism ----
+
+class RnicCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimParams p = SimParams::FastForTests();
+    p.mpt_cache_entries = 4;
+    p.mpt_miss_ns = 1000;
+    p.mtt_cache_pages = 8;
+    p.mtt_miss_ns = 500;
+    cluster_ = std::make_unique<Cluster>(2, p);
+    r0_ = &cluster_->node(0)->rnic();
+    r1_ = &cluster_->node(1)->rnic();
+  }
+  std::unique_ptr<Cluster> cluster_;
+  Rnic* r0_;
+  Rnic* r1_;
+};
+
+TEST_F(RnicCacheTest, MptThrashingWithManyMrs) {
+  // Register more MRs than the MPT cache holds and touch them round-robin:
+  // every access misses.
+  std::vector<MrEntry> mrs;
+  for (int i = 0; i < 8; ++i) {
+    mrs.push_back(*r1_->RegisterMrPhysical(static_cast<PhysAddr>(i) * 4096, 4096, kMrAll));
+  }
+  Cq* scq = r0_->CreateCq();
+  Qp* qp0 = r0_->CreateQp(QpType::kRc, scq, r0_->CreateCq());
+  Qp* qp1 = r1_->CreateQp(QpType::kRc, r1_->CreateCq(), r1_->CreateCq());
+  qp0->Connect(1, qp1->qpn());
+  qp1->Connect(0, qp0->qpn());
+
+  uint64_t misses_before = r1_->mpt_cache().misses();
+  char buf[8] = "z";
+  for (int round = 0; round < 4; ++round) {
+    for (auto& mr : mrs) {
+      WorkRequest wr;
+      wr.opcode = WrOpcode::kWrite;
+      wr.host_local = buf;
+      wr.length = 8;
+      wr.rkey = mr.lkey;
+      wr.remote_addr = mr.base;
+      wr.signaled = false;
+      ASSERT_TRUE(r0_->PostSend(qp0, wr).ok());
+    }
+  }
+  // 8 MRs round-robin through a 4-entry LRU: all 32 accesses miss.
+  EXPECT_GE(r1_->mpt_cache().misses() - misses_before, 32u);
+}
+
+TEST_F(RnicCacheTest, MptHitsWithFewMrs) {
+  auto mr = *r1_->RegisterMrPhysical(0, 4096, kMrAll);
+  Cq* scq = r0_->CreateCq();
+  Qp* qp0 = r0_->CreateQp(QpType::kRc, scq, r0_->CreateCq());
+  Qp* qp1 = r1_->CreateQp(QpType::kRc, r1_->CreateCq(), r1_->CreateCq());
+  qp0->Connect(1, qp1->qpn());
+  qp1->Connect(0, qp0->qpn());
+  char buf[8] = "z";
+  for (int i = 0; i < 16; ++i) {
+    WorkRequest wr;
+    wr.opcode = WrOpcode::kWrite;
+    wr.host_local = buf;
+    wr.length = 8;
+    wr.rkey = mr.lkey;
+    wr.remote_addr = 0;
+    wr.signaled = false;
+    ASSERT_TRUE(r0_->PostSend(qp0, wr).ok());
+  }
+  EXPECT_GE(r1_->mpt_cache().hits(), 15u);
+}
+
+TEST_F(RnicCacheTest, PhysicalMrBypassesMtt) {
+  // LITE's global MR: no page-table entries, so zero MTT traffic.
+  auto mr = *r1_->RegisterMrPhysical(0, 1 << 20, kMrAll);
+  Cq* scq = r0_->CreateCq();
+  Qp* qp0 = r0_->CreateQp(QpType::kRc, scq, r0_->CreateCq());
+  Qp* qp1 = r1_->CreateQp(QpType::kRc, r1_->CreateCq(), r1_->CreateCq());
+  qp0->Connect(1, qp1->qpn());
+  qp1->Connect(0, qp0->qpn());
+  uint64_t mtt_before = r1_->mtt_cache().misses() + r1_->mtt_cache().hits();
+  char buf[64];
+  for (int i = 0; i < 32; ++i) {
+    WorkRequest wr;
+    wr.opcode = WrOpcode::kWrite;
+    wr.host_local = buf;
+    wr.length = 64;
+    wr.rkey = mr.lkey;
+    wr.remote_addr = static_cast<uint64_t>(i) * 16384;
+    wr.signaled = false;
+    ASSERT_TRUE(r0_->PostSend(qp0, wr).ok());
+  }
+  EXPECT_EQ(r1_->mtt_cache().misses() + r1_->mtt_cache().hits(), mtt_before);
+}
+
+TEST_F(RnicCacheTest, VirtualMrThrashesMttWhenWorkingSetExceedsCache) {
+  Process* proc = cluster_->node(1)->CreateProcess();
+  auto va = proc->page_table().AllocVirt(64 * 4096);  // 64 pages >> 8 cached.
+  auto mr = r1_->RegisterMrVirtual(&proc->page_table(), *va, 64 * 4096, kMrAll);
+  ASSERT_TRUE(mr.ok());
+  Cq* scq = r0_->CreateCq();
+  Qp* qp0 = r0_->CreateQp(QpType::kRc, scq, r0_->CreateCq());
+  Qp* qp1 = r1_->CreateQp(QpType::kRc, r1_->CreateCq(), r1_->CreateCq());
+  qp0->Connect(1, qp1->qpn());
+  qp1->Connect(0, qp0->qpn());
+  uint64_t misses_before = r1_->mtt_cache().misses();
+  char buf[8];
+  for (int round = 0; round < 2; ++round) {
+    for (int page = 0; page < 64; ++page) {
+      WorkRequest wr;
+      wr.opcode = WrOpcode::kWrite;
+      wr.host_local = buf;
+      wr.length = 8;
+      wr.rkey = mr->lkey;
+      wr.remote_addr = *va + static_cast<uint64_t>(page) * 4096;
+      wr.signaled = false;
+      ASSERT_TRUE(r0_->PostSend(qp0, wr).ok());
+    }
+  }
+  EXPECT_GE(r1_->mtt_cache().misses() - misses_before, 128u);
+}
+
+// ---- Latency/timing semantics ----
+
+class RnicTimingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SimParams p;  // Full-cost defaults.
+    p.node_phys_mem_bytes = 8 << 20;
+    cluster_ = std::make_unique<Cluster>(2, p);
+    r0_ = &cluster_->node(0)->rnic();
+    r1_ = &cluster_->node(1)->rnic();
+    mr1_ = *r1_->RegisterMrPhysical(0, 1 << 20, kMrAll);
+    scq_ = r0_->CreateCq();
+    qp0_ = r0_->CreateQp(QpType::kRc, scq_, r0_->CreateCq());
+    Qp* qp1 = r1_->CreateQp(QpType::kRc, r1_->CreateCq(), r1_->CreateCq());
+    qp0_->Connect(1, qp1->qpn());
+    qp1->Connect(0, qp0_->qpn());
+  }
+  std::unique_ptr<Cluster> cluster_;
+  Rnic* r0_;
+  Rnic* r1_;
+  MrEntry mr1_;
+  Cq* scq_;
+  Qp* qp0_;
+};
+
+TEST_F(RnicTimingTest, SmallWriteLatencyInCalibratedBand) {
+  char buf[64];
+  uint64_t t0 = NowNs();
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kWrite;
+  wr.host_local = buf;
+  wr.length = 64;
+  wr.rkey = mr1_.lkey;
+  wr.remote_addr = 0;
+  wr.signaled = true;
+  wr.wr_id = 1;
+  ASSERT_TRUE(r0_->PostSend(qp0_, wr).ok());
+  auto c = scq_->WaitPoll(1'000'000'000, WaitMode::kBusyPoll);
+  ASSERT_TRUE(c.has_value());
+  uint64_t latency = NowNs() - t0;
+  // Paper Fig. 6: native 64 B RDMA write ~1-2 us.
+  EXPECT_GE(latency, 800u);
+  EXPECT_LE(latency, 3000u);
+}
+
+TEST_F(RnicTimingTest, LargerWritesTakeProportionallyLonger) {
+  auto measure = [&](uint32_t len) {
+    std::vector<char> buf(len);
+    uint64_t t0 = NowNs();
+    WorkRequest wr;
+    wr.opcode = WrOpcode::kWrite;
+    wr.host_local = buf.data();
+    wr.length = len;
+    wr.rkey = mr1_.lkey;
+    wr.remote_addr = 0;
+    wr.signaled = true;
+    wr.wr_id = len;
+    EXPECT_TRUE(r0_->PostSend(qp0_, wr).ok());
+    auto c = scq_->WaitPoll(1'000'000'000, WaitMode::kBusyPoll);
+    EXPECT_TRUE(c.has_value());
+    return NowNs() - t0;
+  };
+  uint64_t small = measure(64);
+  uint64_t large = measure(64 * 1024);
+  // 64 KB at ~4.6 B/ns adds >= ~13 us over the small write.
+  EXPECT_GT(large, small + 10000);
+}
+
+TEST_F(RnicTimingTest, ReadCostsMoreThanWriteForPayloadOnResponse) {
+  // A read's payload is carried on the response path; latency should still
+  // be in the same band as a write of equal size.
+  char buf[4096];
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kRead;
+  wr.host_local = buf;
+  wr.length = 4096;
+  wr.rkey = mr1_.lkey;
+  wr.remote_addr = 0;
+  wr.signaled = true;
+  wr.wr_id = 2;
+  uint64_t t0 = NowNs();
+  ASSERT_TRUE(r0_->PostSend(qp0_, wr).ok());
+  auto c = scq_->WaitPoll(1'000'000'000, WaitMode::kBusyPoll);
+  ASSERT_TRUE(c.has_value());
+  uint64_t latency = NowNs() - t0;
+  EXPECT_GE(latency, 1500u);
+  EXPECT_LE(latency, 6000u);
+}
+
+}  // namespace
+}  // namespace lt

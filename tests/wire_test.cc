@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "src/lite/wire.h"
+
+namespace lite {
+namespace {
+
+TEST(WireTest, PodRoundTrip) {
+  WireWriter w;
+  w.Put<uint32_t>(0xdeadbeef);
+  w.Put<uint64_t>(42);
+  w.Put<uint8_t>(7);
+  WireReader r(w.bytes().data(), w.bytes().size());
+  uint32_t a;
+  uint64_t b;
+  uint8_t c;
+  ASSERT_TRUE(r.Get(&a));
+  ASSERT_TRUE(r.Get(&b));
+  ASSERT_TRUE(r.Get(&c));
+  EXPECT_EQ(a, 0xdeadbeefu);
+  EXPECT_EQ(b, 42u);
+  EXPECT_EQ(c, 7u);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WireTest, StringRoundTrip) {
+  WireWriter w;
+  w.PutString("hello");
+  w.PutString("");
+  w.PutString(std::string(1000, 'x'));
+  WireReader r(w.bytes().data(), w.bytes().size());
+  std::string a, b, c;
+  ASSERT_TRUE(r.GetString(&a));
+  ASSERT_TRUE(r.GetString(&b));
+  ASSERT_TRUE(r.GetString(&c));
+  EXPECT_EQ(a, "hello");
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.size(), 1000u);
+}
+
+TEST(WireTest, BytesRoundTrip) {
+  WireWriter w;
+  uint8_t data[5] = {1, 2, 3, 4, 5};
+  w.PutBytes(data, sizeof(data));
+  WireReader r(w.bytes().data(), w.bytes().size());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(r.GetBytes(&out));
+  EXPECT_EQ(out, std::vector<uint8_t>({1, 2, 3, 4, 5}));
+}
+
+TEST(WireTest, ChunksRoundTrip) {
+  WireWriter w;
+  std::vector<LmrChunk> chunks = {{0, 4096, 8192}, {2, 12288, 4096}};
+  w.PutChunks(chunks);
+  WireReader r(w.bytes().data(), w.bytes().size());
+  std::vector<LmrChunk> out;
+  ASSERT_TRUE(r.GetChunks(&out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].node, 0u);
+  EXPECT_EQ(out[1].addr, 12288u);
+  EXPECT_EQ(out[1].size, 4096u);
+}
+
+TEST(WireTest, TruncatedReadsFailGracefully) {
+  WireWriter w;
+  w.Put<uint64_t>(1);
+  WireReader r(w.bytes().data(), 4);  // Cut in half.
+  uint64_t v;
+  EXPECT_FALSE(r.Get(&v));
+}
+
+TEST(WireTest, CorruptStringLengthFails) {
+  uint32_t bogus_len = 1 << 30;
+  WireReader r(&bogus_len, sizeof(bogus_len));
+  std::string s;
+  EXPECT_FALSE(r.GetString(&s));
+}
+
+TEST(WireTest, MixedSequence) {
+  WireWriter w;
+  w.PutString("name");
+  w.Put<NodeId>(3);
+  w.PutChunks({{1, 0, 4096}});
+  w.Put<uint32_t>(99);
+  WireReader r(w.bytes().data(), w.bytes().size());
+  std::string s;
+  NodeId n;
+  std::vector<LmrChunk> chunks;
+  uint32_t tail;
+  ASSERT_TRUE(r.GetString(&s));
+  ASSERT_TRUE(r.Get(&n));
+  ASSERT_TRUE(r.GetChunks(&chunks));
+  ASSERT_TRUE(r.Get(&tail));
+  EXPECT_EQ(tail, 99u);
+}
+
+// IMM codec (the 10/22-bit split of paper Sec. 5.1).
+TEST(ImmCodecTest, RoundTrip) {
+  uint32_t imm = EncodeImm(1023, 0x3ffffe);
+  EXPECT_EQ(ImmFunc(imm), 1023u);
+  EXPECT_EQ(ImmPayload(imm), 0x3ffffeu);
+  imm = EncodeImm(7, 0);
+  EXPECT_EQ(ImmFunc(imm), 7u);
+  EXPECT_EQ(ImmPayload(imm), 0u);
+}
+
+TEST(ImmCodecTest, PayloadMasked) {
+  uint32_t imm = EncodeImm(1, 0xffffffff);
+  EXPECT_EQ(ImmPayload(imm), kImmPayloadMask);
+  EXPECT_EQ(ImmFunc(imm), 1u);
+}
+
+}  // namespace
+}  // namespace lite
