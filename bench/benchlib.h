@@ -5,8 +5,12 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
+
+#include "src/common/histogram.h"
+#include "src/telemetry/metrics.h"
 
 namespace benchlib {
 
@@ -52,6 +56,99 @@ inline std::string HumanBytes(uint64_t bytes) {
   }
   return std::to_string(bytes) + "B";
 }
+
+// Prints one "# <label>: ..." stats comment from a consistent histogram
+// snapshot (Histogram::Snapshot takes the lock once; interleaving count() and
+// Percentile() against concurrent Add()s can disagree).
+inline void PrintLatencyStats(const std::string& label, const lt::Histogram& hist) {
+  lt::HistogramStats s = hist.Snapshot();
+  std::printf("# %s: n=%zu mean=%.3f p50=%.3f p99=%.3f min=%.3f max=%.3f\n", label.c_str(),
+              s.count, s.mean, s.Percentile(50), s.Percentile(99), s.min, s.max);
+}
+
+// --------------------------------------------------------------- telemetry
+//
+// Every fig bench can emit a machine-readable telemetry sidecar:
+//
+//   fig04_mr_count --telemetry out.json
+//
+// Schema:
+//   {"bench": "<name>",
+//    "points": [{"series": "...", "x": "...",
+//                "metrics": {...}, "histograms": {...}}, ...],
+//    "cluster": {...}}          <- optional full Cluster::DumpTelemetryJson()
+//
+// Each point embeds one lt::telemetry::MetricsSnapshot taken right after the
+// corresponding figure point was measured.
+class TelemetrySink {
+ public:
+  // Parses "--telemetry <path>" / "--telemetry=<path>" from argv. A sink with
+  // no path is disabled: Add* and WriteFile become no-ops.
+  static TelemetrySink FromArgs(int argc, char** argv, const std::string& bench) {
+    TelemetrySink sink;
+    sink.bench_ = bench;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
+        sink.path_ = argv[i + 1];
+      } else if (std::strncmp(argv[i], "--telemetry=", 12) == 0) {
+        sink.path_ = argv[i] + 12;
+      }
+    }
+    return sink;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  void AddSnapshot(const std::string& series, const std::string& x,
+                   const lt::telemetry::MetricsSnapshot& snap) {
+    if (!enabled()) {
+      return;
+    }
+    // snap.ToJson() is {"metrics":{...},"histograms":{...}}; splice the
+    // series/x labels into the same object.
+    std::string body = snap.ToJson();
+    points_.push_back("{\"series\":\"" + lt::telemetry::JsonEscape(series) + "\",\"x\":\"" +
+                      lt::telemetry::JsonEscape(x) + "\"," + body.substr(1));
+  }
+
+  // Attaches a full cluster dump (Cluster::DumpTelemetryJson()) to the sidecar.
+  void SetClusterDump(const std::string& cluster_json) {
+    if (enabled()) {
+      cluster_json_ = cluster_json;
+    }
+  }
+
+  // Writes the sidecar; returns false on I/O failure (and when disabled).
+  bool WriteFile() const {
+    if (!enabled()) {
+      return false;
+    }
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "telemetry: cannot open %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"points\":[", lt::telemetry::JsonEscape(bench_).c_str());
+    for (size_t i = 0; i < points_.size(); ++i) {
+      std::fprintf(f, "%s%s", i == 0 ? "" : ",", points_[i].c_str());
+    }
+    std::fprintf(f, "]");
+    if (!cluster_json_.empty()) {
+      std::fprintf(f, ",\"cluster\":%s", cluster_json_.c_str());
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("# telemetry sidecar: %s (%zu points)\n", path_.c_str(), points_.size());
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<std::string> points_;
+  std::string cluster_json_;
+};
 
 }  // namespace benchlib
 

@@ -46,11 +46,15 @@ double VerbsWriteUs(lt::Cluster* cluster, uint32_t size) {
 }
 
 double LiteWriteUs(lite::LiteCluster* cluster, lite::LiteClient* client, lite::Lh lh,
-                   uint32_t size) {
+                   uint32_t size, lt::Histogram* per_op_us = nullptr) {
   std::vector<uint8_t> buf(size, 0x11);
   uint64_t t0 = lt::NowNs();
   for (int i = 0; i < kReps; ++i) {
+    uint64_t op0 = lt::NowNs();
     (void)client->Write(lh, 0, buf.data(), size);
+    if (per_op_us != nullptr) {
+      per_op_us->Add(static_cast<double>(lt::NowNs() - op0) / 1000.0);
+    }
   }
   return static_cast<double>(lt::NowNs() - t0) / kReps / 1000.0;
 }
@@ -80,12 +84,16 @@ double TcpOneWayUs(lt::Cluster* cluster, uint32_t size) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchlib::TelemetrySink sink = benchlib::TelemetrySink::FromArgs(argc, argv, "fig06_latency");
   std::vector<uint32_t> sizes = {8, 64, 512, 4096, 32768};
   lt::SimParams p;
   p.node_phys_mem_bytes = 64ull << 20;
   lt::Cluster verbs_cluster(2, p);
   lite::LiteCluster lite_cluster(2, p);
+  if (sink.enabled()) {
+    lite_cluster.EnableTracing(/*sample_every=*/16);
+  }
 
   auto user = lite_cluster.CreateClient(0, /*kernel_level=*/false);
   auto kernel = lite_cluster.CreateClient(0, /*kernel_level=*/true);
@@ -98,14 +106,20 @@ int main() {
   benchlib::Series lite_kernel{"LITE_write_KL", {}};
   benchlib::Series verbs{"Verbs_write", {}};
   std::vector<std::string> xs;
+  lt::Histogram lite_64b_us;  // Per-op spread behind the 64B LITE_write mean.
   for (uint32_t size : sizes) {
     xs.push_back(benchlib::HumanBytes(size));
     tcp.values.push_back(TcpOneWayUs(&verbs_cluster, size));
-    lite_user.values.push_back(LiteWriteUs(&lite_cluster, user.get(), *lh, size));
+    lite_user.values.push_back(LiteWriteUs(&lite_cluster, user.get(), *lh, size,
+                                           size == 64 ? &lite_64b_us : nullptr));
     lite_kernel.values.push_back(LiteWriteUs(&lite_cluster, kernel.get(), *lh, size));
     verbs.values.push_back(VerbsWriteUs(&verbs_cluster, size));
+    sink.AddSnapshot("LITE_write", xs.back(), lite_cluster.instance(0)->StatSnapshot());
   }
   benchlib::PrintFigure("Fig 6: write latency vs size", "size", "latency (us)", xs,
                         {tcp, lite_user, lite_kernel, verbs});
+  benchlib::PrintLatencyStats("LITE_write 64B per-op (us)", lite_64b_us);
+  sink.SetClusterDump(lite_cluster.DumpTelemetryJson());
+  sink.WriteFile();
   return 0;
 }

@@ -43,4 +43,15 @@ class LogLine {
 #define LT_LOG_WARNING LT_LOG(kWarning)
 #define LT_LOG_ERROR LT_LOG(kError)
 
+// Verbose debug logging for hot paths. Unlike LT_LOG_DEBUG (whose level test
+// runs at runtime), LT_VLOG compiles out entirely under NDEBUG: the dead
+// `while (false)` swallows the streamed operands, so Release builds pay
+// nothing — not even argument evaluation.
+#ifdef NDEBUG
+#define LT_VLOG \
+  while (false) ::lt::LogLine(::lt::LogLevel::kDebug, __FILE__, __LINE__)
+#else
+#define LT_VLOG LT_LOG(kDebug)
+#endif
+
 #endif  // SRC_COMMON_LOGGING_H_

@@ -11,7 +11,15 @@ uint64_t FabricPort::Reserve(uint64_t earliest_ns, uint64_t bytes) {
   const double rate = fabric_->params().nic_line_rate_bytes_per_ns;
   const uint64_t ser_ns = static_cast<uint64_t>(static_cast<double>(bytes) / rate);
   bytes_.fetch_add(bytes, std::memory_order_relaxed);
-  return capacity_.Reserve(earliest_ns, ser_ns);
+  const uint64_t finish = capacity_.Reserve(earliest_ns, ser_ns);
+  reservations_.fetch_add(1, std::memory_order_relaxed);
+  // Anything beyond the uncontended finish time is queueing behind earlier
+  // reservations on this port.
+  const uint64_t uncontended = earliest_ns + ser_ns;
+  if (finish > uncontended) {
+    queue_delay_ns_.fetch_add(finish - uncontended, std::memory_order_relaxed);
+  }
+  return finish;
 }
 
 FabricPort* Fabric::Attach(NodeId node) {

@@ -42,12 +42,23 @@ class FabricPort {
   // done by the fabric; this counts reservations made on this port).
   uint64_t bytes_transferred() const { return bytes_.load(std::memory_order_relaxed); }
 
+  // Contention accounting: reservations made on this port, and the summed
+  // virtual time transfers spent queued behind earlier reservations (finish
+  // minus uncontended finish). queue_delay / reservations = mean per-transfer
+  // queueing delay — the observable form of Fig. 7's saturation.
+  uint64_t reservation_count() const { return reservations_.load(std::memory_order_relaxed); }
+  uint64_t queue_delay_total_ns() const {
+    return queue_delay_ns_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class Fabric;
   Fabric* const fabric_;
   const NodeId node_;
   RateWindow capacity_;  // Windowed so virtual-time backfill works.
   std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> reservations_{0};
+  std::atomic<uint64_t> queue_delay_ns_{0};
 };
 
 class Fabric {

@@ -40,11 +40,15 @@ Status LiteClient::Unmap(Lh lh) {
 }
 
 Status LiteClient::Read(Lh lh, uint64_t offset, void* buf, uint64_t len) {
+  // Begin the trace span before the boundary crossing so user-level spans
+  // show the syscall_cross stage; the instance-level span begin is then inert.
+  lt::telemetry::ScopedSpan span(&instance_->node()->telemetry().tracer(), "LT_read");
   EnterKernel();
   return instance_->Read(lh, offset, buf, len, priority_);
 }
 
 Status LiteClient::Write(Lh lh, uint64_t offset, const void* buf, uint64_t len) {
+  lt::telemetry::ScopedSpan span(&instance_->node()->telemetry().tracer(), "LT_write");
   EnterKernel();
   return instance_->Write(lh, offset, buf, len, priority_);
 }
@@ -71,6 +75,7 @@ Status LiteClient::RegisterRpc(RpcFuncId func) {
 
 Status LiteClient::Rpc(NodeId server, RpcFuncId func, const void* in, uint32_t in_len, void* out,
                        uint32_t out_max, uint32_t* out_len) {
+  lt::telemetry::ScopedSpan span(&instance_->node()->telemetry().tracer(), "LT_RPC");
   EnterKernel();
   return instance_->Rpc(server, func, in, in_len, out, out_max, out_len, priority_);
 }

@@ -65,6 +65,12 @@ class LiteClient {
   Status Unlock(const LockId& lock);
   Status Barrier(const std::string& name, uint32_t expected);
 
+  // ---- Introspection ----
+  // LT_stat: queries the node's telemetry registry (no boundary cost — the
+  // paper's statistics are exported through a shared read-only page).
+  int64_t Stat(const std::string& name) const { return instance_->Stat(name); }
+  lt::telemetry::MetricsSnapshot StatSnapshot() const { return instance_->StatSnapshot(); }
+
  private:
   // Charges the cost of entering the kernel for one LITE call.
   void EnterKernel();

@@ -64,6 +64,25 @@ LiteInstance::LiteInstance(lt::Node* node, NodeId manager_node)
   next_lh_.store((static_cast<uint64_t>(node_->id()) << 32) + 1);
 
   RegisterInternalHandlers();
+  RegisterTelemetry();
+}
+
+void LiteInstance::RegisterTelemetry() {
+  lt::telemetry::Registry& reg = node_->telemetry().registry();
+  rpc_requests_ = reg.GetCounter("lite.rpc.requests");
+  rpc_replies_ = reg.GetCounter("lite.rpc.replies");
+  poll_wakeups_ = reg.GetCounter("lite.poll.wakeups");
+  poll_idle_wakeups_ = reg.GetCounter("lite.poll.idle_wakeups");
+  poll_batch_hist_ = reg.GetHistogram("lite.rpc.poll_batch");
+  // Probes read this instance's existing counters at snapshot time only.
+  reg.RegisterProbe("lite.rpc.ring_bytes", [this] { return rpc_ring_bytes_in_use(); });
+  reg.RegisterProbe("lite.poll.cpu_ns", [this] { return poll_cpu_.TotalCpuNs(); });
+  reg.RegisterProbe("lite.lh_count", [this] { return static_cast<uint64_t>(lh_count()); });
+  reg.RegisterProbe("lite.qp_pool", [this] { return static_cast<uint64_t>(qp_pool_size()); });
+  reg.RegisterProbe("lite.qos.admits", [this] { return qos_.admit_count(); });
+  reg.RegisterProbe("lite.qos.throttled", [this] { return qos_.throttle_count(); });
+  reg.RegisterProbe("lite.qos.throttle_delay_ns",
+                    [this] { return qos_.low_pri_delay_total_ns(); });
 }
 
 LiteInstance::~LiteInstance() { Stop(); }
@@ -226,6 +245,7 @@ Status LiteInstance::OneSidedWrite(NodeId dst, PhysAddr dst_addr, const void* sr
   if (!c.has_value()) {
     return Status::Timeout("one-sided write completion timeout");
   }
+  lt::telemetry::StampStage(lt::telemetry::TraceStage::kCompletion, c->ready_at_ns);
   if (pri == Priority::kHigh && c->status.ok()) {
     qos_.RecordHighPriRtt(NowNs() - start);
   }
@@ -299,6 +319,7 @@ Status LiteInstance::OneSidedRead(NodeId src_node, PhysAddr src_addr, void* dst,
   if (!c.has_value()) {
     return Status::Timeout("one-sided read completion timeout");
   }
+  lt::telemetry::StampStage(lt::telemetry::TraceStage::kCompletion, c->ready_at_ns);
   if (pri == Priority::kHigh && c->status.ok()) {
     qos_.RecordHighPriRtt(NowNs() - start);
   }

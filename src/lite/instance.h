@@ -218,6 +218,17 @@ class LiteInstance {
   size_t lh_count() const;
   uint64_t rpc_ring_bytes_in_use() const;
 
+  // LT_stat (paper's kernel-visibility story made queryable): one named
+  // metric, or the whole per-node snapshot. Covers hardware probes (RNIC
+  // caches, fabric port, OS crossings) and the lite.* metrics this instance
+  // registers.
+  int64_t Stat(const std::string& name) const {
+    return StatSnapshot().ValueOr(name);
+  }
+  lt::telemetry::MetricsSnapshot StatSnapshot() const {
+    return node_->telemetry().registry().Snapshot();
+  }
+
  private:
   friend class LiteClient;
 
@@ -359,6 +370,10 @@ class LiteInstance {
   // Name service (lives at manager_node_).
   StatusOr<NodeId> LookupMasterNode(const std::string& name);
 
+  // Registers this instance's lite.* metrics and probes with the node's
+  // telemetry registry (constructor-time; pointers cached for the hot path).
+  void RegisterTelemetry();
+
   // ---------------- data ----------------
   lt::Node* const node_;
   const NodeId manager_node_;
@@ -434,6 +449,14 @@ class LiteInstance {
   std::vector<std::thread> threads_;
   std::atomic<bool> stopping_{false};
   lt::CpuMeter poll_cpu_;
+
+  // Telemetry instruments (owned by the node's registry; cached pointers so
+  // the hot path never does a name lookup).
+  lt::telemetry::Counter* rpc_requests_ = nullptr;
+  lt::telemetry::Counter* rpc_replies_ = nullptr;
+  lt::telemetry::Counter* poll_wakeups_ = nullptr;
+  lt::telemetry::Counter* poll_idle_wakeups_ = nullptr;
+  lt::telemetry::FixedHistogram* poll_batch_hist_ = nullptr;
 };
 
 }  // namespace lite

@@ -28,6 +28,13 @@ class LiteCluster {
   // Creates an application client on `node` (user-level by default).
   std::unique_ptr<LiteClient> CreateClient(NodeId node, bool kernel_level = false);
 
+  // ---- Telemetry ----
+  // Enables request-path tracing on every node (sample_every = 0 turns it
+  // back off; 1 traces every op).
+  void EnableTracing(uint32_t sample_every) { cluster_.SetTraceSampling(sample_every); }
+  // Cluster-wide metrics + trace spans as JSON (LT_stat's cluster view).
+  std::string DumpTelemetryJson() { return cluster_.DumpTelemetryJson(); }
+
  private:
   lt::Cluster cluster_;
   std::vector<std::unique_ptr<LiteInstance>> instances_;

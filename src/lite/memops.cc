@@ -267,12 +267,15 @@ Status LiteInstance::Read(Lh lh, uint64_t offset, void* buf, uint64_t len, Prior
   if (len == 0) {
     return Status::Ok();
   }
+  // No-op when a LiteClient span is already active or sampling is off.
+  lt::telemetry::ScopedSpan span(&node_->telemetry().tracer(), "LT_read");
   SpinFor(params().lite_map_check_ns);
   auto entry = GetLh(lh);
   if (!entry.ok()) {
     return entry.status();
   }
   LT_RETURN_IF_ERROR(CheckAccess(*entry, offset, len, kPermRead));
+  lt::telemetry::StampStage(lt::telemetry::TraceStage::kLhCheck, len);
   for (const ChunkPiece& piece : SliceChunks(entry->chunks, offset, len)) {
     LT_RETURN_IF_ERROR(OneSidedRead(piece.node, piece.addr,
                                     static_cast<uint8_t*>(buf) + piece.user_off, piece.len, pri));
@@ -284,12 +287,14 @@ Status LiteInstance::Write(Lh lh, uint64_t offset, const void* buf, uint64_t len
   if (len == 0) {
     return Status::Ok();
   }
+  lt::telemetry::ScopedSpan span(&node_->telemetry().tracer(), "LT_write");
   SpinFor(params().lite_map_check_ns);
   auto entry = GetLh(lh);
   if (!entry.ok()) {
     return entry.status();
   }
   LT_RETURN_IF_ERROR(CheckAccess(*entry, offset, len, kPermWrite));
+  lt::telemetry::StampStage(lt::telemetry::TraceStage::kLhCheck, len);
   for (const ChunkPiece& piece : SliceChunks(entry->chunks, offset, len)) {
     LT_RETURN_IF_ERROR(OneSidedWrite(piece.node, piece.addr,
                                      static_cast<const uint8_t*>(buf) + piece.user_off, piece.len,

@@ -3,14 +3,24 @@
 #include <algorithm>
 
 #include "src/common/timing.h"
+#include "src/telemetry/trace.h"
 
 namespace lite {
 
 void QosManager::Admit(Priority pri, uint64_t bytes) {
+  admits_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t delay_ns = AdmitInner(pri, bytes);
+  if (delay_ns > 0) {
+    throttles_.fetch_add(1, std::memory_order_relaxed);
+  }
+  lt::telemetry::StampStage(lt::telemetry::TraceStage::kQosAdmit, delay_ns);
+}
+
+uint64_t QosManager::AdmitInner(Priority pri, uint64_t bytes) {
   const uint64_t now = lt::NowNs();
   if (pri == Priority::kHigh) {
     AccountHighBytes(bytes, now);
-    return;
+    return 0;
   }
   if (policy() == QosPolicy::kHwSep) {
     // Hardware separation: the NIC schedules QPs round-robin, so traffic
@@ -22,13 +32,15 @@ void QosManager::Admit(Priority pri, uint64_t bytes) {
     const uint64_t ser_ns = static_cast<uint64_t>(static_cast<double>(bytes) / share);
     uint64_t finish = low_rate_.Reserve(now, ser_ns);
     if (finish > now + ser_ns) {
-      lt::IdleFor(finish - (now + ser_ns));
-      low_delay_total_ns_.fetch_add(finish - (now + ser_ns), std::memory_order_relaxed);
+      const uint64_t delay = finish - (now + ser_ns);
+      lt::IdleFor(delay);
+      low_delay_total_ns_.fetch_add(delay, std::memory_order_relaxed);
+      return delay;
     }
-    return;
+    return 0;
   }
   if (policy() != QosPolicy::kSwPri) {
-    return;
+    return 0;
   }
 
   // Paper's three sender-side policies: rate-limit low-priority traffic when
@@ -38,7 +50,7 @@ void QosManager::Admit(Priority pri, uint64_t bytes) {
   // RTT sample must not keep throttling after the high-priority job leaves.
   uint64_t window_start = window_start_ns_.load(std::memory_order_relaxed);
   if (now >= window_start + 2 * kWindowNs) {
-    return;
+    return 0;
   }
   bool limit = HighPriActive(now);
   uint64_t floor = rtt_floor_ns_.load(std::memory_order_relaxed);
@@ -54,7 +66,7 @@ void QosManager::Admit(Priority pri, uint64_t bytes) {
     limit = true;
   }
   if (!limit) {
-    return;
+    return 0;
   }
 
   // Windowed rate reservation in virtual time at the restricted rate.
@@ -62,9 +74,12 @@ void QosManager::Admit(Priority pri, uint64_t bytes) {
       static_cast<uint64_t>(static_cast<double>(bytes) / kLowPriRestrictedRate);
   uint64_t finish = low_rate_.Reserve(now, ser_ns);
   if (finish > now + ser_ns) {
-    lt::IdleFor(finish - (now + ser_ns));
-    low_delay_total_ns_.fetch_add(finish - (now + ser_ns), std::memory_order_relaxed);
+    const uint64_t delay = finish - (now + ser_ns);
+    lt::IdleFor(delay);
+    low_delay_total_ns_.fetch_add(delay, std::memory_order_relaxed);
+    return delay;
   }
+  return 0;
 }
 
 void QosManager::RecordHighPriRtt(uint64_t rtt_ns) {

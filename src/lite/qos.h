@@ -43,8 +43,14 @@ class QosManager {
   uint64_t low_pri_delay_total_ns() const {
     return low_delay_total_ns_.load(std::memory_order_relaxed);
   }
+  uint64_t admit_count() const { return admits_.load(std::memory_order_relaxed); }
+  uint64_t throttle_count() const { return throttles_.load(std::memory_order_relaxed); }
 
  private:
+  // Policy body of Admit; returns the virtual-time throttle delay charged
+  // (0 when the op was admitted unthrottled).
+  uint64_t AdmitInner(Priority pri, uint64_t bytes);
+
   // Rolling high-priority load in bytes within the current window.
   void AccountHighBytes(uint64_t bytes, uint64_t now);
   bool HighPriActive(uint64_t now) const;
@@ -66,6 +72,8 @@ class QosManager {
   lt::RateWindow low_rate_;  // Low-priority rate limiter (windowed).
   std::atomic<uint64_t> limited_until_ns_{0};
   std::atomic<uint64_t> low_delay_total_ns_{0};
+  std::atomic<uint64_t> admits_{0};
+  std::atomic<uint64_t> throttles_{0};
 };
 
 }  // namespace lite

@@ -256,6 +256,7 @@ Status LiteInstance::RpcWait(uint32_t slot, void* out, uint32_t out_max, uint32_
   // The LITE library's adaptive wait: busy-check the shared state briefly,
   // then sleep (paper Sec. 5.2).
   SyncAdaptiveWithWakeup(ready_vtime, params());
+  lt::telemetry::StampStage(lt::telemetry::TraceStage::kCompletion, ready_vtime);
 
   uint32_t copy_len = std::min(len, out_max);
   if (copy_len > 0 && out != nullptr) {
@@ -273,6 +274,7 @@ Status LiteInstance::RpcWait(uint32_t slot, void* out, uint32_t out_max, uint32_
 
 Status LiteInstance::Rpc(NodeId server_node, RpcFuncId func, const void* in, uint32_t in_len,
                          void* out, uint32_t out_max, uint32_t* out_len, Priority pri) {
+  lt::telemetry::ScopedSpan span(&node_->telemetry().tracer(), "LT_RPC");
   auto slot = RpcSend(server_node, func, in, in_len, out_max, pri);
   if (!slot.ok()) {
     return slot.status();
@@ -440,7 +442,14 @@ void LiteInstance::PollLoop() {
     if (stopping_.load()) {
       break;
     }
+    poll_wakeups_->Inc();
+    if (!c.has_value()) {
+      poll_idle_wakeups_->Inc();
+    }
     if (c.has_value() && c->opcode == WcOpcode::kRecvImm && c->has_imm) {
+      // Batch size at this wake: the completion in hand plus whatever else is
+      // already queued behind it (paper Sec. 5.1's shared-poller batching).
+      poll_batch_hist_->Record(1 + recv_cq_->Depth());
       timeline.BeginService(c->ready_at_ns, params().lite_rpc_dispatch_ns,
                             params().lite_adaptive_spin_ns, params().thread_wakeup_ns);
       if (ImmFunc(c->imm) == kReplyFuncId) {
@@ -459,6 +468,7 @@ void LiteInstance::HandleReplyImm(uint32_t imm, uint32_t byte_len, uint64_t vtim
     LT_LOG_WARNING << "node " << node_id() << ": reply IMM names bad slot " << slot;
     return;
   }
+  rpc_replies_->Inc();
   ReplySlot& s = *reply_slots_[slot];
   bool was_zombie = false;
   {
@@ -495,6 +505,8 @@ void LiteInstance::HandleRequestImm(NodeId src, uint32_t imm, uint64_t vtime) {
                    << " func=" << func << ")";
     return;
   }
+  rpc_requests_->Inc();
+  LT_VLOG << "node " << node_id() << ": RPC request from " << src << " func " << func;
 
   SpinFor(params().lite_rpc_dispatch_ns);
 

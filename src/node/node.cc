@@ -1,5 +1,7 @@
 #include "src/node/node.h"
 
+#include <sstream>
+
 namespace lt {
 
 Process::Process(Node* node)
@@ -14,7 +16,42 @@ Node::Node(NodeId id, const SimParams& params, Fabric* fabric, RnicDirectory* di
       os_(params),
       port_(fabric->Attach(id)),
       rnic_(id, params_, &mem_, port_, directory),
-      tcp_(id, params_, fabric) {}
+      tcp_(id, params_, fabric) {
+  RegisterHardwareProbes();
+}
+
+void Node::RegisterHardwareProbes() {
+  // Probes read existing per-component atomics only at snapshot time, so
+  // instrumenting the hardware layers costs the hot path nothing.
+  telemetry::Registry& reg = telemetry_.registry();
+  struct CacheProbe {
+    const char* prefix;
+    const LruCache* cache;
+  };
+  const CacheProbe caches[] = {
+      {"rnic.mpt", &rnic_.mpt_cache()},
+      {"rnic.mtt", &rnic_.mtt_cache()},
+      {"rnic.qpc", &rnic_.qpc_cache()},
+  };
+  for (const CacheProbe& c : caches) {
+    const LruCache* cache = c.cache;
+    const std::string prefix = c.prefix;
+    reg.RegisterProbe(prefix + ".hits", [cache] { return cache->hits(); });
+    reg.RegisterProbe(prefix + ".misses", [cache] { return cache->misses(); });
+    reg.RegisterProbe(prefix + ".evictions", [cache] { return cache->evictions(); });
+    reg.RegisterProbe(prefix + ".entries",
+                      [cache] { return static_cast<uint64_t>(cache->size()); });
+  }
+  reg.RegisterProbe("rnic.ops_posted", [this] { return rnic_.ops_posted(); });
+  reg.RegisterProbe("rnic.mr_count", [this] { return static_cast<uint64_t>(rnic_.MrCount()); });
+  reg.RegisterProbe("rnic.qp_count", [this] { return static_cast<uint64_t>(rnic_.QpCount()); });
+  reg.RegisterProbe("fabric.port.bytes", [this] { return port_->bytes_transferred(); });
+  reg.RegisterProbe("fabric.port.reservations", [this] { return port_->reservation_count(); });
+  reg.RegisterProbe("fabric.port.queue_delay_ns",
+                    [this] { return port_->queue_delay_total_ns(); });
+  reg.RegisterProbe("os.syscalls", [this] { return os_.syscall_count(); });
+  reg.RegisterProbe("os.crossings", [this] { return os_.crossing_count(); });
+}
 
 Process* Node::CreateProcess() {
   std::lock_guard<std::mutex> lock(process_mu_);
@@ -28,6 +65,22 @@ Cluster::Cluster(size_t node_count, const SimParams& params) : params_(params), 
     nodes_.push_back(
         std::make_unique<Node>(static_cast<NodeId>(i), params_, &fabric_, &directory_));
   }
+}
+
+void Cluster::SetTraceSampling(uint32_t sample_every) {
+  for (auto& node : nodes_) {
+    node->telemetry().tracer().SetSampleEvery(sample_every);
+  }
+}
+
+std::string Cluster::DumpTelemetryJson() const {
+  std::ostringstream os;
+  os << "{\"nodes\":[";
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    os << (i == 0 ? "" : ",") << nodes_[i]->telemetry().ToJson();
+  }
+  os << "]}";
+  return os.str();
 }
 
 }  // namespace lt

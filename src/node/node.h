@@ -16,6 +16,7 @@
 #include "src/rnic/rnic.h"
 #include "src/sim/params.h"
 #include "src/tcpip/tcp_stack.h"
+#include "src/telemetry/telemetry.h"
 #include "src/verbs/verbs.h"
 
 namespace lt {
@@ -51,10 +52,18 @@ class Node {
   TcpStack& tcp() { return tcp_; }
   FabricPort* port() const { return port_; }
 
+  // This node's metrics registry + tracer. Hardware-layer stats (RNIC
+  // caches, fabric port, OS crossings) are registered as snapshot-time
+  // probes in the constructor; higher layers (LITE) add their own.
+  telemetry::NodeTelemetry& telemetry() { return telemetry_; }
+  const telemetry::NodeTelemetry& telemetry() const { return telemetry_; }
+
   // Creates a new simulated process on this node (owned by the node).
   Process* CreateProcess();
 
  private:
+  void RegisterHardwareProbes();
+
   const NodeId id_;
   const SimParams& params_;
   PhysMem mem_;
@@ -62,6 +71,7 @@ class Node {
   FabricPort* const port_;
   Rnic rnic_;
   TcpStack tcp_;
+  telemetry::NodeTelemetry telemetry_;
 
   std::mutex process_mu_;
   std::vector<std::unique_ptr<Process>> processes_;
@@ -76,6 +86,14 @@ class Cluster {
   Fabric& fabric() { return fabric_; }
   RnicDirectory& directory() { return directory_; }
   const SimParams& params() const { return params_; }
+
+  // Turns request-path tracing on (sample every n-th op) or off (n = 0) on
+  // every node's tracer.
+  void SetTraceSampling(uint32_t sample_every);
+
+  // Cluster-wide telemetry: `{"nodes":[{...node 0...}, ...]}`, each node
+  // being its NodeTelemetry::ToJson() (metrics + histograms + trace spans).
+  std::string DumpTelemetryJson() const;
 
  private:
   const SimParams params_;

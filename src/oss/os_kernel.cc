@@ -1,17 +1,20 @@
 #include "src/oss/os_kernel.h"
 
 #include "src/common/timing.h"
+#include "src/telemetry/trace.h"
 
 namespace lt {
 
 void OsKernel::Syscall() {
   syscalls_.fetch_add(1, std::memory_order_relaxed);
   SpinFor(params_.syscall_overhead_ns + 2 * params_.user_kernel_cross_ns);
+  telemetry::StampStage(telemetry::TraceStage::kSyscallCross);
 }
 
 void OsKernel::CrossUserKernel() {
   crossings_.fetch_add(1, std::memory_order_relaxed);
   SpinFor(params_.user_kernel_cross_ns);
+  telemetry::StampStage(telemetry::TraceStage::kSyscallCross);
 }
 
 void OsKernel::PinPages(uint64_t pages) { SpinFor(pages * params_.pin_page_ns); }

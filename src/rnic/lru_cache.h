@@ -33,6 +33,7 @@ class LruCache {
     if (order_.size() >= capacity_) {
       index_.erase(order_.back());
       order_.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
     }
     order_.push_front(key);
     index_[key] = order_.begin();
@@ -52,6 +53,7 @@ class LruCache {
   size_t capacity() const { return capacity_; }
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
 
   size_t size() const {
     std::lock_guard<SpinLock> lock(mu_);
@@ -65,6 +67,7 @@ class LruCache {
   std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace lt

@@ -6,6 +6,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/timing.h"
+#include "src/telemetry/trace.h"
 
 namespace lt {
 namespace {
@@ -377,6 +378,7 @@ Status Rnic::PostSend(Qp* qp, const WorkRequest& wr) {
   ops_posted_.fetch_add(1, std::memory_order_relaxed);
   // Doorbell + WQE build: synchronous host cost.
   SpinFor(params_.rnic_post_ns);
+  telemetry::StampStage(telemetry::TraceStage::kRnicPost);
 
   NodeId dst_node;
   uint32_t dst_qpn = 0;
@@ -442,6 +444,12 @@ Status Rnic::ExecuteOneSided(Qp* qp, const WorkRequest& wr, Rnic* remote) {
     return Status::Ok();
   }
 
+  // All on-NIC SRAM lookups (QPC + local and remote MPT/MTT) are resolved at
+  // this point; arg carries the total miss-penalty ns they contributed.
+  telemetry::StampStage(
+      telemetry::TraceStage::kNicCache,
+      qpc_penalty + local->cache_penalty_ns + remote_res->cache_penalty_ns);
+
   // Engine occupancy at both NICs (processing + SRAM miss stalls).
   uint64_t local_done =
       ReserveEngine(now, params_.rnic_process_ns + qpc_penalty + local->cache_penalty_ns);
@@ -456,6 +464,7 @@ Status Rnic::ExecuteOneSided(Qp* qp, const WorkRequest& wr, Rnic* remote) {
     PushSendCompletion(qp, wr, Status::Unavailable("message dropped"), now + kRnrTimeoutNs / 64);
     return Status::Ok();
   }
+  telemetry::StampStage(telemetry::TraceStage::kFabric, request_arrive);
   uint64_t remote_done = remote->ReserveEngine(
       request_arrive, params_.rnic_process_ns + remote_res->cache_penalty_ns);
 
@@ -467,6 +476,7 @@ Status Rnic::ExecuteOneSided(Qp* qp, const WorkRequest& wr, Rnic* remote) {
       CopyResolved(*local, *remote_res, wr.length);
     }
   }
+  telemetry::StampStage(telemetry::TraceStage::kDma, wr.length);
 
   // Writes complete with a piggybacked RC ACK (no payload bandwidth); reads
   // carry the data on the response path, which reserves remote->local fabric

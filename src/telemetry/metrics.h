@@ -1,0 +1,144 @@
+// Cluster-wide metrics registry (paper Sec. 3, 7: the kernel's global
+// visibility into shared RDMA resources — QPs, MR caches, rings — is what
+// enables LITE's sharing and QoS policies; this layer makes that visibility
+// a first-class, queryable artifact).
+//
+// Design rules:
+//   * Hot-path instruments (Counter::Inc, Gauge::Add, FixedHistogram::Record)
+//     are single relaxed atomic RMWs — no mutex per increment, ever.
+//   * Registration/lookup by name takes a mutex but happens once per metric
+//     (components cache the returned pointer); pointers stay valid for the
+//     registry's lifetime (node-stable storage).
+//   * Probes are zero-hot-path-cost metrics: a callback reading an existing
+//     counter (LRU hit counts, port byte counts, CPU meters) evaluated only
+//     at snapshot time.
+//   * Snapshot() returns a self-consistent copy; JSON export is built on it.
+#ifndef SRC_TELEMETRY_METRICS_H_
+#define SRC_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lt {
+namespace telemetry {
+
+// Monotonic counter.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Instantaneous signed level (occupancy, bytes in flight).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Snapshot of a FixedHistogram: immutable copy safe to read/percentile.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  // bucket[i] counts samples v with bit_width(v) == i, i.e. v in
+  // [2^(i-1), 2^i) for i >= 1 and v == 0 for i == 0.
+  std::vector<uint64_t> buckets;
+
+  double Mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  // Upper-bound estimate of the p-th percentile (p in [0, 100]).
+  uint64_t Percentile(double p) const;
+};
+
+// Fixed-bucket (power-of-two) latency/size histogram. Record() is three
+// relaxed atomic adds; bucket boundaries never move, so concurrent Record and
+// Snapshot are both safe and cheap.
+class FixedHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(uint64_t v) {
+    int b = 0;
+    while ((v >> b) != 0 && b < kBuckets - 1) {
+      ++b;
+    }
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// One node's metric snapshot: scalar metrics (counters, gauges, probes) plus
+// histogram snapshots, keyed by registered name.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> values;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  // Convenience: value of `name`, or `fallback` if absent.
+  int64_t ValueOr(const std::string& name, int64_t fallback = 0) const {
+    auto it = values.find(name);
+    return it == values.end() ? fallback : it->second;
+  }
+  std::string ToJson() const;
+};
+
+// Per-node metric registry. Get* registers on first use and returns a stable
+// pointer; callers keep the pointer and never look the name up again.
+class Registry {
+ public:
+  using Probe = std::function<uint64_t()>;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  FixedHistogram* GetHistogram(const std::string& name);
+
+  // Registers a read-on-snapshot metric backed by an existing source (LRU
+  // cache counters, port byte counts, CPU meters). Replaces any previous
+  // probe under the same name.
+  void RegisterProbe(const std::string& name, Probe probe);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  // std::deque gives node-stable element addresses under growth.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<FixedHistogram> histograms_;
+  std::map<std::string, Counter*> counter_index_;
+  std::map<std::string, Gauge*> gauge_index_;
+  std::map<std::string, FixedHistogram*> histogram_index_;
+  std::map<std::string, Probe> probes_;
+};
+
+// Minimal JSON string escaping for metric names / trace labels.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace telemetry
+}  // namespace lt
+
+#endif  // SRC_TELEMETRY_METRICS_H_

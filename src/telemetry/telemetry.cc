@@ -1,0 +1,24 @@
+#include "src/telemetry/telemetry.h"
+
+#include <sstream>
+
+namespace lt {
+namespace telemetry {
+
+std::string NodeTelemetry::ToJson() const {
+  std::ostringstream os;
+  MetricsSnapshot snap = registry_.Snapshot();
+  // Strip the outer braces of the metrics object so spans join it flat.
+  std::string metrics_json = snap.ToJson();
+  os << metrics_json.substr(0, metrics_json.size() - 1);
+  os << ",\"spans\":[";
+  auto spans = tracer_.Snapshot();
+  for (size_t i = 0; i < spans.size(); ++i) {
+    os << (i == 0 ? "" : ",") << spans[i].ToJson();
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace telemetry
+}  // namespace lt

@@ -1,0 +1,34 @@
+// Per-node telemetry bundle: one metrics registry + one tracer, owned by
+// lt::Node and shared by every component modeled on that node (OS, RNIC,
+// fabric port, LITE instance). Snapshot/ToJson are the backing store for
+// LiteClient::Stat ("LT_stat") and Cluster::DumpTelemetryJson.
+#ifndef SRC_TELEMETRY_TELEMETRY_H_
+#define SRC_TELEMETRY_TELEMETRY_H_
+
+#include <string>
+
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
+
+namespace lt {
+namespace telemetry {
+
+class NodeTelemetry {
+ public:
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  // Metrics + committed trace spans as one JSON object.
+  std::string ToJson() const;
+
+ private:
+  Registry registry_;
+  Tracer tracer_;
+};
+
+}  // namespace telemetry
+}  // namespace lt
+
+#endif  // SRC_TELEMETRY_TELEMETRY_H_

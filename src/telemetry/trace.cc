@@ -1,0 +1,136 @@
+#include "src/telemetry/trace.h"
+
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/common/timing.h"
+#include "src/telemetry/metrics.h"
+
+namespace lt {
+namespace telemetry {
+
+namespace {
+
+// The thread's active span. A raw pointer into the owning ScopedSpan's stack
+// frame; cleared before that frame unwinds.
+thread_local TraceSpan* g_current_span = nullptr;
+
+// Depth of ScopedSpans on this thread's stack, counting ones that declined to
+// sample. Only the outermost (depth 0 -> 1) consults the sampler.
+thread_local int g_span_depth = 0;
+
+std::atomic<uint64_t> g_next_op_id{1};
+
+}  // namespace
+
+const char* TraceStageName(TraceStage stage) {
+  switch (stage) {
+    case TraceStage::kApiEntry:
+      return "api_entry";
+    case TraceStage::kSyscallCross:
+      return "syscall_cross";
+    case TraceStage::kLhCheck:
+      return "lh_check";
+    case TraceStage::kQosAdmit:
+      return "qos_admit";
+    case TraceStage::kRnicPost:
+      return "rnic_post";
+    case TraceStage::kNicCache:
+      return "nic_cache";
+    case TraceStage::kFabric:
+      return "fabric";
+    case TraceStage::kDma:
+      return "dma";
+    case TraceStage::kCompletion:
+      return "completion";
+    case TraceStage::kStageCount:
+      break;
+  }
+  return "unknown";
+}
+
+void TraceSpan::Stamp(TraceStage stage, uint64_t arg) {
+  if (n_events >= kMaxEvents) {
+    return;
+  }
+  events[n_events].stage = stage;
+  events[n_events].t_ns = NowNs();
+  events[n_events].arg = arg;
+  ++n_events;
+}
+
+std::string TraceSpan::ToJson() const {
+  std::ostringstream os;
+  os << "{\"op_id\":" << op_id << ",\"op\":\"" << JsonEscape(op) << "\",\"events\":[";
+  for (int i = 0; i < n_events; ++i) {
+    os << (i == 0 ? "" : ",") << "{\"stage\":\"" << TraceStageName(events[i].stage)
+       << "\",\"t_ns\":" << events[i].t_ns << ",\"arg\":" << events[i].arg << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+TraceSpan* CurrentSpan() { return g_current_span; }
+
+void Tracer::Commit(const TraceSpan& span) {
+  LT_VLOG << "span " << span.op_id << " (" << span.op << "): " << span.n_events << " stages";
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  if (ring_.size() < kRingCapacity) {
+    ring_.push_back(span);
+  } else {
+    ring_[ring_next_ % kRingCapacity] = span;
+  }
+  ++ring_next_;
+  committed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<TraceSpan> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  if (ring_.size() < kRingCapacity) {
+    return ring_;
+  }
+  // Full ring: ring_next_ points at the oldest slot.
+  std::vector<TraceSpan> out;
+  out.reserve(kRingCapacity);
+  for (size_t i = 0; i < kRingCapacity; ++i) {
+    out.push_back(ring_[(ring_next_ + i) % kRingCapacity]);
+  }
+  return out;
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, const char* op) {
+  // Nested spans are inert: the outermost layer that began a span owns the
+  // op (sampled or not), and inner layers just stamp through CurrentSpan().
+  // The depth guard keeps inner layers from re-rolling the sampler when the
+  // outer layer declined — with two rolls per op, a 1-in-even stride
+  // parity-locks onto the inner layer and the outer stages vanish from
+  // every sampled span.
+  if (tracer == nullptr || g_span_depth > 0) {
+    return;
+  }
+  g_span_depth = 1;
+  claimed_ = true;
+  if (!tracer->Sample()) {
+    return;
+  }
+  tracer_ = tracer;
+  active_ = true;
+  span_.op_id = g_next_op_id.fetch_add(1, std::memory_order_relaxed);
+  span_.op = op;
+  g_current_span = &span_;
+  span_.Stamp(TraceStage::kApiEntry);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (claimed_) {
+    g_span_depth = 0;
+  }
+  if (!active_) {
+    return;
+  }
+  g_current_span = nullptr;
+  tracer_->Commit(span_);
+}
+
+}  // namespace telemetry
+}  // namespace lt

@@ -1,0 +1,144 @@
+// Request-path tracing for the LITE fast path.
+//
+// A sampled operation carries a TraceSpan (stack-allocated by the outermost
+// API layer) through every layer it crosses; each layer stamps a stage with
+// the thread's *virtual* clock, so a span is a per-op timeline of where the
+// modeled microseconds went: client API entry -> user/kernel crossing ->
+// lh/permission check -> QoS admission -> RNIC WQE post -> on-NIC SRAM
+// lookup (hit-or-miss penalty in arg) -> fabric reservation -> DMA copy ->
+// completion.
+//
+// The span is carried via a thread-local pointer rather than threaded
+// through every signature: lower layers (RNIC, OS, QoS) stamp into
+// CurrentSpan() if one is active. With sampling disabled (the default) the
+// cost at every instrumentation point is one thread-local load and a
+// predictable branch; Begin() itself is a relaxed atomic load + branch.
+//
+// Completed spans land in a bounded per-node ring buffer (old spans are
+// overwritten) and are drained by LT_stat / Cluster::DumpTelemetry.
+#ifndef SRC_TELEMETRY_TRACE_H_
+#define SRC_TELEMETRY_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lt {
+namespace telemetry {
+
+// Stages of the LITE fast path, in the order the paper's Sec. 4-5 walk
+// describes them. Keep TraceStageName() in sync.
+enum class TraceStage : uint8_t {
+  kApiEntry = 0,     // Client API entry (LT_read/LT_write/LT_RPC/...).
+  kSyscallCross,     // User->kernel boundary crossing.
+  kLhCheck,          // lh lookup + permission + address mapping check.
+  kQosAdmit,         // QoS admission (arg = throttle delay ns, 0 = none).
+  kRnicPost,         // WQE build + doorbell rung on the local RNIC.
+  kNicCache,         // MPT/MTT/QPC lookups done (arg = total miss penalty ns).
+  kFabric,           // Fabric bandwidth reserved (arg = transfer finish ns).
+  kDma,              // Target-memory copy performed by the issuing thread.
+  kCompletion,       // Completion observed (arg = completion ready ns).
+  kStageCount,
+};
+
+const char* TraceStageName(TraceStage stage);
+
+struct TraceEvent {
+  TraceStage stage = TraceStage::kApiEntry;
+  uint64_t t_ns = 0;  // Virtual time of the stamp.
+  uint64_t arg = 0;   // Stage-specific detail (penalty ns, finish ns, bytes).
+};
+
+struct TraceSpan {
+  static constexpr int kMaxEvents = 16;
+
+  uint64_t op_id = 0;
+  const char* op = "";  // Static string: the API name ("LT_write", ...).
+  int n_events = 0;
+  TraceEvent events[kMaxEvents];
+
+  // Stamps `stage` at the calling thread's current virtual time. Extra
+  // events past kMaxEvents are dropped (bounded by construction).
+  void Stamp(TraceStage stage, uint64_t arg = 0);
+
+  std::string ToJson() const;
+};
+
+// The calling thread's active span, or nullptr. Lower layers stamp through
+// this so their signatures stay trace-agnostic.
+TraceSpan* CurrentSpan();
+
+// Stamps into the current span if one is active; the no-span fast path is a
+// thread-local load + branch.
+inline void StampStage(TraceStage stage, uint64_t arg = 0) {
+  if (TraceSpan* span = CurrentSpan()) {
+    span->Stamp(stage, arg);
+  }
+}
+
+// Per-node tracer: sampling decision + bounded ring of completed spans.
+class Tracer {
+ public:
+  static constexpr size_t kRingCapacity = 1024;
+
+  // 0 disables tracing (default); n samples every n-th Begin().
+  void SetSampleEvery(uint32_t n) { sample_every_.store(n, std::memory_order_relaxed); }
+  uint32_t sample_every() const { return sample_every_.load(std::memory_order_relaxed); }
+
+  // True if this operation should carry a span (call once per op).
+  bool Sample() {
+    uint32_t every = sample_every_.load(std::memory_order_relaxed);
+    if (every == 0) {
+      return false;
+    }
+    return ops_seen_.fetch_add(1, std::memory_order_relaxed) % every == 0;
+  }
+
+  // Copies a finished span into the ring (sampled ops only — cold path).
+  void Commit(const TraceSpan& span);
+
+  uint64_t spans_committed() const { return committed_.load(std::memory_order_relaxed); }
+
+  // Completed spans, oldest first (at most kRingCapacity).
+  std::vector<TraceSpan> Snapshot() const;
+
+ private:
+  std::atomic<uint32_t> sample_every_{0};
+  std::atomic<uint64_t> ops_seen_{0};
+  std::atomic<uint64_t> committed_{0};
+
+  mutable std::mutex ring_mu_;
+  std::vector<TraceSpan> ring_;
+  size_t ring_next_ = 0;
+};
+
+// RAII carrier: installs a stack-allocated span as the thread's current span
+// for the scope of one API call, and commits it on destruction. Nested
+// ScopedSpans are inert (the outermost API layer owns the span), as are
+// spans on ops the tracer declined to sample. The outermost span claims the
+// op even when it declines to sample — otherwise an inner layer would re-roll
+// the sampling counter and a 1-in-even stride parity-locks onto the inner
+// layer, dropping the stages above it from every sampled span.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const char* op);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return active_; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  bool claimed_ = false;
+  bool active_ = false;
+  TraceSpan span_;
+};
+
+}  // namespace telemetry
+}  // namespace lt
+
+#endif  // SRC_TELEMETRY_TRACE_H_
