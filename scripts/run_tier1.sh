@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then the chaos soak under
+# ThreadSanitizer (the failure-recovery paths are the most thread-hostile
+# code in the tree, so they get the extra scrutiny).
+#
+# Usage: scripts/run_tier1.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"${JOBS}"
+(cd build && ctest --output-on-failure -j"${JOBS}")
+
+echo "== tier-1: chaos soak under ThreadSanitizer =="
+cmake -B build-tsan -S . -DLT_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"${JOBS}" --target faults_chaos_test faults_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/faults_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/faults_chaos_test
+
+echo "== tier-1: PASS =="

@@ -1,0 +1,72 @@
+// Sanitizer annotations for the simulation's DMA model.
+//
+// The simulator performs RDMA data movement with plain memcpy into shared
+// "physical memory" while application threads concurrently read those bytes
+// — exactly like a real RNIC DMA engine racing the CPU. That race is part of
+// the model (LITE polls ring bytes the NIC is still writing and validates
+// with magic/length fields), so under ThreadSanitizer the DMA copy helpers
+// below are compiled uninstrumented rather than "fixed" with locks that real
+// hardware does not have. Control-plane state (queues, slots, maps) is NOT
+// exempted: TSan still checks all of it, which is the point of the tsan
+// build preset.
+#ifndef SRC_COMMON_ANNOTATIONS_H_
+#define SRC_COMMON_ANNOTATIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define LT_TSAN_ACTIVE 1
+#endif
+#endif
+#if !defined(LT_TSAN_ACTIVE) && defined(__SANITIZE_THREAD__)
+#define LT_TSAN_ACTIVE 1
+#endif
+
+#ifdef LT_TSAN_ACTIVE
+#define LT_NO_SANITIZE_THREAD __attribute__((no_sanitize("thread")))
+#else
+#define LT_NO_SANITIZE_THREAD
+#endif
+
+namespace lt {
+
+// DMA-modeling copy: byte-exact memcpy whose accesses TSan does not observe.
+// Under TSan a manual word loop is used because libc memcpy is intercepted
+// (and would report) even from uninstrumented callers.
+#ifdef LT_TSAN_ACTIVE
+LT_NO_SANITIZE_THREAD inline void SimDmaCopy(void* dst, const void* src, size_t n) {
+  unsigned char* d = static_cast<unsigned char*>(dst);
+  const unsigned char* s = static_cast<const unsigned char*>(src);
+  while (n >= sizeof(uint64_t)) {
+    uint64_t w;
+    __builtin_memcpy(&w, s, sizeof(w));
+    __builtin_memcpy(d, &w, sizeof(w));
+    d += sizeof(w);
+    s += sizeof(w);
+    n -= sizeof(w);
+  }
+  while (n-- > 0) {
+    *d++ = *s++;
+  }
+}
+#else
+inline void SimDmaCopy(void* dst, const void* src, size_t n) { std::memcpy(dst, src, n); }
+#endif
+
+// DMA-modeling 8-byte read (head mirrors, ring headers).
+LT_NO_SANITIZE_THREAD inline uint64_t SimDmaRead64(const void* src) {
+  uint64_t v;
+#ifdef LT_TSAN_ACTIVE
+  __builtin_memcpy(&v, src, sizeof(v));
+#else
+  std::memcpy(&v, src, sizeof(v));
+#endif
+  return v;
+}
+
+}  // namespace lt
+
+#endif  // SRC_COMMON_ANNOTATIONS_H_

@@ -26,14 +26,18 @@ FabricPort* Fabric::Attach(NodeId node) {
   std::lock_guard<SpinLock> lock(attach_mu_);
   assert(node == ports_.size() && "nodes must attach in id order");
   ports_.push_back(std::make_unique<FabricPort>(this, node));
+  faults_.EnsureNodes(ports_.size());
   return ports_.back().get();
 }
 
-uint64_t Fabric::TransferFinishNs(NodeId src, NodeId dst, uint64_t bytes, uint64_t earliest_ns) {
-  double drop_p = drop_probability_.load(std::memory_order_relaxed);
-  if (drop_p > 0.0) {
-    std::lock_guard<SpinLock> lock(drop_mu_);
-    if (drop_rng_.NextDouble() < drop_p) {
+uint64_t Fabric::TransferFinishNs(NodeId src, NodeId dst, uint64_t bytes, uint64_t earliest_ns,
+                                  TransferFaults* faults_out) {
+  // Fault decision first: dropped transfers consume no port bandwidth (the
+  // frame died somewhere in the switch, not at a saturated endpoint).
+  uint64_t injected_delay_ns = 0;
+  if (faults_.armed()) {
+    injected_delay_ns = faults_.OnTransfer(src, dst, earliest_ns, faults_out);
+    if (injected_delay_ns == FaultEngine::kDropTransfer) {
       return kDropped;
     }
   }
@@ -47,7 +51,7 @@ uint64_t Fabric::TransferFinishNs(NodeId src, NodeId dst, uint64_t bytes, uint64
     finish = ports_[dst]->Reserve(finish, bytes);
     finish += params_.wire_latency_ns;
   }
-  finish += extra_delay_ns_.load(std::memory_order_relaxed);
+  finish += injected_delay_ns;
   return finish;
 }
 

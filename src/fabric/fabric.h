@@ -7,8 +7,10 @@
 // produces the paper's multi-thread throughput saturation (Fig. 7) and the
 // QoS interference effects (Figs. 15, 16).
 //
-// The fabric also hosts the failure-injection knobs used by tests (message
-// drops and extra delay).
+// The fabric also hosts the fault-injection engine (src/faults): per-link
+// drop/duplicate/delay rules, partitions, and node crash windows. The legacy
+// SetDropProbability / SetExtraDelayNs knobs remain as thin wrappers over the
+// engine's default link rule.
 #ifndef SRC_FABRIC_FABRIC_H_
 #define SRC_FABRIC_FABRIC_H_
 
@@ -18,8 +20,8 @@
 #include <vector>
 
 #include "src/common/rate_window.h"
-#include "src/common/rng.h"
 #include "src/common/sync_util.h"
+#include "src/faults/faults.h"
 #include "src/mem/addr.h"
 #include "src/sim/params.h"
 
@@ -63,7 +65,15 @@ class FabricPort {
 
 class Fabric {
  public:
-  explicit Fabric(const SimParams& params) : params_(params), drop_rng_(0xfab51c) {}
+  explicit Fabric(const SimParams& params) : params_(params) {
+    // SimParams-level fault knobs become the engine's boot-time default rule.
+    if (params.fabric_drop_probability > 0.0 || params.fabric_extra_delay_ns != 0) {
+      LinkFaultRule rule;
+      rule.drop_p = params.fabric_drop_probability;
+      rule.extra_delay_ns = params.fabric_extra_delay_ns;
+      faults_.SetDefaultRule(rule);
+    }
+  }
 
   // Attaches a port for `node`; node ids must be attached in order 0..N-1.
   FabricPort* Attach(NodeId node);
@@ -75,15 +85,29 @@ class Fabric {
   // Reserves a one-way transfer of `bytes` from src to dst starting no
   // earlier than `earliest_ns` (virtual time), accounting for wire latency
   // and bandwidth contention on both endpoints' ports. Returns the ABSOLUTE
-  // virtual finish time (>= earliest_ns), or kDropped under failure
-  // injection. Absolute-time plumbing is essential: service threads whose
-  // own clocks lag (queue drainers) must not convert through "now".
-  uint64_t TransferFinishNs(NodeId src, NodeId dst, uint64_t bytes, uint64_t earliest_ns);
+  // virtual finish time (>= earliest_ns), or kDropped under fault injection.
+  // Absolute-time plumbing is essential: service threads whose own clocks
+  // lag (queue drainers) must not convert through "now". When `faults_out`
+  // is non-null it reports duplicate-delivery decisions (the RNIC uses this
+  // to deliver a second copy of a write-imm).
+  uint64_t TransferFinishNs(NodeId src, NodeId dst, uint64_t bytes, uint64_t earliest_ns,
+                            TransferFaults* faults_out = nullptr);
 
-  // Failure injection (tests): probability each transfer is dropped, and a
-  // fixed extra delay added to each transfer.
-  void SetDropProbability(double p) { drop_probability_.store(p); }
-  void SetExtraDelayNs(uint64_t ns) { extra_delay_ns_.store(ns); }
+  // The fault-injection engine: per-link rules, partitions, crash windows.
+  FaultEngine& faults() { return faults_; }
+
+  // Legacy failure-injection knobs (tests): wrappers over the engine's
+  // default link rule, preserved for existing callers.
+  void SetDropProbability(double p) {
+    LinkFaultRule rule = faults_.default_rule();
+    rule.drop_p = p;
+    faults_.SetDefaultRule(rule);
+  }
+  void SetExtraDelayNs(uint64_t ns) {
+    LinkFaultRule rule = faults_.default_rule();
+    rule.extra_delay_ns = ns;
+    faults_.SetDefaultRule(rule);
+  }
 
   static constexpr uint64_t kDropped = ~0ull;
 
@@ -91,11 +115,7 @@ class Fabric {
   const SimParams params_;
   std::vector<std::unique_ptr<FabricPort>> ports_;
   SpinLock attach_mu_;
-
-  std::atomic<double> drop_probability_{0.0};
-  std::atomic<uint64_t> extra_delay_ns_{0};
-  SpinLock drop_mu_;
-  Rng drop_rng_;
+  FaultEngine faults_;
 };
 
 }  // namespace lt

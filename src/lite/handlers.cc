@@ -557,6 +557,44 @@ void LiteInstance::RegisterInternalHandlers() {
     ReplyOkPayload(self, inc.token, payload);
   };
 
+  // ----------------------------------------- liveness (keepalive / lease)
+  internal_handlers_[kFnKeepalive] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    NodeId sender = kInvalidNode;
+    if (!r.Get(&sender)) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+      return;
+    }
+    const auto& p = self->params();
+    const uint64_t lease_ns = p.lite_lease_timeout_ns > 0
+                                  ? p.lite_lease_timeout_ns
+                                  : 5 * p.lite_keepalive_interval_ns;
+    const uint64_t now_real = lt::RealNowNs();
+    std::vector<NodeId> dead;
+    {
+      std::lock_guard<std::mutex> lock(self->lease_mu_);
+      self->lease_last_seen_[sender] = now_real;
+      for (const auto& [node, last_seen] : self->lease_last_seen_) {
+        if (lease_ns > 0 && now_real - last_seen > lease_ns) {
+          dead.push_back(node);
+        }
+      }
+    }
+    // A renewed lease revives the sender; expired leases condemn their
+    // holders. The dead list is piggybacked on the reply so every renewal
+    // disseminates the manager's view (paper Sec. 3.3's failure handling).
+    self->SetPeerDead(sender, false);
+    for (NodeId node : dead) {
+      self->SetPeerDead(node, true);
+    }
+    WireWriter payload;
+    payload.Put<uint32_t>(static_cast<uint32_t>(dead.size()));
+    for (NodeId node : dead) {
+      payload.Put<NodeId>(node);
+    }
+    ReplyOkPayload(self, inc.token, payload);
+  };
+
   // -------------------------------------------------------- echo (tests)
   internal_handlers_[kFnEcho] = [](LiteInstance* self, const RpcIncoming& inc) {
     WireWriter payload;

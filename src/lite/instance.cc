@@ -6,6 +6,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/common/annotations.h"
 #include "src/common/logging.h"
 #include "src/common/timing.h"
 #include "src/lite/wire.h"
@@ -74,6 +75,18 @@ void LiteInstance::RegisterTelemetry() {
   poll_wakeups_ = reg.GetCounter("lite.poll.wakeups");
   poll_idle_wakeups_ = reg.GetCounter("lite.poll.idle_wakeups");
   poll_batch_hist_ = reg.GetHistogram("lite.rpc.poll_batch");
+  // Fault & recovery instruments (docs/TELEMETRY.md).
+  rpc_retries_ = reg.GetCounter("lite.rpc.retries");
+  rpc_dup_requests_ = reg.GetCounter("lite.rpc.dup_requests");
+  rpc_replayed_replies_ = reg.GetCounter("lite.rpc.replayed_replies");
+  rpc_stale_replies_ = reg.GetCounter("lite.rpc.stale_replies");
+  rpc_zombie_reclaimed_ = reg.GetCounter("lite.rpc.zombie_reclaimed");
+  rpc_dead_fast_fail_ = reg.GetCounter("lite.rpc.dead_fast_fail");
+  oneside_retries_ = reg.GetCounter("lite.oneside.retries");
+  qp_reconnects_ = reg.GetCounter("lite.qp.reconnects");
+  liveness_marked_dead_ = reg.GetCounter("lite.liveness.marked_dead");
+  liveness_revived_ = reg.GetCounter("lite.liveness.revived");
+  liveness_keepalives_ = reg.GetCounter("lite.liveness.keepalives");
   // Probes read this instance's existing counters at snapshot time only.
   reg.RegisterProbe("lite.rpc.ring_bytes", [this] { return rpc_ring_bytes_in_use(); });
   reg.RegisterProbe("lite.poll.cpu_ns", [this] { return poll_cpu_.TotalCpuNs(); });
@@ -101,6 +114,13 @@ void LiteInstance::CreateQueuePairs() {
   const int k = std::max(1, params().lite_qp_sharing_factor);
   qp_pool_.resize(peers_.size());
   qp_mu_.resize(peers_.size());
+  // Liveness flags: sized once here (before any traffic) so the fail-fast
+  // path can read them without bounds locking.
+  peer_dead_n_ = peers_.size();
+  peer_dead_ = std::make_unique<std::atomic<uint8_t>[]>(peer_dead_n_);
+  for (size_t i = 0; i < peer_dead_n_; ++i) {
+    peer_dead_[i].store(0, std::memory_order_relaxed);
+  }
   for (NodeId dst = 0; dst < peers_.size(); ++dst) {
     if (peers_[dst] == nullptr || dst == node_id()) {
       continue;
@@ -142,12 +162,20 @@ void LiteInstance::Start() {
   threads_.emplace_back([this] { HeadWriterLoop(); });
   threads_.emplace_back([this] { InternalWorkerLoop(); });
   threads_.emplace_back([this] { InternalWorkerLoop(); });
+  if (params().lite_keepalive_interval_ns > 0 && node_id() != manager_node_) {
+    threads_.emplace_back([this] { KeepaliveLoop(); });
+  }
 }
 
 void LiteInstance::Stop() {
   if (stopping_.exchange(true)) {
     return;
   }
+  {
+    // Pair with the keepalive thread's predicate check before waking it.
+    std::lock_guard<std::mutex> lock(keepalive_mu_);
+  }
+  keepalive_cv_.notify_all();
   if (recv_cq_ != nullptr) {
     recv_cq_->Shutdown();
   }
@@ -198,14 +226,77 @@ void LiteInstance::LocalCopyIn(PhysAddr dst, const void* src, uint64_t len) {
   const auto& p = params();
   SpinFor(p.local_op_base_ns +
           static_cast<uint64_t>(static_cast<double>(len) / p.local_copy_bytes_per_ns));
-  std::memcpy(node_->mem().Data(dst, len), src, len);
+  lt::SimDmaCopy(node_->mem().Data(dst, len), src, len);
 }
 
 void LiteInstance::LocalCopyOut(void* dst, PhysAddr src, uint64_t len) {
   const auto& p = params();
   SpinFor(p.local_op_base_ns +
           static_cast<uint64_t>(static_cast<double>(len) / p.local_copy_bytes_per_ns));
-  std::memcpy(dst, node_->mem().Data(src, len), len);
+  lt::SimDmaCopy(dst, node_->mem().Data(src, len), len);
+}
+
+void LiteInstance::RecoverQp(lt::Qp* qp) {
+  // Models the driver's modify_qp cycle ERR -> RESET -> INIT -> RTR -> RTS
+  // after a transport error (caller holds the QP's pool mutex).
+  SpinFor(params().lite_qp_reconnect_ns);
+  qp->ResetToRts();
+  qp_reconnects_->Inc();
+}
+
+StatusOr<Completion> LiteInstance::PostAndWait(NodeId dst, WorkRequest* wr, Priority pri) {
+  const uint32_t max_retries = params().lite_rpc_max_retries;
+  uint64_t backoff_ns = params().lite_rpc_retry_backoff_ns;
+  Status last = Status::Timeout("one-sided completion timeout");
+  for (uint32_t attempt = 0; attempt <= max_retries; ++attempt) {
+    if (attempt > 0) {
+      oneside_retries_->Inc();
+      lt::IdleFor(backoff_ns);
+      backoff_ns *= 2;
+      if (PeerDead(dst)) {
+        rpc_dead_fast_fail_->Inc();
+        return Status::Unavailable("peer marked dead by liveness service");
+      }
+    }
+    int idx = PickQpIndex(dst, pri);
+    if (idx < 0) {
+      return Status::Unavailable("no QP to destination node");
+    }
+    Qp* qp = qp_pool_[dst][idx];
+    wr->wr_id = next_wr_id_.fetch_add(1);
+    {
+      // The QP lock covers only the post; waiting happens outside so threads
+      // sharing a pool QP overlap their in-flight ops (the whole point of
+      // the shared pool, Sec. 6.1).
+      std::lock_guard<std::mutex> lock(*qp_mu_[dst][idx]);
+      if (qp->in_error()) {
+        RecoverQp(qp);
+      }
+      Status posted = rnic().PostSend(qp, *wr);
+      if (!posted.ok()) {
+        last = posted;
+        if (posted.code() == lt::StatusCode::kFailedPrecondition) {
+          continue;  // Lost a race to a concurrent error; recover and retry.
+        }
+        return posted;
+      }
+    }
+    auto c = qp->send_cq()->WaitPollFor(wr->wr_id, params().lite_rpc_timeout_ns,
+                                        WaitMode::kBusyPoll);
+    if (!c.has_value()) {
+      last = Status::Timeout("one-sided completion timeout");
+      continue;
+    }
+    if (c->status.ok()) {
+      return *c;
+    }
+    last = c->status;
+    const lt::StatusCode code = last.code();
+    if (code != lt::StatusCode::kUnavailable && code != lt::StatusCode::kTimeout) {
+      return last;  // Non-transient (permission, bounds): do not retry.
+    }
+  }
+  return last;
 }
 
 Status LiteInstance::OneSidedWrite(NodeId dst, PhysAddr dst_addr, const void* src, uint64_t len,
@@ -215,11 +306,6 @@ Status LiteInstance::OneSidedWrite(NodeId dst, PhysAddr dst_addr, const void* sr
     LocalCopyIn(dst_addr, src, len);
     return Status::Ok();
   }
-  int idx = PickQpIndex(dst, pri);
-  if (idx < 0) {
-    return Status::Unavailable("no QP to destination node");
-  }
-  Qp* qp = qp_pool_[dst][idx];
   WorkRequest wr;
   wr.opcode = WrOpcode::kWrite;
   wr.host_local = const_cast<void*>(src);
@@ -227,29 +313,31 @@ Status LiteInstance::OneSidedWrite(NodeId dst, PhysAddr dst_addr, const void* sr
   wr.rkey = peer_global_rkey_[dst];
   wr.remote_addr = dst_addr;
   wr.signaled = signaled;
-  wr.wr_id = signaled ? next_wr_id_.fetch_add(1) : 0;
-
-  const uint64_t start = NowNs();
-  {
-    // The QP lock covers only the post; waiting happens outside so threads
-    // sharing a pool QP overlap their in-flight ops (the whole point of the
-    // shared pool, Sec. 6.1).
-    std::lock_guard<std::mutex> lock(*qp_mu_[dst][idx]);
-    LT_RETURN_IF_ERROR(rnic().PostSend(qp, wr));
-  }
   if (!signaled) {
-    return Status::Ok();
+    // Fire-and-forget (head-mirror publishes): errors surface on the next
+    // signaled user of the QP; recover here so one drop cannot wedge it.
+    int idx = PickQpIndex(dst, pri);
+    if (idx < 0) {
+      return Status::Unavailable("no QP to destination node");
+    }
+    Qp* qp = qp_pool_[dst][idx];
+    wr.wr_id = 0;
+    std::lock_guard<std::mutex> lock(*qp_mu_[dst][idx]);
+    if (qp->in_error()) {
+      RecoverQp(qp);
+    }
+    return rnic().PostSend(qp, wr);
   }
-  auto c = qp->send_cq()->WaitPollFor(wr.wr_id, params().lite_rpc_timeout_ns,
-                                      WaitMode::kBusyPoll);
-  if (!c.has_value()) {
-    return Status::Timeout("one-sided write completion timeout");
+  const uint64_t start = NowNs();
+  auto c = PostAndWait(dst, &wr, pri);
+  if (!c.ok()) {
+    return c.status();
   }
   lt::telemetry::StampStage(lt::telemetry::TraceStage::kCompletion, c->ready_at_ns);
-  if (pri == Priority::kHigh && c->status.ok()) {
+  if (pri == Priority::kHigh) {
     qos_.RecordHighPriRtt(NowNs() - start);
   }
-  return c->status;
+  return Status::Ok();
 }
 
 Status LiteInstance::OneSidedWriteImm(NodeId dst, PhysAddr dst_addr, const void* src, uint64_t len,
@@ -285,6 +373,9 @@ Status LiteInstance::OneSidedWriteImm(NodeId dst, PhysAddr dst_addr, const void*
   wr.imm = imm;
   wr.signaled = false;  // Failures detected by reply timeout (paper Sec. 5.1).
   std::lock_guard<std::mutex> lock(*qp_mu_[dst][idx]);
+  if (qp->in_error()) {
+    RecoverQp(qp);  // A prior drop errored this QP; reconnect before posting.
+  }
   return rnic().PostSend(qp, wr);
 }
 
@@ -295,11 +386,6 @@ Status LiteInstance::OneSidedRead(NodeId src_node, PhysAddr src_addr, void* dst,
     LocalCopyOut(dst, src_addr, len);
     return Status::Ok();
   }
-  int idx = PickQpIndex(src_node, pri);
-  if (idx < 0) {
-    return Status::Unavailable("no QP to source node");
-  }
-  Qp* qp = qp_pool_[src_node][idx];
   WorkRequest wr;
   wr.opcode = WrOpcode::kRead;
   wr.host_local = dst;
@@ -307,23 +393,17 @@ Status LiteInstance::OneSidedRead(NodeId src_node, PhysAddr src_addr, void* dst,
   wr.rkey = peer_global_rkey_[src_node];
   wr.remote_addr = src_addr;
   wr.signaled = true;
-  wr.wr_id = next_wr_id_.fetch_add(1);
 
   const uint64_t start = NowNs();
-  {
-    std::lock_guard<std::mutex> lock(*qp_mu_[src_node][idx]);
-    LT_RETURN_IF_ERROR(rnic().PostSend(qp, wr));
-  }
-  auto c = qp->send_cq()->WaitPollFor(wr.wr_id, params().lite_rpc_timeout_ns,
-                                      WaitMode::kBusyPoll);
-  if (!c.has_value()) {
-    return Status::Timeout("one-sided read completion timeout");
+  auto c = PostAndWait(src_node, &wr, pri);
+  if (!c.ok()) {
+    return c.status();
   }
   lt::telemetry::StampStage(lt::telemetry::TraceStage::kCompletion, c->ready_at_ns);
-  if (pri == Priority::kHigh && c->status.ok()) {
+  if (pri == Priority::kHigh) {
     qos_.RecordHighPriRtt(NowNs() - start);
   }
-  return c->status;
+  return Status::Ok();
 }
 
 StatusOr<uint64_t> LiteInstance::RemoteAtomic(NodeId dst, PhysAddr addr, bool is_cas,
@@ -347,11 +427,6 @@ StatusOr<uint64_t> LiteInstance::RemoteAtomic(NodeId dst, PhysAddr addr, bool is
     }
     return old_value;
   }
-  int idx = PickQpIndex(dst, Priority::kHigh);
-  if (idx < 0) {
-    return Status::Unavailable("no QP to destination node");
-  }
-  Qp* qp = qp_pool_[dst][idx];
   uint64_t old_value = 0;
   WorkRequest wr;
   wr.opcode = is_cas ? WrOpcode::kCmpSwap : WrOpcode::kFetchAdd;
@@ -361,18 +436,11 @@ StatusOr<uint64_t> LiteInstance::RemoteAtomic(NodeId dst, PhysAddr addr, bool is
   wr.swap = swap;
   wr.atomic_result = &old_value;
   wr.signaled = true;
-  wr.wr_id = next_wr_id_.fetch_add(1);
-  {
-    std::lock_guard<std::mutex> lock(*qp_mu_[dst][idx]);
-    LT_RETURN_IF_ERROR(rnic().PostSend(qp, wr));
-  }
-  auto c = qp->send_cq()->WaitPollFor(wr.wr_id, params().lite_rpc_timeout_ns,
-                                      WaitMode::kBusyPoll);
-  if (!c.has_value()) {
-    return Status::Timeout("atomic completion timeout");
-  }
-  if (!c->status.ok()) {
-    return c->status;
+  // Retry is exactly-once here: a dropped atomic is rejected by the
+  // responder before the memory operation is applied (see ExecuteAtomic).
+  auto c = PostAndWait(dst, &wr, Priority::kHigh);
+  if (!c.ok()) {
+    return c.status();
   }
   return old_value;
 }

@@ -58,10 +58,16 @@ struct ReplyToken {
   NodeId client_node = kInvalidNode;
   PhysAddr reply_phys = 0;
   uint32_t reply_max = 0;
-  uint32_t reply_slot = 0;
+  uint32_t reply_slot = 0;  // Packed {generation, slot} — see PackReplySlot.
   // Virtual arrival time of the call; deferred replies (lock grants,
   // barrier releases) must not be issued on an earlier timeline.
   uint64_t arrival_vtime_ns = 0;
+  // Idempotence bookkeeping: the server ring the call arrived on and the
+  // client-assigned sequence number, so LT_replyRPC can record the reply in
+  // the ring's replay cache (a retried duplicate then re-sends the cached
+  // reply instead of re-executing the handler).
+  RpcFuncId ring_func = 0;
+  uint32_t seq = 0;
   bool valid() const { return client_node != kInvalidNode; }
 };
 
@@ -150,22 +156,54 @@ class LiteInstance {
   // ---- Cluster-manager recovery (paper Sec. 3.3) ----
   // Rebuilds the name service from every node's LMR metadata registry; the
   // manager's state is fully reconstructible after a failure restart. Only
-  // meaningful on the manager node.
+  // meaningful on the manager node. Peers the liveness service currently
+  // marks dead are skipped (their names resurface on their next rebuild).
   Status RebuildNameService();
   // Test hook: wipes the name service to simulate a manager restart.
   void ClearNameServiceForTest();
 
+  // ---- Liveness (keepalive/lease with the cluster manager) ----
+  // When SimParams::lite_keepalive_interval_ns > 0, every non-manager
+  // instance renews a lease with the manager on that real-time cadence; the
+  // manager expires leases after lite_lease_timeout_ns (default 5x the
+  // interval) and piggybacks the dead list on keepalive replies. Ops whose
+  // target is marked dead fail fast with Status::Unavailable instead of
+  // burning a reply timeout.
+  bool PeerDead(NodeId node) const {
+    return node < peer_dead_n_ && peer_dead_[node].load(std::memory_order_relaxed) != 0;
+  }
+  // Marks/unmarks a peer dead locally (the liveness service's dissemination
+  // path; also a hook for failure tests).
+  void SetPeerDead(NodeId node, bool dead);
+
   // ================= RPC / messaging API =================
+  //
+  // Timeout convention (every timeout_ns below): kDefaultTimeout (0) means
+  // "use SimParams::lite_rpc_timeout_ns"; kInfiniteTimeout (~0ull) means
+  // wait forever (capped at one hour of real time on client paths as a hang
+  // backstop); anything else is a real-time bound in nanoseconds. See
+  // types.h.
+  //
+  // Failure semantics on the client path: a call whose target the liveness
+  // service has marked dead fails fast with Status::Unavailable; a call that
+  // got no reply within the timeout (after lite_rpc_max_retries transparent
+  // retries with exponential backoff) returns Status::Timeout. Retried
+  // requests carry per-channel sequence numbers; the server's ring poller
+  // executes each sequence at most once and replays the cached reply for
+  // duplicates, so retries never double-execute a handler.
+  //
   // LT_regRPC: registers an RPC function id served on this node.
   Status RegisterRpc(RpcFuncId func);
   // LT_RPC: calls (server_node, func); blocks for the reply.
   Status Rpc(NodeId server_node, RpcFuncId func, const void* in, uint32_t in_len, void* out,
              uint32_t out_max, uint32_t* out_len, Priority pri = Priority::kHigh);
-  // Async split of LT_RPC used by multicast: send now, wait later.
+  // Async split of LT_RPC used by multicast: send now, wait later. (The
+  // split paths are single-attempt primitives; the retry loop lives in
+  // Rpc()/internal calls.)
   StatusOr<uint32_t> RpcSend(NodeId server_node, RpcFuncId func, const void* in, uint32_t in_len,
                              uint32_t out_max, Priority pri = Priority::kHigh);
   Status RpcWait(uint32_t slot, void* out, uint32_t out_max, uint32_t* out_len,
-                 uint64_t timeout_ns = 0);  // 0 = params default.
+                 uint64_t timeout_ns = kDefaultTimeout);
   // Fire-and-forget call (no reply slot, no wait).
   Status RpcSendNoReply(NodeId server_node, RpcFuncId func, const void* in, uint32_t in_len,
                         Priority pri = Priority::kHigh);
@@ -173,15 +211,15 @@ class LiteInstance {
   Status MulticastRpc(const std::vector<NodeId>& servers, RpcFuncId func, const void* in,
                       uint32_t in_len, std::vector<std::vector<uint8_t>>* replies);
   // LT_recvRPC: receives the next call for `func` (blocking).
-  StatusOr<RpcIncoming> RecvRpc(RpcFuncId func, uint64_t timeout_ns = ~0ull);
+  StatusOr<RpcIncoming> RecvRpc(RpcFuncId func, uint64_t timeout_ns = kInfiniteTimeout);
   // LT_replyRPC: replies to a received call.
   Status ReplyRpc(const ReplyToken& token, const void* data, uint32_t len);
   // Combined reply+receive (paper Sec. 5.2 optional API).
   StatusOr<RpcIncoming> ReplyAndRecv(const ReplyToken& token, const void* data, uint32_t len,
-                                     RpcFuncId func, uint64_t timeout_ns = ~0ull);
+                                     RpcFuncId func, uint64_t timeout_ns = kInfiniteTimeout);
   // LT_send / message receive.
   Status SendMsg(NodeId dst, const void* data, uint32_t len, Priority pri = Priority::kHigh);
-  StatusOr<MsgIncoming> RecvMsg(uint64_t timeout_ns = ~0ull);
+  StatusOr<MsgIncoming> RecvMsg(uint64_t timeout_ns = kInfiniteTimeout);
 
   // ================= Synchronization API =================
   // LT_fetch-add / LT_test-set on 8-byte LMR words.
@@ -261,6 +299,7 @@ class LiteInstance {
     uint64_t tail = 0;           // Absolute byte offset (monotonic).
     PhysAddr head_mirror = 0;    // Local 8-byte word; server writes head here.
     std::mutex mu;               // Serializes reserve+post (preserves order).
+    uint32_t next_seq = 1;       // Per-channel idempotence sequence (under mu).
   };
 
   // Server side of one RPC channel.
@@ -272,17 +311,45 @@ class LiteInstance {
     uint64_t head = 0;           // Absolute byte offset (monotonic).
     PhysAddr client_head_mirror = 0;
     std::atomic<uint64_t> head_to_publish{0};
+
+    // At-most-once execution state (poll thread only): every executed
+    // sequence is <= seq_low or in seq_above (kept sparse — consecutive
+    // completions collapse into the watermark). A set rather than a plain
+    // high-water mark, because fault-injected reordering can deliver a fresh
+    // request with a lower sequence after a later one executed.
+    uint32_t seq_low = 0;
+    std::set<uint32_t> seq_above;
+
+    // Replay cache: reply payloads of recent sequences, re-sent verbatim
+    // when a retried duplicate arrives after the original already executed.
+    // Bounded; a duplicate past the horizon is dropped silently (the client
+    // then times out — at-most-once still holds, exactly-once does not).
+    std::mutex replay_mu;
+    std::map<uint32_t, std::vector<uint8_t>> replay;
   };
+
+  // Replay cache entries kept per server ring.
+  static constexpr size_t kReplayCacheEntries = 32;
 
   // Client-side reply rendezvous.
   struct ReplySlot {
     std::mutex mu;
     std::condition_variable cv;
-    std::atomic<int> state{0};  // 0 free, 1 waiting, 2 ready, 3 error
+    std::atomic<int> state{0};  // 0 free, 1 waiting, 2 ready, 3 error,
+                                // 4 zombie (timed out; awaiting late reply
+                                //   or quarantine reclaim)
+    // Reuse generation, bumped on acquire and carried in the packed reply-
+    // slot field; late/duplicate replies with a stale generation are
+    // discarded (see PackReplySlot in types.h).
+    std::atomic<uint32_t> gen{0};
     uint32_t reply_len = 0;
     uint64_t ready_vtime_ns = 0;
     PhysAddr buf_phys = 0;
     uint32_t buf_max = 0;
+    // Real time the slot became a zombie. A zombie whose peer died may never
+    // get the late reply that frees it; AcquireReplySlot reclaims zombies
+    // older than the RPC timeout when the free list runs dry.
+    std::atomic<uint64_t> zombie_since_real_ns{0};
   };
 
   struct LockQueue {
@@ -295,17 +362,25 @@ class LiteInstance {
     std::vector<ReplyToken> arrived;
   };
 
-  // Header written at the ring tail ahead of the RPC payload.
+  // Header written at the ring tail ahead of the RPC payload. Kept at
+  // exactly 40 bytes: the header rides every request's fabric transfer, so
+  // growing it would shift every simulated RPC latency. The seq field fits
+  // by narrowing magic/reply_max/client_node (reply slabs are <64KB slots
+  // and node ids are small; both statically sane for this simulator).
   struct RpcReqHeader {
-    uint32_t magic = 0x4c495445;  // "LITE"
+    PhysAddr reply_phys = 0;   // Client reply buffer (slot slab).
+    uint64_t tail_after = 0;   // Absolute head position once consumed.
     uint32_t input_len = 0;
-    PhysAddr reply_phys = 0;
-    uint32_t reply_max = 0;
-    uint32_t reply_slot = 0;
-    NodeId client_node = kInvalidNode;
-    uint32_t entry_len = 0;   // Total aligned entry size in the ring.
-    uint64_t tail_after = 0;  // Absolute head position once consumed.
+    uint32_t reply_slot = 0;   // Packed {generation, slot} or kNoReplySlot.
+    uint32_t seq = 0;          // Per-channel sequence (0 = never dedup).
+    uint16_t reply_max = 0;
+    uint16_t magic = kRpcMagic;
+    uint16_t client_node = static_cast<uint16_t>(0xffff);
   };
+  static constexpr uint16_t kRpcMagic = 0x4c54;  // "LT"
+  static_assert(sizeof(RpcReqHeader) == 40,
+                "RpcReqHeader is wire-visible: its size feeds every RPC's "
+                "simulated transfer time and must not change");
 
   using InternalHandler =
       std::function<void(LiteInstance*, const RpcIncoming&)>;
@@ -319,7 +394,9 @@ class LiteInstance {
   int PickQpIndex(NodeId dst, Priority pri);
 
   // One-sided ops on raw chunk targets (the engine under Read/Write/atomics
-  // and the RPC stack).
+  // and the RPC stack). Signaled ops transparently retry dropped transfers
+  // (recovering the QP from its error state first) up to
+  // lite_rpc_max_retries times with exponential backoff.
   Status OneSidedWrite(NodeId dst, PhysAddr dst_addr, const void* src, uint64_t len, Priority pri,
                        bool signaled);
   Status OneSidedWriteImm(NodeId dst, PhysAddr dst_addr, const void* src, uint64_t len,
@@ -352,20 +429,59 @@ class LiteInstance {
   StatusOr<PhysAddr> AllocMirror();
   StatusOr<uint32_t> AcquireReplySlot(uint32_t out_max);
   void ReleaseReplySlot(uint32_t slot);
+  // Posts one request into the ring. `seq_inout`: 0 assigns a fresh
+  // per-channel sequence (returned through the pointer); non-zero reuses it
+  // (a retry must present the original sequence so the server dedups it).
+  // `fail_fast_dead=false` lets liveness probes through to a peer currently
+  // believed dead (it may have restarted).
   Status PostRpcRequest(RpcChannel* channel, RpcFuncId func, const void* in, uint32_t in_len,
                         PhysAddr reply_phys, uint32_t reply_max, uint32_t reply_slot,
-                        Priority pri);
+                        Priority pri, uint32_t* seq_inout, bool fail_fast_dead = true);
+
+  // Resolves the API timeout sentinels (types.h) and applies the hang-
+  // backstop cap — the single home of the old duplicated clamp logic.
+  uint64_t EffectiveTimeoutNs(uint64_t requested_ns) const;
+
+  // The full client call: fail-fast dead check, send, reply wait, retry
+  // loop. Rpc()/InternalRpc()/keepalives all funnel through here.
+  struct RpcCallOpts {
+    uint64_t timeout_ns = kDefaultTimeout;  // Per attempt.
+    uint32_t max_retries = kUseParamRetries;
+    bool fail_fast_dead = true;
+  };
+  static constexpr uint32_t kUseParamRetries = ~0u;
+  Status RpcCall(NodeId server_node, RpcFuncId func, const void* in, uint32_t in_len, void* out,
+                 uint32_t out_max, uint32_t* out_len, Priority pri, const RpcCallOpts& opts);
+
+  // Server-side idempotence (poll thread): records `seq` as executed;
+  // returns false if it already was (the caller then drops the duplicate and
+  // replays the cached reply, if still cached).
+  bool SeqFresh(ServerRing* ring, uint32_t seq);
+  void RecordReplay(const ReplyToken& token, const void* data, uint32_t len);
+  void ReplayReply(ServerRing* ring, const RpcReqHeader& hdr);
+
+  // Resets an errored QP back to RTS (models the modify_qp reconnect round;
+  // charges lite_qp_reconnect_ns). Caller holds the QP's pool mutex.
+  void RecoverQp(lt::Qp* qp);
+  // Posts a signaled WR and waits for its completion, retrying retryable
+  // failures (drops) with backoff and QP recovery. Returns the successful
+  // completion, or the last error.
+  StatusOr<lt::Completion> PostAndWait(NodeId dst, lt::WorkRequest* wr, Priority pri);
+
   BlockingQueue<RpcIncoming>* EnsureAppQueue(RpcFuncId func);
   void PollLoop();
   void HeadWriterLoop();
   void InternalWorkerLoop();
+  void KeepaliveLoop();
   void HandleRequestImm(NodeId src, uint32_t imm, uint64_t vtime);
   void HandleReplyImm(uint32_t imm, uint32_t byte_len, uint64_t vtime);
 
   // Internal control-function implementations.
   void RegisterInternalHandlers();
   Status InternalRpc(NodeId server, RpcFuncId func, const WireWriterBytes& in,
-                     std::vector<uint8_t>* out, uint64_t timeout_ns = 0);
+                     std::vector<uint8_t>* out, uint64_t timeout_ns = kDefaultTimeout);
+  Status InternalRpcOpts(NodeId server, RpcFuncId func, const WireWriterBytes& in,
+                         std::vector<uint8_t>* out, const RpcCallOpts& opts);
 
   // Name service (lives at manager_node_).
   StatusOr<NodeId> LookupMasterNode(const std::string& name);
@@ -382,6 +498,16 @@ class LiteInstance {
   uint32_t global_rkey_ = 0;
   std::vector<LiteInstance*> peers_;       // Indexed by node id (self included).
   std::vector<uint32_t> peer_global_rkey_;
+
+  // Liveness: per-peer dead flags (relaxed atomics on the fail-fast path;
+  // sized once in CreateQueuePairs, before traffic), and the manager-side
+  // lease table (last real-time keepalive per node).
+  std::unique_ptr<std::atomic<uint8_t>[]> peer_dead_;
+  size_t peer_dead_n_ = 0;
+  std::mutex lease_mu_;
+  std::unordered_map<NodeId, uint64_t> lease_last_seen_;
+  std::mutex keepalive_mu_;
+  std::condition_variable keepalive_cv_;  // Wakes the keepalive thread on Stop.
 
   // Shared QP pool: qp_pool_[dst][k], k in [0, K). One mutex per QP
   // serializes synchronous users (the QP send queue is ordered anyway).
@@ -457,6 +583,19 @@ class LiteInstance {
   lt::telemetry::Counter* poll_wakeups_ = nullptr;
   lt::telemetry::Counter* poll_idle_wakeups_ = nullptr;
   lt::telemetry::FixedHistogram* poll_batch_hist_ = nullptr;
+
+  // Failure-recovery instruments (docs/TELEMETRY.md, "Fault & recovery").
+  lt::telemetry::Counter* rpc_retries_ = nullptr;
+  lt::telemetry::Counter* rpc_dup_requests_ = nullptr;
+  lt::telemetry::Counter* rpc_replayed_replies_ = nullptr;
+  lt::telemetry::Counter* rpc_stale_replies_ = nullptr;
+  lt::telemetry::Counter* rpc_zombie_reclaimed_ = nullptr;
+  lt::telemetry::Counter* rpc_dead_fast_fail_ = nullptr;
+  lt::telemetry::Counter* oneside_retries_ = nullptr;
+  lt::telemetry::Counter* qp_reconnects_ = nullptr;
+  lt::telemetry::Counter* liveness_marked_dead_ = nullptr;
+  lt::telemetry::Counter* liveness_revived_ = nullptr;
+  lt::telemetry::Counter* liveness_keepalives_ = nullptr;
 };
 
 }  // namespace lite

@@ -28,6 +28,17 @@ class LiteCluster {
   // Creates an application client on `node` (user-level by default).
   std::unique_ptr<LiteClient> CreateClient(NodeId node, bool kernel_level = false);
 
+  // ---- Fault injection (src/faults/faults.h) ----
+  // The fabric-level fault engine: per-link drop/duplicate/delay rules,
+  // partitions, and node crash windows.
+  lt::FaultEngine& faults() { return cluster_.fabric().faults(); }
+  // Crash/restart at fabric level: while crashed, every transfer to or from
+  // the node drops; peers detect it via keepalive lease expiry (or mark it
+  // dead directly in tests). The node's LITE instance and memory survive —
+  // restart models a fast reboot with its LMR metadata registry intact.
+  void CrashNode(NodeId id) { faults().CrashNode(id); }
+  void RestartNode(NodeId id) { faults().RestartNode(id); }
+
   // ---- Telemetry ----
   // Enables request-path tracing on every node (sample_every = 0 turns it
   // back off; 1 traces every op).

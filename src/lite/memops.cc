@@ -162,6 +162,11 @@ Status LiteInstance::RebuildNameService() {
     if (peers_[peer] == nullptr) {
       continue;
     }
+    if (PeerDead(peer)) {
+      // Crashed nodes are skipped; their names resurface on the rebuild that
+      // follows their restart (the metadata registry survives with them).
+      continue;
+    }
     std::vector<uint8_t> out;
     WireWriter empty;
     LT_RETURN_IF_ERROR(InternalRpc(peer, kFnListNames, empty.bytes(), &out));

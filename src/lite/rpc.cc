@@ -10,8 +10,10 @@
 // write-imm into the client's reply slot. Request writes are unsignaled:
 // failures surface as reply timeouts (paper Sec. 5.1).
 #include <cstring>
+#include <set>
 #include <thread>
 
+#include "src/common/annotations.h"
 #include "src/common/logging.h"
 #include "src/common/service_timeline.h"
 #include "src/common/timing.h"
@@ -128,11 +130,31 @@ StatusOr<uint32_t> LiteInstance::AcquireReplySlot(uint32_t out_max) {
     return Status::InvalidArgument("RPC reply larger than reply-slot size");
   }
   std::unique_lock<std::mutex> lock(slot_mu_);
+  if (free_slots_.empty()) {
+    // Zombie quarantine sweep: a slot whose caller timed out is normally
+    // freed by the late reply — but a dead peer never sends one. Reclaim
+    // zombies older than the RPC timeout so a crashed server can't leak the
+    // slot pool dry.
+    const uint64_t now_real = lt::RealNowNs();
+    for (uint32_t i = 0; i < reply_slots_.size(); ++i) {
+      ReplySlot& z = *reply_slots_[i];
+      if (z.state.load(std::memory_order_acquire) == 4 &&
+          now_real - z.zombie_since_real_ns.load(std::memory_order_relaxed) >
+              params().lite_rpc_timeout_ns) {
+        z.state.store(0, std::memory_order_release);
+        free_slots_.push_back(i);
+        rpc_zombie_reclaimed_->Inc();
+      }
+    }
+  }
   if (!slot_cv_.wait_for(lock, std::chrono::seconds(10), [this] { return !free_slots_.empty(); })) {
     return Status::ResourceExhausted("no free RPC reply slots");
   }
   uint32_t slot = free_slots_.back();
   free_slots_.pop_back();
+  // New generation: late replies addressed to the previous tenant of this
+  // slot no longer match and are discarded by HandleReplyImm.
+  reply_slots_[slot]->gen.fetch_add(1, std::memory_order_relaxed);
   reply_slots_[slot]->state.store(1, std::memory_order_release);
   return slot;
 }
@@ -150,18 +172,24 @@ void LiteInstance::ReleaseReplySlot(uint32_t slot) {
 
 Status LiteInstance::PostRpcRequest(RpcChannel* channel, RpcFuncId func, const void* in,
                                     uint32_t in_len, PhysAddr reply_phys, uint32_t reply_max,
-                                    uint32_t reply_slot, Priority pri) {
+                                    uint32_t reply_slot, Priority pri, uint32_t* seq_inout,
+                                    bool fail_fast_dead) {
   const uint64_t entry_len = Align64(sizeof(RpcReqHeader) + in_len);
   if (entry_len > channel->ring_size) {
     return Status::InvalidArgument("RPC input larger than server ring");
+  }
+  if (fail_fast_dead && PeerDead(channel->server)) {
+    rpc_dead_fast_fail_->Inc();
+    return Status::Unavailable("peer marked dead by liveness service");
   }
 
   std::lock_guard<std::mutex> lock(channel->mu);
   const uint64_t real_deadline = lt::RealNowNs() + params().lite_rpc_timeout_ns;
   uint64_t off;
   while (true) {
-    uint64_t head;
-    std::memcpy(&head, node_->mem().Data(channel->head_mirror, 8), 8);
+    // The head mirror is DMA-written by the server's head-writer thread; the
+    // racy read is the paper's design (stale heads only delay reuse).
+    uint64_t head = lt::SimDmaRead64(node_->mem().Data(channel->head_mirror, 8));
     off = channel->tail % channel->ring_size;
     uint64_t pad = (off + entry_len > channel->ring_size) ? (channel->ring_size - off) : 0;
     if (channel->tail + pad + entry_len <= head + channel->ring_size) {
@@ -177,13 +205,22 @@ Status LiteInstance::PostRpcRequest(RpcChannel* channel, RpcFuncId func, const v
     std::this_thread::sleep_for(std::chrono::microseconds(2));
   }
 
+  if (*seq_inout == 0) {
+    // Fresh call: assign the channel's next sequence (retries re-present the
+    // same one so the server can dedup). 0 is reserved for "never dedup".
+    if (channel->next_seq == 0) {
+      channel->next_seq = 1;
+    }
+    *seq_inout = channel->next_seq++;
+  }
+
   RpcReqHeader hdr;
   hdr.input_len = in_len;
   hdr.reply_phys = reply_phys;
-  hdr.reply_max = reply_max;
+  hdr.reply_max = static_cast<uint16_t>(reply_max);
   hdr.reply_slot = reply_slot;
-  hdr.client_node = node_id();
-  hdr.entry_len = static_cast<uint32_t>(entry_len);
+  hdr.seq = *seq_inout;
+  hdr.client_node = static_cast<uint16_t>(node_id());
   hdr.tail_after = channel->tail + entry_len;
 
   std::vector<uint8_t> staging(sizeof(RpcReqHeader) + in_len);
@@ -214,7 +251,10 @@ StatusOr<uint32_t> LiteInstance::RpcSend(NodeId server_node, RpcFuncId func, con
   // The reply may use the whole slot; if it exceeds the caller's buffer the
   // copy-out truncates and reports OutOfRange (the data still arrived).
   ReplySlot& s = *reply_slots_[*slot];
-  Status st = PostRpcRequest(*channel, func, in, in_len, s.buf_phys, s.buf_max, *slot, pri);
+  uint32_t seq = 0;
+  Status st = PostRpcRequest(*channel, func, in, in_len, s.buf_phys, s.buf_max,
+                             PackReplySlot(*slot, s.gen.load(std::memory_order_relaxed)), pri,
+                             &seq);
   if (!st.ok()) {
     ReleaseReplySlot(*slot);
     return st;
@@ -228,16 +268,14 @@ Status LiteInstance::RpcSendNoReply(NodeId server_node, RpcFuncId func, const vo
   if (!channel.ok()) {
     return channel.status();
   }
+  uint32_t seq = 0;
   return PostRpcRequest(*channel, func, in, in_len, /*reply_phys=*/0, /*reply_max=*/0,
-                        kNoReplySlot, pri);
+                        kNoReplySlot, pri, &seq);
 }
 
 Status LiteInstance::RpcWait(uint32_t slot, void* out, uint32_t out_max, uint32_t* out_len,
                              uint64_t timeout_ns) {
-  if (timeout_ns == 0) {
-    timeout_ns = params().lite_rpc_timeout_ns;
-  }
-  timeout_ns = std::min(timeout_ns, kLongTimeoutCapNs);
+  timeout_ns = EffectiveTimeoutNs(timeout_ns);
   ReplySlot& s = *reply_slots_[slot];
   uint32_t len;
   uint64_t ready_vtime;
@@ -245,7 +283,9 @@ Status LiteInstance::RpcWait(uint32_t slot, void* out, uint32_t out_max, uint32_
     std::unique_lock<std::mutex> lock(s.mu);
     if (!s.cv.wait_for(lock, std::chrono::nanoseconds(timeout_ns),
                        [&s] { return s.state.load(std::memory_order_acquire) >= 2; })) {
-      // Timed out: leave the slot as a zombie; a late reply frees it.
+      // Timed out: leave the slot as a zombie; a late reply frees it (or the
+      // quarantine sweep reclaims it if the peer died and none ever comes).
+      s.zombie_since_real_ns.store(lt::RealNowNs(), std::memory_order_relaxed);
       s.state.store(4, std::memory_order_release);
       lt::IdleFor(timeout_ns);
       return Status::Timeout("no RPC reply before timeout");
@@ -275,11 +315,117 @@ Status LiteInstance::RpcWait(uint32_t slot, void* out, uint32_t out_max, uint32_
 Status LiteInstance::Rpc(NodeId server_node, RpcFuncId func, const void* in, uint32_t in_len,
                          void* out, uint32_t out_max, uint32_t* out_len, Priority pri) {
   lt::telemetry::ScopedSpan span(&node_->telemetry().tracer(), "LT_RPC");
-  auto slot = RpcSend(server_node, func, in, in_len, out_max, pri);
+  return RpcCall(server_node, func, in, in_len, out, out_max, out_len, pri, RpcCallOpts{});
+}
+
+uint64_t LiteInstance::EffectiveTimeoutNs(uint64_t requested_ns) const {
+  if (requested_ns == kDefaultTimeout) {
+    requested_ns = params().lite_rpc_timeout_ns;
+  }
+  return std::min(requested_ns, kLongTimeoutCapNs);
+}
+
+Status LiteInstance::RpcCall(NodeId server_node, RpcFuncId func, const void* in, uint32_t in_len,
+                             void* out, uint32_t out_max, uint32_t* out_len, Priority pri,
+                             const RpcCallOpts& opts) {
+  if (opts.fail_fast_dead && PeerDead(server_node)) {
+    rpc_dead_fast_fail_->Inc();
+    return Status::Unavailable("peer marked dead by liveness service");
+  }
+  auto channel = GetChannel(server_node, RingIdFor(func));
+  if (!channel.ok()) {
+    return channel.status();
+  }
+  auto slot = AcquireReplySlot(out_max);
   if (!slot.ok()) {
     return slot.status();
   }
-  return RpcWait(*slot, out, out_max, out_len);
+  ReplySlot& s = *reply_slots_[*slot];
+  // The packed slot+generation rides every attempt; all attempts of one call
+  // share the slot, so whichever attempt's reply lands first completes it.
+  const uint32_t packed = PackReplySlot(*slot, s.gen.load(std::memory_order_relaxed));
+  const uint64_t per_try_ns = EffectiveTimeoutNs(opts.timeout_ns);
+  const uint32_t max_retries = opts.max_retries == kUseParamRetries
+                                   ? params().lite_rpc_max_retries
+                                   : opts.max_retries;
+  uint64_t backoff_ns = params().lite_rpc_retry_backoff_ns;
+  uint32_t seq = 0;  // Assigned by the first successful post; reused after.
+  Status last = Status::Timeout("no RPC reply before timeout");
+  for (uint32_t attempt = 0; attempt <= max_retries; ++attempt) {
+    if (attempt > 0) {
+      rpc_retries_->Inc();
+      lt::IdleFor(backoff_ns);
+      backoff_ns *= 2;
+      if (opts.fail_fast_dead && PeerDead(server_node)) {
+        rpc_dead_fast_fail_->Inc();
+        last = Status::Unavailable("peer marked dead by liveness service");
+        break;
+      }
+    }
+    Status posted = PostRpcRequest(*channel, func, in, in_len, s.buf_phys, s.buf_max, packed,
+                                   pri, &seq, opts.fail_fast_dead);
+    if (!posted.ok()) {
+      last = posted;
+      const lt::StatusCode c = posted.code();
+      if (c == lt::StatusCode::kUnavailable || c == lt::StatusCode::kTimeout ||
+          c == lt::StatusCode::kResourceExhausted) {
+        continue;  // Transient (QP reconnect exhausted / ring full): retry.
+      }
+      break;
+    }
+    uint32_t len;
+    uint64_t ready_vtime;
+    {
+      std::unique_lock<std::mutex> lock(s.mu);
+      if (!s.cv.wait_for(lock, std::chrono::nanoseconds(per_try_ns),
+                         [&s] { return s.state.load(std::memory_order_acquire) >= 2; })) {
+        lt::IdleFor(per_try_ns);  // The attempt's wait really elapsed.
+        last = Status::Timeout("no RPC reply before timeout");
+        continue;
+      }
+      len = s.reply_len;
+      ready_vtime = s.ready_vtime_ns;
+    }
+    SyncAdaptiveWithWakeup(ready_vtime, params());
+    lt::telemetry::StampStage(lt::telemetry::TraceStage::kCompletion, ready_vtime);
+    const uint32_t copy_len = std::min(len, out_max);
+    if (copy_len > 0 && out != nullptr) {
+      LocalCopyOut(out, s.buf_phys, copy_len);
+    }
+    if (out_len != nullptr) {
+      *out_len = len;
+    }
+    ReleaseReplySlot(*slot);
+    if (len > out_max) {
+      return Status::OutOfRange("reply truncated: larger than caller buffer");
+    }
+    return Status::Ok();
+  }
+  // Every attempt failed. If nothing was ever posted the slot is clean;
+  // otherwise a late reply may still land — quarantine it as a zombie.
+  if (seq == 0) {
+    ReleaseReplySlot(*slot);
+  } else {
+    bool became_ready = false;
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (s.state.load(std::memory_order_acquire) == 2) {
+        became_ready = true;  // Reply raced in after the final timeout.
+      } else {
+        s.zombie_since_real_ns.store(lt::RealNowNs(), std::memory_order_relaxed);
+        s.state.store(4, std::memory_order_release);
+      }
+    }
+    if (became_ready) {
+      ReleaseReplySlot(*slot);
+    }
+  }
+  if (opts.fail_fast_dead && last.code() == lt::StatusCode::kTimeout && PeerDead(server_node)) {
+    // Distinguish "peer is dead" from "peer is slow": the liveness service
+    // condemned the target while we were waiting.
+    last = Status::Unavailable("peer marked dead by liveness service");
+  }
+  return last;
 }
 
 Status LiteInstance::MulticastRpc(const std::vector<NodeId>& servers, RpcFuncId func,
@@ -319,15 +465,18 @@ Status LiteInstance::MulticastRpc(const std::vector<NodeId>& servers, RpcFuncId 
 
 Status LiteInstance::InternalRpc(NodeId server, RpcFuncId func, const WireWriterBytes& in,
                                  std::vector<uint8_t>* out, uint64_t timeout_ns) {
+  RpcCallOpts opts;
+  opts.timeout_ns = timeout_ns;
+  return InternalRpcOpts(server, func, in, out, opts);
+}
+
+Status LiteInstance::InternalRpcOpts(NodeId server, RpcFuncId func, const WireWriterBytes& in,
+                                     std::vector<uint8_t>* out, const RpcCallOpts& opts) {
   std::vector<uint8_t> raw(params().lite_reply_slot_bytes);
   uint32_t raw_len = 0;
-  auto slot = RpcSend(server, func, in.data(), static_cast<uint32_t>(in.size()),
-                      static_cast<uint32_t>(raw.size()));
-  if (!slot.ok()) {
-    return slot.status();
-  }
-  LT_RETURN_IF_ERROR(RpcWait(*slot, raw.data(), static_cast<uint32_t>(raw.size()), &raw_len,
-                             timeout_ns));
+  LT_RETURN_IF_ERROR(RpcCall(server, func, in.data(), static_cast<uint32_t>(in.size()),
+                             raw.data(), static_cast<uint32_t>(raw.size()), &raw_len,
+                             Priority::kHigh, opts));
   if (raw_len < sizeof(uint32_t)) {
     return Status::Internal("malformed internal RPC reply");
   }
@@ -364,10 +513,10 @@ BlockingQueue<RpcIncoming>* LiteInstance::EnsureAppQueue(RpcFuncId func) {
 StatusOr<RpcIncoming> LiteInstance::RecvRpc(RpcFuncId func, uint64_t timeout_ns) {
   BlockingQueue<RpcIncoming>* queue = EnsureAppQueue(func);
   std::optional<RpcIncoming> inc;
-  if (timeout_ns == ~0ull) {
+  if (timeout_ns == kInfiniteTimeout) {
     inc = queue->Pop();
   } else {
-    inc = queue->PopFor(std::chrono::nanoseconds(std::min(timeout_ns, kLongTimeoutCapNs)));
+    inc = queue->PopFor(std::chrono::nanoseconds(EffectiveTimeoutNs(timeout_ns)));
   }
   if (!inc.has_value()) {
     if (stopping_.load()) {
@@ -389,6 +538,11 @@ Status LiteInstance::ReplyRpc(const ReplyToken& token, const void* data, uint32_
   if (len > token.reply_max) {
     return Status::InvalidArgument("RPC reply exceeds caller's buffer");
   }
+  if (token.seq != 0) {
+    // Cache the reply before sending: a retried duplicate arriving after
+    // this point re-sends it instead of re-executing the handler.
+    RecordReplay(token, data, len);
+  }
   return OneSidedWriteImm(token.client_node, token.reply_phys, data, len,
                           EncodeImm(kReplyFuncId, token.reply_slot), Priority::kHigh);
 }
@@ -407,16 +561,17 @@ Status LiteInstance::SendMsg(NodeId dst, const void* data, uint32_t len, Priorit
   if (!channel.ok()) {
     return channel.status();
   }
+  uint32_t seq = 0;
   return PostRpcRequest(*channel, kMsgFuncId, data, len, /*reply_phys=*/0, /*reply_max=*/0,
-                        kNoReplySlot, pri);
+                        kNoReplySlot, pri, &seq);
 }
 
 StatusOr<MsgIncoming> LiteInstance::RecvMsg(uint64_t timeout_ns) {
   std::optional<MsgIncoming> msg;
-  if (timeout_ns == ~0ull) {
+  if (timeout_ns == kInfiniteTimeout) {
     msg = msg_queue_.Pop();
   } else {
-    msg = msg_queue_.PopFor(std::chrono::nanoseconds(std::min(timeout_ns, kLongTimeoutCapNs)));
+    msg = msg_queue_.PopFor(std::chrono::nanoseconds(EffectiveTimeoutNs(timeout_ns)));
   }
   if (!msg.has_value()) {
     if (stopping_.load()) {
@@ -463,7 +618,9 @@ void LiteInstance::PollLoop() {
 }
 
 void LiteInstance::HandleReplyImm(uint32_t imm, uint32_t byte_len, uint64_t vtime) {
-  uint32_t slot = ImmPayload(imm);
+  const uint32_t packed = ImmPayload(imm);
+  const uint32_t slot = UnpackReplySlot(packed);
+  const uint32_t gen = UnpackReplyGen(packed);
   if (slot >= reply_slots_.size()) {
     LT_LOG_WARNING << "node " << node_id() << ": reply IMM names bad slot " << slot;
     return;
@@ -473,16 +630,40 @@ void LiteInstance::HandleReplyImm(uint32_t imm, uint32_t byte_len, uint64_t vtim
   bool was_zombie = false;
   {
     std::lock_guard<std::mutex> lock(s.mu);
-    if (s.state.load(std::memory_order_acquire) == 4) {
-      was_zombie = true;
-    } else {
-      s.reply_len = byte_len;
-      s.ready_vtime_ns = vtime;
-      s.state.store(2, std::memory_order_release);
+    if ((s.gen.load(std::memory_order_relaxed) & kReplyGenMask) != gen) {
+      // Addressed to an earlier tenant of this slot (late reply after reuse).
+      rpc_stale_replies_->Inc();
+      return;
+    }
+    switch (s.state.load(std::memory_order_acquire)) {
+      case 1:  // Caller waiting: deliver.
+        s.reply_len = byte_len;
+        s.ready_vtime_ns = vtime;
+        s.state.store(2, std::memory_order_release);
+        break;
+      case 4:  // Caller gave up: the late reply frees the slot.
+        was_zombie = true;
+        break;
+      default:  // Free or already delivered: duplicate reply, drop it.
+        rpc_stale_replies_->Inc();
+        return;
     }
   }
   if (was_zombie) {
-    ReleaseReplySlot(slot);  // Late reply after caller timed out.
+    // Free only if still a zombie: the quarantine sweep in AcquireReplySlot
+    // may have reclaimed (or even re-issued) the slot since we dropped s.mu.
+    bool freed = false;
+    {
+      std::lock_guard<std::mutex> lock(slot_mu_);
+      int expected = 4;
+      if (s.state.compare_exchange_strong(expected, 0, std::memory_order_acq_rel)) {
+        free_slots_.push_back(slot);
+        freed = true;
+      }
+    }
+    if (freed) {
+      slot_cv_.notify_one();
+    }
   } else {
     s.cv.notify_one();
   }
@@ -510,10 +691,24 @@ void LiteInstance::HandleRequestImm(NodeId src, uint32_t imm, uint64_t vtime) {
 
   SpinFor(params().lite_rpc_dispatch_ns);
 
+  // The ring is DMA-written by the client's RNIC; read the header with the
+  // simulated-DMA copy (see annotations.h).
   RpcReqHeader hdr;
-  std::memcpy(&hdr, node_->mem().Data(ring->ring.addr + offset, sizeof(hdr)), sizeof(hdr));
-  if (hdr.magic != 0x4c495445 || hdr.input_len > ring->ring_size) {
+  lt::SimDmaCopy(&hdr, node_->mem().Data(ring->ring.addr + offset, sizeof(hdr)), sizeof(hdr));
+  if (hdr.magic != kRpcMagic || hdr.input_len > ring->ring_size) {
     LT_LOG_WARNING << "node " << node_id() << ": corrupt RPC header in ring";
+    return;
+  }
+
+  if (hdr.seq != 0 && !SeqFresh(ring, hdr.seq)) {
+    // Duplicate of an already-executed request (client retry or fabric
+    // duplication): release its ring space, then replay the cached reply
+    // instead of re-running the handler — at-most-once execution.
+    rpc_dup_requests_->Inc();
+    ring->head = std::max(ring->head, hdr.tail_after);
+    ring->head_to_publish.store(ring->head, std::memory_order_release);
+    head_updates_.Push({ring, NowNs()});
+    ReplayReply(ring, hdr);
     return;
   }
 
@@ -527,6 +722,8 @@ void LiteInstance::HandleRequestImm(NodeId src, uint32_t imm, uint64_t vtime) {
   inc.token.reply_phys = hdr.reply_phys;
   inc.token.reply_max = hdr.reply_max;
   inc.token.reply_slot = hdr.reply_slot;
+  inc.token.ring_func = ring->func;
+  inc.token.seq = hdr.seq;
   inc.arrival_vtime_ns = NowNs();
   inc.token.arrival_vtime_ns = inc.arrival_vtime_ns;
 
@@ -545,6 +742,152 @@ void LiteInstance::HandleRequestImm(NodeId src, uint32_t imm, uint64_t vtime) {
     msg_queue_.Push(std::move(msg));
   } else {
     internal_queue_.Push({func, std::move(inc)});
+  }
+}
+
+// ------------------------------------------------- idempotence bookkeeping
+
+bool LiteInstance::SeqFresh(ServerRing* ring, uint32_t seq) {
+  // Poll thread only — no lock needed on seq_low/seq_above. Sequences are
+  // per-channel and skip 0; wrap-around would need 2^32 calls on one channel.
+  if (seq <= ring->seq_low || ring->seq_above.count(seq) != 0) {
+    return false;
+  }
+  ring->seq_above.insert(seq);
+  // Collapse the consecutive run above the watermark (keeps the set sparse;
+  // it only holds gaps created by fault-injected reordering).
+  while (!ring->seq_above.empty() && *ring->seq_above.begin() == ring->seq_low + 1) {
+    ++ring->seq_low;
+    ring->seq_above.erase(ring->seq_above.begin());
+  }
+  return true;
+}
+
+void LiteInstance::RecordReplay(const ReplyToken& token, const void* data, uint32_t len) {
+  ServerRing* ring = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    auto it = rings_.find({token.client_node, token.ring_func});
+    if (it != rings_.end()) {
+      ring = it->second.get();
+    }
+  }
+  if (ring == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(ring->replay_mu);
+  auto& entry = ring->replay[token.seq];
+  if (len > 0) {
+    entry.assign(static_cast<const uint8_t*>(data), static_cast<const uint8_t*>(data) + len);
+  } else {
+    entry.clear();
+  }
+  while (ring->replay.size() > kReplayCacheEntries) {
+    ring->replay.erase(ring->replay.begin());  // Evict the oldest sequence.
+  }
+}
+
+void LiteInstance::ReplayReply(ServerRing* ring, const RpcReqHeader& hdr) {
+  if (hdr.reply_slot == kNoReplySlot || hdr.reply_phys == 0) {
+    return;  // Fire-and-forget duplicate: nothing to replay.
+  }
+  std::vector<uint8_t> cached;
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock(ring->replay_mu);
+    auto it = ring->replay.find(hdr.seq);
+    if (it != ring->replay.end()) {
+      cached = it->second;
+      hit = true;
+    }
+  }
+  if (!hit) {
+    // Not cached: either the original is still executing (its reply will
+    // arrive) or the sequence fell off the replay horizon (the client times
+    // out). Either way, re-executing would break at-most-once — drop it.
+    return;
+  }
+  rpc_replayed_replies_->Inc();
+  (void)OneSidedWriteImm(ring->client, hdr.reply_phys, cached.data(),
+                         static_cast<uint32_t>(cached.size()),
+                         EncodeImm(kReplyFuncId, hdr.reply_slot), Priority::kHigh);
+}
+
+// ----------------------------------------------------- liveness (keepalive)
+
+void LiteInstance::SetPeerDead(NodeId node, bool dead) {
+  if (node >= peer_dead_n_) {
+    return;
+  }
+  const uint8_t prev =
+      peer_dead_[node].exchange(dead ? 1 : 0, std::memory_order_relaxed);
+  if (dead && prev == 0) {
+    liveness_marked_dead_->Inc();
+    LT_LOG_INFO << "node " << node_id() << ": liveness marks node " << node << " dead";
+  } else if (!dead && prev != 0) {
+    liveness_revived_->Inc();
+    LT_LOG_INFO << "node " << node_id() << ": liveness revives node " << node;
+  }
+}
+
+void LiteInstance::KeepaliveLoop() {
+  const uint64_t interval_ns = params().lite_keepalive_interval_ns;
+  int consecutive_failures = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(keepalive_mu_);
+      if (keepalive_cv_.wait_for(lock, std::chrono::nanoseconds(interval_ns),
+                                 [this] { return stopping_.load(); })) {
+        return;
+      }
+    }
+    WireWriter w;
+    w.Put<NodeId>(node_id());
+    std::vector<uint8_t> out;
+    RpcCallOpts opts;
+    // Keepalives probe liveness; they must not linger (no retries) and must
+    // reach a manager we currently believe dead (it may have restarted).
+    opts.timeout_ns = std::max<uint64_t>(2 * interval_ns, 1'000'000);
+    opts.max_retries = 0;
+    opts.fail_fast_dead = false;
+    Status st = InternalRpcOpts(manager_node_, kFnKeepalive, w.bytes(), &out, opts);
+    liveness_keepalives_->Inc();
+    if (!st.ok()) {
+      if (++consecutive_failures >= 3) {
+        SetPeerDead(manager_node_, true);
+      }
+      continue;
+    }
+    consecutive_failures = 0;
+    SetPeerDead(manager_node_, false);
+    // The manager piggybacks its dead list on the reply; adopt it (our own
+    // id and the manager's are never taken on someone else's word).
+    WireReader r(out.data(), out.size());
+    uint32_t dead_count = 0;
+    if (!r.Get(&dead_count) || dead_count > peer_dead_n_) {
+      continue;
+    }
+    std::vector<uint8_t> dead(peer_dead_n_, 0);
+    bool parse_ok = true;
+    for (uint32_t i = 0; i < dead_count; ++i) {
+      NodeId n = kInvalidNode;
+      if (!r.Get(&n)) {
+        parse_ok = false;
+        break;
+      }
+      if (n < dead.size()) {
+        dead[n] = 1;
+      }
+    }
+    if (!parse_ok) {
+      continue;
+    }
+    for (NodeId n = 0; n < static_cast<NodeId>(peer_dead_n_); ++n) {
+      if (n == node_id() || n == manager_node_) {
+        continue;
+      }
+      SetPeerDead(n, dead[n] != 0);
+    }
   }
 }
 

@@ -74,6 +74,7 @@ constexpr RpcFuncId kFnMasterMove = 1016;
 constexpr RpcFuncId kFnMasterGrant = 1017;
 constexpr RpcFuncId kFnListNames = 1018;  // Manager recovery (Sec. 3.3).
 constexpr RpcFuncId kFnEcho = 1019;  // Internal liveness check / tests.
+constexpr RpcFuncId kFnKeepalive = 1022;  // Lease renewal to the cluster manager.
 
 // All internal control functions and messaging share one server ring per
 // client node (application functions get their own ring, as in the paper).
@@ -98,6 +99,36 @@ inline uint32_t ImmPayload(uint32_t imm) { return imm & kImmPayloadMask; }
 
 // Ring entries are offset-addressed in 64-byte units inside the IMM payload.
 constexpr uint32_t kRingOffsetUnit = 64;
+
+// ---- Timeout sentinel convention (applies to every timeout_ns parameter in
+// the LITE API: Rpc / RpcWait / RecvRpc / RecvMsg / SendRpc variants) ----
+//   kDefaultTimeout (0)  -> use SimParams::lite_rpc_timeout_ns
+//   kInfiniteTimeout(~0) -> wait "forever" (client paths cap at one hour of
+//                           real time as a hang backstop; server-side recv
+//                           blocks until the instance stops)
+// Any other value is a real-time bound in nanoseconds.
+constexpr uint64_t kDefaultTimeout = 0;
+constexpr uint64_t kInfiniteTimeout = ~0ull;
+
+// ---- Reply-slot addressing (22-bit IMM payload of kReplyFuncId) ----
+// The payload packs {generation, slot}: the slot index in the low 10 bits
+// (so lite_reply_slots must be <= 1000 — distinguishable from kNoReplySlot's
+// all-ones low bits) and a 12-bit reuse generation above it. The generation
+// lets a client that timed out and reused the slot discard late or duplicate
+// replies from an earlier call (aliasing only after 4096 reuses of one slot
+// inside a single call's lifetime, which the retry bound makes impossible).
+constexpr uint32_t kReplySlotBits = 10;
+constexpr uint32_t kReplySlotMask = (1u << kReplySlotBits) - 1;
+constexpr uint32_t kReplyGenBits = kImmPayloadBits - kReplySlotBits;
+constexpr uint32_t kReplyGenMask = (1u << kReplyGenBits) - 1;
+
+inline uint32_t PackReplySlot(uint32_t slot, uint32_t gen) {
+  return ((gen & kReplyGenMask) << kReplySlotBits) | (slot & kReplySlotMask);
+}
+inline uint32_t UnpackReplySlot(uint32_t packed) { return packed & kReplySlotMask; }
+inline uint32_t UnpackReplyGen(uint32_t packed) {
+  return (packed >> kReplySlotBits) & kReplyGenMask;
+}
 
 }  // namespace lite
 

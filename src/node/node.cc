@@ -17,10 +17,10 @@ Node::Node(NodeId id, const SimParams& params, Fabric* fabric, RnicDirectory* di
       port_(fabric->Attach(id)),
       rnic_(id, params_, &mem_, port_, directory),
       tcp_(id, params_, fabric) {
-  RegisterHardwareProbes();
+  RegisterHardwareProbes(fabric);
 }
 
-void Node::RegisterHardwareProbes() {
+void Node::RegisterHardwareProbes(Fabric* fabric) {
   // Probes read existing per-component atomics only at snapshot time, so
   // instrumenting the hardware layers costs the hot path nothing.
   telemetry::Registry& reg = telemetry_.registry();
@@ -49,6 +49,17 @@ void Node::RegisterHardwareProbes() {
   reg.RegisterProbe("fabric.port.reservations", [this] { return port_->reservation_count(); });
   reg.RegisterProbe("fabric.port.queue_delay_ns",
                     [this] { return port_->queue_delay_total_ns(); });
+  // Fault-injection visibility (fabric-wide engine; the fabric outlives every
+  // node, so capturing it in snapshot-time probes is safe).
+  FaultEngine* faults = &fabric->faults();
+  const NodeId id = id_;
+  reg.RegisterProbe("faults.tx_drops", [faults, id] { return faults->drops_from(id); });
+  reg.RegisterProbe("faults.drops_total", [faults] { return faults->drops(); });
+  reg.RegisterProbe("faults.duplicates", [faults] { return faults->duplicates(); });
+  reg.RegisterProbe("faults.delays", [faults] { return faults->delays_injected(); });
+  reg.RegisterProbe("faults.crash_drops", [faults] { return faults->crash_drops(); });
+  reg.RegisterProbe("faults.partition_drops",
+                    [faults] { return faults->partition_drops(); });
   reg.RegisterProbe("os.syscalls", [this] { return os_.syscall_count(); });
   reg.RegisterProbe("os.crossings", [this] { return os_.crossing_count(); });
 }

@@ -62,7 +62,7 @@ class Node {
   Process* CreateProcess();
 
  private:
-  void RegisterHardwareProbes();
+  void RegisterHardwareProbes(Fabric* fabric);
 
   const NodeId id_;
   const SimParams& params_;

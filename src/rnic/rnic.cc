@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "src/common/logging.h"
+#include "src/common/annotations.h"
 #include "src/common/timing.h"
 #include "src/telemetry/trace.h"
 
@@ -386,6 +387,9 @@ Status Rnic::PostSend(Qp* qp, const WorkRequest& wr) {
     if (!qp->connected()) {
       return Status::FailedPrecondition("RC QP not connected");
     }
+    if (qp->in_error()) {
+      return Status::FailedPrecondition("RC QP in error state (reset required)");
+    }
     dst_node = qp->remote_node();
     dst_qpn = qp->remote_qpn();
   } else {
@@ -459,8 +463,12 @@ Status Rnic::ExecuteOneSided(Qp* qp, const WorkRequest& wr, Rnic* remote) {
   uint64_t request_bytes = kOneSidedHeaderBytes + (is_read ? 0 : wr.length);
   uint64_t response_bytes = is_read ? wr.length : 0;
 
-  uint64_t request_arrive = FinishOrDrop(remote, request_bytes, local_done);
+  TransferFaults request_faults;
+  uint64_t request_arrive = FinishOrDrop(remote, request_bytes, local_done, &request_faults);
   if (request_arrive == Fabric::kDropped) {
+    // Retransmit budget exhausted: the QP transitions to the error state
+    // (hardware semantics); the owner must reset it before reusing.
+    qp->SetError();
     PushSendCompletion(qp, wr, Status::Unavailable("message dropped"), now + kRnrTimeoutNs / 64);
     return Status::Ok();
   }
@@ -486,6 +494,7 @@ Status Rnic::ExecuteOneSided(Qp* qp, const WorkRequest& wr, Rnic* remote) {
     ready_at = FinishOrDropFrom(remote, response_bytes + kOneSidedHeaderBytes / 2,
                                 remote_done + params_.rnic_ack_ns);
     if (ready_at == Fabric::kDropped) {
+      qp->SetError();
       PushSendCompletion(qp, wr, Status::Unavailable("response dropped"),
                          now + kRnrTimeoutNs / 64);
       return Status::Ok();
@@ -506,6 +515,13 @@ Status Rnic::ExecuteOneSided(Qp* qp, const WorkRequest& wr, Rnic* remote) {
       rc.src_node = node_;
       rc.src_qpn = qp->qpn();
       rc.ready_at_ns = remote_done + params_.rnic_completion_ns;
+      if (request_faults.duplicate) {
+        // Fault injection duplicated the request on the wire: the receiver
+        // sees the imm event twice (upper layers must dedup by sequence).
+        Completion dup = rc;
+        dup.ready_at_ns += params_.wire_latency_ns + request_faults.dup_extra_delay_ns;
+        remote_qp->recv_cq()->Push(std::move(dup));
+      }
       remote_qp->recv_cq()->Push(std::move(rc));
     }
   }
@@ -570,6 +586,9 @@ Status Rnic::ExecuteSend(Qp* qp, const WorkRequest& wr, Rnic* remote, uint32_t d
       ReserveEngine(now, params_.rnic_process_ns + qpc_penalty + local->cache_penalty_ns);
   uint64_t arrive = FinishOrDrop(remote, wire_bytes + kOneSidedHeaderBytes / 2, local_done);
   if (arrive == Fabric::kDropped) {
+    if (qp->type() == QpType::kRc) {
+      qp->SetError();
+    }
     PushSendCompletion(qp, wr, Status::Unavailable("message dropped"), now + kRnrTimeoutNs / 64);
     return Status::Ok();
   }
@@ -598,8 +617,9 @@ Status Rnic::ExecuteSend(Qp* qp, const WorkRequest& wr, Rnic* remote, uint32_t d
   return Status::Ok();
 }
 
-uint64_t Rnic::FinishOrDrop(Rnic* remote, uint64_t bytes, uint64_t earliest_ns) {
-  return port_->fabric()->TransferFinishNs(node_, remote->node(), bytes, earliest_ns);
+uint64_t Rnic::FinishOrDrop(Rnic* remote, uint64_t bytes, uint64_t earliest_ns,
+                            TransferFaults* faults_out) {
+  return port_->fabric()->TransferFinishNs(node_, remote->node(), bytes, earliest_ns, faults_out);
 }
 
 uint64_t Rnic::FinishOrDropFrom(Rnic* remote, uint64_t bytes, uint64_t earliest_ns) {
@@ -608,7 +628,7 @@ uint64_t Rnic::FinishOrDropFrom(Rnic* remote, uint64_t bytes, uint64_t earliest_
 
 void Rnic::CopyResolved(const Resolved& src, const Resolved& dst, uint64_t len) {
   if (src.host != nullptr && dst.host != nullptr) {
-    std::memcpy(dst.host, src.host, len);
+    SimDmaCopy(dst.host, src.host, len);
     return;
   }
   if (src.host != nullptr) {
@@ -617,7 +637,7 @@ void Rnic::CopyResolved(const Resolved& src, const Resolved& dst, uint64_t len) 
     for (const PhysRange& pr : dst.ranges) {
       uint64_t take = std::min<uint64_t>(pr.size, len - off);
       PhysMem* dmem = directory_->Lookup(pr.node)->mem();
-      std::memcpy(dmem->Data(pr.addr, take), src.host + off, take);
+      SimDmaCopy(dmem->Data(pr.addr, take), src.host + off, take);
       off += take;
       if (off == len) {
         break;
@@ -632,7 +652,7 @@ void Rnic::CopyResolved(const Resolved& src, const Resolved& dst, uint64_t len) 
     for (const PhysRange& pr : src.ranges) {
       uint64_t take = std::min<uint64_t>(pr.size, len - off);
       PhysMem* smem = directory_->Lookup(pr.node)->mem();
-      std::memcpy(dst.host + off, smem->Data(pr.addr, take), take);
+      SimDmaCopy(dst.host + off, smem->Data(pr.addr, take), take);
       off += take;
       if (off == len) {
         break;
@@ -653,7 +673,7 @@ void Rnic::CopyResolved(const Resolved& src, const Resolved& dst, uint64_t len) 
     uint64_t take = std::min({savail, davail, remaining});
     PhysMem* smem = directory_->Lookup(src.ranges[si].node)->mem();
     PhysMem* dmem = directory_->Lookup(dst.ranges[di].node)->mem();
-    std::memcpy(dmem->Data(dst.ranges[di].addr + doff, take),
+    SimDmaCopy(dmem->Data(dst.ranges[di].addr + doff, take),
                 smem->Data(src.ranges[si].addr + soff, take), take);
     soff += take;
     doff += take;
@@ -687,6 +707,7 @@ Status Rnic::ExecuteAtomic(Qp* qp, const WorkRequest& wr, Rnic* remote) {
   uint64_t local_done = ReserveEngine(now, params_.rnic_process_ns + qpc_penalty);
   uint64_t arrive = FinishOrDrop(remote, kOneSidedHeaderBytes + 16, local_done);
   if (arrive == Fabric::kDropped) {
+    qp->SetError();
     PushSendCompletion(qp, wr, Status::Unavailable("atomic dropped"), now + kRnrTimeoutNs / 64);
     return Status::Ok();
   }

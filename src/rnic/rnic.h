@@ -165,6 +165,17 @@ class Qp {
   std::optional<Rqe> TakeRecvWait(uint64_t real_timeout_ns);
   size_t RecvDepth() const;
 
+  // ---- Error state (RC reliability model) ----
+  // A dropped/partitioned transfer moves an RC QP to the error state, like
+  // hardware exhausting its retransmit budget: further PostSends fail fast
+  // with kFailedPrecondition until the owner resets the QP. ResetToRts()
+  // models the ibv_modify_qp ERR->RESET->INIT->RTR->RTS round-trip (the
+  // connection target is preserved); the reconnect's time cost is charged by
+  // the caller (LITE's lite_qp_reconnect_ns).
+  bool in_error() const { return state_.load(std::memory_order_acquire) != 0; }
+  void SetError() { state_.store(1, std::memory_order_release); }
+  void ResetToRts() { state_.store(0, std::memory_order_release); }
+
  private:
   Rnic* const rnic_;
   const uint32_t qpn_;
@@ -173,6 +184,7 @@ class Qp {
   Cq* const recv_cq_;
   NodeId remote_node_ = kInvalidNode;
   uint32_t remote_qpn_ = 0;
+  std::atomic<int> state_{0};  // 0 = RTS, 1 = error
 
   mutable std::mutex rq_mu_;
   std::condition_variable rq_cv_;
@@ -271,7 +283,8 @@ class Rnic {
 
   // Absolute finish time of a one-way transfer to `remote` starting no
   // earlier than `earliest_ns`, or Fabric::kDropped under failure injection.
-  uint64_t FinishOrDrop(Rnic* remote, uint64_t bytes, uint64_t earliest_ns);
+  uint64_t FinishOrDrop(Rnic* remote, uint64_t bytes, uint64_t earliest_ns,
+                        TransferFaults* faults_out = nullptr);
   // Same, for the reverse direction (remote -> this node): read responses.
   uint64_t FinishOrDropFrom(Rnic* remote, uint64_t bytes, uint64_t earliest_ns);
 

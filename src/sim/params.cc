@@ -26,6 +26,8 @@ SimParams SimParams::FastForTests() {
   p.lite_malloc_local_ns = 0;
   p.lite_rpc_ring_bytes = 128 << 10;
   p.lite_rpc_timeout_ns = 2'000'000'000;
+  p.lite_rpc_retry_backoff_ns = 0;  // Retries are immediate in fast tests.
+  p.lite_qp_reconnect_ns = 0;
   p.lite_reply_slots = 128;
   p.local_op_base_ns = 0;
   p.tcp_send_stack_ns = 0;

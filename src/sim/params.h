@@ -65,6 +65,14 @@ struct SimParams {
                                              // smaller simulated memory pools).
   uint64_t lite_rpc_timeout_ns = 2'000'000'000;  // RPC failure-detection timeout.
   uint64_t lite_adaptive_spin_ns = 6'000;  // Busy-check budget before sleeping.
+  // Failure recovery (see DESIGN.md "Failure model & recovery").
+  uint32_t lite_rpc_max_retries = 3;        // Transparent retransmits per call.
+  uint64_t lite_rpc_retry_backoff_ns = 200'000;  // First retry backoff; doubles.
+  uint64_t lite_qp_reconnect_ns = 25'000;   // modify_qp ERR->RESET->...->RTS.
+  // Liveness: keepalive cadence (real time; 0 disables the service) and the
+  // manager-side lease (0 means 5x the keepalive interval).
+  uint64_t lite_keepalive_interval_ns = 0;
+  uint64_t lite_lease_timeout_ns = 0;
   int lite_qp_sharing_factor = 2;     // K in "K x N QPs per node" (Sec. 6.1).
   size_t lite_reply_slots = 256;      // Concurrent outstanding RPCs per node.
   size_t lite_reply_slot_bytes = 16384;  // Max RPC reply size per slot.

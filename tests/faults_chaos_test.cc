@@ -1,0 +1,291 @@
+// Chaos soak: a KV-style RPC server plus remote memops run under a seeded
+// randomized fault schedule (drops, duplicates, jitter), a server crash and
+// restart, and a manager crash with name-service rebuild. Verifies the
+// robustness pillars end to end: acked operations executed exactly once
+// (idempotent retry + reply replay), dead peers detected via keepalive
+// leases and failed fast with Unavailable, and full convergence once the
+// network heals.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "src/common/timing.h"
+#include "src/lite/lite_cluster.h"
+
+namespace lite {
+namespace {
+
+using lt::StatusCode;
+
+constexpr RpcFuncId kKvFunc = 7;
+constexpr uint64_t kGetSentinel = ~0ull;
+
+// KV server with per-op execution counts: request is [op_id|key|value]
+// (value == kGetSentinel reads the key), reply echoes the op_id (+ value for
+// gets). The exec-count map is the exactly-once witness.
+class KvServer {
+ public:
+  KvServer(LiteCluster* cluster, lt::NodeId node)
+      : client_(cluster->CreateClient(node, /*kernel_level=*/true)) {
+    EXPECT_TRUE(client_->RegisterRpc(kKvFunc).ok());
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  ~KvServer() { Stop(); }
+
+  void Stop() {
+    if (!stopping_.exchange(true)) {
+      thread_.join();
+    }
+  }
+
+  // Safe after Stop().
+  const std::map<uint64_t, int>& exec_counts() const { return exec_; }
+  uint64_t Value(uint64_t key) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? 0 : it->second;
+  }
+
+ private:
+  void Run() {
+    while (!stopping_.load()) {
+      auto inc = client_->RecvRpc(kKvFunc, 20'000'000);
+      if (!inc.ok() || inc->data.size() < 24) {
+        continue;
+      }
+      uint64_t op_id = 0, key = 0, value = 0;
+      std::memcpy(&op_id, inc->data.data(), 8);
+      std::memcpy(&key, inc->data.data() + 8, 8);
+      std::memcpy(&value, inc->data.data() + 16, 8);
+      if (value == kGetSentinel) {
+        uint64_t reply[2] = {op_id, Value(key)};
+        (void)client_->ReplyRpc(inc->token, reply, sizeof(reply));
+      } else {
+        ++exec_[op_id];
+        kv_[key] = value;
+        (void)client_->ReplyRpc(inc->token, &op_id, sizeof(op_id));
+      }
+    }
+  }
+
+  std::unique_ptr<LiteClient> client_;
+  std::atomic<bool> stopping_{false};
+  std::map<uint64_t, int> exec_;     // op_id -> times executed
+  std::map<uint64_t, uint64_t> kv_;  // poll thread only
+  std::thread thread_;
+};
+
+struct WorkerStats {
+  std::vector<uint64_t> acked_ids;
+  std::map<uint64_t, uint64_t> last_acked;  // key -> value of last acked put
+  int failed = 0;
+};
+
+lt::Status Put(LiteClient* c, lt::NodeId server, uint64_t op_id, uint64_t key, uint64_t value,
+               uint64_t* acked_id) {
+  uint64_t req[3] = {op_id, key, value};
+  uint64_t reply = 0;
+  uint32_t len = 0;
+  lt::Status st = c->Rpc(server, kKvFunc, req, sizeof(req), &reply, sizeof(reply), &len);
+  if (st.ok() && len >= 8) {
+    *acked_id = reply;
+  }
+  return st;
+}
+
+lt::StatusOr<uint64_t> Get(LiteClient* c, lt::NodeId server, uint64_t op_id, uint64_t key) {
+  uint64_t req[3] = {op_id, key, kGetSentinel};
+  uint64_t reply[2] = {0, 0};
+  uint32_t len = 0;
+  lt::Status st = c->Rpc(server, kKvFunc, req, sizeof(req), reply, sizeof(reply), &len);
+  if (!st.ok()) {
+    return st;
+  }
+  if (len < 16 || reply[0] != op_id) {
+    return lt::Status::Internal("bad get reply");
+  }
+  return reply[1];
+}
+
+// Issues `n` sequential puts (unique op ids, 4 keys per worker); an op counts
+// as acked only when the reply echoed its id.
+void RunPuts(LiteClient* c, lt::NodeId server, uint64_t id_base, uint64_t key_base, int n,
+             WorkerStats* stats) {
+  for (int i = 0; i < n; ++i) {
+    const uint64_t op_id = id_base + static_cast<uint64_t>(i);
+    const uint64_t key = key_base + static_cast<uint64_t>(i % 4);
+    const uint64_t value = id_base + static_cast<uint64_t>(i) + 1;
+    uint64_t acked = 0;
+    lt::Status st = Put(c, server, op_id, key, value, &acked);
+    if (st.ok() && acked == op_id) {
+      stats->acked_ids.push_back(op_id);
+      stats->last_acked[key] = value;
+    } else {
+      ++stats->failed;
+    }
+  }
+}
+
+// Spin (real time) until pred() or the deadline; keepalives run on real time.
+// The deadline is generous: on a loaded single-core host the keepalive
+// cadence stretches far past its 2 ms nominal period.
+bool WaitFor(const std::function<bool()>& pred, uint64_t real_ns = 20'000'000'000ull) {
+  const uint64_t start = lt::RealNowNs();
+  while (!pred()) {
+    if (lt::RealNowNs() - start > real_ns) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+TEST(FaultsChaosTest, SoakWithCrashRestartAndManagerRebuild) {
+  lt::SimParams p = lt::SimParams::FastForTests();
+  p.lite_rpc_timeout_ns = 25'000'000;  // 25 ms per try: crashes fail fast.
+  p.lite_rpc_max_retries = 5;
+  p.lite_keepalive_interval_ns = 2'000'000;  // 2 ms cadence (real time).
+  p.lite_lease_timeout_ns = 10'000'000;      // dead after 10 ms of silence.
+  LiteCluster cluster(4, p);
+  cluster.faults().Reseed(0xc4a05);
+
+  const lt::NodeId kManager = 0, kServer = 1;
+  KvServer server(&cluster, kServer);
+  auto c2 = cluster.CreateClient(2);
+  auto c3 = cluster.CreateClient(3);
+
+  // Remote-memory traffic rides along: node 2 owns an LMR, node 3 maps it
+  // (through a dedicated client so memops and RPC load run concurrently).
+  auto c3m = cluster.CreateClient(3);
+  auto lh2 = c2->Malloc(8192, "chaos_mem");
+  ASSERT_TRUE(lh2.ok());
+  auto lh3 = c3m->Map("chaos_mem");
+  ASSERT_TRUE(lh3.ok());
+
+  // ---- Phase 1: lossy, duplicating, jittery network under load ----------
+  lt::LinkFaultRule lossy;
+  lossy.drop_p = 0.01;
+  lossy.dup_p = 0.005;
+  lossy.jitter_ns = 2'000;
+  cluster.faults().SetDefaultRule(lossy);
+
+  WorkerStats s2, s3;
+  std::thread w2([&] { RunPuts(c2.get(), kServer, 1000, 0, 120, &s2); });
+  std::thread w3([&] { RunPuts(c3.get(), kServer, 2000, 100, 120, &s3); });
+  int memops_ok = 0;
+  for (int i = 0; i < 40; ++i) {
+    uint64_t probe = 0xfeed0000 + static_cast<uint64_t>(i);
+    if (c3m->Write(*lh3, 8 * (i % 16), &probe, 8).ok()) {
+      uint64_t back = 0;
+      if (c3m->Read(*lh3, 8 * (i % 16), &back, 8).ok() && back == probe) {
+        ++memops_ok;
+      }
+    }
+  }
+  w2.join();
+  w3.join();
+  // Retries mask the 1% loss: the overwhelming majority must be acked.
+  EXPECT_GT(s2.acked_ids.size() + s3.acked_ids.size(), 220u);
+  EXPECT_GT(memops_ok, 30);
+
+  // ---- Phase 2: server crash, lease detection, restart, recovery --------
+  cluster.CrashNode(kServer);
+  uint64_t acked = 0;
+  lt::Status st = Put(c2.get(), kServer, 5000, 0, 1, &acked);
+  EXPECT_FALSE(st.ok());  // Unavailable or Timeout depending on detection.
+  // Keepalive lease expires at the manager; the verdict reaches node 2 on
+  // its next keepalive reply.
+  ASSERT_TRUE(WaitFor([&] { return cluster.instance(2)->PeerDead(kServer); }));
+  st = Put(c2.get(), kServer, 5001, 0, 2, &acked);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);  // fail-fast, no timeout burn
+  EXPECT_GT(cluster.instance(2)->Stat("lite.rpc.dead_fast_fail"), 0);
+
+  cluster.RestartNode(kServer);
+  ASSERT_TRUE(WaitFor([&] { return !cluster.instance(2)->PeerDead(kServer); }));
+  WorkerStats s2b, s3b;
+  RunPuts(c2.get(), kServer, 6000, 0, 30, &s2b);
+  RunPuts(c3.get(), kServer, 7000, 100, 30, &s3b);
+  EXPECT_EQ(s2b.acked_ids.size(), 30u);
+  EXPECT_EQ(s3b.acked_ids.size(), 30u);
+
+  // ---- Phase 3: manager crash + restart + name-service rebuild ----------
+  cluster.CrashNode(kManager);
+  ASSERT_TRUE(WaitFor([&] { return cluster.instance(2)->PeerDead(kManager); }));
+  // Manager-dependent ops fail fast; server traffic is unaffected.
+  EXPECT_EQ(c2->Malloc(4096, "during_outage").status().code(), StatusCode::kUnavailable);
+  uint64_t acked2 = 0;
+  EXPECT_TRUE(Put(c2.get(), kServer, 8000, 0, 42, &acked2).ok());
+
+  cluster.RestartNode(kManager);
+  // Let liveness fully converge: the restarted manager's leases for everyone
+  // are stale until their keepalives land, and until then its piggybacked
+  // dead list re-poisons the clients' view of the server. Rebuild also skips
+  // peers the manager believes dead.
+  auto all_alive = [&] {
+    for (lt::NodeId viewer : {lt::NodeId(0), lt::NodeId(2), lt::NodeId(3)}) {
+      for (lt::NodeId peer = 0; peer < 4; ++peer) {
+        if (peer != viewer && cluster.instance(viewer)->PeerDead(peer)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  ASSERT_TRUE(WaitFor(all_alive));
+  // The restarted manager lost its soft state; rebuild re-registers every
+  // live LMR name from the owners.
+  cluster.instance(kManager)->ClearNameServiceForTest();
+  ASSERT_TRUE(cluster.instance(kManager)->RebuildNameService().ok());
+  EXPECT_TRUE(c3m->Map("chaos_mem").ok());
+  EXPECT_TRUE(c2->Malloc(4096, "after_rebuild").ok());
+
+  // ---- Final: heal and converge -----------------------------------------
+  cluster.faults().ClearAllRules();
+  WorkerStats fin2, fin3;
+  RunPuts(c2.get(), kServer, 9000, 0, 8, &fin2);
+  RunPuts(c3.get(), kServer, 9500, 100, 8, &fin3);
+  EXPECT_EQ(fin2.acked_ids.size(), 8u);
+  EXPECT_EQ(fin3.acked_ids.size(), 8u);
+  uint64_t probe = 0xabcdef;
+  ASSERT_TRUE(c3m->Write(*lh3, 0, &probe, 8).ok());
+  uint64_t back = 0;
+  ASSERT_TRUE(c2->Read(*lh2, 0, &back, 8).ok());
+  EXPECT_EQ(back, probe);
+
+  // Reads see the last acked write per key.
+  for (const auto& [key, value] : fin2.last_acked) {
+    auto got = Get(c2.get(), kServer, 99'000 + key, key);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, value) << "key " << key;
+  }
+  for (const auto& [key, value] : fin3.last_acked) {
+    auto got = Get(c3.get(), kServer, 99'500 + key, key);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, value) << "key " << key;
+  }
+
+  server.Stop();
+  // Exactly-once audit: duplicates and retransmits never double-execute,
+  // and every acked op really ran.
+  for (const auto& [op_id, count] : server.exec_counts()) {
+    EXPECT_EQ(count, 1) << "op " << op_id << " executed " << count << " times";
+  }
+  for (const WorkerStats* s : {&s2, &s3, &s2b, &s3b, &fin2, &fin3}) {
+    for (uint64_t id : s->acked_ids) {
+      auto it = server.exec_counts().find(id);
+      ASSERT_NE(it, server.exec_counts().end()) << "acked op " << id << " never executed";
+    }
+  }
+  // The fault schedule actually fired.
+  EXPECT_GT(cluster.faults().drops(), 0u);
+  EXPECT_GT(cluster.faults().crash_drops(), 0u);
+  EXPECT_GT(cluster.instance(2)->Stat("lite.rpc.retries"), 0);
+}
+
+}  // namespace
+}  // namespace lite

@@ -319,6 +319,63 @@ TEST_F(LiteMemoryTest, RebuildOnlyOnManagerNode) {
             StatusCode::kFailedPrecondition);
 }
 
+TEST_F(LiteMemoryTest, RebuildNameServiceUnderConcurrentTraffic) {
+  // The manager rebuild must be safe while clients keep hammering the data
+  // path (memops on established handles, which bypass the name service) and
+  // the control path (LT_map lookups, which race the wipe/rebuild window).
+  auto lh = c1_->Malloc(8192, "rebuild_live");
+  ASSERT_TRUE(lh.ok());
+  auto mapped = c2_->Map("rebuild_live");
+  ASSERT_TRUE(mapped.ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> memops_failed{0};
+  std::atomic<int> lookups_ok{0};
+  std::thread memops([&] {
+    uint64_t i = 0;
+    while (!stop.load()) {
+      uint64_t v = ++i;
+      if (!c2_->Write(*mapped, 8 * (i % 64), &v, 8).ok()) {
+        memops_failed.fetch_add(1);
+        continue;
+      }
+      uint64_t back = 0;
+      if (!c2_->Read(*mapped, 8 * (i % 64), &back, 8).ok() || back != v) {
+        memops_failed.fetch_add(1);
+      }
+    }
+  });
+  std::thread lookups([&] {
+    while (!stop.load()) {
+      // NotFound is legal inside the wipe window; anything mapped must work.
+      auto m = c0_->Map("rebuild_live");
+      if (m.ok()) {
+        lookups_ok.fetch_add(1);
+        (void)c0_->Unmap(*m);
+      }
+    }
+  });
+
+  for (int round = 0; round < 5; ++round) {
+    cluster_->instance(0)->ClearNameServiceForTest();
+    ASSERT_TRUE(cluster_->instance(0)->RebuildNameService().ok()) << "round " << round;
+  }
+  // The name is stably registered now; on a loaded host the lookup thread may
+  // not have run at all yet, so hold the traffic open until it scores.
+  while (lookups_ok.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true);
+  memops.join();
+  lookups.join();
+
+  // Data path never depends on the name service: zero failures.
+  EXPECT_EQ(memops_failed.load(), 0);
+  EXPECT_GT(lookups_ok.load(), 0);
+  // After the last rebuild the name resolves again.
+  EXPECT_TRUE(c0_->Map("rebuild_live").ok());
+}
+
 // Parameterized IO sizes through the LITE data path.
 class LiteIoSizeTest : public ::testing::TestWithParam<uint64_t> {
  protected:

@@ -329,5 +329,138 @@ TEST(LiteRpcLatencyTest, NaiveSyscallModeCostsMore) {
   EXPECT_GT(cluster.node(0)->os().syscall_count(), syscalls0);
 }
 
+// ---- Failure recovery: retries, idempotence, liveness ---------------------
+
+// Short per-try timeout so dropped transfers retry quickly.
+class LiteRpcRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lt::SimParams p = lt::SimParams::FastForTests();
+    p.lite_rpc_timeout_ns = 50'000'000;  // 50 ms per try
+    p.lite_rpc_max_retries = 3;
+    cluster_ = std::make_unique<LiteCluster>(2, p);
+    c0_ = cluster_->CreateClient(0);
+  }
+  std::unique_ptr<LiteCluster> cluster_;
+  std::unique_ptr<LiteClient> c0_;
+};
+
+TEST_F(LiteRpcRecoveryTest, RetryRecoversFromDroppedRequest) {
+  EchoServer server(cluster_.get(), 1, 30);
+  // Warm the channel so the next 0->1 transfer is the request itself.
+  char out[64];
+  uint32_t out_len = 0;
+  ASSERT_TRUE(c0_->Rpc(1, 30, "warm", 4, out, sizeof(out), &out_len).ok());
+
+  cluster_->faults().DropNextTransfers(0, 1, 1);
+  ASSERT_TRUE(c0_->Rpc(1, 30, "dropped once", 12, out, sizeof(out), &out_len).ok());
+  EXPECT_EQ(out_len, 13u);
+  EXPECT_EQ(server.served(), 2);  // retry executed the call exactly once
+  EXPECT_GT(cluster_->instance(0)->Stat("lite.rpc.retries"), 0);
+  // The drop put one of the client's RC QPs into the error state. Posts
+  // spread round-robin over the K QPs to the server, so a few more calls are
+  // guaranteed to land on the errored one and reconnect it transparently.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(c0_->Rpc(1, 30, "cycle", 5, out, sizeof(out), &out_len).ok());
+  }
+  EXPECT_GT(cluster_->instance(0)->Stat("lite.qp.reconnects"), 0);
+  EXPECT_EQ(server.served(), 6);
+}
+
+TEST_F(LiteRpcRecoveryTest, RetryAfterLostReplyDoesNotReexecute) {
+  EchoServer server(cluster_.get(), 1, 31);
+  char out[64];
+  uint32_t out_len = 0;
+  ASSERT_TRUE(c0_->Rpc(1, 31, "warm", 4, out, sizeof(out), &out_len).ok());
+
+  // Let the warm call's async ring-head update drain so the drop budget hits
+  // the test call's traffic only.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // Kill the next two 1->0 transfers: the test call's head update and its
+  // reply write-imm (in whichever order the server threads post them). The
+  // retransmitted request hits the server's dedup and is answered from the
+  // replay cache.
+  cluster_->faults().DropNextTransfers(1, 0, 2);
+  ASSERT_TRUE(c0_->Rpc(1, 31, "lost reply", 10, out, sizeof(out), &out_len).ok());
+  EXPECT_EQ(out_len, 11u);
+  EXPECT_EQ(std::memcmp(out + 1, "lost reply", 10), 0);
+  EXPECT_EQ(server.served(), 2);  // handler did NOT run twice
+  EXPECT_GT(cluster_->instance(1)->Stat("lite.rpc.dup_requests"), 0);
+  EXPECT_GT(cluster_->instance(1)->Stat("lite.rpc.replayed_replies"), 0);
+}
+
+TEST_F(LiteRpcRecoveryTest, DuplicatedRequestExecutesOnce) {
+  EchoServer server(cluster_.get(), 1, 32);
+  char out[64];
+  uint32_t out_len = 0;
+  ASSERT_TRUE(c0_->Rpc(1, 32, "warm", 4, out, sizeof(out), &out_len).ok());
+
+  // Fabric duplicates every 0->1 transfer; per-channel sequence numbers must
+  // suppress the second delivery.
+  lt::LinkFaultRule dup;
+  dup.dup_p = 1.0;
+  cluster_->faults().SetLinkRule(0, 1, dup);
+  ASSERT_TRUE(c0_->Rpc(1, 32, "twice on the wire", 17, out, sizeof(out), &out_len).ok());
+  cluster_->faults().ClearLinkRule(0, 1);
+
+  // The duplicate is deduped on arrival (poll thread), possibly just after
+  // the reply; wait for the counter rather than racing it.
+  const uint64_t deadline = lt::RealNowNs() + 2'000'000'000ull;
+  while (cluster_->instance(1)->Stat("lite.rpc.dup_requests") == 0 &&
+         lt::RealNowNs() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.served(), 2);  // exactly once per logical call
+  EXPECT_GT(cluster_->instance(1)->Stat("lite.rpc.dup_requests"), 0);
+}
+
+TEST_F(LiteRpcRecoveryTest, DeadPeerFailsFastWithUnavailable) {
+  EchoServer server(cluster_.get(), 1, 33);
+  char out[64];
+  uint32_t out_len = 0;
+  ASSERT_TRUE(c0_->Rpc(1, 33, "alive", 5, out, sizeof(out), &out_len).ok());
+
+  // Liveness verdict: calls must fail immediately (no timeout burn) with
+  // Unavailable — distinct from Timeout ("no reply within the deadline").
+  cluster_->instance(0)->SetPeerDead(1, true);
+  const uint64_t t0 = lt::RealNowNs();
+  lt::Status st = c0_->Rpc(1, 33, "dead", 4, out, sizeof(out), &out_len);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_LT(lt::RealNowNs() - t0, 40'000'000ull);  // well under one try
+  EXPECT_GT(cluster_->instance(0)->Stat("lite.rpc.dead_fast_fail"), 0);
+
+  // Revival restores service.
+  cluster_->instance(0)->SetPeerDead(1, false);
+  EXPECT_TRUE(c0_->Rpc(1, 33, "back", 4, out, sizeof(out), &out_len).ok());
+  EXPECT_EQ(server.served(), 2);
+}
+
+TEST(LiteRpcZombieTest, TimedOutSlotsAreReclaimed) {
+  // Exhaust a tiny reply-slot pool with calls that time out (unserved
+  // function, no retries), then verify the quarantine sweep recycles the
+  // zombie slots so later calls still find capacity.
+  lt::SimParams p = lt::SimParams::FastForTests();
+  p.lite_rpc_timeout_ns = 10'000'000;  // 10 ms
+  p.lite_rpc_max_retries = 0;
+  p.lite_reply_slots = 4;
+  LiteCluster cluster(2, p);
+  auto c0 = cluster.CreateClient(0);
+  EchoServer server(&cluster, 1, 40);
+
+  char out[64];
+  uint32_t out_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(c0->Rpc(1, 999, "void", 4, out, sizeof(out), &out_len).code(),
+              StatusCode::kTimeout);
+  }
+  // All four slots are zombies now; they become reclaimable once they are
+  // older than the RPC timeout (real time).
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(c0->Rpc(1, 40, "recycled", 8, out, sizeof(out), &out_len).ok()) << i;
+  }
+  EXPECT_GT(cluster.instance(0)->Stat("lite.rpc.zombie_reclaimed"), 0);
+}
+
 }  // namespace
 }  // namespace lite

@@ -563,5 +563,79 @@ TEST_F(RnicTimingTest, ReadCostsMoreThanWriteForPayloadOnResponse) {
   EXPECT_LE(latency, 6000u);
 }
 
+// ---- QP error-state semantics under fault injection -----------------------
+
+TEST_F(RnicTest, DroppedTransferMovesQpToError) {
+  cluster_->fabric().faults().DropNextTransfers(0, 1, 1);
+  char buf[16] = "drop me";
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kWrite;
+  wr.host_local = buf;
+  wr.length = sizeof(buf);
+  wr.rkey = mr1_.lkey;
+  wr.remote_addr = 4096;
+  Status st = ExecSync(qp0_, wr);
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);  // error completion
+  EXPECT_TRUE(qp0_->in_error());
+  EXPECT_EQ(cluster_->fabric().faults().drops(), 1u);
+}
+
+TEST_F(RnicTest, ErroredQpRejectsPostsUntilReset) {
+  qp0_->SetError();
+  char buf[8] = "blocked";
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kWrite;
+  wr.host_local = buf;
+  wr.length = sizeof(buf);
+  wr.rkey = mr1_.lkey;
+  wr.remote_addr = 0;
+  // Fail-fast at PostSend: no completion is generated.
+  EXPECT_EQ(ExecSync(qp0_, wr).code(), StatusCode::kFailedPrecondition);
+
+  qp0_->ResetToRts();
+  EXPECT_FALSE(qp0_->in_error());
+  ASSERT_TRUE(ExecSync(qp0_, wr).ok());
+  EXPECT_EQ(std::memcmp(Mem1(0, sizeof(buf)), buf, sizeof(buf)), 0);
+}
+
+TEST_F(RnicTest, DropThenResetThenRetrySucceeds) {
+  // The full recovery sequence an upper layer performs: post, drop -> error
+  // completion, reset, repost; the retried op lands.
+  cluster_->fabric().faults().DropNextTransfers(0, 1, 1);
+  char buf[24] = "retry lands once";
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kWrite;
+  wr.host_local = buf;
+  wr.length = sizeof(buf);
+  wr.rkey = mr1_.lkey;
+  wr.remote_addr = 8192;
+  EXPECT_FALSE(ExecSync(qp0_, wr).ok());
+  ASSERT_TRUE(qp0_->in_error());
+  qp0_->ResetToRts();
+  ASSERT_TRUE(ExecSync(qp0_, wr).ok());
+  EXPECT_EQ(std::memcmp(Mem1(8192, sizeof(buf)), buf, sizeof(buf)), 0);
+}
+
+TEST_F(RnicTest, DroppedAtomicDoesNotApply) {
+  // Atomics drop *before* the memory op applies, so a retry is exactly-once.
+  std::memset(Mem1(256, 8), 0, 8);
+  cluster_->fabric().faults().DropNextTransfers(0, 1, 1);
+  uint64_t out = ~0ull;
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kFetchAdd;
+  wr.rkey = mr1_.lkey;
+  wr.remote_addr = 256;
+  wr.compare_add = 5;
+  wr.atomic_result = &out;
+  EXPECT_FALSE(ExecSync(qp0_, wr).ok());
+  uint64_t target = 0;
+  std::memcpy(&target, Mem1(256, 8), 8);
+  EXPECT_EQ(target, 0u);  // not applied
+  qp0_->ResetToRts();
+  ASSERT_TRUE(ExecSync(qp0_, wr).ok());
+  std::memcpy(&target, Mem1(256, 8), 8);
+  EXPECT_EQ(target, 5u);  // applied exactly once
+}
+
 }  // namespace
 }  // namespace lt
