@@ -150,6 +150,51 @@ class TelemetrySink {
   std::string cluster_json_;
 };
 
+// --trace-out: Chrome trace-event export.
+//
+//   fig10_rpc_latency --trace-out trace.json
+//
+// When the flag is present the bench turns tracing on (sample every op) and,
+// after the run, writes all sampled spans + flight-recorder events as a
+// chrome://tracing / Perfetto file via Cluster::ExportChromeTrace. With the
+// flag absent the bench's measured output is unchanged.
+class TraceSink {
+ public:
+  // Parses "--trace-out <path>" / "--trace-out=<path>" from argv.
+  static TraceSink FromArgs(int argc, char** argv) {
+    TraceSink sink;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+        sink.path_ = argv[i + 1];
+      } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+        sink.path_ = argv[i] + 12;
+      }
+    }
+    return sink;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  // Exports via `cluster` (any type with ExportChromeTrace(path)). No-op
+  // when disabled; prints the sidecar line on success.
+  template <typename Cluster>
+  bool Export(Cluster& cluster) const {
+    if (!enabled()) {
+      return false;
+    }
+    if (!cluster.ExportChromeTrace(path_)) {
+      std::fprintf(stderr, "trace: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::printf("# chrome trace: %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string path_;
+};
+
 }  // namespace benchlib
 
 #endif  // BENCH_BENCHLIB_H_

@@ -62,13 +62,17 @@ double MeanRpcUs(lite::LiteClient* c, lt::NodeId server, int reps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchlib::TraceSink trace = benchlib::TraceSink::FromArgs(argc, argv);
   lt::SimParams p = lt::SimParams::FastForTests();
   p.lite_rpc_timeout_ns = 25'000'000;
   p.lite_rpc_max_retries = 5;
   p.lite_keepalive_interval_ns = 2'000'000;  // 2 ms (real time)
   p.lite_lease_timeout_ns = 10'000'000;      // 10 ms lease
   lite::LiteCluster cluster(3, p);
+  if (trace.enabled()) {
+    cluster.EnableTracing(1);
+  }
   cluster.faults().Reseed(0xbe9c4);
   const lt::NodeId kServer = 1;
   EchoServer server(&cluster, kServer);
@@ -128,5 +132,6 @@ int main() {
     std::printf("%-28s node%-2u %12lld\n", r.name, r.node,
                 static_cast<long long>(cluster.instance(r.node)->Stat(r.name)));
   }
+  trace.Export(cluster);
   return 0;
 }

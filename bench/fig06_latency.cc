@@ -86,6 +86,7 @@ double TcpOneWayUs(lt::Cluster* cluster, uint32_t size) {
 
 int main(int argc, char** argv) {
   benchlib::TelemetrySink sink = benchlib::TelemetrySink::FromArgs(argc, argv, "fig06_latency");
+  benchlib::TraceSink trace = benchlib::TraceSink::FromArgs(argc, argv);
   std::vector<uint32_t> sizes = {8, 64, 512, 4096, 32768};
   lt::SimParams p;
   p.node_phys_mem_bytes = 64ull << 20;
@@ -93,6 +94,9 @@ int main(int argc, char** argv) {
   lite::LiteCluster lite_cluster(2, p);
   if (sink.enabled()) {
     lite_cluster.EnableTracing(/*sample_every=*/16);
+  }
+  if (trace.enabled()) {
+    lite_cluster.EnableTracing(/*sample_every=*/1);
   }
 
   auto user = lite_cluster.CreateClient(0, /*kernel_level=*/false);
@@ -121,5 +125,6 @@ int main(int argc, char** argv) {
   benchlib::PrintLatencyStats("LITE_write 64B per-op (us)", lite_64b_us);
   sink.SetClusterDump(lite_cluster.DumpTelemetryJson());
   sink.WriteFile();
+  trace.Export(lite_cluster);
   return 0;
 }

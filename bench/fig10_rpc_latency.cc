@@ -83,12 +83,16 @@ double BaselineRpcUs(Client* client, uint32_t reply_len) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchlib::TraceSink trace = benchlib::TraceSink::FromArgs(argc, argv);
   std::vector<uint32_t> sizes = {8, 64, 512, 4096};
   lt::SimParams p;
   p.node_phys_mem_bytes = 64ull << 20;
 
   lite::LiteCluster lite_cluster(2, p);
+  if (trace.enabled()) {
+    lite_cluster.EnableTracing(1);
+  }
   benchrpc::LiteSizeServer lite_server(&lite_cluster, 1, 40, 2);
   auto lite_user = lite_cluster.CreateClient(0, false);
   auto lite_kernel = lite_cluster.CreateClient(0, true);
@@ -119,5 +123,6 @@ int main() {
   fasst.Stop();
   benchlib::PrintFigure("Fig 10: RPC latency vs return size (8B input)", "return_size",
                         "latency (us)", xs, {s_user, s_kernel, s_2w, s_herd, s_fasst});
+  trace.Export(lite_cluster);
   return 0;
 }

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by --trace-out.
+
+Checks (stdlib only, no pip deps):
+  * the file parses as JSON and has a traceEvents array
+  * duration events are balanced: every E closes a B on the same (pid, tid)
+  * timestamps are monotonically non-decreasing per (pid, tid) lane
+  * every flow finish ('f') has a matching flow start ('s') with the same
+    (cat, id)
+  * with --require-flow: at least one flow edge joins spans on two different
+    pids (i.e. one RPC is stitched client -> server across nodes)
+
+Exit status: 0 on success, 1 on validation failure, 2 on usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="trace JSON file written by --trace-out")
+    ap.add_argument(
+        "--require-flow",
+        action="store_true",
+        help="require at least one cross-pid flow edge (stitched RPC)",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        print(f"check_trace: cannot read {args.trace}: {e}", file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        fail(f"not valid JSON: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top-level object has no traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents is empty")
+
+    depth = defaultdict(list)      # (pid, tid) -> stack of open B names
+    last_ts = {}                   # (pid, tid) -> last ts seen
+    flow_starts = defaultdict(set)  # (cat, id) -> set of pids where 's' fired
+    flow_pairs = []                # (start_pids, finish_pid) per 'f'
+    counts = defaultdict(int)
+
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        counts[ph] += 1
+        if ph == "M":
+            continue
+        for key in ("pid", "tid", "ts"):
+            if key not in e:
+                fail(f"event #{i} ({ph!r}) missing {key!r}")
+        lane = (e["pid"], e["tid"])
+        ts = e["ts"]
+        if lane in last_ts and ts < last_ts[lane]:
+            fail(
+                f"event #{i} ts {ts} goes backwards on pid={lane[0]} "
+                f"tid={lane[1]} (prev {last_ts[lane]})"
+            )
+        last_ts[lane] = ts
+
+        if ph == "B":
+            depth[lane].append(e.get("name", "?"))
+        elif ph == "E":
+            if not depth[lane]:
+                fail(f"event #{i}: E without open B on pid={lane[0]} tid={lane[1]}")
+            depth[lane].pop()
+        elif ph == "s":
+            flow_starts[(e.get("cat"), e.get("id"))].add(e["pid"])
+        elif ph == "f":
+            key = (e.get("cat"), e.get("id"))
+            if key not in flow_starts:
+                fail(f"event #{i}: flow finish id={e.get('id')} has no start")
+            flow_pairs.append((flow_starts[key], e["pid"]))
+
+    for lane, stack in depth.items():
+        if stack:
+            fail(
+                f"unclosed B events on pid={lane[0]} tid={lane[1]}: "
+                + ", ".join(stack)
+            )
+
+    if counts["B"] != counts["E"]:
+        fail(f"B/E count mismatch: {counts['B']} B vs {counts['E']} E")
+
+    cross_pid_flows = sum(
+        1 for start_pids, finish_pid in flow_pairs if any(p != finish_pid for p in start_pids)
+    )
+    if args.require_flow and cross_pid_flows == 0:
+        fail("no cross-pid flow edges: no RPC stitched across nodes")
+
+    print(
+        f"check_trace: OK: {len(events)} events, {counts['B']} slices, "
+        f"{len(flow_pairs)} flow edges ({cross_pid_flows} cross-node)"
+    )
+
+
+if __name__ == "__main__":
+    main()

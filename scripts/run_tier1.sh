@@ -14,6 +14,12 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"${JOBS}"
 (cd build && ctest --output-on-failure -j"${JOBS}")
 
+echo "== tier-1: chrome-trace export sanity =="
+TRACE_OUT="$(mktemp /tmp/lite_trace.XXXXXX.json)"
+trap 'rm -f "${TRACE_OUT}"' EXIT
+./build/bench/fig10_rpc_latency --trace-out "${TRACE_OUT}" >/dev/null
+python3 scripts/check_trace.py --require-flow "${TRACE_OUT}"
+
 echo "== tier-1: chaos soak under ThreadSanitizer =="
 cmake -B build-tsan -S . -DLT_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"${JOBS}" --target faults_chaos_test faults_test

@@ -214,6 +214,9 @@ void FaultEngine::CrashNode(NodeId node) {
   if (node < crashed_.size()) {
     crashed_[node]->store(1, std::memory_order_relaxed);
   }
+  if (telemetry::Journal* j = JournalFor(node)) {
+    j->Record(telemetry::JournalEvent::kNodeCrash, node);
+  }
   RecomputeArmedLocked();
 }
 
@@ -221,6 +224,9 @@ void FaultEngine::RestartNode(NodeId node) {
   std::lock_guard<std::mutex> lock(config_mu_);
   if (node < crashed_.size()) {
     crashed_[node]->store(0, std::memory_order_relaxed);
+  }
+  if (telemetry::Journal* j = JournalFor(node)) {
+    j->Record(telemetry::JournalEvent::kNodeRestart, node);
   }
   RecomputeArmedLocked();
 }
@@ -244,6 +250,26 @@ void FaultEngine::ClearSchedules() {
   RecomputeArmedLocked();
 }
 
+void FaultEngine::AttachJournal(NodeId node, telemetry::Journal* journal) {
+  std::lock_guard<std::mutex> lock(config_mu_);
+  if (journals_.size() <= node) {
+    journals_.resize(static_cast<size_t>(node) + 1, nullptr);
+  }
+  journals_[node] = journal;
+}
+
+telemetry::Journal* FaultEngine::JournalFor(NodeId node) const {
+  return node < journals_.size() ? journals_[node] : nullptr;
+}
+
+void FaultEngine::JournalDrop(NodeId src, NodeId dst, uint64_t vtime_ns,
+                              telemetry::DropCause cause) {
+  if (telemetry::Journal* j = JournalFor(src)) {
+    j->RecordAt(telemetry::JournalEvent::kFaultDrop, vtime_ns, telemetry::PackLink(src, dst),
+                static_cast<uint64_t>(cause));
+  }
+}
+
 void FaultEngine::NoteDrop(NodeId src) {
   drops_.fetch_add(1, std::memory_order_relaxed);
   if (src < drops_from_.size()) {
@@ -265,6 +291,7 @@ uint64_t FaultEngine::OnTransfer(NodeId src, NodeId dst, uint64_t vtime_ns, Tran
     if (endpoint < crashed_.size() && crashed_[endpoint]->load(std::memory_order_relaxed)) {
       crash_drops_.fetch_add(1, std::memory_order_relaxed);
       NoteDrop(src);
+      JournalDrop(src, dst, vtime_ns, telemetry::DropCause::kCrash);
       return kDropTransfer;
     }
   }
@@ -274,6 +301,7 @@ uint64_t FaultEngine::OnTransfer(NodeId src, NodeId dst, uint64_t vtime_ns, Tran
     if ((w.node == src || w.node == dst) && vtime_ns >= w.start_vns && vtime_ns < w.end_vns) {
       crash_drops_.fetch_add(1, std::memory_order_relaxed);
       NoteDrop(src);
+      JournalDrop(src, dst, vtime_ns, telemetry::DropCause::kCrash);
       return kDropTransfer;
     }
   }
@@ -285,6 +313,7 @@ uint64_t FaultEngine::OnTransfer(NodeId src, NodeId dst, uint64_t vtime_ns, Tran
   if (link->drop_next.load(std::memory_order_relaxed) > 0 &&
       link->drop_next.fetch_sub(1, std::memory_order_relaxed) > 0) {
     NoteDrop(src);
+    JournalDrop(src, dst, vtime_ns, telemetry::DropCause::kRule);
     return kDropTransfer;
   }
 
@@ -300,12 +329,14 @@ uint64_t FaultEngine::OnTransfer(NodeId src, NodeId dst, uint64_t vtime_ns, Tran
     if (link->partition_cut) {
       partition_drops_.fetch_add(1, std::memory_order_relaxed);
       NoteDrop(src);
+      JournalDrop(src, dst, vtime_ns, telemetry::DropCause::kPartition);
       return kDropTransfer;
     }
     rule = link->has_override ? link->rule : link->default_copy;
     if (rule.partitioned) {
       partition_drops_.fetch_add(1, std::memory_order_relaxed);
       NoteDrop(src);
+      JournalDrop(src, dst, vtime_ns, telemetry::DropCause::kPartition);
       return kDropTransfer;
     }
     if (rule.drop_p > 0.0 && link->rng.NextDouble() < rule.drop_p) {
@@ -326,13 +357,22 @@ uint64_t FaultEngine::OnTransfer(NodeId src, NodeId dst, uint64_t vtime_ns, Tran
   }
   if (drop) {
     NoteDrop(src);
+    JournalDrop(src, dst, vtime_ns, telemetry::DropCause::kRule);
     return kDropTransfer;
   }
   if (delay != 0) {
     delays_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::Journal* j = JournalFor(src)) {
+      j->RecordAt(telemetry::JournalEvent::kFaultDelay, vtime_ns, telemetry::PackLink(src, dst),
+                  delay);
+    }
   }
   if (dup) {
     duplicates_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::Journal* j = JournalFor(src)) {
+      j->RecordAt(telemetry::JournalEvent::kFaultDup, vtime_ns, telemetry::PackLink(src, dst),
+                  dup_delay);
+    }
     if (out != nullptr) {
       out->duplicate = true;
       out->dup_extra_delay_ns = dup_delay;

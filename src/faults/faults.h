@@ -25,6 +25,7 @@
 #include "src/common/rng.h"
 #include "src/common/sync_util.h"
 #include "src/mem/addr.h"
+#include "src/telemetry/journal.h"
 
 namespace lt {
 
@@ -108,6 +109,15 @@ class FaultEngine {
   // OnTransfer entirely when false.
   bool armed() const { return armed_.load(std::memory_order_relaxed); }
 
+  // ---- Flight recorder ---------------------------------------------------
+  // Registers `node`'s journal so every armed-rule decision (drop / dup /
+  // delay, with the link and the transfer's virtual departure time) leaves a
+  // replayable event trail. Same contract as EnsureNodes: all journals must
+  // be attached before traffic starts. Decisions on src->dst record into
+  // src's journal (the transfer originates there); crash/restart record into
+  // the crashed node's own journal.
+  void AttachJournal(NodeId node, telemetry::Journal* journal);
+
   // ---- Introspection (telemetry probes) --------------------------------
   uint64_t drops() const { return drops_.load(std::memory_order_relaxed); }
   uint64_t duplicates() const { return duplicates_.load(std::memory_order_relaxed); }
@@ -147,6 +157,9 @@ class FaultEngine {
   static uint64_t MixSeed(uint64_t seed, NodeId src, NodeId dst);
   void RecomputeArmedLocked();  // config_mu_ held
   void NoteDrop(NodeId src);
+  // Journal of `node`, or nullptr. Lock-free read (attach-before-traffic).
+  telemetry::Journal* JournalFor(NodeId node) const;
+  void JournalDrop(NodeId src, NodeId dst, uint64_t vtime_ns, telemetry::DropCause cause);
 
   mutable std::mutex config_mu_;  // guards topology + rule mutation
   uint64_t seed_;
@@ -170,6 +183,10 @@ class FaultEngine {
   std::atomic<uint64_t> crash_drops_{0};
   std::atomic<uint64_t> partition_drops_{0};
   std::vector<std::unique_ptr<std::atomic<uint64_t>>> drops_from_;
+
+  // Per-node flight recorders (may hold nullptrs); grown under config_mu_
+  // before traffic starts, read lock-free on the transfer path.
+  std::vector<telemetry::Journal*> journals_;
 };
 
 }  // namespace lt

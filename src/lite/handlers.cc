@@ -585,6 +585,17 @@ void LiteInstance::RegisterInternalHandlers() {
     // disseminates the manager's view (paper Sec. 3.3's failure handling).
     self->SetPeerDead(sender, false);
     for (NodeId node : dead) {
+      if (self->journal_ != nullptr && !self->PeerDead(node)) {
+        uint64_t overdue_ns = 0;
+        {
+          std::lock_guard<std::mutex> lock(self->lease_mu_);
+          auto it = self->lease_last_seen_.find(node);
+          if (it != self->lease_last_seen_.end()) {
+            overdue_ns = now_real - it->second;
+          }
+        }
+        self->journal_->Record(lt::telemetry::JournalEvent::kLeaseExpire, node, overdue_ns);
+      }
       self->SetPeerDead(node, true);
     }
     WireWriter payload;

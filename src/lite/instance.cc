@@ -96,6 +96,15 @@ void LiteInstance::RegisterTelemetry() {
   reg.RegisterProbe("lite.qos.throttled", [this] { return qos_.throttle_count(); });
   reg.RegisterProbe("lite.qos.throttle_delay_ns",
                     [this] { return qos_.low_pri_delay_total_ns(); });
+  // Tracer loss visibility (spans overwritten in the ring, stamps past the
+  // per-span event bound) — surfaced through StatSnapshot like any metric.
+  lt::telemetry::Tracer* tracer = &node_->telemetry().tracer();
+  reg.RegisterProbe("lite.trace.spans_dropped", [tracer] { return tracer->spans_dropped(); });
+  reg.RegisterProbe("lite.trace.events_dropped", [tracer] { return tracer->events_dropped(); });
+  // Flight recorder: cache the journal for recovery-path breadcrumbs and let
+  // the QoS throttle path record into it.
+  journal_ = &node_->telemetry().journal();
+  qos_.SetJournal(journal_);
 }
 
 LiteInstance::~LiteInstance() { Stop(); }
@@ -242,6 +251,9 @@ void LiteInstance::RecoverQp(lt::Qp* qp) {
   SpinFor(params().lite_qp_reconnect_ns);
   qp->ResetToRts();
   qp_reconnects_->Inc();
+  if (journal_ != nullptr) {
+    journal_->Record(lt::telemetry::JournalEvent::kQpRecover, qp->remote_node(), qp->qpn());
+  }
 }
 
 StatusOr<Completion> LiteInstance::PostAndWait(NodeId dst, WorkRequest* wr, Priority pri) {
@@ -252,6 +264,9 @@ StatusOr<Completion> LiteInstance::PostAndWait(NodeId dst, WorkRequest* wr, Prio
     if (attempt > 0) {
       oneside_retries_->Inc();
       lt::IdleFor(backoff_ns);
+      if (journal_ != nullptr) {
+        journal_->Record(lt::telemetry::JournalEvent::kOnesideRetry, dst, attempt);
+      }
       backoff_ns *= 2;
       if (PeerDead(dst)) {
         rpc_dead_fast_fail_->Inc();

@@ -68,6 +68,10 @@ struct ReplyToken {
   // reply instead of re-executing the handler).
   RpcFuncId ring_func = 0;
   uint32_t seq = 0;
+  // Trace id the client put on the wire (0 = untraced). LT_replyRPC opens a
+  // server-side child span tagged with this id so DumpTelemetryJson can
+  // stitch the two halves of the call.
+  uint64_t parent_trace_id = 0;
   bool valid() const { return client_node != kInvalidNode; }
 };
 
@@ -363,13 +367,17 @@ class LiteInstance {
   };
 
   // Header written at the ring tail ahead of the RPC payload. Kept at
-  // exactly 40 bytes: the header rides every request's fabric transfer, so
-  // growing it would shift every simulated RPC latency. The seq field fits
-  // by narrowing magic/reply_max/client_node (reply slabs are <64KB slots
-  // and node ids are small; both statically sane for this simulator).
+  // exactly 48 bytes: the header rides every request's fabric transfer, so
+  // its size feeds every simulated RPC latency and is pinned by the
+  // static_assert below. The seq field fits by narrowing
+  // magic/reply_max/client_node (reply slabs are <64KB slots and node ids
+  // are small; both statically sane for this simulator); trace_id carries
+  // the client span's id for cross-node stitching (0 = untraced, so the
+  // header cost is identical whether tracing is on or off).
   struct RpcReqHeader {
     PhysAddr reply_phys = 0;   // Client reply buffer (slot slab).
     uint64_t tail_after = 0;   // Absolute head position once consumed.
+    uint64_t trace_id = 0;     // Client trace id (0 = untraced request).
     uint32_t input_len = 0;
     uint32_t reply_slot = 0;   // Packed {generation, slot} or kNoReplySlot.
     uint32_t seq = 0;          // Per-channel sequence (0 = never dedup).
@@ -378,7 +386,7 @@ class LiteInstance {
     uint16_t client_node = static_cast<uint16_t>(0xffff);
   };
   static constexpr uint16_t kRpcMagic = 0x4c54;  // "LT"
-  static_assert(sizeof(RpcReqHeader) == 40,
+  static_assert(sizeof(RpcReqHeader) == 48,
                 "RpcReqHeader is wire-visible: its size feeds every RPC's "
                 "simulated transfer time and must not change");
 
@@ -596,6 +604,10 @@ class LiteInstance {
   lt::telemetry::Counter* liveness_marked_dead_ = nullptr;
   lt::telemetry::Counter* liveness_revived_ = nullptr;
   lt::telemetry::Counter* liveness_keepalives_ = nullptr;
+
+  // This node's flight recorder (owned by NodeTelemetry; cached like the
+  // counters above so recovery paths record breadcrumbs without a lookup).
+  lt::telemetry::Journal* journal_ = nullptr;
 };
 
 }  // namespace lite

@@ -45,6 +45,11 @@ class LiteCluster {
   void EnableTracing(uint32_t sample_every) { cluster_.SetTraceSampling(sample_every); }
   // Cluster-wide metrics + trace spans as JSON (LT_stat's cluster view).
   std::string DumpTelemetryJson() { return cluster_.DumpTelemetryJson(); }
+  // Flight recorder: all nodes' journal rings merged by virtual time.
+  std::string DumpJournal() { return cluster_.DumpJournal(); }
+  // Chrome trace-event export (chrome://tracing / Perfetto). False on I/O
+  // error. Includes all sampled spans plus the flight-recorder events.
+  bool ExportChromeTrace(const std::string& path) { return cluster_.ExportChromeTrace(path); }
 
  private:
   lt::Cluster cluster_;

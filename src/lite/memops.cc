@@ -314,12 +314,14 @@ Status LiteInstance::Memset(Lh lh, uint64_t offset, uint8_t value, uint64_t len)
   if (len == 0) {
     return Status::Ok();
   }
+  lt::telemetry::ScopedSpan span(&node_->telemetry().tracer(), "LT_memset");
   SpinFor(params().lite_map_check_ns);
   auto entry = GetLh(lh);
   if (!entry.ok()) {
     return entry.status();
   }
   LT_RETURN_IF_ERROR(CheckAccess(*entry, offset, len, kPermWrite));
+  lt::telemetry::StampStage(lt::telemetry::TraceStage::kLhCheck, len);
 
   // Send one command per involved node; each node memsets its own pieces
   // locally (cheaper than shipping the pattern over the wire, Sec. 7.1).
@@ -385,6 +387,7 @@ Status LiteInstance::Memcpy(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, 
   if (len == 0) {
     return Status::Ok();
   }
+  lt::telemetry::ScopedSpan span(&node_->telemetry().tracer(), "LT_memcpy");
   SpinFor(params().lite_map_check_ns);
   auto src_entry = GetLh(src);
   if (!src_entry.ok()) {
@@ -396,6 +399,7 @@ Status LiteInstance::Memcpy(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, 
   }
   LT_RETURN_IF_ERROR(CheckAccess(*src_entry, src_off, len, kPermRead));
   LT_RETURN_IF_ERROR(CheckAccess(*dst_entry, dst_off, len, kPermWrite));
+  lt::telemetry::StampStage(lt::telemetry::TraceStage::kLhCheck, len);
 
   auto segments = PairPieces(SliceChunks(src_entry->chunks, src_off, len),
                              SliceChunks(dst_entry->chunks, dst_off, len));

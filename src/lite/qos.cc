@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/timing.h"
+#include "src/telemetry/journal.h"
 #include "src/telemetry/trace.h"
 
 namespace lite {
@@ -12,6 +13,10 @@ void QosManager::Admit(Priority pri, uint64_t bytes) {
   const uint64_t delay_ns = AdmitInner(pri, bytes);
   if (delay_ns > 0) {
     throttles_.fetch_add(1, std::memory_order_relaxed);
+    if (journal_ != nullptr) {
+      journal_->Record(lt::telemetry::JournalEvent::kQosThrottle,
+                       static_cast<uint64_t>(pri), delay_ns);
+    }
   }
   lt::telemetry::StampStage(lt::telemetry::TraceStage::kQosAdmit, delay_ns);
 }

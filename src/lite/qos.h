@@ -19,6 +19,12 @@
 #include "src/lite/types.h"
 #include "src/sim/params.h"
 
+namespace lt {
+namespace telemetry {
+class Journal;
+}  // namespace telemetry
+}  // namespace lt
+
 namespace lite {
 
 class QosManager {
@@ -45,6 +51,9 @@ class QosManager {
   }
   uint64_t admit_count() const { return admits_.load(std::memory_order_relaxed); }
   uint64_t throttle_count() const { return throttles_.load(std::memory_order_relaxed); }
+
+  // Flight recorder for throttle decisions (set once at instance bring-up).
+  void SetJournal(lt::telemetry::Journal* journal) { journal_ = journal; }
 
  private:
   // Policy body of Admit; returns the virtual-time throttle delay charged
@@ -74,6 +83,7 @@ class QosManager {
   std::atomic<uint64_t> low_delay_total_ns_{0};
   std::atomic<uint64_t> admits_{0};
   std::atomic<uint64_t> throttles_{0};
+  lt::telemetry::Journal* journal_ = nullptr;
 };
 
 }  // namespace lite

@@ -222,6 +222,7 @@ Status LiteInstance::PostRpcRequest(RpcChannel* channel, RpcFuncId func, const v
   hdr.seq = *seq_inout;
   hdr.client_node = static_cast<uint16_t>(node_id());
   hdr.tail_after = channel->tail + entry_len;
+  hdr.trace_id = lt::telemetry::CurrentTraceId();
 
   std::vector<uint8_t> staging(sizeof(RpcReqHeader) + in_len);
   std::memcpy(staging.data(), &hdr, sizeof(hdr));
@@ -355,6 +356,9 @@ Status LiteInstance::RpcCall(NodeId server_node, RpcFuncId func, const void* in,
     if (attempt > 0) {
       rpc_retries_->Inc();
       lt::IdleFor(backoff_ns);
+      if (journal_ != nullptr) {
+        journal_->Record(lt::telemetry::JournalEvent::kRpcRetry, server_node, backoff_ns);
+      }
       backoff_ns *= 2;
       if (opts.fail_fast_dead && PeerDead(server_node)) {
         rpc_dead_fast_fail_->Inc();
@@ -543,6 +547,23 @@ Status LiteInstance::ReplyRpc(const ReplyToken& token, const void* data, uint32_
     // this point re-sends it instead of re-executing the handler.
     RecordReplay(token, data, len);
   }
+  if (token.parent_trace_id != 0) {
+    // The client sampled this call (nonzero trace id on the wire): commit a
+    // server-side child span covering request pickup -> reply post, tagged
+    // with the client's id so the dump/export can stitch the halves. Costs
+    // nothing for unsampled traffic — parent_trace_id is 0 then. Committed
+    // before the reply write so that once the client observes completion,
+    // the server half is already in node-local tracer state.
+    lt::telemetry::Tracer& tracer = node_->telemetry().tracer();
+    lt::telemetry::TraceSpan span;
+    span.op = "LT_RPC_srv";
+    span.trace_id = tracer.AllocTraceId();
+    span.parent_trace_id = token.parent_trace_id;
+    span.node = node_id();
+    span.StampAt(lt::telemetry::TraceStage::kServerRecv, token.arrival_vtime_ns);
+    span.StampAt(lt::telemetry::TraceStage::kServerReply, lt::NowNs(), len);
+    tracer.Commit(span);
+  }
   return OneSidedWriteImm(token.client_node, token.reply_phys, data, len,
                           EncodeImm(kReplyFuncId, token.reply_slot), Priority::kHigh);
 }
@@ -724,6 +745,7 @@ void LiteInstance::HandleRequestImm(NodeId src, uint32_t imm, uint64_t vtime) {
   inc.token.reply_slot = hdr.reply_slot;
   inc.token.ring_func = ring->func;
   inc.token.seq = hdr.seq;
+  inc.token.parent_trace_id = hdr.trace_id;
   inc.arrival_vtime_ns = NowNs();
   inc.token.arrival_vtime_ns = inc.arrival_vtime_ns;
 
@@ -823,9 +845,15 @@ void LiteInstance::SetPeerDead(NodeId node, bool dead) {
       peer_dead_[node].exchange(dead ? 1 : 0, std::memory_order_relaxed);
   if (dead && prev == 0) {
     liveness_marked_dead_->Inc();
+    if (journal_ != nullptr) {
+      journal_->Record(lt::telemetry::JournalEvent::kPeerDead, node);
+    }
     LT_LOG_INFO << "node " << node_id() << ": liveness marks node " << node << " dead";
   } else if (!dead && prev != 0) {
     liveness_revived_->Inc();
+    if (journal_ != nullptr) {
+      journal_->Record(lt::telemetry::JournalEvent::kPeerAlive, node);
+    }
     LT_LOG_INFO << "node " << node_id() << ": liveness revives node " << node;
   }
 }

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "src/telemetry/chrome_trace.h"
+
 namespace lt {
 
 Process::Process(Node* node)
@@ -17,6 +19,8 @@ Node::Node(NodeId id, const SimParams& params, Fabric* fabric, RnicDirectory* di
       port_(fabric->Attach(id)),
       rnic_(id, params_, &mem_, port_, directory),
       tcp_(id, params_, fabric) {
+  telemetry_.SetNodeId(id_);
+  fabric->faults().AttachJournal(id_, &telemetry_.journal());
   RegisterHardwareProbes(fabric);
 }
 
@@ -92,6 +96,27 @@ std::string Cluster::DumpTelemetryJson() const {
   }
   os << "]}";
   return os.str();
+}
+
+std::string Cluster::DumpJournal() const {
+  std::vector<const telemetry::Journal*> journals;
+  journals.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    journals.push_back(&node->telemetry().journal());
+  }
+  return telemetry::MergeJournalsJson(journals);
+}
+
+bool Cluster::ExportChromeTrace(const std::string& path) const {
+  std::vector<telemetry::TraceSpan> spans;
+  std::vector<telemetry::JournalRecord> journal;
+  for (const auto& node : nodes_) {
+    std::vector<telemetry::TraceSpan> part = node->telemetry().tracer().Snapshot();
+    spans.insert(spans.end(), part.begin(), part.end());
+    std::vector<telemetry::JournalRecord> jpart = node->telemetry().journal().Snapshot();
+    journal.insert(journal.end(), jpart.begin(), jpart.end());
+  }
+  return telemetry::WriteChromeTrace(path, spans, journal);
 }
 
 }  // namespace lt

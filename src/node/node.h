@@ -95,6 +95,14 @@ class Cluster {
   // being its NodeTelemetry::ToJson() (metrics + histograms + trace spans).
   std::string DumpTelemetryJson() const;
 
+  // Flight recorder: every node's journal ring merged by virtual time into
+  // one JSON array (postmortem timeline — see docs/TELEMETRY.md).
+  std::string DumpJournal() const;
+
+  // Writes all nodes' trace spans + journal events as a Chrome trace-event
+  // file loadable in chrome://tracing or Perfetto. False on I/O error.
+  bool ExportChromeTrace(const std::string& path) const;
+
  private:
   const SimParams params_;
   Fabric fabric_;

@@ -1,0 +1,285 @@
+#include "src/telemetry/chrome_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/telemetry/metrics.h"
+
+namespace lt {
+namespace telemetry {
+
+namespace {
+
+// Display interval of a span: [first stamp, last stamp], with zero-length
+// spans stretched by 1 ns so the B/E pair stays ordered after sorting.
+uint64_t SpanStartNs(const TraceSpan& s) { return s.n_events > 0 ? s.events[0].t_ns : 0; }
+
+uint64_t SpanEndNs(const TraceSpan& s) {
+  const uint64_t start = SpanStartNs(s);
+  const uint64_t last = s.n_events > 0 ? s.events[s.n_events - 1].t_ns : 0;
+  return last > start ? last : start + 1;
+}
+
+const TraceEvent* FindStage(const TraceSpan& s, TraceStage stage) {
+  for (int i = 0; i < s.n_events; ++i) {
+    if (s.events[i].stage == stage) return &s.events[i];
+  }
+  return nullptr;
+}
+
+// Greedy interval partitioning: assigns each span (sorted by start) the
+// first lane whose previous occupant already ended. Returns per-span lane
+// offsets and the number of lanes used.
+size_t PackLanes(const std::vector<const TraceSpan*>& spans, std::vector<uint32_t>* lane_of) {
+  std::vector<size_t> order(spans.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return SpanStartNs(*spans[a]) < SpanStartNs(*spans[b]);
+  });
+  std::vector<uint64_t> lane_end;
+  lane_of->assign(spans.size(), 0);
+  for (size_t idx : order) {
+    const uint64_t start = SpanStartNs(*spans[idx]);
+    size_t lane = lane_end.size();
+    for (size_t l = 0; l < lane_end.size(); ++l) {
+      if (lane_end[l] <= start) {
+        lane = l;
+        break;
+      }
+    }
+    if (lane == lane_end.size()) lane_end.push_back(0);
+    lane_end[lane] = SpanEndNs(*spans[idx]);
+    (*lane_of)[idx] = static_cast<uint32_t>(lane);
+  }
+  return lane_end.size();
+}
+
+std::string SpanArgsJson(const TraceSpan& s) {
+  std::ostringstream os;
+  os << "{\"op_id\":" << s.op_id << ",\"trace_id\":" << s.trace_id;
+  if (s.parent_trace_id != 0) os << ",\"parent_trace_id\":" << s.parent_trace_id;
+  if (s.events_dropped != 0) os << ",\"events_dropped\":" << s.events_dropped;
+  os << "}";
+  return os.str();
+}
+
+int PhRank(char ph) {
+  switch (ph) {
+    case 'M': return 0;
+    case 'E': return 1;
+    case 's': return 2;
+    case 'B': return 3;
+    case 'f': return 4;
+    default: return 5;  // 'i'
+  }
+}
+
+void AddMeta(std::vector<ChromeEvent>* out, uint32_t pid, uint32_t tid, const char* key,
+             const std::string& value, bool thread_scoped) {
+  ChromeEvent m;
+  m.ph = 'M';
+  m.name = key;
+  m.pid = pid;
+  m.tid = tid;
+  m.args_json = std::string("{\"name\":\"") + JsonEscape(value) + "\"}";
+  if (!thread_scoped) m.tid = 0;
+  out->push_back(m);
+}
+
+}  // namespace
+
+std::vector<ChromeEvent> BuildChromeEvents(const std::vector<TraceSpan>& spans,
+                                           const std::vector<JournalRecord>& journal) {
+  std::vector<ChromeEvent> out;
+
+  // Lane assignment: per node, client spans and server spans in separate
+  // pools (ServiceTimeline makes server spans overlap freely in vtime).
+  std::map<uint32_t, std::vector<const TraceSpan*>> client_pool, server_pool;
+  for (const TraceSpan& s : spans) {
+    if (s.n_events == 0) continue;
+    (s.parent_trace_id != 0 ? server_pool : client_pool)[s.node].push_back(&s);
+  }
+  std::unordered_map<const TraceSpan*, uint32_t> tid_of;
+  std::map<uint32_t, std::pair<size_t, size_t>> lanes_used;  // pid -> (client, server)
+  for (auto& [pid, pool] : client_pool) {
+    std::vector<uint32_t> lane;
+    lanes_used[pid].first = PackLanes(pool, &lane);
+    for (size_t i = 0; i < pool.size(); ++i) tid_of[pool[i]] = kClientLaneBase + lane[i];
+  }
+  for (auto& [pid, pool] : server_pool) {
+    std::vector<uint32_t> lane;
+    lanes_used[pid].second = PackLanes(pool, &lane);
+    for (size_t i = 0; i < pool.size(); ++i) tid_of[pool[i]] = kServerLaneBase + lane[i];
+  }
+
+  // Slices: one B/E pair per span, intermediate stages as thread instants.
+  for (const TraceSpan& s : spans) {
+    if (s.n_events == 0) continue;
+    const uint32_t tid = tid_of[&s];
+    ChromeEvent b;
+    b.ph = 'B';
+    b.name = s.op;
+    b.ts_ns = SpanStartNs(s);
+    b.pid = s.node;
+    b.tid = tid;
+    b.args_json = SpanArgsJson(s);
+    out.push_back(b);
+    for (int i = 1; i + 1 < s.n_events; ++i) {
+      ChromeEvent st;
+      st.ph = 'i';
+      st.name = TraceStageName(s.events[i].stage);
+      st.cat = "stage";
+      st.ts_ns = s.events[i].t_ns;
+      st.pid = s.node;
+      st.tid = tid;
+      std::ostringstream args;
+      args << "{\"arg\":" << s.events[i].arg << "}";
+      st.args_json = args.str();
+      out.push_back(st);
+    }
+    ChromeEvent e;
+    e.ph = 'E';
+    e.name = s.op;
+    e.ts_ns = SpanEndNs(s);
+    e.pid = s.node;
+    e.tid = tid;
+    out.push_back(e);
+  }
+
+  // Flow edges joining each server span to its client parent.
+  std::unordered_map<uint64_t, const TraceSpan*> by_trace_id;
+  for (const TraceSpan& s : spans) {
+    if (s.trace_id != 0 && s.parent_trace_id == 0 && s.n_events > 0) by_trace_id[s.trace_id] = &s;
+  }
+  for (const TraceSpan& s : spans) {
+    if (s.parent_trace_id == 0 || s.n_events == 0) continue;
+    auto it = by_trace_id.find(s.parent_trace_id);
+    if (it == by_trace_id.end()) continue;  // client span lost to ring wrap
+    const TraceSpan& cl = *it->second;
+    const TraceEvent* post = FindStage(cl, TraceStage::kRnicPost);
+    const TraceEvent* done = FindStage(cl, TraceStage::kCompletion);
+    const uint64_t req_id = s.parent_trace_id * 2;
+    ChromeEvent fs;  // request: client -> server
+    fs.ph = 's';
+    fs.name = "rpc_req";
+    fs.cat = "rpc_flow";
+    fs.ts_ns = post != nullptr ? post->t_ns : SpanStartNs(cl);
+    fs.pid = cl.node;
+    fs.tid = tid_of[&cl];
+    fs.id = req_id;
+    out.push_back(fs);
+    ChromeEvent ff = fs;
+    ff.ph = 'f';
+    ff.flow_end = true;
+    ff.ts_ns = SpanStartNs(s);
+    ff.pid = s.node;
+    ff.tid = tid_of[&s];
+    out.push_back(ff);
+    ChromeEvent rs;  // reply: server -> client
+    rs.ph = 's';
+    rs.name = "rpc_rep";
+    rs.cat = "rpc_flow";
+    rs.ts_ns = SpanEndNs(s) > SpanStartNs(s) + 1 ? s.events[s.n_events - 1].t_ns : SpanStartNs(s);
+    rs.pid = s.node;
+    rs.tid = tid_of[&s];
+    rs.id = req_id + 1;
+    out.push_back(rs);
+    ChromeEvent rf = rs;
+    rf.ph = 'f';
+    rf.flow_end = true;
+    rf.ts_ns = done != nullptr ? done->t_ns : SpanEndNs(cl);
+    rf.pid = cl.node;
+    rf.tid = tid_of[&cl];
+    out.push_back(rf);
+  }
+
+  // Journal events: thread-scoped instants on each node's lane 0.
+  std::map<uint32_t, bool> journal_pids;
+  for (const JournalRecord& r : journal) {
+    ChromeEvent ev;
+    ev.ph = 'i';
+    ev.name = JournalEventName(r.ev);
+    ev.cat = "journal";
+    ev.ts_ns = r.t_ns;
+    ev.pid = r.node;
+    ev.tid = kJournalLane;
+    std::ostringstream args;
+    if (r.ev == JournalEvent::kOpStart || r.ev == JournalEvent::kOpEnd) {
+      args << "{\"op\":\"" << JsonEscape(UnpackName8(r.a)) << "\",\"op_id\":" << r.b << "}";
+    } else {
+      args << "{\"a\":" << r.a << ",\"b\":" << r.b << "}";
+    }
+    ev.args_json = args.str();
+    out.push_back(ev);
+    journal_pids[r.node] = true;
+  }
+
+  // Metadata: readable process / lane names.
+  std::map<uint32_t, bool> pids;
+  for (auto& [pid, unused] : lanes_used) pids[pid] = true;
+  for (auto& [pid, unused] : journal_pids) pids[pid] = true;
+  for (auto& [pid, unused] : pids) {
+    AddMeta(&out, pid, 0, "process_name", "node " + std::to_string(pid), false);
+    AddMeta(&out, pid, kJournalLane, "thread_name", "journal", true);
+    auto it = lanes_used.find(pid);
+    if (it != lanes_used.end()) {
+      for (size_t l = 0; l < it->second.first; ++l) {
+        AddMeta(&out, pid, kClientLaneBase + static_cast<uint32_t>(l), "thread_name",
+                "ops-" + std::to_string(l), true);
+      }
+      for (size_t l = 0; l < it->second.second; ++l) {
+        AddMeta(&out, pid, kServerLaneBase + static_cast<uint32_t>(l), "thread_name",
+                "handlers-" + std::to_string(l), true);
+      }
+    }
+  }
+
+  std::stable_sort(out.begin(), out.end(), [](const ChromeEvent& a, const ChromeEvent& b) {
+    if ((a.ph == 'M') != (b.ph == 'M')) return a.ph == 'M';
+    if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+    return PhRank(a.ph) < PhRank(b.ph);
+  });
+  return out;
+}
+
+std::string ChromeTraceJson(const std::vector<ChromeEvent>& events) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const ChromeEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\"" << JsonEscape(e.cat)
+       << "\",\"ph\":\"" << e.ph << "\",\"pid\":" << e.pid << ",\"tid\":" << e.tid;
+    if (e.ph != 'M') {
+      char ts[64];
+      std::snprintf(ts, sizeof(ts), "%.3f", static_cast<double>(e.ts_ns) / 1000.0);
+      os << ",\"ts\":" << ts;
+    }
+    if (e.ph == 's' || e.ph == 'f') {
+      os << ",\"id\":" << e.id;
+      if (e.ph == 'f' && e.flow_end) os << ",\"bp\":\"e\"";
+    }
+    if (e.ph == 'i') os << ",\"s\":\"t\"";
+    if (!e.args_json.empty()) os << ",\"args\":" << e.args_json;
+    os << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+  return os.str();
+}
+
+bool WriteChromeTrace(const std::string& path, const std::vector<TraceSpan>& spans,
+                      const std::vector<JournalRecord>& journal) {
+  const std::string json = ChromeTraceJson(BuildChromeEvents(spans, journal));
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t wrote = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = std::fclose(f) == 0 && wrote == json.size();
+  return ok;
+}
+
+}  // namespace telemetry
+}  // namespace lt

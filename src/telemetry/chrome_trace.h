@@ -1,0 +1,64 @@
+// Chrome trace-event export: converts stitched TraceSpans + flight-recorder
+// journal events into the JSON the chrome://tracing / Perfetto UI loads.
+//
+// Mapping: pid = simulated node, tid = a display lane. Spans become B/E
+// slice pairs; because handler workers rewind their virtual clocks between
+// requests (ServiceTimeline), two spans recorded by one thread can overlap
+// in virtual time — so lanes are assigned by greedy interval partitioning
+// (per node, client ops and server handler spans in separate lane pools),
+// which preserves the B/E stack discipline viewers require. Server spans
+// are joined to the client span that caused them with flow events ("s"/"f")
+// keyed by the wire trace id, and journal events render as thread-scoped
+// instants on a dedicated lane 0.
+//
+// BuildChromeEvents is exposed at the struct level (not just as a file
+// writer) so tests can assert well-formedness — balanced B/E per lane,
+// monotonic timestamps — without a JSON parser.
+#ifndef SRC_TELEMETRY_CHROME_TRACE_H_
+#define SRC_TELEMETRY_CHROME_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/journal.h"
+#include "src/telemetry/trace.h"
+
+namespace lt {
+namespace telemetry {
+
+struct ChromeEvent {
+  std::string name;
+  std::string cat = "lite";
+  char ph = 'i';          // B, E, s, f, i, M
+  uint64_t ts_ns = 0;     // serialized as microseconds (ts = ns / 1000.0)
+  uint32_t pid = 0;       // node id
+  uint32_t tid = 0;       // display lane
+  uint64_t id = 0;        // flow id (ph 's'/'f' only)
+  bool flow_end = false;  // emit bp:"e" (ph 'f' only)
+  std::string args_json;  // preformatted {"k":v,...} or empty
+};
+
+// Lane pools within each node's pid.
+constexpr uint32_t kJournalLane = 0;      // journal instants
+constexpr uint32_t kClientLaneBase = 1;   // client-side op spans
+constexpr uint32_t kServerLaneBase = 101; // server-side handler spans
+
+// Converts spans from every node (span.node = pid) plus merged journal
+// records into a sorted, well-formed event list. Flow events are emitted for
+// each server span whose parent_trace_id matches a client span's trace_id:
+// id = parent_trace_id * 2 for the request edge, * 2 + 1 for the reply edge.
+std::vector<ChromeEvent> BuildChromeEvents(const std::vector<TraceSpan>& spans,
+                                           const std::vector<JournalRecord>& journal);
+
+// Renders events as {"traceEvents":[...],"displayTimeUnit":"ns"}.
+std::string ChromeTraceJson(const std::vector<ChromeEvent>& events);
+
+// BuildChromeEvents + ChromeTraceJson + write to `path`. False on I/O error.
+bool WriteChromeTrace(const std::string& path, const std::vector<TraceSpan>& spans,
+                      const std::vector<JournalRecord>& journal);
+
+}  // namespace telemetry
+}  // namespace lt
+
+#endif  // SRC_TELEMETRY_CHROME_TRACE_H_

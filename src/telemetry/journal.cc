@@ -1,0 +1,110 @@
+#include "src/telemetry/journal.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/timing.h"
+
+namespace lt {
+namespace telemetry {
+
+const char* JournalEventName(JournalEvent ev) {
+  switch (ev) {
+    case JournalEvent::kOpStart: return "op_start";
+    case JournalEvent::kOpEnd: return "op_end";
+    case JournalEvent::kRpcRetry: return "rpc_retry";
+    case JournalEvent::kOnesideRetry: return "oneside_retry";
+    case JournalEvent::kQpRecover: return "qp_recover";
+    case JournalEvent::kPeerDead: return "peer_dead";
+    case JournalEvent::kPeerAlive: return "peer_alive";
+    case JournalEvent::kLeaseExpire: return "lease_expire";
+    case JournalEvent::kQosThrottle: return "qos_throttle";
+    case JournalEvent::kFaultDrop: return "fault_drop";
+    case JournalEvent::kFaultDup: return "fault_dup";
+    case JournalEvent::kFaultDelay: return "fault_delay";
+    case JournalEvent::kNodeCrash: return "node_crash";
+    case JournalEvent::kNodeRestart: return "node_restart";
+    case JournalEvent::kCount: break;
+  }
+  return "unknown";
+}
+
+std::string JournalRecord::ToJson() const {
+  std::ostringstream os;
+  os << "{\"t_ns\":" << t_ns << ",\"node\":" << node << ",\"ev\":\""
+     << JournalEventName(ev) << "\",\"a\":" << a << ",\"b\":" << b << "}";
+  return os.str();
+}
+
+Journal::Journal(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(new Slot[capacity == 0 ? 1 : capacity]) {}
+
+void Journal::Record(JournalEvent ev, uint64_t a, uint64_t b) {
+  RecordAt(ev, NowNs(), a, b);
+}
+
+void Journal::RecordAt(JournalEvent ev, uint64_t t_ns, uint64_t a, uint64_t b) {
+  const uint64_t idx = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[idx % capacity_];
+  s.t_ns.store(t_ns, std::memory_order_relaxed);
+  s.a.store(a, std::memory_order_relaxed);
+  s.b.store(b, std::memory_order_relaxed);
+  s.ev.store(static_cast<uint16_t>(ev), std::memory_order_relaxed);
+  s.seq.store(idx + 1, std::memory_order_release);
+}
+
+uint64_t Journal::overwritten() const {
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  return head > capacity_ ? head - capacity_ : 0;
+}
+
+std::vector<JournalRecord> Journal::Snapshot() const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t first = head > capacity_ ? head - capacity_ : 0;
+  std::vector<JournalRecord> out;
+  out.reserve(head - first);
+  for (uint64_t idx = first; idx < head; ++idx) {
+    const Slot& s = slots_[idx % capacity_];
+    const uint64_t seq_before = s.seq.load(std::memory_order_acquire);
+    if (seq_before != idx + 1) continue;  // overwritten or not yet published
+    JournalRecord r;
+    r.t_ns = s.t_ns.load(std::memory_order_relaxed);
+    r.a = s.a.load(std::memory_order_relaxed);
+    r.b = s.b.load(std::memory_order_relaxed);
+    r.ev = static_cast<JournalEvent>(s.ev.load(std::memory_order_relaxed));
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) != seq_before) continue;
+    r.index = idx;
+    r.node = node_;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::string MergeJournalsJson(const std::vector<const Journal*>& journals) {
+  std::vector<JournalRecord> all;
+  for (const Journal* j : journals) {
+    if (j == nullptr) continue;
+    std::vector<JournalRecord> part = j->Snapshot();
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const JournalRecord& x, const JournalRecord& y) {
+                     if (x.t_ns != y.t_ns) return x.t_ns < y.t_ns;
+                     if (x.node != y.node) return x.node < y.node;
+                     return x.index < y.index;
+                   });
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\n  " << all[i].ToJson();
+  }
+  if (!all.empty()) os << "\n";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace telemetry
+}  // namespace lt

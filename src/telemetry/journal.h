@@ -1,0 +1,146 @@
+// Always-on flight recorder: a bounded lock-free per-node ring of compact
+// binary events stamped with virtual time.
+//
+// The journal is the "black box" complement to the sampling tracer: it is
+// never off, so after a chaos-soak assertion the last few thousand control
+// events per node (op start/end, retries, QP recoveries, fault decisions,
+// crash/restart, lease expiries, QoS throttles) are always available —
+// Cluster::DumpJournal() merges the per-node rings by virtual time into one
+// postmortem timeline.
+//
+// Cost contract: Record() is a handful of relaxed stores plus one release
+// store into a preallocated slot — no locks, no allocation, and zero virtual
+// time charged, so arming the journal cannot perturb measured latencies.
+// Writers never wait; old events are overwritten once the ring wraps.
+#ifndef SRC_TELEMETRY_JOURNAL_H_
+#define SRC_TELEMETRY_JOURNAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lt {
+namespace telemetry {
+
+// Event catalog. Mirrors docs/TELEMETRY.md; keep JournalEventName in sync.
+enum class JournalEvent : uint16_t {
+  kOpStart = 0,    // a = packed op name, b = op id
+  kOpEnd,          // a = packed op name, b = op id
+  kRpcRetry,       // a = target node, b = backoff ns just slept
+  kOnesideRetry,   // a = target node, b = attempt index
+  kQpRecover,      // a = peer node, b = qp number
+  kPeerDead,       // a = peer node
+  kPeerAlive,      // a = peer node
+  kLeaseExpire,    // a = expired node, b = ns since last keepalive
+  kQosThrottle,    // a = priority, b = injected delay ns
+  kFaultDrop,      // a = packed link (src<<32|dst), b = drop cause (DropCause)
+  kFaultDup,       // a = packed link, b = duplicate extra delay ns
+  kFaultDelay,     // a = packed link, b = injected delay ns
+  kNodeCrash,      // a = crashed node
+  kNodeRestart,    // a = restarted node
+  kCount
+};
+
+const char* JournalEventName(JournalEvent ev);
+
+// Cause codes carried in kFaultDrop's `b` argument.
+enum class DropCause : uint64_t {
+  kRule = 0,       // probabilistic / count-based link rule
+  kCrash = 1,      // src or dst crashed
+  kPartition = 2,  // partition cut
+};
+
+// Packs the first 8 bytes of a NUL-terminated name into a uint64 so op names
+// ride in a fixed-width event argument (unpacked by UnpackName8).
+inline uint64_t PackName8(const char* name) {
+  uint64_t v = 0;
+  if (name != nullptr) {
+    char buf[8] = {};
+    size_t n = 0;
+    while (n < sizeof(buf) && name[n] != '\0') {
+      buf[n] = name[n];
+      ++n;
+    }
+    std::memcpy(&v, buf, sizeof(v));
+  }
+  return v;
+}
+
+inline std::string UnpackName8(uint64_t v) {
+  char buf[9] = {};
+  std::memcpy(buf, &v, 8);
+  return std::string(buf);
+}
+
+inline uint64_t PackLink(uint32_t src, uint32_t dst) {
+  return (static_cast<uint64_t>(src) << 32) | dst;
+}
+
+// One decoded journal entry (snapshot-time representation).
+struct JournalRecord {
+  uint64_t t_ns = 0;      // virtual time of the event
+  uint64_t a = 0;         // event-specific argument
+  uint64_t b = 0;         // event-specific argument
+  uint64_t index = 0;     // global per-journal sequence (monotonic)
+  JournalEvent ev = JournalEvent::kCount;
+  uint32_t node = 0;      // owning node id
+
+  std::string ToJson() const;
+};
+
+class Journal {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit Journal(size_t capacity = kDefaultCapacity);
+
+  void SetNodeId(uint32_t node) { node_ = node; }
+  uint32_t node_id() const { return node_; }
+  size_t capacity() const { return capacity_; }
+
+  // Records one event stamped with the current virtual time. Lock-free;
+  // overwrites the oldest slot once the ring is full.
+  void Record(JournalEvent ev, uint64_t a = 0, uint64_t b = 0);
+  // Same, with an explicit timestamp (fault decisions stamp the transfer's
+  // departure vtime, not the recorder thread's clock).
+  void RecordAt(JournalEvent ev, uint64_t t_ns, uint64_t a = 0, uint64_t b = 0);
+
+  // Total events ever recorded (including overwritten ones).
+  uint64_t recorded() const { return head_.load(std::memory_order_relaxed); }
+  // Events lost to ring wraparound.
+  uint64_t overwritten() const;
+
+  // Decodes the surviving window, oldest first. Skips slots caught mid-write
+  // (snapshot is best-effort against concurrent writers, by design).
+  std::vector<JournalRecord> Snapshot() const;
+
+ private:
+  // Slot protocol: writer claims an index via head_.fetch_add, fills the
+  // payload fields (relaxed), then publishes seq = index + 1 with release.
+  // The snapshot reader load-acquires seq before and after reading the
+  // payload and discards the slot if it changed underneath it.
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  // 0 = never written, else index + 1
+    std::atomic<uint64_t> t_ns{0};
+    std::atomic<uint64_t> a{0};
+    std::atomic<uint64_t> b{0};
+    std::atomic<uint16_t> ev{0};
+  };
+
+  const size_t capacity_;
+  uint32_t node_ = 0;
+  std::atomic<uint64_t> head_{0};
+  std::unique_ptr<Slot[]> slots_;
+};
+
+// Merges per-node snapshots into one timeline ordered by (t_ns, node, index)
+// and renders it as a JSON array (one object per event).
+std::string MergeJournalsJson(const std::vector<const Journal*>& journals);
+
+}  // namespace telemetry
+}  // namespace lt
+
+#endif  // SRC_TELEMETRY_JOURNAL_H_

@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "src/telemetry/journal.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
 
@@ -15,10 +16,20 @@ namespace telemetry {
 
 class NodeTelemetry {
  public:
+  NodeTelemetry() { tracer_.SetJournal(&journal_); }
+
+  // Tags the tracer (trace-id allocation) and journal with the node's id.
+  void SetNodeId(uint32_t node) {
+    tracer_.SetNodeId(node);
+    journal_.SetNodeId(node);
+  }
+
   Registry& registry() { return registry_; }
   const Registry& registry() const { return registry_; }
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
+  Journal& journal() { return journal_; }
+  const Journal& journal() const { return journal_; }
 
   // Metrics + committed trace spans as one JSON object.
   std::string ToJson() const;
@@ -26,6 +37,7 @@ class NodeTelemetry {
  private:
   Registry registry_;
   Tracer tracer_;
+  Journal journal_;
 };
 
 }  // namespace telemetry

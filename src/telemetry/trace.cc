@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/timing.h"
+#include "src/telemetry/journal.h"
 #include "src/telemetry/metrics.h"
 
 namespace lt {
@@ -43,6 +44,10 @@ const char* TraceStageName(TraceStage stage) {
       return "dma";
     case TraceStage::kCompletion:
       return "completion";
+    case TraceStage::kServerRecv:
+      return "server_recv";
+    case TraceStage::kServerReply:
+      return "server_reply";
     case TraceStage::kStageCount:
       break;
   }
@@ -50,18 +55,28 @@ const char* TraceStageName(TraceStage stage) {
 }
 
 void TraceSpan::Stamp(TraceStage stage, uint64_t arg) {
+  StampAt(stage, NowNs(), arg);
+}
+
+void TraceSpan::StampAt(TraceStage stage, uint64_t t_ns, uint64_t arg) {
   if (n_events >= kMaxEvents) {
+    ++events_dropped;
     return;
   }
   events[n_events].stage = stage;
-  events[n_events].t_ns = NowNs();
+  events[n_events].t_ns = t_ns;
   events[n_events].arg = arg;
   ++n_events;
 }
 
 std::string TraceSpan::ToJson() const {
   std::ostringstream os;
-  os << "{\"op_id\":" << op_id << ",\"op\":\"" << JsonEscape(op) << "\",\"events\":[";
+  os << "{\"op_id\":" << op_id << ",\"op\":\"" << JsonEscape(op) << "\",\"trace_id\":" << trace_id
+     << ",\"parent_trace_id\":" << parent_trace_id << ",\"node\":" << node;
+  if (events_dropped != 0) {
+    os << ",\"events_dropped\":" << events_dropped;
+  }
+  os << ",\"events\":[";
   for (int i = 0; i < n_events; ++i) {
     os << (i == 0 ? "" : ",") << "{\"stage\":\"" << TraceStageName(events[i].stage)
        << "\",\"t_ns\":" << events[i].t_ns << ",\"arg\":" << events[i].arg << "}";
@@ -74,11 +89,15 @@ TraceSpan* CurrentSpan() { return g_current_span; }
 
 void Tracer::Commit(const TraceSpan& span) {
   LT_VLOG << "span " << span.op_id << " (" << span.op << "): " << span.n_events << " stages";
+  if (span.events_dropped != 0) {
+    events_dropped_.fetch_add(span.events_dropped, std::memory_order_relaxed);
+  }
   std::lock_guard<std::mutex> lock(ring_mu_);
-  if (ring_.size() < kRingCapacity) {
+  if (ring_.size() < ring_capacity_) {
     ring_.push_back(span);
   } else {
-    ring_[ring_next_ % kRingCapacity] = span;
+    ring_[ring_next_ % ring_capacity_] = span;
+    spans_dropped_.fetch_add(1, std::memory_order_relaxed);
   }
   ++ring_next_;
   committed_.fetch_add(1, std::memory_order_relaxed);
@@ -86,14 +105,14 @@ void Tracer::Commit(const TraceSpan& span) {
 
 std::vector<TraceSpan> Tracer::Snapshot() const {
   std::lock_guard<std::mutex> lock(ring_mu_);
-  if (ring_.size() < kRingCapacity) {
+  if (ring_.size() < ring_capacity_) {
     return ring_;
   }
   // Full ring: ring_next_ points at the oldest slot.
   std::vector<TraceSpan> out;
-  out.reserve(kRingCapacity);
-  for (size_t i = 0; i < kRingCapacity; ++i) {
-    out.push_back(ring_[(ring_next_ + i) % kRingCapacity]);
+  out.reserve(ring_capacity_);
+  for (size_t i = 0; i < ring_capacity_; ++i) {
+    out.push_back(ring_[(ring_next_ + i) % ring_capacity_]);
   }
   return out;
 }
@@ -110,12 +129,20 @@ ScopedSpan::ScopedSpan(Tracer* tracer, const char* op) {
   }
   g_span_depth = 1;
   claimed_ = true;
+  op_id_ = g_next_op_id.fetch_add(1, std::memory_order_relaxed);
+  journal_ = tracer->journal();
+  if (journal_ != nullptr) {
+    op_name_packed_ = PackName8(op);
+    journal_->Record(JournalEvent::kOpStart, op_name_packed_, op_id_);
+  }
   if (!tracer->Sample()) {
     return;
   }
   tracer_ = tracer;
   active_ = true;
-  span_.op_id = g_next_op_id.fetch_add(1, std::memory_order_relaxed);
+  span_.op_id = op_id_;
+  span_.trace_id = tracer->AllocTraceId();
+  span_.node = tracer->node_id();
   span_.op = op;
   g_current_span = &span_;
   span_.Stamp(TraceStage::kApiEntry);
@@ -124,6 +151,9 @@ ScopedSpan::ScopedSpan(Tracer* tracer, const char* op) {
 ScopedSpan::~ScopedSpan() {
   if (claimed_) {
     g_span_depth = 0;
+    if (journal_ != nullptr) {
+      journal_->Record(JournalEvent::kOpEnd, op_name_packed_, op_id_);
+    }
   }
   if (!active_) {
     return;

@@ -8,6 +8,12 @@
 // lookup (hit-or-miss penalty in arg) -> fabric reservation -> DMA copy ->
 // completion.
 //
+// Cross-node stitching: the outermost ScopedSpan allocates a cluster-unique
+// 64-bit trace id (node id in the high bits, so no coordination is needed).
+// The RPC layer carries it on the wire; the server side opens a child span
+// tagged with parent_trace_id, and DumpTelemetryJson / ExportChromeTrace
+// join the halves into one client->fabric->server->fabric->client timeline.
+//
 // The span is carried via a thread-local pointer rather than threaded
 // through every signature: lower layers (RNIC, OS, QoS) stamp into
 // CurrentSpan() if one is active. With sampling disabled (the default) the
@@ -15,7 +21,8 @@
 // predictable branch; Begin() itself is a relaxed atomic load + branch.
 //
 // Completed spans land in a bounded per-node ring buffer (old spans are
-// overwritten) and are drained by LT_stat / Cluster::DumpTelemetry.
+// overwritten and counted in spans_dropped()) and are drained by LT_stat /
+// Cluster::DumpTelemetry.
 #ifndef SRC_TELEMETRY_TRACE_H_
 #define SRC_TELEMETRY_TRACE_H_
 
@@ -27,6 +34,8 @@
 
 namespace lt {
 namespace telemetry {
+
+class Journal;
 
 // Stages of the LITE fast path, in the order the paper's Sec. 4-5 walk
 // describes them. Keep TraceStageName() in sync.
@@ -40,6 +49,8 @@ enum class TraceStage : uint8_t {
   kFabric,           // Fabric bandwidth reserved (arg = transfer finish ns).
   kDma,              // Target-memory copy performed by the issuing thread.
   kCompletion,       // Completion observed (arg = completion ready ns).
+  kServerRecv,       // Server-side: request picked up by a handler worker.
+  kServerReply,      // Server-side: reply posted back (arg = reply bytes).
   kStageCount,
 };
 
@@ -55,13 +66,20 @@ struct TraceSpan {
   static constexpr int kMaxEvents = 16;
 
   uint64_t op_id = 0;
+  uint64_t trace_id = 0;         // Cluster-unique id; 0 = untraced.
+  uint64_t parent_trace_id = 0;  // Nonzero on server-side child spans.
+  uint32_t node = 0;             // Node that recorded this span.
   const char* op = "";  // Static string: the API name ("LT_write", ...).
   int n_events = 0;
+  uint32_t events_dropped = 0;  // Stamps lost to the kMaxEvents bound.
   TraceEvent events[kMaxEvents];
 
   // Stamps `stage` at the calling thread's current virtual time. Extra
-  // events past kMaxEvents are dropped (bounded by construction).
+  // events past kMaxEvents are counted into events_dropped.
   void Stamp(TraceStage stage, uint64_t arg = 0);
+  // Same, at an explicit virtual time (server spans back-stamp the request's
+  // arrival, which predates the handler thread's current clock).
+  void StampAt(TraceStage stage, uint64_t t_ns, uint64_t arg = 0);
 
   std::string ToJson() const;
 };
@@ -69,6 +87,13 @@ struct TraceSpan {
 // The calling thread's active span, or nullptr. Lower layers stamp through
 // this so their signatures stay trace-agnostic.
 TraceSpan* CurrentSpan();
+
+// Trace id of the calling thread's active span, or 0. This is what the RPC
+// layer puts on the wire; 0 means "not traced" and costs the header nothing.
+inline uint64_t CurrentTraceId() {
+  TraceSpan* span = CurrentSpan();
+  return span != nullptr ? span->trace_id : 0;
+}
 
 // Stamps into the current span if one is active; the no-span fast path is a
 // thread-local load + branch.
@@ -81,7 +106,18 @@ inline void StampStage(TraceStage stage, uint64_t arg = 0) {
 // Per-node tracer: sampling decision + bounded ring of completed spans.
 class Tracer {
  public:
-  static constexpr size_t kRingCapacity = 1024;
+  static constexpr size_t kRingCapacity = 1024;  // default ring size
+
+  explicit Tracer(size_t ring_capacity = kRingCapacity)
+      : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity) {}
+
+  // Identity used for cluster-unique trace-id allocation and span tagging.
+  void SetNodeId(uint32_t node) { node_ = node; }
+  uint32_t node_id() const { return node_; }
+
+  // Flight recorder receiving op start/end events (may be null).
+  void SetJournal(Journal* journal) { journal_ = journal; }
+  Journal* journal() const { return journal_; }
 
   // 0 disables tracing (default); n samples every n-th Begin().
   void SetSampleEvery(uint32_t n) { sample_every_.store(n, std::memory_order_relaxed); }
@@ -96,18 +132,37 @@ class Tracer {
     return ops_seen_.fetch_add(1, std::memory_order_relaxed) % every == 0;
   }
 
+  // Cluster-unique, never 0: node id in the high 24 bits, a per-node counter
+  // (starting at 1) in the low 40.
+  uint64_t AllocTraceId() {
+    return (static_cast<uint64_t>(node_) << 40) |
+           (next_trace_.fetch_add(1, std::memory_order_relaxed) & ((1ull << 40) - 1));
+  }
+
   // Copies a finished span into the ring (sampled ops only — cold path).
   void Commit(const TraceSpan& span);
 
   uint64_t spans_committed() const { return committed_.load(std::memory_order_relaxed); }
+  // Spans overwritten in the ring before anyone snapshotted them.
+  uint64_t spans_dropped() const { return spans_dropped_.load(std::memory_order_relaxed); }
+  // Stage stamps lost to TraceSpan::kMaxEvents, totaled over committed spans.
+  uint64_t events_dropped() const { return events_dropped_.load(std::memory_order_relaxed); }
 
-  // Completed spans, oldest first (at most kRingCapacity).
+  size_t ring_capacity() const { return ring_capacity_; }
+
+  // Completed spans, oldest first (at most ring_capacity()).
   std::vector<TraceSpan> Snapshot() const;
 
  private:
+  const size_t ring_capacity_;
+  uint32_t node_ = 0;
+  Journal* journal_ = nullptr;
   std::atomic<uint32_t> sample_every_{0};
   std::atomic<uint64_t> ops_seen_{0};
   std::atomic<uint64_t> committed_{0};
+  std::atomic<uint64_t> spans_dropped_{0};
+  std::atomic<uint64_t> events_dropped_{0};
+  std::atomic<uint64_t> next_trace_{1};
 
   mutable std::mutex ring_mu_;
   std::vector<TraceSpan> ring_;
@@ -121,6 +176,9 @@ class Tracer {
 // op even when it declines to sample — otherwise an inner layer would re-roll
 // the sampling counter and a 1-in-even stride parity-locks onto the inner
 // layer, dropping the stages above it from every sampled span.
+//
+// Claimed ops (sampled or not) also drop kOpStart/kOpEnd breadcrumbs into
+// the tracer's flight-recorder journal — that part is always on.
 class ScopedSpan {
  public:
   ScopedSpan(Tracer* tracer, const char* op);
@@ -133,6 +191,9 @@ class ScopedSpan {
 
  private:
   Tracer* tracer_ = nullptr;
+  Journal* journal_ = nullptr;
+  uint64_t op_id_ = 0;
+  uint64_t op_name_packed_ = 0;
   bool claimed_ = false;
   bool active_ = false;
   TraceSpan span_;

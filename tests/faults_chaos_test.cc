@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <functional>
 #include <map>
@@ -152,6 +153,18 @@ TEST(FaultsChaosTest, SoakWithCrashRestartAndManagerRebuild) {
   p.lite_keepalive_interval_ns = 2'000'000;  // 2 ms cadence (real time).
   p.lite_lease_timeout_ns = 10'000'000;      // dead after 10 ms of silence.
   LiteCluster cluster(4, p);
+  // Postmortem aid: if any assertion below fails, dump the merged
+  // flight-recorder timeline so the failure is diagnosable from the log
+  // (the fault schedule alone is not — the soak's interleaving is real-time).
+  struct JournalOnFailure {
+    LiteCluster* cluster;
+    ~JournalOnFailure() {
+      if (::testing::Test::HasFailure()) {
+        std::fprintf(stderr, "=== flight recorder (merged) ===\n%s\n",
+                     cluster->DumpJournal().c_str());
+      }
+    }
+  } journal_guard{&cluster};
   cluster.faults().Reseed(0xc4a05);
 
   const lt::NodeId kManager = 0, kServer = 1;

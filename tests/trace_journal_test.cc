@@ -1,0 +1,387 @@
+// Telemetry v2 coverage: cross-node trace stitching (RPC + memop), the
+// always-on flight-recorder journal (wraparound, fault/retry events), tracer
+// ring capacity / drop counters, and Chrome trace-event well-formedness.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/common/timing.h"
+#include "src/lite/lite_cluster.h"
+#include "src/telemetry/chrome_trace.h"
+#include "src/telemetry/journal.h"
+#include "src/telemetry/trace.h"
+
+namespace lite {
+namespace {
+
+namespace tel = lt::telemetry;
+
+// Echo server serving one RPC function until stopped.
+class EchoServer {
+ public:
+  EchoServer(LiteCluster* cluster, lt::NodeId node, RpcFuncId func)
+      : client_(cluster->CreateClient(node, /*kernel_level=*/true)), func_(func) {
+    (void)client_->RegisterRpc(func_);
+    thread_ = std::thread([this] { Run(); });
+  }
+  ~EchoServer() {
+    stopping_.store(true);
+    thread_.join();
+  }
+
+ private:
+  void Run() {
+    while (!stopping_.load()) {
+      auto inc = client_->RecvRpc(func_, 50'000'000);
+      if (!inc.ok()) {
+        continue;
+      }
+      (void)client_->ReplyRpc(inc->token, inc->data.data(),
+                              static_cast<uint32_t>(inc->data.size()));
+    }
+  }
+
+  std::unique_ptr<LiteClient> client_;
+  const RpcFuncId func_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+std::vector<tel::TraceSpan> SpansOf(LiteCluster* cluster, lt::NodeId node) {
+  return cluster->node(node)->telemetry().tracer().Snapshot();
+}
+
+const tel::TraceSpan* FindSpan(const std::vector<tel::TraceSpan>& spans, const char* op,
+                               uint64_t parent = 0) {
+  for (const tel::TraceSpan& s : spans) {
+    if (std::strcmp(s.op, op) == 0 && (parent == 0 || s.parent_trace_id == parent)) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+bool HasStage(const tel::TraceSpan& s, tel::TraceStage stage) {
+  for (int i = 0; i < s.n_events; ++i) {
+    if (s.events[i].stage == stage) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------- stitching
+
+TEST(TraceStitchTest, RpcClientSpanLinksToServerSpan) {
+  lt::SimParams p = lt::SimParams::FastForTests();
+  LiteCluster cluster(2, p);
+  cluster.EnableTracing(1);
+  EchoServer server(&cluster, 1, 7);
+  auto client = cluster.CreateClient(0);
+
+  char out[32];
+  uint32_t out_len = 0;
+  ASSERT_TRUE(client->Rpc(1, 7, "ping", 4, out, sizeof(out), &out_len).ok());
+
+  auto client_spans = SpansOf(&cluster, 0);
+  const tel::TraceSpan* rpc = FindSpan(client_spans, "LT_RPC");
+  ASSERT_NE(rpc, nullptr);
+  EXPECT_NE(rpc->trace_id, 0u);
+  EXPECT_EQ(rpc->parent_trace_id, 0u);
+  EXPECT_EQ(rpc->node, 0u);
+
+  auto server_spans = SpansOf(&cluster, 1);
+  const tel::TraceSpan* srv = FindSpan(server_spans, "LT_RPC_srv", rpc->trace_id);
+  ASSERT_NE(srv, nullptr) << "no server span with parent_trace_id = client trace id";
+  EXPECT_EQ(srv->node, 1u);
+  EXPECT_NE(srv->trace_id, 0u);
+  EXPECT_NE(srv->trace_id, rpc->trace_id);  // ids are cluster-unique
+  EXPECT_TRUE(HasStage(*srv, tel::TraceStage::kServerRecv));
+  EXPECT_TRUE(HasStage(*srv, tel::TraceStage::kServerReply));
+}
+
+TEST(TraceStitchTest, MemopCarriesTraceIdToRemoteNode) {
+  lt::SimParams p = lt::SimParams::FastForTests();
+  LiteCluster cluster(2, p);
+  auto owner = cluster.CreateClient(1);
+  MallocOptions on1;
+  on1.nodes = {1};
+  auto lh = owner->Malloc(4096, "stitch_mem", on1);
+  ASSERT_TRUE(lh.ok());
+  auto mapped = cluster.CreateClient(0)->Map("stitch_mem");
+  ASSERT_TRUE(mapped.ok());
+
+  cluster.EnableTracing(1);
+  auto client = cluster.CreateClient(0);
+  auto clh = client->Map("stitch_mem");
+  ASSERT_TRUE(clh.ok());
+  // Snapshot before so the Memset span is identifiable even though Map()
+  // also committed spans.
+  ASSERT_TRUE(client->Memset(*clh, 0, 0xab, 4096).ok());
+
+  auto client_spans = SpansOf(&cluster, 0);
+  const tel::TraceSpan* ms = FindSpan(client_spans, "LT_memset");
+  ASSERT_NE(ms, nullptr);
+  EXPECT_NE(ms->trace_id, 0u);
+  auto server_spans = SpansOf(&cluster, 1);
+  const tel::TraceSpan* srv = FindSpan(server_spans, "LT_RPC_srv", ms->trace_id);
+  ASSERT_NE(srv, nullptr) << "memset's remote memop RPC did not open a server child span";
+  EXPECT_TRUE(HasStage(*srv, tel::TraceStage::kServerRecv));
+}
+
+TEST(TraceStitchTest, TracingOffPutsZeroOnWireAndCommitsNothing) {
+  lt::SimParams p = lt::SimParams::FastForTests();
+  LiteCluster cluster(2, p);
+  EchoServer server(&cluster, 1, 9);
+  auto client = cluster.CreateClient(0);
+  char out[16];
+  uint32_t out_len = 0;
+  ASSERT_TRUE(client->Rpc(1, 9, "x", 1, out, sizeof(out), &out_len).ok());
+  EXPECT_TRUE(SpansOf(&cluster, 0).empty());
+  EXPECT_TRUE(SpansOf(&cluster, 1).empty());
+  // The always-on journal still recorded the op breadcrumbs.
+  EXPECT_GT(cluster.node(0)->telemetry().journal().recorded(), 0u);
+}
+
+// ------------------------------------------------------------------ journal
+
+TEST(JournalTest, WrapsAroundKeepingNewestEvents) {
+  tel::Journal j(/*capacity=*/8);
+  j.SetNodeId(3);
+  for (uint64_t i = 0; i < 20; ++i) {
+    j.RecordAt(tel::JournalEvent::kRpcRetry, /*t_ns=*/100 + i, /*a=*/i, /*b=*/0);
+  }
+  EXPECT_EQ(j.recorded(), 20u);
+  EXPECT_EQ(j.overwritten(), 12u);
+  auto snap = j.Snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  for (size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].a, 12 + i);  // oldest surviving first
+    EXPECT_EQ(snap[i].t_ns, 112 + i);
+    EXPECT_EQ(snap[i].node, 3u);
+  }
+}
+
+TEST(JournalTest, PackName8RoundTrips) {
+  EXPECT_EQ(tel::UnpackName8(tel::PackName8("LT_RPC")), "LT_RPC");
+  EXPECT_EQ(tel::UnpackName8(tel::PackName8("LT_writeXXX")), "LT_write");  // truncates
+  EXPECT_EQ(tel::UnpackName8(tel::PackName8(nullptr)), "");
+}
+
+TEST(JournalTest, FaultDecisionsAreRecorded) {
+  lt::SimParams p = lt::SimParams::FastForTests();
+  LiteCluster cluster(2, p);
+  EchoServer server(&cluster, 1, 11);
+  auto client = cluster.CreateClient(0);
+
+  cluster.faults().DropNextTransfers(0, 1, 1);
+  char out[16];
+  uint32_t out_len = 0;
+  ASSERT_TRUE(client->Rpc(1, 11, "a", 1, out, sizeof(out), &out_len).ok());
+
+  auto snap = cluster.node(0)->telemetry().journal().Snapshot();
+  bool saw_drop = false, saw_retry = false;
+  for (const tel::JournalRecord& r : snap) {
+    if (r.ev == tel::JournalEvent::kFaultDrop &&
+        r.a == tel::PackLink(0, 1) &&
+        r.b == static_cast<uint64_t>(tel::DropCause::kRule)) {
+      saw_drop = true;
+    }
+    if (r.ev == tel::JournalEvent::kRpcRetry || r.ev == tel::JournalEvent::kOnesideRetry) {
+      saw_retry = true;
+    }
+  }
+  EXPECT_TRUE(saw_drop) << "armed drop decision missing from flight recorder";
+  EXPECT_TRUE(saw_retry) << "recovery retry missing from flight recorder";
+
+  cluster.CrashNode(1);
+  cluster.RestartNode(1);
+  snap = cluster.node(1)->telemetry().journal().Snapshot();
+  bool saw_crash = false, saw_restart = false;
+  for (const tel::JournalRecord& r : snap) {
+    saw_crash |= r.ev == tel::JournalEvent::kNodeCrash;
+    saw_restart |= r.ev == tel::JournalEvent::kNodeRestart;
+  }
+  EXPECT_TRUE(saw_crash);
+  EXPECT_TRUE(saw_restart);
+
+  // The merged dump is valid JSON-ish: brackets balance and both nodes show.
+  std::string merged = cluster.DumpJournal();
+  EXPECT_NE(merged.find("fault_drop"), std::string::npos);
+  EXPECT_NE(merged.find("node_crash"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- tracer
+
+TEST(TracerTest, RingCapacityIsConfigurableAndDropsAreCounted) {
+  tel::Tracer t(/*ring_capacity=*/4);
+  for (int i = 0; i < 6; ++i) {
+    tel::TraceSpan s;
+    s.op = "x";
+    s.op_id = static_cast<uint64_t>(i);
+    s.StampAt(tel::TraceStage::kApiEntry, /*t_ns=*/10 + i);
+    t.Commit(s);
+  }
+  EXPECT_EQ(t.Snapshot().size(), 4u);
+  EXPECT_EQ(t.spans_committed(), 6u);
+  EXPECT_EQ(t.spans_dropped(), 2u);
+  EXPECT_EQ(t.Snapshot().front().op_id, 2u);  // oldest surviving
+  // Default-constructed tracer keeps the historical capacity.
+  tel::Tracer d;
+  EXPECT_EQ(d.ring_capacity(), tel::Tracer::kRingCapacity);
+}
+
+TEST(TracerTest, StampOverflowIsCountedNotSilent) {
+  tel::Tracer t;
+  tel::TraceSpan s;
+  s.op = "overflow";
+  for (int i = 0; i < tel::TraceSpan::kMaxEvents + 5; ++i) {
+    s.StampAt(tel::TraceStage::kDma, /*t_ns=*/i);
+  }
+  EXPECT_EQ(s.n_events, tel::TraceSpan::kMaxEvents);
+  EXPECT_EQ(s.events_dropped, 5u);
+  t.Commit(s);
+  EXPECT_EQ(t.events_dropped(), 5u);
+}
+
+TEST(TracerTest, EventsDroppedSurfacesInStatSnapshot) {
+  lt::SimParams p = lt::SimParams::FastForTests();
+  LiteCluster cluster(2, p);
+  tel::Tracer& tracer = cluster.node(0)->telemetry().tracer();
+  tel::TraceSpan s;
+  s.op = "synthetic";
+  for (int i = 0; i < tel::TraceSpan::kMaxEvents + 3; ++i) {
+    s.StampAt(tel::TraceStage::kDma, i);
+  }
+  tracer.Commit(s);
+  auto snap = cluster.instance(0)->StatSnapshot();
+  EXPECT_EQ(snap.ValueOr("lite.trace.events_dropped", 0), 3);
+  EXPECT_EQ(snap.ValueOr("lite.trace.spans_dropped", 123), 0);
+}
+
+// ------------------------------------------------------------- chrome trace
+
+// Runs a tiny traced workload and returns everything the exporter consumes.
+struct TracedRun {
+  std::vector<tel::TraceSpan> spans;
+  std::vector<tel::JournalRecord> journal;
+};
+
+TracedRun RunTracedWorkload() {
+  lt::SimParams p = lt::SimParams::FastForTests();
+  LiteCluster cluster(2, p);
+  cluster.EnableTracing(1);
+  EchoServer server(&cluster, 1, 13);
+  auto client = cluster.CreateClient(0);
+  char out[64];
+  uint32_t out_len = 0;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(client->Rpc(1, 13, "abcd", 4, out, sizeof(out), &out_len).ok());
+  }
+  TracedRun run;
+  for (lt::NodeId n = 0; n < 2; ++n) {
+    auto spans = SpansOf(&cluster, n);
+    run.spans.insert(run.spans.end(), spans.begin(), spans.end());
+    auto j = cluster.node(n)->telemetry().journal().Snapshot();
+    run.journal.insert(run.journal.end(), j.begin(), j.end());
+  }
+  return run;
+}
+
+TEST(ChromeTraceTest, EventsAreBalancedAndMonotonicPerLane) {
+  TracedRun run = RunTracedWorkload();
+  ASSERT_FALSE(run.spans.empty());
+  auto events = tel::BuildChromeEvents(run.spans, run.journal);
+  ASSERT_FALSE(events.empty());
+
+  std::map<std::pair<uint32_t, uint32_t>, int> depth;       // B/E nesting per lane
+  std::map<std::pair<uint32_t, uint32_t>, uint64_t> last_ts;
+  std::map<std::pair<std::string, uint64_t>, int> flows;    // (cat,id) -> s seen
+  int flow_finishes = 0;
+  for (const tel::ChromeEvent& e : events) {
+    if (e.ph == 'M') {
+      continue;
+    }
+    auto lane = std::make_pair(e.pid, e.tid);
+    EXPECT_GE(e.ts_ns, last_ts[lane]) << "timestamps regress on pid=" << e.pid
+                                      << " tid=" << e.tid;
+    last_ts[lane] = e.ts_ns;
+    if (e.ph == 'B') {
+      ++depth[lane];
+    } else if (e.ph == 'E') {
+      --depth[lane];
+      EXPECT_GE(depth[lane], 0) << "E without matching B on pid=" << e.pid << " tid=" << e.tid;
+    } else if (e.ph == 's') {
+      ++flows[std::make_pair(e.cat, e.id)];
+    } else if (e.ph == 'f') {
+      const int starts = flows[std::make_pair(e.cat, e.id)];
+      EXPECT_GT(starts, 0) << "flow finish without start, id=" << e.id;
+      ++flow_finishes;
+    }
+  }
+  for (const auto& [lane, d] : depth) {
+    EXPECT_EQ(d, 0) << "unbalanced B/E on pid=" << lane.first << " tid=" << lane.second;
+  }
+  // At least one RPC stitched: request + reply edges.
+  EXPECT_GE(flow_finishes, 2);
+}
+
+TEST(ChromeTraceTest, ServerSpansGetTheirOwnLanes) {
+  TracedRun run = RunTracedWorkload();
+  auto events = tel::BuildChromeEvents(run.spans, run.journal);
+  bool server_lane_seen = false;
+  for (const tel::ChromeEvent& e : events) {
+    if (e.ph == 'B' && e.tid >= tel::kServerLaneBase) {
+      server_lane_seen = true;
+      EXPECT_EQ(e.pid, 1u) << "server spans should live on the server node's pid";
+    }
+  }
+  EXPECT_TRUE(server_lane_seen);
+}
+
+TEST(ChromeTraceTest, JsonExportIsWellFormed) {
+  TracedRun run = RunTracedWorkload();
+  const std::string path = ::testing::TempDir() + "/trace_journal_test.trace.json";
+  ASSERT_TRUE(tel::WriteChromeTrace(path, run.spans, run.journal));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  ASSERT_FALSE(json.empty());
+  // Structure: balanced braces/brackets outside strings, required keys.
+  int braces = 0, brackets = 0;
+  bool in_str = false, esc = false;
+  for (char c : json) {
+    if (esc) {
+      esc = false;
+      continue;
+    }
+    if (c == '\\') {
+      esc = true;
+    } else if (c == '"') {
+      in_str = !in_str;
+    } else if (!in_str) {
+      braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+      brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+    }
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lite
