@@ -1,11 +1,16 @@
 // google-benchmark microbenchmarks of LITE's core primitives. All simulated
 // costs live on the virtual clock, so every benchmark uses manual timing and
-// reports virtual-time per operation.
+// reports virtual-time per operation. Before the registered benchmarks run,
+// main() sweeps the async-memop window depth (1 -> 64) and writes the
+// BENCH_async_depth.json telemetry sidecar as a perf-regression anchor.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <deque>
 #include <thread>
 
+#include "bench/benchlib.h"
+#include "src/common/rng.h"
 #include "src/common/timing.h"
 #include "src/lite/lite_cluster.h"
 
@@ -150,6 +155,85 @@ void BM_LiteBarrierPair(benchmark::State& state) {
 }
 BENCHMARK(BM_LiteBarrierPair)->UseManualTime()->Iterations(200);
 
+void BM_LiteWriteAsync(benchmark::State& state) {
+  auto* env = Env();
+  const int depth = static_cast<int>(state.range(0));
+  std::vector<uint8_t> buf(64, 0x2e);
+  std::deque<lite::MemopHandle> window;
+  for (auto _ : state) {
+    uint64_t t0 = lt::NowNs();
+    auto h = env->client->WriteAsync(env->lh, 0, buf.data(), buf.size());
+    if (h.ok()) {
+      window.push_back(*h);
+      if (window.size() >= static_cast<size_t>(depth)) {
+        (void)env->client->Wait(window.front());
+        window.pop_front();
+      }
+    }
+    state.SetIterationTime(static_cast<double>(lt::NowNs() - t0) / 1e9);
+  }
+  (void)env->client->WaitAll();
+  window.clear();
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_LiteWriteAsync)->Arg(1)->Arg(8)->Arg(64)->UseManualTime();
+
+// Async-depth sweep: 64 B LT_write_async throughput vs window depth, each
+// point on a fresh 2-node cluster. Emits one figure table plus a telemetry
+// snapshot per depth (doorbell/signaling/inline counters) into the JSON
+// sidecar so later PRs can regress against the whole pipelining curve.
+void RunAsyncDepthSweep(benchlib::TelemetrySink* sink) {
+  constexpr int kSweepOps = 4000;
+  constexpr uint64_t kRegionBytes = 1 << 20;
+  constexpr uint32_t kOpBytes = 64;
+  const std::vector<int> depths = {1, 2, 4, 8, 16, 32, 64};
+  benchlib::Series tput{"LT_write_async-64B", {}};
+  std::vector<std::string> xs;
+  for (int depth : depths) {
+    lite::LiteCluster cluster(2, MicroEnv::Params());
+    auto client = cluster.CreateClient(0, /*kernel_level=*/true);
+    lite::MallocOptions on1;
+    on1.nodes = {1};
+    auto lh = *client->Malloc(kRegionBytes, "async_depth", on1);
+    std::vector<uint8_t> buf(kOpBytes, 0x41);
+    lt::Rng rng(17);
+    std::deque<lite::MemopHandle> window;
+    uint64_t t0 = lt::NowNs();
+    for (int i = 0; i < kSweepOps; ++i) {
+      auto h = client->WriteAsync(lh, rng.NextBounded(kRegionBytes - kOpBytes), buf.data(),
+                                  kOpBytes);
+      if (!h.ok()) {
+        continue;
+      }
+      window.push_back(*h);
+      if (window.size() >= static_cast<size_t>(depth)) {
+        (void)client->Wait(window.front());
+        window.pop_front();
+      }
+    }
+    while (!window.empty()) {
+      (void)client->Wait(window.front());
+      window.pop_front();
+    }
+    uint64_t elapsed = lt::NowNs() - t0;
+    xs.push_back(std::to_string(depth));
+    tput.values.push_back(static_cast<double>(kSweepOps) * 1000.0 /
+                          static_cast<double>(elapsed));
+    sink->AddSnapshot("LT_write_async-64B", std::to_string(depth), client->StatSnapshot());
+  }
+  benchlib::PrintFigure("Async depth sweep: 64B LT_write_async throughput vs window", "window",
+                        "requests/us", xs, {tput});
+  sink->WriteFile();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchlib::TelemetrySink sink = benchlib::TelemetrySink::FromArgs(
+      argc, argv, "bench_micro_async_depth", "BENCH_async_depth.json");
+  RunAsyncDepthSweep(&sink);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

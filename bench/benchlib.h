@@ -83,10 +83,15 @@ inline void PrintLatencyStats(const std::string& label, const lt::Histogram& his
 class TelemetrySink {
  public:
   // Parses "--telemetry <path>" / "--telemetry=<path>" from argv. A sink with
-  // no path is disabled: Add* and WriteFile become no-ops.
-  static TelemetrySink FromArgs(int argc, char** argv, const std::string& bench) {
+  // no path is disabled: Add* and WriteFile become no-ops. A bench that must
+  // always emit its sidecar (e.g. bench_micro's BENCH_async_depth.json, a
+  // regression anchor for later PRs) passes `default_path`, used when the
+  // flag is absent.
+  static TelemetrySink FromArgs(int argc, char** argv, const std::string& bench,
+                                const std::string& default_path = "") {
     TelemetrySink sink;
     sink.bench_ = bench;
+    sink.path_ = default_path;
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
         sink.path_ = argv[i + 1];

@@ -47,6 +47,34 @@ Status LiteClient::Read(Lh lh, uint64_t offset, void* buf, uint64_t len) {
   return instance_->Read(lh, offset, buf, len, priority_);
 }
 
+StatusOr<MemopHandle> LiteClient::ReadAsync(Lh lh, uint64_t offset, void* buf, uint64_t len) {
+  lt::telemetry::ScopedSpan span(&instance_->node()->telemetry().tracer(), "LT_read_async");
+  EnterKernel();
+  return instance_->ReadAsync(lh, offset, buf, len, priority_);
+}
+
+StatusOr<MemopHandle> LiteClient::WriteAsync(Lh lh, uint64_t offset, const void* buf,
+                                             uint64_t len) {
+  lt::telemetry::ScopedSpan span(&instance_->node()->telemetry().tracer(), "LT_write_async");
+  EnterKernel();
+  return instance_->WriteAsync(lh, offset, buf, len, priority_);
+}
+
+StatusOr<bool> LiteClient::Poll(MemopHandle h) {
+  EnterKernel();
+  return instance_->Poll(h);
+}
+
+Status LiteClient::Wait(MemopHandle h) {
+  EnterKernel();
+  return instance_->Wait(h);
+}
+
+Status LiteClient::WaitAll() {
+  EnterKernel();
+  return instance_->WaitAll();
+}
+
 Status LiteClient::Write(Lh lh, uint64_t offset, const void* buf, uint64_t len) {
   lt::telemetry::ScopedSpan span(&instance_->node()->telemetry().tracer(), "LT_write");
   EnterKernel();

@@ -39,6 +39,14 @@ class LiteClient {
   Status Unmap(Lh lh);
   Status Read(Lh lh, uint64_t offset, void* buf, uint64_t len);
   Status Write(Lh lh, uint64_t offset, const void* buf, uint64_t len);
+  // Async memops: issue returns a completion handle; retire with
+  // Poll/Wait/WaitAll (see LiteInstance for semantics). Each call pays the
+  // usual boundary-crossing cost.
+  StatusOr<MemopHandle> ReadAsync(Lh lh, uint64_t offset, void* buf, uint64_t len);
+  StatusOr<MemopHandle> WriteAsync(Lh lh, uint64_t offset, const void* buf, uint64_t len);
+  StatusOr<bool> Poll(MemopHandle h);
+  Status Wait(MemopHandle h);
+  Status WaitAll();
   Status Memset(Lh lh, uint64_t offset, uint8_t value, uint64_t len);
   Status Memcpy(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len);
   Status Memmove(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len);

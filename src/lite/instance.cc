@@ -87,6 +87,12 @@ void LiteInstance::RegisterTelemetry() {
   liveness_marked_dead_ = reg.GetCounter("lite.liveness.marked_dead");
   liveness_revived_ = reg.GetCounter("lite.liveness.revived");
   liveness_keepalives_ = reg.GetCounter("lite.liveness.keepalives");
+  // Async fast-path instruments (docs/TELEMETRY.md, "Async fast path").
+  async_ops_issued_ = reg.GetCounter("lite.async.ops");
+  async_inferred_ = reg.GetCounter("lite.async.inferred_completions");
+  async_flush_fences_ = reg.GetCounter("lite.async.flush_fences");
+  reg.RegisterProbe("lite.async.in_flight",
+                    [this] { return static_cast<uint64_t>(AsyncInFlight()); });
   // Probes read this instance's existing counters at snapshot time only.
   reg.RegisterProbe("lite.rpc.ring_bytes", [this] { return rpc_ring_bytes_in_use(); });
   reg.RegisterProbe("lite.poll.cpu_ns", [this] { return poll_cpu_.TotalCpuNs(); });
@@ -256,7 +262,8 @@ void LiteInstance::RecoverQp(lt::Qp* qp) {
   }
 }
 
-StatusOr<Completion> LiteInstance::PostAndWait(NodeId dst, WorkRequest* wr, Priority pri) {
+StatusOr<Completion> LiteInstance::PostAndWait(NodeId dst, WorkRequest* wr, Priority pri,
+                                               int qp_idx) {
   const uint32_t max_retries = params().lite_rpc_max_retries;
   uint64_t backoff_ns = params().lite_rpc_retry_backoff_ns;
   Status last = Status::Timeout("one-sided completion timeout");
@@ -273,8 +280,9 @@ StatusOr<Completion> LiteInstance::PostAndWait(NodeId dst, WorkRequest* wr, Prio
         return Status::Unavailable("peer marked dead by liveness service");
       }
     }
-    int idx = PickQpIndex(dst, pri);
-    if (idx < 0) {
+    int idx = qp_idx >= 0 ? qp_idx : PickQpIndex(dst, pri);
+    if (idx < 0 || dst >= qp_pool_.size() ||
+        idx >= static_cast<int>(qp_pool_[dst].size())) {
       return Status::Unavailable("no QP to destination node");
     }
     Qp* qp = qp_pool_[dst][idx];

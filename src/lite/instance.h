@@ -146,6 +146,42 @@ class LiteInstance {
   Status Read(Lh lh, uint64_t offset, void* buf, uint64_t len, Priority pri = Priority::kHigh);
   Status Write(Lh lh, uint64_t offset, const void* buf, uint64_t len,
                Priority pri = Priority::kHigh);
+
+  // ---- Asynchronous memops (the RDMA-throughput fast path) ----
+  //
+  // LT_read_async / LT_write_async issue the op and return a completion
+  // handle immediately; the caller's buffer must stay valid until the handle
+  // is retired. Up to SimParams::lite_async_window ops may be in flight per
+  // instance; issuing past the window transparently retires the oldest
+  // outstanding op first (backpressure, no reaper thread).
+  //
+  // Under the hood async WQEs are posted unsignaled with every K-th WQE per
+  // (destination, QP) stream signaled (K = lite_async_signal_every);
+  // completion of the unsignaled prefix is inferred from the covering
+  // signaled CQE (or from a zero-length signaled flush write when no cover
+  // exists at wait time). Writes whose payload fits rnic_inline_max go
+  // inline, and consecutive posts share doorbells (rnic.h).
+  //
+  // Retry/fault semantics match the blocking path: a dropped transfer is
+  // retried transparently (with QP recovery and backoff) when the handle is
+  // retired, and LT_wait surfaces Unavailable on dead peers.
+  StatusOr<MemopHandle> ReadAsync(Lh lh, uint64_t offset, void* buf, uint64_t len,
+                                  Priority pri = Priority::kHigh);
+  StatusOr<MemopHandle> WriteAsync(Lh lh, uint64_t offset, const void* buf, uint64_t len,
+                                   Priority pri = Priority::kHigh);
+  // LT_poll: non-blocking probe. Ok(true) = op completed successfully (the
+  // handle is consumed); Ok(false) = still in flight; an error status means
+  // the op completed with that error (handle consumed). Each call charges
+  // one CQ-poll cost, so poll loops make virtual-time progress.
+  StatusOr<bool> Poll(MemopHandle h);
+  // LT_wait: blocks until the op completes; returns its final status and
+  // consumes the handle.
+  Status Wait(MemopHandle h);
+  // LT_wait_all: retires every outstanding async op of this instance
+  // (consuming their handles) and returns the first error, if any.
+  Status WaitAll();
+  // Outstanding (not yet retired) async ops.
+  size_t AsyncInFlight() const;
   // LT_memset / LT_memcpy / LT_memmove: executed at the node holding the
   // source/target LMR to minimize network traffic (paper Sec. 7.1).
   Status Memset(Lh lh, uint64_t offset, uint8_t value, uint64_t len);
@@ -201,13 +237,13 @@ class LiteInstance {
   // LT_RPC: calls (server_node, func); blocks for the reply.
   Status Rpc(NodeId server_node, RpcFuncId func, const void* in, uint32_t in_len, void* out,
              uint32_t out_max, uint32_t* out_len, Priority pri = Priority::kHigh);
-  // Async split of LT_RPC used by multicast: send now, wait later. (The
-  // split paths are single-attempt primitives; the retry loop lives in
-  // Rpc()/internal calls.)
-  StatusOr<uint32_t> RpcSend(NodeId server_node, RpcFuncId func, const void* in, uint32_t in_len,
-                             uint32_t out_max, Priority pri = Priority::kHigh);
-  Status RpcWait(uint32_t slot, void* out, uint32_t out_max, uint32_t* out_len,
-                 uint64_t timeout_ns = kDefaultTimeout);
+  // Async LT_RPC: issues the call now and returns a completion handle
+  // retired through the same Poll/Wait/WaitAll machinery as async memops
+  // (single-attempt send; the retry loop lives in Rpc()/internal calls).
+  // `out`/`out_len` must stay valid until the handle is retired.
+  StatusOr<MemopHandle> RpcAsync(NodeId server_node, RpcFuncId func, const void* in,
+                                 uint32_t in_len, void* out, uint32_t out_max, uint32_t* out_len,
+                                 Priority pri = Priority::kHigh);
   // Fire-and-forget call (no reply slot, no wait).
   Status RpcSendNoReply(NodeId server_node, RpcFuncId func, const void* in, uint32_t in_len,
                         Priority pri = Priority::kHigh);
@@ -473,8 +509,79 @@ class LiteInstance {
   void RecoverQp(lt::Qp* qp);
   // Posts a signaled WR and waits for its completion, retrying retryable
   // failures (drops) with backoff and QP recovery. Returns the successful
-  // completion, or the last error.
-  StatusOr<lt::Completion> PostAndWait(NodeId dst, lt::WorkRequest* wr, Priority pri);
+  // completion, or the last error. `qp_idx` pins the pool QP (the async
+  // flush fence must land on the stream's own QP); -1 picks per attempt.
+  StatusOr<lt::Completion> PostAndWait(NodeId dst, lt::WorkRequest* wr, Priority pri,
+                                       int qp_idx = -1);
+
+  // ---------------- async completion-handle engine (memops_async.cc) ----
+  // Single-attempt RPC split the handle machinery retires through; the
+  // public entry point is RpcAsync().
+  StatusOr<uint32_t> RpcSend(NodeId server_node, RpcFuncId func, const void* in, uint32_t in_len,
+                             uint32_t out_max, Priority pri = Priority::kHigh);
+  Status RpcWait(uint32_t slot, void* out, uint32_t out_max, uint32_t* out_len,
+                 uint64_t timeout_ns = kDefaultTimeout);
+
+  // One posted WQE of an async memop (one chunk piece).
+  struct AsyncWqe {
+    NodeId dst = kInvalidNode;
+    int qp_idx = -1;
+    lt::WorkRequest wr;    // Retained so a failed WQE can be re-posted.
+    bool signaled = false;
+    bool posted = false;   // False: post failed at issue; retried at retire.
+    uint64_t stream_pos = 0;
+    bool done = false;     // Local pieces complete at issue time.
+    uint64_t ready_at_ns = 0;
+  };
+  enum class AsyncOpState { kInFlight, kRetiring, kDone };
+  struct AsyncOp {
+    MemopHandle id = 0;
+    AsyncOpState state = AsyncOpState::kInFlight;
+    bool is_rpc = false;
+    Priority pri = Priority::kHigh;
+    std::vector<AsyncWqe> wqes;       // Memop ops.
+    uint32_t rpc_slot = 0;            // RPC ops: reply rendezvous + output.
+    void* rpc_out = nullptr;
+    uint32_t rpc_out_max = 0;
+    uint32_t* rpc_out_len = nullptr;
+    Status result = Status::Ok();     // Valid once state == kDone.
+    uint64_t ready_at_ns = 0;
+  };
+  // Per-(destination, QP) selective-signaling stream: which positions have a
+  // harvested covering CQE, and which signaled WQEs are still pending.
+  struct AsyncStream {
+    uint64_t next_pos = 0;
+    uint64_t covered_pos = 0;       // Positions < covered_pos are fenced.
+    uint64_t covered_ready_ns = 0;  // Virtual time the fence completed.
+    std::map<uint64_t, uint64_t> signaled_pending;  // stream_pos -> wr_id
+  };
+
+  // Issues one async memop (is_read selects direction); shared body of
+  // ReadAsync/WriteAsync.
+  StatusOr<MemopHandle> IssueAsyncMemop(Lh lh, uint64_t offset, void* buf, uint64_t len,
+                                        Priority pri, bool is_read);
+  // QP selection for async posts: sticky per (thread, destination) so a
+  // pipelining thread's consecutive posts land on one QP and share doorbells
+  // (PickQpIndex round-robins, which would break every batch).
+  int PickQpIndexSticky(NodeId dst, Priority pri);
+  // Re-posts a failed async WQE signaled, with the blocking path's retry
+  // semantics (dead-peer fast fail, backoff, QP recovery).
+  Status RetryAsyncWqe(AsyncOp* op, AsyncWqe* wqe);
+  // Retires an RPC-kind op; drops the lock around the reply wait (the reply
+  // is delivered by the poll thread, which never takes async_mu_).
+  void RetireRpcUnlocked(std::unique_lock<std::mutex>& lock, AsyncOp* op);
+  // Retires `op` (state must be kRetiring; async_mu_ held): harvests or
+  // infers each WQE's completion, re-posting failed WQEs with the blocking
+  // path's retry semantics, then marks the op kDone.
+  void RetireMemopLocked(AsyncOp* op);
+  // Retires the oldest in-flight op (backpressure path). Waits on the cv if
+  // every outstanding op is already being retired by another thread.
+  void RetireOldestLocked(std::unique_lock<std::mutex>& lock);
+  // Finds a completion for `wr_id`: the shared harvest map first, then the
+  // CQ itself (async CQEs exist from post time; only ready_at is future).
+  std::optional<lt::Completion> TakeAsyncCompletionLocked(lt::Cq* cq, uint64_t wr_id);
+  // Consumes a kDone op's result (erases the record).
+  Status ConsumeAsyncLocked(std::map<MemopHandle, std::unique_ptr<AsyncOp>>::iterator it);
 
   BlockingQueue<RpcIncoming>* EnsureAppQueue(RpcFuncId func);
   void PollLoop();
@@ -536,6 +643,17 @@ class LiteInstance {
   std::unordered_map<Lh, LhEntry> lh_table_;
   std::atomic<uint64_t> next_lh_{1};
   std::atomic<uint64_t> next_wr_id_{1};
+
+  // Async completion-handle state (the completion ring). One mutex covers
+  // the op table, the signaling streams, and the harvest map; the cv wakes
+  // window-full issuers and waiters racing a concurrent retirer.
+  mutable std::mutex async_mu_;
+  std::condition_variable async_cv_;
+  std::map<MemopHandle, std::unique_ptr<AsyncOp>> async_ops_;  // Oldest first.
+  std::atomic<uint64_t> next_memop_handle_{1};
+  size_t async_inflight_ = 0;  // Ops not yet kDone.
+  std::map<std::pair<NodeId, int>, AsyncStream> async_streams_;
+  std::unordered_map<uint64_t, lt::Completion> async_harvested_;  // wr_id -> CQE
 
   // RPC: client channels, server rings, reply slots.
   std::mutex channels_mu_;
@@ -601,6 +719,10 @@ class LiteInstance {
   lt::telemetry::Counter* rpc_dead_fast_fail_ = nullptr;
   lt::telemetry::Counter* oneside_retries_ = nullptr;
   lt::telemetry::Counter* qp_reconnects_ = nullptr;
+  // Async fast-path instruments (docs/TELEMETRY.md, "Async fast path").
+  lt::telemetry::Counter* async_ops_issued_ = nullptr;
+  lt::telemetry::Counter* async_inferred_ = nullptr;
+  lt::telemetry::Counter* async_flush_fences_ = nullptr;
   lt::telemetry::Counter* liveness_marked_dead_ = nullptr;
   lt::telemetry::Counter* liveness_revived_ = nullptr;
   lt::telemetry::Counter* liveness_keepalives_ = nullptr;

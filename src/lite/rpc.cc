@@ -435,33 +435,41 @@ Status LiteInstance::RpcCall(NodeId server_node, RpcFuncId func, const void* in,
 Status LiteInstance::MulticastRpc(const std::vector<NodeId>& servers, RpcFuncId func,
                                   const void* in, uint32_t in_len,
                                   std::vector<std::vector<uint8_t>>* replies) {
-  // Pipelined multicast (paper Sec. 8.4): post all requests, then collect all
-  // replies; total latency ~= one RPC round trip.
-  std::vector<uint32_t> slots;
-  slots.reserve(servers.size());
+  // Pipelined multicast (paper Sec. 8.4): issue all calls as async handles,
+  // then retire each through the shared completion-handle machinery; total
+  // latency ~= one RPC round trip.
+  struct Pending {
+    MemopHandle handle = kInvalidMemopHandle;
+    std::vector<uint8_t> buf;
+    uint32_t len = 0;
+  };
   const uint32_t out_max = static_cast<uint32_t>(params().lite_reply_slot_bytes);
+  std::vector<Pending> pending(servers.size());
   Status first_error = Status::Ok();
-  for (NodeId server : servers) {
-    auto slot = RpcSend(server, func, in, in_len, out_max);
-    if (!slot.ok()) {
-      first_error = slot.status();
+  for (size_t i = 0; i < servers.size(); ++i) {
+    pending[i].buf.resize(out_max);
+    auto h = RpcAsync(servers[i], func, in, in_len, pending[i].buf.data(), out_max,
+                      &pending[i].len);
+    if (!h.ok()) {
+      first_error = h.status();
       break;
     }
-    slots.push_back(*slot);
+    pending[i].handle = *h;
   }
   if (replies != nullptr) {
     replies->clear();
   }
-  for (uint32_t slot : slots) {
-    std::vector<uint8_t> buf(out_max);
-    uint32_t len = 0;
-    Status st = RpcWait(slot, buf.data(), out_max, &len);
+  for (Pending& p : pending) {
+    if (p.handle == kInvalidMemopHandle) {
+      continue;
+    }
+    Status st = Wait(p.handle);
     if (!st.ok() && first_error.ok()) {
       first_error = st;
     }
-    buf.resize(len);
+    p.buf.resize(p.len);
     if (replies != nullptr) {
-      replies->push_back(std::move(buf));
+      replies->push_back(std::move(p.buf));
     }
   }
   return first_error;

@@ -23,6 +23,12 @@ using lt::PhysAddr;
 using Lh = uint64_t;
 constexpr Lh kInvalidLh = 0;
 
+// Opaque completion handle returned by the async APIs (LT_read_async /
+// LT_write_async / async RPC); retired through LT_poll / LT_wait /
+// LT_wait_all. 0 is never a valid handle.
+using MemopHandle = uint64_t;
+constexpr MemopHandle kInvalidMemopHandle = 0;
+
 // Permissions a master can grant on an LMR (paper Sec. 4.1). Master implies
 // the right to move/free the LMR and to grant permissions.
 enum LmrPerm : uint32_t {

@@ -49,6 +49,14 @@ void Node::RegisterHardwareProbes(Fabric* fabric) {
   reg.RegisterProbe("rnic.ops_posted", [this] { return rnic_.ops_posted(); });
   reg.RegisterProbe("rnic.mr_count", [this] { return static_cast<uint64_t>(rnic_.MrCount()); });
   reg.RegisterProbe("rnic.qp_count", [this] { return static_cast<uint64_t>(rnic_.QpCount()); });
+  // Async fast-path counters: doorbell batching, selective signaling, inline
+  // sends (see docs/TELEMETRY.md).
+  reg.RegisterProbe("lite.rnic.doorbells", [this] { return rnic_.doorbells_rung(); });
+  reg.RegisterProbe("lite.rnic.wqes_batched", [this] { return rnic_.wqes_batched(); });
+  reg.RegisterProbe("lite.rnic.inline_sends", [this] { return rnic_.inline_sends(); });
+  reg.RegisterProbe("lite.rnic.wqe_signaled", [this] { return rnic_.wqes_signaled(); });
+  reg.RegisterProbe("lite.rnic.wqe_unsignaled", [this] { return rnic_.wqes_unsignaled(); });
+  rnic_.SetDoorbellBatchHistogram(reg.GetHistogram("lite.rnic.doorbell_batch"));
   reg.RegisterProbe("fabric.port.bytes", [this] { return port_->bytes_transferred(); });
   reg.RegisterProbe("fabric.port.reservations", [this] { return port_->reservation_count(); });
   reg.RegisterProbe("fabric.port.queue_delay_ns",

@@ -7,6 +7,7 @@
 #include "src/common/logging.h"
 #include "src/common/annotations.h"
 #include "src/common/timing.h"
+#include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
 
 namespace lt {
@@ -18,6 +19,18 @@ constexpr uint64_t kOneSidedHeaderBytes = 30;      // Request header on the wire
 uint64_t MttKey(uint32_t lkey, uint64_t vpage) {
   return (static_cast<uint64_t>(lkey) << 36) ^ vpage;
 }
+
+// Per-thread doorbell batch tracker: consecutive hinted posts to the same QP
+// within rnic_doorbell_window_ns share one doorbell. The rnic/qpn fields are
+// used for identity comparison only and are never dereferenced (the tracked
+// RNIC may outlive a test cluster).
+struct DoorbellBatch {
+  const Rnic* rnic = nullptr;
+  uint32_t qpn = 0;
+  uint64_t last_post_ns = 0;
+  uint32_t len = 0;  // WQEs under the current doorbell (0 = untracked post).
+};
+thread_local DoorbellBatch tl_doorbell;
 
 }  // namespace
 
@@ -135,6 +148,18 @@ std::optional<Completion> Cq::WaitPollFor(uint64_t wr_id, uint64_t timeout_ns, W
       break;
   }
   return c;
+}
+
+std::optional<Completion> Cq::TryTake(uint64_t wr_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->wr_id == wr_id) {
+      Completion c = *it;
+      entries_.erase(it);
+      return c;
+    }
+  }
+  return std::nullopt;
 }
 
 void Cq::Push(Completion completion) {
@@ -375,10 +400,42 @@ void Rnic::PushSendCompletion(Qp* qp, const WorkRequest& wr, Status status, uint
   qp->send_cq()->Push(std::move(c));
 }
 
+void Rnic::ChargePostCost(Qp* qp, const WorkRequest& wr) {
+  DoorbellBatch& b = tl_doorbell;
+  const uint64_t now = NowNs();
+  const bool batches = wr.doorbell_hint && b.rnic == this && b.qpn == qp->qpn() &&
+                       b.len > 0 && now >= b.last_post_ns &&
+                       now - b.last_post_ns <= params_.rnic_doorbell_window_ns;
+  if (batches) {
+    // Rides the previous doorbell: only the per-extra-WQE build cost.
+    SpinFor(params_.rnic_post_wqe_ns);
+    wqes_batched_.fetch_add(1, std::memory_order_relaxed);
+    ++b.len;
+    b.last_post_ns = NowNs();
+    return;
+  }
+  // New doorbell. Close out the previous batch on this NIC (batch size is
+  // only observable once the next doorbell rings).
+  if (b.rnic == this && b.len > 0) {
+    telemetry::FixedHistogram* hist = doorbell_batch_hist_.load(std::memory_order_acquire);
+    if (hist != nullptr) {
+      hist->Record(b.len);
+    }
+  }
+  SpinFor(params_.rnic_post_ns);
+  doorbells_.fetch_add(1, std::memory_order_relaxed);
+  b.rnic = wr.doorbell_hint ? this : nullptr;
+  b.qpn = qp->qpn();
+  b.len = wr.doorbell_hint ? 1 : 0;
+  b.last_post_ns = NowNs();
+}
+
 Status Rnic::PostSend(Qp* qp, const WorkRequest& wr) {
   ops_posted_.fetch_add(1, std::memory_order_relaxed);
-  // Doorbell + WQE build: synchronous host cost.
-  SpinFor(params_.rnic_post_ns);
+  (wr.signaled ? wqes_signaled_ : wqes_unsignaled_).fetch_add(1, std::memory_order_relaxed);
+  // Doorbell + WQE build: synchronous host cost (shared doorbell when the
+  // post batches with the previous one on this QP).
+  ChargePostCost(qp, wr);
   telemetry::StampStage(telemetry::TraceStage::kRnicPost);
 
   NodeId dst_node;
@@ -420,6 +477,11 @@ Status Rnic::PostSend(Qp* qp, const WorkRequest& wr) {
 
 Status Rnic::ExecuteOneSided(Qp* qp, const WorkRequest& wr, Rnic* remote) {
   const bool is_read = wr.opcode == WrOpcode::kRead;
+  // Inline send: the payload was copied into the WQE at post time, so the
+  // local engine skips the DMA read of the source buffer (reads can never be
+  // inline — the payload arrives later).
+  const bool inline_send =
+      !is_read && wr.inline_data && wr.length <= params_.rnic_inline_max;
   const uint64_t now = NowNs();
 
   uint64_t qpc_penalty = qpc_cache_.Touch(qp->qpn()) ? 0 : params_.qpc_miss_ns;
@@ -455,8 +517,12 @@ Status Rnic::ExecuteOneSided(Qp* qp, const WorkRequest& wr, Rnic* remote) {
       qpc_penalty + local->cache_penalty_ns + remote_res->cache_penalty_ns);
 
   // Engine occupancy at both NICs (processing + SRAM miss stalls).
-  uint64_t local_done =
-      ReserveEngine(now, params_.rnic_process_ns + qpc_penalty + local->cache_penalty_ns);
+  if (inline_send) {
+    inline_sends_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t local_done = ReserveEngine(
+      now, (inline_send ? params_.rnic_inline_process_ns : params_.rnic_process_ns) +
+               qpc_penalty + local->cache_penalty_ns);
 
   // Fabric: writes carry the payload on the request; reads carry it on the
   // response.

@@ -47,6 +47,10 @@
 
 namespace lt {
 
+namespace telemetry {
+class FixedHistogram;
+}  // namespace telemetry
+
 class Rnic;
 
 // Resolves node ids to their RNICs; owned by the cluster.
@@ -117,6 +121,12 @@ class Cq {
   // stealing each other's entries.
   std::optional<Completion> WaitPollFor(uint64_t wr_id, uint64_t timeout_ns, WaitMode mode,
                                         uint64_t adaptive_budget_ns = 0);
+
+  // Removes and returns the completion whose wr_id matches, regardless of its
+  // ready time, without touching the caller's clock. Used by the async memop
+  // retirement path, where the CQE's existence (success/error) is decided at
+  // post time and the waiter advances its own clock from ready_at_ns.
+  std::optional<Completion> TryTake(uint64_t wr_id);
 
   void Push(Completion completion);
   size_t Depth() const;
@@ -228,6 +238,17 @@ struct WorkRequest {
   // writes are unsignaled: failures are detected by reply timeout, paper
   // Sec. 5.1). Error completions are always delivered.
   bool signaled = true;
+
+  // Opt-in fast-path hints (both default off so existing blocking paths are
+  // byte-identical with the flags idle):
+  //   doorbell_hint — this post may share a doorbell with an immediately
+  //     preceding post to the same QP (within rnic_doorbell_window_ns),
+  //     paying rnic_post_wqe_ns instead of the full rnic_post_ns.
+  //   inline_data — for writes with length <= rnic_inline_max, the payload is
+  //     copied into the WQE at post time, skipping the local DMA-read stage
+  //     (local engine occupancy drops to rnic_inline_process_ns).
+  bool doorbell_hint = false;
+  bool inline_data = false;
 };
 
 class Rnic {
@@ -263,6 +284,21 @@ class Rnic {
   const LruCache& mtt_cache() const { return mtt_cache_; }
   const LruCache& qpc_cache() const { return qpc_cache_; }
   uint64_t ops_posted() const { return ops_posted_.load(std::memory_order_relaxed); }
+
+  // ---- Fast-path telemetry (doorbell batching / selective signaling /
+  // inline sends) ----
+  uint64_t doorbells_rung() const { return doorbells_.load(std::memory_order_relaxed); }
+  uint64_t wqes_batched() const { return wqes_batched_.load(std::memory_order_relaxed); }
+  uint64_t inline_sends() const { return inline_sends_.load(std::memory_order_relaxed); }
+  uint64_t wqes_signaled() const { return wqes_signaled_.load(std::memory_order_relaxed); }
+  uint64_t wqes_unsignaled() const {
+    return wqes_unsignaled_.load(std::memory_order_relaxed);
+  }
+  // Node-level telemetry wiring: batch sizes are recorded into this histogram
+  // whenever a doorbell batch closes (next doorbell rings). May stay null.
+  void SetDoorbellBatchHistogram(telemetry::FixedHistogram* hist) {
+    doorbell_batch_hist_.store(hist, std::memory_order_release);
+  }
 
  private:
   friend class Qp;
@@ -308,8 +344,20 @@ class Rnic {
   LruCache mtt_cache_;
   LruCache qpc_cache_;
 
+  // Charges the host-side post cost for `wr`: a full doorbell (rnic_post_ns),
+  // or the per-extra-WQE increment when the post batches with the previous
+  // one on the same QP. Tracks per-thread batch state and records closed
+  // batch sizes into the doorbell histogram.
+  void ChargePostCost(Qp* qp, const WorkRequest& wr);
+
   RateWindow engine_capacity_;  // Windowed processing-engine occupancy.
   std::atomic<uint64_t> ops_posted_{0};
+  std::atomic<uint64_t> doorbells_{0};
+  std::atomic<uint64_t> wqes_batched_{0};
+  std::atomic<uint64_t> inline_sends_{0};
+  std::atomic<uint64_t> wqes_signaled_{0};
+  std::atomic<uint64_t> wqes_unsignaled_{0};
+  std::atomic<telemetry::FixedHistogram*> doorbell_batch_hist_{nullptr};
   std::atomic<uint32_t> next_key_{1};
   std::atomic<uint32_t> next_qpn_{1};
 

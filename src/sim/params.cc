@@ -11,6 +11,8 @@ SimParams SimParams::FastForTests() {
   p.rnic_completion_ns = 0;
   p.rnic_ack_ns = 0;
   p.rnic_atomic_extra_ns = 0;
+  p.rnic_post_wqe_ns = 0;
+  p.rnic_inline_process_ns = 0;
   p.mpt_miss_ns = 0;
   p.mtt_miss_ns = 0;
   p.qpc_miss_ns = 0;

@@ -37,6 +37,18 @@ struct SimParams {
   uint64_t rnic_ack_ns = 250;        // RC ACK turn-around at the responder NIC.
   uint64_t rnic_atomic_extra_ns = 300;  // PCIe read-modify-write for atomics.
   size_t ud_grh_bytes = 40;          // Global routing header overhead for UD.
+  // Doorbell batching: a post that lands on the same QP within
+  // rnic_doorbell_window_ns of the previous one (and opted in via
+  // WorkRequest::doorbell_hint) rides the same doorbell and pays only the
+  // per-extra-WQE increment instead of the full rnic_post_ns.
+  uint64_t rnic_post_wqe_ns = 40;        // Per-extra-WQE cost inside a batch.
+  uint64_t rnic_doorbell_window_ns = 1000;  // Max post gap that still batches.
+  // Inline sends: writes with payload <= rnic_inline_max (and opted in via
+  // WorkRequest::inline_data) carry the payload in the WQE itself, skipping
+  // the local DMA-read stage — the local NIC engine only pays
+  // rnic_inline_process_ns per WQE instead of rnic_process_ns.
+  size_t rnic_inline_max = 256;
+  uint64_t rnic_inline_process_ns = 60;
 
   // ---- RNIC on-chip SRAM (the scalability bottleneck the paper attacks) ----
   size_t mpt_cache_entries = 128;    // MR protection-table entries cached.
@@ -74,6 +86,11 @@ struct SimParams {
   uint64_t lite_keepalive_interval_ns = 0;
   uint64_t lite_lease_timeout_ns = 0;
   int lite_qp_sharing_factor = 2;     // K in "K x N QPs per node" (Sec. 6.1).
+  // Async memop fast path (LT_read_async/LT_write_async).
+  size_t lite_async_window = 64;      // Per-instance in-flight memop cap.
+  uint32_t lite_async_signal_every = 8;  // Every K-th async WQE is signaled;
+                                         // the unsignaled prefix is inferred
+                                         // complete from the K-th CQE.
   size_t lite_reply_slots = 256;      // Concurrent outstanding RPCs per node.
   size_t lite_reply_slot_bytes = 16384;  // Max RPC reply size per slot.
   double local_copy_bytes_per_ns = 12.0;  // Same-node memcpy bandwidth.

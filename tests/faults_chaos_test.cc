@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <functional>
 #include <map>
 #include <thread>
@@ -180,6 +181,16 @@ TEST(FaultsChaosTest, SoakWithCrashRestartAndManagerRebuild) {
   auto lh3 = c3m->Map("chaos_mem");
   ASSERT_TRUE(lh3.ok());
 
+  // A server-resident LMR gives the async memop path a target that dies with
+  // the server in phase 2.
+  MallocOptions on_srv;
+  on_srv.nodes = {kServer};
+  auto srv_owner_lh = c2->Malloc(8192, "chaos_mem_srv", on_srv);
+  ASSERT_TRUE(srv_owner_lh.ok());
+  auto c2m = cluster.CreateClient(2);
+  auto srv_lh = c2m->Map("chaos_mem_srv");
+  ASSERT_TRUE(srv_lh.ok());
+
   // ---- Phase 1: lossy, duplicating, jittery network under load ----------
   lt::LinkFaultRule lossy;
   lossy.drop_p = 0.01;
@@ -205,6 +216,37 @@ TEST(FaultsChaosTest, SoakWithCrashRestartAndManagerRebuild) {
   // Retries mask the 1% loss: the overwhelming majority must be acked.
   EXPECT_GT(s2.acked_ids.size() + s3.acked_ids.size(), 220u);
   EXPECT_GT(memops_ok, 30);
+  // Async windows ride the same lossy network (rules are still armed): 40
+  // pipelined LT_write_asyncs behind an 8-deep handle window; drops inside
+  // the open window retry transparently at retirement. Runs after the RPC
+  // writers join so the real-time load profile they ack under matches the
+  // pre-async soak (the 1-core TSan run is cadence-sensitive).
+  int async_ok = 0;
+  {
+    std::deque<MemopHandle> win;
+    std::vector<uint64_t> slots(16);
+    for (int i = 0; i < 40; ++i) {
+      slots[i % 16] = 0xace5'0000ull + static_cast<uint64_t>(i);
+      auto h = c3m->WriteAsync(*lh3, 1024 + 8 * (i % 16), &slots[i % 16], 8);
+      if (!h.ok()) {
+        continue;
+      }
+      win.push_back(*h);
+      if (win.size() >= 8) {
+        if (c3m->Wait(win.front()).ok()) {
+          ++async_ok;
+        }
+        win.pop_front();
+      }
+    }
+    while (!win.empty()) {
+      if (c3m->Wait(win.front()).ok()) {
+        ++async_ok;
+      }
+      win.pop_front();
+    }
+  }
+  EXPECT_GT(async_ok, 30);
 
   // ---- Phase 2: server crash, lease detection, restart, recovery --------
   cluster.CrashNode(kServer);
@@ -218,8 +260,42 @@ TEST(FaultsChaosTest, SoakWithCrashRestartAndManagerRebuild) {
   EXPECT_EQ(st.code(), StatusCode::kUnavailable);  // fail-fast, no timeout burn
   EXPECT_GT(cluster.instance(2)->Stat("lite.rpc.dead_fast_fail"), 0);
 
+  // An async op issued against the dead server fails fast: LT_wait surfaces
+  // Unavailable from the liveness verdict instead of burning timeouts.
+  uint64_t dead_probe = 1;
+  auto dead_h = c2m->WriteAsync(*srv_lh, 0, &dead_probe, 8);
+  if (dead_h.ok()) {
+    EXPECT_EQ(c2m->Wait(*dead_h).code(), StatusCode::kUnavailable);
+  } else {
+    EXPECT_EQ(dead_h.status().code(), StatusCode::kUnavailable);
+  }
+
   cluster.RestartNode(kServer);
   ASSERT_TRUE(WaitFor([&] { return !cluster.instance(2)->PeerDead(kServer); }));
+
+  // Async windows straddle the crash/restart boundary and fully recover.
+  {
+    std::deque<MemopHandle> win;
+    std::vector<uint64_t> vals(20);
+    for (int i = 0; i < 20; ++i) {
+      vals[i] = 0xc0de'0000ull + static_cast<uint64_t>(i);
+      auto h = c2m->WriteAsync(*srv_lh, 8 * static_cast<uint64_t>(i), &vals[i], 8);
+      ASSERT_TRUE(h.ok());
+      win.push_back(*h);
+      if (win.size() >= 8) {
+        EXPECT_TRUE(c2m->Wait(win.front()).ok());
+        win.pop_front();
+      }
+    }
+    while (!win.empty()) {
+      EXPECT_TRUE(c2m->Wait(win.front()).ok());
+      win.pop_front();
+    }
+    std::vector<uint64_t> back(20, 0);
+    ASSERT_TRUE(c2m->Read(*srv_lh, 0, back.data(), back.size() * 8).ok());
+    EXPECT_EQ(back, vals);
+  }
+
   WorkerStats s2b, s3b;
   RunPuts(c2.get(), kServer, 6000, 0, 30, &s2b);
   RunPuts(c3.get(), kServer, 7000, 100, 30, &s3b);

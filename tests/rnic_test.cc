@@ -563,6 +563,116 @@ TEST_F(RnicTimingTest, ReadCostsMoreThanWriteForPayloadOnResponse) {
   EXPECT_LE(latency, 6000u);
 }
 
+// ---- Inline sends & doorbell batching (async fast-path plumbing) ----------
+
+TEST_F(RnicTimingTest, InlineSendSkipsLocalDmaStage) {
+  SimParams defaults;  // Same full-cost params the fixture cluster runs.
+  auto measure = [&](bool inline_data, uint32_t len, uint64_t wr_id) {
+    std::vector<char> payload(len);
+    WorkRequest wr;
+    wr.opcode = WrOpcode::kWrite;
+    wr.host_local = payload.data();
+    wr.length = len;
+    wr.rkey = mr1_.lkey;
+    wr.remote_addr = 0;
+    wr.inline_data = inline_data;
+    wr.signaled = true;
+    wr.wr_id = wr_id;
+    uint64_t t0 = NowNs();
+    EXPECT_TRUE(r0_->PostSend(qp0_, wr).ok());
+    auto c = scq_->WaitPoll(1'000'000'000, WaitMode::kBusyPoll);
+    EXPECT_TRUE(c.has_value());
+    return NowNs() - t0;
+  };
+  measure(false, 64, 1);  // Warm the MPT/MTT caches.
+  uint64_t plain = measure(false, 64, 2);
+  uint64_t inlined = measure(true, 64, 3);
+  // The WQE-embedded payload skips the local DMA-read stage: exactly the
+  // rnic_process_ns -> rnic_inline_process_ns delta in this deterministic sim.
+  EXPECT_EQ(plain - inlined, defaults.rnic_process_ns - defaults.rnic_inline_process_ns);
+  EXPECT_EQ(r0_->inline_sends(), 1u);
+
+  // Payloads above inline_max fall back to the DMA path even when requested.
+  uint64_t big_plain = measure(false, 4096, 4);
+  uint64_t big_inline_req = measure(true, 4096, 5);
+  EXPECT_EQ(big_plain, big_inline_req);
+  EXPECT_EQ(r0_->inline_sends(), 1u);
+}
+
+TEST_F(RnicTimingTest, DoorbellBatchingCoalescesPostCost) {
+  SimParams defaults;
+  char buf[8] = "x";
+  auto post_n = [&](int n, bool hint) {
+    uint64_t t0 = NowNs();
+    for (int i = 0; i < n; ++i) {
+      WorkRequest wr;
+      wr.opcode = WrOpcode::kWrite;
+      wr.host_local = buf;
+      wr.length = 8;
+      wr.rkey = mr1_.lkey;
+      wr.remote_addr = 0;
+      wr.doorbell_hint = hint;
+      wr.signaled = false;
+      EXPECT_TRUE(r0_->PostSend(qp0_, wr).ok());
+    }
+    return NowNs() - t0;
+  };
+  uint64_t unbatched = post_n(8, false);
+  SpinFor(2 * defaults.rnic_doorbell_window_ns);  // Break any open batch.
+  uint64_t doorbells_before = r0_->doorbells_rung();
+  uint64_t batched_before = r0_->wqes_batched();
+  uint64_t batched = post_n(8, true);
+  // 8 un-hinted posts ring 8 doorbells; 8 hinted back-to-back posts to the
+  // same QP ring one and append 7 WQEs at the cheap per-WQE cost.
+  EXPECT_EQ(unbatched, 8 * defaults.rnic_post_ns);
+  EXPECT_EQ(batched, defaults.rnic_post_ns + 7 * defaults.rnic_post_wqe_ns);
+  EXPECT_EQ(r0_->doorbells_rung() - doorbells_before, 1u);
+  EXPECT_EQ(r0_->wqes_batched() - batched_before, 7u);
+}
+
+TEST_F(RnicTimingTest, DoorbellBatchBreaksPastPostWindow) {
+  SimParams defaults;
+  char buf[8] = "y";
+  auto post_one = [&] {
+    WorkRequest wr;
+    wr.opcode = WrOpcode::kWrite;
+    wr.host_local = buf;
+    wr.length = 8;
+    wr.rkey = mr1_.lkey;
+    wr.remote_addr = 0;
+    wr.doorbell_hint = true;
+    wr.signaled = false;
+    ASSERT_TRUE(r0_->PostSend(qp0_, wr).ok());
+  };
+  SpinFor(defaults.rnic_doorbell_window_ns + 1);  // Invalidate stale batch state.
+  uint64_t doorbells_before = r0_->doorbells_rung();
+  post_one();
+  SpinFor(defaults.rnic_doorbell_window_ns + 1);  // Idle past the post window.
+  post_one();
+  EXPECT_EQ(r0_->doorbells_rung() - doorbells_before, 2u);
+}
+
+TEST_F(RnicTest, SignaledAndUnsignaledWqesCounted) {
+  char buf[8] = "c";
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kWrite;
+  wr.host_local = buf;
+  wr.length = 8;
+  wr.rkey = mr1_.lkey;
+  wr.remote_addr = 0;
+  uint64_t sig_before = r0_->wqes_signaled();
+  uint64_t unsig_before = r0_->wqes_unsignaled();
+  wr.signaled = true;
+  wr.wr_id = 71;
+  ASSERT_TRUE(r0_->PostSend(qp0_, wr).ok());
+  wr.signaled = false;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(r0_->PostSend(qp0_, wr).ok());
+  }
+  EXPECT_EQ(r0_->wqes_signaled() - sig_before, 1u);
+  EXPECT_EQ(r0_->wqes_unsignaled() - unsig_before, 3u);
+}
+
 // ---- QP error-state semantics under fault injection -----------------------
 
 TEST_F(RnicTest, DroppedTransferMovesQpToError) {
