@@ -27,4 +27,10 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/faults_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/lite_async_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/faults_chaos_test
 
+echo "== tier-1: memory + async suites under ASan+UBSan =="
+cmake -B build-asan -S . -DLT_SANITIZE=address >/dev/null
+cmake --build build-asan -j"${JOBS}" --target lite_memory_test lite_async_test
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" ./build-asan/tests/lite_memory_test
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" ./build-asan/tests/lite_async_test
+
 echo "== tier-1: PASS =="

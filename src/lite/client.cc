@@ -83,17 +83,17 @@ Status LiteClient::Write(Lh lh, uint64_t offset, const void* buf, uint64_t len) 
 
 Status LiteClient::Memset(Lh lh, uint64_t offset, uint8_t value, uint64_t len) {
   EnterKernel();
-  return instance_->Memset(lh, offset, value, len);
+  return instance_->Memset(lh, offset, value, len, priority_);
 }
 
 Status LiteClient::Memcpy(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len) {
   EnterKernel();
-  return instance_->Memcpy(dst, dst_off, src, src_off, len);
+  return instance_->Memcpy(dst, dst_off, src, src_off, len, priority_);
 }
 
 Status LiteClient::Memmove(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len) {
   EnterKernel();
-  return instance_->Memmove(dst, dst_off, src, src_off, len);
+  return instance_->Memmove(dst, dst_off, src, src_off, len, priority_);
 }
 
 Status LiteClient::RegisterRpc(RpcFuncId func) {

@@ -38,12 +38,10 @@ void LiteInstance::RegisterInternalHandlers() {
       ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
       return;
     }
-    std::lock_guard<std::mutex> lock(self->names_mu_);
-    if (self->names_.count(name) != 0) {
+    if (!self->lmrs_.RegisterName(name, master)) {
       ReplyStatus(self, inc.token, lt::StatusCode::kAlreadyExists);
       return;
     }
-    self->names_[name] = master;
     ReplyStatus(self, inc.token, lt::StatusCode::kOk);
   };
 
@@ -54,18 +52,13 @@ void LiteInstance::RegisterInternalHandlers() {
       ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
       return;
     }
-    NodeId master = kInvalidNode;
-    {
-      std::lock_guard<std::mutex> lock(self->names_mu_);
-      auto it = self->names_.find(name);
-      if (it == self->names_.end()) {
-        ReplyStatus(self, inc.token, lt::StatusCode::kNotFound);
-        return;
-      }
-      master = it->second;
+    auto master = self->lmrs_.LookupName(name);
+    if (!master.ok()) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kNotFound);
+      return;
     }
     WireWriter payload;
-    payload.Put<NodeId>(master);
+    payload.Put<NodeId>(*master);
     ReplyOkPayload(self, inc.token, payload);
   };
 
@@ -73,8 +66,7 @@ void LiteInstance::RegisterInternalHandlers() {
     WireReader r(inc.data.data(), inc.data.size());
     std::string name;
     if (r.GetString(&name)) {
-      std::lock_guard<std::mutex> lock(self->names_mu_);
-      self->names_.erase(name);
+      self->lmrs_.UnregisterName(name);
     }
     ReplyStatus(self, inc.token, lt::StatusCode::kOk);
   };
@@ -119,27 +111,24 @@ void LiteInstance::RegisterInternalHandlers() {
       return;
     }
     WireWriter payload;
-    {
-      std::lock_guard<std::mutex> lock(self->meta_mu_);
-      auto it = self->metas_.find(name);
-      if (it == self->metas_.end()) {
-        ReplyStatus(self, inc.token, lt::StatusCode::kNotFound);
-        return;
-      }
-      LmrMeta& meta = it->second;
+    lt::StatusCode code = self->lmrs_.WithMeta(name, [&](LmrMeta& meta) {
       uint32_t granted = meta.default_perm;
       auto perm_it = meta.node_perm.find(requester);
       if (perm_it != meta.node_perm.end()) {
         granted = perm_it->second;
       }
       if ((granted & want) != want) {
-        ReplyStatus(self, inc.token, lt::StatusCode::kPermissionDenied);
-        return;
+        return lt::StatusCode::kPermissionDenied;
       }
       meta.mapped_nodes.insert(requester);
       payload.Put<uint32_t>(want);
       payload.Put<uint64_t>(meta.size);
       payload.PutChunks(meta.chunks);
+      return lt::StatusCode::kOk;
+    });
+    if (code != lt::StatusCode::kOk) {
+      ReplyStatus(self, inc.token, code);
+      return;
     }
     ReplyOkPayload(self, inc.token, payload);
   };
@@ -149,11 +138,10 @@ void LiteInstance::RegisterInternalHandlers() {
     std::string name;
     NodeId requester = kInvalidNode;
     if (r.GetString(&name) && r.Get(&requester)) {
-      std::lock_guard<std::mutex> lock(self->meta_mu_);
-      auto it = self->metas_.find(name);
-      if (it != self->metas_.end()) {
-        it->second.mapped_nodes.erase(requester);
-      }
+      (void)self->lmrs_.WithMeta(name, [&](LmrMeta& meta) {
+        meta.mapped_nodes.erase(requester);
+        return lt::StatusCode::kOk;
+      });
     }
     ReplyStatus(self, inc.token, lt::StatusCode::kOk);  // No-reply in practice.
   };
@@ -167,31 +155,19 @@ void LiteInstance::RegisterInternalHandlers() {
       ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
       return;
     }
-    LmrMeta meta;
-    {
-      std::lock_guard<std::mutex> lock(self->meta_mu_);
-      auto it = self->metas_.find(name);
-      if (it == self->metas_.end()) {
-        ReplyStatus(self, inc.token, lt::StatusCode::kNotFound);
-        return;
-      }
-      if (it->second.masters.count(requester) == 0) {
-        ReplyStatus(self, inc.token, lt::StatusCode::kPermissionDenied);
-        return;
-      }
-      meta = it->second;
-      self->metas_.erase(it);
+    auto taken = self->lmrs_.TakeMetaIfMaster(name, requester);
+    if (!taken.ok()) {
+      ReplyStatus(self, inc.token, taken.status().code());
+      return;
     }
+    LmrMeta meta = std::move(*taken);
     // Invalidate every node that mapped the LMR (paper Sec. 4.1: "when the
     // master ... frees the LMR, LITE at these nodes will be notified").
     WireWriter inval;
     inval.PutString(name);
     for (NodeId mapped : meta.mapped_nodes) {
       if (mapped == self->node_id()) {
-        std::lock_guard<std::mutex> lock(self->lh_mu_);
-        for (auto it = self->lh_table_.begin(); it != self->lh_table_.end();) {
-          it = it->second.name == name ? self->lh_table_.erase(it) : std::next(it);
-        }
+        self->lmrs_.EraseByName(name);
       } else {
         (void)self->RpcSendNoReply(mapped, kFnLmrInvalidate, inval.bytes().data(),
                                    static_cast<uint32_t>(inval.bytes().size()));
@@ -222,10 +198,7 @@ void LiteInstance::RegisterInternalHandlers() {
     WireReader r(inc.data.data(), inc.data.size());
     std::string name;
     if (r.GetString(&name)) {
-      std::lock_guard<std::mutex> lock(self->lh_mu_);
-      for (auto it = self->lh_table_.begin(); it != self->lh_table_.end();) {
-        it = it->second.name == name ? self->lh_table_.erase(it) : std::next(it);
-      }
+      self->lmrs_.EraseByName(name);
     }
   };
 
@@ -234,12 +207,7 @@ void LiteInstance::RegisterInternalHandlers() {
     std::string name;
     std::vector<LmrChunk> chunks;
     if (r.GetString(&name) && r.GetChunks(&chunks)) {
-      std::lock_guard<std::mutex> lock(self->lh_mu_);
-      for (auto& [lh, entry] : self->lh_table_) {
-        if (entry.name == name) {
-          entry.chunks = chunks;
-        }
-      }
+      self->lmrs_.UpdateChunksByName(name, chunks);
     }
   };
 
@@ -254,18 +222,14 @@ void LiteInstance::RegisterInternalHandlers() {
       ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
       return;
     }
-    std::lock_guard<std::mutex> lock(self->meta_mu_);
-    auto it = self->metas_.find(name);
-    if (it == self->metas_.end()) {
-      ReplyStatus(self, inc.token, lt::StatusCode::kNotFound);
-      return;
-    }
-    if (it->second.masters.count(requester) == 0) {
-      ReplyStatus(self, inc.token, lt::StatusCode::kPermissionDenied);
-      return;
-    }
-    it->second.node_perm[grantee] = perm;
-    ReplyStatus(self, inc.token, lt::StatusCode::kOk);
+    lt::StatusCode code = self->lmrs_.WithMeta(name, [&](LmrMeta& meta) {
+      if (meta.masters.count(requester) == 0) {
+        return lt::StatusCode::kPermissionDenied;
+      }
+      meta.node_perm[grantee] = perm;
+      return lt::StatusCode::kOk;
+    });
+    ReplyStatus(self, inc.token, code);
   };
 
   internal_handlers_[kFnMasterGrant] = [](LiteInstance* self, const RpcIncoming& inc) {
@@ -277,19 +241,15 @@ void LiteInstance::RegisterInternalHandlers() {
       ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
       return;
     }
-    std::lock_guard<std::mutex> lock(self->meta_mu_);
-    auto it = self->metas_.find(name);
-    if (it == self->metas_.end()) {
-      ReplyStatus(self, inc.token, lt::StatusCode::kNotFound);
-      return;
-    }
-    if (it->second.masters.count(requester) == 0) {
-      ReplyStatus(self, inc.token, lt::StatusCode::kPermissionDenied);
-      return;
-    }
-    it->second.masters.insert(new_master);
-    it->second.node_perm[new_master] = kPermRead | kPermWrite | kPermMaster;
-    ReplyStatus(self, inc.token, lt::StatusCode::kOk);
+    lt::StatusCode code = self->lmrs_.WithMeta(name, [&](LmrMeta& meta) {
+      if (meta.masters.count(requester) == 0) {
+        return lt::StatusCode::kPermissionDenied;
+      }
+      meta.masters.insert(new_master);
+      meta.node_perm[new_master] = kPermRead | kPermWrite | kPermMaster;
+      return lt::StatusCode::kOk;
+    });
+    ReplyStatus(self, inc.token, code);
   };
 
   internal_handlers_[kFnMasterMove] = [](LiteInstance* self, const RpcIncoming& inc) {
@@ -297,24 +257,19 @@ void LiteInstance::RegisterInternalHandlers() {
     std::string name;
     NodeId new_node = kInvalidNode;
     NodeId requester = kInvalidNode;
-    if (!r.GetString(&name) || !r.Get(&new_node) || !r.Get(&requester)) {
+    uint8_t pri_raw = static_cast<uint8_t>(Priority::kHigh);
+    if (!r.GetString(&name) || !r.Get(&new_node) || !r.Get(&requester) || !r.Get(&pri_raw)) {
       ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
       return;
     }
-    LmrMeta meta;
-    {
-      std::lock_guard<std::mutex> lock(self->meta_mu_);
-      auto it = self->metas_.find(name);
-      if (it == self->metas_.end()) {
-        ReplyStatus(self, inc.token, lt::StatusCode::kNotFound);
-        return;
-      }
-      if (it->second.masters.count(requester) == 0) {
-        ReplyStatus(self, inc.token, lt::StatusCode::kPermissionDenied);
-        return;
-      }
-      meta = it->second;
+    const Priority pri =
+        pri_raw == static_cast<uint8_t>(Priority::kLow) ? Priority::kLow : Priority::kHigh;
+    auto copied = self->lmrs_.CopyMetaIfMaster(name, requester);
+    if (!copied.ok()) {
+      ReplyStatus(self, inc.token, copied.status().code());
+      return;
     }
+    LmrMeta meta = std::move(*copied);
 
     // Allocate the new placement.
     std::vector<LmrChunk> new_chunks;
@@ -329,7 +284,8 @@ void LiteInstance::RegisterInternalHandlers() {
       WireWriter w;
       w.Put<uint64_t>(meta.size);
       std::vector<uint8_t> out;
-      Status st = self->InternalRpc(new_node, kFnAllocChunks, w.bytes(), &out);
+      Status st = self->InternalRpc(new_node, kFnAllocChunks, w.bytes(), &out,
+                                    kDefaultTimeout, pri);
       if (!st.ok()) {
         ReplyStatus(self, inc.token, st.code());
         return;
@@ -346,35 +302,21 @@ void LiteInstance::RegisterInternalHandlers() {
     auto new_pieces = SliceChunks(new_chunks, 0, meta.size);
     std::vector<uint8_t> bounce(meta.size);
     for (const ChunkPiece& p : old_pieces) {
-      (void)self->OneSidedRead(p.node, p.addr, bounce.data() + p.user_off, p.len,
-                               Priority::kHigh);
+      (void)self->engine_.OneSidedRead(p.node, p.addr, bounce.data() + p.user_off, p.len, pri);
     }
     for (const ChunkPiece& p : new_pieces) {
-      (void)self->OneSidedWrite(p.node, p.addr, bounce.data() + p.user_off, p.len,
-                                Priority::kHigh, /*signaled=*/true);
+      (void)self->engine_.OneSidedWrite(p.node, p.addr, bounce.data() + p.user_off, p.len, pri,
+                                        /*signaled=*/true);
     }
 
     // Install the new chunks, free the old, fan out updates.
-    std::set<NodeId> mapped;
-    {
-      std::lock_guard<std::mutex> lock(self->meta_mu_);
-      auto it = self->metas_.find(name);
-      if (it != self->metas_.end()) {
-        it->second.chunks = new_chunks;
-        mapped = it->second.mapped_nodes;
-      }
-    }
+    std::set<NodeId> mapped = self->lmrs_.InstallChunks(name, new_chunks);
     WireWriter update;
     update.PutString(name);
     update.PutChunks(new_chunks);
     for (NodeId node : mapped) {
       if (node == self->node_id()) {
-        std::lock_guard<std::mutex> lock(self->lh_mu_);
-        for (auto& [lh, entry] : self->lh_table_) {
-          if (entry.name == name) {
-            entry.chunks = new_chunks;
-          }
-        }
+        self->lmrs_.UpdateChunksByName(name, new_chunks);
       } else {
         (void)self->RpcSendNoReply(node, kFnLmrUpdate, update.bytes().data(),
                                    static_cast<uint32_t>(update.bytes().size()));
@@ -400,10 +342,13 @@ void LiteInstance::RegisterInternalHandlers() {
   internal_handlers_[kFnMemOp] = [](LiteInstance* self, const RpcIncoming& inc) {
     WireReader r(inc.data.data(), inc.data.size());
     uint8_t op = 0;
-    if (!r.Get(&op)) {
+    uint8_t pri_raw = static_cast<uint8_t>(Priority::kHigh);
+    if (!r.Get(&op) || !r.Get(&pri_raw)) {
       ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
       return;
     }
+    const Priority pri =
+        pri_raw == static_cast<uint8_t>(Priority::kLow) ? Priority::kLow : Priority::kHigh;
     const auto& p = self->params();
     if (op == 0) {  // memset on local ranges
       uint8_t value = 0;
@@ -447,9 +392,9 @@ void LiteInstance::RegisterInternalHandlers() {
           std::memmove(self->node()->mem().Data(dst_addr, len),
                        self->node()->mem().Data(src_addr, len), len);
         } else {
-          Status st = self->OneSidedWrite(dst_node, dst_addr,
-                                          self->node()->mem().Data(src_addr, len), len,
-                                          Priority::kHigh, /*signaled=*/true);
+          Status st = self->engine_.OneSidedWrite(dst_node, dst_addr,
+                                                  self->node()->mem().Data(src_addr, len), len,
+                                                  pri, /*signaled=*/true);
           if (!st.ok()) {
             ReplyStatus(self, inc.token, st.code());
             return;
@@ -547,12 +492,10 @@ void LiteInstance::RegisterInternalHandlers() {
   // ---------------------------------------- manager recovery (Sec. 3.3)
   internal_handlers_[kFnListNames] = [](LiteInstance* self, const RpcIncoming& inc) {
     WireWriter payload;
-    {
-      std::lock_guard<std::mutex> lock(self->meta_mu_);
-      payload.Put<uint32_t>(static_cast<uint32_t>(self->metas_.size()));
-      for (const auto& [name, meta] : self->metas_) {
-        payload.PutString(name);
-      }
+    std::vector<std::string> names = self->lmrs_.ListNames();
+    payload.Put<uint32_t>(static_cast<uint32_t>(names.size()));
+    for (const std::string& name : names) {
+      payload.PutString(name);
     }
     ReplyOkPayload(self, inc.token, payload);
   };

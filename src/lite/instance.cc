@@ -1,5 +1,6 @@
 // LiteInstance core: construction, cluster wiring, service threads, and the
-// one-sided operation engine every higher-level facility builds on.
+// local-memory helpers. One-sided posting lives in op_engine.cc; QP-pool
+// management in qp_manager.cc; LMR/lh/name bookkeeping in lmr_table.cc.
 #include "src/lite/instance.h"
 
 #include <algorithm>
@@ -13,14 +14,7 @@
 
 namespace lite {
 
-using lt::Completion;
-using lt::NowNs;
-using lt::Qp;
 using lt::SpinFor;
-using lt::WaitMode;
-using lt::WcOpcode;
-using lt::WorkRequest;
-using lt::WrOpcode;
 
 namespace {
 
@@ -29,7 +23,12 @@ constexpr uint64_t kMirrorSlabBytes = 64 << 10;  // 8K head mirrors.
 }  // namespace
 
 LiteInstance::LiteInstance(lt::Node* node, NodeId manager_node)
-    : node_(node), manager_node_(manager_node), qos_(node->params()) {
+    : node_(node),
+      manager_node_(manager_node),
+      qos_(node->params()),
+      qps_(node, &qos_),
+      lmrs_(node->id()),
+      engine_(this) {
   // The single physical-address MR covering all of this node's memory: one
   // MPT entry on the RNIC, no MTT/PTE pressure at all (paper Sec. 4.1).
   auto mr = rnic().RegisterMrPhysical(0, node_->mem().size_bytes(), lt::kMrAll);
@@ -60,10 +59,6 @@ LiteInstance::LiteInstance(lt::Node* node, NodeId manager_node)
   mirror_slab_ = *mirrors;
   mirror_cap_ = kMirrorSlabBytes / 8;
 
-  // lh values are per-node capabilities; embedding the node id guarantees a
-  // handle leaked to another node can never alias a valid local one.
-  next_lh_.store((static_cast<uint64_t>(node_->id()) << 32) + 1);
-
   RegisterInternalHandlers();
   RegisterTelemetry();
 }
@@ -82,17 +77,10 @@ void LiteInstance::RegisterTelemetry() {
   rpc_stale_replies_ = reg.GetCounter("lite.rpc.stale_replies");
   rpc_zombie_reclaimed_ = reg.GetCounter("lite.rpc.zombie_reclaimed");
   rpc_dead_fast_fail_ = reg.GetCounter("lite.rpc.dead_fast_fail");
-  oneside_retries_ = reg.GetCounter("lite.oneside.retries");
   qp_reconnects_ = reg.GetCounter("lite.qp.reconnects");
   liveness_marked_dead_ = reg.GetCounter("lite.liveness.marked_dead");
   liveness_revived_ = reg.GetCounter("lite.liveness.revived");
   liveness_keepalives_ = reg.GetCounter("lite.liveness.keepalives");
-  // Async fast-path instruments (docs/TELEMETRY.md, "Async fast path").
-  async_ops_issued_ = reg.GetCounter("lite.async.ops");
-  async_inferred_ = reg.GetCounter("lite.async.inferred_completions");
-  async_flush_fences_ = reg.GetCounter("lite.async.flush_fences");
-  reg.RegisterProbe("lite.async.in_flight",
-                    [this] { return static_cast<uint64_t>(AsyncInFlight()); });
   // Probes read this instance's existing counters at snapshot time only.
   reg.RegisterProbe("lite.rpc.ring_bytes", [this] { return rpc_ring_bytes_in_use(); });
   reg.RegisterProbe("lite.poll.cpu_ns", [this] { return poll_cpu_.TotalCpuNs(); });
@@ -107,10 +95,12 @@ void LiteInstance::RegisterTelemetry() {
   lt::telemetry::Tracer* tracer = &node_->telemetry().tracer();
   reg.RegisterProbe("lite.trace.spans_dropped", [tracer] { return tracer->spans_dropped(); });
   reg.RegisterProbe("lite.trace.events_dropped", [tracer] { return tracer->events_dropped(); });
-  // Flight recorder: cache the journal for recovery-path breadcrumbs and let
-  // the QoS throttle path record into it.
+  // Flight recorder: cache the journal for recovery-path breadcrumbs, and
+  // hand it (plus the shared counters) to the composed components.
   journal_ = &node_->telemetry().journal();
   qos_.SetJournal(journal_);
+  qps_.SetTelemetry(qp_reconnects_, journal_);
+  engine_.RegisterTelemetry(reg, journal_);
 }
 
 LiteInstance::~LiteInstance() { Stop(); }
@@ -126,9 +116,6 @@ void LiteInstance::ConnectPeer(LiteInstance* peer) {
 }
 
 void LiteInstance::CreateQueuePairs() {
-  const int k = std::max(1, params().lite_qp_sharing_factor);
-  qp_pool_.resize(peers_.size());
-  qp_mu_.resize(peers_.size());
   // Liveness flags: sized once here (before any traffic) so the fail-fast
   // path can read them without bounds locking.
   peer_dead_n_ = peers_.size();
@@ -136,23 +123,11 @@ void LiteInstance::CreateQueuePairs() {
   for (size_t i = 0; i < peer_dead_n_; ++i) {
     peer_dead_[i].store(0, std::memory_order_relaxed);
   }
+  std::vector<bool> connect(peers_.size(), false);
   for (NodeId dst = 0; dst < peers_.size(); ++dst) {
-    if (peers_[dst] == nullptr || dst == node_id()) {
-      continue;
-    }
-    for (int i = 0; i < k; ++i) {
-      lt::Cq* send_cq = rnic().CreateCq();
-      qp_pool_[dst].push_back(rnic().CreateQp(lt::QpType::kRc, send_cq, recv_cq_));
-      qp_mu_[dst].push_back(std::make_unique<std::mutex>());
-    }
+    connect[dst] = peers_[dst] != nullptr && dst != node_id();
   }
-}
-
-lt::Qp* LiteInstance::PoolQp(NodeId dst, int k) {
-  if (dst >= qp_pool_.size() || static_cast<size_t>(k) >= qp_pool_[dst].size()) {
-    return nullptr;
-  }
-  return qp_pool_[dst][k];
+  qps_.CreatePool(connect, recv_cq_);
 }
 
 void LiteInstance::BootstrapControlChannel(LiteInstance* server) {
@@ -218,24 +193,7 @@ LiteInstance* LiteInstance::Peer(NodeId node) const {
   return peers_[node];
 }
 
-// ------------------------------------------------------------ QP selection
-
-int LiteInstance::PickQpIndex(NodeId dst, Priority pri) {
-  if (dst >= qp_pool_.size() || qp_pool_[dst].empty()) {
-    return -1;
-  }
-  const int k = static_cast<int>(qp_pool_[dst].size());
-  auto [lo, hi] = qos_.QpRange(pri, k);
-  if (hi <= lo) {
-    lo = 0;
-    hi = k;
-  }
-  // Cheap per-thread spreading across the allowed slots.
-  static thread_local uint32_t t_counter = 0;
-  return lo + static_cast<int>(t_counter++ % static_cast<uint32_t>(hi - lo));
-}
-
-// ------------------------------------------------------- one-sided engine
+// ---------------------------------------------------------- local fast path
 
 void LiteInstance::LocalCopyIn(PhysAddr dst, const void* src, uint64_t len) {
   const auto& p = params();
@@ -251,251 +209,7 @@ void LiteInstance::LocalCopyOut(void* dst, PhysAddr src, uint64_t len) {
   lt::SimDmaCopy(dst, node_->mem().Data(src, len), len);
 }
 
-void LiteInstance::RecoverQp(lt::Qp* qp) {
-  // Models the driver's modify_qp cycle ERR -> RESET -> INIT -> RTR -> RTS
-  // after a transport error (caller holds the QP's pool mutex).
-  SpinFor(params().lite_qp_reconnect_ns);
-  qp->ResetToRts();
-  qp_reconnects_->Inc();
-  if (journal_ != nullptr) {
-    journal_->Record(lt::telemetry::JournalEvent::kQpRecover, qp->remote_node(), qp->qpn());
-  }
-}
-
-StatusOr<Completion> LiteInstance::PostAndWait(NodeId dst, WorkRequest* wr, Priority pri,
-                                               int qp_idx) {
-  const uint32_t max_retries = params().lite_rpc_max_retries;
-  uint64_t backoff_ns = params().lite_rpc_retry_backoff_ns;
-  Status last = Status::Timeout("one-sided completion timeout");
-  for (uint32_t attempt = 0; attempt <= max_retries; ++attempt) {
-    if (attempt > 0) {
-      oneside_retries_->Inc();
-      lt::IdleFor(backoff_ns);
-      if (journal_ != nullptr) {
-        journal_->Record(lt::telemetry::JournalEvent::kOnesideRetry, dst, attempt);
-      }
-      backoff_ns *= 2;
-      if (PeerDead(dst)) {
-        rpc_dead_fast_fail_->Inc();
-        return Status::Unavailable("peer marked dead by liveness service");
-      }
-    }
-    int idx = qp_idx >= 0 ? qp_idx : PickQpIndex(dst, pri);
-    if (idx < 0 || dst >= qp_pool_.size() ||
-        idx >= static_cast<int>(qp_pool_[dst].size())) {
-      return Status::Unavailable("no QP to destination node");
-    }
-    Qp* qp = qp_pool_[dst][idx];
-    wr->wr_id = next_wr_id_.fetch_add(1);
-    {
-      // The QP lock covers only the post; waiting happens outside so threads
-      // sharing a pool QP overlap their in-flight ops (the whole point of
-      // the shared pool, Sec. 6.1).
-      std::lock_guard<std::mutex> lock(*qp_mu_[dst][idx]);
-      if (qp->in_error()) {
-        RecoverQp(qp);
-      }
-      Status posted = rnic().PostSend(qp, *wr);
-      if (!posted.ok()) {
-        last = posted;
-        if (posted.code() == lt::StatusCode::kFailedPrecondition) {
-          continue;  // Lost a race to a concurrent error; recover and retry.
-        }
-        return posted;
-      }
-    }
-    auto c = qp->send_cq()->WaitPollFor(wr->wr_id, params().lite_rpc_timeout_ns,
-                                        WaitMode::kBusyPoll);
-    if (!c.has_value()) {
-      last = Status::Timeout("one-sided completion timeout");
-      continue;
-    }
-    if (c->status.ok()) {
-      return *c;
-    }
-    last = c->status;
-    const lt::StatusCode code = last.code();
-    if (code != lt::StatusCode::kUnavailable && code != lt::StatusCode::kTimeout) {
-      return last;  // Non-transient (permission, bounds): do not retry.
-    }
-  }
-  return last;
-}
-
-Status LiteInstance::OneSidedWrite(NodeId dst, PhysAddr dst_addr, const void* src, uint64_t len,
-                                   Priority pri, bool signaled) {
-  qos_.Admit(pri, len);
-  if (dst == node_id()) {
-    LocalCopyIn(dst_addr, src, len);
-    return Status::Ok();
-  }
-  WorkRequest wr;
-  wr.opcode = WrOpcode::kWrite;
-  wr.host_local = const_cast<void*>(src);
-  wr.length = len;
-  wr.rkey = peer_global_rkey_[dst];
-  wr.remote_addr = dst_addr;
-  wr.signaled = signaled;
-  if (!signaled) {
-    // Fire-and-forget (head-mirror publishes): errors surface on the next
-    // signaled user of the QP; recover here so one drop cannot wedge it.
-    int idx = PickQpIndex(dst, pri);
-    if (idx < 0) {
-      return Status::Unavailable("no QP to destination node");
-    }
-    Qp* qp = qp_pool_[dst][idx];
-    wr.wr_id = 0;
-    std::lock_guard<std::mutex> lock(*qp_mu_[dst][idx]);
-    if (qp->in_error()) {
-      RecoverQp(qp);
-    }
-    return rnic().PostSend(qp, wr);
-  }
-  const uint64_t start = NowNs();
-  auto c = PostAndWait(dst, &wr, pri);
-  if (!c.ok()) {
-    return c.status();
-  }
-  lt::telemetry::StampStage(lt::telemetry::TraceStage::kCompletion, c->ready_at_ns);
-  if (pri == Priority::kHigh) {
-    qos_.RecordHighPriRtt(NowNs() - start);
-  }
-  return Status::Ok();
-}
-
-Status LiteInstance::OneSidedWriteImm(NodeId dst, PhysAddr dst_addr, const void* src, uint64_t len,
-                                      uint32_t imm, Priority pri) {
-  qos_.Admit(pri, len);
-  if (dst == node_id()) {
-    // Loopback: copy locally and deliver the IMM to our own receive CQ so the
-    // poll thread handles it uniformly.
-    if (len > 0) {
-      LocalCopyIn(dst_addr, src, len);
-    }
-    Completion c;
-    c.opcode = WcOpcode::kRecvImm;
-    c.has_imm = true;
-    c.imm = imm;
-    c.byte_len = static_cast<uint32_t>(len);
-    c.src_node = node_id();
-    c.ready_at_ns = NowNs() + params().rnic_completion_ns;
-    recv_cq_->Push(std::move(c));
-    return Status::Ok();
-  }
-  int idx = PickQpIndex(dst, pri);
-  if (idx < 0) {
-    return Status::Unavailable("no QP to destination node");
-  }
-  Qp* qp = qp_pool_[dst][idx];
-  WorkRequest wr;
-  wr.opcode = WrOpcode::kWriteImm;
-  wr.host_local = const_cast<void*>(src);
-  wr.length = len;
-  wr.rkey = peer_global_rkey_[dst];
-  wr.remote_addr = dst_addr;
-  wr.imm = imm;
-  wr.signaled = false;  // Failures detected by reply timeout (paper Sec. 5.1).
-  std::lock_guard<std::mutex> lock(*qp_mu_[dst][idx]);
-  if (qp->in_error()) {
-    RecoverQp(qp);  // A prior drop errored this QP; reconnect before posting.
-  }
-  return rnic().PostSend(qp, wr);
-}
-
-Status LiteInstance::OneSidedRead(NodeId src_node, PhysAddr src_addr, void* dst, uint64_t len,
-                                  Priority pri) {
-  qos_.Admit(pri, len);
-  if (src_node == node_id()) {
-    LocalCopyOut(dst, src_addr, len);
-    return Status::Ok();
-  }
-  WorkRequest wr;
-  wr.opcode = WrOpcode::kRead;
-  wr.host_local = dst;
-  wr.length = len;
-  wr.rkey = peer_global_rkey_[src_node];
-  wr.remote_addr = src_addr;
-  wr.signaled = true;
-
-  const uint64_t start = NowNs();
-  auto c = PostAndWait(src_node, &wr, pri);
-  if (!c.ok()) {
-    return c.status();
-  }
-  lt::telemetry::StampStage(lt::telemetry::TraceStage::kCompletion, c->ready_at_ns);
-  if (pri == Priority::kHigh) {
-    qos_.RecordHighPriRtt(NowNs() - start);
-  }
-  return Status::Ok();
-}
-
-StatusOr<uint64_t> LiteInstance::RemoteAtomic(NodeId dst, PhysAddr addr, bool is_cas,
-                                              uint64_t compare_add, uint64_t swap) {
-  if (addr % 8 != 0) {
-    return Status::InvalidArgument("atomic target not 8-byte aligned");
-  }
-  qos_.Admit(Priority::kHigh, 8);
-  if (dst == node_id()) {
-    SpinFor(params().local_op_base_ns + params().rnic_atomic_extra_ns / 2);
-    uint8_t* p = node_->mem().Data(addr, 8);
-    // Serialize against remote atomics through the same responder path.
-    uint64_t old_value;
-    if (is_cas) {
-      uint64_t expected = compare_add;
-      __atomic_compare_exchange_n(reinterpret_cast<uint64_t*>(p), &expected, swap, false,
-                                  __ATOMIC_SEQ_CST, __ATOMIC_SEQ_CST);
-      old_value = expected;
-    } else {
-      old_value = __atomic_fetch_add(reinterpret_cast<uint64_t*>(p), compare_add, __ATOMIC_SEQ_CST);
-    }
-    return old_value;
-  }
-  uint64_t old_value = 0;
-  WorkRequest wr;
-  wr.opcode = is_cas ? WrOpcode::kCmpSwap : WrOpcode::kFetchAdd;
-  wr.rkey = peer_global_rkey_[dst];
-  wr.remote_addr = addr;
-  wr.compare_add = compare_add;
-  wr.swap = swap;
-  wr.atomic_result = &old_value;
-  wr.signaled = true;
-  // Retry is exactly-once here: a dropped atomic is rejected by the
-  // responder before the memory operation is applied (see ExecuteAtomic).
-  auto c = PostAndWait(dst, &wr, Priority::kHigh);
-  if (!c.ok()) {
-    return c.status();
-  }
-  return old_value;
-}
-
-// ------------------------------------------------------------ lh plumbing
-
-Lh LiteInstance::InsertLh(LhEntry entry) {
-  Lh lh = next_lh_.fetch_add(1);
-  std::lock_guard<std::mutex> lock(lh_mu_);
-  lh_table_[lh] = std::move(entry);
-  return lh;
-}
-
-StatusOr<LiteInstance::LhEntry> LiteInstance::GetLh(Lh lh) const {
-  std::lock_guard<std::mutex> lock(lh_mu_);
-  auto it = lh_table_.find(lh);
-  if (it == lh_table_.end()) {
-    return Status::NotFound("unknown or invalidated lh");
-  }
-  return it->second;
-}
-
-Status LiteInstance::CheckAccess(const LhEntry& e, uint64_t offset, uint64_t len,
-                                 uint32_t need) const {
-  if ((e.perm & need) != need) {
-    return Status::PermissionDenied("lh lacks required permission");
-  }
-  if (offset + len > e.size || offset + len < offset) {
-    return Status::OutOfRange("access outside LMR bounds");
-  }
-  return Status::Ok();
-}
+// ------------------------------------------------------------- chunk math
 
 std::vector<LiteInstance::ChunkPiece> LiteInstance::SliceChunks(
     const std::vector<LmrChunk>& chunks, uint64_t offset, uint64_t len) {
@@ -549,19 +263,6 @@ void LiteInstance::FreeLocalChunks(const std::vector<LmrChunk>& chunks) {
 }
 
 // ------------------------------------------------------------- accounting
-
-size_t LiteInstance::qp_pool_size() const {
-  size_t n = 0;
-  for (const auto& per_dst : qp_pool_) {
-    n += per_dst.size();
-  }
-  return n;
-}
-
-size_t LiteInstance::lh_count() const {
-  std::lock_guard<std::mutex> lock(lh_mu_);
-  return lh_table_.size();
-}
 
 uint64_t LiteInstance::rpc_ring_bytes_in_use() const {
   uint64_t total = 0;

@@ -1,42 +1,37 @@
 // LiteInstance — one per node; the reproduction of the paper's loadable
-// kernel module.
-//
-// Owns:
-//   * the global physical MR covering the node's entire physical memory
-//     (one MPT entry on the RNIC, zero MTT pressure — paper Sec. 4.1),
-//   * the shared QP pool: K QPs per remote node, shared by every application
-//     on the node (paper Sec. 6.1),
-//   * the single shared receive-CQ polling thread (paper Sec. 5.1),
-//   * the LMR registry (for LMRs mastered here), the local lh handle table,
-//   * the RPC stack (per-(client-node, function) server rings, reply slots,
-//     background head-writer thread),
-//   * the synchronization services (lock FIFO queues, barriers),
-//   * the QoS manager.
-//
-// Kernel-level applications call LiteInstance methods directly; user-level
-// applications go through LiteClient, which adds the user/kernel crossing
-// costs (paper Sec. 5.2).
+// kernel module. A facade composing QpManager (shared QP pool, paper
+// Sec. 6.1), LmrTable (LMR registry + lh table + name service, Sec. 4.1),
+// and OpEngine (the single op-submission engine all three data paths post
+// through), plus the parts it still owns directly: the global physical MR
+// (one MPT entry, zero MTT pressure — Sec. 4.1), the shared receive-CQ
+// polling thread (Sec. 5.1), the RPC stack (server rings, reply slots,
+// head-writer thread — see rpc_state.h), the lock/barrier services, and the
+// QoS manager. Kernel-level applications call LiteInstance directly;
+// user-level ones go through LiteClient, which adds the user/kernel
+// crossing costs (Sec. 5.2).
 #ifndef SRC_LITE_INSTANCE_H_
 #define SRC_LITE_INSTANCE_H_
 
 #include <atomic>
 #include <condition_variable>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
-#include <set>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/cpu_meter.h"
 #include "src/common/status.h"
 #include "src/common/sync_util.h"
+#include "src/lite/lmr_table.h"
+#include "src/lite/op_engine.h"
 #include "src/lite/qos.h"
+#include "src/lite/qp_manager.h"
+#include "src/lite/rpc_state.h"
 #include "src/lite/types.h"
 #include "src/node/node.h"
 
@@ -50,44 +45,6 @@ class LiteInstance;
 
 // Serialized internal control-RPC payload (see wire.h).
 using WireWriterBytes = std::vector<uint8_t>;
-
-// Token identifying one received-but-not-yet-replied RPC call; LT_replyRPC
-// may be invoked later and from any thread (deferred replies power the lock
-// and barrier services).
-struct ReplyToken {
-  NodeId client_node = kInvalidNode;
-  PhysAddr reply_phys = 0;
-  uint32_t reply_max = 0;
-  uint32_t reply_slot = 0;  // Packed {generation, slot} — see PackReplySlot.
-  // Virtual arrival time of the call; deferred replies (lock grants,
-  // barrier releases) must not be issued on an earlier timeline.
-  uint64_t arrival_vtime_ns = 0;
-  // Idempotence bookkeeping: the server ring the call arrived on and the
-  // client-assigned sequence number, so LT_replyRPC can record the reply in
-  // the ring's replay cache (a retried duplicate then re-sends the cached
-  // reply instead of re-executing the handler).
-  RpcFuncId ring_func = 0;
-  uint32_t seq = 0;
-  // Trace id the client put on the wire (0 = untraced). LT_replyRPC opens a
-  // server-side child span tagged with this id so DumpTelemetryJson can
-  // stitch the two halves of the call.
-  uint64_t parent_trace_id = 0;
-  bool valid() const { return client_node != kInvalidNode; }
-};
-
-// One received RPC call, as handed to LT_recvRPC.
-struct RpcIncoming {
-  std::vector<uint8_t> data;
-  ReplyToken token;
-  uint64_t arrival_vtime_ns = 0;
-};
-
-// One received LT_send message.
-struct MsgIncoming {
-  std::vector<uint8_t> data;
-  NodeId src = kInvalidNode;
-  uint64_t arrival_vtime_ns = 0;
-};
 
 // Options for LT_malloc.
 struct MallocOptions {
@@ -121,9 +78,8 @@ class LiteInstance {
   // ---- Cluster wiring (LiteCluster calls these during setup) ----
   void ConnectPeer(LiteInstance* peer);  // Records peer + its global rkey.
   void CreateQueuePairs();               // Creates the shared QP pool.
-  lt::Qp* PoolQp(NodeId dst, int k);     // Pool access for pairwise connect.
-  // Sets up the control ring this node uses to talk to `server` (bootstrap;
-  // no simulated cost — runs before the cluster "boots").
+  lt::Qp* PoolQp(NodeId dst, int k) { return qps_.PoolQp(dst, k); }
+  // Control-ring setup to `server` (bootstrap; no simulated cost).
   void BootstrapControlChannel(LiteInstance* server);
   void Start();  // Launches service threads.
   void Stop();
@@ -142,55 +98,47 @@ class LiteInstance {
   // Chunk placement behind a handle (introspection for apps/tests).
   StatusOr<std::vector<LmrChunk>> LmrChunks(Lh lh) const;
   // LT_read / LT_write: one-sided data access; return when data is
-  // read/written (no separate completion polling — paper Sec. 4.2).
+  // read/written (paper Sec. 4.2). Multi-chunk accesses overlap their
+  // pieces across chunks/nodes via the op engine; single-piece accesses
+  // keep the minimal-latency blocking path.
   Status Read(Lh lh, uint64_t offset, void* buf, uint64_t len, Priority pri = Priority::kHigh);
   Status Write(Lh lh, uint64_t offset, const void* buf, uint64_t len,
                Priority pri = Priority::kHigh);
 
   // ---- Asynchronous memops (the RDMA-throughput fast path) ----
-  //
   // LT_read_async / LT_write_async issue the op and return a completion
   // handle immediately; the caller's buffer must stay valid until the handle
   // is retired. Up to SimParams::lite_async_window ops may be in flight per
   // instance; issuing past the window transparently retires the oldest
-  // outstanding op first (backpressure, no reaper thread).
-  //
-  // Under the hood async WQEs are posted unsignaled with every K-th WQE per
-  // (destination, QP) stream signaled (K = lite_async_signal_every);
-  // completion of the unsignaled prefix is inferred from the covering
-  // signaled CQE (or from a zero-length signaled flush write when no cover
-  // exists at wait time). Writes whose payload fits rnic_inline_max go
-  // inline, and consecutive posts share doorbells (rnic.h).
-  //
-  // Retry/fault semantics match the blocking path: a dropped transfer is
-  // retried transparently (with QP recovery and backoff) when the handle is
-  // retired, and LT_wait surfaces Unavailable on dead peers.
+  // outstanding op first. Posting strategy and retry/fault semantics live in
+  // the op engine — see op_engine.h.
   StatusOr<MemopHandle> ReadAsync(Lh lh, uint64_t offset, void* buf, uint64_t len,
                                   Priority pri = Priority::kHigh);
   StatusOr<MemopHandle> WriteAsync(Lh lh, uint64_t offset, const void* buf, uint64_t len,
                                    Priority pri = Priority::kHigh);
-  // LT_poll: non-blocking probe. Ok(true) = op completed successfully (the
-  // handle is consumed); Ok(false) = still in flight; an error status means
-  // the op completed with that error (handle consumed). Each call charges
-  // one CQ-poll cost, so poll loops make virtual-time progress.
-  StatusOr<bool> Poll(MemopHandle h);
+  // LT_poll: non-blocking probe. Ok(true) = completed (handle consumed);
+  // Ok(false) = in flight; an error is the op's final status (consumed).
+  StatusOr<bool> Poll(MemopHandle h) { return engine_.Poll(h); }
   // LT_wait: blocks until the op completes; returns its final status and
   // consumes the handle.
-  Status Wait(MemopHandle h);
+  Status Wait(MemopHandle h) { return engine_.Wait(h); }
   // LT_wait_all: retires every outstanding async op of this instance
   // (consuming their handles) and returns the first error, if any.
-  Status WaitAll();
+  Status WaitAll() { return engine_.WaitAll(); }
   // Outstanding (not yet retired) async ops.
-  size_t AsyncInFlight() const;
+  size_t AsyncInFlight() const { return engine_.AsyncInFlight(); }
   // LT_memset / LT_memcpy / LT_memmove: executed at the node holding the
   // source/target LMR to minimize network traffic (paper Sec. 7.1).
-  Status Memset(Lh lh, uint64_t offset, uint8_t value, uint64_t len);
-  Status Memcpy(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len);
-  Status Memmove(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len);
+  Status Memset(Lh lh, uint64_t offset, uint8_t value, uint64_t len,
+                Priority pri = Priority::kHigh);
+  Status Memcpy(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len,
+                Priority pri = Priority::kHigh);
+  Status Memmove(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len,
+                 Priority pri = Priority::kHigh);
 
   // ---- Master-role management (paper Sec. 4.1) ----
   Status SetPermission(const std::string& name, NodeId grantee, uint32_t perm);
-  Status MoveLmr(const std::string& name, NodeId new_node);
+  Status MoveLmr(const std::string& name, NodeId new_node, Priority pri = Priority::kHigh);
   Status GrantMaster(const std::string& name, NodeId new_master);
 
   // ---- Cluster-manager recovery (paper Sec. 3.3) ----
@@ -200,15 +148,13 @@ class LiteInstance {
   // marks dead are skipped (their names resurface on their next rebuild).
   Status RebuildNameService();
   // Test hook: wipes the name service to simulate a manager restart.
-  void ClearNameServiceForTest();
+  void ClearNameServiceForTest() { lmrs_.ClearNames(); }
 
   // ---- Liveness (keepalive/lease with the cluster manager) ----
-  // When SimParams::lite_keepalive_interval_ns > 0, every non-manager
-  // instance renews a lease with the manager on that real-time cadence; the
-  // manager expires leases after lite_lease_timeout_ns (default 5x the
-  // interval) and piggybacks the dead list on keepalive replies. Ops whose
-  // target is marked dead fail fast with Status::Unavailable instead of
-  // burning a reply timeout.
+  // Non-manager instances renew a lease every lite_keepalive_interval_ns;
+  // the manager expires leases after lite_lease_timeout_ns and piggybacks
+  // the dead list on keepalive replies. Ops to dead-marked targets fail
+  // fast with Unavailable.
   bool PeerDead(NodeId node) const {
     return node < peer_dead_n_ && peer_dead_[node].load(std::memory_order_relaxed) != 0;
   }
@@ -219,28 +165,22 @@ class LiteInstance {
   // ================= RPC / messaging API =================
   //
   // Timeout convention (every timeout_ns below): kDefaultTimeout (0) means
-  // "use SimParams::lite_rpc_timeout_ns"; kInfiniteTimeout (~0ull) means
-  // wait forever (capped at one hour of real time on client paths as a hang
-  // backstop); anything else is a real-time bound in nanoseconds. See
-  // types.h.
+  // lite_rpc_timeout_ns; kInfiniteTimeout (~0ull) waits forever (capped at
+  // one hour of real time as a hang backstop); else a real-time ns bound.
   //
-  // Failure semantics on the client path: a call whose target the liveness
-  // service has marked dead fails fast with Status::Unavailable; a call that
-  // got no reply within the timeout (after lite_rpc_max_retries transparent
-  // retries with exponential backoff) returns Status::Timeout. Retried
-  // requests carry per-channel sequence numbers; the server's ring poller
-  // executes each sequence at most once and replays the cached reply for
-  // duplicates, so retries never double-execute a handler.
+  // Failure semantics: a call to a dead-marked target fails fast with
+  // Unavailable; no reply within the timeout (after lite_rpc_max_retries
+  // transparent retries with backoff) returns Timeout. Retries carry
+  // per-channel sequence numbers and the server dedups + replays cached
+  // replies, so a handler never double-executes.
   //
   // LT_regRPC: registers an RPC function id served on this node.
   Status RegisterRpc(RpcFuncId func);
   // LT_RPC: calls (server_node, func); blocks for the reply.
   Status Rpc(NodeId server_node, RpcFuncId func, const void* in, uint32_t in_len, void* out,
              uint32_t out_max, uint32_t* out_len, Priority pri = Priority::kHigh);
-  // Async LT_RPC: issues the call now and returns a completion handle
-  // retired through the same Poll/Wait/WaitAll machinery as async memops
-  // (single-attempt send; the retry loop lives in Rpc()/internal calls).
-  // `out`/`out_len` must stay valid until the handle is retired.
+  // Async LT_RPC: single-attempt send returning a completion handle retired
+  // through Poll/Wait/WaitAll; `out`/`out_len` stay valid until retirement.
   StatusOr<MemopHandle> RpcAsync(NodeId server_node, RpcFuncId func, const void* in,
                                  uint32_t in_len, void* out, uint32_t out_max, uint32_t* out_len,
                                  Priority pri = Priority::kHigh);
@@ -278,8 +218,7 @@ class LiteInstance {
   // ================= QoS =================
   QosManager& qos() { return qos_; }
 
-  // Chunk math: maps [offset, offset+len) of an LMR onto per-chunk pieces
-  // (public for the memory-op pairing helpers and tests).
+  // Chunk math: maps [offset, offset+len) of an LMR onto per-chunk pieces.
   struct ChunkPiece {
     NodeId node;
     PhysAddr addr;
@@ -290,16 +229,14 @@ class LiteInstance {
                                              uint64_t len);
 
   // ---- Introspection (tests / benches) ----
-  size_t qp_pool_size() const;
+  size_t qp_pool_size() const { return qps_.TotalQps(); }
   uint64_t poll_thread_cpu_ns() const { return poll_cpu_.TotalCpuNs(); }
   lt::CpuMeter& service_cpu_meter() { return poll_cpu_; }
-  size_t lh_count() const;
+  size_t lh_count() const { return lmrs_.lh_count(); }
   uint64_t rpc_ring_bytes_in_use() const;
 
   // LT_stat (paper's kernel-visibility story made queryable): one named
-  // metric, or the whole per-node snapshot. Covers hardware probes (RNIC
-  // caches, fabric port, OS crossings) and the lite.* metrics this instance
-  // registers.
+  // metric, or the whole per-node snapshot.
   int64_t Stat(const std::string& name) const {
     return StatSnapshot().ValueOr(name);
   }
@@ -309,122 +246,10 @@ class LiteInstance {
 
  private:
   friend class LiteClient;
+  friend class OpEngine;
 
-  // ---------------- internal structures ----------------
-  struct LmrMeta {
-    std::string name;
-    uint64_t size = 0;
-    std::vector<LmrChunk> chunks;
-    uint32_t default_perm = kPermRead | kPermWrite;
-    std::map<NodeId, uint32_t> node_perm;
-    std::set<NodeId> mapped_nodes;
-    std::set<NodeId> masters;
-  };
-
-  struct LhEntry {
-    std::string name;
-    NodeId master_node = kInvalidNode;
-    uint64_t size = 0;
-    uint32_t perm = 0;
-    std::vector<LmrChunk> chunks;
-  };
-
-  // Client side of one RPC channel: ring placement at the server plus the
-  // local tail and the head mirror the server's background thread updates.
-  struct RpcChannel {
-    NodeId server = kInvalidNode;
-    RpcFuncId func = 0;
-    std::vector<LmrChunk> ring;  // Single chunk in practice.
-    uint64_t ring_size = 0;
-    uint64_t tail = 0;           // Absolute byte offset (monotonic).
-    PhysAddr head_mirror = 0;    // Local 8-byte word; server writes head here.
-    std::mutex mu;               // Serializes reserve+post (preserves order).
-    uint32_t next_seq = 1;       // Per-channel idempotence sequence (under mu).
-  };
-
-  // Server side of one RPC channel.
-  struct ServerRing {
-    NodeId client = kInvalidNode;
-    RpcFuncId func = 0;
-    LmrChunk ring;
-    uint64_t ring_size = 0;
-    uint64_t head = 0;           // Absolute byte offset (monotonic).
-    PhysAddr client_head_mirror = 0;
-    std::atomic<uint64_t> head_to_publish{0};
-
-    // At-most-once execution state (poll thread only): every executed
-    // sequence is <= seq_low or in seq_above (kept sparse — consecutive
-    // completions collapse into the watermark). A set rather than a plain
-    // high-water mark, because fault-injected reordering can deliver a fresh
-    // request with a lower sequence after a later one executed.
-    uint32_t seq_low = 0;
-    std::set<uint32_t> seq_above;
-
-    // Replay cache: reply payloads of recent sequences, re-sent verbatim
-    // when a retried duplicate arrives after the original already executed.
-    // Bounded; a duplicate past the horizon is dropped silently (the client
-    // then times out — at-most-once still holds, exactly-once does not).
-    std::mutex replay_mu;
-    std::map<uint32_t, std::vector<uint8_t>> replay;
-  };
-
-  // Replay cache entries kept per server ring.
-  static constexpr size_t kReplayCacheEntries = 32;
-
-  // Client-side reply rendezvous.
-  struct ReplySlot {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::atomic<int> state{0};  // 0 free, 1 waiting, 2 ready, 3 error,
-                                // 4 zombie (timed out; awaiting late reply
-                                //   or quarantine reclaim)
-    // Reuse generation, bumped on acquire and carried in the packed reply-
-    // slot field; late/duplicate replies with a stale generation are
-    // discarded (see PackReplySlot in types.h).
-    std::atomic<uint32_t> gen{0};
-    uint32_t reply_len = 0;
-    uint64_t ready_vtime_ns = 0;
-    PhysAddr buf_phys = 0;
-    uint32_t buf_max = 0;
-    // Real time the slot became a zombie. A zombie whose peer died may never
-    // get the late reply that frees it; AcquireReplySlot reclaims zombies
-    // older than the RPC timeout when the free list runs dry.
-    std::atomic<uint64_t> zombie_since_real_ns{0};
-  };
-
-  struct LockQueue {
-    std::deque<ReplyToken> waiters;
-    uint32_t grants_pending = 0;
-  };
-
-  struct BarrierState {
-    uint32_t expected = 0;
-    std::vector<ReplyToken> arrived;
-  };
-
-  // Header written at the ring tail ahead of the RPC payload. Kept at
-  // exactly 48 bytes: the header rides every request's fabric transfer, so
-  // its size feeds every simulated RPC latency and is pinned by the
-  // static_assert below. The seq field fits by narrowing
-  // magic/reply_max/client_node (reply slabs are <64KB slots and node ids
-  // are small; both statically sane for this simulator); trace_id carries
-  // the client span's id for cross-node stitching (0 = untraced, so the
-  // header cost is identical whether tracing is on or off).
-  struct RpcReqHeader {
-    PhysAddr reply_phys = 0;   // Client reply buffer (slot slab).
-    uint64_t tail_after = 0;   // Absolute head position once consumed.
-    uint64_t trace_id = 0;     // Client trace id (0 = untraced request).
-    uint32_t input_len = 0;
-    uint32_t reply_slot = 0;   // Packed {generation, slot} or kNoReplySlot.
-    uint32_t seq = 0;          // Per-channel sequence (0 = never dedup).
-    uint16_t reply_max = 0;
-    uint16_t magic = kRpcMagic;
-    uint16_t client_node = static_cast<uint16_t>(0xffff);
-  };
-  static constexpr uint16_t kRpcMagic = 0x4c54;  // "LT"
-  static_assert(sizeof(RpcReqHeader) == 48,
-                "RpcReqHeader is wire-visible: its size feeds every RPC's "
-                "simulated transfer time and must not change");
+  // RPC-stack state structures (RpcChannel, ServerRing, ReplySlot,
+  // RpcReqHeader, LockQueue, BarrierState) live in rpc_state.h.
 
   using InternalHandler =
       std::function<void(LiteInstance*, const RpcIncoming&)>;
@@ -433,38 +258,26 @@ class LiteInstance {
   lt::Rnic& rnic() const { return node_->rnic(); }
   LiteInstance* Peer(NodeId node) const;
 
-  // QP selection honoring the QoS policy; returns a pool index for `dst`, or
-  // -1 if no QP exists.
-  int PickQpIndex(NodeId dst, Priority pri);
-
-  // One-sided ops on raw chunk targets (the engine under Read/Write/atomics
-  // and the RPC stack). Signaled ops transparently retry dropped transfers
-  // (recovering the QP from its error state first) up to
-  // lite_rpc_max_retries times with exponential backoff.
-  Status OneSidedWrite(NodeId dst, PhysAddr dst_addr, const void* src, uint64_t len, Priority pri,
-                       bool signaled);
-  Status OneSidedWriteImm(NodeId dst, PhysAddr dst_addr, const void* src, uint64_t len,
-                          uint32_t imm, Priority pri);
-  Status OneSidedRead(NodeId src_node, PhysAddr src_addr, void* dst, uint64_t len, Priority pri);
-  StatusOr<uint64_t> RemoteAtomic(NodeId dst, PhysAddr addr, bool is_cas, uint64_t compare_add,
-                                  uint64_t swap);
+  // One-sided posting has no forwarders: every call site posts through
+  // engine_ directly (op_engine.h owns QP selection, recovery, retry).
 
   // Local fast path for chunks that live on this node.
   void LocalCopyIn(PhysAddr dst, const void* src, uint64_t len);
   void LocalCopyOut(void* dst, PhysAddr src, uint64_t len);
 
-  // lh bookkeeping.
-  Lh InsertLh(LhEntry entry);
-  StatusOr<LhEntry> GetLh(Lh lh) const;
-  Status CheckAccess(const LhEntry& e, uint64_t offset, uint64_t len, uint32_t need) const;
+  // lh bookkeeping: thin forwarders into the LmrTable component.
+  Lh InsertLh(LhEntry entry) { return lmrs_.Insert(std::move(entry)); }
+  StatusOr<LhEntry> GetLh(Lh lh) const { return lmrs_.Get(lh); }
+  static Status CheckAccess(const LhEntry& e, uint64_t offset, uint64_t len, uint32_t need) {
+    return LmrTable::CheckAccess(e, offset, len, need);
+  }
 
   // Chunk allocation (local service for kFnAllocChunks and local mallocs).
   StatusOr<std::vector<LmrChunk>> AllocLocalChunks(uint64_t size);
   void FreeLocalChunks(const std::vector<LmrChunk>& chunks);
 
-  // RPC plumbing. Channels/rings are keyed by ring id: application functions
-  // get their own ring (as in the paper); internal functions and messaging
-  // share one control ring per client node.
+  // RPC plumbing. Channels/rings are keyed by ring id: app functions get
+  // their own ring; internal functions share one control ring per client.
   static RpcFuncId RingIdFor(RpcFuncId func) {
     return func <= kMaxAppFuncId ? func : kControlRingId;
   }
@@ -474,20 +287,15 @@ class LiteInstance {
   StatusOr<uint32_t> AcquireReplySlot(uint32_t out_max);
   void ReleaseReplySlot(uint32_t slot);
   // Posts one request into the ring. `seq_inout`: 0 assigns a fresh
-  // per-channel sequence (returned through the pointer); non-zero reuses it
-  // (a retry must present the original sequence so the server dedups it).
-  // `fail_fast_dead=false` lets liveness probes through to a peer currently
-  // believed dead (it may have restarted).
+  // per-channel sequence; non-zero reuses it (retries must present the
+  // original so the server dedups). `fail_fast_dead=false` lets liveness
+  // probes through to a peer currently believed dead.
   Status PostRpcRequest(RpcChannel* channel, RpcFuncId func, const void* in, uint32_t in_len,
                         PhysAddr reply_phys, uint32_t reply_max, uint32_t reply_slot,
                         Priority pri, uint32_t* seq_inout, bool fail_fast_dead = true);
 
-  // Resolves the API timeout sentinels (types.h) and applies the hang-
-  // backstop cap — the single home of the old duplicated clamp logic.
-  uint64_t EffectiveTimeoutNs(uint64_t requested_ns) const;
-
-  // The full client call: fail-fast dead check, send, reply wait, retry
-  // loop. Rpc()/InternalRpc()/keepalives all funnel through here.
+  // The full client call (dead check, send, reply wait, retry loop);
+  // Rpc()/InternalRpc()/keepalives all funnel through here.
   struct RpcCallOpts {
     uint64_t timeout_ns = kDefaultTimeout;  // Per attempt.
     uint32_t max_retries = kUseParamRetries;
@@ -498,90 +306,21 @@ class LiteInstance {
                  uint32_t out_max, uint32_t* out_len, Priority pri, const RpcCallOpts& opts);
 
   // Server-side idempotence (poll thread): records `seq` as executed;
-  // returns false if it already was (the caller then drops the duplicate and
-  // replays the cached reply, if still cached).
+  // false means duplicate (caller drops it and replays the cached reply).
   bool SeqFresh(ServerRing* ring, uint32_t seq);
   void RecordReplay(const ReplyToken& token, const void* data, uint32_t len);
   void ReplayReply(ServerRing* ring, const RpcReqHeader& hdr);
 
-  // Resets an errored QP back to RTS (models the modify_qp reconnect round;
-  // charges lite_qp_reconnect_ns). Caller holds the QP's pool mutex.
-  void RecoverQp(lt::Qp* qp);
-  // Posts a signaled WR and waits for its completion, retrying retryable
-  // failures (drops) with backoff and QP recovery. Returns the successful
-  // completion, or the last error. `qp_idx` pins the pool QP (the async
-  // flush fence must land on the stream's own QP); -1 picks per attempt.
-  StatusOr<lt::Completion> PostAndWait(NodeId dst, lt::WorkRequest* wr, Priority pri,
-                                       int qp_idx = -1);
-
-  // ---------------- async completion-handle engine (memops_async.cc) ----
-  // Single-attempt RPC split the handle machinery retires through; the
-  // public entry point is RpcAsync().
+  // Single-attempt RPC split retired through the async handle machinery.
   StatusOr<uint32_t> RpcSend(NodeId server_node, RpcFuncId func, const void* in, uint32_t in_len,
                              uint32_t out_max, Priority pri = Priority::kHigh);
   Status RpcWait(uint32_t slot, void* out, uint32_t out_max, uint32_t* out_len,
                  uint64_t timeout_ns = kDefaultTimeout);
 
-  // One posted WQE of an async memop (one chunk piece).
-  struct AsyncWqe {
-    NodeId dst = kInvalidNode;
-    int qp_idx = -1;
-    lt::WorkRequest wr;    // Retained so a failed WQE can be re-posted.
-    bool signaled = false;
-    bool posted = false;   // False: post failed at issue; retried at retire.
-    uint64_t stream_pos = 0;
-    bool done = false;     // Local pieces complete at issue time.
-    uint64_t ready_at_ns = 0;
-  };
-  enum class AsyncOpState { kInFlight, kRetiring, kDone };
-  struct AsyncOp {
-    MemopHandle id = 0;
-    AsyncOpState state = AsyncOpState::kInFlight;
-    bool is_rpc = false;
-    Priority pri = Priority::kHigh;
-    std::vector<AsyncWqe> wqes;       // Memop ops.
-    uint32_t rpc_slot = 0;            // RPC ops: reply rendezvous + output.
-    void* rpc_out = nullptr;
-    uint32_t rpc_out_max = 0;
-    uint32_t* rpc_out_len = nullptr;
-    Status result = Status::Ok();     // Valid once state == kDone.
-    uint64_t ready_at_ns = 0;
-  };
-  // Per-(destination, QP) selective-signaling stream: which positions have a
-  // harvested covering CQE, and which signaled WQEs are still pending.
-  struct AsyncStream {
-    uint64_t next_pos = 0;
-    uint64_t covered_pos = 0;       // Positions < covered_pos are fenced.
-    uint64_t covered_ready_ns = 0;  // Virtual time the fence completed.
-    std::map<uint64_t, uint64_t> signaled_pending;  // stream_pos -> wr_id
-  };
-
-  // Issues one async memop (is_read selects direction); shared body of
-  // ReadAsync/WriteAsync.
+  // Shared body of ReadAsync/WriteAsync: lh/permission prologue, then hands
+  // the sliced pieces to the engine.
   StatusOr<MemopHandle> IssueAsyncMemop(Lh lh, uint64_t offset, void* buf, uint64_t len,
                                         Priority pri, bool is_read);
-  // QP selection for async posts: sticky per (thread, destination) so a
-  // pipelining thread's consecutive posts land on one QP and share doorbells
-  // (PickQpIndex round-robins, which would break every batch).
-  int PickQpIndexSticky(NodeId dst, Priority pri);
-  // Re-posts a failed async WQE signaled, with the blocking path's retry
-  // semantics (dead-peer fast fail, backoff, QP recovery).
-  Status RetryAsyncWqe(AsyncOp* op, AsyncWqe* wqe);
-  // Retires an RPC-kind op; drops the lock around the reply wait (the reply
-  // is delivered by the poll thread, which never takes async_mu_).
-  void RetireRpcUnlocked(std::unique_lock<std::mutex>& lock, AsyncOp* op);
-  // Retires `op` (state must be kRetiring; async_mu_ held): harvests or
-  // infers each WQE's completion, re-posting failed WQEs with the blocking
-  // path's retry semantics, then marks the op kDone.
-  void RetireMemopLocked(AsyncOp* op);
-  // Retires the oldest in-flight op (backpressure path). Waits on the cv if
-  // every outstanding op is already being retired by another thread.
-  void RetireOldestLocked(std::unique_lock<std::mutex>& lock);
-  // Finds a completion for `wr_id`: the shared harvest map first, then the
-  // CQ itself (async CQEs exist from post time; only ready_at is future).
-  std::optional<lt::Completion> TakeAsyncCompletionLocked(lt::Cq* cq, uint64_t wr_id);
-  // Consumes a kDone op's result (erases the record).
-  Status ConsumeAsyncLocked(std::map<MemopHandle, std::unique_ptr<AsyncOp>>::iterator it);
 
   BlockingQueue<RpcIncoming>* EnsureAppQueue(RpcFuncId func);
   void PollLoop();
@@ -594,15 +333,16 @@ class LiteInstance {
   // Internal control-function implementations.
   void RegisterInternalHandlers();
   Status InternalRpc(NodeId server, RpcFuncId func, const WireWriterBytes& in,
-                     std::vector<uint8_t>* out, uint64_t timeout_ns = kDefaultTimeout);
+                     std::vector<uint8_t>* out, uint64_t timeout_ns = kDefaultTimeout,
+                     Priority pri = Priority::kHigh);
   Status InternalRpcOpts(NodeId server, RpcFuncId func, const WireWriterBytes& in,
-                         std::vector<uint8_t>* out, const RpcCallOpts& opts);
+                         std::vector<uint8_t>* out, const RpcCallOpts& opts,
+                         Priority pri = Priority::kHigh);
 
   // Name service (lives at manager_node_).
   StatusOr<NodeId> LookupMasterNode(const std::string& name);
 
-  // Registers this instance's lite.* metrics and probes with the node's
-  // telemetry registry (constructor-time; pointers cached for the hot path).
+  // Registers this instance's lite.* metrics and probes (constructor-time).
   void RegisterTelemetry();
 
   // ---------------- data ----------------
@@ -614,9 +354,8 @@ class LiteInstance {
   std::vector<LiteInstance*> peers_;       // Indexed by node id (self included).
   std::vector<uint32_t> peer_global_rkey_;
 
-  // Liveness: per-peer dead flags (relaxed atomics on the fail-fast path;
-  // sized once in CreateQueuePairs, before traffic), and the manager-side
-  // lease table (last real-time keepalive per node).
+  // Liveness: per-peer dead flags (sized in CreateQueuePairs, before
+  // traffic) and the manager-side lease table.
   std::unique_ptr<std::atomic<uint8_t>[]> peer_dead_;
   size_t peer_dead_n_ = 0;
   std::mutex lease_mu_;
@@ -624,36 +363,7 @@ class LiteInstance {
   std::mutex keepalive_mu_;
   std::condition_variable keepalive_cv_;  // Wakes the keepalive thread on Stop.
 
-  // Shared QP pool: qp_pool_[dst][k], k in [0, K). One mutex per QP
-  // serializes synchronous users (the QP send queue is ordered anyway).
-  std::vector<std::vector<lt::Qp*>> qp_pool_;
-  std::vector<std::vector<std::unique_ptr<std::mutex>>> qp_mu_;
   lt::Cq* recv_cq_ = nullptr;
-
-  // LMR registry for LMRs whose metadata lives here (creator node).
-  mutable std::mutex meta_mu_;
-  std::unordered_map<std::string, LmrMeta> metas_;
-
-  // Name service (populated only on the manager node).
-  std::mutex names_mu_;
-  std::unordered_map<std::string, NodeId> names_;
-
-  // Local handle table.
-  mutable std::mutex lh_mu_;
-  std::unordered_map<Lh, LhEntry> lh_table_;
-  std::atomic<uint64_t> next_lh_{1};
-  std::atomic<uint64_t> next_wr_id_{1};
-
-  // Async completion-handle state (the completion ring). One mutex covers
-  // the op table, the signaling streams, and the harvest map; the cv wakes
-  // window-full issuers and waiters racing a concurrent retirer.
-  mutable std::mutex async_mu_;
-  std::condition_variable async_cv_;
-  std::map<MemopHandle, std::unique_ptr<AsyncOp>> async_ops_;  // Oldest first.
-  std::atomic<uint64_t> next_memop_handle_{1};
-  size_t async_inflight_ = 0;  // Ops not yet kDone.
-  std::map<std::pair<NodeId, int>, AsyncStream> async_streams_;
-  std::unordered_map<uint64_t, lt::Completion> async_harvested_;  // wr_id -> CQE
 
   // RPC: client channels, server rings, reply slots.
   std::mutex channels_mu_;
@@ -683,9 +393,8 @@ class LiteInstance {
   // Messaging.
   BlockingQueue<MsgIncoming> msg_queue_;
 
-  // Head updates published by the background thread (paper Fig. 9, step f).
-  // Items carry the virtual time of the triggering dispatch so the writer
-  // thread's clock tracks event time.
+  // Head updates published by the background thread (paper Fig. 9, step f);
+  // items carry the triggering dispatch's virtual time.
   BlockingQueue<std::pair<ServerRing*, uint64_t>> head_updates_;
 
   // Lock + barrier services.
@@ -697,12 +406,18 @@ class LiteInstance {
   // QoS.
   QosManager qos_;
 
+  // Composed components (construction order matters: the QP manager holds
+  // the QoS pointer; the engine reaches back into this facade).
+  QpManager qps_;
+  LmrTable lmrs_;
+  OpEngine engine_;
+
   // Service threads.
   std::vector<std::thread> threads_;
   std::atomic<bool> stopping_{false};
   lt::CpuMeter poll_cpu_;
 
-  // Telemetry instruments (owned by the node's registry; cached pointers so
+  // Telemetry instruments (owned by the node's registry; pointers cached so
   // the hot path never does a name lookup).
   lt::telemetry::Counter* rpc_requests_ = nullptr;
   lt::telemetry::Counter* rpc_replies_ = nullptr;
@@ -717,18 +432,12 @@ class LiteInstance {
   lt::telemetry::Counter* rpc_stale_replies_ = nullptr;
   lt::telemetry::Counter* rpc_zombie_reclaimed_ = nullptr;
   lt::telemetry::Counter* rpc_dead_fast_fail_ = nullptr;
-  lt::telemetry::Counter* oneside_retries_ = nullptr;
   lt::telemetry::Counter* qp_reconnects_ = nullptr;
-  // Async fast-path instruments (docs/TELEMETRY.md, "Async fast path").
-  lt::telemetry::Counter* async_ops_issued_ = nullptr;
-  lt::telemetry::Counter* async_inferred_ = nullptr;
-  lt::telemetry::Counter* async_flush_fences_ = nullptr;
   lt::telemetry::Counter* liveness_marked_dead_ = nullptr;
   lt::telemetry::Counter* liveness_revived_ = nullptr;
   lt::telemetry::Counter* liveness_keepalives_ = nullptr;
 
-  // This node's flight recorder (owned by NodeTelemetry; cached like the
-  // counters above so recovery paths record breadcrumbs without a lookup).
+  // This node's flight recorder (owned by NodeTelemetry).
   lt::telemetry::Journal* journal_ = nullptr;
 };
 

@@ -1,0 +1,106 @@
+// LmrTable — LMR bookkeeping split out of LiteInstance: the metadata
+// registry for LMRs mastered on this node (paper Sec. 4.1), the local lh
+// handle table with its permission checks, and the cluster name service
+// (populated only on the manager node).
+#ifndef SRC_LITE_LMR_TABLE_H_
+#define SRC_LITE_LMR_TABLE_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/lite/types.h"
+
+namespace lite {
+
+using lt::Status;
+using lt::StatusOr;
+
+// Metadata of one LMR, living at its creator node.
+struct LmrMeta {
+  std::string name;
+  uint64_t size = 0;
+  std::vector<LmrChunk> chunks;
+  uint32_t default_perm = kPermRead | kPermWrite;
+  std::map<NodeId, uint32_t> node_perm;
+  std::set<NodeId> mapped_nodes;
+  std::set<NodeId> masters;
+};
+
+// One local handle (lh) into an LMR, as held by applications on this node.
+struct LhEntry {
+  std::string name;
+  NodeId master_node = kInvalidNode;
+  uint64_t size = 0;
+  uint32_t perm = 0;
+  std::vector<LmrChunk> chunks;
+};
+
+class LmrTable {
+ public:
+  explicit LmrTable(NodeId self) : next_lh_((static_cast<uint64_t>(self) << 32) + 1) {}
+
+  LmrTable(const LmrTable&) = delete;
+  LmrTable& operator=(const LmrTable&) = delete;
+
+  // ---- lh handle table ----
+  Lh Insert(LhEntry entry);
+  StatusOr<LhEntry> Get(Lh lh) const;
+  void Erase(Lh lh);
+  // Invalidates every lh pointing at `name` (LT_free / master invalidation).
+  void EraseByName(const std::string& name);
+  // Rewrites the chunk placement of every lh pointing at `name` (LMR move).
+  void UpdateChunksByName(const std::string& name, const std::vector<LmrChunk>& chunks);
+  size_t lh_count() const;
+  // Bounds + permission check for one access through a handle.
+  static Status CheckAccess(const LhEntry& e, uint64_t offset, uint64_t len, uint32_t need);
+
+  // ---- LMR metadata registry (LMRs mastered here) ----
+  void InsertMeta(LmrMeta meta);
+  // Runs `fn` on the named meta under the registry lock; kNotFound if the
+  // name is unknown, otherwise whatever `fn` returns (handlers use this for
+  // map/unmap/permission updates without leaking the lock).
+  lt::StatusCode WithMeta(const std::string& name,
+                          const std::function<lt::StatusCode(LmrMeta&)>& fn);
+  // Snapshot for a master-only read (kPermissionDenied if `requester` is not
+  // a master of the LMR).
+  StatusOr<LmrMeta> CopyMetaIfMaster(const std::string& name, NodeId requester) const;
+  // Removes and returns the meta (LT_free at the master).
+  StatusOr<LmrMeta> TakeMetaIfMaster(const std::string& name, NodeId requester);
+  // Swaps in a moved LMR's new placement; returns the mapped-node set the
+  // caller must fan the update out to.
+  std::set<NodeId> InstallChunks(const std::string& name, const std::vector<LmrChunk>& chunks);
+  std::vector<std::string> ListNames() const;
+
+  // ---- Name service (manager node only) ----
+  // Returns false if the name is already registered.
+  bool RegisterName(const std::string& name, NodeId master);
+  StatusOr<NodeId> LookupName(const std::string& name) const;
+  void UnregisterName(const std::string& name);
+  void ReplaceNames(std::unordered_map<std::string, NodeId> names);
+  void ClearNames();
+
+ private:
+  // Local handle table.
+  mutable std::mutex lh_mu_;
+  std::unordered_map<Lh, LhEntry> lh_table_;
+  std::atomic<uint64_t> next_lh_;
+
+  // LMR registry for LMRs whose metadata lives here (creator node).
+  mutable std::mutex meta_mu_;
+  std::unordered_map<std::string, LmrMeta> metas_;
+
+  // Name service (populated only on the manager node).
+  mutable std::mutex names_mu_;
+  std::unordered_map<std::string, NodeId> names_;
+};
+
+}  // namespace lite
+
+#endif  // SRC_LITE_LMR_TABLE_H_

@@ -111,8 +111,7 @@ StatusOr<Lh> LiteInstance::Malloc(uint64_t size, const std::string& name,
     meta.default_perm = options.default_perm;
     meta.masters.insert(node_id());
     meta.mapped_nodes.insert(node_id());
-    std::lock_guard<std::mutex> lock(meta_mu_);
-    metas_[name] = std::move(meta);
+    lmrs_.InsertMeta(std::move(meta));
   }
 
   LhEntry entry;
@@ -140,14 +139,7 @@ Status LiteInstance::Free(Lh lh) {
   LT_RETURN_IF_ERROR(InternalRpc(entry->master_node, kFnMasterFree, w.bytes(), nullptr));
   // Drop our own handles for the name (the invalidate notification is
   // asynchronous and idempotent).
-  std::lock_guard<std::mutex> lock(lh_mu_);
-  for (auto it = lh_table_.begin(); it != lh_table_.end();) {
-    if (it->second.name == entry->name) {
-      it = lh_table_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  lmrs_.EraseByName(entry->name);
   return Status::Ok();
 }
 
@@ -183,14 +175,8 @@ Status LiteInstance::RebuildNameService() {
       rebuilt[name] = peer;  // Metadata lives where the LMR was created.
     }
   }
-  std::lock_guard<std::mutex> lock(names_mu_);
-  names_ = std::move(rebuilt);
+  lmrs_.ReplaceNames(std::move(rebuilt));
   return Status::Ok();
-}
-
-void LiteInstance::ClearNameServiceForTest() {
-  std::lock_guard<std::mutex> lock(names_mu_);
-  names_.clear();
 }
 
 StatusOr<NodeId> LiteInstance::LookupMasterNode(const std::string& name) {
@@ -255,10 +241,7 @@ Status LiteInstance::Unmap(Lh lh) {
   if (!entry.ok()) {
     return entry.status();
   }
-  {
-    std::lock_guard<std::mutex> lock(lh_mu_);
-    lh_table_.erase(lh);
-  }
+  lmrs_.Erase(lh);
   WireWriter w;
   w.PutString(entry->name);
   w.Put<NodeId>(node_id());
@@ -281,11 +264,22 @@ Status LiteInstance::Read(Lh lh, uint64_t offset, void* buf, uint64_t len, Prior
   }
   LT_RETURN_IF_ERROR(CheckAccess(*entry, offset, len, kPermRead));
   lt::telemetry::StampStage(lt::telemetry::TraceStage::kLhCheck, len);
-  for (const ChunkPiece& piece : SliceChunks(entry->chunks, offset, len)) {
-    LT_RETURN_IF_ERROR(OneSidedRead(piece.node, piece.addr,
-                                    static_cast<uint8_t*>(buf) + piece.user_off, piece.len, pri));
+  auto pieces = SliceChunks(entry->chunks, offset, len);
+  if (pieces.size() == 1) {
+    // Single-piece fast path: one WR, posted and waited inline.
+    const ChunkPiece& piece = pieces[0];
+    return engine_.OneSidedRead(piece.node, piece.addr,
+                                static_cast<uint8_t*>(buf) + piece.user_off, piece.len, pri);
   }
-  return Status::Ok();
+  // Multi-piece: issue every piece back-to-back (doorbell-batched per QP),
+  // then wait for them all — pieces on different chunks/nodes overlap.
+  std::vector<OpEngine::OpDesc> descs;
+  descs.reserve(pieces.size());
+  for (const ChunkPiece& piece : pieces) {
+    descs.push_back(OpEngine::OpDesc{piece.node, piece.addr,
+                                     static_cast<uint8_t*>(buf) + piece.user_off, piece.len});
+  }
+  return engine_.SubmitPieces(descs, /*is_read=*/true, pri);
 }
 
 Status LiteInstance::Write(Lh lh, uint64_t offset, const void* buf, uint64_t len, Priority pri) {
@@ -300,17 +294,26 @@ Status LiteInstance::Write(Lh lh, uint64_t offset, const void* buf, uint64_t len
   }
   LT_RETURN_IF_ERROR(CheckAccess(*entry, offset, len, kPermWrite));
   lt::telemetry::StampStage(lt::telemetry::TraceStage::kLhCheck, len);
-  for (const ChunkPiece& piece : SliceChunks(entry->chunks, offset, len)) {
-    LT_RETURN_IF_ERROR(OneSidedWrite(piece.node, piece.addr,
-                                     static_cast<const uint8_t*>(buf) + piece.user_off, piece.len,
-                                     pri, /*signaled=*/true));
+  auto pieces = SliceChunks(entry->chunks, offset, len);
+  if (pieces.size() == 1) {
+    const ChunkPiece& piece = pieces[0];
+    return engine_.OneSidedWrite(piece.node, piece.addr,
+                                 static_cast<const uint8_t*>(buf) + piece.user_off, piece.len,
+                                 pri, /*signaled=*/true);
   }
-  return Status::Ok();
+  std::vector<OpEngine::OpDesc> descs;
+  descs.reserve(pieces.size());
+  for (const ChunkPiece& piece : pieces) {
+    descs.push_back(OpEngine::OpDesc{
+        piece.node, piece.addr,
+        const_cast<uint8_t*>(static_cast<const uint8_t*>(buf) + piece.user_off), piece.len});
+  }
+  return engine_.SubmitPieces(descs, /*is_read=*/false, pri);
 }
 
 // ------------------------------------------- LT_memset / memcpy / memmove
 
-Status LiteInstance::Memset(Lh lh, uint64_t offset, uint8_t value, uint64_t len) {
+Status LiteInstance::Memset(Lh lh, uint64_t offset, uint8_t value, uint64_t len, Priority pri) {
   if (len == 0) {
     return Status::Ok();
   }
@@ -333,13 +336,14 @@ Status LiteInstance::Memset(Lh lh, uint64_t offset, uint8_t value, uint64_t len)
   for (const auto& [target, group] : by_node) {
     WireWriter w;
     w.Put<uint8_t>(0);  // op 0 = memset
+    w.Put<uint8_t>(static_cast<uint8_t>(pri));
     w.Put<uint8_t>(value);
     w.Put<uint32_t>(static_cast<uint32_t>(group.size()));
     for (const ChunkPiece& p : group) {
       w.Put<PhysAddr>(p.addr);
       w.Put<uint64_t>(p.len);
     }
-    LT_RETURN_IF_ERROR(InternalRpc(target, kFnMemOp, w.bytes(), nullptr));
+    LT_RETURN_IF_ERROR(InternalRpc(target, kFnMemOp, w.bytes(), nullptr, kDefaultTimeout, pri));
   }
   return Status::Ok();
 }
@@ -383,7 +387,8 @@ std::vector<CopySegment> PairPieces(const std::vector<LiteInstance::ChunkPiece>&
 
 }  // namespace
 
-Status LiteInstance::Memcpy(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len) {
+Status LiteInstance::Memcpy(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len,
+                            Priority pri) {
   if (len == 0) {
     return Status::Ok();
   }
@@ -412,6 +417,7 @@ Status LiteInstance::Memcpy(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, 
   for (const auto& [target, group] : by_src) {
     WireWriter w;
     w.Put<uint8_t>(1);  // op 1 = memcpy
+    w.Put<uint8_t>(static_cast<uint8_t>(pri));
     w.Put<uint32_t>(static_cast<uint32_t>(group.size()));
     for (const CopySegment& seg : group) {
       w.Put<PhysAddr>(seg.src_addr);
@@ -419,14 +425,15 @@ Status LiteInstance::Memcpy(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, 
       w.Put<PhysAddr>(seg.dst_addr);
       w.Put<uint64_t>(seg.len);
     }
-    LT_RETURN_IF_ERROR(InternalRpc(target, kFnMemOp, w.bytes(), nullptr));
+    LT_RETURN_IF_ERROR(InternalRpc(target, kFnMemOp, w.bytes(), nullptr, kDefaultTimeout, pri));
   }
   return Status::Ok();
 }
 
-Status LiteInstance::Memmove(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len) {
+Status LiteInstance::Memmove(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len,
+                             Priority pri) {
   // Same engine as LT_memcpy; node-local segments use memmove semantics.
-  return Memcpy(dst, dst_off, src, src_off, len);
+  return Memcpy(dst, dst_off, src, src_off, len, pri);
 }
 
 // ------------------------------------------------- master-role management
@@ -444,7 +451,7 @@ Status LiteInstance::SetPermission(const std::string& name, NodeId grantee, uint
   return InternalRpc(*master, kFnSetPermission, w.bytes(), nullptr);
 }
 
-Status LiteInstance::MoveLmr(const std::string& name, NodeId new_node) {
+Status LiteInstance::MoveLmr(const std::string& name, NodeId new_node, Priority pri) {
   auto master = LookupMasterNode(name);
   if (!master.ok()) {
     return master.status();
@@ -453,8 +460,9 @@ Status LiteInstance::MoveLmr(const std::string& name, NodeId new_node) {
   w.PutString(name);
   w.Put<NodeId>(new_node);
   w.Put<NodeId>(node_id());
+  w.Put<uint8_t>(static_cast<uint8_t>(pri));
   return InternalRpc(*master, kFnMasterMove, w.bytes(), nullptr,
-                     /*timeout_ns=*/30'000'000'000ull);
+                     /*timeout_ns=*/30'000'000'000ull, pri);
 }
 
 Status LiteInstance::GrantMaster(const std::string& name, NodeId new_master) {
@@ -482,7 +490,7 @@ StatusOr<uint64_t> LiteInstance::FetchAdd(Lh lh, uint64_t offset, uint64_t delta
   if (pieces.size() != 1) {
     return Status::InvalidArgument("atomic target straddles LMR chunks");
   }
-  return RemoteAtomic(pieces[0].node, pieces[0].addr, /*is_cas=*/false, delta, 0);
+  return engine_.RemoteAtomic(pieces[0].node, pieces[0].addr, /*is_cas=*/false, delta, 0);
 }
 
 StatusOr<uint64_t> LiteInstance::TestSet(Lh lh, uint64_t offset, uint64_t expected,
@@ -497,7 +505,7 @@ StatusOr<uint64_t> LiteInstance::TestSet(Lh lh, uint64_t offset, uint64_t expect
   if (pieces.size() != 1) {
     return Status::InvalidArgument("atomic target straddles LMR chunks");
   }
-  return RemoteAtomic(pieces[0].node, pieces[0].addr, /*is_cas=*/true, expected, desired);
+  return engine_.RemoteAtomic(pieces[0].node, pieces[0].addr, /*is_cas=*/true, expected, desired);
 }
 
 // ------------------------------------------------------- distributed locks
@@ -533,7 +541,7 @@ Status LiteInstance::Lock(const LockId& lock) {
     return Status::InvalidArgument("invalid lock id");
   }
   // Fast path: one LT_fetch-add acquires an uncontended lock (paper Sec. 7.2).
-  auto old_value = RemoteAtomic(lock.owner, lock.addr, /*is_cas=*/false, 1, 0);
+  auto old_value = engine_.RemoteAtomic(lock.owner, lock.addr, /*is_cas=*/false, 1, 0);
   if (!old_value.ok()) {
     return old_value.status();
   }
@@ -553,7 +561,7 @@ Status LiteInstance::Unlock(const LockId& lock) {
     return Status::InvalidArgument("invalid lock id");
   }
   auto old_value =
-      RemoteAtomic(lock.owner, lock.addr, /*is_cas=*/false, static_cast<uint64_t>(-1), 0);
+      engine_.RemoteAtomic(lock.owner, lock.addr, /*is_cas=*/false, static_cast<uint64_t>(-1), 0);
   if (!old_value.ok()) {
     return old_value.status();
   }

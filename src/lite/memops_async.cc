@@ -1,31 +1,9 @@
-// Asynchronous memop fast path: LT_read_async / LT_write_async completion
-// handles, the per-instance in-flight window, and selective signaling.
-//
-// Mechanism (paper Sec. 4.2's async APIs + the standard NIC-level tricks):
-//   * Each async memop slices into chunk pieces like the blocking path, but
-//     posts every remote piece immediately — unsignaled by default, with
-//     every K-th WQE per (destination, QP) stream signaled — and returns a
-//     handle. Posts carry the doorbell-batching hint and, for small writes,
-//     go inline (rnic.h).
-//   * Completion of an unsignaled WQE is inferred from a covering signaled
-//     CQE later in the same stream (QP ordering); when no cover exists at
-//     retirement, a zero-length signaled flush write fences the stream.
-//   * A WQE that failed (dropped transfer -> error CQE, or a failed post) is
-//     re-posted signaled with the blocking path's retry loop, so async ops
-//     keep PR 2's fault semantics: drops retry transparently, dead peers
-//     surface Status::Unavailable from LT_wait.
-//   * The window (SimParams::lite_async_window) bounds outstanding ops per
-//     instance; an issuer past the window retires the oldest op itself.
-//
-// Concurrency: one mutex (async_mu_) covers the op table, the per-stream
-// signaling state, and the shared harvest map (a CQE taken on behalf of a
-// different op's WQE parks there until its owner retires). In this simulator
-// every CQE exists from post time — only its ready_at is in the future — so
-// retirement never blocks on real time; waiters advance their own virtual
-// clocks from the harvested ready times.
-#include <algorithm>
+// Asynchronous memop facade: LT_read_async / LT_write_async / LT_RPC-async
+// entry points. The prologue (tracing span, lh lookup, permission check)
+// happens here; the posting, selective signaling, window backpressure, and
+// retirement all live in the op engine (op_engine.cc), shared with the
+// blocking multi-piece path.
 #include <cstdint>
-#include <thread>
 
 #include "src/common/logging.h"
 #include "src/common/timing.h"
@@ -33,38 +11,7 @@
 
 namespace lite {
 
-using lt::Completion;
-using lt::NowNs;
-using lt::Qp;
 using lt::SpinFor;
-using lt::SyncToBusy;
-using lt::WorkRequest;
-using lt::WrOpcode;
-
-namespace {
-
-bool TransientCode(const Status& s) {
-  return s.code() == lt::StatusCode::kUnavailable || s.code() == lt::StatusCode::kTimeout;
-}
-
-}  // namespace
-
-// ----------------------------------------------------------------- issue
-
-int LiteInstance::PickQpIndexSticky(NodeId dst, Priority pri) {
-  if (dst >= qp_pool_.size() || qp_pool_[dst].empty()) {
-    return -1;
-  }
-  const int k = static_cast<int>(qp_pool_[dst].size());
-  auto [lo, hi] = qos_.QpRange(pri, k);
-  if (hi <= lo) {
-    lo = 0;
-    hi = k;
-  }
-  static thread_local const uint32_t t_tag = static_cast<uint32_t>(
-      std::hash<std::thread::id>()(std::this_thread::get_id()));
-  return lo + static_cast<int>(t_tag % static_cast<uint32_t>(hi - lo));
-}
 
 StatusOr<MemopHandle> LiteInstance::ReadAsync(Lh lh, uint64_t offset, void* buf, uint64_t len,
                                               Priority pri) {
@@ -87,369 +34,14 @@ StatusOr<MemopHandle> LiteInstance::IssueAsyncMemop(Lh lh, uint64_t offset, void
   }
   LT_RETURN_IF_ERROR(CheckAccess(*entry, offset, len, is_read ? kPermRead : kPermWrite));
   lt::telemetry::StampStage(lt::telemetry::TraceStage::kLhCheck, len);
-  async_ops_issued_->Inc();
 
-  auto op = std::make_unique<AsyncOp>();
-  op->pri = pri;
-  const uint32_t signal_every = std::max<uint32_t>(1, params().lite_async_signal_every);
-
-  std::unique_lock<std::mutex> lock(async_mu_);
-  const size_t window = std::max<size_t>(1, params().lite_async_window);
-  while (async_inflight_ >= window) {
-    RetireOldestLocked(lock);
-  }
-
+  std::vector<OpEngine::OpDesc> descs;
   for (const ChunkPiece& piece : SliceChunks(entry->chunks, offset, len)) {
-    uint8_t* user = static_cast<uint8_t*>(buf) + piece.user_off;
-    if (piece.node == node_id()) {
-      // Local pieces complete at issue time (same fast path as blocking).
-      if (is_read) {
-        LocalCopyOut(user, piece.addr, piece.len);
-      } else {
-        LocalCopyIn(piece.addr, user, piece.len);
-      }
-      AsyncWqe wqe;
-      wqe.done = true;
-      wqe.ready_at_ns = NowNs();
-      op->wqes.push_back(wqe);
-      continue;
-    }
-    qos_.Admit(pri, piece.len);
-    AsyncWqe wqe;
-    wqe.dst = piece.node;
-    wqe.qp_idx = PickQpIndexSticky(piece.node, pri);
-    WorkRequest& wr = wqe.wr;
-    wr.opcode = is_read ? WrOpcode::kRead : WrOpcode::kWrite;
-    wr.host_local = user;
-    wr.length = piece.len;
-    wr.rkey = peer_global_rkey_[piece.node];
-    wr.remote_addr = piece.addr;
-    wr.doorbell_hint = true;
-    wr.inline_data = !is_read;  // The RNIC applies its rnic_inline_max cut.
-    wr.wr_id = next_wr_id_.fetch_add(1);
-    if (wqe.qp_idx >= 0) {
-      AsyncStream& stream = async_streams_[{piece.node, wqe.qp_idx}];
-      wqe.stream_pos = stream.next_pos++;
-      wqe.signaled = ((wqe.stream_pos + 1) % signal_every == 0);
-      wr.signaled = wqe.signaled;
-      Qp* qp = qp_pool_[piece.node][wqe.qp_idx];
-      {
-        std::lock_guard<std::mutex> qlock(*qp_mu_[piece.node][wqe.qp_idx]);
-        if (qp->in_error()) {
-          RecoverQp(qp);
-        }
-        wqe.posted = rnic().PostSend(qp, wr).ok();
-      }
-      if (wqe.posted && wqe.signaled) {
-        stream.signaled_pending[wqe.stream_pos] = wr.wr_id;
-      }
-    }
-    // A failed (or impossible) post leaves wqe.posted false; retirement
-    // re-posts it signaled through the retry loop.
-    op->wqes.push_back(wqe);
+    descs.push_back(OpEngine::OpDesc{piece.node, piece.addr,
+                                     static_cast<uint8_t*>(buf) + piece.user_off, piece.len});
   }
-
-  const MemopHandle h = next_memop_handle_.fetch_add(1);
-  op->id = h;
-  bool all_done = true;
-  uint64_t ready = NowNs();
-  for (const AsyncWqe& wqe : op->wqes) {
-    all_done = all_done && wqe.done;
-    ready = std::max(ready, wqe.ready_at_ns);
-  }
-  if (all_done) {
-    op->state = AsyncOpState::kDone;
-    op->ready_at_ns = ready;
-  } else {
-    ++async_inflight_;
-  }
-  async_ops_.emplace(h, std::move(op));
-  return h;
+  return engine_.IssueAsyncPieces(descs, is_read, pri);
 }
-
-// ------------------------------------------------------------- retirement
-
-std::optional<Completion> LiteInstance::TakeAsyncCompletionLocked(lt::Cq* cq, uint64_t wr_id) {
-  auto it = async_harvested_.find(wr_id);
-  if (it != async_harvested_.end()) {
-    Completion c = it->second;
-    async_harvested_.erase(it);
-    return c;
-  }
-  return cq->TryTake(wr_id);
-}
-
-Status LiteInstance::RetryAsyncWqe(AsyncOp* op, AsyncWqe* wqe) {
-  if (PeerDead(wqe->dst)) {
-    rpc_dead_fast_fail_->Inc();
-    return Status::Unavailable("peer marked dead by liveness service");
-  }
-  if (wqe->posted) {
-    // The original WQE reached the wire and failed; this is a true retry.
-    oneside_retries_->Inc();
-    if (journal_ != nullptr) {
-      journal_->Record(lt::telemetry::JournalEvent::kOnesideRetry, wqe->dst, 0);
-    }
-  }
-  WorkRequest wr = wqe->wr;
-  wr.signaled = true;
-  wr.doorbell_hint = false;
-  auto c = PostAndWait(wqe->dst, &wr, op->pri);
-  if (!c.ok()) {
-    return c.status();
-  }
-  wqe->done = true;
-  wqe->ready_at_ns = c->ready_at_ns;
-  return Status::Ok();
-}
-
-void LiteInstance::RetireMemopLocked(AsyncOp* op) {
-  Status result = Status::Ok();
-  uint64_t op_ready = 0;
-  for (AsyncWqe& wqe : op->wqes) {
-    Status s = Status::Ok();
-    if (!wqe.done) {
-      if (!wqe.posted) {
-        s = RetryAsyncWqe(op, &wqe);
-      } else {
-        lt::Cq* cq = qp_pool_[wqe.dst][wqe.qp_idx]->send_cq();
-        AsyncStream& stream = async_streams_[{wqe.dst, wqe.qp_idx}];
-        auto c = TakeAsyncCompletionLocked(cq, wqe.wr.wr_id);
-        if (wqe.signaled) {
-          stream.signaled_pending.erase(wqe.stream_pos);
-          if (!c.has_value()) {
-            s = Status::Internal("signaled async CQE missing");
-          } else {
-            if (wqe.stream_pos + 1 > stream.covered_pos) {
-              stream.covered_pos = wqe.stream_pos + 1;
-              stream.covered_ready_ns = std::max(stream.covered_ready_ns, c->ready_at_ns);
-            }
-            if (c->status.ok()) {
-              wqe.done = true;
-              wqe.ready_at_ns = c->ready_at_ns;
-            } else if (TransientCode(c->status)) {
-              s = RetryAsyncWqe(op, &wqe);
-            } else {
-              s = c->status;
-            }
-          }
-        } else if (c.has_value()) {
-          // Unsignaled WQEs only ever leave an error CQE behind.
-          s = TransientCode(c->status) ? RetryAsyncWqe(op, &wqe) : c->status;
-        } else {
-          // No error CQE: the WQE succeeded. Find (or create) the signaled
-          // fence that makes its completion observable, and take its time.
-          if (stream.covered_pos > wqe.stream_pos) {
-            wqe.done = true;
-            wqe.ready_at_ns = stream.covered_ready_ns;
-            async_inferred_->Inc();
-          } else {
-            auto cover = stream.signaled_pending.lower_bound(wqe.stream_pos);
-            bool covered = false;
-            if (cover != stream.signaled_pending.end()) {
-              const uint64_t cover_pos = cover->first;
-              const uint64_t cover_wr_id = cover->second;
-              auto c2 = TakeAsyncCompletionLocked(cq, cover_wr_id);
-              stream.signaled_pending.erase(cover);
-              if (c2.has_value()) {
-                // Park the cover CQE for its owner; its arrival (success or
-                // error) fences everything before it on this stream either
-                // way — our WQE's own outcome was already decided above.
-                async_harvested_.emplace(cover_wr_id, *c2);
-                if (cover_pos + 1 > stream.covered_pos) {
-                  stream.covered_pos = cover_pos + 1;
-                  stream.covered_ready_ns = std::max(stream.covered_ready_ns, c2->ready_at_ns);
-                }
-                wqe.done = true;
-                wqe.ready_at_ns = c2->ready_at_ns;
-                async_inferred_->Inc();
-                covered = true;
-              }
-            }
-            if (!covered) {
-              // No signaled WQE past ours: fence the stream with a
-              // zero-length signaled write on the same QP.
-              async_flush_fences_->Inc();
-              WorkRequest fence;
-              fence.opcode = WrOpcode::kWrite;
-              fence.length = 0;
-              fence.rkey = peer_global_rkey_[wqe.dst];
-              fence.signaled = true;
-              auto fc = PostAndWait(wqe.dst, &fence, op->pri, wqe.qp_idx);
-              if (fc.ok()) {
-                stream.covered_pos = std::max(stream.covered_pos, stream.next_pos);
-                stream.covered_ready_ns = std::max(stream.covered_ready_ns, fc->ready_at_ns);
-                wqe.done = true;
-                wqe.ready_at_ns = fc->ready_at_ns;
-                async_inferred_->Inc();
-              } else {
-                // The data landed (no error CQE) but the fence could not
-                // complete — report the fence's error; at-least-once holds.
-                s = fc.status();
-              }
-            }
-          }
-        }
-      }
-    }
-    if (!s.ok() && result.ok()) {
-      result = s;
-    }
-    if (wqe.done) {
-      op_ready = std::max(op_ready, wqe.ready_at_ns);
-    }
-  }
-  op->result = result;
-  op->ready_at_ns = op_ready > 0 ? op_ready : NowNs();
-  op->state = AsyncOpState::kDone;
-  --async_inflight_;
-  async_cv_.notify_all();
-}
-
-void LiteInstance::RetireRpcUnlocked(std::unique_lock<std::mutex>& lock, AsyncOp* op) {
-  lock.unlock();
-  Status s = RpcWait(op->rpc_slot, op->rpc_out, op->rpc_out_max, op->rpc_out_len);
-  lock.lock();
-  op->result = s;
-  op->ready_at_ns = NowNs();
-  op->state = AsyncOpState::kDone;
-  --async_inflight_;
-  async_cv_.notify_all();
-}
-
-void LiteInstance::RetireOldestLocked(std::unique_lock<std::mutex>& lock) {
-  for (auto& [id, op] : async_ops_) {
-    if (op->state == AsyncOpState::kInFlight) {
-      AsyncOp* o = op.get();
-      o->state = AsyncOpState::kRetiring;
-      if (o->is_rpc) {
-        RetireRpcUnlocked(lock, o);
-      } else {
-        RetireMemopLocked(o);
-      }
-      return;
-    }
-  }
-  if (async_inflight_ > 0) {
-    // Every outstanding op is being retired by another thread; wait for one.
-    async_cv_.wait(lock);
-  }
-}
-
-Status LiteInstance::ConsumeAsyncLocked(
-    std::map<MemopHandle, std::unique_ptr<AsyncOp>>::iterator it) {
-  AsyncOp* op = it->second.get();
-  if (op->ready_at_ns > NowNs()) {
-    SyncToBusy(op->ready_at_ns);
-  }
-  Status result = op->result;
-  async_ops_.erase(it);
-  return result;
-}
-
-// ------------------------------------------------------- public retirement
-
-StatusOr<bool> LiteInstance::Poll(MemopHandle h) {
-  SpinFor(params().rnic_completion_ns);  // CQ poll cost; poll loops progress.
-  std::unique_lock<std::mutex> lock(async_mu_);
-  auto it = async_ops_.find(h);
-  if (it == async_ops_.end()) {
-    return Status::InvalidArgument("unknown or already-retired async handle");
-  }
-  AsyncOp* op = it->second.get();
-  if (op->state == AsyncOpState::kRetiring) {
-    return false;
-  }
-  if (op->state == AsyncOpState::kInFlight) {
-    if (op->is_rpc) {
-      // Don't block: in flight until the poll thread delivers the reply.
-      if (reply_slots_[op->rpc_slot]->state.load(std::memory_order_acquire) < 2) {
-        return false;
-      }
-      op->state = AsyncOpState::kRetiring;
-      RetireRpcUnlocked(lock, op);
-      it = async_ops_.find(h);
-      if (it == async_ops_.end()) {
-        return Status::InvalidArgument("async handle consumed concurrently");
-      }
-      op = it->second.get();
-    } else {
-      op->state = AsyncOpState::kRetiring;
-      RetireMemopLocked(op);
-    }
-  }
-  if (NowNs() < op->ready_at_ns) {
-    return false;  // Retired, but the completion hasn't arrived on our clock.
-  }
-  Status result = ConsumeAsyncLocked(it);
-  if (!result.ok()) {
-    return result;
-  }
-  return true;
-}
-
-Status LiteInstance::Wait(MemopHandle h) {
-  std::unique_lock<std::mutex> lock(async_mu_);
-  while (true) {
-    auto it = async_ops_.find(h);
-    if (it == async_ops_.end()) {
-      return Status::InvalidArgument("unknown or already-retired async handle");
-    }
-    AsyncOp* op = it->second.get();
-    switch (op->state) {
-      case AsyncOpState::kDone:
-        return ConsumeAsyncLocked(it);
-      case AsyncOpState::kInFlight:
-        op->state = AsyncOpState::kRetiring;
-        if (op->is_rpc) {
-          RetireRpcUnlocked(lock, op);
-        } else {
-          RetireMemopLocked(op);
-        }
-        break;  // Re-find: the map may have shifted while unlocked.
-      case AsyncOpState::kRetiring:
-        async_cv_.wait(lock);
-        break;
-    }
-  }
-}
-
-Status LiteInstance::WaitAll() {
-  Status first_error = Status::Ok();
-  std::unique_lock<std::mutex> lock(async_mu_);
-  while (!async_ops_.empty()) {
-    auto it = async_ops_.begin();
-    AsyncOp* op = it->second.get();
-    switch (op->state) {
-      case AsyncOpState::kDone: {
-        Status s = ConsumeAsyncLocked(it);
-        if (!s.ok() && first_error.ok()) {
-          first_error = s;
-        }
-        break;
-      }
-      case AsyncOpState::kInFlight:
-        op->state = AsyncOpState::kRetiring;
-        if (op->is_rpc) {
-          RetireRpcUnlocked(lock, op);
-        } else {
-          RetireMemopLocked(op);
-        }
-        break;
-      case AsyncOpState::kRetiring:
-        async_cv_.wait(lock);
-        break;
-    }
-  }
-  return first_error;
-}
-
-size_t LiteInstance::AsyncInFlight() const {
-  std::lock_guard<std::mutex> lock(async_mu_);
-  return async_inflight_;
-}
-
-// ----------------------------------------------------------- async RPC
 
 StatusOr<MemopHandle> LiteInstance::RpcAsync(NodeId server_node, RpcFuncId func, const void* in,
                                              uint32_t in_len, void* out, uint32_t out_max,
@@ -458,25 +50,7 @@ StatusOr<MemopHandle> LiteInstance::RpcAsync(NodeId server_node, RpcFuncId func,
   if (!slot.ok()) {
     return slot.status();
   }
-  async_ops_issued_->Inc();
-  auto op = std::make_unique<AsyncOp>();
-  op->is_rpc = true;
-  op->pri = pri;
-  op->rpc_slot = *slot;
-  op->rpc_out = out;
-  op->rpc_out_max = out_max;
-  op->rpc_out_len = out_len;
-
-  std::unique_lock<std::mutex> lock(async_mu_);
-  const size_t window = std::max<size_t>(1, params().lite_async_window);
-  while (async_inflight_ >= window) {
-    RetireOldestLocked(lock);
-  }
-  const MemopHandle h = next_memop_handle_.fetch_add(1);
-  op->id = h;
-  ++async_inflight_;
-  async_ops_.emplace(h, std::move(op));
-  return h;
+  return engine_.InsertAsyncRpc(*slot, out, out_max, out_len, pri);
 }
 
 }  // namespace lite

@@ -1,0 +1,787 @@
+// OpEngine implementation: the blocking one-sided issue/retire path (moved
+// from instance.cc), the multi-piece "issue all, wait all" submission, and
+// the async completion-handle machinery (moved from memops_async.cc).
+//
+// Concurrency: one mutex (async_mu_) covers the op table, the per-stream
+// signaling state, and the shared harvest map (a CQE taken on behalf of a
+// different op's WQE parks there until its owner retires). In this simulator
+// every CQE exists from post time — only its ready_at is in the future — so
+// retirement never blocks on real time; waiters advance their own virtual
+// clocks from the harvested ready times.
+#include "src/lite/op_engine.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/common/logging.h"
+#include "src/common/timing.h"
+#include "src/lite/instance.h"
+
+namespace lite {
+
+using lt::Completion;
+using lt::NowNs;
+using lt::Qp;
+using lt::SpinFor;
+using lt::SyncToBusy;
+using lt::WaitMode;
+using lt::WcOpcode;
+using lt::WorkRequest;
+using lt::WrOpcode;
+
+namespace {
+
+// One hour of simulated time: effectively infinite for any benchmark yet
+// finite, so a lost wakeup cannot hang a run forever.
+constexpr uint64_t kLongTimeoutCapNs = 3'600ull * 1'000'000'000ull;
+
+bool TransientCode(const Status& s) {
+  return s.code() == lt::StatusCode::kUnavailable || s.code() == lt::StatusCode::kTimeout;
+}
+
+}  // namespace
+
+void OpEngine::RegisterTelemetry(lt::telemetry::Registry& reg, lt::telemetry::Journal* journal) {
+  journal_ = journal;
+  // Engine-level instruments (docs/TELEMETRY.md, "Op-submission engine").
+  engine_ops_ = reg.GetCounter("lite.engine.ops");
+  engine_pieces_overlapped_ = reg.GetCounter("lite.engine.pieces_overlapped");
+  engine_retries_ = reg.GetCounter("lite.engine.retries");
+  // Fault & recovery instruments (docs/TELEMETRY.md).
+  oneside_retries_ = reg.GetCounter("lite.oneside.retries");
+  unsignaled_recovered_ = reg.GetCounter("lite.oneside.unsignaled_recovered");
+  // Async fast-path instruments (docs/TELEMETRY.md, "Async fast path").
+  async_ops_issued_ = reg.GetCounter("lite.async.ops");
+  async_inferred_ = reg.GetCounter("lite.async.inferred_completions");
+  async_flush_fences_ = reg.GetCounter("lite.async.flush_fences");
+  reg.RegisterProbe("lite.async.in_flight",
+                    [this] { return static_cast<uint64_t>(AsyncInFlight()); });
+}
+
+uint64_t OpEngine::EffectiveTimeoutNs(uint64_t requested_ns) const {
+  uint64_t t =
+      requested_ns == kDefaultTimeout ? inst_->params().lite_rpc_timeout_ns : requested_ns;
+  return std::min(t, kLongTimeoutCapNs);
+}
+
+// ------------------------------------------------------- one-sided engine
+
+StatusOr<Completion> OpEngine::PostAndWait(NodeId dst, WorkRequest* wr, Priority pri,
+                                           int qp_idx) {
+  const uint32_t max_retries = inst_->params().lite_rpc_max_retries;
+  uint64_t backoff_ns = inst_->params().lite_rpc_retry_backoff_ns;
+  Status last = Status::Timeout("one-sided completion timeout");
+  for (uint32_t attempt = 0; attempt <= max_retries; ++attempt) {
+    if (attempt > 0) {
+      oneside_retries_->Inc();
+      engine_retries_->Inc();
+      lt::IdleFor(backoff_ns);
+      if (journal_ != nullptr) {
+        journal_->Record(lt::telemetry::JournalEvent::kOnesideRetry, dst, attempt);
+      }
+      backoff_ns *= 2;
+      if (inst_->PeerDead(dst)) {
+        inst_->rpc_dead_fast_fail_->Inc();
+        return Status::Unavailable("peer marked dead by liveness service");
+      }
+    }
+    int idx = qp_idx >= 0 ? qp_idx : inst_->qps_.PickQpIndex(dst, pri);
+    if (!inst_->qps_.Valid(dst, idx)) {
+      return Status::Unavailable("no QP to destination node");
+    }
+    Qp* qp = inst_->qps_.qp(dst, idx);
+    wr->wr_id = NextWrId();
+    {
+      // The QP lock covers only the post; waiting happens outside so threads
+      // sharing a pool QP overlap their in-flight ops (the whole point of
+      // the shared pool, Sec. 6.1).
+      std::lock_guard<std::mutex> lock(inst_->qps_.mu(dst, idx));
+      if (qp->in_error()) {
+        inst_->qps_.RecoverQp(qp);
+      }
+      Status posted = inst_->rnic().PostSend(qp, *wr);
+      if (!posted.ok()) {
+        last = posted;
+        if (posted.code() == lt::StatusCode::kFailedPrecondition) {
+          continue;  // Lost a race to a concurrent error; recover and retry.
+        }
+        return posted;
+      }
+    }
+    auto c = qp->send_cq()->WaitPollFor(wr->wr_id, inst_->params().lite_rpc_timeout_ns,
+                                        WaitMode::kBusyPoll);
+    if (!c.has_value()) {
+      last = Status::Timeout("one-sided completion timeout");
+      continue;
+    }
+    if (c->status.ok()) {
+      return *c;
+    }
+    last = c->status;
+    const lt::StatusCode code = last.code();
+    if (code != lt::StatusCode::kUnavailable && code != lt::StatusCode::kTimeout) {
+      return last;  // Non-transient (permission, bounds): do not retry.
+    }
+  }
+  return last;
+}
+
+Status OpEngine::OneSidedWrite(NodeId dst, PhysAddr dst_addr, const void* src, uint64_t len,
+                               Priority pri, bool signaled) {
+  engine_ops_->Inc();
+  inst_->qos_.Admit(pri, len);
+  if (dst == inst_->node_id()) {
+    inst_->LocalCopyIn(dst_addr, src, len);
+    return Status::Ok();
+  }
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kWrite;
+  wr.host_local = const_cast<void*>(src);
+  wr.length = len;
+  wr.rkey = inst_->peer_global_rkey_[dst];
+  wr.remote_addr = dst_addr;
+  wr.signaled = signaled;
+  if (!signaled) {
+    // Fire-and-forget (head-mirror publishes): errors surface on the next
+    // signaled user of the QP; recover here so one drop cannot wedge it.
+    int idx = inst_->qps_.PickQpIndex(dst, pri);
+    if (idx < 0) {
+      return Status::Unavailable("no QP to destination node");
+    }
+    Qp* qp = inst_->qps_.qp(dst, idx);
+    wr.wr_id = 0;
+    std::lock_guard<std::mutex> lock(inst_->qps_.mu(dst, idx));
+    if (qp->in_error()) {
+      inst_->qps_.RecoverQp(qp);
+      // The recovery happened on behalf of a publish nobody waits on; count
+      // and journal it so the flight recorder shows the silent path too.
+      unsignaled_recovered_->Inc();
+      if (journal_ != nullptr) {
+        journal_->Record(lt::telemetry::JournalEvent::kUnsignaledRecover, dst, qp->qpn());
+      }
+    }
+    return inst_->rnic().PostSend(qp, wr);
+  }
+  const uint64_t start = NowNs();
+  auto c = PostAndWait(dst, &wr, pri);
+  if (!c.ok()) {
+    return c.status();
+  }
+  lt::telemetry::StampStage(lt::telemetry::TraceStage::kCompletion, c->ready_at_ns);
+  if (pri == Priority::kHigh) {
+    inst_->qos_.RecordHighPriRtt(NowNs() - start);
+  }
+  return Status::Ok();
+}
+
+Status OpEngine::OneSidedWriteImm(NodeId dst, PhysAddr dst_addr, const void* src, uint64_t len,
+                                  uint32_t imm, Priority pri) {
+  engine_ops_->Inc();
+  inst_->qos_.Admit(pri, len);
+  if (dst == inst_->node_id()) {
+    // Loopback: copy locally and deliver the IMM to our own receive CQ so the
+    // poll thread handles it uniformly.
+    if (len > 0) {
+      inst_->LocalCopyIn(dst_addr, src, len);
+    }
+    Completion c;
+    c.opcode = WcOpcode::kRecvImm;
+    c.has_imm = true;
+    c.imm = imm;
+    c.byte_len = static_cast<uint32_t>(len);
+    c.src_node = inst_->node_id();
+    c.ready_at_ns = NowNs() + inst_->params().rnic_completion_ns;
+    inst_->recv_cq_->Push(std::move(c));
+    return Status::Ok();
+  }
+  int idx = inst_->qps_.PickQpIndex(dst, pri);
+  if (idx < 0) {
+    return Status::Unavailable("no QP to destination node");
+  }
+  Qp* qp = inst_->qps_.qp(dst, idx);
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kWriteImm;
+  wr.host_local = const_cast<void*>(src);
+  wr.length = len;
+  wr.rkey = inst_->peer_global_rkey_[dst];
+  wr.remote_addr = dst_addr;
+  wr.imm = imm;
+  wr.signaled = false;  // Failures detected by reply timeout (paper Sec. 5.1).
+  std::lock_guard<std::mutex> lock(inst_->qps_.mu(dst, idx));
+  if (qp->in_error()) {
+    inst_->qps_.RecoverQp(qp);  // A prior drop errored this QP; reconnect before posting.
+  }
+  return inst_->rnic().PostSend(qp, wr);
+}
+
+Status OpEngine::OneSidedRead(NodeId src_node, PhysAddr src_addr, void* dst, uint64_t len,
+                              Priority pri) {
+  engine_ops_->Inc();
+  inst_->qos_.Admit(pri, len);
+  if (src_node == inst_->node_id()) {
+    inst_->LocalCopyOut(dst, src_addr, len);
+    return Status::Ok();
+  }
+  WorkRequest wr;
+  wr.opcode = WrOpcode::kRead;
+  wr.host_local = dst;
+  wr.length = len;
+  wr.rkey = inst_->peer_global_rkey_[src_node];
+  wr.remote_addr = src_addr;
+  wr.signaled = true;
+
+  const uint64_t start = NowNs();
+  auto c = PostAndWait(src_node, &wr, pri);
+  if (!c.ok()) {
+    return c.status();
+  }
+  lt::telemetry::StampStage(lt::telemetry::TraceStage::kCompletion, c->ready_at_ns);
+  if (pri == Priority::kHigh) {
+    inst_->qos_.RecordHighPriRtt(NowNs() - start);
+  }
+  return Status::Ok();
+}
+
+StatusOr<uint64_t> OpEngine::RemoteAtomic(NodeId dst, PhysAddr addr, bool is_cas,
+                                          uint64_t compare_add, uint64_t swap) {
+  if (addr % 8 != 0) {
+    return Status::InvalidArgument("atomic target not 8-byte aligned");
+  }
+  engine_ops_->Inc();
+  inst_->qos_.Admit(Priority::kHigh, 8);
+  if (dst == inst_->node_id()) {
+    SpinFor(inst_->params().local_op_base_ns + inst_->params().rnic_atomic_extra_ns / 2);
+    uint8_t* p = inst_->node_->mem().Data(addr, 8);
+    // Serialize against remote atomics through the same responder path.
+    uint64_t old_value;
+    if (is_cas) {
+      uint64_t expected = compare_add;
+      __atomic_compare_exchange_n(reinterpret_cast<uint64_t*>(p), &expected, swap, false,
+                                  __ATOMIC_SEQ_CST, __ATOMIC_SEQ_CST);
+      old_value = expected;
+    } else {
+      old_value = __atomic_fetch_add(reinterpret_cast<uint64_t*>(p), compare_add, __ATOMIC_SEQ_CST);
+    }
+    return old_value;
+  }
+  uint64_t old_value = 0;
+  WorkRequest wr;
+  wr.opcode = is_cas ? WrOpcode::kCmpSwap : WrOpcode::kFetchAdd;
+  wr.rkey = inst_->peer_global_rkey_[dst];
+  wr.remote_addr = addr;
+  wr.compare_add = compare_add;
+  wr.swap = swap;
+  wr.atomic_result = &old_value;
+  wr.signaled = true;
+  // Retry is exactly-once here: a dropped atomic is rejected by the
+  // responder before the memory operation is applied (see ExecuteAtomic).
+  auto c = PostAndWait(dst, &wr, Priority::kHigh);
+  if (!c.ok()) {
+    return c.status();
+  }
+  return old_value;
+}
+
+// ------------------------------------------- multi-piece blocking memops
+
+Status OpEngine::SubmitPieces(const std::vector<OpDesc>& pieces, bool is_read, Priority pri) {
+  engine_ops_->Inc();
+  const uint64_t start = NowNs();
+
+  // Issue phase: post every remote piece signaled before waiting on any.
+  // Consecutive posts to one destination share a QP (sticky selection) so
+  // the RNIC batches their doorbells; small writes go inline.
+  struct Posted {
+    NodeId dst = kInvalidNode;
+    int qp_idx = -1;
+    WorkRequest wr;
+    bool posted = false;
+  };
+  std::vector<Posted> remote;
+  remote.reserve(pieces.size());
+  for (const OpDesc& piece : pieces) {
+    if (piece.node == inst_->node_id()) {
+      // Local pieces complete inline (same fast path as the 1-piece op).
+      if (is_read) {
+        inst_->LocalCopyOut(piece.local, piece.addr, piece.len);
+      } else {
+        inst_->LocalCopyIn(piece.addr, piece.local, piece.len);
+      }
+      continue;
+    }
+    inst_->qos_.Admit(pri, piece.len);
+    Posted p;
+    p.dst = piece.node;
+    p.qp_idx = inst_->qps_.PickQpIndexSticky(piece.node, pri);
+    WorkRequest& wr = p.wr;
+    wr.opcode = is_read ? WrOpcode::kRead : WrOpcode::kWrite;
+    wr.host_local = piece.local;
+    wr.length = piece.len;
+    wr.rkey = inst_->peer_global_rkey_[piece.node];
+    wr.remote_addr = piece.addr;
+    wr.signaled = true;
+    wr.doorbell_hint = true;
+    wr.inline_data = !is_read;  // The RNIC applies its rnic_inline_max cut.
+    wr.wr_id = NextWrId();
+    if (p.qp_idx >= 0) {
+      Qp* qp = inst_->qps_.qp(p.dst, p.qp_idx);
+      std::lock_guard<std::mutex> qlock(inst_->qps_.mu(p.dst, p.qp_idx));
+      if (qp->in_error()) {
+        inst_->qps_.RecoverQp(qp);
+      }
+      p.posted = inst_->rnic().PostSend(qp, wr).ok();
+    }
+    // A failed (or impossible) post leaves p.posted false; the wait phase
+    // re-posts it through the retry loop.
+    remote.push_back(p);
+  }
+  if (remote.size() > 1) {
+    engine_pieces_overlapped_->Inc(remote.size());
+  }
+
+  // Wait phase: harvest every piece, re-posting transient failures with the
+  // blocking retry loop. All pieces drain even after an error, so no WQE is
+  // left dangling against the caller's buffer.
+  Status result = Status::Ok();
+  uint64_t ready = 0;
+  for (Posted& p : remote) {
+    std::optional<Completion> c;
+    if (p.posted) {
+      c = inst_->qps_.qp(p.dst, p.qp_idx)
+              ->send_cq()
+              ->WaitPollFor(p.wr.wr_id, inst_->params().lite_rpc_timeout_ns, WaitMode::kBusyPoll);
+    }
+    Status s = Status::Ok();
+    if (c.has_value() && c->status.ok()) {
+      ready = std::max(ready, c->ready_at_ns);
+    } else if (c.has_value() && !TransientCode(c->status)) {
+      s = c->status;  // Non-transient (permission, bounds): do not retry.
+    } else if (inst_->PeerDead(p.dst)) {
+      inst_->rpc_dead_fast_fail_->Inc();
+      s = Status::Unavailable("peer marked dead by liveness service");
+    } else {
+      if (p.posted) {
+        // The piece reached the wire and failed (or timed out): true retry.
+        oneside_retries_->Inc();
+        engine_retries_->Inc();
+        if (journal_ != nullptr) {
+          journal_->Record(lt::telemetry::JournalEvent::kOnesideRetry, p.dst, 0);
+        }
+      }
+      WorkRequest wr = p.wr;
+      wr.signaled = true;
+      wr.doorbell_hint = false;
+      auto rc = PostAndWait(p.dst, &wr, pri);
+      if (rc.ok()) {
+        ready = std::max(ready, rc->ready_at_ns);
+      } else {
+        s = rc.status();
+      }
+    }
+    if (!s.ok() && result.ok()) {
+      result = s;
+    }
+  }
+  if (!remote.empty() && result.ok()) {
+    lt::telemetry::StampStage(lt::telemetry::TraceStage::kCompletion,
+                              ready > 0 ? ready : NowNs());
+    if (pri == Priority::kHigh) {
+      inst_->qos_.RecordHighPriRtt(NowNs() - start);
+    }
+  }
+  return result;
+}
+
+// ----------------------------------------------------------- async issue
+
+StatusOr<MemopHandle> OpEngine::IssueAsyncPieces(const std::vector<OpDesc>& pieces, bool is_read,
+                                                 Priority pri) {
+  engine_ops_->Inc();
+  async_ops_issued_->Inc();
+
+  auto op = std::make_unique<AsyncOp>();
+  op->pri = pri;
+  const uint32_t signal_every = std::max<uint32_t>(1, inst_->params().lite_async_signal_every);
+
+  std::unique_lock<std::mutex> lock(async_mu_);
+  const size_t window = std::max<size_t>(1, inst_->params().lite_async_window);
+  while (async_inflight_ >= window) {
+    RetireOldestLocked(lock);
+  }
+
+  for (const OpDesc& piece : pieces) {
+    uint8_t* user = static_cast<uint8_t*>(piece.local);
+    if (piece.node == inst_->node_id()) {
+      // Local pieces complete at issue time (same fast path as blocking).
+      if (is_read) {
+        inst_->LocalCopyOut(user, piece.addr, piece.len);
+      } else {
+        inst_->LocalCopyIn(piece.addr, user, piece.len);
+      }
+      AsyncWqe wqe;
+      wqe.done = true;
+      wqe.ready_at_ns = NowNs();
+      op->wqes.push_back(wqe);
+      continue;
+    }
+    inst_->qos_.Admit(pri, piece.len);
+    AsyncWqe wqe;
+    wqe.dst = piece.node;
+    wqe.qp_idx = inst_->qps_.PickQpIndexSticky(piece.node, pri);
+    WorkRequest& wr = wqe.wr;
+    wr.opcode = is_read ? WrOpcode::kRead : WrOpcode::kWrite;
+    wr.host_local = user;
+    wr.length = piece.len;
+    wr.rkey = inst_->peer_global_rkey_[piece.node];
+    wr.remote_addr = piece.addr;
+    wr.doorbell_hint = true;
+    wr.inline_data = !is_read;  // The RNIC applies its rnic_inline_max cut.
+    wr.wr_id = NextWrId();
+    if (wqe.qp_idx >= 0) {
+      AsyncStream& stream = async_streams_[{piece.node, wqe.qp_idx}];
+      wqe.stream_pos = stream.next_pos++;
+      wqe.signaled = ((wqe.stream_pos + 1) % signal_every == 0);
+      wr.signaled = wqe.signaled;
+      Qp* qp = inst_->qps_.qp(piece.node, wqe.qp_idx);
+      {
+        std::lock_guard<std::mutex> qlock(inst_->qps_.mu(piece.node, wqe.qp_idx));
+        if (qp->in_error()) {
+          inst_->qps_.RecoverQp(qp);
+        }
+        wqe.posted = inst_->rnic().PostSend(qp, wr).ok();
+      }
+      if (wqe.posted && wqe.signaled) {
+        stream.signaled_pending[wqe.stream_pos] = wr.wr_id;
+      }
+    }
+    // A failed (or impossible) post leaves wqe.posted false; retirement
+    // re-posts it signaled through the retry loop.
+    op->wqes.push_back(wqe);
+  }
+
+  const MemopHandle h = next_memop_handle_.fetch_add(1);
+  op->id = h;
+  bool all_done = true;
+  uint64_t ready = NowNs();
+  for (const AsyncWqe& wqe : op->wqes) {
+    all_done = all_done && wqe.done;
+    ready = std::max(ready, wqe.ready_at_ns);
+  }
+  if (all_done) {
+    op->state = AsyncOpState::kDone;
+    op->ready_at_ns = ready;
+  } else {
+    ++async_inflight_;
+  }
+  async_ops_.emplace(h, std::move(op));
+  return h;
+}
+
+StatusOr<MemopHandle> OpEngine::InsertAsyncRpc(uint32_t rpc_slot, void* out, uint32_t out_max,
+                                               uint32_t* out_len, Priority pri) {
+  // The ring post already went through OneSidedWriteImm (counted there);
+  // this only registers the handle.
+  async_ops_issued_->Inc();
+  auto op = std::make_unique<AsyncOp>();
+  op->is_rpc = true;
+  op->pri = pri;
+  op->rpc_slot = rpc_slot;
+  op->rpc_out = out;
+  op->rpc_out_max = out_max;
+  op->rpc_out_len = out_len;
+
+  std::unique_lock<std::mutex> lock(async_mu_);
+  const size_t window = std::max<size_t>(1, inst_->params().lite_async_window);
+  while (async_inflight_ >= window) {
+    RetireOldestLocked(lock);
+  }
+  const MemopHandle h = next_memop_handle_.fetch_add(1);
+  op->id = h;
+  ++async_inflight_;
+  async_ops_.emplace(h, std::move(op));
+  return h;
+}
+
+// ------------------------------------------------------------- retirement
+
+std::optional<Completion> OpEngine::TakeAsyncCompletionLocked(lt::Cq* cq, uint64_t wr_id) {
+  auto it = async_harvested_.find(wr_id);
+  if (it != async_harvested_.end()) {
+    Completion c = it->second;
+    async_harvested_.erase(it);
+    return c;
+  }
+  return cq->TryTake(wr_id);
+}
+
+Status OpEngine::RetryAsyncWqe(AsyncOp* op, AsyncWqe* wqe) {
+  if (inst_->PeerDead(wqe->dst)) {
+    inst_->rpc_dead_fast_fail_->Inc();
+    return Status::Unavailable("peer marked dead by liveness service");
+  }
+  if (wqe->posted) {
+    // The original WQE reached the wire and failed; this is a true retry.
+    oneside_retries_->Inc();
+    engine_retries_->Inc();
+    if (journal_ != nullptr) {
+      journal_->Record(lt::telemetry::JournalEvent::kOnesideRetry, wqe->dst, 0);
+    }
+  }
+  WorkRequest wr = wqe->wr;
+  wr.signaled = true;
+  wr.doorbell_hint = false;
+  auto c = PostAndWait(wqe->dst, &wr, op->pri);
+  if (!c.ok()) {
+    return c.status();
+  }
+  wqe->done = true;
+  wqe->ready_at_ns = c->ready_at_ns;
+  return Status::Ok();
+}
+
+void OpEngine::RetireMemopLocked(AsyncOp* op) {
+  Status result = Status::Ok();
+  uint64_t op_ready = 0;
+  for (AsyncWqe& wqe : op->wqes) {
+    Status s = Status::Ok();
+    if (!wqe.done) {
+      if (!wqe.posted) {
+        s = RetryAsyncWqe(op, &wqe);
+      } else {
+        lt::Cq* cq = inst_->qps_.qp(wqe.dst, wqe.qp_idx)->send_cq();
+        AsyncStream& stream = async_streams_[{wqe.dst, wqe.qp_idx}];
+        auto c = TakeAsyncCompletionLocked(cq, wqe.wr.wr_id);
+        if (wqe.signaled) {
+          stream.signaled_pending.erase(wqe.stream_pos);
+          if (!c.has_value()) {
+            s = Status::Internal("signaled async CQE missing");
+          } else {
+            if (wqe.stream_pos + 1 > stream.covered_pos) {
+              stream.covered_pos = wqe.stream_pos + 1;
+              stream.covered_ready_ns = std::max(stream.covered_ready_ns, c->ready_at_ns);
+            }
+            if (c->status.ok()) {
+              wqe.done = true;
+              wqe.ready_at_ns = c->ready_at_ns;
+            } else if (TransientCode(c->status)) {
+              s = RetryAsyncWqe(op, &wqe);
+            } else {
+              s = c->status;
+            }
+          }
+        } else if (c.has_value()) {
+          // Unsignaled WQEs only ever leave an error CQE behind.
+          s = TransientCode(c->status) ? RetryAsyncWqe(op, &wqe) : c->status;
+        } else {
+          // No error CQE: the WQE succeeded. Find (or create) the signaled
+          // fence that makes its completion observable, and take its time.
+          if (stream.covered_pos > wqe.stream_pos) {
+            wqe.done = true;
+            wqe.ready_at_ns = stream.covered_ready_ns;
+            async_inferred_->Inc();
+          } else {
+            auto cover = stream.signaled_pending.lower_bound(wqe.stream_pos);
+            bool covered = false;
+            if (cover != stream.signaled_pending.end()) {
+              const uint64_t cover_pos = cover->first;
+              const uint64_t cover_wr_id = cover->second;
+              auto c2 = TakeAsyncCompletionLocked(cq, cover_wr_id);
+              stream.signaled_pending.erase(cover);
+              if (c2.has_value()) {
+                // Park the cover CQE for its owner; its arrival (success or
+                // error) fences everything before it on this stream either
+                // way — our WQE's own outcome was already decided above.
+                async_harvested_.emplace(cover_wr_id, *c2);
+                if (cover_pos + 1 > stream.covered_pos) {
+                  stream.covered_pos = cover_pos + 1;
+                  stream.covered_ready_ns = std::max(stream.covered_ready_ns, c2->ready_at_ns);
+                }
+                wqe.done = true;
+                wqe.ready_at_ns = c2->ready_at_ns;
+                async_inferred_->Inc();
+                covered = true;
+              }
+            }
+            if (!covered) {
+              // No signaled WQE past ours: fence the stream with a
+              // zero-length signaled write on the same QP.
+              async_flush_fences_->Inc();
+              WorkRequest fence;
+              fence.opcode = WrOpcode::kWrite;
+              fence.length = 0;
+              fence.rkey = inst_->peer_global_rkey_[wqe.dst];
+              fence.signaled = true;
+              auto fc = PostAndWait(wqe.dst, &fence, op->pri, wqe.qp_idx);
+              if (fc.ok()) {
+                stream.covered_pos = std::max(stream.covered_pos, stream.next_pos);
+                stream.covered_ready_ns = std::max(stream.covered_ready_ns, fc->ready_at_ns);
+                wqe.done = true;
+                wqe.ready_at_ns = fc->ready_at_ns;
+                async_inferred_->Inc();
+              } else {
+                // The data landed (no error CQE) but the fence could not
+                // complete — report the fence's error; at-least-once holds.
+                s = fc.status();
+              }
+            }
+          }
+        }
+      }
+    }
+    if (!s.ok() && result.ok()) {
+      result = s;
+    }
+    if (wqe.done) {
+      op_ready = std::max(op_ready, wqe.ready_at_ns);
+    }
+  }
+  op->result = result;
+  op->ready_at_ns = op_ready > 0 ? op_ready : NowNs();
+  op->state = AsyncOpState::kDone;
+  --async_inflight_;
+  async_cv_.notify_all();
+}
+
+void OpEngine::RetireRpcUnlocked(std::unique_lock<std::mutex>& lock, AsyncOp* op) {
+  lock.unlock();
+  Status s = inst_->RpcWait(op->rpc_slot, op->rpc_out, op->rpc_out_max, op->rpc_out_len);
+  lock.lock();
+  op->result = s;
+  op->ready_at_ns = NowNs();
+  op->state = AsyncOpState::kDone;
+  --async_inflight_;
+  async_cv_.notify_all();
+}
+
+void OpEngine::RetireOldestLocked(std::unique_lock<std::mutex>& lock) {
+  for (auto& [id, op] : async_ops_) {
+    if (op->state == AsyncOpState::kInFlight) {
+      AsyncOp* o = op.get();
+      o->state = AsyncOpState::kRetiring;
+      if (o->is_rpc) {
+        RetireRpcUnlocked(lock, o);
+      } else {
+        RetireMemopLocked(o);
+      }
+      return;
+    }
+  }
+  if (async_inflight_ > 0) {
+    // Every outstanding op is being retired by another thread; wait for one.
+    async_cv_.wait(lock);
+  }
+}
+
+Status OpEngine::ConsumeAsyncLocked(std::map<MemopHandle, std::unique_ptr<AsyncOp>>::iterator it) {
+  AsyncOp* op = it->second.get();
+  if (op->ready_at_ns > NowNs()) {
+    SyncToBusy(op->ready_at_ns);
+  }
+  Status result = op->result;
+  async_ops_.erase(it);
+  return result;
+}
+
+// ------------------------------------------------------- public retirement
+
+StatusOr<bool> OpEngine::Poll(MemopHandle h) {
+  SpinFor(inst_->params().rnic_completion_ns);  // CQ poll cost; poll loops progress.
+  std::unique_lock<std::mutex> lock(async_mu_);
+  auto it = async_ops_.find(h);
+  if (it == async_ops_.end()) {
+    return Status::InvalidArgument("unknown or already-retired async handle");
+  }
+  AsyncOp* op = it->second.get();
+  if (op->state == AsyncOpState::kRetiring) {
+    return false;
+  }
+  if (op->state == AsyncOpState::kInFlight) {
+    if (op->is_rpc) {
+      // Don't block: in flight until the poll thread delivers the reply.
+      if (inst_->reply_slots_[op->rpc_slot]->state.load(std::memory_order_acquire) < 2) {
+        return false;
+      }
+      op->state = AsyncOpState::kRetiring;
+      RetireRpcUnlocked(lock, op);
+      it = async_ops_.find(h);
+      if (it == async_ops_.end()) {
+        return Status::InvalidArgument("async handle consumed concurrently");
+      }
+      op = it->second.get();
+    } else {
+      op->state = AsyncOpState::kRetiring;
+      RetireMemopLocked(op);
+    }
+  }
+  if (NowNs() < op->ready_at_ns) {
+    return false;  // Retired, but the completion hasn't arrived on our clock.
+  }
+  Status result = ConsumeAsyncLocked(it);
+  if (!result.ok()) {
+    return result;
+  }
+  return true;
+}
+
+Status OpEngine::Wait(MemopHandle h) {
+  std::unique_lock<std::mutex> lock(async_mu_);
+  while (true) {
+    auto it = async_ops_.find(h);
+    if (it == async_ops_.end()) {
+      return Status::InvalidArgument("unknown or already-retired async handle");
+    }
+    AsyncOp* op = it->second.get();
+    switch (op->state) {
+      case AsyncOpState::kDone:
+        return ConsumeAsyncLocked(it);
+      case AsyncOpState::kInFlight:
+        op->state = AsyncOpState::kRetiring;
+        if (op->is_rpc) {
+          RetireRpcUnlocked(lock, op);
+        } else {
+          RetireMemopLocked(op);
+        }
+        break;  // Re-find: the map may have shifted while unlocked.
+      case AsyncOpState::kRetiring:
+        async_cv_.wait(lock);
+        break;
+    }
+  }
+}
+
+Status OpEngine::WaitAll() {
+  Status first_error = Status::Ok();
+  std::unique_lock<std::mutex> lock(async_mu_);
+  while (!async_ops_.empty()) {
+    auto it = async_ops_.begin();
+    AsyncOp* op = it->second.get();
+    switch (op->state) {
+      case AsyncOpState::kDone: {
+        Status s = ConsumeAsyncLocked(it);
+        if (!s.ok() && first_error.ok()) {
+          first_error = s;
+        }
+        break;
+      }
+      case AsyncOpState::kInFlight:
+        op->state = AsyncOpState::kRetiring;
+        if (op->is_rpc) {
+          RetireRpcUnlocked(lock, op);
+        } else {
+          RetireMemopLocked(op);
+        }
+        break;
+      case AsyncOpState::kRetiring:
+        async_cv_.wait(lock);
+        break;
+    }
+  }
+  return first_error;
+}
+
+size_t OpEngine::AsyncInFlight() const {
+  std::lock_guard<std::mutex> lock(async_mu_);
+  return async_inflight_;
+}
+
+}  // namespace lite

@@ -1,0 +1,201 @@
+// OpEngine — the single op-submission engine all three LITE data paths post
+// through (paper Secs. 4, 6: one shared kernel path for memops and RPC).
+//
+// The engine owns the issue/retire pipeline: QP selection (via QpManager),
+// QP error recovery, transient-retry with backoff, QoS admission, journal
+// and trace stamping, and the async stream/window/selective-signaling state.
+// The three submitters:
+//   * blocking memops — single-piece ops use the OneSided* entry points;
+//     multi-piece ops go through SubmitPieces ("issue all pieces, wait all"),
+//     overlapping chunk transfers across nodes with doorbell batching and
+//     inline sends;
+//   * async memops — IssueAsyncPieces posts every piece immediately and
+//     returns a completion handle retired by Poll/Wait/WaitAll;
+//   * RPC — ring posts, replies, and head-mirror publishes are OneSidedWrite
+//     / OneSidedWriteImm calls, so the send side shares the same
+//     QP/retry/recovery spine (RPC-level retransmits count into
+//     lite.engine.retries through CountRetry()).
+#ifndef SRC_LITE_OP_ENGINE_H_
+#define SRC_LITE_OP_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/lite/types.h"
+#include "src/node/node.h"
+#include "src/telemetry/journal.h"
+
+namespace lite {
+
+using lt::Status;
+using lt::StatusOr;
+
+class LiteInstance;
+
+class OpEngine {
+ public:
+  explicit OpEngine(LiteInstance* inst) : inst_(inst) {}
+
+  OpEngine(const OpEngine&) = delete;
+  OpEngine& operator=(const OpEngine&) = delete;
+
+  // One piece of a (possibly multi-chunk) memop, as submitted to the engine:
+  // a remote (node, addr) range paired with its user-buffer cursor.
+  struct OpDesc {
+    NodeId node = kInvalidNode;
+    PhysAddr addr = 0;
+    void* local = nullptr;
+    uint64_t len = 0;
+  };
+
+  // ---- Blocking one-sided ops (single descriptor) ----
+  // Signaled ops transparently retry dropped transfers (recovering the QP
+  // from its error state first) up to lite_rpc_max_retries times with
+  // exponential backoff.
+  Status OneSidedWrite(NodeId dst, PhysAddr dst_addr, const void* src, uint64_t len, Priority pri,
+                       bool signaled);
+  Status OneSidedWriteImm(NodeId dst, PhysAddr dst_addr, const void* src, uint64_t len,
+                          uint32_t imm, Priority pri);
+  Status OneSidedRead(NodeId src_node, PhysAddr src_addr, void* dst, uint64_t len, Priority pri);
+  StatusOr<uint64_t> RemoteAtomic(NodeId dst, PhysAddr addr, bool is_cas, uint64_t compare_add,
+                                  uint64_t swap);
+  // Posts a signaled WR and waits for its completion, retrying retryable
+  // failures (drops) with backoff and QP recovery. Returns the successful
+  // completion, or the last error. `qp_idx` pins the pool QP (the async
+  // flush fence must land on the stream's own QP); -1 picks per attempt.
+  StatusOr<lt::Completion> PostAndWait(NodeId dst, lt::WorkRequest* wr, Priority pri,
+                                       int qp_idx = -1);
+
+  // ---- Blocking multi-piece submission ("issue all pieces, wait all") ----
+  // Posts every remote piece signaled (doorbell-batched; writes inline when
+  // small) before waiting on any, so pieces on different chunks/nodes overlap
+  // on the wire; local pieces complete inline. Failed pieces are re-posted
+  // with the blocking retry loop. Returns the first error, after draining
+  // every piece.
+  Status SubmitPieces(const std::vector<OpDesc>& pieces, bool is_read, Priority pri);
+
+  // ---- Async completion-handle pipeline ----
+  // Issues one async memop's pieces (unsignaled + selective signaling, see
+  // memops_async.cc) and returns its handle. Caller did lh/permission checks.
+  StatusOr<MemopHandle> IssueAsyncPieces(const std::vector<OpDesc>& pieces, bool is_read,
+                                         Priority pri);
+  // Registers an already-sent single-attempt RPC as an async op retired
+  // through the same handle machinery.
+  StatusOr<MemopHandle> InsertAsyncRpc(uint32_t rpc_slot, void* out, uint32_t out_max,
+                                       uint32_t* out_len, Priority pri);
+  StatusOr<bool> Poll(MemopHandle h);
+  Status Wait(MemopHandle h);
+  Status WaitAll();
+  size_t AsyncInFlight() const;
+
+  // Resolves the API timeout sentinels (types.h) and applies the hang-
+  // backstop cap — the single home of the old duplicated clamp logic.
+  uint64_t EffectiveTimeoutNs(uint64_t requested_ns) const;
+
+  // RPC-level retransmits ride the engine spine too; RpcCall reports them
+  // here so lite.engine.retries covers every transparent re-send.
+  void CountRetry() {
+    if (engine_retries_ != nullptr) {
+      engine_retries_->Inc();
+    }
+  }
+
+  // Registers the engine's lite.* instruments (constructor-time, via
+  // LiteInstance::RegisterTelemetry; pointers cached for the hot path).
+  void RegisterTelemetry(lt::telemetry::Registry& reg, lt::telemetry::Journal* journal);
+
+ private:
+  // One posted WQE of an async memop (one chunk piece).
+  struct AsyncWqe {
+    NodeId dst = kInvalidNode;
+    int qp_idx = -1;
+    lt::WorkRequest wr;    // Retained so a failed WQE can be re-posted.
+    bool signaled = false;
+    bool posted = false;   // False: post failed at issue; retried at retire.
+    uint64_t stream_pos = 0;
+    bool done = false;     // Local pieces complete at issue time.
+    uint64_t ready_at_ns = 0;
+  };
+  enum class AsyncOpState { kInFlight, kRetiring, kDone };
+  struct AsyncOp {
+    MemopHandle id = 0;
+    AsyncOpState state = AsyncOpState::kInFlight;
+    bool is_rpc = false;
+    Priority pri = Priority::kHigh;
+    std::vector<AsyncWqe> wqes;       // Memop ops.
+    uint32_t rpc_slot = 0;            // RPC ops: reply rendezvous + output.
+    void* rpc_out = nullptr;
+    uint32_t rpc_out_max = 0;
+    uint32_t* rpc_out_len = nullptr;
+    Status result = Status::Ok();     // Valid once state == kDone.
+    uint64_t ready_at_ns = 0;
+  };
+  // Per-(destination, QP) selective-signaling stream: which positions have a
+  // harvested covering CQE, and which signaled WQEs are still pending.
+  struct AsyncStream {
+    uint64_t next_pos = 0;
+    uint64_t covered_pos = 0;       // Positions < covered_pos are fenced.
+    uint64_t covered_ready_ns = 0;  // Virtual time the fence completed.
+    std::map<uint64_t, uint64_t> signaled_pending;  // stream_pos -> wr_id
+  };
+
+  uint64_t NextWrId() { return next_wr_id_.fetch_add(1); }
+
+  // Re-posts a failed async WQE signaled, with the blocking path's retry
+  // semantics (dead-peer fast fail, backoff, QP recovery).
+  Status RetryAsyncWqe(AsyncOp* op, AsyncWqe* wqe);
+  // Retires an RPC-kind op; drops the lock around the reply wait (the reply
+  // is delivered by the poll thread, which never takes async_mu_).
+  void RetireRpcUnlocked(std::unique_lock<std::mutex>& lock, AsyncOp* op);
+  // Retires `op` (state must be kRetiring; async_mu_ held): harvests or
+  // infers each WQE's completion, re-posting failed WQEs with the blocking
+  // path's retry semantics, then marks the op kDone.
+  void RetireMemopLocked(AsyncOp* op);
+  // Retires the oldest in-flight op (backpressure path). Waits on the cv if
+  // every outstanding op is already being retired by another thread.
+  void RetireOldestLocked(std::unique_lock<std::mutex>& lock);
+  // Finds a completion for `wr_id`: the shared harvest map first, then the
+  // CQ itself (async CQEs exist from post time; only ready_at is future).
+  std::optional<lt::Completion> TakeAsyncCompletionLocked(lt::Cq* cq, uint64_t wr_id);
+  // Consumes a kDone op's result (erases the record).
+  Status ConsumeAsyncLocked(std::map<MemopHandle, std::unique_ptr<AsyncOp>>::iterator it);
+
+  LiteInstance* const inst_;
+
+  std::atomic<uint64_t> next_wr_id_{1};
+
+  // Async completion-handle state (the completion ring). One mutex covers
+  // the op table, the signaling streams, and the harvest map; the cv wakes
+  // window-full issuers and waiters racing a concurrent retirer.
+  mutable std::mutex async_mu_;
+  std::condition_variable async_cv_;
+  std::map<MemopHandle, std::unique_ptr<AsyncOp>> async_ops_;  // Oldest first.
+  std::atomic<uint64_t> next_memop_handle_{1};
+  size_t async_inflight_ = 0;  // Ops not yet kDone.
+  std::map<std::pair<NodeId, int>, AsyncStream> async_streams_;
+  std::unordered_map<uint64_t, lt::Completion> async_harvested_;  // wr_id -> CQE
+
+  // Telemetry instruments (owned by the node's registry; cached pointers so
+  // the hot path never does a name lookup).
+  lt::telemetry::Counter* engine_ops_ = nullptr;
+  lt::telemetry::Counter* engine_pieces_overlapped_ = nullptr;
+  lt::telemetry::Counter* engine_retries_ = nullptr;
+  lt::telemetry::Counter* oneside_retries_ = nullptr;
+  lt::telemetry::Counter* unsignaled_recovered_ = nullptr;
+  // Async fast-path instruments (docs/TELEMETRY.md, "Async fast path").
+  lt::telemetry::Counter* async_ops_issued_ = nullptr;
+  lt::telemetry::Counter* async_inferred_ = nullptr;
+  lt::telemetry::Counter* async_flush_fences_ = nullptr;
+  lt::telemetry::Journal* journal_ = nullptr;
+};
+
+}  // namespace lite
+
+#endif  // SRC_LITE_OP_ENGINE_H_

@@ -1,0 +1,85 @@
+#include "src/lite/qp_manager.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+#include "src/common/timing.h"
+
+namespace lite {
+
+void QpManager::CreatePool(const std::vector<bool>& connect, lt::Cq* recv_cq) {
+  const int k = std::max(1, node_->params().lite_qp_sharing_factor);
+  pool_.resize(connect.size());
+  mu_.resize(connect.size());
+  for (NodeId dst = 0; dst < connect.size(); ++dst) {
+    if (!connect[dst]) {
+      continue;
+    }
+    for (int i = 0; i < k; ++i) {
+      lt::Cq* send_cq = node_->rnic().CreateCq();
+      pool_[dst].push_back(node_->rnic().CreateQp(lt::QpType::kRc, send_cq, recv_cq));
+      mu_[dst].push_back(std::make_unique<std::mutex>());
+    }
+  }
+}
+
+int QpManager::PickQpIndex(NodeId dst, Priority pri) {
+  if (dst >= pool_.size() || pool_[dst].empty()) {
+    return -1;
+  }
+  const int k = static_cast<int>(pool_[dst].size());
+  auto [lo, hi] = qos_->QpRange(pri, k);
+  if (hi <= lo) {
+    lo = 0;
+    hi = k;
+  }
+  // Cheap per-thread spreading across the allowed slots.
+  static thread_local uint32_t t_counter = 0;
+  return lo + static_cast<int>(t_counter++ % static_cast<uint32_t>(hi - lo));
+}
+
+int QpManager::PickQpIndexSticky(NodeId dst, Priority pri) {
+  if (dst >= pool_.size() || pool_[dst].empty()) {
+    return -1;
+  }
+  const int k = static_cast<int>(pool_[dst].size());
+  auto [lo, hi] = qos_->QpRange(pri, k);
+  if (hi <= lo) {
+    lo = 0;
+    hi = k;
+  }
+  static thread_local const uint32_t t_tag = static_cast<uint32_t>(
+      std::hash<std::thread::id>()(std::this_thread::get_id()));
+  return lo + static_cast<int>(t_tag % static_cast<uint32_t>(hi - lo));
+}
+
+lt::Qp* QpManager::PoolQp(NodeId dst, int k) const {
+  if (dst >= pool_.size() || static_cast<size_t>(k) >= pool_[dst].size()) {
+    return nullptr;
+  }
+  return pool_[dst][k];
+}
+
+size_t QpManager::TotalQps() const {
+  size_t n = 0;
+  for (const auto& per_dst : pool_) {
+    n += per_dst.size();
+  }
+  return n;
+}
+
+void QpManager::RecoverQp(lt::Qp* qp) {
+  // Models the driver's modify_qp cycle ERR -> RESET -> INIT -> RTR -> RTS
+  // after a transport error (caller holds the QP's pool mutex).
+  lt::SpinFor(node_->params().lite_qp_reconnect_ns);
+  qp->ResetToRts();
+  if (reconnects_ != nullptr) {
+    reconnects_->Inc();
+  }
+  if (journal_ != nullptr) {
+    journal_->Record(lt::telemetry::JournalEvent::kQpRecover, qp->remote_node(), qp->qpn());
+  }
+}
+
+}  // namespace lite

@@ -1,0 +1,73 @@
+// QpManager — the shared per-destination QP pool (paper Sec. 6.1), split out
+// of LiteInstance. Owns QP creation/pairing, QoS-aware QP selection, and
+// errored-QP recovery; every submission path (blocking, async, RPC) reaches
+// the fabric through a QP picked and guarded here.
+#ifndef SRC_LITE_QP_MANAGER_H_
+#define SRC_LITE_QP_MANAGER_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/lite/qos.h"
+#include "src/lite/types.h"
+#include "src/node/node.h"
+#include "src/telemetry/journal.h"
+
+namespace lite {
+
+class QpManager {
+ public:
+  QpManager(lt::Node* node, QosManager* qos) : node_(node), qos_(qos) {}
+
+  QpManager(const QpManager&) = delete;
+  QpManager& operator=(const QpManager&) = delete;
+
+  // Cached telemetry hooks (owned by the node's registry / NodeTelemetry).
+  void SetTelemetry(lt::telemetry::Counter* reconnects, lt::telemetry::Journal* journal) {
+    reconnects_ = reconnects;
+    journal_ = journal;
+  }
+
+  // Creates K QPs (K = lite_qp_sharing_factor) to every destination flagged
+  // in `connect`, all delivering receives into the shared `recv_cq`. One
+  // mutex per QP serializes posts (the QP send queue is ordered anyway).
+  void CreatePool(const std::vector<bool>& connect, lt::Cq* recv_cq);
+
+  // QoS-aware selection: cheap per-thread round-robin across the priority
+  // band's slots. Returns a pool index for `dst`, or -1 if no QP exists.
+  int PickQpIndex(NodeId dst, Priority pri);
+  // Sticky per (thread, destination) so a pipelining thread's consecutive
+  // posts land on one QP and share doorbells (round-robin would break every
+  // doorbell batch).
+  int PickQpIndexSticky(NodeId dst, Priority pri);
+
+  bool Valid(NodeId dst, int idx) const {
+    return dst < pool_.size() && idx >= 0 && idx < static_cast<int>(pool_[dst].size());
+  }
+  lt::Qp* qp(NodeId dst, int idx) const { return pool_[dst][idx]; }
+  std::mutex& mu(NodeId dst, int idx) const { return *mu_[dst][idx]; }
+
+  // Nullptr-safe pool access (cluster wiring / introspection).
+  lt::Qp* PoolQp(NodeId dst, int k) const;
+  size_t TotalQps() const;
+
+  // Resets an errored QP back to RTS (models the modify_qp reconnect round;
+  // charges lite_qp_reconnect_ns). Caller holds the QP's pool mutex.
+  void RecoverQp(lt::Qp* qp);
+
+ private:
+  lt::Node* const node_;
+  QosManager* const qos_;
+
+  // pool_[dst][k], k in [0, K).
+  std::vector<std::vector<lt::Qp*>> pool_;
+  std::vector<std::vector<std::unique_ptr<std::mutex>>> mu_;
+
+  lt::telemetry::Counter* reconnects_ = nullptr;
+  lt::telemetry::Journal* journal_ = nullptr;
+};
+
+}  // namespace lite
+
+#endif  // SRC_LITE_QP_MANAGER_H_

@@ -30,8 +30,6 @@ using lt::WcOpcode;
 namespace {
 
 constexpr uint64_t kServiceWaitNs = 50'000'000;   // Poll-loop wakeup cadence.
-constexpr uint64_t kRingFullRetryNs = 2'000;      // Virtual charge per retry.
-constexpr uint64_t kLongTimeoutCapNs = 3'600ull * 1'000'000'000;
 
 uint64_t Align64(uint64_t v) { return (v + 63) & ~63ull; }
 
@@ -58,8 +56,8 @@ StatusOr<PhysAddr> LiteInstance::AllocMirror() {
   return mirror_slab_ + 8 * mirror_next_++;
 }
 
-LiteInstance::ServerRing* LiteInstance::SetupServerRing(NodeId client, RpcFuncId ring_id,
-                                                        PhysAddr client_head_mirror) {
+ServerRing* LiteInstance::SetupServerRing(NodeId client, RpcFuncId ring_id,
+                                          PhysAddr client_head_mirror) {
   std::lock_guard<std::mutex> lock(rings_mu_);
   auto key = std::make_pair(client, ring_id);
   auto it = rings_.find(key);
@@ -82,7 +80,7 @@ LiteInstance::ServerRing* LiteInstance::SetupServerRing(NodeId client, RpcFuncId
   return out;
 }
 
-StatusOr<LiteInstance::RpcChannel*> LiteInstance::GetChannel(NodeId server, RpcFuncId ring_id) {
+StatusOr<RpcChannel*> LiteInstance::GetChannel(NodeId server, RpcFuncId ring_id) {
   {
     std::lock_guard<std::mutex> lock(channels_mu_);
     auto it = channels_.find({server, ring_id});
@@ -201,7 +199,7 @@ Status LiteInstance::PostRpcRequest(RpcChannel* channel, RpcFuncId func, const v
     if (lt::RealNowNs() > real_deadline) {
       return Status::ResourceExhausted("RPC ring full (server not draining)");
     }
-    lt::IdleFor(kRingFullRetryNs);
+    lt::IdleFor(params().lite_ring_full_retry_ns);
     std::this_thread::sleep_for(std::chrono::microseconds(2));
   }
 
@@ -231,7 +229,8 @@ Status LiteInstance::PostRpcRequest(RpcChannel* channel, RpcFuncId func, const v
   }
 
   const LmrChunk& ring = channel->ring[0];
-  Status st = OneSidedWriteImm(channel->server, ring.addr + off, staging.data(), staging.size(),
+  Status st =
+      engine_.OneSidedWriteImm(channel->server, ring.addr + off, staging.data(), staging.size(),
                                EncodeImm(func, static_cast<uint32_t>(off / kRingOffsetUnit)), pri);
   if (st.ok()) {
     channel->tail += entry_len;
@@ -276,7 +275,7 @@ Status LiteInstance::RpcSendNoReply(NodeId server_node, RpcFuncId func, const vo
 
 Status LiteInstance::RpcWait(uint32_t slot, void* out, uint32_t out_max, uint32_t* out_len,
                              uint64_t timeout_ns) {
-  timeout_ns = EffectiveTimeoutNs(timeout_ns);
+  timeout_ns = engine_.EffectiveTimeoutNs(timeout_ns);
   ReplySlot& s = *reply_slots_[slot];
   uint32_t len;
   uint64_t ready_vtime;
@@ -319,13 +318,6 @@ Status LiteInstance::Rpc(NodeId server_node, RpcFuncId func, const void* in, uin
   return RpcCall(server_node, func, in, in_len, out, out_max, out_len, pri, RpcCallOpts{});
 }
 
-uint64_t LiteInstance::EffectiveTimeoutNs(uint64_t requested_ns) const {
-  if (requested_ns == kDefaultTimeout) {
-    requested_ns = params().lite_rpc_timeout_ns;
-  }
-  return std::min(requested_ns, kLongTimeoutCapNs);
-}
-
 Status LiteInstance::RpcCall(NodeId server_node, RpcFuncId func, const void* in, uint32_t in_len,
                              void* out, uint32_t out_max, uint32_t* out_len, Priority pri,
                              const RpcCallOpts& opts) {
@@ -345,7 +337,7 @@ Status LiteInstance::RpcCall(NodeId server_node, RpcFuncId func, const void* in,
   // The packed slot+generation rides every attempt; all attempts of one call
   // share the slot, so whichever attempt's reply lands first completes it.
   const uint32_t packed = PackReplySlot(*slot, s.gen.load(std::memory_order_relaxed));
-  const uint64_t per_try_ns = EffectiveTimeoutNs(opts.timeout_ns);
+  const uint64_t per_try_ns = engine_.EffectiveTimeoutNs(opts.timeout_ns);
   const uint32_t max_retries = opts.max_retries == kUseParamRetries
                                    ? params().lite_rpc_max_retries
                                    : opts.max_retries;
@@ -355,6 +347,7 @@ Status LiteInstance::RpcCall(NodeId server_node, RpcFuncId func, const void* in,
   for (uint32_t attempt = 0; attempt <= max_retries; ++attempt) {
     if (attempt > 0) {
       rpc_retries_->Inc();
+      engine_.CountRetry();
       lt::IdleFor(backoff_ns);
       if (journal_ != nullptr) {
         journal_->Record(lt::telemetry::JournalEvent::kRpcRetry, server_node, backoff_ns);
@@ -476,19 +469,19 @@ Status LiteInstance::MulticastRpc(const std::vector<NodeId>& servers, RpcFuncId 
 }
 
 Status LiteInstance::InternalRpc(NodeId server, RpcFuncId func, const WireWriterBytes& in,
-                                 std::vector<uint8_t>* out, uint64_t timeout_ns) {
+                                 std::vector<uint8_t>* out, uint64_t timeout_ns, Priority pri) {
   RpcCallOpts opts;
   opts.timeout_ns = timeout_ns;
-  return InternalRpcOpts(server, func, in, out, opts);
+  return InternalRpcOpts(server, func, in, out, opts, pri);
 }
 
 Status LiteInstance::InternalRpcOpts(NodeId server, RpcFuncId func, const WireWriterBytes& in,
-                                     std::vector<uint8_t>* out, const RpcCallOpts& opts) {
+                                     std::vector<uint8_t>* out, const RpcCallOpts& opts,
+                                     Priority pri) {
   std::vector<uint8_t> raw(params().lite_reply_slot_bytes);
   uint32_t raw_len = 0;
   LT_RETURN_IF_ERROR(RpcCall(server, func, in.data(), static_cast<uint32_t>(in.size()),
-                             raw.data(), static_cast<uint32_t>(raw.size()), &raw_len,
-                             Priority::kHigh, opts));
+                             raw.data(), static_cast<uint32_t>(raw.size()), &raw_len, pri, opts));
   if (raw_len < sizeof(uint32_t)) {
     return Status::Internal("malformed internal RPC reply");
   }
@@ -528,7 +521,7 @@ StatusOr<RpcIncoming> LiteInstance::RecvRpc(RpcFuncId func, uint64_t timeout_ns)
   if (timeout_ns == kInfiniteTimeout) {
     inc = queue->Pop();
   } else {
-    inc = queue->PopFor(std::chrono::nanoseconds(EffectiveTimeoutNs(timeout_ns)));
+    inc = queue->PopFor(std::chrono::nanoseconds(engine_.EffectiveTimeoutNs(timeout_ns)));
   }
   if (!inc.has_value()) {
     if (stopping_.load()) {
@@ -572,8 +565,8 @@ Status LiteInstance::ReplyRpc(const ReplyToken& token, const void* data, uint32_
     span.StampAt(lt::telemetry::TraceStage::kServerReply, lt::NowNs(), len);
     tracer.Commit(span);
   }
-  return OneSidedWriteImm(token.client_node, token.reply_phys, data, len,
-                          EncodeImm(kReplyFuncId, token.reply_slot), Priority::kHigh);
+  return engine_.OneSidedWriteImm(token.client_node, token.reply_phys, data, len,
+                                  EncodeImm(kReplyFuncId, token.reply_slot), Priority::kHigh);
 }
 
 StatusOr<RpcIncoming> LiteInstance::ReplyAndRecv(const ReplyToken& token, const void* data,
@@ -600,7 +593,7 @@ StatusOr<MsgIncoming> LiteInstance::RecvMsg(uint64_t timeout_ns) {
   if (timeout_ns == kInfiniteTimeout) {
     msg = msg_queue_.Pop();
   } else {
-    msg = msg_queue_.PopFor(std::chrono::nanoseconds(EffectiveTimeoutNs(timeout_ns)));
+    msg = msg_queue_.PopFor(std::chrono::nanoseconds(engine_.EffectiveTimeoutNs(timeout_ns)));
   }
   if (!msg.has_value()) {
     if (stopping_.load()) {
@@ -838,9 +831,9 @@ void LiteInstance::ReplayReply(ServerRing* ring, const RpcReqHeader& hdr) {
     return;
   }
   rpc_replayed_replies_->Inc();
-  (void)OneSidedWriteImm(ring->client, hdr.reply_phys, cached.data(),
-                         static_cast<uint32_t>(cached.size()),
-                         EncodeImm(kReplyFuncId, hdr.reply_slot), Priority::kHigh);
+  (void)engine_.OneSidedWriteImm(ring->client, hdr.reply_phys, cached.data(),
+                                 static_cast<uint32_t>(cached.size()),
+                                 EncodeImm(kReplyFuncId, hdr.reply_slot), Priority::kHigh);
 }
 
 // ----------------------------------------------------- liveness (keepalive)
@@ -936,8 +929,8 @@ void LiteInstance::HeadWriterLoop() {
     auto [ring, vtime] = *item;
     lt::SetServiceClock(vtime);  // Publish on the triggering event's timeline.
     uint64_t head = ring->head_to_publish.load(std::memory_order_acquire);
-    (void)OneSidedWrite(ring->client, ring->client_head_mirror, &head, sizeof(head),
-                        Priority::kHigh, /*signaled=*/false);
+    (void)engine_.OneSidedWrite(ring->client, ring->client_head_mirror, &head, sizeof(head),
+                                Priority::kHigh, /*signaled=*/false);
   }
 }
 

@@ -81,6 +81,7 @@ struct SimParams {
   uint32_t lite_rpc_max_retries = 3;        // Transparent retransmits per call.
   uint64_t lite_rpc_retry_backoff_ns = 200'000;  // First retry backoff; doubles.
   uint64_t lite_qp_reconnect_ns = 25'000;   // modify_qp ERR->RESET->...->RTS.
+  uint64_t lite_ring_full_retry_ns = 2'000;  // Virtual charge per ring-full poll.
   // Liveness: keepalive cadence (real time; 0 disables the service) and the
   // manager-side lease (0 means 5x the keepalive interval).
   uint64_t lite_keepalive_interval_ns = 0;

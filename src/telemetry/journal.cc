@@ -24,6 +24,7 @@ const char* JournalEventName(JournalEvent ev) {
     case JournalEvent::kFaultDelay: return "fault_delay";
     case JournalEvent::kNodeCrash: return "node_crash";
     case JournalEvent::kNodeRestart: return "node_restart";
+    case JournalEvent::kUnsignaledRecover: return "unsignaled_recover";
     case JournalEvent::kCount: break;
   }
   return "unknown";

@@ -41,6 +41,7 @@ enum class JournalEvent : uint16_t {
   kFaultDelay,     // a = packed link, b = injected delay ns
   kNodeCrash,      // a = crashed node
   kNodeRestart,    // a = restarted node
+  kUnsignaledRecover,  // a = peer node, b = qp number (fire-and-forget path)
   kCount
 };
 

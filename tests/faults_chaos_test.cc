@@ -152,7 +152,11 @@ TEST(FaultsChaosTest, SoakWithCrashRestartAndManagerRebuild) {
   p.lite_rpc_timeout_ns = 25'000'000;  // 25 ms per try: crashes fail fast.
   p.lite_rpc_max_retries = 5;
   p.lite_keepalive_interval_ns = 2'000'000;  // 2 ms cadence (real time).
-  p.lite_lease_timeout_ns = 10'000'000;      // dead after 10 ms of silence.
+  // Dead after 60 ms of silence: long enough that a healthy node does not
+  // flap dead when host scheduling (single core, TSan) stalls its keepalive
+  // past the lease, short enough that every crash below is detected well
+  // inside the WaitFor budget.
+  p.lite_lease_timeout_ns = 60'000'000;
   LiteCluster cluster(4, p);
   // Postmortem aid: if any assertion below fails, dump the merged
   // flight-recorder timeline so the failure is diagnosable from the log
@@ -374,6 +378,68 @@ TEST(FaultsChaosTest, SoakWithCrashRestartAndManagerRebuild) {
   EXPECT_GT(cluster.faults().drops(), 0u);
   EXPECT_GT(cluster.faults().crash_drops(), 0u);
   EXPECT_GT(cluster.instance(2)->Stat("lite.rpc.retries"), 0);
+}
+
+// A striped LMR loses one chunk-owner mid-flight: blocking multi-piece ops
+// spanning the dead node must retire with an error (the engine waits out
+// every piece — no hang, no leaked WQE), async ops surface the error at
+// LT_wait, and traffic confined to the survivors keeps flowing through the
+// same engine.
+TEST(FaultsChaosTest, MultiPieceEngineRetiresAgainstDeadPeer) {
+  lt::SimParams p = lt::SimParams::FastForTests();
+  p.lite_rpc_timeout_ns = 25'000'000;  // 25 ms per try: dead peers fail fast.
+  p.lite_rpc_max_retries = 1;
+  p.lite_keepalive_interval_ns = 2'000'000;
+  // Generous lease: healthy nodes must not flap dead on a loaded host while
+  // the survivor-path assertions below run.
+  p.lite_lease_timeout_ns = 50'000'000;
+  p.lite_max_chunk_bytes = 4096;  // force multi-piece ops
+  p.lite_rpc_ring_bytes = 4096;   // RPC ring must fit in one chunk
+  LiteCluster cluster(4, p);
+
+  auto c0 = cluster.CreateClient(0, /*kernel_level=*/true);
+  MallocOptions spread;
+  spread.nodes = {1, 2, 3};
+  const size_t kRegion = 3 * 4096;
+  auto lh = c0->Malloc(kRegion, "dead_peer_stripe", spread);
+  ASSERT_TRUE(lh.ok());
+  std::vector<uint8_t> buf(kRegion, 0x5a);
+  ASSERT_TRUE(c0->Write(*lh, 0, buf.data(), buf.size()).ok());
+
+  // The crash must land on an *established* lease: wait until node 2's
+  // keepalive has round-tripped at least once (crashing a node the manager
+  // has never heard from leaves nothing to expire).
+  ASSERT_TRUE(WaitFor([&] { return cluster.instance(2)->Stat("lite.rpc.replies") > 0; }));
+  cluster.CrashNode(2);
+  ASSERT_TRUE(WaitFor([&] { return cluster.instance(0)->PeerDead(2); }));
+
+  // Blocking write and read across all three chunks: the piece on node 2 is
+  // doomed, but the op must still retire promptly with a non-ok status.
+  EXPECT_FALSE(c0->Write(*lh, 0, buf.data(), buf.size()).ok());
+  std::vector<uint8_t> back(kRegion, 0);
+  EXPECT_FALSE(c0->Read(*lh, 0, back.data(), back.size()).ok());
+
+  // Async multi-piece against the dead peer errors cleanly at Wait and
+  // leaves nothing in flight.
+  auto h = c0->WriteAsync(*lh, 0, buf.data(), buf.size());
+  if (h.ok()) {
+    EXPECT_FALSE(c0->Wait(*h).ok());
+  } else {
+    EXPECT_FALSE(h.status().ok());
+  }
+  EXPECT_EQ(cluster.instance(0)->AsyncInFlight(), 0u);
+
+  // Survivor-only traffic is unaffected: a fresh stripe on nodes {1,3}
+  // round-trips through the same engine.
+  MallocOptions healthy;
+  healthy.nodes = {1, 3};
+  auto lh2 = c0->Malloc(2 * 4096, "survivor_stripe", healthy);
+  ASSERT_TRUE(lh2.ok());
+  std::vector<uint8_t> buf2(2 * 4096, 0x7e);
+  ASSERT_TRUE(c0->Write(*lh2, 0, buf2.data(), buf2.size()).ok());
+  std::vector<uint8_t> back2(buf2.size(), 0);
+  ASSERT_TRUE(c0->Read(*lh2, 0, back2.data(), back2.size()).ok());
+  EXPECT_EQ(back2, buf2);
 }
 
 }  // namespace
