@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "OUT_OF_RANGE";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kStaleHome:
+      return "STALE_HOME";
   }
   return "UNKNOWN";
 }

@@ -26,6 +26,9 @@ enum class StatusCode {
   kFailedPrecondition,
   kOutOfRange,
   kInternal,
+  // The addressed node is no longer the LMR's home: the caller holds a stale
+  // epoch and must re-resolve through the name service before re-issuing.
+  kStaleHome,
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -58,6 +61,7 @@ class Status {
   }
   static Status OutOfRange(std::string m) { return Status(StatusCode::kOutOfRange, std::move(m)); }
   static Status Internal(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
+  static Status StaleHome(std::string m) { return Status(StatusCode::kStaleHome, std::move(m)); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -238,15 +238,18 @@ bool FaultEngine::NodeCrashed(NodeId node) const {
 
 void FaultEngine::ScheduleCrash(NodeId node, uint64_t start_vns, uint64_t end_vns) {
   std::lock_guard<std::mutex> lock(config_mu_);
-  windows_.push_back(CrashWindow{node, start_vns, end_vns});
-  window_count_.store(windows_.size(), std::memory_order_release);
+  const size_t n = window_count_.load(std::memory_order_relaxed);
+  if (n >= kMaxCrashWindows) {
+    return;  // Slab full; dropping the schedule beats racing the hot path.
+  }
+  windows_[n] = CrashWindow{node, start_vns, end_vns};
+  window_count_.store(n + 1, std::memory_order_release);
   RecomputeArmedLocked();
 }
 
 void FaultEngine::ClearSchedules() {
   std::lock_guard<std::mutex> lock(config_mu_);
   window_count_.store(0, std::memory_order_release);
-  windows_.clear();
   RecomputeArmedLocked();
 }
 

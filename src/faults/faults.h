@@ -97,6 +97,11 @@ class FaultEngine {
   // [start_vns, end_vns). Replayable: the trigger is virtual time, not wall
   // time. Windows stack with CrashNode and are removed by ClearSchedules().
   void ScheduleCrash(NodeId node, uint64_t start_vns, uint64_t end_vns);
+  // One-shot deterministic crash: `node` is down for every transfer departing
+  // at virtual time >= t_vns — CrashNode() firing at exactly t_vns, no window
+  // end to pick. Healed by ClearSchedules() (RestartNode only clears the
+  // immediate-crash flag, not virtual-time schedules).
+  void CrashAtVtime(NodeId node, uint64_t t_vns) { ScheduleCrash(node, t_vns, ~0ull); }
   void ClearSchedules();
 
   // ---- Transfer decision (hot path when armed) -------------------------
@@ -170,8 +175,12 @@ class FaultEngine {
 
   // Crash state: flat atomic flags (read lock-free on the transfer path).
   std::vector<std::unique_ptr<std::atomic<uint8_t>>> crashed_;
+  // Crash windows: fixed-capacity append-only slab published via
+  // window_count_, so the lock-free transfer-path scan never races a
+  // reallocation when a test arms a crash mid-traffic.
+  static constexpr size_t kMaxCrashWindows = 256;
   std::atomic<size_t> window_count_{0};
-  std::vector<CrashWindow> windows_;  // append-only; published via window_count_
+  std::unique_ptr<CrashWindow[]> windows_ = std::make_unique<CrashWindow[]>(kMaxCrashWindows);
 
   std::atomic<bool> armed_{false};
   std::atomic<bool> default_active_{false};

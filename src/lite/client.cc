@@ -75,6 +75,11 @@ Status LiteClient::WaitAll() {
   return instance_->WaitAll();
 }
 
+Status LiteClient::WaitAll(std::vector<std::pair<MemopHandle, Status>>* results) {
+  EnterKernel();
+  return instance_->WaitAll(results);
+}
+
 Status LiteClient::Write(Lh lh, uint64_t offset, const void* buf, uint64_t len) {
   lt::telemetry::ScopedSpan span(&instance_->node()->telemetry().tracer(), "LT_write");
   EnterKernel();
@@ -176,6 +181,17 @@ Status LiteClient::Unlock(const LockId& lock) {
 Status LiteClient::Barrier(const std::string& name, uint32_t expected) {
   EnterKernel();
   return instance_->Barrier(name, expected);
+}
+
+Status LiteClient::Migrate(const std::string& name, NodeId new_home,
+                           LiteInstance::MigrateStats* stats) {
+  EnterKernel();
+  return instance_->Migrate(name, new_home, stats);
+}
+
+Status LiteClient::DrainNode(NodeId victim, uint64_t* moved) {
+  EnterKernel();
+  return instance_->DrainNode(victim, moved);
 }
 
 }  // namespace lite

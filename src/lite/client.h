@@ -47,6 +47,9 @@ class LiteClient {
   StatusOr<bool> Poll(MemopHandle h);
   Status Wait(MemopHandle h);
   Status WaitAll();
+  // Per-handle variant: appends (handle, final status) for every retired op,
+  // so one dead peer doesn't swallow the other handles' outcomes.
+  Status WaitAll(std::vector<std::pair<MemopHandle, Status>>* results);
   Status Memset(Lh lh, uint64_t offset, uint8_t value, uint64_t len);
   Status Memcpy(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len);
   Status Memmove(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len);
@@ -72,6 +75,13 @@ class LiteClient {
   Status Lock(const LockId& lock);
   Status Unlock(const LockId& lock);
   Status Barrier(const std::string& name, uint32_t expected);
+
+  // ---- Management (DESIGN.md "Epoch-fenced ownership & live migration") ----
+  // LT_migrate: live-migrates the named LMR to `new_home`; LT_drain_node
+  // migrates every LMR hosted at `victim` to the remaining alive nodes.
+  Status Migrate(const std::string& name, NodeId new_home,
+                 LiteInstance::MigrateStats* stats = nullptr);
+  Status DrainNode(NodeId victim, uint64_t* moved = nullptr);
 
   // ---- Introspection ----
   // LT_stat: queries the node's telemetry registry (no boundary cost — the

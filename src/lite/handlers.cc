@@ -26,6 +26,25 @@ void ReplyOkPayload(LiteInstance* self, const ReplyToken& token, const WireWrite
   (void)self->ReplyRpc(token, out.data(), static_cast<uint32_t>(out.size()));
 }
 
+// Gates one local phys range against the node's migration guard. kOk means
+// proceed (close `gate` after the op lands); anything else is the NACK code
+// to reply with.
+lt::StatusCode GateLocalRange(LiteInstance* self, PhysAddr addr, uint64_t len, bool is_write,
+                              NodeId requester, AccessGate* gate) {
+  if (!self->migration().armed()) {
+    return lt::StatusCode::kOk;
+  }
+  switch (self->migration().OpenAccess(addr, len, is_write, requester, 0, gate)) {
+    case MigrationState::Gate::kStale:
+      return lt::StatusCode::kStaleHome;
+    case MigrationState::Gate::kBusy:
+      return lt::StatusCode::kUnavailable;
+    case MigrationState::Gate::kClear:
+      break;
+  }
+  return lt::StatusCode::kOk;
+}
+
 }  // namespace
 
 void LiteInstance::RegisterInternalHandlers() {
@@ -123,9 +142,14 @@ void LiteInstance::RegisterInternalHandlers() {
       meta.mapped_nodes.insert(requester);
       payload.Put<uint32_t>(want);
       payload.Put<uint64_t>(meta.size);
+      payload.Put<uint64_t>(meta.epoch);
       payload.PutChunks(meta.chunks);
       return lt::StatusCode::kOk;
     });
+    if (code == lt::StatusCode::kNotFound && self->migration().LookupTombstone(name).ok()) {
+      // The LMR migrated away; tell the client to re-resolve the home.
+      code = lt::StatusCode::kStaleHome;
+    }
     if (code != lt::StatusCode::kOk) {
       ReplyStatus(self, inc.token, code);
       return;
@@ -364,9 +388,17 @@ void LiteInstance::RegisterInternalHandlers() {
           ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
           return;
         }
+        AccessGate gate;
+        lt::StatusCode gated = GateLocalRange(self, addr, len, /*is_write=*/true,
+                                              inc.token.client_node, &gate);
+        if (gated != lt::StatusCode::kOk) {
+          ReplyStatus(self, inc.token, gated);
+          return;
+        }
         lt::SpinFor(p.local_op_base_ns + static_cast<uint64_t>(static_cast<double>(len) /
                                                                p.local_copy_bytes_per_ns));
         std::memset(self->node()->mem().Data(addr, len), value, len);
+        self->migration().CloseAccess(&gate, /*success=*/true);
       }
       ReplyStatus(self, inc.token, lt::StatusCode::kOk);
       return;
@@ -386,20 +418,39 @@ void LiteInstance::RegisterInternalHandlers() {
           ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
           return;
         }
+        AccessGate src_gate;
+        lt::StatusCode gated = GateLocalRange(self, src_addr, len, /*is_write=*/false,
+                                              inc.token.client_node, &src_gate);
+        if (gated != lt::StatusCode::kOk) {
+          ReplyStatus(self, inc.token, gated);
+          return;
+        }
         if (dst_node == self->node_id()) {
+          AccessGate dst_gate;
+          gated = GateLocalRange(self, dst_addr, len, /*is_write=*/true, inc.token.client_node,
+                                 &dst_gate);
+          if (gated != lt::StatusCode::kOk) {
+            self->migration().CloseAccess(&src_gate, /*success=*/false);
+            ReplyStatus(self, inc.token, gated);
+            return;
+          }
           lt::SpinFor(p.local_op_base_ns + static_cast<uint64_t>(static_cast<double>(len) /
                                                                  p.local_copy_bytes_per_ns));
           std::memmove(self->node()->mem().Data(dst_addr, len),
                        self->node()->mem().Data(src_addr, len), len);
+          self->migration().CloseAccess(&dst_gate, /*success=*/true);
         } else {
+          // The remote destination is gated by the op engine at post time.
           Status st = self->engine_.OneSidedWrite(dst_node, dst_addr,
                                                   self->node()->mem().Data(src_addr, len), len,
                                                   pri, /*signaled=*/true);
           if (!st.ok()) {
+            self->migration().CloseAccess(&src_gate, /*success=*/false);
             ReplyStatus(self, inc.token, st.code());
             return;
           }
         }
+        self->migration().CloseAccess(&src_gate, /*success=*/true);
       }
       ReplyStatus(self, inc.token, lt::StatusCode::kOk);
       return;
@@ -492,10 +543,11 @@ void LiteInstance::RegisterInternalHandlers() {
   // ---------------------------------------- manager recovery (Sec. 3.3)
   internal_handlers_[kFnListNames] = [](LiteInstance* self, const RpcIncoming& inc) {
     WireWriter payload;
-    std::vector<std::string> names = self->lmrs_.ListNames();
+    auto names = self->lmrs_.ListNames();
     payload.Put<uint32_t>(static_cast<uint32_t>(names.size()));
-    for (const std::string& name : names) {
+    for (const auto& [name, epoch] : names) {
       payload.PutString(name);
+      payload.Put<uint64_t>(epoch);
     }
     ReplyOkPayload(self, inc.token, payload);
   };
@@ -574,6 +626,9 @@ void LiteInstance::RegisterInternalHandlers() {
     payload.Put<uint64_t>(ring->ring_size);
     ReplyOkPayload(self, inc.token, payload);
   };
+
+  // Live-migration control plane (migration.cc).
+  RegisterMigrationHandlers();
 }
 
 }  // namespace lite

@@ -101,6 +101,7 @@ void LiteInstance::RegisterTelemetry() {
   qos_.SetJournal(journal_);
   qps_.SetTelemetry(qp_reconnects_, journal_);
   engine_.RegisterTelemetry(reg, journal_);
+  migration_.RegisterTelemetry(&reg, journal_);
 }
 
 LiteInstance::~LiteInstance() { Stop(); }

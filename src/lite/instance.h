@@ -28,6 +28,7 @@
 #include "src/common/status.h"
 #include "src/common/sync_util.h"
 #include "src/lite/lmr_table.h"
+#include "src/lite/migration.h"
 #include "src/lite/op_engine.h"
 #include "src/lite/qos.h"
 #include "src/lite/qp_manager.h"
@@ -61,6 +62,17 @@ struct LockId {
   PhysAddr addr = 0;
   bool valid() const { return owner != kInvalidNode; }
 };
+
+// Uniform Status for an op addressed to a peer the liveness service marked
+// dead. Every path — blocking memop, async retire, RPC — reports this same
+// code + message shape, so callers can match on one value.
+inline Status DeadPeerUnavailable() {
+  return Status::Unavailable("peer marked dead by liveness service");
+}
+
+// Redirect attempts after a kStaleHome NACK before giving up (each attempt
+// re-resolves the home through the old home's tombstone or the manager).
+constexpr int kMaxStaleRedirects = 4;
 
 class LiteInstance {
  public:
@@ -125,6 +137,12 @@ class LiteInstance {
   // LT_wait_all: retires every outstanding async op of this instance
   // (consuming their handles) and returns the first error, if any.
   Status WaitAll() { return engine_.WaitAll(); }
+  // Per-handle LT_wait_all: same retirement, but every retired handle's
+  // final status is appended to `results` — errors past the first are not
+  // swallowed (a dead home fails each affected op with the same shape).
+  Status WaitAll(std::vector<std::pair<MemopHandle, Status>>* results) {
+    return engine_.WaitAll(results);
+  }
   // Outstanding (not yet retired) async ops.
   size_t AsyncInFlight() const { return engine_.AsyncInFlight(); }
   // LT_memset / LT_memcpy / LT_memmove: executed at the node holding the
@@ -140,6 +158,27 @@ class LiteInstance {
   Status SetPermission(const std::string& name, NodeId grantee, uint32_t perm);
   Status MoveLmr(const std::string& name, NodeId new_node, Priority pri = Priority::kHigh);
   Status GrantMaster(const std::string& name, NodeId new_master);
+
+  // ---- Live LMR migration (DESIGN.md "Epoch-fenced ownership") ----
+  // Coordinator-side observables of one migration (bench/test introspection;
+  // only filled when the caller is the LMR's home, i.e. coordinates locally).
+  struct MigrateStats {
+    uint64_t rounds = 0;        // Converge re-copy rounds run.
+    uint64_t bytes_copied = 0;  // Mirror + converge + fence bytes shipped.
+    uint64_t dirty_bytes = 0;   // Bytes re-copied due to concurrent writes.
+    uint64_t fence_start_ns = 0;  // Virtual time the epoch fence began.
+    uint64_t commit_ns = 0;       // Virtual time ownership flipped (0 = aborted).
+  };
+  // LT_migrate: moves the named LMR — data, masters, permission metadata —
+  // to `new_home` under live traffic. Ops hitting the LMR keep completing
+  // during the copy (writes are dirty-logged and re-copied); a short epoch
+  // fence parks them around the ownership flip. On any failure the LMR
+  // cleanly stays at (or reverts to) its source. Routed to the current home.
+  Status Migrate(const std::string& name, NodeId new_home, MigrateStats* stats = nullptr);
+  // LT_drain_node: migrates every LMR hosted at `victim` to the other alive
+  // nodes (round-robin). `moved`, if given, returns the number migrated.
+  Status DrainNode(NodeId victim, uint64_t* moved = nullptr);
+  MigrationState& migration() { return migration_; }
 
   // ---- Cluster-manager recovery (paper Sec. 3.3) ----
   // Rebuilds the name service from every node's LMR metadata registry; the
@@ -342,6 +381,31 @@ class LiteInstance {
   // Name service (lives at manager_node_).
   StatusOr<NodeId> LookupMasterNode(const std::string& name);
 
+  // ---- Migration internals (migration.cc) ----
+  // The coordinator state machine, run at the LMR's home node:
+  // mirror -> converge -> fence -> activate -> commit, clean abort otherwise.
+  Status MigrateHosted(const std::string& name, NodeId dst, NodeId requester,
+                       MigrateStats* stats);
+  // Abort path: epoch-fences the source (epoch += 2 leapfrogs a possibly
+  // activated destination), uninstalls the staged copy, unparks waiters.
+  void AbortMigration(const std::shared_ptr<MigrationRecord>& rec, const std::string& name,
+                      NodeId dst, MigrationPhase phase_reached);
+  // Copies `intervals` (LMR-offset space; empty map = the whole LMR) from
+  // the old placement to the new one with multi-piece engine ops.
+  Status CopyLmrIntervals(const std::vector<LmrChunk>& old_chunks,
+                          const std::vector<LmrChunk>& new_chunks, uint64_t lmr_size,
+                          const std::map<uint64_t, uint64_t>* intervals, uint64_t* bytes_out);
+  // kStaleHome recovery: re-resolves `entry`'s home through the old home's
+  // tombstone (falling back to the manager when the old home is dead) and
+  // refreshes every local lh mapped to the name. Reloads *entry.
+  Status RefreshStaleLh(Lh lh, LhEntry* entry);
+  // Registers the kFnMigrate* / kFnStaleHome control handlers.
+  void RegisterMigrationHandlers();
+  // Blocking re-issue of an async memop that retired with kStaleHome
+  // (called by the op engine with no locks held).
+  Status RedoMemopAfterStale(Lh lh, uint64_t offset, void* buf, uint64_t len, bool is_read,
+                             Priority pri);
+
   // Registers this instance's lite.* metrics and probes (constructor-time).
   void RegisterTelemetry();
 
@@ -411,6 +475,9 @@ class LiteInstance {
   QpManager qps_;
   LmrTable lmrs_;
   OpEngine engine_;
+  // Epoch-fenced ownership guard + migration records (DESIGN.md). Costs one
+  // relaxed load per gated access while no migration has touched this node.
+  MigrationState migration_;
 
   // Service threads.
   std::vector<std::thread> threads_;

@@ -47,6 +47,18 @@ void LmrTable::UpdateChunksByName(const std::string& name, const std::vector<Lmr
   }
 }
 
+void LmrTable::UpdateHomeByName(const std::string& name, NodeId new_home,
+                                const std::vector<LmrChunk>& chunks, uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(lh_mu_);
+  for (auto& [lh, entry] : lh_table_) {
+    if (entry.name == name && entry.epoch < epoch) {
+      entry.master_node = new_home;
+      entry.chunks = chunks;
+      entry.epoch = epoch;
+    }
+  }
+}
+
 size_t LmrTable::lh_count() const {
   std::lock_guard<std::mutex> lock(lh_mu_);
   return lh_table_.size();
@@ -105,6 +117,17 @@ StatusOr<LmrMeta> LmrTable::TakeMetaIfMaster(const std::string& name, NodeId req
   return meta;
 }
 
+StatusOr<LmrMeta> LmrTable::TakeMeta(const std::string& name) {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  auto it = metas_.find(name);
+  if (it == metas_.end()) {
+    return Status::NotFound("unknown LMR name");
+  }
+  LmrMeta meta = std::move(it->second);
+  metas_.erase(it);
+  return meta;
+}
+
 std::set<NodeId> LmrTable::InstallChunks(const std::string& name,
                                          const std::vector<LmrChunk>& chunks) {
   std::lock_guard<std::mutex> lock(meta_mu_);
@@ -116,12 +139,12 @@ std::set<NodeId> LmrTable::InstallChunks(const std::string& name,
   return it->second.mapped_nodes;
 }
 
-std::vector<std::string> LmrTable::ListNames() const {
+std::vector<std::pair<std::string, uint64_t>> LmrTable::ListNames() const {
   std::lock_guard<std::mutex> lock(meta_mu_);
-  std::vector<std::string> names;
+  std::vector<std::pair<std::string, uint64_t>> names;
   names.reserve(metas_.size());
   for (const auto& [name, meta] : metas_) {
-    names.push_back(name);
+    names.emplace_back(name, meta.epoch);
   }
   return names;
 }
@@ -130,7 +153,7 @@ std::vector<std::string> LmrTable::ListNames() const {
 
 bool LmrTable::RegisterName(const std::string& name, NodeId master) {
   std::lock_guard<std::mutex> lock(names_mu_);
-  return names_.emplace(name, master).second;
+  return names_.emplace(name, std::make_pair(master, uint64_t{1})).second;
 }
 
 StatusOr<NodeId> LmrTable::LookupName(const std::string& name) const {
@@ -139,7 +162,7 @@ StatusOr<NodeId> LmrTable::LookupName(const std::string& name) const {
   if (it == names_.end()) {
     return Status::NotFound("name not registered");
   }
-  return it->second;
+  return it->second.first;
 }
 
 void LmrTable::UnregisterName(const std::string& name) {
@@ -147,7 +170,15 @@ void LmrTable::UnregisterName(const std::string& name) {
   names_.erase(name);
 }
 
-void LmrTable::ReplaceNames(std::unordered_map<std::string, NodeId> names) {
+void LmrTable::UpdateName(const std::string& name, NodeId new_home, uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(names_mu_);
+  auto it = names_.find(name);
+  if (it == names_.end() || it->second.second < epoch) {
+    names_[name] = {new_home, epoch};
+  }
+}
+
+void LmrTable::ReplaceNames(std::unordered_map<std::string, std::pair<NodeId, uint64_t>> names) {
   std::lock_guard<std::mutex> lock(names_mu_);
   names_ = std::move(names);
 }

@@ -22,7 +22,7 @@ namespace lite {
 using lt::Status;
 using lt::StatusOr;
 
-// Metadata of one LMR, living at its creator node.
+// Metadata of one LMR, living at its home (creator, or migration target) node.
 struct LmrMeta {
   std::string name;
   uint64_t size = 0;
@@ -31,6 +31,10 @@ struct LmrMeta {
   std::map<NodeId, uint32_t> node_perm;
   std::set<NodeId> mapped_nodes;
   std::set<NodeId> masters;
+  // Ownership epoch (DESIGN.md "Epoch-fenced ownership"): starts at 1, bumped
+  // on every home change. When two nodes both claim a name (a crash split the
+  // migration commit), the higher epoch wins name-service arbitration.
+  uint64_t epoch = 1;
 };
 
 // One local handle (lh) into an LMR, as held by applications on this node.
@@ -40,6 +44,7 @@ struct LhEntry {
   uint64_t size = 0;
   uint32_t perm = 0;
   std::vector<LmrChunk> chunks;
+  uint64_t epoch = 1;  // Home epoch this mapping was resolved against.
 };
 
 class LmrTable {
@@ -57,6 +62,11 @@ class LmrTable {
   void EraseByName(const std::string& name);
   // Rewrites the chunk placement of every lh pointing at `name` (LMR move).
   void UpdateChunksByName(const std::string& name, const std::vector<LmrChunk>& chunks);
+  // Re-homes every lh pointing at `name` (migration rehome fan-out): new
+  // master node, new chunk placement, new epoch. Entries already at a newer
+  // epoch are left alone (a late rehome must not roll a mapping back).
+  void UpdateHomeByName(const std::string& name, NodeId new_home,
+                        const std::vector<LmrChunk>& chunks, uint64_t epoch);
   size_t lh_count() const;
   // Bounds + permission check for one access through a handle.
   static Status CheckAccess(const LhEntry& e, uint64_t offset, uint64_t len, uint32_t need);
@@ -73,17 +83,25 @@ class LmrTable {
   StatusOr<LmrMeta> CopyMetaIfMaster(const std::string& name, NodeId requester) const;
   // Removes and returns the meta (LT_free at the master).
   StatusOr<LmrMeta> TakeMetaIfMaster(const std::string& name, NodeId requester);
+  // Unconditionally removes and returns the meta (migration commit at the
+  // source: home ownership transfers as one atomic take).
+  StatusOr<LmrMeta> TakeMeta(const std::string& name);
   // Swaps in a moved LMR's new placement; returns the mapped-node set the
   // caller must fan the update out to.
   std::set<NodeId> InstallChunks(const std::string& name, const std::vector<LmrChunk>& chunks);
-  std::vector<std::string> ListNames() const;
+  // Names mastered here with their current epochs (manager rebuild payload;
+  // the manager keeps the highest epoch when two nodes list the same name).
+  std::vector<std::pair<std::string, uint64_t>> ListNames() const;
 
   // ---- Name service (manager node only) ----
   // Returns false if the name is already registered.
   bool RegisterName(const std::string& name, NodeId master);
   StatusOr<NodeId> LookupName(const std::string& name) const;
   void UnregisterName(const std::string& name);
-  void ReplaceNames(std::unordered_map<std::string, NodeId> names);
+  // Migration commit: re-points `name` at `new_home` iff `epoch` is newer
+  // than the recorded one (late or replayed updates are ignored).
+  void UpdateName(const std::string& name, NodeId new_home, uint64_t epoch);
+  void ReplaceNames(std::unordered_map<std::string, std::pair<NodeId, uint64_t>> names);
   void ClearNames();
 
  private:
@@ -96,9 +114,10 @@ class LmrTable {
   mutable std::mutex meta_mu_;
   std::unordered_map<std::string, LmrMeta> metas_;
 
-  // Name service (populated only on the manager node).
+  // Name service (populated only on the manager node). Each record carries
+  // the home node and the epoch it was registered/updated at.
   mutable std::mutex names_mu_;
-  std::unordered_map<std::string, NodeId> names_;
+  std::unordered_map<std::string, std::pair<NodeId, uint64_t>> names_;
 };
 
 }  // namespace lite

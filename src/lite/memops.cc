@@ -149,7 +149,7 @@ Status LiteInstance::RebuildNameService() {
   if (node_id() != manager_node_) {
     return Status::FailedPrecondition("name service lives on the manager node");
   }
-  std::unordered_map<std::string, NodeId> rebuilt;
+  std::unordered_map<std::string, std::pair<NodeId, uint64_t>> rebuilt;
   for (NodeId peer = 0; peer < peers_.size(); ++peer) {
     if (peers_[peer] == nullptr) {
       continue;
@@ -169,10 +169,16 @@ Status LiteInstance::RebuildNameService() {
     }
     for (uint32_t i = 0; i < count; ++i) {
       std::string name;
-      if (!r.GetString(&name)) {
+      uint64_t epoch = 0;
+      if (!r.GetString(&name) || !r.Get(&epoch)) {
         return Status::Internal("malformed name-list entry");
       }
-      rebuilt[name] = peer;  // Metadata lives where the LMR was created.
+      // Two nodes can both claim a name when a crash split a migration
+      // commit; the higher ownership epoch wins the arbitration.
+      auto it = rebuilt.find(name);
+      if (it == rebuilt.end() || it->second.second < epoch) {
+        rebuilt[name] = {peer, epoch};
+      }
     }
   }
   lmrs_.ReplaceNames(std::move(rebuilt));
@@ -198,26 +204,61 @@ StatusOr<Lh> LiteInstance::Map(const std::string& name, uint32_t want_perm) {
   if (!master.ok()) {
     return master.status();
   }
-  WireWriter w;
-  w.PutString(name);
-  w.Put<uint32_t>(want_perm);
-  w.Put<NodeId>(node_id());
-  std::vector<uint8_t> out;
-  LT_RETURN_IF_ERROR(InternalRpc(*master, kFnMapLmr, w.bytes(), &out));
-  WireReader r(out.data(), out.size());
-  uint32_t perm = 0;
-  uint64_t size = 0;
-  std::vector<LmrChunk> chunks;
-  if (!r.Get(&perm) || !r.Get(&size) || !r.GetChunks(&chunks)) {
-    return Status::Internal("malformed map reply");
+  NodeId home = *master;
+  Status st = Status::Ok();
+  for (int attempt = 0; attempt <= kMaxStaleRedirects; ++attempt) {
+    WireWriter w;
+    w.PutString(name);
+    w.Put<uint32_t>(want_perm);
+    w.Put<NodeId>(node_id());
+    std::vector<uint8_t> out;
+    st = InternalRpc(home, kFnMapLmr, w.bytes(), &out);
+    if (st.code() == lt::StatusCode::kStaleHome) {
+      // The LMR migrated away; the old home's tombstone (or, if it died, a
+      // fresh manager lookup) names the new one. Chase it and retry.
+      WireWriter q;
+      q.PutString(name);
+      std::vector<uint8_t> fwd;
+      Status qs = InternalRpc(home, kFnStaleHome, q.bytes(), &fwd);
+      if (qs.ok()) {
+        WireReader fr(fwd.data(), fwd.size());
+        NodeId next = kInvalidNode;
+        uint64_t epoch = 0;
+        std::vector<LmrChunk> fwd_chunks;
+        if (fr.Get(&next) && fr.Get(&epoch) && fr.GetChunks(&fwd_chunks) && next != home) {
+          home = next;
+          continue;
+        }
+      }
+      auto again = LookupMasterNode(name);
+      if (!again.ok()) {
+        return again.status();
+      }
+      if (*again == home) {
+        return Status::Unavailable("LMR home still settling after migration");
+      }
+      home = *again;
+      continue;
+    }
+    LT_RETURN_IF_ERROR(st);
+    WireReader r(out.data(), out.size());
+    uint32_t perm = 0;
+    uint64_t size = 0;
+    uint64_t epoch = 0;
+    std::vector<LmrChunk> chunks;
+    if (!r.Get(&perm) || !r.Get(&size) || !r.Get(&epoch) || !r.GetChunks(&chunks)) {
+      return Status::Internal("malformed map reply");
+    }
+    LhEntry entry;
+    entry.name = name;
+    entry.master_node = home;
+    entry.size = size;
+    entry.perm = perm;
+    entry.chunks = std::move(chunks);
+    entry.epoch = epoch;
+    return InsertLh(std::move(entry));
   }
-  LhEntry entry;
-  entry.name = name;
-  entry.master_node = *master;
-  entry.size = size;
-  entry.perm = perm;
-  entry.chunks = std::move(chunks);
-  return InsertLh(std::move(entry));
+  return st;
 }
 
 StatusOr<uint64_t> LiteInstance::LmrSize(Lh lh) const {
@@ -264,22 +305,32 @@ Status LiteInstance::Read(Lh lh, uint64_t offset, void* buf, uint64_t len, Prior
   }
   LT_RETURN_IF_ERROR(CheckAccess(*entry, offset, len, kPermRead));
   lt::telemetry::StampStage(lt::telemetry::TraceStage::kLhCheck, len);
-  auto pieces = SliceChunks(entry->chunks, offset, len);
-  if (pieces.size() == 1) {
-    // Single-piece fast path: one WR, posted and waited inline.
-    const ChunkPiece& piece = pieces[0];
-    return engine_.OneSidedRead(piece.node, piece.addr,
+  Status st = Status::Ok();
+  for (int attempt = 0; attempt <= kMaxStaleRedirects; ++attempt) {
+    auto pieces = SliceChunks(entry->chunks, offset, len);
+    if (pieces.size() == 1) {
+      // Single-piece fast path: one WR, posted and waited inline.
+      const ChunkPiece& piece = pieces[0];
+      st = engine_.OneSidedRead(piece.node, piece.addr,
                                 static_cast<uint8_t*>(buf) + piece.user_off, piece.len, pri);
+    } else {
+      // Multi-piece: issue every piece back-to-back (doorbell-batched per QP),
+      // then wait for them all — pieces on different chunks/nodes overlap.
+      std::vector<OpEngine::OpDesc> descs;
+      descs.reserve(pieces.size());
+      for (const ChunkPiece& piece : pieces) {
+        descs.push_back(OpEngine::OpDesc{piece.node, piece.addr,
+                                         static_cast<uint8_t*>(buf) + piece.user_off, piece.len});
+      }
+      st = engine_.SubmitPieces(descs, /*is_read=*/true, pri);
+    }
+    if (st.code() != lt::StatusCode::kStaleHome) {
+      return st;
+    }
+    // The LMR migrated mid-op: refresh the mapping and re-issue in full.
+    LT_RETURN_IF_ERROR(RefreshStaleLh(lh, &*entry));
   }
-  // Multi-piece: issue every piece back-to-back (doorbell-batched per QP),
-  // then wait for them all — pieces on different chunks/nodes overlap.
-  std::vector<OpEngine::OpDesc> descs;
-  descs.reserve(pieces.size());
-  for (const ChunkPiece& piece : pieces) {
-    descs.push_back(OpEngine::OpDesc{piece.node, piece.addr,
-                                     static_cast<uint8_t*>(buf) + piece.user_off, piece.len});
-  }
-  return engine_.SubmitPieces(descs, /*is_read=*/true, pri);
+  return st;
 }
 
 Status LiteInstance::Write(Lh lh, uint64_t offset, const void* buf, uint64_t len, Priority pri) {
@@ -294,21 +345,30 @@ Status LiteInstance::Write(Lh lh, uint64_t offset, const void* buf, uint64_t len
   }
   LT_RETURN_IF_ERROR(CheckAccess(*entry, offset, len, kPermWrite));
   lt::telemetry::StampStage(lt::telemetry::TraceStage::kLhCheck, len);
-  auto pieces = SliceChunks(entry->chunks, offset, len);
-  if (pieces.size() == 1) {
-    const ChunkPiece& piece = pieces[0];
-    return engine_.OneSidedWrite(piece.node, piece.addr,
+  Status st = Status::Ok();
+  for (int attempt = 0; attempt <= kMaxStaleRedirects; ++attempt) {
+    auto pieces = SliceChunks(entry->chunks, offset, len);
+    if (pieces.size() == 1) {
+      const ChunkPiece& piece = pieces[0];
+      st = engine_.OneSidedWrite(piece.node, piece.addr,
                                  static_cast<const uint8_t*>(buf) + piece.user_off, piece.len,
                                  pri, /*signaled=*/true);
+    } else {
+      std::vector<OpEngine::OpDesc> descs;
+      descs.reserve(pieces.size());
+      for (const ChunkPiece& piece : pieces) {
+        descs.push_back(OpEngine::OpDesc{
+            piece.node, piece.addr,
+            const_cast<uint8_t*>(static_cast<const uint8_t*>(buf) + piece.user_off), piece.len});
+      }
+      st = engine_.SubmitPieces(descs, /*is_read=*/false, pri);
+    }
+    if (st.code() != lt::StatusCode::kStaleHome) {
+      return st;
+    }
+    LT_RETURN_IF_ERROR(RefreshStaleLh(lh, &*entry));
   }
-  std::vector<OpEngine::OpDesc> descs;
-  descs.reserve(pieces.size());
-  for (const ChunkPiece& piece : pieces) {
-    descs.push_back(OpEngine::OpDesc{
-        piece.node, piece.addr,
-        const_cast<uint8_t*>(static_cast<const uint8_t*>(buf) + piece.user_off), piece.len});
-  }
-  return engine_.SubmitPieces(descs, /*is_read=*/false, pri);
+  return st;
 }
 
 // ------------------------------------------- LT_memset / memcpy / memmove
@@ -328,24 +388,37 @@ Status LiteInstance::Memset(Lh lh, uint64_t offset, uint8_t value, uint64_t len,
 
   // Send one command per involved node; each node memsets its own pieces
   // locally (cheaper than shipping the pattern over the wire, Sec. 7.1).
-  auto pieces = SliceChunks(entry->chunks, offset, len);
-  std::map<NodeId, std::vector<ChunkPiece>> by_node;
-  for (const ChunkPiece& p : pieces) {
-    by_node[p.node].push_back(p);
-  }
-  for (const auto& [target, group] : by_node) {
-    WireWriter w;
-    w.Put<uint8_t>(0);  // op 0 = memset
-    w.Put<uint8_t>(static_cast<uint8_t>(pri));
-    w.Put<uint8_t>(value);
-    w.Put<uint32_t>(static_cast<uint32_t>(group.size()));
-    for (const ChunkPiece& p : group) {
-      w.Put<PhysAddr>(p.addr);
-      w.Put<uint64_t>(p.len);
+  Status st = Status::Ok();
+  for (int attempt = 0; attempt <= kMaxStaleRedirects; ++attempt) {
+    auto pieces = SliceChunks(entry->chunks, offset, len);
+    std::map<NodeId, std::vector<ChunkPiece>> by_node;
+    for (const ChunkPiece& p : pieces) {
+      by_node[p.node].push_back(p);
     }
-    LT_RETURN_IF_ERROR(InternalRpc(target, kFnMemOp, w.bytes(), nullptr, kDefaultTimeout, pri));
+    st = Status::Ok();
+    for (const auto& [target, group] : by_node) {
+      WireWriter w;
+      w.Put<uint8_t>(0);  // op 0 = memset
+      w.Put<uint8_t>(static_cast<uint8_t>(pri));
+      w.Put<uint8_t>(value);
+      w.Put<uint32_t>(static_cast<uint32_t>(group.size()));
+      for (const ChunkPiece& p : group) {
+        w.Put<PhysAddr>(p.addr);
+        w.Put<uint64_t>(p.len);
+      }
+      st = InternalRpc(target, kFnMemOp, w.bytes(), nullptr, kDefaultTimeout, pri);
+      if (!st.ok()) {
+        break;
+      }
+    }
+    if (st.code() != lt::StatusCode::kStaleHome) {
+      return st;
+    }
+    // Re-issuing the whole memset after a redirect is idempotent: the pattern
+    // write repeats on nodes that already applied it.
+    LT_RETURN_IF_ERROR(RefreshStaleLh(lh, &*entry));
   }
-  return Status::Ok();
+  return st;
 }
 
 namespace {
@@ -406,28 +479,41 @@ Status LiteInstance::Memcpy(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, 
   LT_RETURN_IF_ERROR(CheckAccess(*dst_entry, dst_off, len, kPermWrite));
   lt::telemetry::StampStage(lt::telemetry::TraceStage::kLhCheck, len);
 
-  auto segments = PairPieces(SliceChunks(src_entry->chunks, src_off, len),
-                             SliceChunks(dst_entry->chunks, dst_off, len));
-  // One LT_RPC to each node storing source data; that node either memcpys
-  // locally or LT_writes to the destination node (paper Sec. 7.1).
-  std::map<NodeId, std::vector<CopySegment>> by_src;
-  for (const CopySegment& seg : segments) {
-    by_src[seg.src_node].push_back(seg);
-  }
-  for (const auto& [target, group] : by_src) {
-    WireWriter w;
-    w.Put<uint8_t>(1);  // op 1 = memcpy
-    w.Put<uint8_t>(static_cast<uint8_t>(pri));
-    w.Put<uint32_t>(static_cast<uint32_t>(group.size()));
-    for (const CopySegment& seg : group) {
-      w.Put<PhysAddr>(seg.src_addr);
-      w.Put<NodeId>(seg.dst_node);
-      w.Put<PhysAddr>(seg.dst_addr);
-      w.Put<uint64_t>(seg.len);
+  Status st = Status::Ok();
+  for (int attempt = 0; attempt <= kMaxStaleRedirects; ++attempt) {
+    auto segments = PairPieces(SliceChunks(src_entry->chunks, src_off, len),
+                               SliceChunks(dst_entry->chunks, dst_off, len));
+    // One LT_RPC to each node storing source data; that node either memcpys
+    // locally or LT_writes to the destination node (paper Sec. 7.1).
+    std::map<NodeId, std::vector<CopySegment>> by_src;
+    for (const CopySegment& seg : segments) {
+      by_src[seg.src_node].push_back(seg);
     }
-    LT_RETURN_IF_ERROR(InternalRpc(target, kFnMemOp, w.bytes(), nullptr, kDefaultTimeout, pri));
+    st = Status::Ok();
+    for (const auto& [target, group] : by_src) {
+      WireWriter w;
+      w.Put<uint8_t>(1);  // op 1 = memcpy
+      w.Put<uint8_t>(static_cast<uint8_t>(pri));
+      w.Put<uint32_t>(static_cast<uint32_t>(group.size()));
+      for (const CopySegment& seg : group) {
+        w.Put<PhysAddr>(seg.src_addr);
+        w.Put<NodeId>(seg.dst_node);
+        w.Put<PhysAddr>(seg.dst_addr);
+        w.Put<uint64_t>(seg.len);
+      }
+      st = InternalRpc(target, kFnMemOp, w.bytes(), nullptr, kDefaultTimeout, pri);
+      if (!st.ok()) {
+        break;
+      }
+    }
+    if (st.code() != lt::StatusCode::kStaleHome) {
+      return st;
+    }
+    // Either side may have migrated; refresh both mappings and re-pair.
+    LT_RETURN_IF_ERROR(RefreshStaleLh(src, &*src_entry));
+    LT_RETURN_IF_ERROR(RefreshStaleLh(dst, &*dst_entry));
   }
-  return Status::Ok();
+  return st;
 }
 
 Status LiteInstance::Memmove(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len,
@@ -486,11 +572,18 @@ StatusOr<uint64_t> LiteInstance::FetchAdd(Lh lh, uint64_t offset, uint64_t delta
     return entry.status();
   }
   LT_RETURN_IF_ERROR(CheckAccess(*entry, offset, 8, kPermWrite));
-  auto pieces = SliceChunks(entry->chunks, offset, 8);
-  if (pieces.size() != 1) {
-    return Status::InvalidArgument("atomic target straddles LMR chunks");
+  for (int attempt = 0; attempt <= kMaxStaleRedirects; ++attempt) {
+    auto pieces = SliceChunks(entry->chunks, offset, 8);
+    if (pieces.size() != 1) {
+      return Status::InvalidArgument("atomic target straddles LMR chunks");
+    }
+    auto old_value = engine_.RemoteAtomic(pieces[0].node, pieces[0].addr, /*is_cas=*/false, delta, 0);
+    if (old_value.ok() || old_value.status().code() != lt::StatusCode::kStaleHome) {
+      return old_value;
+    }
+    LT_RETURN_IF_ERROR(RefreshStaleLh(lh, &*entry));
   }
-  return engine_.RemoteAtomic(pieces[0].node, pieces[0].addr, /*is_cas=*/false, delta, 0);
+  return Status::Unavailable("LMR home still settling after migration");
 }
 
 StatusOr<uint64_t> LiteInstance::TestSet(Lh lh, uint64_t offset, uint64_t expected,
@@ -501,11 +594,19 @@ StatusOr<uint64_t> LiteInstance::TestSet(Lh lh, uint64_t offset, uint64_t expect
     return entry.status();
   }
   LT_RETURN_IF_ERROR(CheckAccess(*entry, offset, 8, kPermWrite));
-  auto pieces = SliceChunks(entry->chunks, offset, 8);
-  if (pieces.size() != 1) {
-    return Status::InvalidArgument("atomic target straddles LMR chunks");
+  for (int attempt = 0; attempt <= kMaxStaleRedirects; ++attempt) {
+    auto pieces = SliceChunks(entry->chunks, offset, 8);
+    if (pieces.size() != 1) {
+      return Status::InvalidArgument("atomic target straddles LMR chunks");
+    }
+    auto old_value =
+        engine_.RemoteAtomic(pieces[0].node, pieces[0].addr, /*is_cas=*/true, expected, desired);
+    if (old_value.ok() || old_value.status().code() != lt::StatusCode::kStaleHome) {
+      return old_value;
+    }
+    LT_RETURN_IF_ERROR(RefreshStaleLh(lh, &*entry));
   }
-  return engine_.RemoteAtomic(pieces[0].node, pieces[0].addr, /*is_cas=*/true, expected, desired);
+  return Status::Unavailable("LMR home still settling after migration");
 }
 
 // ------------------------------------------------------- distributed locks

@@ -40,7 +40,9 @@ StatusOr<MemopHandle> LiteInstance::IssueAsyncMemop(Lh lh, uint64_t offset, void
     descs.push_back(OpEngine::OpDesc{piece.node, piece.addr,
                                      static_cast<uint8_t*>(buf) + piece.user_off, piece.len});
   }
-  return engine_.IssueAsyncPieces(descs, is_read, pri);
+  // The origin tuple lets the engine transparently re-resolve and re-issue
+  // the whole memop if it retires with kStaleHome (LMR migrated mid-flight).
+  return engine_.IssueAsyncPieces(descs, is_read, pri, lh, offset, buf, len);
 }
 
 StatusOr<MemopHandle> LiteInstance::RpcAsync(NodeId server_node, RpcFuncId func, const void* in,

@@ -1,0 +1,1121 @@
+// Live LMR migration: the epoch-fenced ownership guard (MigrationState) and
+// the coordinator state machine + control-plane handlers, all declared in
+// migration.h / instance.h. See DESIGN.md "Epoch-fenced ownership & live
+// migration" for the phase diagram and abort rules.
+#include "src/lite/migration.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/common/timing.h"
+#include "src/lite/instance.h"
+#include "src/lite/wire.h"
+
+namespace lite {
+
+using lt::NowNs;
+using lt::telemetry::JournalEvent;
+using lt::telemetry::PackLink;
+using lt::telemetry::PackName8;
+
+namespace {
+
+// Real-time bound on one fence park. The fence spans one token drain, one
+// bounded re-copy, and one activate RPC — milliseconds of real time — so a
+// park that outlives this cap means the coordinator is wedged; the op then
+// surfaces kBusy and rides the issuer's transient-retry loop back here.
+constexpr uint64_t kParkCapRealNs = 2'000'000'000ull;
+
+// Merges [begin, end) into an interval map keyed by range start.
+void InsertInterval(std::map<uint64_t, uint64_t>* m, uint64_t begin, uint64_t end) {
+  if (begin >= end) {
+    return;
+  }
+  auto it = m->upper_bound(begin);
+  if (it != m->begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= begin) {
+      begin = prev->first;
+      end = std::max(end, prev->second);
+      m->erase(prev);
+    }
+  }
+  while (it != m->end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = m->erase(it);
+  }
+  (*m)[begin] = end;
+}
+
+}  // namespace
+
+// =============================================================== guard side
+
+void MigrationState::RegisterTelemetry(lt::telemetry::Registry* registry,
+                                       lt::telemetry::Journal* journal) {
+  journal_ = journal;
+  started_ = registry->GetCounter("lite.migrate.started");
+  committed_ = registry->GetCounter("lite.migrate.committed");
+  aborted_ = registry->GetCounter("lite.migrate.aborted");
+  rounds_ = registry->GetCounter("lite.migrate.rounds");
+  bytes_copied_ = registry->GetCounter("lite.migrate.bytes_copied");
+  dirty_bytes_ = registry->GetCounter("lite.migrate.dirty_bytes");
+  parked_ops_ = registry->GetCounter("lite.migrate.parked_ops");
+  stale_nacks_ = registry->GetCounter("lite.migrate.stale_nacks");
+  redirects_ = registry->GetCounter("lite.migrate.redirects");
+  drained_lmrs_ = registry->GetCounter("lite.migrate.drained_lmrs");
+}
+
+std::shared_ptr<MigrationRecord> MigrationState::FindRange(PhysAddr addr, uint64_t len) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ranges_.upper_bound(addr);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (addr < prev->second.end) {
+      return prev->second.rec;
+    }
+  }
+  // Defensive: an access starting below a range but reaching into it (cannot
+  // happen for chunk-sliced pieces, which never cross a chunk boundary).
+  if (it != ranges_.end() && it->first < addr + len) {
+    return it->second.rec;
+  }
+  return nullptr;
+}
+
+void MigrationState::AddDirtyLocked(MigrationRecord* rec, PhysAddr addr, uint64_t len) {
+  for (size_t i = 0; i < rec->old_chunks.size(); ++i) {
+    const LmrChunk& c = rec->old_chunks[i];
+    if (addr >= c.addr && addr < c.addr + c.size) {
+      const uint64_t off = rec->chunk_lmr_base[i] + (addr - c.addr);
+      const uint64_t take = std::min(len, c.addr + c.size - addr);
+      InsertInterval(&rec->dirty, off, off + take);
+      return;
+    }
+  }
+}
+
+MigrationState::Gate MigrationState::OpenAccess(PhysAddr addr, uint64_t len, bool is_write,
+                                                NodeId requester, uint64_t park_cap_real_ns,
+                                                AccessGate* gate) {
+  std::shared_ptr<MigrationRecord> rec = FindRange(addr, len);
+  if (rec == nullptr) {
+    return Gate::kClear;
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::nanoseconds(park_cap_real_ns == 0 ? kParkCapRealNs
+                                                                       : park_cap_real_ns);
+  std::unique_lock<std::mutex> lock(rec->mu);
+  bool parked = false;
+  while (true) {
+    switch (rec->phase) {
+      case MigrationPhase::kCommitted: {
+        // The LMR left this node: NACK so the issuer re-resolves the home.
+        const uint64_t unpark = rec->unpark_vtime_ns;
+        const uint64_t epoch = rec->old_epoch;
+        lock.unlock();
+        if (parked) {
+          lt::SyncClockTo(unpark);
+        }
+        if (stale_nacks_ != nullptr) {
+          stale_nacks_->Inc();
+        }
+        if (journal_ != nullptr) {
+          journal_->Record(JournalEvent::kStaleHomeNack, requester, epoch);
+        }
+        return Gate::kStale;
+      }
+      case MigrationPhase::kAborted: {
+        // The record is inert; this node stays home. No token needed.
+        const uint64_t unpark = rec->unpark_vtime_ns;
+        lock.unlock();
+        if (parked) {
+          lt::SyncClockTo(unpark);
+        }
+        return Gate::kClear;
+      }
+      case MigrationPhase::kMirror:
+      case MigrationPhase::kConverge:
+        // Proceed under a token; writes are dirty-logged at CloseAccess
+        // (after the data landed), so the coordinator re-copies them.
+        ++rec->tokens;
+        gate->rec = rec;
+        gate->addr = addr;
+        gate->len = len;
+        gate->is_write = is_write;
+        return Gate::kClear;
+      case MigrationPhase::kIdle:
+      case MigrationPhase::kFence: {
+        // Park: a real-time condvar wait charging zero virtual time. On
+        // unpark the waiter jumps its clock to the coordinator's
+        // commit/abort point, so measured downtime is the fence's virtual
+        // span, not the wall time the coordinator happened to take.
+        if (!parked) {
+          parked = true;
+          if (parked_ops_ != nullptr) {
+            parked_ops_->Inc();
+          }
+        }
+        if (rec->cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+            (rec->phase == MigrationPhase::kFence || rec->phase == MigrationPhase::kIdle)) {
+          return Gate::kBusy;
+        }
+        break;
+      }
+    }
+  }
+}
+
+void MigrationState::CloseAccess(AccessGate* gate, bool success) {
+  if (gate->rec == nullptr) {
+    return;
+  }
+  std::shared_ptr<MigrationRecord> rec = std::move(gate->rec);
+  {
+    std::lock_guard<std::mutex> lock(rec->mu);
+    if (success && gate->is_write && rec->phase != MigrationPhase::kAborted) {
+      AddDirtyLocked(rec.get(), gate->addr, gate->len);
+    }
+    if (rec->tokens > 0) {
+      --rec->tokens;
+    }
+  }
+  rec->cv.notify_all();
+}
+
+// ========================================================= coordinator side
+
+StatusOr<std::shared_ptr<MigrationRecord>> MigrationState::Begin(
+    const std::string& name, NodeId src, NodeId dst, uint64_t old_epoch,
+    const std::vector<LmrChunk>& chunks, uint64_t lmr_size) {
+  auto rec = std::make_shared<MigrationRecord>();
+  rec->name = name;
+  rec->src = src;
+  rec->dst = dst;
+  rec->old_epoch = old_epoch;
+  rec->old_chunks = chunks;
+  uint64_t base = 0;
+  for (const LmrChunk& c : chunks) {
+    rec->chunk_lmr_base.push_back(base);
+    base += c.size;
+  }
+  if (base != lmr_size) {
+    return Status::Internal("LMR chunk placement does not cover its size");
+  }
+  rec->phase = MigrationPhase::kMirror;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(name);
+  if (it != records_.end()) {
+    // A clean abort leaves an inert record. A committed tombstone is stale
+    // once the LMR has migrated back here at an epoch >= the one it left
+    // with (its quarantined ranges stay armed below). Either one may be
+    // replaced; anything else is a migration genuinely in flight.
+    const bool inert = it->second->phase == MigrationPhase::kAborted;
+    const bool superseded = it->second->phase == MigrationPhase::kCommitted &&
+                            it->second->new_epoch <= old_epoch;
+    if (!inert && !superseded) {
+      return Status::FailedPrecondition("LMR already migrating or already migrated away");
+    }
+    records_.erase(it);
+  }
+  for (const LmrChunk& c : chunks) {
+    ranges_[c.addr] = RangeRef{c.addr + c.size, rec};
+  }
+  records_[name] = rec;
+  armed_.store(records_.size() + ranges_.size(), std::memory_order_relaxed);
+  return rec;
+}
+
+void MigrationState::SetPhase(const std::shared_ptr<MigrationRecord>& rec, MigrationPhase phase) {
+  {
+    std::lock_guard<std::mutex> lock(rec->mu);
+    rec->phase = phase;
+  }
+  rec->cv.notify_all();
+  if (journal_ != nullptr) {
+    journal_->Record(JournalEvent::kMigratePhase, PackName8(rec->name.c_str()),
+                     static_cast<uint64_t>(phase));
+  }
+}
+
+bool MigrationState::DrainTokens(const std::shared_ptr<MigrationRecord>& rec,
+                                 uint64_t cap_real_ns) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(cap_real_ns);
+  std::unique_lock<std::mutex> lock(rec->mu);
+  while (rec->tokens > 0) {
+    if (rec->cv.wait_until(lock, deadline) == std::cv_status::timeout && rec->tokens > 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::map<uint64_t, uint64_t> MigrationState::TakeDirty(
+    const std::shared_ptr<MigrationRecord>& rec) {
+  std::lock_guard<std::mutex> lock(rec->mu);
+  std::map<uint64_t, uint64_t> dirty = std::move(rec->dirty);
+  rec->dirty.clear();
+  return dirty;
+}
+
+void MigrationState::Commit(const std::shared_ptr<MigrationRecord>& rec, NodeId new_home,
+                            uint64_t new_epoch, std::vector<LmrChunk> new_chunks,
+                            uint64_t unpark_vtime_ns) {
+  {
+    std::lock_guard<std::mutex> lock(rec->mu);
+    rec->phase = MigrationPhase::kCommitted;
+    rec->new_home = new_home;
+    rec->new_epoch = new_epoch;
+    rec->new_chunks = std::move(new_chunks);
+    rec->unpark_vtime_ns = unpark_vtime_ns;
+    rec->dirty.clear();
+  }
+  // The record stays in records_ (tombstone for kFnStaleHome) and its old
+  // ranges stay in ranges_ forever: a stale-epoch access must keep resolving
+  // here so the gate can NACK it, which means the old physical ranges are
+  // quarantined — never freed, never reused (deliberate bounded leak;
+  // DESIGN.md "Quarantine rule").
+  rec->cv.notify_all();
+}
+
+void MigrationState::Abort(const std::shared_ptr<MigrationRecord>& rec,
+                           uint64_t unpark_vtime_ns) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const LmrChunk& c : rec->old_chunks) {
+      auto it = ranges_.find(c.addr);
+      if (it != ranges_.end() && it->second.rec == rec) {
+        ranges_.erase(it);
+      }
+    }
+    auto it = records_.find(rec->name);
+    if (it != records_.end() && it->second == rec) {
+      records_.erase(it);
+    }
+    armed_.store(records_.size() + ranges_.size(), std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(rec->mu);
+    rec->phase = MigrationPhase::kAborted;
+    rec->unpark_vtime_ns = unpark_vtime_ns;
+    rec->dirty.clear();
+  }
+  rec->cv.notify_all();
+}
+
+StatusOr<StaleRedirect> MigrationState::LookupTombstone(const std::string& name) const {
+  std::shared_ptr<MigrationRecord> rec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = records_.find(name);
+    if (it == records_.end()) {
+      return Status::NotFound("no migration record for name");
+    }
+    rec = it->second;
+  }
+  std::lock_guard<std::mutex> lock(rec->mu);
+  if (rec->phase != MigrationPhase::kCommitted) {
+    return Status::NotFound("migration not committed");
+  }
+  StaleRedirect redir;
+  redir.new_home = rec->new_home;
+  redir.epoch = rec->new_epoch;
+  redir.chunks = rec->new_chunks;
+  return redir;
+}
+
+void MigrationState::Supersede(const std::string& name, uint64_t current_epoch) {
+  std::shared_ptr<MigrationRecord> rec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = records_.find(name);
+    if (it == records_.end()) {
+      return;
+    }
+    rec = it->second;
+  }
+  {
+    std::lock_guard<std::mutex> lock(rec->mu);
+    if (rec->phase != MigrationPhase::kCommitted || rec->new_epoch > current_epoch) {
+      return;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(name);
+  if (it != records_.end() && it->second == rec) {
+    records_.erase(it);
+  }
+  // The tombstone's old ranges stay in ranges_ (still reachable through the
+  // shared_ptr there): accesses from epochs before the LMR left keep NACKing
+  // into a redirect instead of touching quarantined memory.
+  armed_.store(records_.size() + ranges_.size(), std::memory_order_relaxed);
+}
+
+bool MigrationState::Stage(const std::string& name, StagedInstall staged) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return staged_.emplace(name, std::move(staged)).second;
+}
+
+StatusOr<StagedInstall> MigrationState::TakeStaged(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = staged_.find(name);
+  if (it == staged_.end()) {
+    return Status::NotFound("no staged install for name");
+  }
+  StagedInstall staged = std::move(it->second);
+  staged_.erase(it);
+  return staged;
+}
+
+// ============================================== coordinator (LiteInstance)
+
+Status LiteInstance::CopyLmrIntervals(const std::vector<LmrChunk>& old_chunks,
+                                      const std::vector<LmrChunk>& new_chunks, uint64_t lmr_size,
+                                      const std::map<uint64_t, uint64_t>* intervals,
+                                      uint64_t* bytes_out) {
+  std::map<uint64_t, uint64_t> whole;
+  if (intervals == nullptr) {
+    whole[0] = lmr_size;
+    intervals = &whole;
+  }
+  std::vector<OpEngine::OpDesc> descs;
+  uint64_t total = 0;
+  for (const auto& [begin, end] : *intervals) {
+    if (begin >= lmr_size) {
+      continue;
+    }
+    const uint64_t len = std::min(end, lmr_size) - begin;
+    auto src_pieces = SliceChunks(old_chunks, begin, len);
+    auto dst_pieces = SliceChunks(new_chunks, begin, len);
+    size_t si = 0;
+    size_t di = 0;
+    uint64_t soff = 0;
+    uint64_t doff = 0;
+    while (si < src_pieces.size() && di < dst_pieces.size()) {
+      const uint64_t take = std::min(src_pieces[si].len - soff, dst_pieces[di].len - doff);
+      descs.push_back(OpEngine::OpDesc{
+          dst_pieces[di].node, dst_pieces[di].addr + doff,
+          node_->mem().Data(src_pieces[si].addr + soff, take), take});
+      total += take;
+      soff += take;
+      doff += take;
+      if (soff == src_pieces[si].len) {
+        ++si;
+        soff = 0;
+      }
+      if (doff == dst_pieces[di].len) {
+        ++di;
+        doff = 0;
+      }
+    }
+  }
+  if (bytes_out != nullptr) {
+    *bytes_out = total;
+  }
+  if (descs.empty()) {
+    return Status::Ok();
+  }
+  return engine_.SubmitPieces(descs, /*is_read=*/false, Priority::kHigh);
+}
+
+void LiteInstance::AbortMigration(const std::shared_ptr<MigrationRecord>& rec,
+                                  const std::string& name, NodeId dst,
+                                  MigrationPhase phase_reached) {
+  // Epoch fencing: bump the source's epoch by 2 so it leapfrogs a
+  // destination that may have activated at old_epoch + 1 without us learning
+  // of it (activate reply lost). Name-service arbitration — UpdateName and
+  // the rebuild path both keep the highest epoch — then resolves any
+  // split-brain back to the source.
+  uint64_t fenced_epoch = 0;
+  (void)lmrs_.WithMeta(name, [&](LmrMeta& m) {
+    m.epoch += 2;
+    fenced_epoch = m.epoch;
+    return lt::StatusCode::kOk;
+  });
+  migration_.Abort(rec, NowNs());
+  if (migration_.aborted_ != nullptr) {
+    migration_.aborted_->Inc();
+  }
+  if (journal_ != nullptr) {
+    journal_->Record(JournalEvent::kMigrateAbort, PackName8(name.c_str()),
+                     static_cast<uint64_t>(phase_reached));
+  }
+  // Best-effort uninstall of the staged copy at the destination (leaks until
+  // the destination restarts if it is unreachable — documented).
+  if (!PeerDead(dst)) {
+    WireWriter w;
+    w.PutString(name);
+    RpcCallOpts opts;
+    opts.max_retries = 0;
+    (void)InternalRpcOpts(dst, kFnMigrateAbort, w.bytes(), nullptr, opts);
+  }
+  // Best-effort re-pin at the manager under the fenced epoch.
+  if (fenced_epoch != 0) {
+    if (manager_node_ == node_id()) {
+      lmrs_.UpdateName(name, node_id(), fenced_epoch);
+    } else if (!PeerDead(manager_node_)) {
+      WireWriter w;
+      w.PutString(name);
+      w.Put<NodeId>(node_id());
+      w.Put<uint64_t>(fenced_epoch);
+      RpcCallOpts opts;
+      opts.max_retries = 0;
+      (void)InternalRpcOpts(manager_node_, kFnUpdateName, w.bytes(), nullptr, opts);
+    }
+  }
+}
+
+Status LiteInstance::MigrateHosted(const std::string& name, NodeId dst, NodeId requester,
+                                   MigrateStats* stats) {
+  if (dst == node_id()) {
+    return Status::InvalidArgument("LMR already lives on the destination node");
+  }
+  if (Peer(dst) == nullptr) {
+    return Status::InvalidArgument("unknown destination node");
+  }
+  if (PeerDead(dst)) {
+    return DeadPeerUnavailable();
+  }
+
+  LmrMeta meta;
+  bool allowed = false;
+  lt::StatusCode code = lmrs_.WithMeta(name, [&](LmrMeta& m) {
+    meta = m;
+    allowed = m.masters.count(requester) > 0 || requester == node_id() ||
+              requester == manager_node_;
+    return lt::StatusCode::kOk;
+  });
+  if (code != lt::StatusCode::kOk) {
+    return Status::NotFound("LMR is not hosted on this node");
+  }
+  if (!allowed) {
+    return Status::PermissionDenied("migration requires the master role or operator authority");
+  }
+  for (const LmrChunk& c : meta.chunks) {
+    if (c.node != node_id()) {
+      return Status::FailedPrecondition("cannot migrate an LMR spread across nodes");
+    }
+  }
+
+  const uint64_t new_epoch = meta.epoch + 1;
+  auto begun = migration_.Begin(name, node_id(), dst, meta.epoch, meta.chunks, meta.size);
+  if (!begun.ok()) {
+    return begun.status();
+  }
+  std::shared_ptr<MigrationRecord> rec = *begun;
+  if (migration_.started_ != nullptr) {
+    migration_.started_->Inc();
+  }
+  if (journal_ != nullptr) {
+    journal_->Record(JournalEvent::kMigrateStart, PackName8(name.c_str()),
+                     PackLink(node_id(), dst));
+    journal_->Record(JournalEvent::kMigratePhase, PackName8(name.c_str()),
+                     static_cast<uint64_t>(MigrationPhase::kMirror));
+  }
+
+  // ---- Phase 1, kMirror: stage chunks at the destination, bulk-copy. ----
+  std::vector<LmrChunk> new_chunks;
+  {
+    WireWriter w;
+    w.PutString(name);
+    w.Put<NodeId>(node_id());
+    w.Put<uint64_t>(meta.size);
+    w.Put<uint64_t>(new_epoch);
+    std::vector<uint8_t> out;
+    Status st = InternalRpc(dst, kFnMigrateInstall, w.bytes(), &out);
+    if (st.ok()) {
+      WireReader r(out.data(), out.size());
+      if (!r.GetChunks(&new_chunks) || new_chunks.empty()) {
+        st = Status::Internal("malformed migrate-install reply");
+      }
+    }
+    if (!st.ok()) {
+      AbortMigration(rec, name, dst, MigrationPhase::kMirror);
+      return st;
+    }
+  }
+  {
+    uint64_t copied = 0;
+    Status st = CopyLmrIntervals(meta.chunks, new_chunks, meta.size, nullptr, &copied);
+    if (migration_.bytes_copied_ != nullptr) {
+      migration_.bytes_copied_->Inc(copied);
+    }
+    if (stats != nullptr) {
+      stats->bytes_copied += copied;
+    }
+    if (!st.ok()) {
+      AbortMigration(rec, name, dst, MigrationPhase::kMirror);
+      return st;
+    }
+  }
+
+  // ---- Phase 2, kConverge: bounded re-copy of concurrently dirtied data. --
+  migration_.SetPhase(rec, MigrationPhase::kConverge);
+  const uint32_t max_rounds = std::max<uint32_t>(1, params().lite_migrate_max_rounds);
+  for (uint32_t round = 0; round < max_rounds; ++round) {
+    auto dirty = migration_.TakeDirty(rec);
+    if (dirty.empty()) {
+      break;
+    }
+    if (migration_.rounds_ != nullptr) {
+      migration_.rounds_->Inc();
+    }
+    if (stats != nullptr) {
+      ++stats->rounds;
+    }
+    uint64_t copied = 0;
+    Status st = CopyLmrIntervals(meta.chunks, new_chunks, meta.size, &dirty, &copied);
+    if (migration_.bytes_copied_ != nullptr) {
+      migration_.bytes_copied_->Inc(copied);
+    }
+    if (migration_.dirty_bytes_ != nullptr) {
+      migration_.dirty_bytes_->Inc(copied);
+    }
+    if (stats != nullptr) {
+      stats->bytes_copied += copied;
+      stats->dirty_bytes += copied;
+    }
+    if (!st.ok()) {
+      AbortMigration(rec, name, dst, MigrationPhase::kConverge);
+      return st;
+    }
+  }
+
+  // ---- Phase 3, kFence: park new ops, drain in-flight ones, final copy. --
+  if (stats != nullptr) {
+    stats->fence_start_ns = NowNs();
+  }
+  migration_.SetPhase(rec, MigrationPhase::kFence);
+  if (!migration_.DrainTokens(rec, kParkCapRealNs)) {
+    AbortMigration(rec, name, dst, MigrationPhase::kFence);
+    return Status::Timeout("migration fence could not drain in-flight ops");
+  }
+  {
+    auto final_dirty = migration_.TakeDirty(rec);
+    if (!final_dirty.empty()) {
+      uint64_t copied = 0;
+      Status st = CopyLmrIntervals(meta.chunks, new_chunks, meta.size, &final_dirty, &copied);
+      if (migration_.bytes_copied_ != nullptr) {
+        migration_.bytes_copied_->Inc(copied);
+      }
+      if (migration_.dirty_bytes_ != nullptr) {
+        migration_.dirty_bytes_->Inc(copied);
+      }
+      if (stats != nullptr) {
+        stats->bytes_copied += copied;
+        stats->dirty_bytes += copied;
+      }
+      if (!st.ok()) {
+        AbortMigration(rec, name, dst, MigrationPhase::kFence);
+        return st;
+      }
+    }
+  }
+
+  // ---- Commit point: activate the destination. The RPC layer dedups
+  // transparent retries, so the handler runs at most once; if the call still
+  // fails the outcome is unknown and we abort under the epoch fence. ----
+  {
+    WireWriter w;
+    w.PutString(name);
+    w.Put<uint64_t>(new_epoch);
+    w.Put<uint32_t>(meta.default_perm);
+    w.Put<uint32_t>(static_cast<uint32_t>(meta.node_perm.size()));
+    for (const auto& [node, perm] : meta.node_perm) {
+      w.Put<NodeId>(node);
+      w.Put<uint32_t>(perm);
+    }
+    w.Put<uint32_t>(static_cast<uint32_t>(meta.masters.size()));
+    for (NodeId m : meta.masters) {
+      w.Put<NodeId>(m);
+    }
+    w.Put<uint32_t>(static_cast<uint32_t>(meta.mapped_nodes.size()));
+    for (NodeId m : meta.mapped_nodes) {
+      w.Put<NodeId>(m);
+    }
+    Status st = InternalRpc(dst, kFnMigrateActivate, w.bytes(), nullptr);
+    if (!st.ok()) {
+      AbortMigration(rec, name, dst, MigrationPhase::kFence);
+      return st;
+    }
+  }
+
+  // The destination is home: flip the gate to its tombstone form (unparking
+  // fenced ops into kStaleHome redirects), then drop the local metadata.
+  const uint64_t commit_vtime = NowNs();
+  migration_.Commit(rec, dst, new_epoch, new_chunks, commit_vtime);
+  (void)lmrs_.TakeMeta(name);
+  if (migration_.committed_ != nullptr) {
+    migration_.committed_->Inc();
+  }
+  if (journal_ != nullptr) {
+    journal_->Record(JournalEvent::kMigrateCommit, PackName8(name.c_str()), new_epoch);
+    journal_->Record(JournalEvent::kMigratePhase, PackName8(name.c_str()),
+                     static_cast<uint64_t>(MigrationPhase::kCommitted));
+  }
+  if (stats != nullptr) {
+    stats->commit_ns = commit_vtime;
+  }
+  // Our own mappings follow immediately; everyone else learns via the
+  // rehome fan-out below or lazily via a stale-home NACK.
+  lmrs_.UpdateHomeByName(name, dst, new_chunks, new_epoch);
+
+  // Post-commit, off the blocked-op critical path: re-point the name
+  // service (best-effort — the tombstone covers the window) and fan the new
+  // placement out to every node that mapped the LMR.
+  if (manager_node_ == node_id()) {
+    lmrs_.UpdateName(name, dst, new_epoch);
+  } else if (!PeerDead(manager_node_)) {
+    WireWriter w;
+    w.PutString(name);
+    w.Put<NodeId>(dst);
+    w.Put<uint64_t>(new_epoch);
+    RpcCallOpts opts;
+    opts.max_retries = 0;
+    (void)InternalRpcOpts(manager_node_, kFnUpdateName, w.bytes(), nullptr, opts);
+  }
+  {
+    WireWriter w;
+    w.PutString(name);
+    w.Put<NodeId>(dst);
+    w.Put<uint64_t>(new_epoch);
+    w.PutChunks(new_chunks);
+    for (NodeId mapped : meta.mapped_nodes) {
+      if (mapped == node_id() || mapped == dst || PeerDead(mapped)) {
+        continue;
+      }
+      (void)RpcSendNoReply(mapped, kFnLmrRehome, w.bytes().data(),
+                           static_cast<uint32_t>(w.bytes().size()));
+    }
+  }
+  // The old chunks stay quarantined (see MigrationState::Commit): freeing
+  // them would let the allocator hand the ranges to a new LMR, turning a
+  // stale-epoch access into silent corruption instead of a NACK.
+  return Status::Ok();
+}
+
+Status LiteInstance::Migrate(const std::string& name, NodeId new_home, MigrateStats* stats) {
+  const bool hosted_here =
+      lmrs_.WithMeta(name, [](LmrMeta&) { return lt::StatusCode::kOk; }) == lt::StatusCode::kOk;
+  if (hosted_here) {
+    return MigrateHosted(name, new_home, node_id(), stats);
+  }
+  auto home = LookupMasterNode(name);
+  if (!home.ok()) {
+    return home.status();
+  }
+  if (*home == node_id()) {
+    return Status::NotFound("name service points here but no local metadata for LMR");
+  }
+  WireWriter w;
+  w.PutString(name);
+  w.Put<NodeId>(new_home);
+  w.Put<NodeId>(node_id());
+  // Generous timeout: the coordinator mirrors the whole LMR inside the call.
+  return InternalRpc(*home, kFnMigrateLmr, w.bytes(), nullptr,
+                     /*timeout_ns=*/120'000'000'000ull);
+}
+
+Status LiteInstance::DrainNode(NodeId victim, uint64_t* moved) {
+  if (moved != nullptr) {
+    *moved = 0;
+  }
+  if (victim != node_id() && Peer(victim) == nullptr) {
+    return Status::InvalidArgument("unknown node to drain");
+  }
+  if (PeerDead(victim)) {
+    return DeadPeerUnavailable();
+  }
+
+  // Names hosted at the victim.
+  std::vector<std::pair<std::string, uint64_t>> names;
+  if (victim == node_id()) {
+    names = lmrs_.ListNames();
+  } else {
+    WireWriter empty;
+    std::vector<uint8_t> out;
+    LT_RETURN_IF_ERROR(InternalRpc(victim, kFnListNames, empty.bytes(), &out));
+    WireReader r(out.data(), out.size());
+    uint32_t count = 0;
+    if (!r.Get(&count)) {
+      return Status::Internal("malformed name-list reply");
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+      std::string name;
+      uint64_t epoch = 0;
+      if (!r.GetString(&name) || !r.Get(&epoch)) {
+        return Status::Internal("malformed name-list entry");
+      }
+      names.emplace_back(std::move(name), epoch);
+    }
+  }
+
+  // Destinations: every alive peer except the victim, round-robin.
+  std::vector<NodeId> targets;
+  for (NodeId n = 0; n < peers_.size(); ++n) {
+    if (peers_[n] != nullptr && n != victim && !PeerDead(n)) {
+      targets.push_back(n);
+    }
+  }
+  if (targets.empty()) {
+    return Status::FailedPrecondition("no alive destination node for drain");
+  }
+
+  Status first = Status::Ok();
+  size_t next = 0;
+  for (const auto& [name, epoch] : names) {
+    (void)epoch;
+    const NodeId dst = targets[next++ % targets.size()];
+    Status st;
+    if (victim == node_id()) {
+      st = MigrateHosted(name, dst, node_id(), nullptr);
+    } else {
+      WireWriter w;
+      w.PutString(name);
+      w.Put<NodeId>(dst);
+      w.Put<NodeId>(node_id());
+      st = InternalRpc(victim, kFnMigrateLmr, w.bytes(), nullptr,
+                       /*timeout_ns=*/120'000'000'000ull);
+    }
+    if (st.ok()) {
+      if (migration_.drained_lmrs_ != nullptr) {
+        migration_.drained_lmrs_->Inc();
+      }
+      if (moved != nullptr) {
+        ++*moved;
+      }
+    } else if (first.ok()) {
+      first = st;
+    }
+  }
+  return first;
+}
+
+// ================================================== stale-home redirection
+
+Status LiteInstance::RefreshStaleLh(Lh lh, LhEntry* entry) {
+  if (migration_.redirects_ != nullptr) {
+    migration_.redirects_->Inc();
+  }
+  const std::string name = entry->name;
+  const NodeId old_home = entry->master_node;
+
+  auto query = [&](NodeId target, StaleRedirect* redir) -> Status {
+    WireWriter w;
+    w.PutString(name);
+    std::vector<uint8_t> out;
+    LT_RETURN_IF_ERROR(InternalRpc(target, kFnStaleHome, w.bytes(), &out));
+    WireReader r(out.data(), out.size());
+    if (!r.Get(&redir->new_home) || !r.Get(&redir->epoch) || !r.GetChunks(&redir->chunks)) {
+      return Status::Internal("malformed stale-home reply");
+    }
+    return Status::Ok();
+  };
+
+  StaleRedirect redir;
+  Status st = Status::Unavailable("old home unreachable");
+  if (old_home == node_id()) {
+    // Live local metadata first (the LMR may have migrated back here), then
+    // the tombstone.
+    bool have = false;
+    (void)lmrs_.WithMeta(name, [&](LmrMeta& meta) {
+      redir.new_home = node_id();
+      redir.epoch = meta.epoch;
+      redir.chunks = meta.chunks;
+      have = true;
+      return lt::StatusCode::kOk;
+    });
+    if (have) {
+      st = Status::Ok();
+    } else {
+      auto tomb = migration_.LookupTombstone(name);
+      if (tomb.ok()) {
+        redir = *tomb;
+        st = Status::Ok();
+      }
+    }
+  } else if (!PeerDead(old_home)) {
+    st = query(old_home, &redir);
+  }
+  if (!st.ok()) {
+    // The old home is dead or lost its record: fall back to the manager's
+    // name service, then confirm placement with the resolved home itself.
+    auto home = LookupMasterNode(name);
+    if (!home.ok()) {
+      return home.status();
+    }
+    LT_RETURN_IF_ERROR(query(*home, &redir));
+  }
+  if (redir.epoch <= entry->epoch) {
+    // A racing refresh may have advanced the local mapping between our NACK
+    // and this resolution; if so the entry is already usable as-is.
+    auto fresh = lmrs_.Get(lh);
+    if (fresh.ok() && fresh->epoch > entry->epoch) {
+      *entry = *fresh;
+      return Status::Ok();
+    }
+    return Status::Unavailable("home re-resolution did not advance the LMR epoch");
+  }
+  lmrs_.UpdateHomeByName(name, redir.new_home, redir.chunks, redir.epoch);
+  auto fresh = lmrs_.Get(lh);
+  if (!fresh.ok()) {
+    return fresh.status();
+  }
+  *entry = *fresh;
+  return Status::Ok();
+}
+
+Status LiteInstance::RedoMemopAfterStale(Lh lh, uint64_t offset, void* buf, uint64_t len,
+                                         bool is_read, Priority pri) {
+  auto entry = GetLh(lh);
+  if (!entry.ok()) {
+    return entry.status();
+  }
+  // Submit against the current mapping first: a concurrent redo (another op
+  // of the same lh) may already have refreshed it, in which case a refresh
+  // here would see no epoch advance and fail spuriously.
+  Status st = Status::Ok();
+  for (int i = 0; i <= kMaxStaleRedirects; ++i) {
+    auto pieces = SliceChunks(entry->chunks, offset, len);
+    std::vector<OpEngine::OpDesc> descs;
+    descs.reserve(pieces.size());
+    for (const ChunkPiece& p : pieces) {
+      descs.push_back(OpEngine::OpDesc{p.node, p.addr, static_cast<uint8_t*>(buf) + p.user_off,
+                                       p.len});
+    }
+    st = engine_.SubmitPieces(descs, is_read, pri);
+    if (st.code() != lt::StatusCode::kStaleHome) {
+      return st;
+    }
+    LT_RETURN_IF_ERROR(RefreshStaleLh(lh, &*entry));
+  }
+  return st;
+}
+
+// ======================================================= control handlers
+
+namespace {
+
+void ReplyStatus(LiteInstance* self, const ReplyToken& token, lt::StatusCode code) {
+  uint32_t wire_code = static_cast<uint32_t>(code);
+  (void)self->ReplyRpc(token, &wire_code, sizeof(wire_code));
+}
+
+void ReplyOkPayload(LiteInstance* self, const ReplyToken& token, const WireWriter& payload) {
+  const auto& bytes = payload.bytes();
+  std::vector<uint8_t> out(sizeof(uint32_t) + bytes.size());
+  uint32_t code = static_cast<uint32_t>(lt::StatusCode::kOk);
+  std::memcpy(out.data(), &code, sizeof(code));
+  std::memcpy(out.data() + sizeof(code), bytes.data(), bytes.size());
+  (void)self->ReplyRpc(token, out.data(), static_cast<uint32_t>(out.size()));
+}
+
+}  // namespace
+
+void LiteInstance::RegisterMigrationHandlers() {
+  // Destination: allocate + stage the new placement. Transparent RPC retries
+  // are deduped by the server ring, so this executes at most once per call.
+  internal_handlers_[kFnMigrateInstall] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    std::string name;
+    NodeId src = kInvalidNode;
+    uint64_t size = 0;
+    uint64_t new_epoch = 0;
+    if (!r.GetString(&name) || !r.Get(&src) || !r.Get(&size) || !r.Get(&new_epoch) ||
+        size == 0) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+      return;
+    }
+    const bool hosted =
+        self->lmrs_.WithMeta(name, [](LmrMeta&) { return lt::StatusCode::kOk; }) ==
+        lt::StatusCode::kOk;
+    if (hosted) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kAlreadyExists);
+      return;
+    }
+    auto chunks = self->AllocLocalChunks(size);
+    if (!chunks.ok()) {
+      ReplyStatus(self, inc.token, chunks.status().code());
+      return;
+    }
+    StagedInstall staged;
+    staged.src = src;
+    staged.size = size;
+    staged.new_epoch = new_epoch;
+    staged.chunks = *chunks;
+    if (!self->migration_.Stage(name, std::move(staged))) {
+      self->FreeLocalChunks(*chunks);
+      ReplyStatus(self, inc.token, lt::StatusCode::kAlreadyExists);
+      return;
+    }
+    WireWriter payload;
+    payload.PutChunks(*chunks);
+    ReplyOkPayload(self, inc.token, payload);
+  };
+
+  // Destination: the commit point. Promotes the staged chunks to a hosted
+  // LMR at the new epoch.
+  internal_handlers_[kFnMigrateActivate] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    std::string name;
+    uint64_t new_epoch = 0;
+    uint32_t default_perm = 0;
+    uint32_t perm_count = 0;
+    if (!r.GetString(&name) || !r.Get(&new_epoch) || !r.Get(&default_perm) ||
+        !r.Get(&perm_count)) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+      return;
+    }
+    std::map<NodeId, uint32_t> node_perm;
+    for (uint32_t i = 0; i < perm_count; ++i) {
+      NodeId node = kInvalidNode;
+      uint32_t perm = 0;
+      if (!r.Get(&node) || !r.Get(&perm)) {
+        ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+        return;
+      }
+      node_perm[node] = perm;
+    }
+    auto read_nodes = [&](std::set<NodeId>* out) {
+      uint32_t count = 0;
+      if (!r.Get(&count)) {
+        return false;
+      }
+      for (uint32_t i = 0; i < count; ++i) {
+        NodeId node = kInvalidNode;
+        if (!r.Get(&node)) {
+          return false;
+        }
+        out->insert(node);
+      }
+      return true;
+    };
+    std::set<NodeId> masters;
+    std::set<NodeId> mapped;
+    if (!read_nodes(&masters) || !read_nodes(&mapped)) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+      return;
+    }
+    auto staged = self->migration_.TakeStaged(name);
+    if (!staged.ok()) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kNotFound);
+      return;
+    }
+    LmrMeta meta;
+    meta.name = name;
+    meta.size = staged->size;
+    meta.chunks = staged->chunks;
+    meta.default_perm = default_perm;
+    meta.node_perm = std::move(node_perm);
+    meta.masters = std::move(masters);
+    meta.mapped_nodes = std::move(mapped);
+    meta.mapped_nodes.insert(self->node_id());
+    meta.epoch = new_epoch;
+    const std::vector<LmrChunk> chunks = meta.chunks;
+    self->lmrs_.InsertMeta(std::move(meta));
+    // Any of our own lhs mapped to the old home follow immediately.
+    self->lmrs_.UpdateHomeByName(name, self->node_id(), chunks, new_epoch);
+    // If this node migrated the LMR away in an earlier epoch, that tombstone
+    // is obsolete now that we are home again — retire it so a later
+    // migration from here can begin.
+    self->migration_.Supersede(name, new_epoch);
+    ReplyStatus(self, inc.token, lt::StatusCode::kOk);
+  };
+
+  // Destination: clean abort — drop the staged allocation. If activation
+  // already happened this is a stale abort from a split outcome; the meta
+  // stays and epoch arbitration at the source decides (DESIGN.md).
+  internal_handlers_[kFnMigrateAbort] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    std::string name;
+    if (r.GetString(&name)) {
+      auto staged = self->migration_.TakeStaged(name);
+      if (staged.ok()) {
+        self->FreeLocalChunks(staged->chunks);
+      }
+    }
+    ReplyStatus(self, inc.token, lt::StatusCode::kOk);
+  };
+
+  // Manager: epoch-guarded name-service repoint.
+  internal_handlers_[kFnUpdateName] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    std::string name;
+    NodeId new_home = kInvalidNode;
+    uint64_t epoch = 0;
+    if (!r.GetString(&name) || !r.Get(&new_home) || !r.Get(&epoch)) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+      return;
+    }
+    self->lmrs_.UpdateName(name, new_home, epoch);
+    ReplyStatus(self, inc.token, lt::StatusCode::kOk);
+  };
+
+  // Home: coordinator entry point (LT_migrate routed from another node).
+  internal_handlers_[kFnMigrateLmr] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    std::string name;
+    NodeId dst = kInvalidNode;
+    NodeId requester = kInvalidNode;
+    if (!r.GetString(&name) || !r.Get(&dst) || !r.Get(&requester)) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+      return;
+    }
+    Status st = self->MigrateHosted(name, dst, requester, nullptr);
+    ReplyStatus(self, inc.token, st.code());
+  };
+
+  // Mapped nodes: post-commit rehome fan-out (fire-and-forget).
+  internal_handlers_[kFnLmrRehome] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    std::string name;
+    NodeId new_home = kInvalidNode;
+    uint64_t epoch = 0;
+    std::vector<LmrChunk> chunks;
+    if (r.GetString(&name) && r.Get(&new_home) && r.Get(&epoch) && r.GetChunks(&chunks)) {
+      self->lmrs_.UpdateHomeByName(name, new_home, chunks, epoch);
+    }
+  };
+
+  // Old home (or any node): where does `name` live now? Serves the
+  // migration tombstone, or the live local metadata when this node is home.
+  internal_handlers_[kFnStaleHome] = [](LiteInstance* self, const RpcIncoming& inc) {
+    WireReader r(inc.data.data(), inc.data.size());
+    std::string name;
+    if (!r.GetString(&name)) {
+      ReplyStatus(self, inc.token, lt::StatusCode::kInvalidArgument);
+      return;
+    }
+    // Live local metadata wins over any tombstone: if the LMR migrated back
+    // here, this node IS home and the old tombstone must not redirect
+    // callers away from it.
+    StaleRedirect redir;
+    bool have = false;
+    (void)self->lmrs_.WithMeta(name, [&](LmrMeta& meta) {
+      redir.new_home = self->node_id();
+      redir.epoch = meta.epoch;
+      redir.chunks = meta.chunks;
+      have = true;
+      return lt::StatusCode::kOk;
+    });
+    if (!have) {
+      auto tomb = self->migration_.LookupTombstone(name);
+      if (!tomb.ok()) {
+        ReplyStatus(self, inc.token, lt::StatusCode::kNotFound);
+        return;
+      }
+      redir = *tomb;
+    }
+    WireWriter payload;
+    payload.Put<NodeId>(redir.new_home);
+    payload.Put<uint64_t>(redir.epoch);
+    payload.PutChunks(redir.chunks);
+    ReplyOkPayload(self, inc.token, payload);
+  };
+}
+
+}  // namespace lite

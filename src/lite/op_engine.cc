@@ -39,6 +39,45 @@ bool TransientCode(const Status& s) {
   return s.code() == lt::StatusCode::kUnavailable || s.code() == lt::StatusCode::kTimeout;
 }
 
+// Issuer-side migration gate (the simulated analogue of the responder NIC
+// checking its protection tables): consults `target`'s migration guard before
+// a data access to its memory. kOk means proceed — the caller must
+// CloseAccess(gate, landed) once the post's outcome is known. Costs one
+// relaxed load when the target has never migrated anything.
+Status GateAccess(LiteInstance* issuer, LiteInstance* target, PhysAddr addr, uint64_t len,
+                  bool is_write, AccessGate* gate) {
+  if (target == nullptr || !target->migration().armed()) {
+    return Status::Ok();
+  }
+  switch (target->migration().OpenAccess(addr, len, is_write, issuer->node_id(),
+                                         /*park_cap_real_ns=*/0, gate)) {
+    case MigrationState::Gate::kStale:
+      return Status::StaleHome("target LMR migrated away; re-resolve its home");
+    case MigrationState::Gate::kBusy:
+      return Status::Unavailable("migration fence busy");
+    case MigrationState::Gate::kClear:
+      break;
+  }
+  return Status::Ok();
+}
+
+// True for WRs that touch LMR data at the destination and therefore go
+// through the migration gate. Zero-length writes (async flush fences) and
+// ring/IMM traffic are exempt.
+bool GatedDataOp(const lt::WorkRequest& wr) {
+  switch (wr.opcode) {
+    case WrOpcode::kRead:
+      return true;
+    case WrOpcode::kWrite:
+      return wr.length > 0;
+    case WrOpcode::kFetchAdd:
+    case WrOpcode::kCmpSwap:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 void OpEngine::RegisterTelemetry(lt::telemetry::Registry& reg, lt::telemetry::Journal* journal) {
@@ -82,15 +121,36 @@ StatusOr<Completion> OpEngine::PostAndWait(NodeId dst, WorkRequest* wr, Priority
       backoff_ns *= 2;
       if (inst_->PeerDead(dst)) {
         inst_->rpc_dead_fast_fail_->Inc();
-        return Status::Unavailable("peer marked dead by liveness service");
+        return DeadPeerUnavailable();
       }
     }
     int idx = qp_idx >= 0 ? qp_idx : inst_->qps_.PickQpIndex(dst, pri);
     if (!inst_->qps_.Valid(dst, idx)) {
       return Status::Unavailable("no QP to destination node");
     }
+    // Migration gate, opened per attempt (a retry must re-check the phase:
+    // the fence may have committed in between). The gate may park here —
+    // real-time wait, zero virtual charge — until the fence resolves.
+    LiteInstance* peer = inst_->Peer(dst);
+    AccessGate gate;
+    const bool gated = GatedDataOp(*wr) && peer != nullptr && peer->migration().armed();
+    if (gated) {
+      const bool is_write = wr->opcode != WrOpcode::kRead;
+      const uint64_t gate_len =
+          (wr->opcode == WrOpcode::kFetchAdd || wr->opcode == WrOpcode::kCmpSwap) ? 8
+                                                                                  : wr->length;
+      Status g = GateAccess(inst_, peer, wr->remote_addr, gate_len, is_write, &gate);
+      if (g.code() == lt::StatusCode::kStaleHome) {
+        return g;  // Non-transient: the caller must re-resolve the home.
+      }
+      if (!g.ok()) {
+        last = g;  // Fence busy: transient, retry with backoff.
+        continue;
+      }
+    }
     Qp* qp = inst_->qps_.qp(dst, idx);
     wr->wr_id = NextWrId();
+    Status posted = Status::Ok();
     {
       // The QP lock covers only the post; waiting happens outside so threads
       // sharing a pool QP overlap their in-flight ops (the whole point of
@@ -99,14 +159,21 @@ StatusOr<Completion> OpEngine::PostAndWait(NodeId dst, WorkRequest* wr, Priority
       if (qp->in_error()) {
         inst_->qps_.RecoverQp(qp);
       }
-      Status posted = inst_->rnic().PostSend(qp, *wr);
-      if (!posted.ok()) {
-        last = posted;
-        if (posted.code() == lt::StatusCode::kFailedPrecondition) {
-          continue;  // Lost a race to a concurrent error; recover and retry.
-        }
-        return posted;
+      posted = inst_->rnic().PostSend(qp, *wr);
+    }
+    // Data movement is synchronous inside PostSend (the simulated DMA), so
+    // the gate closes right after the post: an Ok post means the bytes are
+    // at the destination (or dirty-logged harmlessly if the fabric dropped
+    // the request — the error surfaces via the CQE below).
+    if (gated) {
+      peer->migration().CloseAccess(&gate, posted.ok());
+    }
+    if (!posted.ok()) {
+      last = posted;
+      if (posted.code() == lt::StatusCode::kFailedPrecondition) {
+        continue;  // Lost a race to a concurrent error; recover and retry.
       }
+      return posted;
     }
     auto c = qp->send_cq()->WaitPollFor(wr->wr_id, inst_->params().lite_rpc_timeout_ns,
                                         WaitMode::kBusyPoll);
@@ -131,7 +198,10 @@ Status OpEngine::OneSidedWrite(NodeId dst, PhysAddr dst_addr, const void* src, u
   engine_ops_->Inc();
   inst_->qos_.Admit(pri, len);
   if (dst == inst_->node_id()) {
+    AccessGate gate;
+    LT_RETURN_IF_ERROR(GateAccess(inst_, inst_, dst_addr, len, /*is_write=*/true, &gate));
     inst_->LocalCopyIn(dst_addr, src, len);
+    inst_->migration().CloseAccess(&gate, /*success=*/true);
     return Status::Ok();
   }
   WorkRequest wr;
@@ -219,7 +289,10 @@ Status OpEngine::OneSidedRead(NodeId src_node, PhysAddr src_addr, void* dst, uin
   engine_ops_->Inc();
   inst_->qos_.Admit(pri, len);
   if (src_node == inst_->node_id()) {
+    AccessGate gate;
+    LT_RETURN_IF_ERROR(GateAccess(inst_, inst_, src_addr, len, /*is_write=*/false, &gate));
     inst_->LocalCopyOut(dst, src_addr, len);
+    inst_->migration().CloseAccess(&gate, /*success=*/true);
     return Status::Ok();
   }
   WorkRequest wr;
@@ -250,6 +323,8 @@ StatusOr<uint64_t> OpEngine::RemoteAtomic(NodeId dst, PhysAddr addr, bool is_cas
   engine_ops_->Inc();
   inst_->qos_.Admit(Priority::kHigh, 8);
   if (dst == inst_->node_id()) {
+    AccessGate gate;
+    LT_RETURN_IF_ERROR(GateAccess(inst_, inst_, addr, 8, /*is_write=*/true, &gate));
     SpinFor(inst_->params().local_op_base_ns + inst_->params().rnic_atomic_extra_ns / 2);
     uint8_t* p = inst_->node_->mem().Data(addr, 8);
     // Serialize against remote atomics through the same responder path.
@@ -262,6 +337,7 @@ StatusOr<uint64_t> OpEngine::RemoteAtomic(NodeId dst, PhysAddr addr, bool is_cas
     } else {
       old_value = __atomic_fetch_add(reinterpret_cast<uint64_t*>(p), compare_add, __ATOMIC_SEQ_CST);
     }
+    inst_->migration().CloseAccess(&gate, /*success=*/true);
     return old_value;
   }
   uint64_t old_value = 0;
@@ -297,16 +373,27 @@ Status OpEngine::SubmitPieces(const std::vector<OpDesc>& pieces, bool is_read, P
     WorkRequest wr;
     bool posted = false;
   };
+  Status result = Status::Ok();
   std::vector<Posted> remote;
   remote.reserve(pieces.size());
   for (const OpDesc& piece : pieces) {
     if (piece.node == inst_->node_id()) {
-      // Local pieces complete inline (same fast path as the 1-piece op).
+      // Local pieces complete inline (same fast path as the 1-piece op),
+      // gated against our own migration guard.
+      AccessGate gate;
+      Status g = GateAccess(inst_, inst_, piece.addr, piece.len, !is_read, &gate);
+      if (!g.ok()) {
+        if (result.ok()) {
+          result = g;
+        }
+        continue;
+      }
       if (is_read) {
         inst_->LocalCopyOut(piece.local, piece.addr, piece.len);
       } else {
         inst_->LocalCopyIn(piece.addr, piece.local, piece.len);
       }
+      inst_->migration().CloseAccess(&gate, /*success=*/true);
       continue;
     }
     inst_->qos_.Admit(pri, piece.len);
@@ -324,12 +411,22 @@ Status OpEngine::SubmitPieces(const std::vector<OpDesc>& pieces, bool is_read, P
     wr.inline_data = !is_read;  // The RNIC applies its rnic_inline_max cut.
     wr.wr_id = NextWrId();
     if (p.qp_idx >= 0) {
-      Qp* qp = inst_->qps_.qp(p.dst, p.qp_idx);
-      std::lock_guard<std::mutex> qlock(inst_->qps_.mu(p.dst, p.qp_idx));
-      if (qp->in_error()) {
-        inst_->qps_.RecoverQp(qp);
+      LiteInstance* peer = inst_->Peer(p.dst);
+      AccessGate gate;
+      Status g = GateAccess(inst_, peer, wr.remote_addr, wr.length, !is_read, &gate);
+      if (g.ok()) {
+        Qp* qp = inst_->qps_.qp(p.dst, p.qp_idx);
+        {
+          std::lock_guard<std::mutex> qlock(inst_->qps_.mu(p.dst, p.qp_idx));
+          if (qp->in_error()) {
+            inst_->qps_.RecoverQp(qp);
+          }
+          p.posted = inst_->rnic().PostSend(qp, wr).ok();
+        }
+        peer->migration().CloseAccess(&gate, p.posted);
       }
-      p.posted = inst_->rnic().PostSend(qp, wr).ok();
+      // Gate NACK: left unposted; the wait phase re-gates via PostAndWait,
+      // which either parks through the fence or surfaces kStaleHome.
     }
     // A failed (or impossible) post leaves p.posted false; the wait phase
     // re-posts it through the retry loop.
@@ -342,7 +439,6 @@ Status OpEngine::SubmitPieces(const std::vector<OpDesc>& pieces, bool is_read, P
   // Wait phase: harvest every piece, re-posting transient failures with the
   // blocking retry loop. All pieces drain even after an error, so no WQE is
   // left dangling against the caller's buffer.
-  Status result = Status::Ok();
   uint64_t ready = 0;
   for (Posted& p : remote) {
     std::optional<Completion> c;
@@ -358,7 +454,7 @@ Status OpEngine::SubmitPieces(const std::vector<OpDesc>& pieces, bool is_read, P
       s = c->status;  // Non-transient (permission, bounds): do not retry.
     } else if (inst_->PeerDead(p.dst)) {
       inst_->rpc_dead_fast_fail_->Inc();
-      s = Status::Unavailable("peer marked dead by liveness service");
+      s = DeadPeerUnavailable();
     } else {
       if (p.posted) {
         // The piece reached the wire and failed (or timed out): true retry.
@@ -395,12 +491,18 @@ Status OpEngine::SubmitPieces(const std::vector<OpDesc>& pieces, bool is_read, P
 // ----------------------------------------------------------- async issue
 
 StatusOr<MemopHandle> OpEngine::IssueAsyncPieces(const std::vector<OpDesc>& pieces, bool is_read,
-                                                 Priority pri) {
+                                                 Priority pri, Lh origin_lh, uint64_t origin_off,
+                                                 void* origin_buf, uint64_t origin_len) {
   engine_ops_->Inc();
   async_ops_issued_->Inc();
 
   auto op = std::make_unique<AsyncOp>();
   op->pri = pri;
+  op->origin_lh = origin_lh;
+  op->origin_off = origin_off;
+  op->origin_buf = origin_buf;
+  op->origin_len = origin_len;
+  op->origin_is_read = is_read;
   const uint32_t signal_every = std::max<uint32_t>(1, inst_->params().lite_async_signal_every);
 
   std::unique_lock<std::mutex> lock(async_mu_);
@@ -412,14 +514,26 @@ StatusOr<MemopHandle> OpEngine::IssueAsyncPieces(const std::vector<OpDesc>& piec
   for (const OpDesc& piece : pieces) {
     uint8_t* user = static_cast<uint8_t*>(piece.local);
     if (piece.node == inst_->node_id()) {
-      // Local pieces complete at issue time (same fast path as blocking).
-      if (is_read) {
-        inst_->LocalCopyOut(user, piece.addr, piece.len);
-      } else {
-        inst_->LocalCopyIn(piece.addr, user, piece.len);
-      }
+      // Local pieces complete at issue time (same fast path as blocking),
+      // gated against our own migration guard. A NACK is recorded as the
+      // op's issue error; retirement folds it in (and the stale-home redo
+      // then re-issues the whole memop against the new home).
       AsyncWqe wqe;
       wqe.done = true;
+      AccessGate gate;
+      Status g = GateAccess(inst_, inst_, piece.addr, piece.len, !is_read, &gate);
+      if (!g.ok()) {
+        if (op->issue_error.ok()) {
+          op->issue_error = g;
+        }
+      } else {
+        if (is_read) {
+          inst_->LocalCopyOut(user, piece.addr, piece.len);
+        } else {
+          inst_->LocalCopyIn(piece.addr, user, piece.len);
+        }
+        inst_->migration().CloseAccess(&gate, /*success=*/true);
+      }
       wqe.ready_at_ns = NowNs();
       op->wqes.push_back(wqe);
       continue;
@@ -442,14 +556,22 @@ StatusOr<MemopHandle> OpEngine::IssueAsyncPieces(const std::vector<OpDesc>& piec
       wqe.stream_pos = stream.next_pos++;
       wqe.signaled = ((wqe.stream_pos + 1) % signal_every == 0);
       wr.signaled = wqe.signaled;
-      Qp* qp = inst_->qps_.qp(piece.node, wqe.qp_idx);
-      {
-        std::lock_guard<std::mutex> qlock(inst_->qps_.mu(piece.node, wqe.qp_idx));
-        if (qp->in_error()) {
-          inst_->qps_.RecoverQp(qp);
+      LiteInstance* peer = inst_->Peer(piece.node);
+      AccessGate gate;
+      Status g = GateAccess(inst_, peer, wr.remote_addr, wr.length, !is_read, &gate);
+      if (g.ok()) {
+        Qp* qp = inst_->qps_.qp(piece.node, wqe.qp_idx);
+        {
+          std::lock_guard<std::mutex> qlock(inst_->qps_.mu(piece.node, wqe.qp_idx));
+          if (qp->in_error()) {
+            inst_->qps_.RecoverQp(qp);
+          }
+          wqe.posted = inst_->rnic().PostSend(qp, wr).ok();
         }
-        wqe.posted = inst_->rnic().PostSend(qp, wr).ok();
+        peer->migration().CloseAccess(&gate, wqe.posted);
       }
+      // Gate NACK: left unposted; retirement re-posts through PostAndWait,
+      // which re-gates (parking through the fence or surfacing kStaleHome).
       if (wqe.posted && wqe.signaled) {
         stream.signaled_pending[wqe.stream_pos] = wr.wr_id;
       }
@@ -461,7 +583,9 @@ StatusOr<MemopHandle> OpEngine::IssueAsyncPieces(const std::vector<OpDesc>& piec
 
   const MemopHandle h = next_memop_handle_.fetch_add(1);
   op->id = h;
-  bool all_done = true;
+  // An issue-time error (gate NACK on a local piece) keeps the op in flight
+  // so retirement folds the error in and can run the stale-home redo.
+  bool all_done = op->issue_error.ok();
   uint64_t ready = NowNs();
   for (const AsyncWqe& wqe : op->wqes) {
     all_done = all_done && wqe.done;
@@ -517,7 +641,7 @@ std::optional<Completion> OpEngine::TakeAsyncCompletionLocked(lt::Cq* cq, uint64
 Status OpEngine::RetryAsyncWqe(AsyncOp* op, AsyncWqe* wqe) {
   if (inst_->PeerDead(wqe->dst)) {
     inst_->rpc_dead_fast_fail_->Inc();
-    return Status::Unavailable("peer marked dead by liveness service");
+    return DeadPeerUnavailable();
   }
   if (wqe->posted) {
     // The original WQE reached the wire and failed; this is a true retry.
@@ -539,8 +663,8 @@ Status OpEngine::RetryAsyncWqe(AsyncOp* op, AsyncWqe* wqe) {
   return Status::Ok();
 }
 
-void OpEngine::RetireMemopLocked(AsyncOp* op) {
-  Status result = Status::Ok();
+void OpEngine::RetireMemopLocked(std::unique_lock<std::mutex>& lock, AsyncOp* op) {
+  Status result = op->issue_error;
   uint64_t op_ready = 0;
   for (AsyncWqe& wqe : op->wqes) {
     Status s = Status::Ok();
@@ -635,6 +759,18 @@ void OpEngine::RetireMemopLocked(AsyncOp* op) {
       op_ready = std::max(op_ready, wqe.ready_at_ns);
     }
   }
+  if (result.code() == lt::StatusCode::kStaleHome && op->origin_lh != 0) {
+    // The LMR migrated mid-flight. Re-resolve its home and transparently
+    // re-issue the whole memop (blocking). Exactly-once for the caller:
+    // writes are idempotent re-copies, atomics never carry an origin. The
+    // op stays kRetiring across the unlock, so no other thread consumes it.
+    lock.unlock();
+    Status redo = inst_->RedoMemopAfterStale(op->origin_lh, op->origin_off, op->origin_buf,
+                                             op->origin_len, op->origin_is_read, op->pri);
+    lock.lock();
+    result = redo;
+    op_ready = std::max(op_ready, NowNs());
+  }
   op->result = result;
   op->ready_at_ns = op_ready > 0 ? op_ready : NowNs();
   op->state = AsyncOpState::kDone;
@@ -661,7 +797,7 @@ void OpEngine::RetireOldestLocked(std::unique_lock<std::mutex>& lock) {
       if (o->is_rpc) {
         RetireRpcUnlocked(lock, o);
       } else {
-        RetireMemopLocked(o);
+        RetireMemopLocked(lock, o);
       }
       return;
     }
@@ -710,7 +846,12 @@ StatusOr<bool> OpEngine::Poll(MemopHandle h) {
       op = it->second.get();
     } else {
       op->state = AsyncOpState::kRetiring;
-      RetireMemopLocked(op);
+      RetireMemopLocked(lock, op);
+      it = async_ops_.find(h);
+      if (it == async_ops_.end()) {
+        return Status::InvalidArgument("async handle consumed concurrently");
+      }
+      op = it->second.get();
     }
   }
   if (NowNs() < op->ready_at_ns) {
@@ -739,7 +880,7 @@ Status OpEngine::Wait(MemopHandle h) {
         if (op->is_rpc) {
           RetireRpcUnlocked(lock, op);
         } else {
-          RetireMemopLocked(op);
+          RetireMemopLocked(lock, op);
         }
         break;  // Re-find: the map may have shifted while unlocked.
       case AsyncOpState::kRetiring:
@@ -749,7 +890,9 @@ Status OpEngine::Wait(MemopHandle h) {
   }
 }
 
-Status OpEngine::WaitAll() {
+Status OpEngine::WaitAll() { return WaitAll(nullptr); }
+
+Status OpEngine::WaitAll(std::vector<std::pair<MemopHandle, Status>>* results) {
   Status first_error = Status::Ok();
   std::unique_lock<std::mutex> lock(async_mu_);
   while (!async_ops_.empty()) {
@@ -757,7 +900,11 @@ Status OpEngine::WaitAll() {
     AsyncOp* op = it->second.get();
     switch (op->state) {
       case AsyncOpState::kDone: {
+        const MemopHandle h = it->first;
         Status s = ConsumeAsyncLocked(it);
+        if (results != nullptr) {
+          results->emplace_back(h, s);
+        }
         if (!s.ok() && first_error.ok()) {
           first_error = s;
         }
@@ -768,7 +915,7 @@ Status OpEngine::WaitAll() {
         if (op->is_rpc) {
           RetireRpcUnlocked(lock, op);
         } else {
-          RetireMemopLocked(op);
+          RetireMemopLocked(lock, op);
         }
         break;
       case AsyncOpState::kRetiring:

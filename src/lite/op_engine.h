@@ -84,8 +84,12 @@ class OpEngine {
   // ---- Async completion-handle pipeline ----
   // Issues one async memop's pieces (unsignaled + selective signaling, see
   // memops_async.cc) and returns its handle. Caller did lh/permission checks.
+  // The origin fields describe the whole memop in lh space; when given, an op
+  // that retires with kStaleHome is transparently re-resolved and re-issued
+  // against the LMR's new home (LT_wait then returns the redo's status).
   StatusOr<MemopHandle> IssueAsyncPieces(const std::vector<OpDesc>& pieces, bool is_read,
-                                         Priority pri);
+                                         Priority pri, Lh origin_lh = 0, uint64_t origin_off = 0,
+                                         void* origin_buf = nullptr, uint64_t origin_len = 0);
   // Registers an already-sent single-attempt RPC as an async op retired
   // through the same handle machinery.
   StatusOr<MemopHandle> InsertAsyncRpc(uint32_t rpc_slot, void* out, uint32_t out_max,
@@ -93,6 +97,9 @@ class OpEngine {
   StatusOr<bool> Poll(MemopHandle h);
   Status Wait(MemopHandle h);
   Status WaitAll();
+  // Per-handle variant: appends every retired handle's final status to
+  // `results` (when non-null) so errors past the first are not swallowed.
+  Status WaitAll(std::vector<std::pair<MemopHandle, Status>>* results);
   size_t AsyncInFlight() const;
 
   // Resolves the API timeout sentinels (types.h) and applies the hang-
@@ -136,6 +143,16 @@ class OpEngine {
     uint32_t* rpc_out_len = nullptr;
     Status result = Status::Ok();     // Valid once state == kDone.
     uint64_t ready_at_ns = 0;
+    // Origin of the memop in lh space (see IssueAsyncPieces): enables the
+    // transparent stale-home redo at retirement. origin_lh == 0 disables it.
+    Lh origin_lh = 0;
+    uint64_t origin_off = 0;
+    void* origin_buf = nullptr;
+    uint64_t origin_len = 0;
+    bool origin_is_read = false;
+    // Error decided at issue time (e.g. a local piece NACKed by the
+    // migration gate); folded into the result at retirement.
+    Status issue_error = Status::Ok();
   };
   // Per-(destination, QP) selective-signaling stream: which positions have a
   // harvested covering CQE, and which signaled WQEs are still pending.
@@ -154,10 +171,12 @@ class OpEngine {
   // Retires an RPC-kind op; drops the lock around the reply wait (the reply
   // is delivered by the poll thread, which never takes async_mu_).
   void RetireRpcUnlocked(std::unique_lock<std::mutex>& lock, AsyncOp* op);
-  // Retires `op` (state must be kRetiring; async_mu_ held): harvests or
-  // infers each WQE's completion, re-posting failed WQEs with the blocking
-  // path's retry semantics, then marks the op kDone.
-  void RetireMemopLocked(AsyncOp* op);
+  // Retires `op` (state must be kRetiring; async_mu_ held via `lock`):
+  // harvests or infers each WQE's completion, re-posting failed WQEs with
+  // the blocking path's retry semantics, then marks the op kDone. A
+  // kStaleHome result with a known origin drops the lock and re-issues the
+  // whole memop against the LMR's new home (exactly-once for the caller).
+  void RetireMemopLocked(std::unique_lock<std::mutex>& lock, AsyncOp* op);
   // Retires the oldest in-flight op (backpressure path). Waits on the cv if
   // every outstanding op is already being retired by another thread.
   void RetireOldestLocked(std::unique_lock<std::mutex>& lock);

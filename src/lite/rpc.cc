@@ -178,7 +178,7 @@ Status LiteInstance::PostRpcRequest(RpcChannel* channel, RpcFuncId func, const v
   }
   if (fail_fast_dead && PeerDead(channel->server)) {
     rpc_dead_fast_fail_->Inc();
-    return Status::Unavailable("peer marked dead by liveness service");
+    return DeadPeerUnavailable();
   }
 
   std::lock_guard<std::mutex> lock(channel->mu);
@@ -323,7 +323,7 @@ Status LiteInstance::RpcCall(NodeId server_node, RpcFuncId func, const void* in,
                              const RpcCallOpts& opts) {
   if (opts.fail_fast_dead && PeerDead(server_node)) {
     rpc_dead_fast_fail_->Inc();
-    return Status::Unavailable("peer marked dead by liveness service");
+    return DeadPeerUnavailable();
   }
   auto channel = GetChannel(server_node, RingIdFor(func));
   if (!channel.ok()) {
@@ -355,7 +355,7 @@ Status LiteInstance::RpcCall(NodeId server_node, RpcFuncId func, const void* in,
       backoff_ns *= 2;
       if (opts.fail_fast_dead && PeerDead(server_node)) {
         rpc_dead_fast_fail_->Inc();
-        last = Status::Unavailable("peer marked dead by liveness service");
+        last = DeadPeerUnavailable();
         break;
       }
     }
@@ -420,7 +420,7 @@ Status LiteInstance::RpcCall(NodeId server_node, RpcFuncId func, const void* in,
   if (opts.fail_fast_dead && last.code() == lt::StatusCode::kTimeout && PeerDead(server_node)) {
     // Distinguish "peer is dead" from "peer is slow": the liveness service
     // condemned the target while we were waiting.
-    last = Status::Unavailable("peer marked dead by liveness service");
+    last = DeadPeerUnavailable();
   }
   return last;
 }

@@ -82,19 +82,32 @@ constexpr RpcFuncId kFnListNames = 1018;  // Manager recovery (Sec. 3.3).
 constexpr RpcFuncId kFnEcho = 1019;  // Internal liveness check / tests.
 constexpr RpcFuncId kFnKeepalive = 1022;  // Lease renewal to the cluster manager.
 
+// Live LMR migration control plane (DESIGN.md "Epoch-fenced ownership").
+// These ids live above the legacy 1000-1023 block and need the 11-bit IMM
+// function field below.
+constexpr RpcFuncId kFnMigrateInstall = 1024;  // Stage chunks+meta at the destination.
+constexpr RpcFuncId kFnMigrateActivate = 1025;  // Commit: destination becomes home.
+constexpr RpcFuncId kFnMigrateAbort = 1026;    // Uninstall a staged migration.
+constexpr RpcFuncId kFnUpdateName = 1027;      // Manager: re-point name -> new home.
+constexpr RpcFuncId kFnMigrateLmr = 1028;      // Coordinator entry at the source.
+constexpr RpcFuncId kFnLmrRehome = 1029;       // Fan-out: new home+chunks+epoch.
+constexpr RpcFuncId kFnStaleHome = 1030;       // Redirect query at the old home.
+
 // All internal control functions and messaging share one server ring per
 // client node (application functions get their own ring, as in the paper).
 constexpr RpcFuncId kControlRingId = 1020;
 
 // Sentinel "no reply expected" slot (fire-and-forget internal calls).
-constexpr uint32_t kNoReplySlot = (1u << 22) - 1;
+constexpr uint32_t kNoReplySlot = (1u << 21) - 1;
 
-// IMM-value markers (the 32-bit immediate is split 10 bits function id / 22
-// bits payload, paper Sec. 5.1).
+// IMM-value markers. The paper splits the 32-bit immediate 10/22 (Sec. 5.1);
+// we widen the function field to 11 bits so the migration control plane
+// (1024+) fits, leaving 21 payload bits — still comfortably more than the
+// ring-offset (1 MB / 64 B = 2^14) and reply-slot encodings need.
 constexpr RpcFuncId kMsgFuncId = 1021;    // LT_send messaging channel.
 constexpr RpcFuncId kReplyFuncId = 1023;  // RPC reply; payload = reply slot.
-constexpr uint32_t kImmFuncBits = 10;
-constexpr uint32_t kImmPayloadBits = 22;
+constexpr uint32_t kImmFuncBits = 11;
+constexpr uint32_t kImmPayloadBits = 21;
 constexpr uint32_t kImmPayloadMask = (1u << kImmPayloadBits) - 1;
 
 inline uint32_t EncodeImm(RpcFuncId func, uint32_t payload) {
@@ -116,12 +129,12 @@ constexpr uint32_t kRingOffsetUnit = 64;
 constexpr uint64_t kDefaultTimeout = 0;
 constexpr uint64_t kInfiniteTimeout = ~0ull;
 
-// ---- Reply-slot addressing (22-bit IMM payload of kReplyFuncId) ----
+// ---- Reply-slot addressing (21-bit IMM payload of kReplyFuncId) ----
 // The payload packs {generation, slot}: the slot index in the low 10 bits
 // (so lite_reply_slots must be <= 1000 — distinguishable from kNoReplySlot's
-// all-ones low bits) and a 12-bit reuse generation above it. The generation
+// all-ones low bits) and an 11-bit reuse generation above it. The generation
 // lets a client that timed out and reused the slot discard late or duplicate
-// replies from an earlier call (aliasing only after 4096 reuses of one slot
+// replies from an earlier call (aliasing only after 2048 reuses of one slot
 // inside a single call's lifetime, which the retry bound makes impossible).
 constexpr uint32_t kReplySlotBits = 10;
 constexpr uint32_t kReplySlotMask = (1u << kReplySlotBits) - 1;

@@ -94,6 +94,17 @@ struct SimParams {
                                          // complete from the K-th CQE.
   size_t lite_reply_slots = 256;      // Concurrent outstanding RPCs per node.
   size_t lite_reply_slot_bytes = 16384;  // Max RPC reply size per slot.
+  // Live LMR migration (DESIGN.md "Epoch-fenced ownership & live migration").
+  uint32_t lite_migrate_max_rounds = 4;  // Bounded dirty re-copy rounds before
+                                         // the fence closes regardless.
+  uint64_t lite_migrate_park_poll_ns = 20'000;  // Re-check cadence (virtual)
+                                                // while an op parks on a fence.
+  // Chaos-soak liveness lease: soaks and benches that crash nodes under load
+  // share this knob instead of each picking its own constant. Long enough
+  // that a healthy node does not flap dead when host scheduling (single
+  // core, TSan) stalls its keepalive past the lease; short enough that
+  // crashes are detected well inside a test's wait budget.
+  uint64_t lite_soak_lease_timeout_ns = 60'000'000;
   double local_copy_bytes_per_ns = 12.0;  // Same-node memcpy bandwidth.
   uint64_t local_op_base_ns = 60;         // Fixed cost of a local LITE copy.
 

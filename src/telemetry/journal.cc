@@ -25,6 +25,11 @@ const char* JournalEventName(JournalEvent ev) {
     case JournalEvent::kNodeCrash: return "node_crash";
     case JournalEvent::kNodeRestart: return "node_restart";
     case JournalEvent::kUnsignaledRecover: return "unsignaled_recover";
+    case JournalEvent::kMigrateStart: return "migrate_start";
+    case JournalEvent::kMigratePhase: return "migrate_phase";
+    case JournalEvent::kMigrateCommit: return "migrate_commit";
+    case JournalEvent::kMigrateAbort: return "migrate_abort";
+    case JournalEvent::kStaleHomeNack: return "stale_home_nack";
     case JournalEvent::kCount: break;
   }
   return "unknown";

@@ -42,6 +42,11 @@ enum class JournalEvent : uint16_t {
   kNodeCrash,      // a = crashed node
   kNodeRestart,    // a = restarted node
   kUnsignaledRecover,  // a = peer node, b = qp number (fire-and-forget path)
+  kMigrateStart,       // a = name8(lmr name), b = (src<<32)|dst (PackLink)
+  kMigratePhase,       // a = name8(lmr name), b = phase (MigrationPhase)
+  kMigrateCommit,      // a = name8(lmr name), b = new epoch
+  kMigrateAbort,       // a = name8(lmr name), b = phase reached before abort
+  kStaleHomeNack,      // a = requesting node, b = epoch presented
   kCount
 };
 

@@ -152,11 +152,12 @@ TEST(FaultsChaosTest, SoakWithCrashRestartAndManagerRebuild) {
   p.lite_rpc_timeout_ns = 25'000'000;  // 25 ms per try: crashes fail fast.
   p.lite_rpc_max_retries = 5;
   p.lite_keepalive_interval_ns = 2'000'000;  // 2 ms cadence (real time).
-  // Dead after 60 ms of silence: long enough that a healthy node does not
-  // flap dead when host scheduling (single core, TSan) stalls its keepalive
-  // past the lease, short enough that every crash below is detected well
-  // inside the WaitFor budget.
-  p.lite_lease_timeout_ns = 60'000'000;
+  // Dead after lite_soak_lease_timeout_ns of silence (SimParams, default
+  // 60 ms): long enough that a healthy node does not flap dead when host
+  // scheduling (single core, TSan) stalls its keepalive past the lease,
+  // short enough that every crash below is detected well inside the WaitFor
+  // budget. Promoted to a SimParams knob so every soak shares one tuning.
+  p.lite_lease_timeout_ns = p.lite_soak_lease_timeout_ns;
   LiteCluster cluster(4, p);
   // Postmortem aid: if any assertion below fails, dump the merged
   // flight-recorder timeline so the failure is diagnosable from the log
@@ -385,6 +386,226 @@ TEST(FaultsChaosTest, SoakWithCrashRestartAndManagerRebuild) {
 // every piece — no hang, no leaked WQE), async ops surface the error at
 // LT_wait, and traffic confined to the survivors keeps flowing through the
 // same engine.
+TEST(FaultsChaosTest, MigrateUnderChaosSoak) {
+  // Live LMR migration soaked under a lossy network, open write traffic, and
+  // crashes of the destination, the manager, and the source mid-migration.
+  // The contract (DESIGN.md "Epoch-fenced ownership & live migration"): every
+  // migration attempt either commits or cleanly aborts, acked writes are
+  // never lost, and the cluster converges once links heal.
+  lt::SimParams p = lt::SimParams::FastForTests();
+  p.lite_rpc_timeout_ns = 25'000'000;
+  p.lite_rpc_max_retries = 5;
+  p.lite_keepalive_interval_ns = 2'000'000;
+  p.lite_lease_timeout_ns = p.lite_soak_lease_timeout_ns;
+  LiteCluster cluster(4, p);
+  struct JournalOnFailure {
+    LiteCluster* cluster;
+    ~JournalOnFailure() {
+      if (::testing::Test::HasFailure()) {
+        std::fprintf(stderr, "=== flight recorder (merged) ===\n%s\n",
+                     cluster->DumpJournal().c_str());
+      }
+    }
+  } journal_guard{&cluster};
+  cluster.faults().Reseed(0x519a7e);
+
+  const lt::NodeId kManager = 0;
+  auto c1 = cluster.CreateClient(1);
+  auto c2 = cluster.CreateClient(2);
+  auto c3 = cluster.CreateClient(3);
+
+  constexpr uint64_t kSlots = 4096;  // 32 KB LMR, 8-byte slots.
+  MallocOptions on1;
+  on1.nodes = {1};
+  auto owner = c1->Malloc(kSlots * 8, "mig_soak", on1);
+  ASSERT_TRUE(owner.ok());
+  ASSERT_TRUE(c1->Memset(*owner, 0, 0, kSlots * 8).ok());
+
+  // Open write traffic from node 3: per-slot monotonically increasing seqs.
+  // acked[slot] is the exactly-once witness — whatever chaos does, the final
+  // value of a slot must be (a) one of the seqs written to it and (b) at
+  // least the last acked one (an acked write is never rolled back).
+  auto c3w = cluster.CreateClient(3);
+  auto wh = c3w->Map("mig_soak");
+  ASSERT_TRUE(wh.ok());
+  std::vector<std::atomic<uint64_t>> acked(kSlots);
+  std::atomic<uint64_t> write_ok{0}, write_fail{0};
+  std::atomic<bool> stop{false};
+  // Joins the writer even when an ASSERT aborts the test body early.
+  struct StopWriter {
+    std::atomic<bool>* stop;
+    std::thread* t;
+    ~StopWriter() {
+      stop->store(true);
+      if (t->joinable()) {
+        t->join();
+      }
+    }
+  };
+  std::thread writer([&] {
+    uint64_t seq = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const uint64_t slot = seq % kSlots;
+      const uint64_t val = (seq << 16) | slot;  // slot tag guards torn data
+      if (c3w->Write(*wh, slot * 8, &val, 8).ok()) {
+        acked[slot].store(val, std::memory_order_relaxed);
+        write_ok.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        write_fail.fetch_add(1, std::memory_order_relaxed);
+      }
+      seq += 1;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+  StopWriter writer_guard{&stop, &writer};
+
+  // Lossy, duplicating, jittery links everywhere for the whole soak.
+  lt::LinkFaultRule lossy;
+  lossy.drop_p = 0.005;
+  lossy.dup_p = 0.005;
+  lossy.jitter_ns = 2'000;
+  cluster.faults().SetDefaultRule(lossy);
+
+  LiteClient* clients[4] = {nullptr, c1.get(), c2.get(), c3.get()};
+  lt::NodeId home = 1;
+
+  auto all_alive = [&] {
+    for (lt::NodeId viewer = 0; viewer < 4; ++viewer) {
+      for (lt::NodeId peer = 0; peer < 4; ++peer) {
+        if (peer != viewer && cluster.instance(viewer)->PeerDead(peer)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  // Re-resolves the LMR's current home through the name service (chasing a
+  // stale answer via the old home's tombstone if the manager lags).
+  auto resolve_home = [&]() -> lt::NodeId {
+    auto probe = c2->Map("mig_soak");
+    EXPECT_TRUE(probe.ok());
+    if (!probe.ok()) {
+      return home;
+    }
+    auto chunks = c2->instance()->LmrChunks(*probe);
+    EXPECT_TRUE(chunks.ok());
+    return chunks.ok() ? (*chunks)[0].node : home;
+  };
+  auto other_node = [&](lt::NodeId avoid) -> lt::NodeId {
+    for (lt::NodeId n : {lt::NodeId(1), lt::NodeId(2), lt::NodeId(3)}) {
+      if (n != avoid) {
+        return n;
+      }
+    }
+    return 1;
+  };
+
+  // ---- Leg 1: clean live migration 1 -> 2 under load --------------------
+  ASSERT_TRUE(c1->Migrate("mig_soak", 2).ok());
+  home = 2;
+
+  // ---- Leg 2: destination crashes mid-migration -------------------------
+  // Sweep the bomb delay so across the sweep the crash lands before, inside,
+  // and after the copy/fence window; each attempt must commit or cleanly
+  // abort, and the cluster must reconverge either way.
+  for (uint64_t delay_us : {0ull, 300ull, 1500ull}) {
+    const lt::NodeId dst = other_node(home);
+    std::thread bomb([&] {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      cluster.CrashNode(dst);
+    });
+    lt::Status st = clients[home]->instance()->Migrate("mig_soak", dst);
+    bomb.join();
+    if (st.ok()) {
+      home = dst;  // Commit won the race with the crash — equally valid.
+    }
+    cluster.RestartNode(dst);
+    ASSERT_TRUE(WaitFor(all_alive));
+  }
+
+  // ---- Leg 3: manager is down across a migration ------------------------
+  // The coordinator's manager update is best-effort; the commit must still
+  // land, and the restarted manager re-learns the home (highest epoch wins)
+  // from the owners on rebuild.
+  cluster.CrashNode(kManager);
+  ASSERT_TRUE(WaitFor([&] { return cluster.instance(home)->PeerDead(kManager); }));
+  const lt::NodeId target3 = other_node(home);
+  lt::Status leg3 = clients[home]->instance()->Migrate("mig_soak", target3);
+  ASSERT_TRUE(leg3.ok()) << leg3.message();
+  home = target3;
+  cluster.RestartNode(kManager);
+  ASSERT_TRUE(WaitFor(all_alive));
+  cluster.instance(kManager)->ClearNameServiceForTest();
+  ASSERT_TRUE(cluster.instance(kManager)->RebuildNameService().ok());
+  EXPECT_EQ(resolve_home(), home);  // rebuild resolved the post-migration home
+
+  // ---- Leg 4: source crashes mid-migration ------------------------------
+  // The coordinator runs on the (isolated) source: its copy/activate RPCs
+  // fail, it epoch-fences and aborts locally — or the commit already landed
+  // at the destination and the higher epoch wins arbitration on rebuild.
+  for (uint64_t delay_us : {0ull, 300ull, 1500ull}) {
+    const lt::NodeId src = home;
+    const lt::NodeId target = other_node(home);
+    std::thread bomb([&] {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      cluster.CrashNode(src);
+    });
+    lt::Status st = clients[src]->instance()->Migrate("mig_soak", target);
+    bomb.join();
+    (void)st;  // Commit or abort — either is legal; recovery is what counts.
+    cluster.RestartNode(src);
+    ASSERT_TRUE(WaitFor(all_alive));
+    cluster.instance(kManager)->ClearNameServiceForTest();
+    ASSERT_TRUE(cluster.instance(kManager)->RebuildNameService().ok());
+    home = resolve_home();
+  }
+
+  // ---- Converge and audit ----------------------------------------------
+  cluster.faults().ClearAllRules();
+  cluster.faults().ClearSchedules();
+  // Writes must flow again end to end before we stop the traffic.
+  ASSERT_TRUE(WaitFor([&] {
+    const uint64_t before = write_ok.load();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return write_ok.load() > before;
+  }));
+  stop.store(true);
+  if (writer.joinable()) {
+    writer.join();
+  }
+
+  auto audit = cluster.CreateClient(2);
+  auto ah = audit->Map("mig_soak");
+  ASSERT_TRUE(ah.ok());
+  std::vector<uint64_t> final_vals(kSlots, 0);
+  ASSERT_TRUE(audit->Read(*ah, 0, final_vals.data(), kSlots * 8).ok());
+  uint64_t audited = 0;
+  for (uint64_t s = 0; s < kSlots; ++s) {
+    const uint64_t v = final_vals[s];
+    if (v != 0) {
+      // Never torn, never foreign: the low 16 bits carry the slot tag.
+      ASSERT_EQ(v & 0xffffu, s & 0xffffu) << "slot " << s;
+    }
+    // An acked write is never lost to a migration, crash, or abort.
+    ASSERT_GE(v, acked[s].load()) << "slot " << s;
+    if (acked[s].load() != 0) {
+      ++audited;
+    }
+  }
+  EXPECT_GT(audited, 0u);
+  EXPECT_GT(write_ok.load(), 100u);
+
+  // Every migration attempt resolved: commits + aborts cover all starts.
+  int64_t started = 0, committed = 0, aborted = 0;
+  for (lt::NodeId n = 0; n < 4; ++n) {
+    started += cluster.instance(n)->Stat("lite.migrate.started");
+    committed += cluster.instance(n)->Stat("lite.migrate.committed");
+    aborted += cluster.instance(n)->Stat("lite.migrate.aborted");
+  }
+  EXPECT_GE(committed, 2);  // legs 1 and 3 at minimum
+  EXPECT_EQ(committed + aborted, started);
+}
+
 TEST(FaultsChaosTest, MultiPieceEngineRetiresAgainstDeadPeer) {
   lt::SimParams p = lt::SimParams::FastForTests();
   p.lite_rpc_timeout_ns = 25'000'000;  // 25 ms per try: dead peers fail fast.

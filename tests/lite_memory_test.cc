@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <cstring>
+#include <thread>
 
 #include "src/common/timing.h"
 #include "src/lite/lite_cluster.h"
@@ -506,6 +509,216 @@ TEST_F(MultiChunkEngineTest, MemcpyAcrossSpreadLmrsUnderDrop) {
   std::vector<uint8_t> out(kRegion);
   ASSERT_TRUE(c0_->Read(*dst, 0, out.data(), out.size()).ok());
   EXPECT_EQ(out, pattern);
+}
+
+// ---- Live migration with epoch-fenced ownership (DESIGN.md) -------------
+
+class MigrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lt::SimParams p = lt::SimParams::FastForTests();
+    cluster_ = std::make_unique<LiteCluster>(3, p);
+    c0_ = cluster_->CreateClient(0);
+    c1_ = cluster_->CreateClient(1);
+    c2_ = cluster_->CreateClient(2);
+  }
+
+  static std::vector<uint8_t> Pattern(size_t n, uint8_t seed) {
+    std::vector<uint8_t> v(n);
+    for (size_t i = 0; i < n; ++i) {
+      v[i] = static_cast<uint8_t>(seed + i * 13);
+    }
+    return v;
+  }
+
+  // Creates an LMR hosted on node 1 and fills it with `seed`'s pattern.
+  lite::Lh HostedOnNode1(const std::string& name, uint64_t size, uint8_t seed) {
+    MallocOptions on1;
+    on1.nodes = {1};
+    auto lh = c1_->Malloc(size, name, on1);
+    EXPECT_TRUE(lh.ok());
+    auto pattern = Pattern(size, seed);
+    EXPECT_TRUE(c1_->Write(*lh, 0, pattern.data(), pattern.size()).ok());
+    return *lh;
+  }
+
+  std::unique_ptr<LiteCluster> cluster_;
+  std::unique_ptr<LiteClient> c0_, c1_, c2_;
+};
+
+TEST_F(MigrationTest, MigrateMovesDataAndPlacement) {
+  constexpr uint64_t kSize = 64 * 1024;
+  HostedOnNode1("mig_basic", kSize, 0x21);
+
+  LiteInstance::MigrateStats stats;
+  ASSERT_TRUE(c1_->Migrate("mig_basic", 2, &stats).ok());
+  EXPECT_GT(stats.commit_ns, 0u);
+  EXPECT_GE(stats.bytes_copied, kSize);
+
+  // A fresh map resolves to the new home and every chunk lives there.
+  auto mapped = c0_->Map("mig_basic");
+  ASSERT_TRUE(mapped.ok());
+  auto chunks = c0_->instance()->LmrChunks(*mapped);
+  ASSERT_TRUE(chunks.ok());
+  for (const LmrChunk& c : *chunks) {
+    EXPECT_EQ(c.node, 2u);
+  }
+  std::vector<uint8_t> out(kSize);
+  ASSERT_TRUE(c0_->Read(*mapped, 0, out.data(), out.size()).ok());
+  EXPECT_EQ(out, Pattern(kSize, 0x21));
+  EXPECT_EQ(cluster_->instance(1)->Stat("lite.migrate.committed"), 1);
+}
+
+TEST_F(MigrationTest, MigrateRoutesThroughNameServiceFromAnyNode) {
+  // LT_migrate from a node that does not host the LMR: the request is routed
+  // to the current home via the name service. Only a master, the manager, or
+  // the home itself may trigger a migration — node 2 is none of those.
+  HostedOnNode1("mig_routed", 16 * 1024, 0x37);
+  EXPECT_EQ(c2_->Migrate("mig_routed", 0).code(), StatusCode::kPermissionDenied);
+  ASSERT_TRUE(c0_->Migrate("mig_routed", 0).ok());
+  auto mapped = c2_->Map("mig_routed");
+  ASSERT_TRUE(mapped.ok());
+  auto chunks = c2_->instance()->LmrChunks(*mapped);
+  ASSERT_TRUE(chunks.ok());
+  for (const LmrChunk& c : *chunks) {
+    EXPECT_EQ(c.node, 0u);
+  }
+}
+
+TEST_F(MigrationTest, StaleHandleRedirectsTransparently) {
+  constexpr uint64_t kSize = 32 * 1024;
+  HostedOnNode1("mig_stale", kSize, 0x55);
+  auto stale = c2_->Map("mig_stale");
+  ASSERT_TRUE(stale.ok());
+
+  // Drop the commit's fire-and-forget rehome notification to node 2, so its
+  // mapping stays stale and the read below must take the NACK-redirect path
+  // (without the drop the proactive fan-out usually wins the race).
+  cluster_->faults().DropNextTransfers(1, 2, 6);
+  ASSERT_TRUE(c1_->Migrate("mig_stale", 0).ok());
+
+  // The pre-migration handle still points at node 1; the old home NACKs with
+  // kStaleHome and the op engine re-resolves + re-issues — the app never
+  // sees an error.
+  std::vector<uint8_t> out(kSize);
+  ASSERT_TRUE(c2_->Read(*stale, 0, out.data(), out.size()).ok());
+  EXPECT_EQ(out, Pattern(kSize, 0x55));
+  EXPECT_GE(cluster_->instance(2)->Stat("lite.migrate.redirects"), 1);
+  EXPECT_GE(cluster_->instance(1)->Stat("lite.migrate.stale_nacks"), 1);
+
+  // The refreshed mapping serves follow-up ops with no further redirects.
+  const int64_t redirects = cluster_->instance(2)->Stat("lite.migrate.redirects");
+  uint64_t probe = 0xfeedface;
+  ASSERT_TRUE(c2_->Write(*stale, 0, &probe, sizeof(probe)).ok());
+  uint64_t back = 0;
+  ASSERT_TRUE(c2_->Read(*stale, 0, &back, sizeof(back)).ok());
+  EXPECT_EQ(back, probe);
+  EXPECT_EQ(cluster_->instance(2)->Stat("lite.migrate.redirects"), redirects);
+}
+
+TEST_F(MigrationTest, AsyncOpAcrossMigrationRetiresExactlyOnce) {
+  constexpr uint64_t kSize = 16 * 1024;
+  HostedOnNode1("mig_async", kSize, 0x66);
+  auto stale = c2_->Map("mig_async");
+  ASSERT_TRUE(stale.ok());
+  // Keep node 2's mapping stale (see StaleHandleRedirectsTransparently) so
+  // the async retirement must run the transparent redo.
+  cluster_->faults().DropNextTransfers(1, 2, 6);
+  ASSERT_TRUE(c1_->Migrate("mig_async", 0).ok());
+
+  // Async writes issued against the stale placement: the engine redirects at
+  // retirement and LT_wait_all reports per-handle success.
+  std::vector<uint64_t> vals(8);
+  std::vector<MemopHandle> handles;
+  for (size_t i = 0; i < vals.size(); ++i) {
+    vals[i] = 0xab00 + i;
+    auto h = c2_->WriteAsync(*stale, i * 8, &vals[i], 8);
+    ASSERT_TRUE(h.ok());
+    handles.push_back(*h);
+  }
+  std::vector<std::pair<MemopHandle, lt::Status>> results;
+  ASSERT_TRUE(c2_->WaitAll(&results).ok());
+  EXPECT_EQ(results.size(), handles.size());
+  for (const auto& [h, st] : results) {
+    EXPECT_TRUE(st.ok()) << st.message();
+  }
+  EXPECT_EQ(cluster_->instance(2)->AsyncInFlight(), 0u);
+
+  std::vector<uint64_t> back(vals.size());
+  ASSERT_TRUE(c2_->Read(*stale, 0, back.data(), back.size() * 8).ok());
+  EXPECT_EQ(back, vals);
+}
+
+TEST_F(MigrationTest, MigrateUnderConcurrentWritesLosesNothing) {
+  constexpr uint64_t kSlots = 32;
+  HostedOnNode1("mig_live", kSlots * 8, 0x00);
+  auto wh = c2_->Map("mig_live");
+  ASSERT_TRUE(wh.ok());
+
+  // Open write traffic from node 2 while node 1 migrates the LMR to node 0:
+  // every write must succeed (dirty-logged, parked at the fence, or
+  // redirected after commit — never failed), and the final slot values must
+  // be exactly the last write each slot saw.
+  std::array<uint64_t, kSlots> last{};
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t seq = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const uint64_t slot = seq % kSlots;
+      EXPECT_TRUE(c2_->Write(*wh, slot * 8, &seq, 8).ok());
+      last[slot] = seq;
+      ++seq;
+    }
+  });
+
+  LiteInstance::MigrateStats stats;
+  ASSERT_TRUE(c1_->Migrate("mig_live", 0, &stats).ok());
+  stop.store(true);
+  writer.join();
+
+  auto check = c0_->Map("mig_live");
+  ASSERT_TRUE(check.ok());
+  std::array<uint64_t, kSlots> final{};
+  ASSERT_TRUE(c0_->Read(*check, 0, final.data(), kSlots * 8).ok());
+  for (uint64_t s = 0; s < kSlots; ++s) {
+    EXPECT_EQ(final[s], last[s]) << "slot " << s;
+  }
+  EXPECT_EQ(cluster_->instance(1)->Stat("lite.migrate.committed"), 1);
+}
+
+TEST_F(MigrationTest, MigrateValidatesArguments) {
+  HostedOnNode1("mig_args", 4096, 0x11);
+  EXPECT_EQ(c1_->Migrate("no_such_lmr", 2).code(), StatusCode::kNotFound);
+  EXPECT_EQ(c1_->Migrate("mig_args", 1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(c1_->Migrate("mig_args", 99).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(MigrationTest, DrainNodeMovesEveryHostedLmr) {
+  constexpr uint64_t kSize = 8 * 1024;
+  HostedOnNode1("drain_a", kSize, 0x01);
+  HostedOnNode1("drain_b", kSize, 0x02);
+  HostedOnNode1("drain_c", kSize, 0x03);
+
+  uint64_t moved = 0;
+  ASSERT_TRUE(c0_->DrainNode(1, &moved).ok());
+  EXPECT_EQ(moved, 3u);
+
+  for (const char* name : {"drain_a", "drain_b", "drain_c"}) {
+    auto mapped = c2_->Map(name);
+    ASSERT_TRUE(mapped.ok()) << name;
+    auto chunks = c2_->instance()->LmrChunks(*mapped);
+    ASSERT_TRUE(chunks.ok());
+    for (const LmrChunk& c : *chunks) {
+      EXPECT_NE(c.node, 1u) << name;
+    }
+  }
+  // Data survived the move intact.
+  std::vector<uint8_t> out(kSize);
+  auto mapped = c2_->Map("drain_b");
+  ASSERT_TRUE(mapped.ok());
+  ASSERT_TRUE(c2_->Read(*mapped, 0, out.data(), out.size()).ok());
+  EXPECT_EQ(out, Pattern(kSize, 0x02));
+  EXPECT_GE(cluster_->instance(0)->Stat("lite.migrate.drained_lmrs"), 3);
 }
 
 TEST_F(MultiChunkEngineTest, AsyncMultiPieceSharesEngineWithBlockingPath) {

@@ -94,14 +94,18 @@ TEST(WireTest, MixedSequence) {
   EXPECT_EQ(tail, 99u);
 }
 
-// IMM codec (the 10/22-bit split of paper Sec. 5.1).
+// IMM codec (the paper's Sec. 5.1 split, widened to 11 function bits so the
+// migration control-plane ids 1024+ fit).
 TEST(ImmCodecTest, RoundTrip) {
-  uint32_t imm = EncodeImm(1023, 0x3ffffe);
+  uint32_t imm = EncodeImm(1023, 0x1ffffe);
   EXPECT_EQ(ImmFunc(imm), 1023u);
-  EXPECT_EQ(ImmPayload(imm), 0x3ffffeu);
+  EXPECT_EQ(ImmPayload(imm), 0x1ffffeu);
   imm = EncodeImm(7, 0);
   EXPECT_EQ(ImmFunc(imm), 7u);
   EXPECT_EQ(ImmPayload(imm), 0u);
+  imm = EncodeImm(kFnStaleHome, 12345);
+  EXPECT_EQ(ImmFunc(imm), kFnStaleHome);
+  EXPECT_EQ(ImmPayload(imm), 12345u);
 }
 
 TEST(ImmCodecTest, PayloadMasked) {
