@@ -1,0 +1,133 @@
+// Per-op latency attribution bench + regression anchor.
+//
+// Drives the three op shapes (blocking memop, async memop window, RPC) on a
+// fig06-sized cluster, prints the human-readable stage waterfall, and writes
+// BENCH_latency_breakdown.json (the check_bench.py anchor). Exits non-zero
+// if attribution stops conserving: the 64B blocking-write stage sums must
+// reconcile with end-to-end within 1%, and the health watchdog must be clean.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench/benchlib.h"
+#include "src/common/timing.h"
+#include "src/lite/lite_cluster.h"
+#include "src/node/node.h"
+#include "src/telemetry/latency_attr.h"
+
+namespace {
+
+constexpr int kWriteReps = 300;  // Mirrors fig06's 64B series.
+constexpr int kAsyncReps = 256;
+constexpr int kRpcReps = 100;
+
+// Sum of the committed stage histograms for `base` (no ".e2e" suffix).
+uint64_t StageSum(const lt::telemetry::MetricsSnapshot& snap, const std::string& base) {
+  uint64_t sum = 0;
+  for (int s = 0; s < lt::telemetry::kLatStageCount; ++s) {
+    auto it = snap.histograms.find(base + '.' + lt::telemetry::LatStageName(s));
+    if (it != snap.histograms.end()) {
+      sum += it->second.sum;
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchlib::TelemetrySink sink = benchlib::TelemetrySink::FromArgs(
+      argc, argv, "bench_latency_breakdown", "BENCH_latency_breakdown.json");
+
+  lt::SimParams p;  // Paper-calibrated params: same latency model as fig06.
+  p.node_phys_mem_bytes = 64ull << 20;
+  lite::LiteCluster cluster(2, p);
+  auto user = cluster.CreateClient(0, /*kernel_level=*/false);
+  lite::MallocOptions on1;
+  on1.nodes = {1};
+  auto lh = user->Malloc(1 << 20, "latbd_target", on1);
+  if (!lh.ok()) {
+    std::fprintf(stderr, "malloc failed\n");
+    return 1;
+  }
+
+  // --- blocking 64B writes (the fig06 fast path, attribution always on) ---
+  std::vector<uint8_t> buf(4096, 0x11);
+  lt::Histogram per_op_us;
+  for (int i = 0; i < kWriteReps; ++i) {
+    uint64_t t0 = lt::NowNs();
+    (void)user->Write(*lh, 0, buf.data(), 64);
+    per_op_us.Add(static_cast<double>(lt::NowNs() - t0) / 1000.0);
+  }
+  for (int i = 0; i < kWriteReps / 3; ++i) {
+    (void)user->Read(*lh, 0, buf.data(), 4096);
+  }
+  benchlib::PrintLatencyStats("LITE_write 64B per-op (us)", per_op_us);
+  sink.AddSnapshot("blocking", "reps=300", cluster.instance(0)->StatSnapshot());
+
+  // --- async write window (detached records, cross-thread retirement) ---
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < kAsyncReps / 4; ++i) {
+      (void)user->WriteAsync(*lh, static_cast<uint64_t>(i) * 4096, buf.data(), 64);
+    }
+    (void)user->WaitAll();
+  }
+  sink.AddSnapshot("async", "reps=256", cluster.instance(0)->StatSnapshot());
+
+  // --- RPC round trips (reply wait split into transport + remote_svc) ---
+  auto server = cluster.CreateClient(1, /*kernel_level=*/true);
+  (void)server->RegisterRpc(3);
+  std::thread service([&] {
+    for (int i = 0; i < kRpcReps; ++i) {
+      auto inc = server->RecvRpc(3);
+      if (!inc.ok()) {
+        return;
+      }
+      (void)server->ReplyRpc(inc->token, "pong", 4);
+    }
+  });
+  char out[16];
+  uint32_t out_len = 0;
+  for (int i = 0; i < kRpcReps; ++i) {
+    (void)user->Rpc(1, 3, "ping", 4, out, sizeof(out), &out_len);
+  }
+  service.join();
+  sink.AddSnapshot("rpc", "reps=100", cluster.instance(0)->StatSnapshot());
+
+  // --- the waterfall itself ---
+  std::printf("%s", cluster.DumpLatencyBreakdown().c_str());
+
+  // --- self-checks: conservation + watchdog gate this binary's exit code ---
+  const auto snap = cluster.instance(0)->StatSnapshot();
+  const auto e2e = snap.histograms.find("lite.lat.write.64B.hi.e2e");
+  if (e2e == snap.histograms.end() || e2e->second.count < static_cast<uint64_t>(kWriteReps)) {
+    std::fprintf(stderr, "FAIL: lite.lat.write.64B.hi.e2e missing or undercounted\n");
+    return 1;
+  }
+  const uint64_t stages = StageSum(snap, "lite.lat.write.64B.hi");
+  const double drift =
+      e2e->second.sum == 0
+          ? 0.0
+          : static_cast<double>(stages > e2e->second.sum ? stages - e2e->second.sum
+                                                         : e2e->second.sum - stages) /
+                static_cast<double>(e2e->second.sum);
+  std::printf("# 64B write: e2e sum=%" PRIu64 "ns stages sum=%" PRIu64 "ns drift=%.4f%%\n",
+              e2e->second.sum, stages, drift * 100.0);
+  if (drift > 0.01) {
+    std::fprintf(stderr, "FAIL: 64B write stage sums drift %.2f%% from e2e (>1%%)\n",
+                 drift * 100.0);
+    return 1;
+  }
+  const auto violations = cluster.RunHealthCheck();
+  for (const std::string& v : violations) {
+    std::fprintf(stderr, "FAIL: watchdog: %s\n", v.c_str());
+  }
+  if (!violations.empty()) {
+    return 1;
+  }
+  std::printf("# health watchdog: clean\n");
+  sink.WriteFile();
+  return 0;
+}

@@ -14,6 +14,17 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"${JOBS}"
 (cd build && ctest --output-on-failure -j"${JOBS}")
 
+echo "== tier-1: perf-regression gate (check_bench) =="
+# Re-run the anchored benches into a scratch dir and diff their telemetry
+# sidecars against the committed BENCH_*.json anchors (tolerances in
+# scripts/check_bench.py). bench_micro's sweeps always run and always write
+# their sidecars; the filter just skips the google-benchmark timing loops.
+mkdir -p build/bench-out
+(cd build/bench-out && ../bench/bench_micro --benchmark_filter=__none__ >/dev/null) || true
+(cd build/bench-out && ../bench/bench_migrate >/dev/null)
+(cd build/bench-out && ../bench/bench_latency_breakdown >/dev/null)
+python3 scripts/check_bench.py
+
 echo "== tier-1: chrome-trace export sanity =="
 TRACE_OUT="$(mktemp /tmp/lite_trace.XXXXXX.json)"
 trap 'rm -f "${TRACE_OUT}"' EXIT

@@ -7,7 +7,7 @@
 
 namespace lt {
 
-uint64_t FabricPort::Reserve(uint64_t earliest_ns, uint64_t bytes) {
+uint64_t FabricPort::Reserve(uint64_t earliest_ns, uint64_t bytes, uint64_t* queue_ns_out) {
   const double rate = fabric_->params().nic_line_rate_bytes_per_ns;
   const uint64_t ser_ns = static_cast<uint64_t>(static_cast<double>(bytes) / rate);
   bytes_.fetch_add(bytes, std::memory_order_relaxed);
@@ -18,6 +18,9 @@ uint64_t FabricPort::Reserve(uint64_t earliest_ns, uint64_t bytes) {
   const uint64_t uncontended = earliest_ns + ser_ns;
   if (finish > uncontended) {
     queue_delay_ns_.fetch_add(finish - uncontended, std::memory_order_relaxed);
+    if (queue_ns_out != nullptr) {
+      *queue_ns_out += finish - uncontended;
+    }
   }
   return finish;
 }
@@ -31,7 +34,7 @@ FabricPort* Fabric::Attach(NodeId node) {
 }
 
 uint64_t Fabric::TransferFinishNs(NodeId src, NodeId dst, uint64_t bytes, uint64_t earliest_ns,
-                                  TransferFaults* faults_out) {
+                                  TransferFaults* faults_out, uint64_t* queue_ns_out) {
   // Fault decision first: dropped transfers consume no port bandwidth (the
   // frame died somewhere in the switch, not at a saturated endpoint).
   uint64_t injected_delay_ns = 0;
@@ -47,8 +50,8 @@ uint64_t Fabric::TransferFinishNs(NodeId src, NodeId dst, uint64_t bytes, uint64
     // Serialize on the sender's TX then the receiver's RX (store-and-forward
     // through one switch hop collapses to the max of the two for same-rate
     // ports; reserving sequentially models cut-through with port contention).
-    finish = ports_[src]->Reserve(earliest_ns, bytes);
-    finish = ports_[dst]->Reserve(finish, bytes);
+    finish = ports_[src]->Reserve(earliest_ns, bytes, queue_ns_out);
+    finish = ports_[dst]->Reserve(finish, bytes, queue_ns_out);
     finish += params_.wire_latency_ns;
   }
   finish += injected_delay_ns;

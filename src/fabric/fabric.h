@@ -38,7 +38,10 @@ class FabricPort {
 
   // Reserves `bytes` of serialization time on this port starting no earlier
   // than `earliest_ns`; returns the finish time of the transfer on this port.
-  uint64_t Reserve(uint64_t earliest_ns, uint64_t bytes);
+  // When `queue_ns_out` is non-null, adds this reservation's queueing delay
+  // (time spent behind earlier reservations, beyond the uncontended finish)
+  // to it — the per-transfer form of queue_delay_total_ns().
+  uint64_t Reserve(uint64_t earliest_ns, uint64_t bytes, uint64_t* queue_ns_out = nullptr);
 
   // Total bytes that have crossed this port (tx+rx combined bookkeeping is
   // done by the fabric; this counts reservations made on this port).
@@ -89,9 +92,13 @@ class Fabric {
   // Absolute-time plumbing is essential: service threads whose own clocks
   // lag (queue drainers) must not convert through "now". When `faults_out`
   // is non-null it reports duplicate-delivery decisions (the RNIC uses this
-  // to deliver a second copy of a write-imm).
+  // to deliver a second copy of a write-imm). When `queue_ns_out` is
+  // non-null, adds the transfer's total port queueing delay (TX + RX) to it,
+  // letting callers split a transfer's duration into wire vs. port-queue
+  // time (latency attribution).
   uint64_t TransferFinishNs(NodeId src, NodeId dst, uint64_t bytes, uint64_t earliest_ns,
-                            TransferFaults* faults_out = nullptr);
+                            TransferFaults* faults_out = nullptr,
+                            uint64_t* queue_ns_out = nullptr);
 
   // The fault-injection engine: per-link rules, partitions, crash windows.
   FaultEngine& faults() { return faults_; }

@@ -1,21 +1,34 @@
 #include "src/lite/client.h"
 
+#include "src/common/timing.h"
+
 namespace lite {
+
+using lt::telemetry::AttrAdd;
+using lt::telemetry::LatStage;
+using lt::telemetry::ScopedOpAttr;
 
 void LiteClient::EnterKernel() {
   if (kernel_level_) {
     return;
   }
+  const uint64_t cross_t0 = lt::NowNs();
   if (naive_syscalls_) {
     // Unoptimized path: full trap in and out, plus the extra crossings of the
     // separate recv/reply syscalls (~0.9 us total per RPC, paper Sec. 5.2).
     instance_->node()->os().Syscall();
     instance_->node()->os().CrossUserKernel();
+    AttrAdd(LatStage::kLatCross, lt::NowNs() - cross_t0);
     return;
   }
   // Optimized path: one user->kernel crossing; the return is hidden behind
   // the shared user/kernel page the LITE library spins on.
   instance_->node()->os().CrossUserKernel();
+  AttrAdd(LatStage::kLatCross, lt::NowNs() - cross_t0);
+}
+
+lt::telemetry::LatencyAttr* LiteClient::AttrSink() {
+  return &instance_->node()->telemetry().latency();
 }
 
 StatusOr<Lh> LiteClient::Malloc(uint64_t size, const std::string& name,
@@ -43,12 +56,14 @@ Status LiteClient::Read(Lh lh, uint64_t offset, void* buf, uint64_t len) {
   // Begin the trace span before the boundary crossing so user-level spans
   // show the syscall_cross stage; the instance-level span begin is then inert.
   lt::telemetry::ScopedSpan span(&instance_->node()->telemetry().tracer(), "LT_read");
+  ScopedOpAttr attr(AttrSink(), "read", len, static_cast<int>(priority_));
   EnterKernel();
   return instance_->Read(lh, offset, buf, len, priority_);
 }
 
 StatusOr<MemopHandle> LiteClient::ReadAsync(Lh lh, uint64_t offset, void* buf, uint64_t len) {
   lt::telemetry::ScopedSpan span(&instance_->node()->telemetry().tracer(), "LT_read_async");
+  ScopedOpAttr attr(AttrSink(), "aread", len, static_cast<int>(priority_));
   EnterKernel();
   return instance_->ReadAsync(lh, offset, buf, len, priority_);
 }
@@ -56,6 +71,7 @@ StatusOr<MemopHandle> LiteClient::ReadAsync(Lh lh, uint64_t offset, void* buf, u
 StatusOr<MemopHandle> LiteClient::WriteAsync(Lh lh, uint64_t offset, const void* buf,
                                              uint64_t len) {
   lt::telemetry::ScopedSpan span(&instance_->node()->telemetry().tracer(), "LT_write_async");
+  ScopedOpAttr attr(AttrSink(), "awrite", len, static_cast<int>(priority_));
   EnterKernel();
   return instance_->WriteAsync(lh, offset, buf, len, priority_);
 }
@@ -82,6 +98,7 @@ Status LiteClient::WaitAll(std::vector<std::pair<MemopHandle, Status>>* results)
 
 Status LiteClient::Write(Lh lh, uint64_t offset, const void* buf, uint64_t len) {
   lt::telemetry::ScopedSpan span(&instance_->node()->telemetry().tracer(), "LT_write");
+  ScopedOpAttr attr(AttrSink(), "write", len, static_cast<int>(priority_));
   EnterKernel();
   return instance_->Write(lh, offset, buf, len, priority_);
 }
@@ -109,6 +126,7 @@ Status LiteClient::RegisterRpc(RpcFuncId func) {
 Status LiteClient::Rpc(NodeId server, RpcFuncId func, const void* in, uint32_t in_len, void* out,
                        uint32_t out_max, uint32_t* out_len) {
   lt::telemetry::ScopedSpan span(&instance_->node()->telemetry().tracer(), "LT_RPC");
+  ScopedOpAttr attr(AttrSink(), "rpc", in_len, static_cast<int>(priority_));
   EnterKernel();
   return instance_->Rpc(server, func, in, in_len, out, out_max, out_len, priority_);
 }
@@ -148,12 +166,14 @@ StatusOr<MsgIncoming> LiteClient::RecvMsg(uint64_t timeout_ns) {
 }
 
 StatusOr<uint64_t> LiteClient::FetchAdd(Lh lh, uint64_t offset, uint64_t delta) {
+  ScopedOpAttr attr(AttrSink(), "atomic", 8, static_cast<int>(Priority::kHigh));
   EnterKernel();
   return instance_->FetchAdd(lh, offset, delta);
 }
 
 StatusOr<uint64_t> LiteClient::TestSet(Lh lh, uint64_t offset, uint64_t expected,
                                        uint64_t desired) {
+  ScopedOpAttr attr(AttrSink(), "atomic", 8, static_cast<int>(Priority::kHigh));
   EnterKernel();
   return instance_->TestSet(lh, offset, expected, desired);
 }

@@ -93,6 +93,9 @@ class LiteClient {
   // Charges the cost of entering the kernel for one LITE call.
   void EnterKernel();
 
+  // The node's latency-attribution sink (latency_attr.h).
+  lt::telemetry::LatencyAttr* AttrSink();
+
   LiteInstance* const instance_;
   const bool kernel_level_;
   bool naive_syscalls_ = false;

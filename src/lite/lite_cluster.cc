@@ -1,5 +1,9 @@
 #include "src/lite/lite_cluster.h"
 
+#include <sstream>
+
+#include "src/telemetry/latency_attr.h"
+
 namespace lite {
 
 LiteCluster::LiteCluster(size_t node_count, const lt::SimParams& params)
@@ -39,12 +43,40 @@ LiteCluster::LiteCluster(size_t node_count, const lt::SimParams& params)
   for (auto& inst : instances_) {
     inst->Start();
   }
+  // Any gtest failure while this cluster lives dumps its flight recorder
+  // (tests/gtest_main.cc drains the registry on the first failed assertion).
+  lt::telemetry::RegisterFailureDump(this, [this] { return DumpJournal(); });
 }
 
 LiteCluster::~LiteCluster() {
+  lt::telemetry::UnregisterFailureDump(this);
   for (auto& inst : instances_) {
     inst->Stop();
   }
+}
+
+std::string LiteCluster::DumpLatencyBreakdown() {
+  std::ostringstream out;
+  for (size_t i = 0; i < cluster_.size(); ++i) {
+    const auto snap = cluster_.node(i)->telemetry().registry().Snapshot();
+    const std::string body = lt::telemetry::LatencyAttr::DumpLatencyBreakdown(snap);
+    if (body.empty()) {
+      continue;
+    }
+    out << "=== node " << i << " ===\n" << body;
+  }
+  return out.str();
+}
+
+std::vector<std::string> LiteCluster::RunHealthCheck() {
+  std::vector<std::string> violations;
+  for (size_t i = 0; i < cluster_.size(); ++i) {
+    const auto snap = cluster_.node(i)->telemetry().registry().Snapshot();
+    for (const std::string& v : lt::telemetry::HealthWatchdog::Check(snap)) {
+      violations.push_back("node" + std::to_string(i) + ": " + v);
+    }
+  }
+  return violations;
 }
 
 std::unique_ptr<LiteClient> LiteCluster::CreateClient(NodeId node, bool kernel_level) {

@@ -50,6 +50,12 @@ class LiteCluster {
   // Chrome trace-event export (chrome://tracing / Perfetto). False on I/O
   // error. Includes all sampled spans plus the flight-recorder events.
   bool ExportChromeTrace(const std::string& path) { return cluster_.ExportChromeTrace(path); }
+  // Human-readable per-stage latency waterfall, all nodes (latency_attr.h).
+  std::string DumpLatencyBreakdown();
+  // Health watchdog: evaluates the conservation invariants against every
+  // node's metrics snapshot; returns one "nodeN: ..." line per violation
+  // (empty = healthy). Cheap enough to call from any test teardown.
+  std::vector<std::string> RunHealthCheck();
 
  private:
   lt::Cluster cluster_;

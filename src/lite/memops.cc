@@ -11,6 +11,9 @@
 namespace lite {
 
 using lt::SpinFor;
+using lt::telemetry::AttrAdd;
+using lt::telemetry::LatStage;
+using lt::telemetry::ScopedOpAttr;
 
 namespace {
 
@@ -298,12 +301,17 @@ Status LiteInstance::Read(Lh lh, uint64_t offset, void* buf, uint64_t len, Prior
   }
   // No-op when a LiteClient span is already active or sampling is off.
   lt::telemetry::ScopedSpan span(&node_->telemetry().tracer(), "LT_read");
+  // Outermost claim only: when LiteClient already holds the record this is
+  // inert and the stamps below flow into the client-level op.
+  ScopedOpAttr attr(&node_->telemetry().latency(), "read", len, static_cast<int>(pri));
+  const uint64_t submit_t0 = lt::NowNs();
   SpinFor(params().lite_map_check_ns);
   auto entry = GetLh(lh);
   if (!entry.ok()) {
     return entry.status();
   }
   LT_RETURN_IF_ERROR(CheckAccess(*entry, offset, len, kPermRead));
+  AttrAdd(LatStage::kLatSubmit, lt::NowNs() - submit_t0);
   lt::telemetry::StampStage(lt::telemetry::TraceStage::kLhCheck, len);
   Status st = Status::Ok();
   for (int attempt = 0; attempt <= kMaxStaleRedirects; ++attempt) {
@@ -328,7 +336,9 @@ Status LiteInstance::Read(Lh lh, uint64_t offset, void* buf, uint64_t len, Prior
       return st;
     }
     // The LMR migrated mid-op: refresh the mapping and re-issue in full.
+    const uint64_t redo_t0 = lt::NowNs();
     LT_RETURN_IF_ERROR(RefreshStaleLh(lh, &*entry));
+    AttrAdd(LatStage::kLatDetour, lt::NowNs() - redo_t0);
   }
   return st;
 }
@@ -338,12 +348,15 @@ Status LiteInstance::Write(Lh lh, uint64_t offset, const void* buf, uint64_t len
     return Status::Ok();
   }
   lt::telemetry::ScopedSpan span(&node_->telemetry().tracer(), "LT_write");
+  ScopedOpAttr attr(&node_->telemetry().latency(), "write", len, static_cast<int>(pri));
+  const uint64_t submit_t0 = lt::NowNs();
   SpinFor(params().lite_map_check_ns);
   auto entry = GetLh(lh);
   if (!entry.ok()) {
     return entry.status();
   }
   LT_RETURN_IF_ERROR(CheckAccess(*entry, offset, len, kPermWrite));
+  AttrAdd(LatStage::kLatSubmit, lt::NowNs() - submit_t0);
   lt::telemetry::StampStage(lt::telemetry::TraceStage::kLhCheck, len);
   Status st = Status::Ok();
   for (int attempt = 0; attempt <= kMaxStaleRedirects; ++attempt) {
@@ -366,7 +379,9 @@ Status LiteInstance::Write(Lh lh, uint64_t offset, const void* buf, uint64_t len
     if (st.code() != lt::StatusCode::kStaleHome) {
       return st;
     }
+    const uint64_t redo_t0 = lt::NowNs();
     LT_RETURN_IF_ERROR(RefreshStaleLh(lh, &*entry));
+    AttrAdd(LatStage::kLatDetour, lt::NowNs() - redo_t0);
   }
   return st;
 }
@@ -566,12 +581,16 @@ Status LiteInstance::GrantMaster(const std::string& name, NodeId new_master) {
 // --------------------------------------------------------------- atomics
 
 StatusOr<uint64_t> LiteInstance::FetchAdd(Lh lh, uint64_t offset, uint64_t delta) {
+  ScopedOpAttr attr(&node_->telemetry().latency(), "atomic", 8,
+                    static_cast<int>(Priority::kHigh));
+  const uint64_t submit_t0 = lt::NowNs();
   SpinFor(params().lite_map_check_ns);
   auto entry = GetLh(lh);
   if (!entry.ok()) {
     return entry.status();
   }
   LT_RETURN_IF_ERROR(CheckAccess(*entry, offset, 8, kPermWrite));
+  AttrAdd(LatStage::kLatSubmit, lt::NowNs() - submit_t0);
   for (int attempt = 0; attempt <= kMaxStaleRedirects; ++attempt) {
     auto pieces = SliceChunks(entry->chunks, offset, 8);
     if (pieces.size() != 1) {
@@ -588,12 +607,16 @@ StatusOr<uint64_t> LiteInstance::FetchAdd(Lh lh, uint64_t offset, uint64_t delta
 
 StatusOr<uint64_t> LiteInstance::TestSet(Lh lh, uint64_t offset, uint64_t expected,
                                          uint64_t desired) {
+  ScopedOpAttr attr(&node_->telemetry().latency(), "atomic", 8,
+                    static_cast<int>(Priority::kHigh));
+  const uint64_t submit_t0 = lt::NowNs();
   SpinFor(params().lite_map_check_ns);
   auto entry = GetLh(lh);
   if (!entry.ok()) {
     return entry.status();
   }
   LT_RETURN_IF_ERROR(CheckAccess(*entry, offset, 8, kPermWrite));
+  AttrAdd(LatStage::kLatSubmit, lt::NowNs() - submit_t0);
   for (int attempt = 0; attempt <= kMaxStaleRedirects; ++attempt) {
     auto pieces = SliceChunks(entry->chunks, offset, 8);
     if (pieces.size() != 1) {

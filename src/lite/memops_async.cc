@@ -27,12 +27,16 @@ StatusOr<MemopHandle> LiteInstance::IssueAsyncMemop(Lh lh, uint64_t offset, void
                                                     uint64_t len, Priority pri, bool is_read) {
   lt::telemetry::ScopedSpan span(&node_->telemetry().tracer(),
                                  is_read ? "LT_read_async" : "LT_write_async");
+  lt::telemetry::ScopedOpAttr attr(&node_->telemetry().latency(), is_read ? "aread" : "awrite",
+                                   len, static_cast<int>(pri));
+  const uint64_t submit_t0 = lt::NowNs();
   SpinFor(params().lite_map_check_ns);
   auto entry = GetLh(lh);
   if (!entry.ok()) {
     return entry.status();
   }
   LT_RETURN_IF_ERROR(CheckAccess(*entry, offset, len, is_read ? kPermRead : kPermWrite));
+  lt::telemetry::AttrAdd(lt::telemetry::LatStage::kLatSubmit, lt::NowNs() - submit_t0);
   lt::telemetry::StampStage(lt::telemetry::TraceStage::kLhCheck, len);
 
   std::vector<OpEngine::OpDesc> descs;
@@ -48,6 +52,8 @@ StatusOr<MemopHandle> LiteInstance::IssueAsyncMemop(Lh lh, uint64_t offset, void
 StatusOr<MemopHandle> LiteInstance::RpcAsync(NodeId server_node, RpcFuncId func, const void* in,
                                              uint32_t in_len, void* out, uint32_t out_max,
                                              uint32_t* out_len, Priority pri) {
+  lt::telemetry::ScopedOpAttr attr(&node_->telemetry().latency(), "arpc", in_len,
+                                   static_cast<int>(pri));
   auto slot = RpcSend(server_node, func, in, in_len, out_max, pri);
   if (!slot.ok()) {
     return slot.status();

@@ -16,6 +16,8 @@
 #include "src/common/logging.h"
 #include "src/common/timing.h"
 #include "src/lite/instance.h"
+#include "src/rnic/rnic.h"
+#include "src/telemetry/latency_attr.h"
 
 namespace lite {
 
@@ -28,6 +30,9 @@ using lt::WaitMode;
 using lt::WcOpcode;
 using lt::WorkRequest;
 using lt::WrOpcode;
+using lt::telemetry::AttrAdd;
+using lt::telemetry::AttrAddSplit;
+using lt::telemetry::LatStage;
 
 namespace {
 
@@ -84,6 +89,12 @@ void OpEngine::RegisterTelemetry(lt::telemetry::Registry& reg, lt::telemetry::Jo
   journal_ = journal;
   // Engine-level instruments (docs/TELEMETRY.md, "Op-submission engine").
   engine_ops_ = reg.GetCounter("lite.engine.ops");
+  engine_ops_ok_ = reg.GetCounter("lite.engine.ops_ok");
+  engine_ops_failed_ = reg.GetCounter("lite.engine.ops_failed");
+  reg.RegisterProbe("lite.engine.in_flight", [this] {
+    const int64_t v = engine_inflight_.load(std::memory_order_relaxed);
+    return v > 0 ? static_cast<uint64_t>(v) : 0;
+  });
   engine_pieces_overlapped_ = reg.GetCounter("lite.engine.pieces_overlapped");
   engine_retries_ = reg.GetCounter("lite.engine.retries");
   // Fault & recovery instruments (docs/TELEMETRY.md).
@@ -115,6 +126,7 @@ StatusOr<Completion> OpEngine::PostAndWait(NodeId dst, WorkRequest* wr, Priority
       oneside_retries_->Inc();
       engine_retries_->Inc();
       lt::IdleFor(backoff_ns);
+      AttrAdd(LatStage::kLatDetour, backoff_ns);
       if (journal_ != nullptr) {
         journal_->Record(lt::telemetry::JournalEvent::kOnesideRetry, dst, attempt);
       }
@@ -151,6 +163,7 @@ StatusOr<Completion> OpEngine::PostAndWait(NodeId dst, WorkRequest* wr, Priority
     Qp* qp = inst_->qps_.qp(dst, idx);
     wr->wr_id = NextWrId();
     Status posted = Status::Ok();
+    const uint64_t post_t0 = NowNs();
     {
       // The QP lock covers only the post; waiting happens outside so threads
       // sharing a pool QP overlap their in-flight ops (the whole point of
@@ -161,6 +174,7 @@ StatusOr<Completion> OpEngine::PostAndWait(NodeId dst, WorkRequest* wr, Priority
       }
       posted = inst_->rnic().PostSend(qp, *wr);
     }
+    AttrAdd(LatStage::kLatPost, NowNs() - post_t0);
     // Data movement is synchronous inside PostSend (the simulated DMA), so
     // the gate closes right after the post: an Ok post means the bytes are
     // at the destination (or dirty-logged harmlessly if the fabric dropped
@@ -175,15 +189,20 @@ StatusOr<Completion> OpEngine::PostAndWait(NodeId dst, WorkRequest* wr, Priority
       }
       return posted;
     }
+    const uint64_t wait_t0 = NowNs();
     auto c = qp->send_cq()->WaitPollFor(wr->wr_id, inst_->params().lite_rpc_timeout_ns,
                                         WaitMode::kBusyPoll);
+    const uint64_t wait_dt = NowNs() - wait_t0;
     if (!c.has_value()) {
+      AttrAdd(LatStage::kLatDetour, wait_dt);
       last = Status::Timeout("one-sided completion timeout");
       continue;
     }
     if (c->status.ok()) {
+      AttrAddSplit(wait_dt, c->lat);
       return *c;
     }
+    AttrAdd(LatStage::kLatDetour, wait_dt);
     last = c->status;
     const lt::StatusCode code = last.code();
     if (code != lt::StatusCode::kUnavailable && code != lt::StatusCode::kTimeout) {
@@ -195,12 +214,23 @@ StatusOr<Completion> OpEngine::PostAndWait(NodeId dst, WorkRequest* wr, Priority
 
 Status OpEngine::OneSidedWrite(NodeId dst, PhysAddr dst_addr, const void* src, uint64_t len,
                                Priority pri, bool signaled) {
-  engine_ops_->Inc();
+  BeginEngineOp();
+  Status s = OneSidedWriteImpl(dst, dst_addr, src, len, pri, signaled);
+  FinishEngineOp(s.ok());
+  return s;
+}
+
+Status OpEngine::OneSidedWriteImpl(NodeId dst, PhysAddr dst_addr, const void* src, uint64_t len,
+                                   Priority pri, bool signaled) {
+  const uint64_t qos_t0 = NowNs();
   inst_->qos_.Admit(pri, len);
+  AttrAdd(LatStage::kLatQosWait, NowNs() - qos_t0);
   if (dst == inst_->node_id()) {
     AccessGate gate;
     LT_RETURN_IF_ERROR(GateAccess(inst_, inst_, dst_addr, len, /*is_write=*/true, &gate));
+    const uint64_t copy_t0 = NowNs();
     inst_->LocalCopyIn(dst_addr, src, len);
+    AttrAdd(LatStage::kLatPost, NowNs() - copy_t0);
     inst_->migration().CloseAccess(&gate, /*success=*/true);
     return Status::Ok();
   }
@@ -220,6 +250,7 @@ Status OpEngine::OneSidedWrite(NodeId dst, PhysAddr dst_addr, const void* src, u
     }
     Qp* qp = inst_->qps_.qp(dst, idx);
     wr.wr_id = 0;
+    const uint64_t post_t0 = NowNs();
     std::lock_guard<std::mutex> lock(inst_->qps_.mu(dst, idx));
     if (qp->in_error()) {
       inst_->qps_.RecoverQp(qp);
@@ -230,7 +261,9 @@ Status OpEngine::OneSidedWrite(NodeId dst, PhysAddr dst_addr, const void* src, u
         journal_->Record(lt::telemetry::JournalEvent::kUnsignaledRecover, dst, qp->qpn());
       }
     }
-    return inst_->rnic().PostSend(qp, wr);
+    Status s = inst_->rnic().PostSend(qp, wr);
+    AttrAdd(LatStage::kLatPost, NowNs() - post_t0);
+    return s;
   }
   const uint64_t start = NowNs();
   auto c = PostAndWait(dst, &wr, pri);
@@ -246,14 +279,27 @@ Status OpEngine::OneSidedWrite(NodeId dst, PhysAddr dst_addr, const void* src, u
 
 Status OpEngine::OneSidedWriteImm(NodeId dst, PhysAddr dst_addr, const void* src, uint64_t len,
                                   uint32_t imm, Priority pri) {
-  engine_ops_->Inc();
+  BeginEngineOp();
+  Status s = OneSidedWriteImmImpl(dst, dst_addr, src, len, imm, pri);
+  FinishEngineOp(s.ok());
+  return s;
+}
+
+Status OpEngine::OneSidedWriteImmImpl(NodeId dst, PhysAddr dst_addr, const void* src,
+                                      uint64_t len, uint32_t imm, Priority pri) {
+  const uint64_t qos_t0 = NowNs();
   inst_->qos_.Admit(pri, len);
+  AttrAdd(LatStage::kLatQosWait, NowNs() - qos_t0);
   if (dst == inst_->node_id()) {
     // Loopback: copy locally and deliver the IMM to our own receive CQ so the
-    // poll thread handles it uniformly.
+    // poll thread handles it uniformly. No PostSend happens, so clear the
+    // RNIC's last-post breakdown — RPC callers read it after this returns.
+    lt::Rnic::ResetLastPostBreakdown();
+    const uint64_t copy_t0 = NowNs();
     if (len > 0) {
       inst_->LocalCopyIn(dst_addr, src, len);
     }
+    AttrAdd(LatStage::kLatPost, NowNs() - copy_t0);
     Completion c;
     c.opcode = WcOpcode::kRecvImm;
     c.has_imm = true;
@@ -277,21 +323,35 @@ Status OpEngine::OneSidedWriteImm(NodeId dst, PhysAddr dst_addr, const void* src
   wr.remote_addr = dst_addr;
   wr.imm = imm;
   wr.signaled = false;  // Failures detected by reply timeout (paper Sec. 5.1).
+  const uint64_t post_t0 = NowNs();
   std::lock_guard<std::mutex> lock(inst_->qps_.mu(dst, idx));
   if (qp->in_error()) {
     inst_->qps_.RecoverQp(qp);  // A prior drop errored this QP; reconnect before posting.
   }
-  return inst_->rnic().PostSend(qp, wr);
+  Status s = inst_->rnic().PostSend(qp, wr);
+  AttrAdd(LatStage::kLatPost, NowNs() - post_t0);
+  return s;
 }
 
 Status OpEngine::OneSidedRead(NodeId src_node, PhysAddr src_addr, void* dst, uint64_t len,
                               Priority pri) {
-  engine_ops_->Inc();
+  BeginEngineOp();
+  Status s = OneSidedReadImpl(src_node, src_addr, dst, len, pri);
+  FinishEngineOp(s.ok());
+  return s;
+}
+
+Status OpEngine::OneSidedReadImpl(NodeId src_node, PhysAddr src_addr, void* dst, uint64_t len,
+                                  Priority pri) {
+  const uint64_t qos_t0 = NowNs();
   inst_->qos_.Admit(pri, len);
+  AttrAdd(LatStage::kLatQosWait, NowNs() - qos_t0);
   if (src_node == inst_->node_id()) {
     AccessGate gate;
     LT_RETURN_IF_ERROR(GateAccess(inst_, inst_, src_addr, len, /*is_write=*/false, &gate));
+    const uint64_t copy_t0 = NowNs();
     inst_->LocalCopyOut(dst, src_addr, len);
+    AttrAdd(LatStage::kLatPost, NowNs() - copy_t0);
     inst_->migration().CloseAccess(&gate, /*success=*/true);
     return Status::Ok();
   }
@@ -320,12 +380,23 @@ StatusOr<uint64_t> OpEngine::RemoteAtomic(NodeId dst, PhysAddr addr, bool is_cas
   if (addr % 8 != 0) {
     return Status::InvalidArgument("atomic target not 8-byte aligned");
   }
-  engine_ops_->Inc();
+  BeginEngineOp();
+  StatusOr<uint64_t> r = RemoteAtomicImpl(dst, addr, is_cas, compare_add, swap);
+  FinishEngineOp(r.ok());
+  return r;
+}
+
+StatusOr<uint64_t> OpEngine::RemoteAtomicImpl(NodeId dst, PhysAddr addr, bool is_cas,
+                                              uint64_t compare_add, uint64_t swap) {
+  const uint64_t qos_t0 = NowNs();
   inst_->qos_.Admit(Priority::kHigh, 8);
+  AttrAdd(LatStage::kLatQosWait, NowNs() - qos_t0);
   if (dst == inst_->node_id()) {
     AccessGate gate;
     LT_RETURN_IF_ERROR(GateAccess(inst_, inst_, addr, 8, /*is_write=*/true, &gate));
+    const uint64_t spin_t0 = NowNs();
     SpinFor(inst_->params().local_op_base_ns + inst_->params().rnic_atomic_extra_ns / 2);
+    AttrAdd(LatStage::kLatRnicLocal, NowNs() - spin_t0);
     uint8_t* p = inst_->node_->mem().Data(addr, 8);
     // Serialize against remote atomics through the same responder path.
     uint64_t old_value;
@@ -361,7 +432,13 @@ StatusOr<uint64_t> OpEngine::RemoteAtomic(NodeId dst, PhysAddr addr, bool is_cas
 // ------------------------------------------- multi-piece blocking memops
 
 Status OpEngine::SubmitPieces(const std::vector<OpDesc>& pieces, bool is_read, Priority pri) {
-  engine_ops_->Inc();
+  BeginEngineOp();
+  Status s = SubmitPiecesImpl(pieces, is_read, pri);
+  FinishEngineOp(s.ok());
+  return s;
+}
+
+Status OpEngine::SubmitPiecesImpl(const std::vector<OpDesc>& pieces, bool is_read, Priority pri) {
   const uint64_t start = NowNs();
 
   // Issue phase: post every remote piece signaled before waiting on any.
@@ -388,15 +465,19 @@ Status OpEngine::SubmitPieces(const std::vector<OpDesc>& pieces, bool is_read, P
         }
         continue;
       }
+      const uint64_t copy_t0 = NowNs();
       if (is_read) {
         inst_->LocalCopyOut(piece.local, piece.addr, piece.len);
       } else {
         inst_->LocalCopyIn(piece.addr, piece.local, piece.len);
       }
+      AttrAdd(LatStage::kLatPost, NowNs() - copy_t0);
       inst_->migration().CloseAccess(&gate, /*success=*/true);
       continue;
     }
+    const uint64_t qos_t0 = NowNs();
     inst_->qos_.Admit(pri, piece.len);
+    AttrAdd(LatStage::kLatQosWait, NowNs() - qos_t0);
     Posted p;
     p.dst = piece.node;
     p.qp_idx = inst_->qps_.PickQpIndexSticky(piece.node, pri);
@@ -416,6 +497,7 @@ Status OpEngine::SubmitPieces(const std::vector<OpDesc>& pieces, bool is_read, P
       Status g = GateAccess(inst_, peer, wr.remote_addr, wr.length, !is_read, &gate);
       if (g.ok()) {
         Qp* qp = inst_->qps_.qp(p.dst, p.qp_idx);
+        const uint64_t post_t0 = NowNs();
         {
           std::lock_guard<std::mutex> qlock(inst_->qps_.mu(p.dst, p.qp_idx));
           if (qp->in_error()) {
@@ -423,6 +505,7 @@ Status OpEngine::SubmitPieces(const std::vector<OpDesc>& pieces, bool is_read, P
           }
           p.posted = inst_->rnic().PostSend(qp, wr).ok();
         }
+        AttrAdd(LatStage::kLatPost, NowNs() - post_t0);
         peer->migration().CloseAccess(&gate, p.posted);
       }
       // Gate NACK: left unposted; the wait phase re-gates via PostAndWait,
@@ -443,9 +526,16 @@ Status OpEngine::SubmitPieces(const std::vector<OpDesc>& pieces, bool is_read, P
   for (Posted& p : remote) {
     std::optional<Completion> c;
     if (p.posted) {
+      const uint64_t wait_t0 = NowNs();
       c = inst_->qps_.qp(p.dst, p.qp_idx)
               ->send_cq()
               ->WaitPollFor(p.wr.wr_id, inst_->params().lite_rpc_timeout_ns, WaitMode::kBusyPoll);
+      const uint64_t wait_dt = NowNs() - wait_t0;
+      if (c.has_value() && c->status.ok()) {
+        AttrAddSplit(wait_dt, c->lat);
+      } else {
+        AttrAdd(LatStage::kLatDetour, wait_dt);
+      }
     }
     Status s = Status::Ok();
     if (c.has_value() && c->status.ok()) {
@@ -493,7 +583,7 @@ Status OpEngine::SubmitPieces(const std::vector<OpDesc>& pieces, bool is_read, P
 StatusOr<MemopHandle> OpEngine::IssueAsyncPieces(const std::vector<OpDesc>& pieces, bool is_read,
                                                  Priority pri, Lh origin_lh, uint64_t origin_off,
                                                  void* origin_buf, uint64_t origin_len) {
-  engine_ops_->Inc();
+  BeginEngineOp();
   async_ops_issued_->Inc();
 
   auto op = std::make_unique<AsyncOp>();
@@ -507,9 +597,11 @@ StatusOr<MemopHandle> OpEngine::IssueAsyncPieces(const std::vector<OpDesc>& piec
 
   std::unique_lock<std::mutex> lock(async_mu_);
   const size_t window = std::max<size_t>(1, inst_->params().lite_async_window);
+  const uint64_t bp_t0 = NowNs();
   while (async_inflight_ >= window) {
     RetireOldestLocked(lock);
   }
+  AttrAdd(LatStage::kLatEngineQueue, NowNs() - bp_t0);
 
   for (const OpDesc& piece : pieces) {
     uint8_t* user = static_cast<uint8_t*>(piece.local);
@@ -527,18 +619,22 @@ StatusOr<MemopHandle> OpEngine::IssueAsyncPieces(const std::vector<OpDesc>& piec
           op->issue_error = g;
         }
       } else {
+        const uint64_t copy_t0 = NowNs();
         if (is_read) {
           inst_->LocalCopyOut(user, piece.addr, piece.len);
         } else {
           inst_->LocalCopyIn(piece.addr, user, piece.len);
         }
+        AttrAdd(LatStage::kLatPost, NowNs() - copy_t0);
         inst_->migration().CloseAccess(&gate, /*success=*/true);
       }
       wqe.ready_at_ns = NowNs();
       op->wqes.push_back(wqe);
       continue;
     }
+    const uint64_t qos_t0 = NowNs();
     inst_->qos_.Admit(pri, piece.len);
+    AttrAdd(LatStage::kLatQosWait, NowNs() - qos_t0);
     AsyncWqe wqe;
     wqe.dst = piece.node;
     wqe.qp_idx = inst_->qps_.PickQpIndexSticky(piece.node, pri);
@@ -561,6 +657,7 @@ StatusOr<MemopHandle> OpEngine::IssueAsyncPieces(const std::vector<OpDesc>& piec
       Status g = GateAccess(inst_, peer, wr.remote_addr, wr.length, !is_read, &gate);
       if (g.ok()) {
         Qp* qp = inst_->qps_.qp(piece.node, wqe.qp_idx);
+        const uint64_t post_t0 = NowNs();
         {
           std::lock_guard<std::mutex> qlock(inst_->qps_.mu(piece.node, wqe.qp_idx));
           if (qp->in_error()) {
@@ -568,6 +665,7 @@ StatusOr<MemopHandle> OpEngine::IssueAsyncPieces(const std::vector<OpDesc>& piec
           }
           wqe.posted = inst_->rnic().PostSend(qp, wr).ok();
         }
+        AttrAdd(LatStage::kLatPost, NowNs() - post_t0);
         peer->migration().CloseAccess(&gate, wqe.posted);
       }
       // Gate NACK: left unposted; retirement re-posts through PostAndWait,
@@ -592,10 +690,16 @@ StatusOr<MemopHandle> OpEngine::IssueAsyncPieces(const std::vector<OpDesc>& piec
     ready = std::max(ready, wqe.ready_at_ns);
   }
   if (all_done) {
+    // Purely local op, complete at issue: the caller's ScopedOpAttr commits
+    // normally at API return; only the engine-op accounting closes here.
     op->state = AsyncOpState::kDone;
     op->ready_at_ns = ready;
+    FinishEngineOp(true);
   } else {
     ++async_inflight_;
+    // Detach the caller's attribution record into the op; retirement commits
+    // it with the op's true completion time as the e2e.
+    lt::telemetry::AttrDetach(&op->attr);
   }
   async_ops_.emplace(h, std::move(op));
   return h;
@@ -603,8 +707,9 @@ StatusOr<MemopHandle> OpEngine::IssueAsyncPieces(const std::vector<OpDesc>& piec
 
 StatusOr<MemopHandle> OpEngine::InsertAsyncRpc(uint32_t rpc_slot, void* out, uint32_t out_max,
                                                uint32_t* out_len, Priority pri) {
-  // The ring post already went through OneSidedWriteImm (counted there);
-  // this only registers the handle.
+  // The ring post already went through OneSidedWriteImm; the handle itself
+  // is an engine op too, so the conservation invariant sees it retire.
+  BeginEngineOp();
   async_ops_issued_->Inc();
   auto op = std::make_unique<AsyncOp>();
   op->is_rpc = true;
@@ -616,12 +721,15 @@ StatusOr<MemopHandle> OpEngine::InsertAsyncRpc(uint32_t rpc_slot, void* out, uin
 
   std::unique_lock<std::mutex> lock(async_mu_);
   const size_t window = std::max<size_t>(1, inst_->params().lite_async_window);
+  const uint64_t bp_t0 = NowNs();
   while (async_inflight_ >= window) {
     RetireOldestLocked(lock);
   }
+  AttrAdd(LatStage::kLatEngineQueue, NowNs() - bp_t0);
   const MemopHandle h = next_memop_handle_.fetch_add(1);
   op->id = h;
   ++async_inflight_;
+  lt::telemetry::AttrDetach(&op->attr);
   async_ops_.emplace(h, std::move(op));
   return h;
 }
@@ -663,7 +771,22 @@ Status OpEngine::RetryAsyncWqe(AsyncOp* op, AsyncWqe* wqe) {
   return Status::Ok();
 }
 
+void OpEngine::CommitAsyncAttr(AsyncOp* op) {
+  if (!op->attr.active) {
+    return;
+  }
+  const uint64_t e2e =
+      op->ready_at_ns > op->attr.start_ns ? op->ready_at_ns - op->attr.start_ns : 0;
+  inst_->node_->telemetry().latency().Commit(op->attr, e2e);
+  op->attr.active = false;
+}
+
 void OpEngine::RetireMemopLocked(std::unique_lock<std::mutex>& lock, AsyncOp* op) {
+  // Stamps made while retiring (retries, fences, the stale redo) belong to
+  // the op being retired, not to whatever op the retiring thread carries.
+  lt::telemetry::AttrAdoptScope adopt(&op->attr);
+  lt::telemetry::WqeLatBreakdown tail_lat;
+  uint64_t tail_ready = 0;
   Status result = op->issue_error;
   uint64_t op_ready = 0;
   for (AsyncWqe& wqe : op->wqes) {
@@ -687,6 +810,10 @@ void OpEngine::RetireMemopLocked(std::unique_lock<std::mutex>& lock, AsyncOp* op
             if (c->status.ok()) {
               wqe.done = true;
               wqe.ready_at_ns = c->ready_at_ns;
+              if (c->ready_at_ns >= tail_ready) {
+                tail_ready = c->ready_at_ns;
+                tail_lat = c->lat;
+              }
             } else if (TransientCode(c->status)) {
               s = RetryAsyncWqe(op, &wqe);
             } else {
@@ -722,6 +849,10 @@ void OpEngine::RetireMemopLocked(std::unique_lock<std::mutex>& lock, AsyncOp* op
                 }
                 wqe.done = true;
                 wqe.ready_at_ns = c2->ready_at_ns;
+                if (c2->ready_at_ns >= tail_ready) {
+                  tail_ready = c2->ready_at_ns;
+                  tail_lat = c2->lat;
+                }
                 async_inferred_->Inc();
                 covered = true;
               }
@@ -773,18 +904,34 @@ void OpEngine::RetireMemopLocked(std::unique_lock<std::mutex>& lock, AsyncOp* op
   }
   op->result = result;
   op->ready_at_ns = op_ready > 0 ? op_ready : NowNs();
+  // Book the tail WQE's RNIC/fabric breakdown: harvesting a CQE advances no
+  // clock, so without this the transport time would all land in "other".
+  if (tail_ready > 0) {
+    AttrAdd(LatStage::kLatRnicLocal, tail_lat.rnic_local_ns);
+    AttrAdd(LatStage::kLatPortQueue, tail_lat.port_queue_ns);
+    AttrAdd(LatStage::kLatWire, tail_lat.wire_ns);
+    AttrAdd(LatStage::kLatRnicRemote, tail_lat.rnic_remote_ns);
+    AttrAdd(LatStage::kLatComplPoll, tail_lat.compl_ns);
+  }
   op->state = AsyncOpState::kDone;
+  CommitAsyncAttr(op);
+  FinishEngineOp(result.ok());
   --async_inflight_;
   async_cv_.notify_all();
 }
 
 void OpEngine::RetireRpcUnlocked(std::unique_lock<std::mutex>& lock, AsyncOp* op) {
+  // Direct the reply-wait stamps (RpcWait runs on this thread) at the op's
+  // own detached record rather than the retiring thread's current op.
+  lt::telemetry::AttrAdoptScope adopt(&op->attr);
   lock.unlock();
   Status s = inst_->RpcWait(op->rpc_slot, op->rpc_out, op->rpc_out_max, op->rpc_out_len);
   lock.lock();
   op->result = s;
   op->ready_at_ns = NowNs();
   op->state = AsyncOpState::kDone;
+  CommitAsyncAttr(op);
+  FinishEngineOp(s.ok());
   --async_inflight_;
   async_cv_.notify_all();
 }

@@ -114,6 +114,19 @@ class OpEngine {
     }
   }
 
+  // Engine op accounting (HealthWatchdog conservation invariant:
+  // lite.engine.ops == ops_ok + ops_failed + in_flight). Every engine entry
+  // point Begins exactly once and Finishes exactly once — blocking ops at
+  // return, async ops when their state reaches kDone.
+  void BeginEngineOp() {
+    engine_ops_->Inc();
+    engine_inflight_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void FinishEngineOp(bool ok) {
+    (ok ? engine_ops_ok_ : engine_ops_failed_)->Inc();
+    engine_inflight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
   // Registers the engine's lite.* instruments (constructor-time, via
   // LiteInstance::RegisterTelemetry; pointers cached for the hot path).
   void RegisterTelemetry(lt::telemetry::Registry& reg, lt::telemetry::Journal* journal);
@@ -153,6 +166,9 @@ class OpEngine {
     // Error decided at issue time (e.g. a local piece NACKed by the
     // migration gate); folded into the result at retirement.
     Status issue_error = Status::Ok();
+    // Latency attribution record detached from the issuing API scope;
+    // committed when the op retires (latency_attr.h).
+    lt::telemetry::OpAttrRecord attr;
   };
   // Per-(destination, QP) selective-signaling stream: which positions have a
   // harvested covering CQE, and which signaled WQEs are still pending.
@@ -164,6 +180,21 @@ class OpEngine {
   };
 
   uint64_t NextWrId() { return next_wr_id_.fetch_add(1); }
+
+  // Bodies of the blocking entry points; the public wrappers add the
+  // Begin/Finish engine-op accounting around them.
+  Status OneSidedWriteImpl(NodeId dst, PhysAddr dst_addr, const void* src, uint64_t len,
+                           Priority pri, bool signaled);
+  Status OneSidedWriteImmImpl(NodeId dst, PhysAddr dst_addr, const void* src, uint64_t len,
+                              uint32_t imm, Priority pri);
+  Status OneSidedReadImpl(NodeId src_node, PhysAddr src_addr, void* dst, uint64_t len,
+                          Priority pri);
+  StatusOr<uint64_t> RemoteAtomicImpl(NodeId dst, PhysAddr addr, bool is_cas,
+                                      uint64_t compare_add, uint64_t swap);
+  Status SubmitPiecesImpl(const std::vector<OpDesc>& pieces, bool is_read, Priority pri);
+
+  // Commits a retired async op's attribution record (no-op when inactive).
+  void CommitAsyncAttr(AsyncOp* op);
 
   // Re-posts a failed async WQE signaled, with the blocking path's retry
   // semantics (dead-peer fast fail, backoff, QP recovery).
@@ -204,6 +235,9 @@ class OpEngine {
   // Telemetry instruments (owned by the node's registry; cached pointers so
   // the hot path never does a name lookup).
   lt::telemetry::Counter* engine_ops_ = nullptr;
+  lt::telemetry::Counter* engine_ops_ok_ = nullptr;
+  lt::telemetry::Counter* engine_ops_failed_ = nullptr;
+  std::atomic<int64_t> engine_inflight_{0};
   lt::telemetry::Counter* engine_pieces_overlapped_ = nullptr;
   lt::telemetry::Counter* engine_retries_ = nullptr;
   lt::telemetry::Counter* oneside_retries_ = nullptr;

@@ -19,6 +19,7 @@
 #include "src/common/timing.h"
 #include "src/lite/instance.h"
 #include "src/lite/wire.h"
+#include "src/rnic/rnic.h"
 
 namespace lite {
 
@@ -26,6 +27,9 @@ using lt::NowNs;
 using lt::SpinFor;
 using lt::WaitMode;
 using lt::WcOpcode;
+using lt::telemetry::AttrAdd;
+using lt::telemetry::AttrAddRpcWait;
+using lt::telemetry::LatStage;
 
 namespace {
 
@@ -200,6 +204,7 @@ Status LiteInstance::PostRpcRequest(RpcChannel* channel, RpcFuncId func, const v
       return Status::ResourceExhausted("RPC ring full (server not draining)");
     }
     lt::IdleFor(params().lite_ring_full_retry_ns);
+    AttrAdd(LatStage::kLatEngineQueue, params().lite_ring_full_retry_ns);
     std::this_thread::sleep_for(std::chrono::microseconds(2));
   }
 
@@ -288,20 +293,28 @@ Status LiteInstance::RpcWait(uint32_t slot, void* out, uint32_t out_max, uint32_
       s.zombie_since_real_ns.store(lt::RealNowNs(), std::memory_order_relaxed);
       s.state.store(4, std::memory_order_release);
       lt::IdleFor(timeout_ns);
+      AttrAdd(LatStage::kLatDetour, timeout_ns);
       return Status::Timeout("no RPC reply before timeout");
     }
     len = s.reply_len;
     ready_vtime = s.ready_vtime_ns;
   }
   // The LITE library's adaptive wait: busy-check the shared state briefly,
-  // then sleep (paper Sec. 5.2).
+  // then sleep (paper Sec. 5.2). The wait spans request transport, remote
+  // handler service, and reply transport; with no per-post breakdown at hand
+  // (the post happened at RpcSend time, possibly on another thread) the whole
+  // delta books as remote service.
+  const uint64_t wait_t0 = NowNs();
   SyncAdaptiveWithWakeup(ready_vtime, params());
+  AttrAddRpcWait(NowNs() - wait_t0, lt::telemetry::WqeLatBreakdown{});
   lt::telemetry::StampStage(lt::telemetry::TraceStage::kCompletion, ready_vtime);
 
+  const uint64_t ret_t0 = NowNs();
   uint32_t copy_len = std::min(len, out_max);
   if (copy_len > 0 && out != nullptr) {
     LocalCopyOut(out, s.buf_phys, copy_len);
   }
+  AttrAdd(LatStage::kLatRetire, NowNs() - ret_t0);
   if (out_len != nullptr) {
     *out_len = len;
   }
@@ -315,6 +328,8 @@ Status LiteInstance::RpcWait(uint32_t slot, void* out, uint32_t out_max, uint32_
 Status LiteInstance::Rpc(NodeId server_node, RpcFuncId func, const void* in, uint32_t in_len,
                          void* out, uint32_t out_max, uint32_t* out_len, Priority pri) {
   lt::telemetry::ScopedSpan span(&node_->telemetry().tracer(), "LT_RPC");
+  lt::telemetry::ScopedOpAttr attr(&node_->telemetry().latency(), "rpc", in_len,
+                                   static_cast<int>(pri));
   return RpcCall(server_node, func, in, in_len, out, out_max, out_len, pri, RpcCallOpts{});
 }
 
@@ -349,6 +364,7 @@ Status LiteInstance::RpcCall(NodeId server_node, RpcFuncId func, const void* in,
       rpc_retries_->Inc();
       engine_.CountRetry();
       lt::IdleFor(backoff_ns);
+      AttrAdd(LatStage::kLatDetour, backoff_ns);
       if (journal_ != nullptr) {
         journal_->Record(lt::telemetry::JournalEvent::kRpcRetry, server_node, backoff_ns);
       }
@@ -361,6 +377,9 @@ Status LiteInstance::RpcCall(NodeId server_node, RpcFuncId func, const void* in,
     }
     Status posted = PostRpcRequest(*channel, func, in, in_len, s.buf_phys, s.buf_max, packed,
                                    pri, &seq, opts.fail_fast_dead);
+    // The request's transport breakdown (RNIC, port queue, wire) from the
+    // write-imm just posted; the reply wait below is split against it.
+    const lt::telemetry::WqeLatBreakdown post_lat = lt::Rnic::LastPostBreakdown();
     if (!posted.ok()) {
       last = posted;
       const lt::StatusCode c = posted.code();
@@ -377,18 +396,23 @@ Status LiteInstance::RpcCall(NodeId server_node, RpcFuncId func, const void* in,
       if (!s.cv.wait_for(lock, std::chrono::nanoseconds(per_try_ns),
                          [&s] { return s.state.load(std::memory_order_acquire) >= 2; })) {
         lt::IdleFor(per_try_ns);  // The attempt's wait really elapsed.
+        AttrAdd(LatStage::kLatDetour, per_try_ns);
         last = Status::Timeout("no RPC reply before timeout");
         continue;
       }
       len = s.reply_len;
       ready_vtime = s.ready_vtime_ns;
     }
+    const uint64_t wait_t0 = NowNs();
     SyncAdaptiveWithWakeup(ready_vtime, params());
+    AttrAddRpcWait(NowNs() - wait_t0, post_lat);
     lt::telemetry::StampStage(lt::telemetry::TraceStage::kCompletion, ready_vtime);
+    const uint64_t ret_t0 = NowNs();
     const uint32_t copy_len = std::min(len, out_max);
     if (copy_len > 0 && out != nullptr) {
       LocalCopyOut(out, s.buf_phys, copy_len);
     }
+    AttrAdd(LatStage::kLatRetire, NowNs() - ret_t0);
     if (out_len != nullptr) {
       *out_len = len;
     }

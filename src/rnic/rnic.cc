@@ -32,6 +32,12 @@ struct DoorbellBatch {
 };
 thread_local DoorbellBatch tl_doorbell;
 
+// Transport breakdown of this thread's most recent PostSend (latency
+// attribution). Execute* fill it from the same absolute timestamps they
+// compute the completion's ready time from; PushSendCompletion copies it
+// onto the CQE, and unsignaled posters read it via LastPostBreakdown().
+thread_local telemetry::WqeLatBreakdown tl_last_lat;
+
 }  // namespace
 
 // ---------------------------------------------------------------- directory
@@ -397,8 +403,13 @@ void Rnic::PushSendCompletion(Qp* qp, const WorkRequest& wr, Status status, uint
       break;
   }
   c.ready_at_ns = ready_at + params_.rnic_completion_ns;
+  c.lat = tl_last_lat;
   qp->send_cq()->Push(std::move(c));
 }
+
+telemetry::WqeLatBreakdown Rnic::LastPostBreakdown() { return tl_last_lat; }
+
+void Rnic::ResetLastPostBreakdown() { tl_last_lat = telemetry::WqeLatBreakdown{}; }
 
 void Rnic::ChargePostCost(Qp* qp, const WorkRequest& wr) {
   DoorbellBatch& b = tl_doorbell;
@@ -433,6 +444,7 @@ void Rnic::ChargePostCost(Qp* qp, const WorkRequest& wr) {
 Status Rnic::PostSend(Qp* qp, const WorkRequest& wr) {
   ops_posted_.fetch_add(1, std::memory_order_relaxed);
   (wr.signaled ? wqes_signaled_ : wqes_unsignaled_).fetch_add(1, std::memory_order_relaxed);
+  tl_last_lat = telemetry::WqeLatBreakdown{};  // Error paths leave it zero.
   // Doorbell + WQE build: synchronous host cost (shared doorbell when the
   // post batches with the previous one on this QP).
   ChargePostCost(qp, wr);
@@ -530,7 +542,9 @@ Status Rnic::ExecuteOneSided(Qp* qp, const WorkRequest& wr, Rnic* remote) {
   uint64_t response_bytes = is_read ? wr.length : 0;
 
   TransferFaults request_faults;
-  uint64_t request_arrive = FinishOrDrop(remote, request_bytes, local_done, &request_faults);
+  uint64_t queue_ns = 0;
+  uint64_t request_arrive =
+      FinishOrDrop(remote, request_bytes, local_done, &request_faults, &queue_ns);
   if (request_arrive == Fabric::kDropped) {
     // Retransmit budget exhausted: the QP transitions to the error state
     // (hardware semantics); the owner must reset it before reusing.
@@ -556,18 +570,31 @@ Status Rnic::ExecuteOneSided(Qp* qp, const WorkRequest& wr, Rnic* remote) {
   // carry the data on the response path, which reserves remote->local fabric
   // bandwidth.
   uint64_t ready_at;
+  uint64_t wire_ns = request_arrive - local_done - queue_ns;
   if (is_read) {
+    uint64_t resp_queue_ns = 0;
     ready_at = FinishOrDropFrom(remote, response_bytes + kOneSidedHeaderBytes / 2,
-                                remote_done + params_.rnic_ack_ns);
+                                remote_done + params_.rnic_ack_ns, &resp_queue_ns);
     if (ready_at == Fabric::kDropped) {
       qp->SetError();
       PushSendCompletion(qp, wr, Status::Unavailable("response dropped"),
                          now + kRnrTimeoutNs / 64);
       return Status::Ok();
     }
+    wire_ns += ready_at - (remote_done + params_.rnic_ack_ns) - resp_queue_ns;
+    queue_ns += resp_queue_ns;
   } else {
     ready_at = remote_done + params_.rnic_ack_ns + params_.wire_latency_ns;
+    wire_ns += params_.wire_latency_ns;
   }
+
+  // Attribution breakdown from the same absolute timestamps the completion
+  // is built from (pure arithmetic; no clock movement).
+  tl_last_lat.rnic_local_ns = local_done - now;
+  tl_last_lat.port_queue_ns = queue_ns;
+  tl_last_lat.wire_ns = wire_ns;
+  tl_last_lat.rnic_remote_ns = (remote_done - request_arrive) + params_.rnic_ack_ns;
+  tl_last_lat.compl_ns = params_.rnic_completion_ns;
 
   if (wr.opcode == WrOpcode::kWriteImm) {
     Qp* remote_qp = remote->LookupQp(qp->remote_qpn());
@@ -650,7 +677,9 @@ Status Rnic::ExecuteSend(Qp* qp, const WorkRequest& wr, Rnic* remote, uint32_t d
   uint64_t wire_bytes = wr.length + (qp->type() == QpType::kUd ? params_.ud_grh_bytes : 0);
   uint64_t local_done =
       ReserveEngine(now, params_.rnic_process_ns + qpc_penalty + local->cache_penalty_ns);
-  uint64_t arrive = FinishOrDrop(remote, wire_bytes + kOneSidedHeaderBytes / 2, local_done);
+  uint64_t queue_ns = 0;
+  uint64_t arrive =
+      FinishOrDrop(remote, wire_bytes + kOneSidedHeaderBytes / 2, local_done, nullptr, &queue_ns);
   if (arrive == Fabric::kDropped) {
     if (qp->type() == QpType::kRc) {
       qp->SetError();
@@ -676,20 +705,28 @@ Status Rnic::ExecuteSend(Qp* qp, const WorkRequest& wr, Rnic* remote, uint32_t d
   remote_qp->recv_cq()->Push(std::move(rc));
 
   // UD has no ACK; RC acks back.
-  uint64_t ready_at = qp->type() == QpType::kUd
-                          ? local_done
-                          : remote_done + params_.rnic_ack_ns + params_.wire_latency_ns;
+  const bool ud = qp->type() == QpType::kUd;
+  uint64_t ready_at =
+      ud ? local_done : remote_done + params_.rnic_ack_ns + params_.wire_latency_ns;
+  tl_last_lat.rnic_local_ns = local_done - now;
+  tl_last_lat.port_queue_ns = queue_ns;
+  tl_last_lat.wire_ns = (arrive - local_done - queue_ns) + (ud ? 0 : params_.wire_latency_ns);
+  tl_last_lat.rnic_remote_ns = (remote_done - arrive) + (ud ? 0 : params_.rnic_ack_ns);
+  tl_last_lat.compl_ns = params_.rnic_completion_ns;
   PushSendCompletion(qp, wr, Status::Ok(), ready_at);
   return Status::Ok();
 }
 
 uint64_t Rnic::FinishOrDrop(Rnic* remote, uint64_t bytes, uint64_t earliest_ns,
-                            TransferFaults* faults_out) {
-  return port_->fabric()->TransferFinishNs(node_, remote->node(), bytes, earliest_ns, faults_out);
+                            TransferFaults* faults_out, uint64_t* queue_ns_out) {
+  return port_->fabric()->TransferFinishNs(node_, remote->node(), bytes, earliest_ns, faults_out,
+                                           queue_ns_out);
 }
 
-uint64_t Rnic::FinishOrDropFrom(Rnic* remote, uint64_t bytes, uint64_t earliest_ns) {
-  return port_->fabric()->TransferFinishNs(remote->node(), node_, bytes, earliest_ns);
+uint64_t Rnic::FinishOrDropFrom(Rnic* remote, uint64_t bytes, uint64_t earliest_ns,
+                                uint64_t* queue_ns_out) {
+  return port_->fabric()->TransferFinishNs(remote->node(), node_, bytes, earliest_ns, nullptr,
+                                           queue_ns_out);
 }
 
 void Rnic::CopyResolved(const Resolved& src, const Resolved& dst, uint64_t len) {
@@ -771,7 +808,9 @@ Status Rnic::ExecuteAtomic(Qp* qp, const WorkRequest& wr, Rnic* remote) {
   assert(target->ranges.size() == 1);
 
   uint64_t local_done = ReserveEngine(now, params_.rnic_process_ns + qpc_penalty);
-  uint64_t arrive = FinishOrDrop(remote, kOneSidedHeaderBytes + 16, local_done);
+  uint64_t queue_ns = 0;
+  uint64_t arrive =
+      FinishOrDrop(remote, kOneSidedHeaderBytes + 16, local_done, nullptr, &queue_ns);
   if (arrive == Fabric::kDropped) {
     qp->SetError();
     PushSendCompletion(qp, wr, Status::Unavailable("atomic dropped"), now + kRnrTimeoutNs / 64);
@@ -805,6 +844,11 @@ Status Rnic::ExecuteAtomic(Qp* qp, const WorkRequest& wr, Rnic* remote) {
 
   // The atomic response is ack-sized; it rides the credit path rather than
   // reserving payload bandwidth.
+  tl_last_lat.rnic_local_ns = local_done - now;
+  tl_last_lat.port_queue_ns = queue_ns;
+  tl_last_lat.wire_ns = (arrive - local_done - queue_ns) + params_.wire_latency_ns;
+  tl_last_lat.rnic_remote_ns = remote_done - arrive;
+  tl_last_lat.compl_ns = params_.rnic_completion_ns;
   PushSendCompletion(qp, wr, Status::Ok(), remote_done + params_.wire_latency_ns);
   return Status::Ok();
 }

@@ -44,6 +44,7 @@
 #include "src/mem/phys_mem.h"
 #include "src/rnic/lru_cache.h"
 #include "src/sim/params.h"
+#include "src/telemetry/latency_attr.h"
 
 namespace lt {
 
@@ -94,6 +95,9 @@ struct Completion {
   NodeId src_node = kInvalidNode;  // For receive completions.
   uint32_t src_qpn = 0;
   uint64_t ready_at_ns = 0;  // Poll returns this entry only once time arrives.
+  // Transport-stage decomposition of this WQE's round trip (latency
+  // attribution; zero for error/local completions).
+  telemetry::WqeLatBreakdown lat;
 };
 
 // How a waiting thread "spends" the virtual-time gap until an event arrives;
@@ -300,6 +304,13 @@ class Rnic {
     doorbell_batch_hist_.store(hist, std::memory_order_release);
   }
 
+  // Latency attribution: transport breakdown of the calling thread's most
+  // recent PostSend (the same values carried on its Completion). Unsignaled
+  // posts get no send CQE, so the RPC request path reads the thread-local
+  // mirror instead. Reset clears it (loopback paths that bypass PostSend).
+  static telemetry::WqeLatBreakdown LastPostBreakdown();
+  static void ResetLastPostBreakdown();
+
  private:
   friend class Qp;
 
@@ -319,10 +330,12 @@ class Rnic {
 
   // Absolute finish time of a one-way transfer to `remote` starting no
   // earlier than `earliest_ns`, or Fabric::kDropped under failure injection.
+  // `queue_ns_out` accumulates the transfer's port-queueing share.
   uint64_t FinishOrDrop(Rnic* remote, uint64_t bytes, uint64_t earliest_ns,
-                        TransferFaults* faults_out = nullptr);
+                        TransferFaults* faults_out = nullptr, uint64_t* queue_ns_out = nullptr);
   // Same, for the reverse direction (remote -> this node): read responses.
-  uint64_t FinishOrDropFrom(Rnic* remote, uint64_t bytes, uint64_t earliest_ns);
+  uint64_t FinishOrDropFrom(Rnic* remote, uint64_t bytes, uint64_t earliest_ns,
+                            uint64_t* queue_ns_out = nullptr);
 
   // Copies `len` bytes between resolved buffers (physical fragments on any
   // node, or host memory); this is the DMA engine.

@@ -1,0 +1,392 @@
+#include "src/telemetry/latency_attr.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "src/common/timing.h"
+
+namespace lt {
+namespace telemetry {
+namespace {
+
+// The thread's current (outermost) op record. Plain thread-local pointer:
+// claiming, stamping, and releasing are single non-atomic writes.
+thread_local OpAttrRecord* g_cur = nullptr;
+
+const char* const kStageNames[kLatStageCount] = {
+    "cross",       "submit",     "qos_wait",   "engine_q",   "post",
+    "rnic_local",  "port_q",     "wire",       "rnic_remote", "remote_svc",
+    "compl_poll",  "retire",     "detour",     "other",
+};
+
+constexpr char kLatPrefix[] = "lite.lat.";
+
+uint64_t ScaleToward(uint64_t v, uint64_t num, uint64_t den) {
+  // v * num / den without overflow (stage sums can exceed 2^32 ns).
+  return den == 0 ? 0
+                  : static_cast<uint64_t>(static_cast<unsigned __int128>(v) * num / den);
+}
+
+}  // namespace
+
+const char* LatStageName(int stage) {
+  return (stage >= 0 && stage < kLatStageCount) ? kStageNames[stage] : "?";
+}
+
+const char* LatencyAttr::SizeClass(uint64_t bytes) {
+  if (bytes == 0) return "0B";
+  if (bytes <= 64) return "64B";
+  if (bytes <= 512) return "512B";
+  if (bytes <= 4096) return "4K";
+  if (bytes <= 32768) return "32K";
+  if (bytes <= 262144) return "256K";
+  if (bytes <= 1048576) return "1M";
+  return "big";
+}
+
+ScopedOpAttr::ScopedOpAttr(LatencyAttr* sink, const char* op, uint64_t bytes, int pri) {
+  if (sink == nullptr || g_cur != nullptr) {
+    return;  // Nested call (internal RPC inside a memop): stay inert.
+  }
+  rec_.active = true;
+  rec_.op = op;
+  rec_.bytes = bytes;
+  rec_.pri = pri;
+  rec_.start_ns = NowNs();
+  sink_ = sink;
+  owner_ = true;
+  g_cur = &rec_;
+}
+
+ScopedOpAttr::~ScopedOpAttr() {
+  if (!owner_) {
+    return;
+  }
+  g_cur = nullptr;
+  if (rec_.detached) {
+    return;  // An async op took the record; it commits at retirement.
+  }
+  const uint64_t now = NowNs();
+  sink_->Commit(rec_, now > rec_.start_ns ? now - rec_.start_ns : 0);
+}
+
+AttrPause::AttrPause() : saved_(g_cur) { g_cur = nullptr; }
+AttrPause::~AttrPause() { g_cur = saved_; }
+
+AttrAdoptScope::AttrAdoptScope(OpAttrRecord* rec) : saved_(g_cur) {
+  g_cur = (rec != nullptr && rec->active) ? rec : nullptr;
+}
+AttrAdoptScope::~AttrAdoptScope() { g_cur = saved_; }
+
+void AttrAdd(LatStage stage, uint64_t delta_ns) {
+  if (g_cur != nullptr && delta_ns > 0) {
+    g_cur->stage_ns[stage] += delta_ns;
+  }
+}
+
+void AttrAddSplit(uint64_t delta_ns, const WqeLatBreakdown& b) {
+  if (g_cur == nullptr || delta_ns == 0) {
+    return;
+  }
+  const uint64_t total = b.Total();
+  if (total == 0) {
+    // No transport info (local op, loopback imm): the wait was all
+    // completion plumbing.
+    g_cur->stage_ns[kLatComplPoll] += delta_ns;
+    return;
+  }
+  uint64_t booked = 0;
+  const std::pair<LatStage, uint64_t> parts[] = {
+      {kLatRnicLocal, b.rnic_local_ns},
+      {kLatPortQueue, b.port_queue_ns},
+      {kLatWire, b.wire_ns},
+      {kLatRnicRemote, b.rnic_remote_ns},
+  };
+  for (const auto& [stage, part] : parts) {
+    const uint64_t share = ScaleToward(part, delta_ns, total);
+    g_cur->stage_ns[stage] += share;
+    booked += share;
+  }
+  // compl share plus all integer-rounding leftovers.
+  g_cur->stage_ns[kLatComplPoll] += delta_ns - booked;
+}
+
+void AttrAddRpcWait(uint64_t delta_ns, const WqeLatBreakdown& b) {
+  if (g_cur == nullptr || delta_ns == 0) {
+    return;
+  }
+  const uint64_t total = b.Total();
+  if (total >= delta_ns) {
+    // Reply raced the request's own transport estimate: the whole wait was
+    // transport, split it proportionally.
+    AttrAddSplit(delta_ns, b);
+    return;
+  }
+  g_cur->stage_ns[kLatRnicLocal] += b.rnic_local_ns;
+  g_cur->stage_ns[kLatPortQueue] += b.port_queue_ns;
+  g_cur->stage_ns[kLatWire] += b.wire_ns;
+  g_cur->stage_ns[kLatRnicRemote] += b.rnic_remote_ns;
+  g_cur->stage_ns[kLatComplPoll] += b.compl_ns;
+  // Past the request's one-way transport: server dispatch + handler +
+  // reply post + reply flight, i.e. remote service as the caller saw it.
+  g_cur->stage_ns[kLatRemoteSvc] += delta_ns - total;
+}
+
+bool AttrDetach(OpAttrRecord* out) {
+  if (g_cur == nullptr) {
+    out->active = false;
+    return false;
+  }
+  *out = *g_cur;
+  out->detached = false;
+  g_cur->detached = true;
+  return true;
+}
+
+LatencyAttr::KeySlot* LatencyAttr::Slot(const OpAttrRecord& rec) {
+  std::string key = kLatPrefix;
+  key += rec.op;
+  key += '.';
+  key += SizeClass(rec.bytes);
+  key += rec.pri == 0 ? ".hi" : ".lo";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(key);
+  if (it != slots_.end()) {
+    return &it->second;
+  }
+  KeySlot& slot = slots_[key];
+  slot.e2e = registry_->GetHistogram(key + ".e2e");
+  for (int s = 0; s < kLatStageCount; ++s) {
+    slot.stages[s] = registry_->GetHistogram(key + '.' + kStageNames[s]);
+  }
+  return &slot;
+}
+
+void LatencyAttr::Commit(const OpAttrRecord& rec, uint64_t e2e_ns) {
+  if (registry_ == nullptr || !rec.active) {
+    return;
+  }
+  uint64_t stages[kLatStageCount];
+  uint64_t sum = 0;
+  for (int s = 0; s < kLatStageCount; ++s) {
+    stages[s] = rec.stage_ns[s];
+    sum += stages[s];
+  }
+  if (sum > e2e_ns) {
+    // Async retirement measured some deltas on another thread's clock; scale
+    // the vector down so conservation holds exactly.
+    uint64_t scaled = 0;
+    for (int s = 0; s < kLatStageCount; ++s) {
+      stages[s] = ScaleToward(stages[s], e2e_ns, sum);
+      scaled += stages[s];
+    }
+    sum = scaled;
+  }
+  stages[kLatOther] += e2e_ns - sum;
+
+  KeySlot* slot = Slot(rec);
+  slot->e2e->Record(e2e_ns);
+  for (int s = 0; s < kLatStageCount; ++s) {
+    // Zero stages are skipped (cheaper, and stage percentiles then describe
+    // ops that actually passed through the stage); sums still conserve.
+    if (stages[s] > 0) {
+      slot->stages[s]->Record(stages[s]);
+    }
+  }
+}
+
+std::string LatencyAttr::DumpLatencyBreakdown(const MetricsSnapshot& snap) {
+  // Group lite.lat.* histograms by key = everything before the final stage
+  // suffix.
+  struct Group {
+    const HistogramSnapshot* e2e = nullptr;
+    std::array<const HistogramSnapshot*, kLatStageCount> stages = {};
+  };
+  std::map<std::string, Group> groups;
+  for (const auto& [name, h] : snap.histograms) {
+    if (name.rfind(kLatPrefix, 0) != 0) {
+      continue;
+    }
+    const size_t dot = name.rfind('.');
+    const std::string key = name.substr(0, dot);
+    const std::string stage = name.substr(dot + 1);
+    Group& g = groups[key];
+    if (stage == "e2e") {
+      g.e2e = &h;
+      continue;
+    }
+    for (int s = 0; s < kLatStageCount; ++s) {
+      if (stage == kStageNames[s]) {
+        g.stages[s] = &h;
+        break;
+      }
+    }
+  }
+
+  std::ostringstream os;
+  os << "Latency attribution waterfall (per-stage mean = stage ns summed over "
+        "all ops / op count)\n";
+  char line[160];
+  for (const auto& [key, g] : groups) {
+    if (g.e2e == nullptr || g.e2e->count == 0) {
+      continue;
+    }
+    const double n = static_cast<double>(g.e2e->count);
+    std::snprintf(line, sizeof(line),
+                  "%s  n=%" PRIu64 "  e2e mean=%.0fns  p50=%" PRIu64 "  p99=%" PRIu64
+                  "  p99.9=%" PRIu64 "\n",
+                  key.c_str(), g.e2e->count, g.e2e->Mean(), g.e2e->Percentile(50),
+                  g.e2e->Percentile(99), g.e2e->Percentile(99.9));
+    os << line;
+    uint64_t stage_sum = 0;
+    for (int s = 0; s < kLatStageCount; ++s) {
+      const HistogramSnapshot* h = g.stages[s];
+      if (h == nullptr || h->count == 0) {
+        continue;
+      }
+      stage_sum += h->sum;
+      std::snprintf(line, sizeof(line), "  %-12s %10.0fns  %5.1f%%  (n=%" PRIu64 ")\n",
+                    kStageNames[s], static_cast<double>(h->sum) / n,
+                    100.0 * static_cast<double>(h->sum) / static_cast<double>(g.e2e->sum),
+                    h->count);
+      os << line;
+    }
+    std::snprintf(line, sizeof(line), "  %-12s %10.0fns  %5.1f%%\n", "= stages",
+                  static_cast<double>(stage_sum) / n,
+                  g.e2e->sum == 0
+                      ? 0.0
+                      : 100.0 * static_cast<double>(stage_sum) / static_cast<double>(g.e2e->sum));
+    os << line;
+  }
+  return os.str();
+}
+
+std::vector<std::string> HealthWatchdog::Check(const MetricsSnapshot& snap) {
+  std::vector<std::string> out;
+  char buf[256];
+  auto fail = [&](const char* fmt, uint64_t a, uint64_t b) {
+    std::snprintf(buf, sizeof(buf), fmt, a, b);
+    out.emplace_back(buf);
+  };
+
+  // 1. Engine op conservation: every op the engine accepted is either
+  //    retired ok, retired failed, or still in flight.
+  if (snap.values.count("lite.engine.ops") != 0) {
+    const uint64_t issued = snap.ValueOr("lite.engine.ops");
+    const uint64_t accounted = snap.ValueOr("lite.engine.ops_ok") +
+                               snap.ValueOr("lite.engine.ops_failed") +
+                               snap.ValueOr("lite.engine.in_flight");
+    if (issued != accounted) {
+      fail("engine op conservation: ops=%" PRIu64 " != ok+failed+in_flight=%" PRIu64, issued,
+           accounted);
+    }
+  }
+
+  // 2./3. RNIC post conservation: every posted WQE rang a doorbell or rode a
+  //    batch, and is either signaled or unsignaled.
+  if (snap.values.count("rnic.ops_posted") != 0) {
+    const uint64_t posted = snap.ValueOr("rnic.ops_posted");
+    const uint64_t db = snap.ValueOr("lite.rnic.doorbells") + snap.ValueOr("lite.rnic.wqes_batched");
+    if (posted != db) {
+      fail("doorbell conservation: ops_posted=%" PRIu64 " != doorbells+batched=%" PRIu64, posted,
+           db);
+    }
+    const uint64_t sig =
+        snap.ValueOr("lite.rnic.wqe_signaled") + snap.ValueOr("lite.rnic.wqe_unsignaled");
+    if (posted != sig) {
+      fail("signaling conservation: ops_posted=%" PRIu64 " != signaled+unsignaled=%" PRIu64,
+           posted, sig);
+    }
+  }
+
+  // 4. Stage-sum conservation per lite.lat.* key: Commit() guarantees
+  //    sum(stages) == e2e exactly, including retry/redirect/park detours.
+  struct Sums {
+    uint64_t e2e = 0;
+    bool has_e2e = false;
+    uint64_t stages = 0;
+    uint64_t other = 0;
+  };
+  std::map<std::string, Sums> sums;
+  for (const auto& [name, h] : snap.histograms) {
+    if (name.rfind("lite.lat.", 0) != 0) {
+      continue;
+    }
+    const size_t dot = name.rfind('.');
+    Sums& s = sums[name.substr(0, dot)];
+    const std::string stage = name.substr(dot + 1);
+    if (stage == "e2e") {
+      s.e2e = h.sum;
+      s.has_e2e = true;
+    } else {
+      s.stages += h.sum;
+      if (stage == "other") {
+        s.other = h.sum;
+      }
+    }
+  }
+  for (const auto& [key, s] : sums) {
+    if (!s.has_e2e) {
+      out.emplace_back("latency attribution: " + key + " has stages but no e2e histogram");
+      continue;
+    }
+    if (s.stages != s.e2e) {
+      std::snprintf(buf, sizeof(buf),
+                    "stage-sum conservation: %s stages=%" PRIu64 " != e2e=%" PRIu64, key.c_str(),
+                    s.stages, s.e2e);
+      out.emplace_back(buf);
+    }
+    // 5. Attribution quality: blocking one-sided ops are fully bracketed, so
+    //    the unattributed remainder must stay a small fraction.
+    const bool blocking_memop =
+        key.rfind("lite.lat.write.", 0) == 0 || key.rfind("lite.lat.read.", 0) == 0;
+    if (blocking_memop && s.e2e > 0 && s.other * 4 > s.e2e) {
+      std::snprintf(buf, sizeof(buf), "attribution quality: %s other=%" PRIu64
+                    " exceeds 25%% of e2e=%" PRIu64, key.c_str(), s.other, s.e2e);
+      out.emplace_back(buf);
+    }
+  }
+  return out;
+}
+
+// ---- Failure-dump registry ----
+
+namespace {
+std::mutex g_dump_mu;
+std::map<const void*, std::function<std::string()>>& DumpMap() {
+  static auto* m = new std::map<const void*, std::function<std::string()>>();
+  return *m;
+}
+}  // namespace
+
+void RegisterFailureDump(const void* key, std::function<std::string()> dump) {
+  std::lock_guard<std::mutex> lock(g_dump_mu);
+  DumpMap()[key] = std::move(dump);
+}
+
+void UnregisterFailureDump(const void* key) {
+  std::lock_guard<std::mutex> lock(g_dump_mu);
+  DumpMap().erase(key);
+}
+
+std::string CollectFailureDumps() {
+  std::vector<std::function<std::string()>> dumps;
+  {
+    std::lock_guard<std::mutex> lock(g_dump_mu);
+    for (const auto& [key, fn] : DumpMap()) {
+      dumps.push_back(fn);
+    }
+  }
+  std::string out;
+  for (const auto& fn : dumps) {
+    out += fn();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace lt

@@ -1,0 +1,223 @@
+// Per-op latency attribution ("where did my microsecond go").
+//
+// Every LITE op — blocking memop, async memop, RPC, atomic — carries one
+// OpAttrRecord from API entry to retirement. The op engine brackets each
+// clock-advancing call on the issuing thread and adds the *virtual-time
+// delta* to one stage slot; waits whose delta spans the whole remote round
+// trip are split across the transport stages proportionally to a per-WQE
+// breakdown the RNIC model computes from its absolute event timestamps.
+// At retirement the record commits into per-(op-type, size-class, priority)
+// stage histograms named `lite.lat.<op>.<size>.<pri>.<stage>` in the node's
+// metric registry, so LT_stat / DumpTelemetryJson / check_bench.py see them
+// with no extra plumbing.
+//
+// Cost rules (this must stay always-on without moving fig06 by a byte):
+//   * no SpinFor/IdleFor/SyncTo* anywhere in this module — only NowNs()
+//     reads, arithmetic, and relaxed atomics inside FixedHistogram::Record;
+//   * stamping is thread-local pointer writes; commit is a dozen histogram
+//     records plus one mutex-guarded name lookup per *new* key.
+//
+// Conservation: stages are measured as deltas of the issuing thread's own
+// clock, so their sum tracks end-to-end by construction. Async retirement
+// can observe deltas on a different thread's clock; Commit() therefore
+// proportionally rescales the stage vector if it exceeds the measured
+// end-to-end and books the (nonnegative) remainder as `other` — giving
+// sum(stages) == e2e exactly, always, which HealthWatchdog checks.
+#ifndef SRC_TELEMETRY_LATENCY_ATTR_H_
+#define SRC_TELEMETRY_LATENCY_ATTR_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/metrics.h"
+
+namespace lt {
+namespace telemetry {
+
+// Stage slots of one op's latency budget. Order is the waterfall order.
+enum LatStage {
+  kLatCross = 0,     // User/kernel crossing (LiteClient syscall model).
+  kLatSubmit,        // Map check, lh lookup, permission check.
+  kLatQosWait,       // QoS admission wait (priority gate).
+  kLatEngineQueue,   // Async window backpressure / RPC ring-full wait.
+  kLatPost,          // WQE build + doorbell charge + local copies.
+  kLatRnicLocal,     // Local RNIC processing (engine reservation, caches).
+  kLatPortQueue,     // Fabric port queueing delay (TX + RX serialization).
+  kLatWire,          // Wire: serialization at line rate + propagation.
+  kLatRnicRemote,    // Remote RNIC processing + ack generation.
+  kLatRemoteSvc,     // Remote handler service time (RPC dispatch/NACK).
+  kLatComplPoll,     // Completion generation + poll/wakeup on the caller.
+  kLatRetire,        // Handle retirement bookkeeping (async consume).
+  kLatDetour,        // Retry backoff, timeout waits, stale-home redirects.
+  kLatOther,         // Commit-time remainder; never stamped directly.
+  kLatStageCount,
+};
+
+// Short metric-name suffix for a stage ("cross", "wire", ...).
+const char* LatStageName(int stage);
+
+// Transport-stage decomposition of one WQE's round trip, computed by the
+// RNIC model from its absolute virtual timestamps and carried back on the
+// Completion. Used only as *proportions* to split a measured wait delta.
+struct WqeLatBreakdown {
+  uint64_t rnic_local_ns = 0;
+  uint64_t port_queue_ns = 0;
+  uint64_t wire_ns = 0;
+  uint64_t rnic_remote_ns = 0;
+  uint64_t compl_ns = 0;
+
+  uint64_t Total() const {
+    return rnic_local_ns + port_queue_ns + wire_ns + rnic_remote_ns + compl_ns;
+  }
+  void Add(const WqeLatBreakdown& o) {
+    rnic_local_ns += o.rnic_local_ns;
+    port_queue_ns += o.port_queue_ns;
+    wire_ns += o.wire_ns;
+    rnic_remote_ns += o.rnic_remote_ns;
+    compl_ns += o.compl_ns;
+  }
+};
+
+// One op's in-flight attribution state. Lives on the stack inside
+// ScopedOpAttr for blocking ops; copied into the engine's AsyncOp (via
+// AttrDetach) for ops that retire later on another thread.
+struct OpAttrRecord {
+  bool active = false;    // A claimed, committable record.
+  bool detached = false;  // Ownership moved to an async op; scope won't commit.
+  const char* op = "";    // "write", "read", "rpc", "atomic", "awrite", ...
+  uint64_t bytes = 0;
+  int pri = 0;  // 0 = high, else low.
+  uint64_t start_ns = 0;
+  uint64_t stage_ns[kLatStageCount] = {};
+};
+
+class LatencyAttr;
+
+// Installs `rec` as the calling thread's current attribution record if no op
+// is already being attributed (outermost API call claims; nested internal
+// calls — e.g. a control RPC issued inside a memop — stay inert, mirroring
+// ScopedSpan). On destruction commits `now - start` as end-to-end unless the
+// record was detached to an async op.
+class ScopedOpAttr {
+ public:
+  ScopedOpAttr(LatencyAttr* sink, const char* op, uint64_t bytes, int pri);
+  ~ScopedOpAttr();
+
+  ScopedOpAttr(const ScopedOpAttr&) = delete;
+  ScopedOpAttr& operator=(const ScopedOpAttr&) = delete;
+
+ private:
+  LatencyAttr* sink_ = nullptr;
+  OpAttrRecord rec_;
+  bool owner_ = false;
+};
+
+// Temporarily suspends attribution on this thread. Used around work done on
+// behalf of a *different* op (retiring the oldest async op while issuing a
+// new one) so its stamps don't leak into the current record; the caller
+// brackets the whole suspended region into one stage itself.
+class AttrPause {
+ public:
+  AttrPause();
+  ~AttrPause();
+
+  AttrPause(const AttrPause&) = delete;
+  AttrPause& operator=(const AttrPause&) = delete;
+
+ private:
+  OpAttrRecord* saved_;
+};
+
+// Temporarily installs an async op's detached record as this thread's
+// current record (saving any previous one), so stamps during retirement
+// (e.g. the RPC reply wait) land on the op being retired.
+class AttrAdoptScope {
+ public:
+  explicit AttrAdoptScope(OpAttrRecord* rec);
+  ~AttrAdoptScope();
+
+  AttrAdoptScope(const AttrAdoptScope&) = delete;
+  AttrAdoptScope& operator=(const AttrAdoptScope&) = delete;
+
+ private:
+  OpAttrRecord* saved_;
+};
+
+// Adds `delta_ns` to one stage of the current record (no-op when none).
+void AttrAdd(LatStage stage, uint64_t delta_ns);
+
+// Splits a wait delta across the transport stages (rnic_local, port_queue,
+// wire, rnic_remote, compl_poll) proportionally to `b`. A zero breakdown
+// books the whole delta as completion-poll time; integer rounding leftovers
+// go there too.
+void AttrAddSplit(uint64_t delta_ns, const WqeLatBreakdown& b);
+
+// RPC reply wait: the request's transport components in `b` are booked
+// verbatim (capped at `delta_ns`); whatever the delta holds beyond them is
+// remote service time — the server-side dispatch, handler, and reply post.
+void AttrAddRpcWait(uint64_t delta_ns, const WqeLatBreakdown& b);
+
+// Moves the current record into `*out` (for async ops that retire later)
+// and marks the scope's copy detached so it won't double-commit. Returns
+// false (and deactivates `*out`) when this thread has no current record.
+bool AttrDetach(OpAttrRecord* out);
+
+// The per-node sink: resolves (op, size-class, pri) keys to stage histogram
+// arrays in the node's Registry and commits finished records.
+class LatencyAttr {
+ public:
+  explicit LatencyAttr(Registry* registry) : registry_(registry) {}
+
+  LatencyAttr(const LatencyAttr&) = delete;
+  LatencyAttr& operator=(const LatencyAttr&) = delete;
+
+  // Books `rec` with the given end-to-end time. Rescales the stage vector
+  // proportionally if it exceeds e2e (cross-thread-clock skew on async
+  // retirement) and books the remainder as `other`, so the committed stages
+  // always sum to exactly `e2e_ns`.
+  void Commit(const OpAttrRecord& rec, uint64_t e2e_ns);
+
+  // Human-readable per-key stage waterfall built from any snapshot that
+  // contains lite.lat.* histograms.
+  static std::string DumpLatencyBreakdown(const MetricsSnapshot& snap);
+
+  // "64B", "4K", "big", ... — power-of-8-ish op size buckets.
+  static const char* SizeClass(uint64_t bytes);
+
+ private:
+  struct KeySlot {
+    FixedHistogram* e2e = nullptr;
+    std::array<FixedHistogram*, kLatStageCount> stages = {};
+  };
+
+  KeySlot* Slot(const OpAttrRecord& rec);
+
+  Registry* const registry_;
+  std::mutex mu_;
+  std::map<std::string, KeySlot> slots_;
+};
+
+// Snapshot-time conservation checker. Returns one human-readable line per
+// violated invariant (empty = healthy). Meaningful on a quiesced cluster:
+// counters are read non-atomically with respect to in-flight ops.
+class HealthWatchdog {
+ public:
+  static std::vector<std::string> Check(const MetricsSnapshot& snap);
+};
+
+// ---- Failure-dump registry (gtest listener support) ----
+// Live clusters register a dump callback (the vtime-merged journal); the
+// custom gtest main prints every registered dump when a test fails.
+void RegisterFailureDump(const void* key, std::function<std::string()> dump);
+void UnregisterFailureDump(const void* key);
+std::string CollectFailureDumps();
+
+}  // namespace telemetry
+}  // namespace lt
+
+#endif  // SRC_TELEMETRY_LATENCY_ATTR_H_

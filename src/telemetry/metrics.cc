@@ -16,15 +16,25 @@ uint64_t HistogramSnapshot::Percentile(double p) const {
     p = 100.0;
   }
   const uint64_t rank = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count - 1)) + 1;
+  uint64_t est = buckets.empty() ? 0 : ((1ull << (buckets.size() - 1)) - 1);
   uint64_t seen = 0;
   for (size_t b = 0; b < buckets.size(); ++b) {
     seen += buckets[b];
     if (seen >= rank) {
       // Upper bound of bucket b: 2^b - 1 covers all values of bit-width b.
-      return b == 0 ? 0 : ((1ull << b) - 1);
+      est = b == 0 ? 0 : ((1ull << b) - 1);
+      break;
     }
   }
-  return buckets.empty() ? 0 : ((1ull << (buckets.size() - 1)) - 1);
+  // Clamp the bucket-bound estimate to the true observed extrema so sparse
+  // histograms report real values (one 4000-wide sample -> 4000, not 4095).
+  if (est > max) {
+    est = max;
+  }
+  if (est < min) {
+    est = min;
+  }
+  return est;
 }
 
 HistogramSnapshot FixedHistogram::Snapshot() const {
@@ -38,6 +48,10 @@ HistogramSnapshot FixedHistogram::Snapshot() const {
     s.count += s.buckets[b];
   }
   s.sum = sum_.load(std::memory_order_relaxed);
+  if (s.count > 0) {
+    s.min = min_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+  }
   // Trim trailing empty buckets to keep snapshots/JSON compact.
   while (!s.buckets.empty() && s.buckets.back() == 0) {
     s.buckets.pop_back();
@@ -149,8 +163,9 @@ std::string MetricsSnapshot::ToJson() const {
   first = true;
   for (const auto& [name, h] : histograms) {
     os << (first ? "" : ",") << '"' << JsonEscape(name) << "\":{\"count\":" << h.count
-       << ",\"sum\":" << h.sum << ",\"p50\":" << h.Percentile(50)
-       << ",\"p99\":" << h.Percentile(99) << ",\"buckets\":[";
+       << ",\"sum\":" << h.sum << ",\"min\":" << h.min << ",\"max\":" << h.max
+       << ",\"p50\":" << h.Percentile(50) << ",\"p99\":" << h.Percentile(99)
+       << ",\"p999\":" << h.Percentile(99.9) << ",\"buckets\":[";
     for (size_t b = 0; b < h.buckets.size(); ++b) {
       os << (b == 0 ? "" : ",") << h.buckets[b];
     }

@@ -54,6 +54,11 @@ class Gauge {
 struct HistogramSnapshot {
   uint64_t count = 0;
   uint64_t sum = 0;
+  // True extrema of all recorded samples (both 0 when count == 0). Percentile
+  // estimates are clamped into [min, max] so a lone 4000-wide sample reports
+  // 4000, not its 4095 bucket upper bound.
+  uint64_t min = 0;
+  uint64_t max = 0;
   // bucket[i] counts samples v with bit_width(v) == i, i.e. v in
   // [2^(i-1), 2^i) for i >= 1 and v == 0 for i == 0.
   std::vector<uint64_t> buckets;
@@ -61,7 +66,8 @@ struct HistogramSnapshot {
   double Mean() const {
     return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
   }
-  // Upper-bound estimate of the p-th percentile (p in [0, 100]).
+  // Upper-bound estimate of the p-th percentile (p in [0, 100]), clamped to
+  // the true observed [min, max].
   uint64_t Percentile(double p) const;
 };
 
@@ -80,6 +86,12 @@ class FixedHistogram {
     buckets_[b].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(v, std::memory_order_relaxed);
+    uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur && !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
   }
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
@@ -90,6 +102,8 @@ class FixedHistogram {
   std::atomic<uint64_t> buckets_[kBuckets] = {};
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{~0ull};
+  std::atomic<uint64_t> max_{0};
 };
 
 // One node's metric snapshot: scalar metrics (counters, gauges, probes) plus

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "src/telemetry/journal.h"
+#include "src/telemetry/latency_attr.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
 
@@ -30,6 +31,7 @@ class NodeTelemetry {
   const Tracer& tracer() const { return tracer_; }
   Journal& journal() { return journal_; }
   const Journal& journal() const { return journal_; }
+  LatencyAttr& latency() { return latency_; }
 
   // Metrics + committed trace spans as one JSON object.
   std::string ToJson() const;
@@ -38,6 +40,7 @@ class NodeTelemetry {
   Registry registry_;
   Tracer tracer_;
   Journal journal_;
+  LatencyAttr latency_{&registry_};
 };
 
 }  // namespace telemetry

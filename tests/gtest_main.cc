@@ -1,0 +1,34 @@
+// Custom gtest main: when a test fails, drain the failure-dump registry
+// (src/telemetry/latency_attr.h) so live clusters print their vtime-merged
+// flight recorder before teardown destroys the evidence.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/telemetry/latency_attr.h"
+
+namespace {
+
+class FailureDumpListener : public ::testing::EmptyTestEventListener {
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    if (info.result() == nullptr || !info.result()->Failed()) {
+      return;
+    }
+    const std::string dumps = lt::telemetry::CollectFailureDumps();
+    if (dumps.empty()) {
+      return;
+    }
+    std::fprintf(stderr,
+                 "\n--- failure dumps (%s.%s) ---\n%s\n--- end failure dumps ---\n",
+                 info.test_suite_name(), info.name(), dumps.c_str());
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  ::testing::UnitTest::GetInstance()->listeners().Append(new FailureDumpListener);
+  return RUN_ALL_TESTS();
+}
