@@ -53,13 +53,22 @@ double WriteTputWithK(int k) {
   return static_cast<double>(kThreads * kOps) * 1000.0 / static_cast<double>(end - t0);
 }
 
-double RpcLatencyUs(bool naive) {
+// Boundary-cost ablation: how the user/kernel boundary is paid per RPC.
+//   kNaiveSyscalls  — full trap in and out on every entry (~0.9 us of
+//                     boundary overhead, paper Sec. 5.2's strawman);
+//   kOptimized      — LITE's single crossing + shared-page return;
+//   kPerCpuRings    — PR 9's per-CPU submission rings: back-to-back RPCs ride
+//                     one hot doorbell, so steady state pays no crossing.
+enum class BoundaryMode { kNaiveSyscalls, kOptimized, kPerCpuRings };
+
+double RpcLatencyUs(BoundaryMode mode) {
   lt::SimParams p;
   p.node_phys_mem_bytes = 48ull << 20;
+  p.lite_ring_enable = mode == BoundaryMode::kPerCpuRings;
   lite::LiteCluster cluster(2, p);
   benchrpc::LiteSizeServer server(&cluster, 1, 44, 2);
   auto client = cluster.CreateClient(0, /*kernel_level=*/false);
-  client->set_naive_syscalls(naive);
+  client->set_naive_syscalls(mode == BoundaryMode::kNaiveSyscalls);
   uint8_t in[8] = {0};
   uint32_t reply = 8;
   std::memcpy(in, &reply, 4);
@@ -136,10 +145,12 @@ int main() {
   }
   {
     benchlib::Series lat{"rpc_latency_us", {}};
-    lat.values.push_back(RpcLatencyUs(false));
-    lat.values.push_back(RpcLatencyUs(true));
-    benchlib::PrintFigure("Ablation (b): optimized crossings vs naive syscalls", "mode",
-                          "RPC latency (us)", {"optimized", "naive_syscalls"}, {lat});
+    lat.values.push_back(RpcLatencyUs(BoundaryMode::kOptimized));
+    lat.values.push_back(RpcLatencyUs(BoundaryMode::kNaiveSyscalls));
+    lat.values.push_back(RpcLatencyUs(BoundaryMode::kPerCpuRings));
+    benchlib::PrintFigure("Ablation (b): naive syscalls vs single crossing vs per-CPU rings",
+                          "mode", "RPC latency (us)",
+                          {"optimized", "naive_syscalls", "per_cpu_rings"}, {lat});
   }
   {
     benchlib::Series physical{"global_physical_MR", {}};

@@ -5,6 +5,7 @@
 // BENCH_async_depth.json telemetry sidecar as a perf-regression anchor.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <deque>
 #include <thread>
@@ -188,41 +189,121 @@ void RunAsyncDepthSweep(benchlib::TelemetrySink* sink) {
   constexpr uint32_t kOpBytes = 64;
   const std::vector<int> depths = {1, 2, 4, 8, 16, 32, 64};
   benchlib::Series tput{"LT_write_async-64B", {}};
+  benchlib::Series ring_tput{"LT_write_async-64B-ring", {}};
   std::vector<std::string> xs;
+  // Two series per depth: the classic kernel-level issuer (no boundary at
+  // all) and a user-level issuer on the per-CPU submission rings (ring.h),
+  // whose only crossings are cold-start doorbells and sleep reaps.
   for (int depth : depths) {
-    lite::LiteCluster cluster(2, MicroEnv::Params());
-    auto client = cluster.CreateClient(0, /*kernel_level=*/true);
-    lite::MallocOptions on1;
-    on1.nodes = {1};
-    auto lh = *client->Malloc(kRegionBytes, "async_depth", on1);
-    std::vector<uint8_t> buf(kOpBytes, 0x41);
-    lt::Rng rng(17);
-    std::deque<lite::MemopHandle> window;
-    uint64_t t0 = lt::NowNs();
-    for (int i = 0; i < kSweepOps; ++i) {
-      auto h = client->WriteAsync(lh, rng.NextBounded(kRegionBytes - kOpBytes), buf.data(),
-                                  kOpBytes);
-      if (!h.ok()) {
-        continue;
+    xs.push_back(std::to_string(depth));
+    for (bool rings : {false, true}) {
+      lt::SimParams p = MicroEnv::Params();
+      p.lite_ring_enable = rings;
+      lite::LiteCluster cluster(2, p);
+      auto client = cluster.CreateClient(0, /*kernel_level=*/!rings);
+      lite::MallocOptions on1;
+      on1.nodes = {1};
+      auto lh = *client->Malloc(kRegionBytes, "async_depth", on1);
+      std::vector<uint8_t> buf(kOpBytes, 0x41);
+      lt::Rng rng(17);
+      std::deque<lite::MemopHandle> window;
+      uint64_t t0 = lt::NowNs();
+      for (int i = 0; i < kSweepOps; ++i) {
+        auto h = client->WriteAsync(lh, rng.NextBounded(kRegionBytes - kOpBytes), buf.data(),
+                                    kOpBytes);
+        if (!h.ok()) {
+          continue;
+        }
+        window.push_back(*h);
+        if (window.size() >= static_cast<size_t>(depth)) {
+          (void)client->Wait(window.front());
+          window.pop_front();
+        }
       }
-      window.push_back(*h);
-      if (window.size() >= static_cast<size_t>(depth)) {
+      while (!window.empty()) {
         (void)client->Wait(window.front());
         window.pop_front();
       }
+      uint64_t elapsed = lt::NowNs() - t0;
+      (rings ? ring_tput : tput)
+          .values.push_back(static_cast<double>(kSweepOps) * 1000.0 /
+                            static_cast<double>(elapsed));
+      sink->AddSnapshot(rings ? "LT_write_async-64B-ring" : "LT_write_async-64B",
+                        std::to_string(depth), client->StatSnapshot());
     }
-    while (!window.empty()) {
-      (void)client->Wait(window.front());
-      window.pop_front();
-    }
-    uint64_t elapsed = lt::NowNs() - t0;
-    xs.push_back(std::to_string(depth));
-    tput.values.push_back(static_cast<double>(kSweepOps) * 1000.0 /
-                          static_cast<double>(elapsed));
-    sink->AddSnapshot("LT_write_async-64B", std::to_string(depth), client->StatSnapshot());
   }
   benchlib::PrintFigure("Async depth sweep: 64B LT_write_async throughput vs window", "window",
-                        "requests/us", xs, {tput});
+                        "requests/us", xs, {tput, ring_tput});
+  sink->WriteFile();
+}
+
+// Ops-per-crossing sweep (the ring tentpole's headline curve): with the
+// per-CPU submission rings enabled, one doorbell crossing amortizes over K
+// ops. Each point runs groups of exactly K ops from a user-level client and
+// parks past the hot window between groups, so ops/crossing == K by
+// construction; the measured per-op cost and ops/crossing land in the
+// x-label (nsop= / opc= / requs=) where check_bench.py holds them in band.
+// Blocking groups batch via the hot-window doorbell; async groups set the
+// flush threshold to K so the K-th submit drains the whole batch.
+void RunRingBatchSweep(benchlib::TelemetrySink* sink) {
+  constexpr int kGroups = 50;
+  const std::vector<int> kBatches = {1, 2, 4, 8, 16, 32, 64};
+  const std::vector<uint32_t> kSizes = {64, 4096};
+  for (bool async_mode : {false, true}) {
+    for (uint32_t size : kSizes) {
+      const std::string series = std::string(async_mode ? "LT_write_async" : "LT_write") +
+                                 "-ring-" + benchlib::HumanBytes(size);
+      benchlib::Series nsop{"ns/op", {}};
+      benchlib::Series opc{"ops/crossing", {}};
+      std::vector<std::string> xs;
+      for (int batch : kBatches) {
+        lt::SimParams p = MicroEnv::Params();
+        p.lite_ring_enable = true;
+        if (async_mode) {
+          p.lite_ring_doorbell_batch = static_cast<uint32_t>(batch);
+        }
+        lite::LiteCluster cluster(2, p);
+        auto client = cluster.CreateClient(0, /*kernel_level=*/false);
+        lite::MallocOptions on1;
+        on1.nodes = {1};
+        auto lh = *client->Malloc(1 << 20, "ring_sweep", on1);
+        std::vector<uint8_t> buf(size, 0x2e);
+        uint64_t busy_ns = 0;
+        for (int g = 0; g < kGroups; ++g) {
+          const uint64_t t0 = lt::NowNs();
+          if (async_mode) {
+            for (int i = 0; i < batch; ++i) {
+              (void)client->WriteAsync(lh, static_cast<uint64_t>(size) * i, buf.data(), size);
+            }
+            (void)client->WaitAll();
+          } else {
+            for (int i = 0; i < batch; ++i) {
+              (void)client->Write(lh, static_cast<uint64_t>(size) * i, buf.data(), size);
+            }
+          }
+          busy_ns += lt::NowNs() - t0;
+          // Park past the hot window and flush deadline: the next group pays
+          // a fresh doorbell, so the crossings amortize over exactly K ops.
+          lt::IdleFor(p.lite_ring_spin_ns + p.lite_ring_flush_ns + 1'000);
+        }
+        auto* inst = cluster.instance(0);
+        const double ops = static_cast<double>(kGroups) * batch;
+        const double per_op_ns = static_cast<double>(busy_ns) / ops;
+        const double measured_opc =
+            static_cast<double>(inst->Stat("lite.ring.ops")) /
+            static_cast<double>(std::max<int64_t>(1, inst->Stat("lite.ring.doorbells")));
+        char x[128];
+        std::snprintf(x, sizeof(x), "batch=%d;nsop=%.1f;opc=%.2f;requs=%.3f", batch, per_op_ns,
+                      measured_opc, 1000.0 / per_op_ns);
+        xs.push_back(x);
+        nsop.values.push_back(per_op_ns);
+        opc.values.push_back(measured_opc);
+        sink->AddSnapshot(series, x, inst->StatSnapshot());
+      }
+      benchlib::PrintFigure("Ring batch sweep: " + series, "batch", "ns/op | ops/crossing", xs,
+                            {nsop, opc});
+    }
+  }
   sink->WriteFile();
 }
 
@@ -285,6 +366,9 @@ int main(int argc, char** argv) {
   benchlib::TelemetrySink mc_sink = benchlib::TelemetrySink::FromArgs(
       1, argv, "bench_micro_multichunk", "BENCH_multichunk.json");
   RunMultiChunkSweep(&mc_sink);
+  benchlib::TelemetrySink ring_sink = benchlib::TelemetrySink::FromArgs(
+      1, argv, "bench_micro_ring_batch", "BENCH_ring_batch.json");
+  RunRingBatchSweep(&ring_sink);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

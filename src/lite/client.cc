@@ -1,6 +1,7 @@
 #include "src/lite/client.h"
 
 #include "src/common/timing.h"
+#include "src/lite/ring.h"
 
 namespace lite {
 
@@ -57,6 +58,10 @@ Status LiteClient::Read(Lh lh, uint64_t offset, void* buf, uint64_t len) {
   // show the syscall_cross stage; the instance-level span begin is then inert.
   lt::telemetry::ScopedSpan span(&instance_->node()->telemetry().tracer(), "LT_read");
   ScopedOpAttr attr(AttrSink(), "read", len, static_cast<int>(priority_));
+  if (UseRings()) {
+    RingGate gate(instance_->rings());
+    return instance_->Read(lh, offset, buf, len, priority_);
+  }
   EnterKernel();
   return instance_->Read(lh, offset, buf, len, priority_);
 }
@@ -64,6 +69,11 @@ Status LiteClient::Read(Lh lh, uint64_t offset, void* buf, uint64_t len) {
 StatusOr<MemopHandle> LiteClient::ReadAsync(Lh lh, uint64_t offset, void* buf, uint64_t len) {
   lt::telemetry::ScopedSpan span(&instance_->node()->telemetry().tracer(), "LT_read_async");
   ScopedOpAttr attr(AttrSink(), "aread", len, static_cast<int>(priority_));
+  if (UseRings()) {
+    // Deferred submission: the descriptor parks in this CPU's ring (no
+    // crossing); the kernel half drains a whole batch per doorbell.
+    return instance_->rings()->SubmitAsync(lh, offset, buf, len, /*is_read=*/true, priority_);
+  }
   EnterKernel();
   return instance_->ReadAsync(lh, offset, buf, len, priority_);
 }
@@ -72,48 +82,107 @@ StatusOr<MemopHandle> LiteClient::WriteAsync(Lh lh, uint64_t offset, const void*
                                              uint64_t len) {
   lt::telemetry::ScopedSpan span(&instance_->node()->telemetry().tracer(), "LT_write_async");
   ScopedOpAttr attr(AttrSink(), "awrite", len, static_cast<int>(priority_));
+  if (UseRings()) {
+    return instance_->rings()->SubmitAsync(lh, offset, const_cast<void*>(buf), len,
+                                           /*is_read=*/false, priority_);
+  }
   EnterKernel();
   return instance_->WriteAsync(lh, offset, buf, len, priority_);
 }
 
 StatusOr<bool> LiteClient::Poll(MemopHandle h) {
+  if (UseRings()) {
+    // Reaping reads the shared completion ring: crossing-free. The handle
+    // must be registered first, so its deferred batch (if any) drains now.
+    instance_->rings()->FlushHandle(h);
+    return instance_->Poll(h);
+  }
   EnterKernel();
   return instance_->Poll(h);
 }
 
 Status LiteClient::Wait(MemopHandle h) {
-  EnterKernel();
+  if (UseRings()) {
+    SubmissionRings* rings = instance_->rings();
+    rings->FlushHandle(h);
+    const uint64_t wait_t0 = lt::NowNs();
+    Status s = instance_->Wait(h);
+    rings->AccountReap(lt::NowNs() - wait_t0);
+    return s;
+  }
+  // Blocking fallback: the shared completion flag shows an already-done op
+  // without entering the kernel; the crossing is paid once per sleep cycle
+  // (stamped into kLatCross by EnterKernel), not per poll iteration.
+  if (naive_syscalls_ || !instance_->AsyncHandleReady(h)) {
+    EnterKernel();
+  }
   return instance_->Wait(h);
 }
 
 Status LiteClient::WaitAll() {
-  EnterKernel();
+  if (UseRings()) {
+    SubmissionRings* rings = instance_->rings();
+    rings->FlushAll();
+    const uint64_t wait_t0 = lt::NowNs();
+    Status s = instance_->WaitAll();
+    rings->AccountReap(lt::NowNs() - wait_t0);
+    return s;
+  }
+  if (naive_syscalls_ || !instance_->AsyncAllReady()) {
+    EnterKernel();
+  }
   return instance_->WaitAll();
 }
 
 Status LiteClient::WaitAll(std::vector<std::pair<MemopHandle, Status>>* results) {
-  EnterKernel();
+  if (UseRings()) {
+    SubmissionRings* rings = instance_->rings();
+    rings->FlushAll();
+    const uint64_t wait_t0 = lt::NowNs();
+    Status s = instance_->WaitAll(results);
+    rings->AccountReap(lt::NowNs() - wait_t0);
+    return s;
+  }
+  if (naive_syscalls_ || !instance_->AsyncAllReady()) {
+    EnterKernel();
+  }
   return instance_->WaitAll(results);
 }
 
 Status LiteClient::Write(Lh lh, uint64_t offset, const void* buf, uint64_t len) {
   lt::telemetry::ScopedSpan span(&instance_->node()->telemetry().tracer(), "LT_write");
   ScopedOpAttr attr(AttrSink(), "write", len, static_cast<int>(priority_));
+  if (UseRings()) {
+    RingGate gate(instance_->rings());
+    return instance_->Write(lh, offset, buf, len, priority_);
+  }
   EnterKernel();
   return instance_->Write(lh, offset, buf, len, priority_);
 }
 
 Status LiteClient::Memset(Lh lh, uint64_t offset, uint8_t value, uint64_t len) {
+  if (UseRings()) {
+    RingGate gate(instance_->rings());
+    return instance_->Memset(lh, offset, value, len, priority_);
+  }
   EnterKernel();
   return instance_->Memset(lh, offset, value, len, priority_);
 }
 
 Status LiteClient::Memcpy(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len) {
+  if (UseRings()) {
+    RingGate gate(instance_->rings());
+    return instance_->Memcpy(dst, dst_off, src, src_off, len, priority_);
+  }
   EnterKernel();
   return instance_->Memcpy(dst, dst_off, src, src_off, len, priority_);
 }
 
 Status LiteClient::Memmove(Lh dst, uint64_t dst_off, Lh src, uint64_t src_off, uint64_t len) {
+  if (UseRings()) {
+    RingGate gate(instance_->rings());
+    return instance_->Memmove(dst, dst_off, src, src_off, len, priority_);
+  }
   EnterKernel();
   return instance_->Memmove(dst, dst_off, src, src_off, len, priority_);
 }
@@ -127,12 +196,20 @@ Status LiteClient::Rpc(NodeId server, RpcFuncId func, const void* in, uint32_t i
                        uint32_t out_max, uint32_t* out_len) {
   lt::telemetry::ScopedSpan span(&instance_->node()->telemetry().tracer(), "LT_RPC");
   ScopedOpAttr attr(AttrSink(), "rpc", in_len, static_cast<int>(priority_));
+  if (UseRings()) {
+    RingGate gate(instance_->rings());
+    return instance_->Rpc(server, func, in, in_len, out, out_max, out_len, priority_);
+  }
   EnterKernel();
   return instance_->Rpc(server, func, in, in_len, out, out_max, out_len, priority_);
 }
 
 Status LiteClient::MulticastRpc(const std::vector<NodeId>& servers, RpcFuncId func, const void* in,
                                 uint32_t in_len, std::vector<std::vector<uint8_t>>* replies) {
+  if (UseRings()) {
+    RingGate gate(instance_->rings());
+    return instance_->MulticastRpc(servers, func, in, in_len, replies);
+  }
   EnterKernel();
   return instance_->MulticastRpc(servers, func, in, in_len, replies);
 }
@@ -156,6 +233,10 @@ StatusOr<RpcIncoming> LiteClient::ReplyAndRecv(const ReplyToken& token, const vo
 }
 
 Status LiteClient::SendMsg(NodeId dst, const void* data, uint32_t len) {
+  if (UseRings()) {
+    RingGate gate(instance_->rings());
+    return instance_->SendMsg(dst, data, len, priority_);
+  }
   EnterKernel();
   return instance_->SendMsg(dst, data, len, priority_);
 }
@@ -167,6 +248,10 @@ StatusOr<MsgIncoming> LiteClient::RecvMsg(uint64_t timeout_ns) {
 
 StatusOr<uint64_t> LiteClient::FetchAdd(Lh lh, uint64_t offset, uint64_t delta) {
   ScopedOpAttr attr(AttrSink(), "atomic", 8, static_cast<int>(Priority::kHigh));
+  if (UseRings()) {
+    RingGate gate(instance_->rings());
+    return instance_->FetchAdd(lh, offset, delta);
+  }
   EnterKernel();
   return instance_->FetchAdd(lh, offset, delta);
 }
@@ -174,6 +259,10 @@ StatusOr<uint64_t> LiteClient::FetchAdd(Lh lh, uint64_t offset, uint64_t delta) 
 StatusOr<uint64_t> LiteClient::TestSet(Lh lh, uint64_t offset, uint64_t expected,
                                        uint64_t desired) {
   ScopedOpAttr attr(AttrSink(), "atomic", 8, static_cast<int>(Priority::kHigh));
+  if (UseRings()) {
+    RingGate gate(instance_->rings());
+    return instance_->TestSet(lh, offset, expected, desired);
+  }
   EnterKernel();
   return instance_->TestSet(lh, offset, expected, desired);
 }

@@ -6,6 +6,13 @@
 // shared-page completion flag (paper Sec. 5.2), so a full RPC costs exactly
 // two crossings (~0.17 us). A "naive syscalls" mode reproduces the
 // unoptimized ~0.9 us path for the ablation benchmark.
+//
+// With SimParams::lite_ring_enable, data-path ops instead ride per-CPU
+// submission/completion rings (ring.h): the crossing becomes a doorbell
+// paid only when the kernel-half drainer has gone cold, async submissions
+// defer and drain in batches, and Poll/Wait reap completions with adaptive
+// spin-then-sleep. Control-plane calls (malloc/map/locks/recv/reply/...)
+// keep the classic one-crossing path either way.
 #ifndef SRC_LITE_CLIENT_H_
 #define SRC_LITE_CLIENT_H_
 
@@ -92,6 +99,12 @@ class LiteClient {
  private:
   // Charges the cost of entering the kernel for one LITE call.
   void EnterKernel();
+
+  // True when this client's data-path ops ride the per-CPU rings: user
+  // level, not in the naive-syscall ablation, and the instance has rings.
+  bool UseRings() const {
+    return !kernel_level_ && !naive_syscalls_ && instance_->rings() != nullptr;
+  }
 
   // The node's latency-attribution sink (latency_attr.h).
   lt::telemetry::LatencyAttr* AttrSink();

@@ -10,6 +10,7 @@
 #include "src/common/annotations.h"
 #include "src/common/logging.h"
 #include "src/common/timing.h"
+#include "src/lite/ring.h"
 #include "src/lite/wire.h"
 
 namespace lite {
@@ -59,6 +60,10 @@ LiteInstance::LiteInstance(lt::Node* node, NodeId manager_node)
   mirror_slab_ = *mirrors;
   mirror_cap_ = kMirrorSlabBytes / 8;
 
+  if (p.lite_ring_enable) {
+    cpu_rings_ = std::make_unique<SubmissionRings>(this);
+  }
+
   RegisterInternalHandlers();
   RegisterTelemetry();
 }
@@ -102,6 +107,9 @@ void LiteInstance::RegisterTelemetry() {
   qps_.SetTelemetry(qp_reconnects_, journal_);
   engine_.RegisterTelemetry(reg, journal_);
   migration_.RegisterTelemetry(&reg, journal_);
+  if (cpu_rings_ != nullptr) {
+    cpu_rings_->RegisterTelemetry(reg);
+  }
 }
 
 LiteInstance::~LiteInstance() { Stop(); }

@@ -43,6 +43,9 @@ using lt::Status;
 using lt::StatusOr;
 
 class LiteInstance;
+class SubmissionRings;     // Per-CPU submission/completion rings (ring.h).
+struct RingDeferredOp;
+struct RingDrainCache;
 
 // Serialized internal control-RPC payload (see wire.h).
 using WireWriterBytes = std::vector<uint8_t>;
@@ -145,6 +148,14 @@ class LiteInstance {
   }
   // Outstanding (not yet retired) async ops.
   size_t AsyncInFlight() const { return engine_.AsyncInFlight(); }
+  // Crossing-free readiness checks against the shared completion flag (the
+  // user library reads it without entering the kernel; see LiteClient).
+  bool AsyncHandleReady(MemopHandle h) const { return engine_.HandleReady(h); }
+  bool AsyncAllReady() const { return engine_.AllHandlesReady(); }
+  // Per-CPU submission/completion rings (DESIGN.md §9); null unless
+  // SimParams::lite_ring_enable. LiteClient routes data-path ops through
+  // them when present.
+  SubmissionRings* rings() const { return cpu_rings_.get(); }
   // LT_memset / LT_memcpy / LT_memmove: executed at the node holding the
   // source/target LMR to minimize network traffic (paper Sec. 7.1).
   Status Memset(Lh lh, uint64_t offset, uint8_t value, uint64_t len,
@@ -286,6 +297,7 @@ class LiteInstance {
  private:
   friend class LiteClient;
   friend class OpEngine;
+  friend class SubmissionRings;
 
   // RPC-stack state structures (RpcChannel, ServerRing, ReplySlot,
   // RpcReqHeader, LockQueue, BarrierState) live in rpc_state.h.
@@ -360,6 +372,11 @@ class LiteInstance {
   // the sliced pieces to the engine.
   StatusOr<MemopHandle> IssueAsyncMemop(Lh lh, uint64_t offset, void* buf, uint64_t len,
                                         Priority pri, bool is_read);
+  // Kernel-half execution of one ring-deferred async memop (ring.h): adopts
+  // the op's detached attribution record, pays the map check once per
+  // distinct lh per drain batch (via `cache`), and registers the op with
+  // the engine under its reserved handle.
+  void ExecuteDeferredAsync(RingDeferredOp& op, RingDrainCache* cache);
 
   BlockingQueue<RpcIncoming>* EnsureAppQueue(RpcFuncId func);
   void PollLoop();
@@ -475,6 +492,9 @@ class LiteInstance {
   QpManager qps_;
   LmrTable lmrs_;
   OpEngine engine_;
+  // Per-CPU submission/completion rings; constructed only when
+  // SimParams::lite_ring_enable (rings off = no object, no behavior change).
+  std::unique_ptr<SubmissionRings> cpu_rings_;
   // Epoch-fenced ownership guard + migration records (DESIGN.md). Costs one
   // relaxed load per gated access while no migration has touched this node.
   MigrationState migration_;

@@ -8,6 +8,7 @@
 #include "src/common/logging.h"
 #include "src/common/timing.h"
 #include "src/lite/instance.h"
+#include "src/lite/ring.h"
 
 namespace lite {
 
@@ -47,6 +48,54 @@ StatusOr<MemopHandle> LiteInstance::IssueAsyncMemop(Lh lh, uint64_t offset, void
   // The origin tuple lets the engine transparently re-resolve and re-issue
   // the whole memop if it retires with kStaleHome (LMR migrated mid-flight).
   return engine_.IssueAsyncPieces(descs, is_read, pri, lh, offset, buf, len);
+}
+
+void LiteInstance::ExecuteDeferredAsync(RingDeferredOp& op, RingDrainCache* cache) {
+  lt::telemetry::ScopedSpan span(&node_->telemetry().tracer(),
+                                 op.is_read ? "LT_read_async" : "LT_write_async");
+  {
+    // Stamps during the drain land on the op's own detached record.
+    lt::telemetry::AttrAdoptScope adopt(&op.attr);
+    const uint64_t submit_t0 = lt::NowNs();
+    // The authoritative map check is paid once per distinct lh per drain
+    // batch — the whole batch entered the kernel together, so the lookup
+    // amortizes like the crossing does.
+    if (!cache->valid || cache->lh != op.lh) {
+      SpinFor(params().lite_map_check_ns);
+      auto entry = GetLh(op.lh);
+      if (!entry.ok()) {
+        // The lh died between enqueue and drain: fail the reserved handle.
+        engine_.InsertFailedHandle(op.handle, entry.status());
+        return;
+      }
+      cache->valid = true;
+      cache->lh = op.lh;
+      cache->entry = *entry;
+    }
+    Status perm = CheckAccess(cache->entry, op.offset, op.len,
+                              op.is_read ? kPermRead : kPermWrite);
+    if (!perm.ok()) {
+      engine_.InsertFailedHandle(op.handle, perm);
+      return;
+    }
+    lt::telemetry::AttrAdd(lt::telemetry::LatStage::kLatSubmit, lt::NowNs() - submit_t0);
+    lt::telemetry::StampStage(lt::telemetry::TraceStage::kLhCheck, op.len);
+
+    std::vector<OpEngine::OpDesc> descs;
+    for (const ChunkPiece& piece : SliceChunks(cache->entry.chunks, op.offset, op.len)) {
+      descs.push_back(OpEngine::OpDesc{piece.node, piece.addr,
+                                       static_cast<uint8_t*>(op.buf) + piece.user_off,
+                                       piece.len});
+    }
+    engine_.IssueAsyncPieces(descs, op.is_read, op.pri, op.lh, op.offset, op.buf, op.len,
+                             op.handle);
+  }
+  // A purely-local op completed at issue, so the engine did not take the
+  // record (and the submit-side scope already detached): commit it here.
+  if (op.attr.active && !op.attr.detached) {
+    node_->telemetry().latency().Commit(op.attr, lt::NowNs() - op.attr.start_ns);
+    op.attr.active = false;
+  }
 }
 
 StatusOr<MemopHandle> LiteInstance::RpcAsync(NodeId server_node, RpcFuncId func, const void* in,

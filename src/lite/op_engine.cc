@@ -582,7 +582,8 @@ Status OpEngine::SubmitPiecesImpl(const std::vector<OpDesc>& pieces, bool is_rea
 
 StatusOr<MemopHandle> OpEngine::IssueAsyncPieces(const std::vector<OpDesc>& pieces, bool is_read,
                                                  Priority pri, Lh origin_lh, uint64_t origin_off,
-                                                 void* origin_buf, uint64_t origin_len) {
+                                                 void* origin_buf, uint64_t origin_len,
+                                                 MemopHandle reserved_handle) {
   BeginEngineOp();
   async_ops_issued_->Inc();
 
@@ -679,7 +680,7 @@ StatusOr<MemopHandle> OpEngine::IssueAsyncPieces(const std::vector<OpDesc>& piec
     op->wqes.push_back(wqe);
   }
 
-  const MemopHandle h = next_memop_handle_.fetch_add(1);
+  const MemopHandle h = reserved_handle != 0 ? reserved_handle : next_memop_handle_.fetch_add(1);
   op->id = h;
   // An issue-time error (gate NACK on a local piece) keeps the op in flight
   // so retirement folds the error in and can run the stale-home redo.
@@ -732,6 +733,44 @@ StatusOr<MemopHandle> OpEngine::InsertAsyncRpc(uint32_t rpc_slot, void* out, uin
   lt::telemetry::AttrDetach(&op->attr);
   async_ops_.emplace(h, std::move(op));
   return h;
+}
+
+void OpEngine::InsertFailedHandle(MemopHandle h, const Status& result) {
+  // The handle was reserved and returned to the caller before its deferred
+  // op could register (the lh died between enqueue and drain); park a done
+  // op under it so Poll/Wait surface the failure instead of InvalidArgument.
+  BeginEngineOp();
+  async_ops_issued_->Inc();
+  auto op = std::make_unique<AsyncOp>();
+  op->id = h;
+  op->state = AsyncOpState::kDone;
+  op->result = result;
+  op->ready_at_ns = NowNs();
+  lt::telemetry::AttrDetach(&op->attr);
+  CommitAsyncAttr(op.get());
+  FinishEngineOp(false);
+  std::lock_guard<std::mutex> lock(async_mu_);
+  async_ops_.emplace(h, std::move(op));
+  async_cv_.notify_all();
+}
+
+bool OpEngine::HandleReady(MemopHandle h) const {
+  std::lock_guard<std::mutex> lock(async_mu_);
+  auto it = async_ops_.find(h);
+  if (it == async_ops_.end()) {
+    return true;  // Unknown/consumed: Wait returns without blocking.
+  }
+  return it->second->state == AsyncOpState::kDone && it->second->ready_at_ns <= NowNs();
+}
+
+bool OpEngine::AllHandlesReady() const {
+  std::lock_guard<std::mutex> lock(async_mu_);
+  for (const auto& entry : async_ops_) {
+    if (entry.second->state != AsyncOpState::kDone || entry.second->ready_at_ns > NowNs()) {
+      return false;
+    }
+  }
+  return true;
 }
 
 // ------------------------------------------------------------- retirement

@@ -87,9 +87,24 @@ class OpEngine {
   // The origin fields describe the whole memop in lh space; when given, an op
   // that retires with kStaleHome is transparently re-resolved and re-issued
   // against the LMR's new home (LT_wait then returns the redo's status).
+  // `reserved_handle` (ring path) registers the op under a handle already
+  // handed to the caller by ReserveHandle(); 0 assigns a fresh one.
   StatusOr<MemopHandle> IssueAsyncPieces(const std::vector<OpDesc>& pieces, bool is_read,
                                          Priority pri, Lh origin_lh = 0, uint64_t origin_off = 0,
-                                         void* origin_buf = nullptr, uint64_t origin_len = 0);
+                                         void* origin_buf = nullptr, uint64_t origin_len = 0,
+                                         MemopHandle reserved_handle = 0);
+  // Pre-assigns a completion handle for an op whose registration is
+  // deferred (per-CPU submission rings): the client returns the handle to
+  // the application immediately; the drain registers the op under it.
+  MemopHandle ReserveHandle() { return next_memop_handle_.fetch_add(1); }
+  // Registers a reserved handle whose deferred op failed before issue (lh
+  // died between enqueue and drain): Poll/Wait surface `result` for it.
+  void InsertFailedHandle(MemopHandle h, const Status& result);
+  // Crossing-free readiness checks against the shared completion state (the
+  // user library reads the completion flag without entering the kernel). A
+  // handle that no longer exists reads as ready: consuming it cannot block.
+  bool HandleReady(MemopHandle h) const;
+  bool AllHandlesReady() const;
   // Registers an already-sent single-attempt RPC as an async op retired
   // through the same handle machinery.
   StatusOr<MemopHandle> InsertAsyncRpc(uint32_t rpc_slot, void* out, uint32_t out_max,

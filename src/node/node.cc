@@ -74,6 +74,12 @@ void Node::RegisterHardwareProbes(Fabric* fabric) {
                     [faults] { return faults->partition_drops(); });
   reg.RegisterProbe("os.syscalls", [this] { return os_.syscall_count(); });
   reg.RegisterProbe("os.crossings", [this] { return os_.crossing_count(); });
+  // Ring-doorbell amortization: crossings that drained a batch of ops, and
+  // the ops they amortized (os.crossings_batched <= os.crossings; see
+  // docs/TELEMETRY.md "Per-CPU submission rings").
+  reg.RegisterProbe("os.crossings_batched", [this] { return os_.batched_crossing_count(); });
+  reg.RegisterProbe("os.ops_batched", [this] { return os_.batched_ops_count(); });
+  os_.SetOpsPerCrossingHistogram(reg.GetHistogram("os.ops_per_crossing"));
 }
 
 Process* Node::CreateProcess() {

@@ -1,6 +1,7 @@
 #include "src/oss/os_kernel.h"
 
 #include "src/common/timing.h"
+#include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
 
 namespace lt {
@@ -15,6 +16,18 @@ void OsKernel::CrossUserKernel() {
   crossings_.fetch_add(1, std::memory_order_relaxed);
   SpinFor(params_.user_kernel_cross_ns);
   telemetry::StampStage(telemetry::TraceStage::kSyscallCross);
+}
+
+void OsKernel::CrossUserKernelBatched() {
+  batched_crossings_.fetch_add(1, std::memory_order_relaxed);
+  CrossUserKernel();
+}
+
+void OsKernel::RecordBatchedCrossing(uint64_t ops) {
+  batched_ops_.fetch_add(ops, std::memory_order_relaxed);
+  if (ops_per_crossing_hist_ != nullptr) {
+    ops_per_crossing_hist_->Record(ops);
+  }
 }
 
 void OsKernel::PinPages(uint64_t pages) { SpinFor(pages * params_.pin_page_ns); }

@@ -15,6 +15,10 @@
 
 namespace lt {
 
+namespace telemetry {
+class FixedHistogram;
+}  // namespace telemetry
+
 class OsKernel {
  public:
   explicit OsKernel(const SimParams& params) : params_(params) {}
@@ -25,6 +29,22 @@ class OsKernel {
   // One user/kernel boundary crossing (half of a syscall's transition cost).
   void CrossUserKernel();
 
+  // A crossing that doubles as a submission-ring doorbell: the same
+  // transition cost, but the kernel half will drain a whole batch of ops
+  // behind it. Counted in both crossing_count() and batched_crossing_count()
+  // so os.crossings stays the total number of boundary transitions.
+  void CrossUserKernelBatched();
+
+  // Books the op count of one completed drain batch against the doorbell
+  // that paid for it (ops-per-crossing amortization accounting).
+  void RecordBatchedCrossing(uint64_t ops);
+
+  // Snapshot-time histogram of drain-batch sizes (os.ops_per_crossing);
+  // bound by Node during probe registration.
+  void SetOpsPerCrossingHistogram(telemetry::FixedHistogram* hist) {
+    ops_per_crossing_hist_ = hist;
+  }
+
   // Memory pinning during MR registration (get_user_pages + IOMMU setup).
   void PinPages(uint64_t pages);
   void UnpinPages(uint64_t pages);
@@ -34,12 +54,19 @@ class OsKernel {
 
   uint64_t syscall_count() const { return syscalls_.load(std::memory_order_relaxed); }
   uint64_t crossing_count() const { return crossings_.load(std::memory_order_relaxed); }
+  uint64_t batched_crossing_count() const {
+    return batched_crossings_.load(std::memory_order_relaxed);
+  }
+  uint64_t batched_ops_count() const { return batched_ops_.load(std::memory_order_relaxed); }
   const SimParams& params() const { return params_; }
 
  private:
   const SimParams params_;
   std::atomic<uint64_t> syscalls_{0};
   std::atomic<uint64_t> crossings_{0};
+  std::atomic<uint64_t> batched_crossings_{0};  // Ring doorbells (subset of crossings_).
+  std::atomic<uint64_t> batched_ops_{0};        // Ops amortized over those doorbells.
+  telemetry::FixedHistogram* ops_per_crossing_hist_ = nullptr;
 };
 
 }  // namespace lt

@@ -94,6 +94,22 @@ struct SimParams {
                                          // complete from the K-th CQE.
   size_t lite_reply_slots = 256;      // Concurrent outstanding RPCs per node.
   size_t lite_reply_slot_bytes = 16384;  // Max RPC reply size per slot.
+  // Per-CPU submission/completion rings (DESIGN.md §9). With rings on, a
+  // user-level client enqueues op descriptors into a shared-memory per-CPU
+  // ring (the enqueue is a cache-line write — below this model's ns
+  // granularity, so it charges nothing) and pays the user->kernel crossing
+  // only as a doorbell when the kernel-half drainer has gone cold. The
+  // drainer is considered hot for lite_ring_spin_ns after its last activity
+  // (it adaptively spins that long before sleeping); deferred async
+  // submissions flush at lite_ring_doorbell_batch entries, at
+  // lite_ring_flush_ns age, at lite_ring_entries occupancy (overflow
+  // backpressure), or when a sync op / reap needs them ordered-in.
+  bool lite_ring_enable = false;       // Rings off: every path byte-identical.
+  uint32_t lite_ring_cpus = 4;         // Submission/completion ring pairs.
+  uint32_t lite_ring_entries = 256;    // Ring capacity (overflow backpressure).
+  uint32_t lite_ring_doorbell_batch = 16;  // Deferred entries per flush.
+  uint64_t lite_ring_flush_ns = 2'000;     // Max deferred age before flush.
+  uint64_t lite_ring_spin_ns = 6'000;  // Drainer hot window / reap spin budget.
   // Live LMR migration (DESIGN.md "Epoch-fenced ownership & live migration").
   uint32_t lite_migrate_max_rounds = 4;  // Bounded dirty re-copy rounds before
                                          // the fence closes regardless.

@@ -302,7 +302,56 @@ std::vector<std::string> HealthWatchdog::Check(const MetricsSnapshot& snap) {
     }
   }
 
-  // 4. Stage-sum conservation per lite.lat.* key: Commit() guarantees
+  // 4. Ring crossing-batch conservation (per-CPU submission rings): every
+  //    op that rode the rings is booked either into a closed epoch (the
+  //    ops-per-crossing histogram) or a still-open one; every ring doorbell
+  //    is a batched crossing; and every closed epoch closed exactly one
+  //    batched crossing (ops == crossings x batch sum, amortized).
+  if (snap.values.count("lite.ring.ops") != 0) {
+    uint64_t epochs_closed = 0;
+    uint64_t epoch_ops_closed = 0;
+    auto hist = snap.histograms.find("lite.ring.ops_per_crossing");
+    if (hist != snap.histograms.end()) {
+      epochs_closed = hist->second.count;
+      epoch_ops_closed = hist->second.sum;
+    }
+    const uint64_t ring_ops = snap.ValueOr("lite.ring.ops");
+    const uint64_t open_ops = snap.ValueOr("lite.ring.open_epoch_ops");
+    const uint64_t pending = snap.ValueOr("lite.ring.deferred_pending");
+    if (ring_ops != epoch_ops_closed + open_ops) {
+      fail("ring op conservation: lite.ring.ops=%" PRIu64
+           " != closed-epoch ops + open-epoch ops=%" PRIu64,
+           ring_ops, epoch_ops_closed + open_ops);
+    }
+    const uint64_t doorbells = snap.ValueOr("lite.ring.doorbells");
+    const uint64_t batched = snap.ValueOr("os.crossings_batched");
+    if (doorbells != batched) {
+      fail("ring doorbell conservation: lite.ring.doorbells=%" PRIu64
+           " != os.crossings_batched=%" PRIu64,
+           doorbells, batched);
+    }
+    const uint64_t open_epochs = snap.ValueOr("lite.ring.open_epochs");
+    if (epochs_closed + open_epochs != batched) {
+      fail("ring epoch conservation: closed+open epochs=%" PRIu64
+           " != os.crossings_batched=%" PRIu64,
+           epochs_closed + open_epochs, batched);
+    }
+    if (static_cast<uint64_t>(snap.ValueOr("os.ops_batched")) != epoch_ops_closed) {
+      fail("ring batch accounting: os.ops_batched=%" PRIu64 " != closed-epoch ops=%" PRIu64,
+           snap.ValueOr("os.ops_batched"), epoch_ops_closed);
+    }
+    if (batched > static_cast<uint64_t>(snap.ValueOr("os.crossings"))) {
+      fail("ring crossing accounting: os.crossings_batched=%" PRIu64 " > os.crossings=%" PRIu64,
+           batched, snap.ValueOr("os.crossings"));
+    }
+    if (pending != 0) {
+      fail("ring quiescence: %" PRIu64 " deferred submissions never drained (%" PRIu64
+           " ring ops booked)",
+           pending, ring_ops);
+    }
+  }
+
+  // 5. Stage-sum conservation per lite.lat.* key: Commit() guarantees
   //    sum(stages) == e2e exactly, including retry/redirect/park detours.
   struct Sums {
     uint64_t e2e = 0;
@@ -339,7 +388,7 @@ std::vector<std::string> HealthWatchdog::Check(const MetricsSnapshot& snap) {
                     s.stages, s.e2e);
       out.emplace_back(buf);
     }
-    // 5. Attribution quality: blocking one-sided ops are fully bracketed, so
+    // 6. Attribution quality: blocking one-sided ops are fully bracketed, so
     //    the unattributed remainder must stay a small fraction.
     const bool blocking_memop =
         key.rfind("lite.lat.write.", 0) == 0 || key.rfind("lite.lat.read.", 0) == 0;
