@@ -59,7 +59,15 @@ PERCENTILE_IGNORE_SUBSTRINGS = ("lite.lat.",)
 # converge rounds, dirty re-copy bytes, wire volume all flap 2-7x run to
 # run). Their regression contract is the x-label (pass, fence vs budget);
 # metric/histogram snapshots are informational only.
-XLABEL_ONLY = ("BENCH_migrate.json",)
+XLABEL_ONLY = ("BENCH_migrate.json", "BENCH_transport_scale.json")
+
+# Benches whose committed anchor spans a larger sweep than the CI smoke run
+# (the transport scale anchor covers 8..1000 nodes; tier-1 re-runs only the
+# 8/100-node smoke): anchor points with no fresh partner are skipped instead
+# of flagged. Pairing stays positional within a series, and both the sweep
+# and the smoke emit sizes in ascending order, so the smoke prefix always
+# pairs with the anchor prefix.
+SUBSET_OK = ("BENCH_transport_scale.json",)
 
 # (relative tolerance, absolute slack) per x-label metric; None rel = exact.
 XLABEL_BANDS = {
@@ -75,6 +83,17 @@ XLABEL_BANDS = {
     "nsop": (0.15, 5.0),
     "opc": (0.10, 0.5),
     "requs": (0.15, 0.25),
+    # Transport scale sweep (BENCH_transport_scale.json): node count and QP
+    # state bytes are structural (exact); mean latency is virtual-time stable;
+    # p99 and the QPC hit rate move with real thread interleaving (which ops
+    # collide in the responder QPC), so their bands are looser; connect-rate
+    # is ~0 in steady state and judged on slack alone.
+    "nodes": (None, 0.0),
+    "lat_ns": (0.15, 100.0),
+    "p99_ns": (0.30, 200.0),
+    "qpc_hit": (0.15, 0.08),
+    "conn_per_op": (1.0, 1.0),
+    "qp_bytes": (None, 0.0),
 }
 DEFAULT_BAND = (0.35, 8.0)
 
@@ -174,6 +193,8 @@ def check_file(anchor_path, fresh_path, violations):
     for p in anchor.get("points", []):
         candidates = fresh_points.get(pair_key(p))
         if not candidates:
+            if name in SUBSET_OK:
+                continue
             violations.append("%s: no fresh point pairs with series=%r x=%r" %
                               (name, p.get("series"), p.get("x")))
             continue

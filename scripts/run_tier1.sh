@@ -23,6 +23,11 @@ mkdir -p build/bench-out
 (cd build/bench-out && ../bench/bench_micro --benchmark_filter=__none__ >/dev/null) || true
 (cd build/bench-out && ../bench/bench_migrate >/dev/null)
 (cd build/bench-out && ../bench/bench_latency_breakdown >/dev/null)
+# Transport scale smoke: the 8/100-node prefix of the fig14 RC-vs-DC sweep
+# (the committed anchor covers the full 8..1000 sweep; check_bench pairs the
+# smoke prefix and skips the rest — see SUBSET_OK).
+(cd build/bench-out && ../bench/fig14_scalability --scale-smoke \
+    --telemetry BENCH_transport_scale.json >/dev/null)
 python3 scripts/check_bench.py
 
 echo "== tier-1: chrome-trace export sanity =="
@@ -33,10 +38,11 @@ python3 scripts/check_trace.py --require-flow "${TRACE_OUT}"
 
 echo "== tier-1: chaos soak under ThreadSanitizer =="
 cmake -B build-tsan -S . -DLT_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j"${JOBS}" --target faults_chaos_test faults_test lite_async_test lite_ring_test
+cmake --build build-tsan -j"${JOBS}" --target faults_chaos_test faults_test lite_async_test lite_ring_test transport_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/faults_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/lite_async_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/lite_ring_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/transport_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/faults_chaos_test
 
 echo "== tier-1: memory + async suites under ASan+UBSan =="

@@ -27,7 +27,7 @@ LiteInstance::LiteInstance(lt::Node* node, NodeId manager_node)
     : node_(node),
       manager_node_(manager_node),
       qos_(node->params()),
-      qps_(node, &qos_),
+      transport_(Transport::Create(node, &qos_)),
       lmrs_(node->id()),
       engine_(this) {
   // The single physical-address MR covering all of this node's memory: one
@@ -104,7 +104,7 @@ void LiteInstance::RegisterTelemetry() {
   // hand it (plus the shared counters) to the composed components.
   journal_ = &node_->telemetry().journal();
   qos_.SetJournal(journal_);
-  qps_.SetTelemetry(qp_reconnects_, journal_);
+  transport_->RegisterTelemetry(reg, qp_reconnects_, journal_);
   engine_.RegisterTelemetry(reg, journal_);
   migration_.RegisterTelemetry(&reg, journal_);
   if (cpu_rings_ != nullptr) {
@@ -136,10 +136,25 @@ void LiteInstance::CreateQueuePairs() {
   for (NodeId dst = 0; dst < peers_.size(); ++dst) {
     connect[dst] = peers_[dst] != nullptr && dst != node_id();
   }
-  qps_.CreatePool(connect, recv_cq_);
+  transport_->Setup(connect, recv_cq_);
+  // DC initiators resolve a destination's target QPN through the peer table
+  // at attach time (lazy — nothing is wired until first traffic).
+  transport_->SetDctResolver([this](NodeId n) {
+    LiteInstance* peer = Peer(n);
+    return peer != nullptr ? peer->DctQpn() : 0u;
+  });
 }
 
 void LiteInstance::BootstrapControlChannel(LiteInstance* server) {
+  // Idempotent: lazy bootstrap (GetChannel on a control-ring miss) may race
+  // the eager setup loop or a concurrent first caller. Check before paying
+  // for a mirror word, and keep the winner on an emplace race.
+  {
+    std::lock_guard<std::mutex> lock(channels_mu_);
+    if (channels_.count({server->node_id(), kControlRingId}) > 0) {
+      return;
+    }
+  }
   auto mirror = AllocMirror();
   assert(mirror.ok());
   ServerRing* ring = server->SetupServerRing(node_id(), kControlRingId, *mirror);
@@ -152,7 +167,7 @@ void LiteInstance::BootstrapControlChannel(LiteInstance* server) {
   channel->ring_size = ring->ring_size;
   channel->head_mirror = *mirror;
   std::lock_guard<std::mutex> lock(channels_mu_);
-  channels_[{server->node_id(), kControlRingId}] = std::move(channel);
+  channels_.emplace(std::make_pair(server->node_id(), kControlRingId), std::move(channel));
 }
 
 void LiteInstance::Start() {

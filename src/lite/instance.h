@@ -1,6 +1,7 @@
 // LiteInstance — one per node; the reproduction of the paper's loadable
-// kernel module. A facade composing QpManager (shared QP pool, paper
-// Sec. 6.1), LmrTable (LMR registry + lh table + name service, Sec. 4.1),
+// kernel module. A facade composing the pluggable Transport (RC QpManager
+// or DC shared pool — DESIGN.md §10, paper Sec. 6.1), LmrTable (LMR
+// registry + lh table + name service, Sec. 4.1),
 // and OpEngine (the single op-submission engine all three data paths post
 // through), plus the parts it still owns directly: the global physical MR
 // (one MPT entry, zero MTT pressure — Sec. 4.1), the shared receive-CQ
@@ -31,8 +32,8 @@
 #include "src/lite/migration.h"
 #include "src/lite/op_engine.h"
 #include "src/lite/qos.h"
-#include "src/lite/qp_manager.h"
 #include "src/lite/rpc_state.h"
+#include "src/lite/transport.h"
 #include "src/lite/types.h"
 #include "src/node/node.h"
 
@@ -92,8 +93,11 @@ class LiteInstance {
 
   // ---- Cluster wiring (LiteCluster calls these during setup) ----
   void ConnectPeer(LiteInstance* peer);  // Records peer + its global rkey.
-  void CreateQueuePairs();               // Creates the shared QP pool.
-  lt::Qp* PoolQp(NodeId dst, int k) { return qps_.PoolQp(dst, k); }
+  void CreateQueuePairs();               // Builds the transport's QP state.
+  // RC-only pool access for cluster pairing (null under other transports).
+  lt::Qp* PoolQp(NodeId dst, int k) { return transport_->PoolQp(dst, k); }
+  // DC-only: this node's target QPN (remote initiators attach to it).
+  uint32_t DctQpn() const { return transport_->TargetQpn(); }
   // Control-ring setup to `server` (bootstrap; no simulated cost).
   void BootstrapControlChannel(LiteInstance* server);
   void Start();  // Launches service threads.
@@ -279,7 +283,8 @@ class LiteInstance {
                                              uint64_t len);
 
   // ---- Introspection (tests / benches) ----
-  size_t qp_pool_size() const { return qps_.TotalQps(); }
+  size_t qp_pool_size() const { return transport_->TotalQps(); }
+  Transport& transport() { return *transport_; }
   uint64_t poll_thread_cpu_ns() const { return poll_cpu_.TotalCpuNs(); }
   lt::CpuMeter& service_cpu_meter() { return poll_cpu_; }
   size_t lh_count() const { return lmrs_.lh_count(); }
@@ -487,9 +492,9 @@ class LiteInstance {
   // QoS.
   QosManager qos_;
 
-  // Composed components (construction order matters: the QP manager holds
+  // Composed components (construction order matters: the transport holds
   // the QoS pointer; the engine reaches back into this facade).
-  QpManager qps_;
+  std::unique_ptr<Transport> transport_;
   LmrTable lmrs_;
   OpEngine engine_;
   // Per-CPU submission/completion rings; constructed only when

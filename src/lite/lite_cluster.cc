@@ -23,21 +23,34 @@ LiteCluster::LiteCluster(size_t node_count, const lt::SimParams& params)
   for (auto& inst : instances_) {
     inst->CreateQueuePairs();
   }
-  const int k = std::max(1, params.lite_qp_sharing_factor);
-  for (NodeId i = 0; i < node_count; ++i) {
-    for (NodeId j = i + 1; j < node_count; ++j) {
-      for (int q = 0; q < k; ++q) {
-        lt::Qp* a = instances_[i]->PoolQp(j, q);
-        lt::Qp* b = instances_[j]->PoolQp(i, q);
-        a->Connect(j, b->qpn());
-        b->Connect(i, a->qpn());
+  if (params.lite_transport == lt::LiteTransport::kRc) {
+    // RC: pairwise-connect the K QPs of every (ordered) node pair. DC skips
+    // this entirely — initiators attach lazily on first use (DESIGN.md §10).
+    const int k = std::max(1, params.lite_qp_sharing_factor);
+    for (NodeId i = 0; i < node_count; ++i) {
+      for (NodeId j = i + 1; j < node_count; ++j) {
+        for (int q = 0; q < k; ++q) {
+          lt::Qp* a = instances_[i]->PoolQp(j, q);
+          lt::Qp* b = instances_[j]->PoolQp(i, q);
+          a->Connect(j, b->qpn());
+          b->Connect(i, a->qpn());
+        }
       }
     }
   }
   // Control rings (every ordered pair, including self for loopback RPCs).
-  for (auto& client : instances_) {
-    for (auto& server : instances_) {
-      client->BootstrapControlChannel(server.get());
+  // At large scale this O(n²) bootstrap dominates setup; with
+  // lite_eager_control_rings=false a channel is built lazily on first RPC.
+  if (params.lite_eager_control_rings) {
+    for (auto& client : instances_) {
+      for (auto& server : instances_) {
+        client->BootstrapControlChannel(server.get());
+      }
+    }
+  } else {
+    for (auto& client : instances_) {
+      // Self-loopback is always wired (internal services assume it).
+      client->BootstrapControlChannel(client.get());
     }
   }
   for (auto& inst : instances_) {

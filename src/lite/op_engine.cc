@@ -117,7 +117,8 @@ uint64_t OpEngine::EffectiveTimeoutNs(uint64_t requested_ns) const {
 // ------------------------------------------------------- one-sided engine
 
 StatusOr<Completion> OpEngine::PostAndWait(NodeId dst, WorkRequest* wr, Priority pri,
-                                           int qp_idx) {
+                                           const TransportHandle* pinned) {
+  Transport& tr = *inst_->transport_;
   const uint32_t max_retries = inst_->params().lite_rpc_max_retries;
   uint64_t backoff_ns = inst_->params().lite_rpc_retry_backoff_ns;
   Status last = Status::Timeout("one-sided completion timeout");
@@ -136,8 +137,8 @@ StatusOr<Completion> OpEngine::PostAndWait(NodeId dst, WorkRequest* wr, Priority
         return DeadPeerUnavailable();
       }
     }
-    int idx = qp_idx >= 0 ? qp_idx : inst_->qps_.PickQpIndex(dst, pri);
-    if (!inst_->qps_.Valid(dst, idx)) {
+    TransportHandle h = pinned != nullptr ? *pinned : tr.Lease(dst, pri);
+    if (!tr.Valid(h)) {
       return Status::Unavailable("no QP to destination node");
     }
     // Migration gate, opened per attempt (a retry must re-check the phase:
@@ -160,18 +161,17 @@ StatusOr<Completion> OpEngine::PostAndWait(NodeId dst, WorkRequest* wr, Priority
         continue;
       }
     }
-    Qp* qp = inst_->qps_.qp(dst, idx);
+    Qp* qp = tr.Qp(h);
     wr->wr_id = NextWrId();
     Status posted = Status::Ok();
     const uint64_t post_t0 = NowNs();
     {
       // The QP lock covers only the post; waiting happens outside so threads
       // sharing a pool QP overlap their in-flight ops (the whole point of
-      // the shared pool, Sec. 6.1).
-      std::lock_guard<std::mutex> lock(inst_->qps_.mu(dst, idx));
-      if (qp->in_error()) {
-        inst_->qps_.RecoverQp(qp);
-      }
+      // the shared pool, Sec. 6.1). Prepare recovers an errored QP and, under
+      // DC, re-attaches a stolen slot to this handle's destination.
+      std::lock_guard<std::mutex> lock(tr.Mu(h));
+      tr.Prepare(h);
       posted = inst_->rnic().PostSend(qp, *wr);
     }
     AttrAdd(LatStage::kLatPost, NowNs() - post_t0);
@@ -244,16 +244,16 @@ Status OpEngine::OneSidedWriteImpl(NodeId dst, PhysAddr dst_addr, const void* sr
   if (!signaled) {
     // Fire-and-forget (head-mirror publishes): errors surface on the next
     // signaled user of the QP; recover here so one drop cannot wedge it.
-    int idx = inst_->qps_.PickQpIndex(dst, pri);
-    if (idx < 0) {
+    Transport& tr = *inst_->transport_;
+    TransportHandle h = tr.Lease(dst, pri);
+    if (!tr.Valid(h)) {
       return Status::Unavailable("no QP to destination node");
     }
-    Qp* qp = inst_->qps_.qp(dst, idx);
+    Qp* qp = tr.Qp(h);
     wr.wr_id = 0;
     const uint64_t post_t0 = NowNs();
-    std::lock_guard<std::mutex> lock(inst_->qps_.mu(dst, idx));
-    if (qp->in_error()) {
-      inst_->qps_.RecoverQp(qp);
+    std::lock_guard<std::mutex> lock(tr.Mu(h));
+    if (tr.Prepare(h)) {
       // The recovery happened on behalf of a publish nobody waits on; count
       // and journal it so the flight recorder shows the silent path too.
       unsignaled_recovered_->Inc();
@@ -310,11 +310,12 @@ Status OpEngine::OneSidedWriteImmImpl(NodeId dst, PhysAddr dst_addr, const void*
     inst_->recv_cq_->Push(std::move(c));
     return Status::Ok();
   }
-  int idx = inst_->qps_.PickQpIndex(dst, pri);
-  if (idx < 0) {
+  Transport& tr = *inst_->transport_;
+  TransportHandle h = tr.Lease(dst, pri);
+  if (!tr.Valid(h)) {
     return Status::Unavailable("no QP to destination node");
   }
-  Qp* qp = inst_->qps_.qp(dst, idx);
+  Qp* qp = tr.Qp(h);
   WorkRequest wr;
   wr.opcode = WrOpcode::kWriteImm;
   wr.host_local = const_cast<void*>(src);
@@ -324,10 +325,8 @@ Status OpEngine::OneSidedWriteImmImpl(NodeId dst, PhysAddr dst_addr, const void*
   wr.imm = imm;
   wr.signaled = false;  // Failures detected by reply timeout (paper Sec. 5.1).
   const uint64_t post_t0 = NowNs();
-  std::lock_guard<std::mutex> lock(inst_->qps_.mu(dst, idx));
-  if (qp->in_error()) {
-    inst_->qps_.RecoverQp(qp);  // A prior drop errored this QP; reconnect before posting.
-  }
+  std::lock_guard<std::mutex> lock(tr.Mu(h));
+  tr.Prepare(h);  // A prior drop may have errored this QP; reconnect before posting.
   Status s = inst_->rnic().PostSend(qp, wr);
   AttrAdd(LatStage::kLatPost, NowNs() - post_t0);
   return s;
@@ -445,11 +444,11 @@ Status OpEngine::SubmitPiecesImpl(const std::vector<OpDesc>& pieces, bool is_rea
   // Consecutive posts to one destination share a QP (sticky selection) so
   // the RNIC batches their doorbells; small writes go inline.
   struct Posted {
-    NodeId dst = kInvalidNode;
-    int qp_idx = -1;
+    TransportHandle h;
     WorkRequest wr;
     bool posted = false;
   };
+  Transport& tr = *inst_->transport_;
   Status result = Status::Ok();
   std::vector<Posted> remote;
   remote.reserve(pieces.size());
@@ -479,8 +478,7 @@ Status OpEngine::SubmitPiecesImpl(const std::vector<OpDesc>& pieces, bool is_rea
     inst_->qos_.Admit(pri, piece.len);
     AttrAdd(LatStage::kLatQosWait, NowNs() - qos_t0);
     Posted p;
-    p.dst = piece.node;
-    p.qp_idx = inst_->qps_.PickQpIndexSticky(piece.node, pri);
+    p.h = tr.LeaseSticky(piece.node, pri);
     WorkRequest& wr = p.wr;
     wr.opcode = is_read ? WrOpcode::kRead : WrOpcode::kWrite;
     wr.host_local = piece.local;
@@ -491,18 +489,16 @@ Status OpEngine::SubmitPiecesImpl(const std::vector<OpDesc>& pieces, bool is_rea
     wr.doorbell_hint = true;
     wr.inline_data = !is_read;  // The RNIC applies its rnic_inline_max cut.
     wr.wr_id = NextWrId();
-    if (p.qp_idx >= 0) {
-      LiteInstance* peer = inst_->Peer(p.dst);
+    if (tr.Valid(p.h)) {
+      LiteInstance* peer = inst_->Peer(p.h.dst);
       AccessGate gate;
       Status g = GateAccess(inst_, peer, wr.remote_addr, wr.length, !is_read, &gate);
       if (g.ok()) {
-        Qp* qp = inst_->qps_.qp(p.dst, p.qp_idx);
+        Qp* qp = tr.Qp(p.h);
         const uint64_t post_t0 = NowNs();
         {
-          std::lock_guard<std::mutex> qlock(inst_->qps_.mu(p.dst, p.qp_idx));
-          if (qp->in_error()) {
-            inst_->qps_.RecoverQp(qp);
-          }
+          std::lock_guard<std::mutex> qlock(tr.Mu(p.h));
+          tr.Prepare(p.h);
           p.posted = inst_->rnic().PostSend(qp, wr).ok();
         }
         AttrAdd(LatStage::kLatPost, NowNs() - post_t0);
@@ -527,9 +523,8 @@ Status OpEngine::SubmitPiecesImpl(const std::vector<OpDesc>& pieces, bool is_rea
     std::optional<Completion> c;
     if (p.posted) {
       const uint64_t wait_t0 = NowNs();
-      c = inst_->qps_.qp(p.dst, p.qp_idx)
-              ->send_cq()
-              ->WaitPollFor(p.wr.wr_id, inst_->params().lite_rpc_timeout_ns, WaitMode::kBusyPoll);
+      c = tr.Qp(p.h)->send_cq()->WaitPollFor(p.wr.wr_id, inst_->params().lite_rpc_timeout_ns,
+                                             WaitMode::kBusyPoll);
       const uint64_t wait_dt = NowNs() - wait_t0;
       if (c.has_value() && c->status.ok()) {
         AttrAddSplit(wait_dt, c->lat);
@@ -542,7 +537,7 @@ Status OpEngine::SubmitPiecesImpl(const std::vector<OpDesc>& pieces, bool is_rea
       ready = std::max(ready, c->ready_at_ns);
     } else if (c.has_value() && !TransientCode(c->status)) {
       s = c->status;  // Non-transient (permission, bounds): do not retry.
-    } else if (inst_->PeerDead(p.dst)) {
+    } else if (inst_->PeerDead(p.h.dst)) {
       inst_->rpc_dead_fast_fail_->Inc();
       s = DeadPeerUnavailable();
     } else {
@@ -551,13 +546,13 @@ Status OpEngine::SubmitPiecesImpl(const std::vector<OpDesc>& pieces, bool is_rea
         oneside_retries_->Inc();
         engine_retries_->Inc();
         if (journal_ != nullptr) {
-          journal_->Record(lt::telemetry::JournalEvent::kOnesideRetry, p.dst, 0);
+          journal_->Record(lt::telemetry::JournalEvent::kOnesideRetry, p.h.dst, 0);
         }
       }
       WorkRequest wr = p.wr;
       wr.signaled = true;
       wr.doorbell_hint = false;
-      auto rc = PostAndWait(p.dst, &wr, pri);
+      auto rc = PostAndWait(p.h.dst, &wr, pri);
       if (rc.ok()) {
         ready = std::max(ready, rc->ready_at_ns);
       } else {
@@ -636,9 +631,9 @@ StatusOr<MemopHandle> OpEngine::IssueAsyncPieces(const std::vector<OpDesc>& piec
     const uint64_t qos_t0 = NowNs();
     inst_->qos_.Admit(pri, piece.len);
     AttrAdd(LatStage::kLatQosWait, NowNs() - qos_t0);
+    Transport& tr = *inst_->transport_;
     AsyncWqe wqe;
-    wqe.dst = piece.node;
-    wqe.qp_idx = inst_->qps_.PickQpIndexSticky(piece.node, pri);
+    wqe.h = tr.LeaseSticky(piece.node, pri);
     WorkRequest& wr = wqe.wr;
     wr.opcode = is_read ? WrOpcode::kRead : WrOpcode::kWrite;
     wr.host_local = user;
@@ -648,8 +643,8 @@ StatusOr<MemopHandle> OpEngine::IssueAsyncPieces(const std::vector<OpDesc>& piec
     wr.doorbell_hint = true;
     wr.inline_data = !is_read;  // The RNIC applies its rnic_inline_max cut.
     wr.wr_id = NextWrId();
-    if (wqe.qp_idx >= 0) {
-      AsyncStream& stream = async_streams_[{piece.node, wqe.qp_idx}];
+    if (tr.Valid(wqe.h)) {
+      AsyncStream& stream = async_streams_[{wqe.h.dst, wqe.h.slot}];
       wqe.stream_pos = stream.next_pos++;
       wqe.signaled = ((wqe.stream_pos + 1) % signal_every == 0);
       wr.signaled = wqe.signaled;
@@ -657,13 +652,11 @@ StatusOr<MemopHandle> OpEngine::IssueAsyncPieces(const std::vector<OpDesc>& piec
       AccessGate gate;
       Status g = GateAccess(inst_, peer, wr.remote_addr, wr.length, !is_read, &gate);
       if (g.ok()) {
-        Qp* qp = inst_->qps_.qp(piece.node, wqe.qp_idx);
+        Qp* qp = tr.Qp(wqe.h);
         const uint64_t post_t0 = NowNs();
         {
-          std::lock_guard<std::mutex> qlock(inst_->qps_.mu(piece.node, wqe.qp_idx));
-          if (qp->in_error()) {
-            inst_->qps_.RecoverQp(qp);
-          }
+          std::lock_guard<std::mutex> qlock(tr.Mu(wqe.h));
+          tr.Prepare(wqe.h);
           wqe.posted = inst_->rnic().PostSend(qp, wr).ok();
         }
         AttrAdd(LatStage::kLatPost, NowNs() - post_t0);
@@ -786,7 +779,7 @@ std::optional<Completion> OpEngine::TakeAsyncCompletionLocked(lt::Cq* cq, uint64
 }
 
 Status OpEngine::RetryAsyncWqe(AsyncOp* op, AsyncWqe* wqe) {
-  if (inst_->PeerDead(wqe->dst)) {
+  if (inst_->PeerDead(wqe->h.dst)) {
     inst_->rpc_dead_fast_fail_->Inc();
     return DeadPeerUnavailable();
   }
@@ -795,13 +788,13 @@ Status OpEngine::RetryAsyncWqe(AsyncOp* op, AsyncWqe* wqe) {
     oneside_retries_->Inc();
     engine_retries_->Inc();
     if (journal_ != nullptr) {
-      journal_->Record(lt::telemetry::JournalEvent::kOnesideRetry, wqe->dst, 0);
+      journal_->Record(lt::telemetry::JournalEvent::kOnesideRetry, wqe->h.dst, 0);
     }
   }
   WorkRequest wr = wqe->wr;
   wr.signaled = true;
   wr.doorbell_hint = false;
-  auto c = PostAndWait(wqe->dst, &wr, op->pri);
+  auto c = PostAndWait(wqe->h.dst, &wr, op->pri);
   if (!c.ok()) {
     return c.status();
   }
@@ -834,8 +827,8 @@ void OpEngine::RetireMemopLocked(std::unique_lock<std::mutex>& lock, AsyncOp* op
       if (!wqe.posted) {
         s = RetryAsyncWqe(op, &wqe);
       } else {
-        lt::Cq* cq = inst_->qps_.qp(wqe.dst, wqe.qp_idx)->send_cq();
-        AsyncStream& stream = async_streams_[{wqe.dst, wqe.qp_idx}];
+        lt::Cq* cq = inst_->transport_->Qp(wqe.h)->send_cq();
+        AsyncStream& stream = async_streams_[{wqe.h.dst, wqe.h.slot}];
         auto c = TakeAsyncCompletionLocked(cq, wqe.wr.wr_id);
         if (wqe.signaled) {
           stream.signaled_pending.erase(wqe.stream_pos);
@@ -903,9 +896,9 @@ void OpEngine::RetireMemopLocked(std::unique_lock<std::mutex>& lock, AsyncOp* op
               WorkRequest fence;
               fence.opcode = WrOpcode::kWrite;
               fence.length = 0;
-              fence.rkey = inst_->peer_global_rkey_[wqe.dst];
+              fence.rkey = inst_->peer_global_rkey_[wqe.h.dst];
               fence.signaled = true;
-              auto fc = PostAndWait(wqe.dst, &fence, op->pri, wqe.qp_idx);
+              auto fc = PostAndWait(wqe.h.dst, &fence, op->pri, &wqe.h);
               if (fc.ok()) {
                 stream.covered_pos = std::max(stream.covered_pos, stream.next_pos);
                 stream.covered_ready_ns = std::max(stream.covered_ready_ns, fc->ready_at_ns);

@@ -1,7 +1,8 @@
 // OpEngine — the single op-submission engine all three LITE data paths post
 // through (paper Secs. 4, 6: one shared kernel path for memops and RPC).
 //
-// The engine owns the issue/retire pipeline: QP selection (via QpManager),
+// The engine owns the issue/retire pipeline: QP selection (via the pluggable
+// Transport — RC QpManager or the DC shared pool, DESIGN.md §10),
 // QP error recovery, transient-retry with backoff, QoS admission, journal
 // and trace stamping, and the async stream/window/selective-signaling state.
 // The three submitters:
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/lite/transport.h"
 #include "src/lite/types.h"
 #include "src/node/node.h"
 #include "src/telemetry/journal.h"
@@ -68,10 +70,11 @@ class OpEngine {
                                   uint64_t swap);
   // Posts a signaled WR and waits for its completion, retrying retryable
   // failures (drops) with backoff and QP recovery. Returns the successful
-  // completion, or the last error. `qp_idx` pins the pool QP (the async
-  // flush fence must land on the stream's own QP); -1 picks per attempt.
+  // completion, or the last error. `pinned` pins the transport handle (the
+  // async flush fence must land on the stream's own QP); null leases one
+  // per attempt.
   StatusOr<lt::Completion> PostAndWait(NodeId dst, lt::WorkRequest* wr, Priority pri,
-                                       int qp_idx = -1);
+                                       const TransportHandle* pinned = nullptr);
 
   // ---- Blocking multi-piece submission ("issue all pieces, wait all") ----
   // Posts every remote piece signaled (doorbell-batched; writes inline when
@@ -149,8 +152,7 @@ class OpEngine {
  private:
   // One posted WQE of an async memop (one chunk piece).
   struct AsyncWqe {
-    NodeId dst = kInvalidNode;
-    int qp_idx = -1;
+    TransportHandle h;     // Leased transport slot (dst + pool slot).
     lt::WorkRequest wr;    // Retained so a failed WQE can be re-posted.
     bool signaled = false;
     bool posted = false;   // False: post failed at issue; retried at retire.

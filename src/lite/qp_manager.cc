@@ -8,7 +8,7 @@
 
 namespace lite {
 
-void QpManager::CreatePool(const std::vector<bool>& connect, lt::Cq* recv_cq) {
+void QpManager::Setup(const std::vector<bool>& connect, lt::Cq* recv_cq) {
   const int k = std::max(1, node_->params().lite_qp_sharing_factor);
   pool_.resize(connect.size());
   mu_.resize(connect.size());
@@ -49,9 +49,18 @@ int QpManager::PickQpIndexSticky(NodeId dst, Priority pri) {
     lo = 0;
     hi = k;
   }
-  static thread_local const uint32_t t_tag = static_cast<uint32_t>(
+  static thread_local const uint32_t t_base = static_cast<uint32_t>(
       std::hash<std::thread::id>()(std::this_thread::get_id()));
-  return lo + static_cast<int>(t_tag % static_cast<uint32_t>(hi - lo));
+  const auto& p = node_->params();
+  uint32_t tag = t_base + p.lite_sticky_salt;
+  if (p.lite_sticky_rotate_ops > 0) {
+    // Rotate the thread's QP every lite_sticky_rotate_ops sticky picks:
+    // keeps doorbell batching inside a rotation window while still cycling
+    // load across the band over time.
+    static thread_local uint32_t t_ops = 0;
+    tag += t_ops++ / p.lite_sticky_rotate_ops;
+  }
+  return lo + static_cast<int>(tag % static_cast<uint32_t>(hi - lo));
 }
 
 lt::Qp* QpManager::PoolQp(NodeId dst, int k) const {
@@ -67,19 +76,6 @@ size_t QpManager::TotalQps() const {
     n += per_dst.size();
   }
   return n;
-}
-
-void QpManager::RecoverQp(lt::Qp* qp) {
-  // Models the driver's modify_qp cycle ERR -> RESET -> INIT -> RTR -> RTS
-  // after a transport error (caller holds the QP's pool mutex).
-  lt::SpinFor(node_->params().lite_qp_reconnect_ns);
-  qp->ResetToRts();
-  if (reconnects_ != nullptr) {
-    reconnects_->Inc();
-  }
-  if (journal_ != nullptr) {
-    journal_->Record(lt::telemetry::JournalEvent::kQpRecover, qp->remote_node(), qp->qpn());
-  }
 }
 
 }  // namespace lite

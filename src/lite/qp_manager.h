@@ -1,7 +1,9 @@
-// QpManager — the shared per-destination QP pool (paper Sec. 6.1), split out
-// of LiteInstance. Owns QP creation/pairing, QoS-aware QP selection, and
-// errored-QP recovery; every submission path (blocking, async, RPC) reaches
-// the fabric through a QP picked and guarded here.
+// QpManager — the RC implementation of the Transport interface: the shared
+// per-destination QP pool (paper Sec. 6.1). Owns QP creation/pairing,
+// QoS-aware QP selection, and errored-QP recovery; with lite_transport=rc
+// (the default) every submission path reaches the fabric through a QP
+// leased and guarded here. A TransportHandle's slot is the pool index
+// within pool_[dst].
 #ifndef SRC_LITE_QP_MANAGER_H_
 #define SRC_LITE_QP_MANAGER_H_
 
@@ -10,62 +12,69 @@
 #include <vector>
 
 #include "src/lite/qos.h"
+#include "src/lite/transport.h"
 #include "src/lite/types.h"
 #include "src/node/node.h"
 #include "src/telemetry/journal.h"
 
 namespace lite {
 
-class QpManager {
+class QpManager : public Transport {
  public:
-  QpManager(lt::Node* node, QosManager* qos) : node_(node), qos_(qos) {}
+  QpManager(lt::Node* node, QosManager* qos) : Transport(node, qos) {}
 
-  QpManager(const QpManager&) = delete;
-  QpManager& operator=(const QpManager&) = delete;
-
-  // Cached telemetry hooks (owned by the node's registry / NodeTelemetry).
-  void SetTelemetry(lt::telemetry::Counter* reconnects, lt::telemetry::Journal* journal) {
-    reconnects_ = reconnects;
-    journal_ = journal;
-  }
+  lt::LiteTransport mode() const override { return lt::LiteTransport::kRc; }
 
   // Creates K QPs (K = lite_qp_sharing_factor) to every destination flagged
   // in `connect`, all delivering receives into the shared `recv_cq`. One
   // mutex per QP serializes posts (the QP send queue is ordered anyway).
-  void CreatePool(const std::vector<bool>& connect, lt::Cq* recv_cq);
+  void Setup(const std::vector<bool>& connect, lt::Cq* recv_cq) override;
 
   // QoS-aware selection: cheap per-thread round-robin across the priority
   // band's slots. Returns a pool index for `dst`, or -1 if no QP exists.
   int PickQpIndex(NodeId dst, Priority pri);
   // Sticky per (thread, destination) so a pipelining thread's consecutive
   // posts land on one QP and share doorbells (round-robin would break every
-  // doorbell batch).
+  // doorbell batch). Tunable via lite_sticky_salt / lite_sticky_rotate_ops.
   int PickQpIndexSticky(NodeId dst, Priority pri);
 
-  bool Valid(NodeId dst, int idx) const {
-    return dst < pool_.size() && idx >= 0 && idx < static_cast<int>(pool_[dst].size());
+  TransportHandle Lease(NodeId dst, Priority pri) override {
+    return TransportHandle{dst, PickQpIndex(dst, pri)};
   }
-  lt::Qp* qp(NodeId dst, int idx) const { return pool_[dst][idx]; }
-  std::mutex& mu(NodeId dst, int idx) const { return *mu_[dst][idx]; }
+  TransportHandle LeaseSticky(NodeId dst, Priority pri) override {
+    return TransportHandle{dst, PickQpIndexSticky(dst, pri)};
+  }
+
+  bool Valid(const TransportHandle& h) const override {
+    return h.dst < pool_.size() && h.slot >= 0 &&
+           h.slot < static_cast<int32_t>(pool_[h.dst].size()) &&
+           pool_[h.dst][h.slot] != nullptr;
+  }
+  lt::Qp* Qp(const TransportHandle& h) const override { return pool_[h.dst][h.slot]; }
+  std::mutex& Mu(const TransportHandle& h) const override { return *mu_[h.dst][h.slot]; }
+
+  // RC prepare: recover the leased QP if a prior drop errored it.
+  bool Prepare(const TransportHandle& h) override {
+    lt::Qp* q = pool_[h.dst][h.slot];
+    if (q->in_error()) {
+      RecoverQp(q);
+      return true;
+    }
+    return false;
+  }
 
   // Nullptr-safe pool access (cluster wiring / introspection).
-  lt::Qp* PoolQp(NodeId dst, int k) const;
-  size_t TotalQps() const;
+  lt::Qp* PoolQp(NodeId dst, int k) const override;
+  size_t TotalQps() const override;
 
-  // Resets an errored QP back to RTS (models the modify_qp reconnect round;
-  // charges lite_qp_reconnect_ns). Caller holds the QP's pool mutex.
-  void RecoverQp(lt::Qp* qp);
+  // Test hook: punches a hole in the pool so Valid()'s nullptr guard is
+  // exercisable (Setup never leaves holes; a hot-unplug path would).
+  void DropQpForTest(NodeId dst, int k) { pool_[dst][k] = nullptr; }
 
  private:
-  lt::Node* const node_;
-  QosManager* const qos_;
-
   // pool_[dst][k], k in [0, K).
   std::vector<std::vector<lt::Qp*>> pool_;
   std::vector<std::vector<std::unique_ptr<std::mutex>>> mu_;
-
-  lt::telemetry::Counter* reconnects_ = nullptr;
-  lt::telemetry::Journal* journal_ = nullptr;
 };
 
 }  // namespace lite

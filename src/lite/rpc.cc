@@ -93,7 +93,20 @@ StatusOr<RpcChannel*> LiteInstance::GetChannel(NodeId server, RpcFuncId ring_id)
     }
   }
   if (ring_id == kControlRingId) {
-    return Status::Internal("control channel missing (cluster not bootstrapped)");
+    // Lazy bootstrap (lite_eager_control_rings=false at large scale): build
+    // the control ring to this server on first use. BootstrapControlChannel
+    // is idempotent, so a race between two first callers is benign.
+    LiteInstance* srv = Peer(server);
+    if (srv == nullptr) {
+      return Status::Internal("control channel missing (unknown peer)");
+    }
+    BootstrapControlChannel(srv);
+    std::lock_guard<std::mutex> lock(channels_mu_);
+    auto it = channels_.find({server, ring_id});
+    if (it == channels_.end()) {
+      return Status::Internal("control channel missing (bootstrap failed)");
+    }
+    return it->second.get();
   }
   // First bind to this (server, function): ask the server to allocate the
   // ring (paper Sec. 5.1, "LITE allocates a new internal LMR at the RPC

@@ -452,7 +452,15 @@ Status Rnic::PostSend(Qp* qp, const WorkRequest& wr) {
 
   NodeId dst_node;
   uint32_t dst_qpn = 0;
-  if (qp->type() == QpType::kRc) {
+  if (qp->type() == QpType::kUd) {
+    if (wr.opcode != WrOpcode::kSend) {
+      return Status::InvalidArgument("UD QPs support only SEND");
+    }
+    dst_node = wr.ud_dst_node;
+    dst_qpn = wr.ud_dst_qpn;
+  } else {
+    // RC and DC-initiator QPs share the connected data path; a DC QP's
+    // connection target is simply whatever Connect() last attached it to.
     if (!qp->connected()) {
       return Status::FailedPrecondition("RC QP not connected");
     }
@@ -461,12 +469,6 @@ Status Rnic::PostSend(Qp* qp, const WorkRequest& wr) {
     }
     dst_node = qp->remote_node();
     dst_qpn = qp->remote_qpn();
-  } else {
-    if (wr.opcode != WrOpcode::kSend) {
-      return Status::InvalidArgument("UD QPs support only SEND");
-    }
-    dst_node = wr.ud_dst_node;
-    dst_qpn = wr.ud_dst_qpn;
   }
   Rnic* remote = directory_->Lookup(dst_node);
   if (remote == nullptr) {
@@ -497,6 +499,12 @@ Status Rnic::ExecuteOneSided(Qp* qp, const WorkRequest& wr, Rnic* remote) {
   const uint64_t now = NowNs();
 
   uint64_t qpc_penalty = qpc_cache_.Touch(qp->qpn()) ? 0 : params_.qpc_miss_ns;
+  // Responder-side QPC (gated): the remote NIC looks up the context serving
+  // this sender — per-peer for RC, the one shared DCT entry for DC targets.
+  uint64_t remote_qpc_penalty =
+      params_.rnic_model_responder_qpc && remote != this
+          ? (remote->qpc_cache_.Touch(qp->remote_qpn()) ? 0 : params_.qpc_miss_ns)
+          : 0;
 
   StatusOr<Resolved> local = [&]() -> StatusOr<Resolved> {
     if (wr.length == 0) {
@@ -524,9 +532,9 @@ Status Rnic::ExecuteOneSided(Qp* qp, const WorkRequest& wr, Rnic* remote) {
 
   // All on-NIC SRAM lookups (QPC + local and remote MPT/MTT) are resolved at
   // this point; arg carries the total miss-penalty ns they contributed.
-  telemetry::StampStage(
-      telemetry::TraceStage::kNicCache,
-      qpc_penalty + local->cache_penalty_ns + remote_res->cache_penalty_ns);
+  telemetry::StampStage(telemetry::TraceStage::kNicCache,
+                        qpc_penalty + remote_qpc_penalty + local->cache_penalty_ns +
+                            remote_res->cache_penalty_ns);
 
   // Engine occupancy at both NICs (processing + SRAM miss stalls).
   if (inline_send) {
@@ -554,7 +562,8 @@ Status Rnic::ExecuteOneSided(Qp* qp, const WorkRequest& wr, Rnic* remote) {
   }
   telemetry::StampStage(telemetry::TraceStage::kFabric, request_arrive);
   uint64_t remote_done = remote->ReserveEngine(
-      request_arrive, params_.rnic_process_ns + remote_res->cache_penalty_ns);
+      request_arrive,
+      params_.rnic_process_ns + remote_res->cache_penalty_ns + remote_qpc_penalty);
 
   // Perform the data movement (the issuing thread is the DMA engine).
   if (wr.length > 0) {
@@ -626,6 +635,10 @@ Status Rnic::ExecuteOneSided(Qp* qp, const WorkRequest& wr, Rnic* remote) {
 Status Rnic::ExecuteSend(Qp* qp, const WorkRequest& wr, Rnic* remote, uint32_t dst_qpn) {
   const uint64_t now = NowNs();
   uint64_t qpc_penalty = qpc_cache_.Touch(qp->qpn()) ? 0 : params_.qpc_miss_ns;
+  uint64_t remote_qpc_penalty =
+      params_.rnic_model_responder_qpc && remote != this
+          ? (remote->qpc_cache_.Touch(dst_qpn) ? 0 : params_.qpc_miss_ns)
+          : 0;
 
   StatusOr<Resolved> local = [&]() -> StatusOr<Resolved> {
     if (wr.length == 0) {
@@ -687,8 +700,8 @@ Status Rnic::ExecuteSend(Qp* qp, const WorkRequest& wr, Rnic* remote, uint32_t d
     PushSendCompletion(qp, wr, Status::Unavailable("message dropped"), now + kRnrTimeoutNs / 64);
     return Status::Ok();
   }
-  uint64_t remote_done =
-      remote->ReserveEngine(arrive, params_.rnic_process_ns + sink->cache_penalty_ns);
+  uint64_t remote_done = remote->ReserveEngine(
+      arrive, params_.rnic_process_ns + sink->cache_penalty_ns + remote_qpc_penalty);
 
   if (wr.length > 0) {
     CopyResolved(*local, *sink, wr.length);
@@ -800,6 +813,10 @@ Status Rnic::ExecuteAtomic(Qp* qp, const WorkRequest& wr, Rnic* remote) {
     return Status::Ok();
   }
   uint64_t qpc_penalty = qpc_cache_.Touch(qp->qpn()) ? 0 : params_.qpc_miss_ns;
+  uint64_t remote_qpc_penalty =
+      params_.rnic_model_responder_qpc && remote != this
+          ? (remote->qpc_cache_.Touch(qp->remote_qpn()) ? 0 : params_.qpc_miss_ns)
+          : 0;
   auto target = remote->ResolveOnNic(wr.rkey, wr.remote_addr, 8, kMrAtomic);
   if (!target.ok()) {
     PushSendCompletion(qp, wr, target.status(), now);
@@ -816,9 +833,9 @@ Status Rnic::ExecuteAtomic(Qp* qp, const WorkRequest& wr, Rnic* remote) {
     PushSendCompletion(qp, wr, Status::Unavailable("atomic dropped"), now + kRnrTimeoutNs / 64);
     return Status::Ok();
   }
-  uint64_t remote_done =
-      remote->ReserveEngine(arrive, params_.rnic_process_ns + params_.rnic_atomic_extra_ns +
-                                        target->cache_penalty_ns);
+  uint64_t remote_done = remote->ReserveEngine(
+      arrive, params_.rnic_process_ns + params_.rnic_atomic_extra_ns +
+                  target->cache_penalty_ns + remote_qpc_penalty);
 
   uint64_t old_value = 0;
   {

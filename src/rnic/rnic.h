@@ -144,7 +144,13 @@ class Cq {
   bool shutdown_ = false;
 };
 
-enum class QpType { kRc, kUd };
+// kRc/kUd are the classic Verbs types. kDcIni/kDcTgt model a dynamically
+// connected transport (DESIGN.md §10): a kDcIni initiator re-targets any
+// peer via Connect() (the µs-scale attach is charged by the transport layer,
+// not here), and all initiators of a node address one kDcTgt target whose
+// single QP context serves every sender — so responder QPC pressure is O(1)
+// instead of O(peers). Both behave like RC on the data path.
+enum class QpType { kRc, kUd, kDcIni, kDcTgt };
 
 struct Rqe {
   uint64_t wr_id = 0;

@@ -21,6 +21,9 @@
 
 namespace lt {
 
+// Connection-layer flavor (DESIGN.md §10 "Transport virtualization").
+enum class LiteTransport { kRc, kDc };
+
 struct SimParams {
   // ---- Memory / paging ----
   size_t page_size = 4096;
@@ -57,6 +60,15 @@ struct SimParams {
   uint64_t mtt_miss_ns = 700;        // Fetch one PTE from host memory.
   size_t qpc_cache_entries = 256;    // QP contexts cached on-NIC.
   uint64_t qpc_miss_ns = 500;        // Fetch QP context from host memory.
+  // Responder-side QPC modeling: when on, the remote NIC also touches a QPC
+  // entry per incoming request (keyed by the sender's QP), so an incast
+  // server with many distinct RC peers thrashes its QPC cache while a DC
+  // target stays a single always-hot entry. Off by default so historical
+  // figure timings are byte-identical.
+  bool rnic_model_responder_qpc = false;
+  // Host-memory footprint of one QP's state (QPC + driver bookkeeping);
+  // only used for reporting total per-node QP state in the scale benches.
+  size_t rnic_qp_state_bytes = 1024;
 
   // ---- OS / kernel costs ----
   uint64_t user_kernel_cross_ns = 85;   // One crossing; optimized RPC pays two.
@@ -87,6 +99,27 @@ struct SimParams {
   uint64_t lite_keepalive_interval_ns = 0;
   uint64_t lite_lease_timeout_ns = 0;
   int lite_qp_sharing_factor = 2;     // K in "K x N QPs per node" (Sec. 6.1).
+  // ---- Transport virtualization (DESIGN.md §10) ----
+  // kRc: the paper's shared RC pool — K dedicated QPs per connected peer,
+  // eagerly wired at cluster setup (QP state grows O(n) per node).
+  // kDc: a DC-style virtualized transport — a bounded node-wide pool of
+  // lite_dc_qp_pool initiator QPs that attach to any destination on demand,
+  // paying lite_dc_connect_ns when a QP re-targets a different peer
+  // (amortized by per-destination affinity). QP state is O(pool), not O(n).
+  LiteTransport lite_transport = LiteTransport::kRc;
+  int lite_dc_qp_pool = 32;            // DC initiator QPs per node (bounded).
+  uint64_t lite_dc_connect_ns = 900;   // DC re-target (attach) cost, host side.
+  // Sticky QP selection (PickQpIndexSticky): a thread's QP within its QoS
+  // band is hash(thread) + lite_sticky_salt; with lite_sticky_rotate_ops > 0
+  // the choice also rotates to the next QP every that-many sticky picks by
+  // the thread. Defaults (0/0) reproduce the historical pure-hash behavior.
+  uint32_t lite_sticky_salt = 0;
+  uint32_t lite_sticky_rotate_ops = 0;
+  // Eagerly bootstrap the all-pairs control rings at cluster construction.
+  // Off: control channels are established lazily on first internal RPC to a
+  // peer — required for large sparse clusters (the 1000-node scale bench)
+  // where all-pairs ring memory would dominate.
+  bool lite_eager_control_rings = true;
   // Async memop fast path (LT_read_async/LT_write_async).
   size_t lite_async_window = 64;      // Per-instance in-flight memop cap.
   uint32_t lite_async_signal_every = 8;  // Every K-th async WQE is signaled;

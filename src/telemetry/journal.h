@@ -31,7 +31,8 @@ enum class JournalEvent : uint16_t {
   kOpEnd,          // a = packed op name, b = op id
   kRpcRetry,       // a = target node, b = backoff ns just slept
   kOnesideRetry,   // a = target node, b = attempt index
-  kQpRecover,      // a = peer node, b = qp number
+  kQpRecover,      // a = peer node, b = (transport mode << 32) | qp number
+                   //   (mode: 1 = rc, 2 = dc — see Transport::RecoverQp)
   kPeerDead,       // a = peer node
   kPeerAlive,      // a = peer node
   kLeaseExpire,    // a = expired node, b = ns since last keepalive

@@ -318,8 +318,27 @@ TEST(LiteRingTest, DrainTimeFailureResolvesHandleWithError) {
 
 // ------------------------------------------------- concurrency (TSan bait)
 
-TEST(LiteRingTest, ConcurrentSubmittersAndReapersStayCoherent) {
-  lt::SimParams p = RingParams(lt::SimParams::FastForTests());
+// Rings compose with either transport (DESIGN.md §10): the deferred path
+// leases TransportHandles like any other submission, so coherence and the
+// crossing-conservation invariants must hold when the handles come from the
+// DC shared pool (re-targets and all) exactly as from the RC per-peer pool.
+class LiteRingTransportTest : public ::testing::TestWithParam<lt::LiteTransport> {
+ protected:
+  lt::SimParams BaseParams() const {
+    lt::SimParams p = RingParams(lt::SimParams::FastForTests());
+    p.lite_transport = GetParam();
+    return p;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Modes, LiteRingTransportTest,
+                         ::testing::Values(lt::LiteTransport::kRc, lt::LiteTransport::kDc),
+                         [](const ::testing::TestParamInfo<lt::LiteTransport>& info) {
+                           return info.param == lt::LiteTransport::kDc ? "dc" : "rc";
+                         });
+
+TEST_P(LiteRingTransportTest, ConcurrentSubmittersAndReapersStayCoherent) {
+  lt::SimParams p = BaseParams();
   p.lite_ring_cpus = 2;  // Fewer rings than threads: forced sharing.
   p.lite_ring_doorbell_batch = 4;
   LiteCluster cluster(2, p);
@@ -360,8 +379,8 @@ TEST(LiteRingTest, ConcurrentSubmittersAndReapersStayCoherent) {
 
 // ------------------------------------------------------------ conservation
 
-TEST(LiteRingTest, MixedWorkloadSatisfiesCrossingConservation) {
-  lt::SimParams p = RingParams(lt::SimParams::FastForTests());
+TEST_P(LiteRingTransportTest, MixedWorkloadSatisfiesCrossingConservation) {
+  lt::SimParams p = BaseParams();
   LiteCluster cluster(3, p);
   auto client = cluster.CreateClient(0);
   MallocOptions on1;
